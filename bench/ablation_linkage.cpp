@@ -1,0 +1,93 @@
+// Ablation: HAC linkage choice (§2.6.2).
+//
+// The paper cites SLINK (single linkage). This harness times SLINK
+// against the generic nearest-neighbour-chain implementation for single,
+// complete and average linkage, on similarity matrices with planted mode
+// structure — and reports (via counters) how many modes each linkage
+// recovers at the adaptive threshold, so quality and cost are visible
+// side by side.
+#include <benchmark/benchmark.h>
+
+#include "core/cluster.h"
+#include "rng/rng.h"
+
+namespace {
+
+using namespace fenrir;
+
+/// Dataset with `modes` planted groups over `obs` observations.
+core::Dataset planted(std::size_t obs, std::size_t modes, std::size_t nets) {
+  core::Dataset d;
+  d.name = "planted";
+  for (std::size_t i = 0; i < nets; ++i) d.networks.intern(i);
+  std::vector<core::SiteId> sites;
+  for (std::size_t m = 0; m < modes; ++m) {
+    sites.push_back(d.sites.intern("m" + std::to_string(m)));
+  }
+  rng::Rng r(17);
+  for (std::size_t t = 0; t < obs; ++t) {
+    core::RoutingVector v;
+    v.time = static_cast<core::TimePoint>(t) * core::kDay;
+    const core::SiteId dominant = sites[t * modes / obs];
+    v.assignment.assign(nets, dominant);
+    for (std::size_t k = 0; k < nets / 50; ++k) {
+      v.assignment[r.uniform(nets)] = sites[r.uniform(modes)];
+    }
+    d.series.push_back(std::move(v));
+  }
+  return d;
+}
+
+void run_linkage(benchmark::State& state, core::Linkage linkage) {
+  const auto obs = static_cast<std::size_t>(state.range(0));
+  const auto d = planted(obs, 5, 2'000);
+  const auto m = core::SimilarityMatrix::compute(d);
+  std::size_t modes_found = 0;
+  for (auto _ : state) {
+    const auto c = core::cluster_adaptive(m, linkage);
+    modes_found = c.clusters_with_at_least(2);
+    benchmark::DoNotOptimize(modes_found);
+  }
+  state.counters["modes_recovered"] =
+      static_cast<double>(modes_found);
+  state.counters["planted_modes"] = 5;
+}
+
+void BM_Single(benchmark::State& state) {
+  run_linkage(state, core::Linkage::kSingle);
+}
+void BM_Complete(benchmark::State& state) {
+  run_linkage(state, core::Linkage::kComplete);
+}
+void BM_Average(benchmark::State& state) {
+  run_linkage(state, core::Linkage::kAverage);
+}
+
+BENCHMARK(BM_Single)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_Complete)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_Average)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SlinkOnly(benchmark::State& state) {
+  const auto obs = static_cast<std::size_t>(state.range(0));
+  const auto d = planted(obs, 5, 2'000);
+  const auto m = core::SimilarityMatrix::compute(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::slink_dendrogram(m));
+  }
+}
+void BM_NnChainSingleEquivalent(benchmark::State& state) {
+  const auto obs = static_cast<std::size_t>(state.range(0));
+  const auto d = planted(obs, 5, 2'000);
+  const auto m = core::SimilarityMatrix::compute(d);
+  for (auto _ : state) {
+    // Complete linkage exercises the generic NN-chain machinery.
+    benchmark::DoNotOptimize(
+        core::build_dendrogram(m, core::Linkage::kComplete));
+  }
+}
+BENCHMARK(BM_SlinkOnly)->Arg(256)->Arg(512);
+BENCHMARK(BM_NnChainSingleEquivalent)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Ablation: pessimistic vs known-only unknown handling in Φ (§2.6.1).
+//
+// The paper's default counts an unknown on either side as a mismatch, so
+// services with imperfect coverage (Verfploeter answers for ~half its
+// targets) plateau at Φ 0.5-0.6 even when routing is perfectly stable.
+// The paper lists removing unknowns from consideration as ongoing work;
+// Fenrir implements it as UnknownPolicy::kKnownOnly. This harness
+// quantifies what each policy reports on the same B-Root data:
+//
+//   * stable-period Φ: pessimistic sits at the coverage ceiling;
+//     known-only sits near 1;
+//   * event contrast (Φ drop at a real routing change relative to
+//     baseline noise): known-only separates events more sharply;
+//   * mode structure: both discover the same macro modes.
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "io/table.h"
+#include "scenarios/broot.h"
+#include "stats/stats.h"
+
+using namespace fenrir;
+
+namespace {
+
+struct PolicyStats {
+  double stable_phi_mean = 0;
+  double stable_phi_sd = 0;
+  double min_event_phi = 1.0;
+  std::size_t modes = 0;
+};
+
+PolicyStats run(const scenarios::BrootScenario& scenario,
+                core::UnknownPolicy policy) {
+  const core::Dataset& d = scenario.dataset;
+  const auto phi = core::consecutive_phi(d, policy);
+
+  const auto is_event = [&](std::size_t i) {
+    for (const std::size_t e : scenario.event_indices) {
+      if (i == e) return true;
+    }
+    return false;
+  };
+
+  std::vector<double> stable;
+  PolicyStats out;
+  for (std::size_t i = 1; i < phi.size(); ++i) {
+    if (phi[i] < 0) continue;
+    if (is_event(i)) {
+      out.min_event_phi = std::min(out.min_event_phi, phi[i]);
+    } else {
+      stable.push_back(phi[i]);
+    }
+  }
+  out.stable_phi_mean = stats::mean(stable);
+  out.stable_phi_sd = stats::stddev(stable);
+
+  core::AnalysisConfig cfg;
+  cfg.policy = policy;
+  cfg.detector.min_drop = 0.03;
+  out.modes = core::analyze(d, cfg).modes.size();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: unknown-handling policy in Gower phi ===\n";
+  const scenarios::BrootScenario scenario = scenarios::make_broot({});
+
+  const PolicyStats pess = run(scenario, core::UnknownPolicy::kPessimistic);
+  const PolicyStats known = run(scenario, core::UnknownPolicy::kKnownOnly);
+
+  io::TextTable table;
+  table.header({"metric", "pessimistic (paper)", "known-only (ongoing work)"});
+  table.row("stable-period phi (mean)", io::fixed(pess.stable_phi_mean, 3),
+            io::fixed(known.stable_phi_mean, 3));
+  table.row("stable-period phi (sd)", io::fixed(pess.stable_phi_sd, 4),
+            io::fixed(known.stable_phi_sd, 4));
+  table.row("lowest phi at a real event", io::fixed(pess.min_event_phi, 3),
+            io::fixed(known.min_event_phi, 3));
+  table.row("event contrast (baseline - event)",
+            io::fixed(pess.stable_phi_mean - pess.min_event_phi, 3),
+            io::fixed(known.stable_phi_mean - known.min_event_phi, 3));
+  table.row("modes discovered", pess.modes, known.modes);
+  table.print(std::cout);
+
+  std::cout << "\npessimistic phi is capped by measurement coverage "
+               "(paper's 0.5-0.6 band);\nknown-only reads routing "
+               "similarity of the observed networks directly.\n";
+  return 0;
+}

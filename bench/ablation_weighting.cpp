@@ -1,0 +1,78 @@
+// Ablation: observation weighting (§2.5).
+//
+// A raw vector counts observers; operators care what observers represent.
+// This harness builds one G-Root drain transition and scores its
+// similarity under three weightings:
+//
+//   * uniform       — every VP counts 1 (the default);
+//   * address-count — a VP stands for the /24 blocks of its covering
+//                     prefix (one VP in a /16 counts 256);
+//   * traffic       — Zipf-distributed per-VP demand (a few heavy
+//                     networks dominate, like real query volume).
+//
+// Expected shape: the same routing change reads very differently once
+// weights reflect users — if the heavy networks sit in the drained
+// catchment, weighted Φ drops far below the uniform reading.
+#include <iostream>
+
+#include "core/compare.h"
+#include "core/weights.h"
+#include "io/table.h"
+#include "rng/rng.h"
+#include "scenarios/groot.h"
+
+using namespace fenrir;
+
+int main() {
+  std::cout << "=== Ablation: weighting schemes ===\n";
+  const scenarios::GrootScenario scenario = scenarios::make_groot({});
+  const core::Dataset& d = scenario.transition;  // STR drain, 3 observations
+  const std::size_t n = d.networks.size();
+  rng::Rng rng(3);
+
+  // Address weights: VPs represent prefixes of varying size (simulated
+  // covering-prefix spans: /24 .. /16).
+  std::vector<std::uint32_t> blocks_represented(n);
+  for (auto& b : blocks_represented) {
+    b = 1u << (rng.zipf(9, 1.2));  // 1..256 blocks, skewed toward 1
+  }
+  const auto addr_w = core::address_weights(blocks_represented);
+
+  // Traffic weights: Zipf demand; then deliberately bias the heaviest
+  // talkers into STR's catchment so the drain matters more to users than
+  // to raw VP counts.
+  std::vector<double> demand(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    demand[i] = 1.0 / static_cast<double>(1 + rng.zipf(1000, 1.1));
+  }
+  const auto str = *d.sites.find("STR");
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d.series[0].assignment[i] == str) demand[i] *= 20.0;
+  }
+  const auto traffic_w = core::traffic_weights(demand);
+
+  const auto phi_all = [&](std::span<const double> w, const char* label) {
+    io::TextTable table;
+    table.header({std::string("phi (") + label + ")", "21:56->22:00",
+                  "22:00->22:04", "21:56->22:04"});
+    const auto phi = [&](std::size_t i, std::size_t j) {
+      return w.empty()
+                 ? core::gower_similarity(d.series[i], d.series[j])
+                 : core::gower_similarity(d.series[i], d.series[j], w);
+    };
+    table.row("", io::fixed(phi(0, 1), 3), io::fixed(phi(1, 2), 3),
+              io::fixed(phi(0, 2), 3));
+    table.print(std::cout);
+  };
+
+  phi_all({}, "uniform");
+  phi_all(addr_w, "address-count");
+  phi_all(traffic_w, "traffic");
+
+  std::cout << "\nuniform phi says how many VPs moved; traffic-weighted "
+               "phi says how many users did.\nWith heavy talkers inside "
+               "the draining site, the user-weighted change is much "
+               "larger —\nthe paper's point that operators should weight "
+               "observations by what they represent.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Extension: anycast polarization, quantified (paper §4.2's ARI story).
+//
+// Figure 4's narrative — "ARI provided latency over 200 ms due to a few
+// North American and European networks being routed to it" — is anycast
+// polarization (Moura et al. 2022). This harness runs the polarization
+// detector over the B-Root scenario at three instants: while ARI is
+// alive (its Europe-homed announcement polarizes its whole catchment),
+// right after its shutdown, and after SCL takes over South America.
+#include <algorithm>
+#include <iostream>
+
+#include "core/polarization.h"
+#include "io/table.h"
+#include "scenarios/broot.h"
+
+using namespace fenrir;
+
+int main() {
+  std::cout << "=== Extension: anycast polarization at B-Root ===\n";
+  const scenarios::BrootScenario scenario = scenarios::make_broot({});
+  const core::Dataset& d = scenario.dataset;
+
+  const auto site_coords_at = [&](std::size_t idx) {
+    // Active sites = sites with any catchment in this observation.
+    std::unordered_map<core::SiteId, geo::Coord> out;
+    const auto counts = core::aggregate(d.series[idx], d.sites.size());
+    for (std::uint32_t s = 0; s < scenario.site_names.size(); ++s) {
+      const auto id = *d.sites.find(scenario.site_names[s]);
+      if (counts[id] > 0) out.emplace(id, scenario.site_coords[s]);
+    }
+    return out;
+  };
+
+  const auto ari = *d.sites.find("ARI");
+  io::TextTable table;
+  table.header({"date", "known", "polarized", "fraction", "worst pair",
+                "ARI-polarized", "ARI excess km"});
+  for (const char* date :
+       {"2019-10-01", "2022-06-01", "2023-04-01", "2024-02-01"}) {
+    const std::size_t idx = d.index_at(*core::parse_time(date));
+    const auto report = core::detect_polarization(
+        d.series[idx], scenario.network_coords, site_coords_at(idx));
+    std::string pair = "-";
+    if (!report.groups.empty()) {
+      const auto& g = report.groups[0];
+      pair = d.sites.name(g.serving) + " (vs " + d.sites.name(g.nearest) +
+             ")";
+    }
+    std::size_t ari_networks = 0;
+    double ari_excess = 0.0;
+    for (const auto& g : report.groups) {
+      if (g.serving == ari) {
+        ari_networks += g.networks;
+        ari_excess = std::max(ari_excess, g.mean_excess_km);
+      }
+    }
+    table.row(date, report.known_networks, report.polarized_networks,
+              io::fixed(100.0 * report.polarized_fraction(), 1) + "%", pair,
+              ari_networks,
+              ari_networks ? io::fixed(ari_excess, 0) : std::string("-"));
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: with six global sites, a large share of "
+               "networks is always served from\nanother continent (the "
+               "reason the paper's cited work asks \"how many sites are\n"
+               "enough?\"). ARI's column is the paper's specific pathology: "
+               "its Europe-announced,\nChile-located site polarizes its "
+               "entire catchment by ~10000 km — and the column\ngoes to "
+               "zero at its 2023-03-06 shutdown. Figure 4's latency story "
+               "is this table\nseen through RTTs.\n";
+  return 0;
+}

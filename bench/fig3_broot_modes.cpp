@@ -1,0 +1,81 @@
+// Regenerates Figure 3: five years of B-Root catchments (Verfploeter).
+//
+// Paper shape to reproduce:
+//   (a) the stack: LAX dominant initially; SIN/IAD/AMS appear 2020-02;
+//       TE moves most LAX clients onto them 2020-04; ARI disappears
+//       2023-03-06; SCL blips in 2023-05 and persists from 2023-06-29;
+//   (b) the heatmap: several dark mode triangles, a blank collection-
+//       outage band 2023-07..2023-12, small sub-mode boundaries
+//       (iv.a)..(iv.d), and a late mode that recurs toward mode (i)
+//       (paper: phi(Mi, Mv) = 0.31 vs phi(Miv, Mv) = 0.22).
+#include <iostream>
+
+#include "core/heatmap.h"
+#include "core/pipeline.h"
+#include "core/stackplot.h"
+#include "io/table.h"
+#include "scenarios/broot.h"
+
+using namespace fenrir;
+
+int main() {
+  std::cout << "=== Figure 3: B-Root catchments over five years ===\n";
+  const scenarios::BrootScenario scenario = scenarios::make_broot({});
+  const core::Dataset& d = scenario.dataset;
+
+  // (a) stack fractions, quarterly samples.
+  const auto stack = core::StackSeries::compute(d);
+  io::TextTable table;
+  std::vector<std::string> head{"date"};
+  for (const auto& name : scenario.site_names) head.push_back(name);
+  head.push_back("unknown");
+  table.header(std::move(head));
+  for (std::size_t t = 0; t < stack.times(); t += 13) {  // ~quarterly
+    std::vector<std::string> row{core::format_date(stack.time(t))};
+    for (const auto& name : scenario.site_names) {
+      row.push_back(
+          io::fixed(100 * stack.fraction(t, *d.sites.find(name)), 1));
+    }
+    row.push_back(io::fixed(100 * stack.fraction(t, core::kUnknownSite), 1));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  std::cout << "(columns are % of probed /24 blocks; ~half stay unknown "
+               "per round, like the paper's Verfploeter)\n";
+
+  // (b) the analysis.
+  core::AnalysisConfig cfg;
+  cfg.detector.min_drop = 0.03;
+  const core::AnalysisResult result = core::analyze(d, cfg);
+  std::cout << "\nmodes discovered: " << result.modes.size()
+            << " (paper: 6 major + sub-modes iv.a..iv.d)\n";
+  for (std::size_t i = 0; i + 1 < result.modes.size(); ++i) {
+    const auto inter = result.modes.inter(result.matrix, i, i + 1);
+    std::cout << "  phi(M" << result.modes.mode(i).label << ", M"
+              << result.modes.mode(i + 1).label << ") = ["
+              << io::fixed(inter.min, 2) << ", " << io::fixed(inter.max, 2)
+              << "]\n";
+  }
+
+  // Recurrence: the paper compares end-of-2019 routing with the
+  // post-outage mode (its mode (v)) and finds ~30% of networks back on
+  // their old routing. Locate the first mode after the outage and compare
+  // it to mode (i) and to its immediate neighbour.
+  for (std::size_t i = 1; i < result.modes.size(); ++i) {
+    if (result.modes.mode(i).start < core::from_date(2023, 11, 1)) continue;
+    const double vs_first = result.modes.median_inter(result.matrix, i, 0);
+    const double vs_prev = result.modes.median_inter(result.matrix, i, i - 1);
+    std::cout << "\npost-outage mode (" << result.modes.mode(i).label
+              << "): median phi vs mode (i) = " << io::fixed(vs_first, 2)
+              << ", vs its predecessor = " << io::fixed(vs_prev, 2)
+              << "\n(paper: phi(Mi, Mv) = 0.31 — about one-third of "
+                 "catchments return to their 2019 routing —\nversus "
+                 "phi(Miv, Mv) = 0.22 with the immediate neighbour)\n";
+    break;
+  }
+
+  std::cout << "\nall-pairs heatmap (dark = similar; blank band = "
+               "collection outage):\n"
+            << core::heatmap_ascii(result.matrix, 70);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Regenerates Figure 5: heatmap of Google front-end routing changes,
+// three days of 2013 plus sixty days of 2024 (EDNS Client-Subnet).
+//
+// Paper shape to reproduce: strong weekly modes (phi ~0.79 within a
+// week), weak similarity across weeks (~0.25), and zero similarity
+// between the 2013 rows and anything modern — the fleet was entirely
+// replaced over the decade.
+#include <iostream>
+
+#include "core/heatmap.h"
+#include "core/pipeline.h"
+#include "io/table.h"
+#include "scenarios/websites.h"
+#include "stats/stats.h"
+
+using namespace fenrir;
+
+int main() {
+  std::cout << "=== Figure 5: Google front-end routing changes ===\n";
+  const scenarios::GoogleScenario scenario = scenarios::make_google({});
+  const core::Dataset& d = scenario.dataset;
+  const core::SimilarityMatrix matrix = core::SimilarityMatrix::compute(d);
+
+  // Summarize the three phi regimes the paper reports.
+  std::vector<double> within_week, across_week, across_era;
+  for (std::size_t i = scenario.obs_2013; i < d.series.size(); ++i) {
+    for (std::size_t j = scenario.obs_2013; j < i; ++j) {
+      const std::int64_t wi = d.series[i].time / (7 * core::kDay);
+      const std::int64_t wj = d.series[j].time / (7 * core::kDay);
+      (wi == wj ? within_week : across_week).push_back(matrix.phi(i, j));
+    }
+  }
+  for (std::size_t i = 0; i < scenario.obs_2013; ++i) {
+    for (std::size_t j = scenario.obs_2013; j < d.series.size(); ++j) {
+      across_era.push_back(matrix.phi(i, j));
+    }
+  }
+
+  io::TextTable table;
+  table.header({"pair population", "pairs", "mean phi", "paper"});
+  table.row("within one week (2024)", within_week.size(),
+            io::fixed(stats::mean(within_week), 2), "~0.79");
+  table.row("across weeks (2024)", across_week.size(),
+            io::fixed(stats::mean(across_week), 2), "~0.25");
+  table.row("2013 vs 2024", across_era.size(),
+            io::fixed(stats::mean(across_era), 2), "~0.00");
+  table.print(std::cout);
+
+  std::cout << "\nall-pairs heatmap (first 3 rows/cols are 2013; "
+               "dark = similar):\n"
+            << core::heatmap_ascii(matrix, 63);
+  std::cout << "\nthe weekly dark blocks along the diagonal are the "
+               "paper's \"regularly scheduled changes\ncorresponding with "
+               "the work week\"; the 2013 rows match nothing.\n";
+  return 0;
+}

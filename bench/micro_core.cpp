@@ -1,0 +1,183 @@
+// Microbenchmarks of Fenrir's core operations: the costs that set how
+// large a deployment one analysis host can watch.
+#include <benchmark/benchmark.h>
+
+#include "bgp/routing.h"
+#include "bgp/topology_gen.h"
+#include "core/cluster.h"
+#include "core/compare.h"
+#include "core/events.h"
+#include "core/transition.h"
+#include "rng/rng.h"
+
+namespace {
+
+using namespace fenrir;
+
+core::RoutingVector random_vector(std::size_t n, std::size_t sites,
+                                  std::uint64_t seed, double unknown_frac) {
+  rng::Rng r(seed);
+  core::RoutingVector v;
+  v.assignment.resize(n);
+  for (auto& s : v.assignment) {
+    s = r.bernoulli(unknown_frac)
+            ? core::kUnknownSite
+            : static_cast<core::SiteId>(core::kFirstRealSite +
+                                        r.uniform(sites));
+  }
+  return v;
+}
+
+void BM_GowerPessimistic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vector(n, 8, 1, 0.5);
+  const auto b = random_vector(n, 8, 2, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::gower_similarity(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GowerPessimistic)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_GowerKnownOnly(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vector(n, 8, 1, 0.5);
+  const auto b = random_vector(n, 8, 2, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::gower_similarity(a, b, core::UnknownPolicy::kKnownOnly));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GowerKnownOnly)->Arg(100'000)->Arg(1'000'000);
+
+void BM_GowerWeighted(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vector(n, 8, 1, 0.5);
+  const auto b = random_vector(n, 8, 2, 0.5);
+  const std::vector<double> w(n, 1.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::gower_similarity(a, b, w));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GowerWeighted)->Arg(100'000)->Arg(1'000'000);
+
+core::Dataset random_dataset(std::size_t obs, std::size_t nets) {
+  core::Dataset d;
+  d.name = "bench";
+  for (std::size_t i = 0; i < nets; ++i) d.networks.intern(i);
+  for (int s = 0; s < 8; ++s) d.sites.intern("s" + std::to_string(s));
+  for (std::size_t t = 0; t < obs; ++t) {
+    auto v = random_vector(nets, 8, t, 0.3);
+    v.time = static_cast<core::TimePoint>(t) * core::kDay;
+    d.series.push_back(std::move(v));
+  }
+  return d;
+}
+
+void BM_SimilarityMatrix(benchmark::State& state) {
+  const auto d = random_dataset(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimilarityMatrix::compute(d));
+  }
+}
+BENCHMARK(BM_SimilarityMatrix)->Args({64, 5'000})->Args({128, 5'000})
+    ->Args({256, 2'000});
+
+void BM_SimilarityMatrixThreads(benchmark::State& state) {
+  const auto d = random_dataset(192, 4'000);
+  const auto threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimilarityMatrix::compute(
+        d, core::UnknownPolicy::kPessimistic, threads));
+  }
+}
+BENCHMARK(BM_SimilarityMatrixThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SlinkDendrogram(benchmark::State& state) {
+  const auto d = random_dataset(static_cast<std::size_t>(state.range(0)),
+                                1'000);
+  const auto m = core::SimilarityMatrix::compute(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::slink_dendrogram(m));
+  }
+}
+BENCHMARK(BM_SlinkDendrogram)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_AdaptiveClustering(benchmark::State& state) {
+  const auto d = random_dataset(static_cast<std::size_t>(state.range(0)),
+                                1'000);
+  const auto m = core::SimilarityMatrix::compute(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::cluster_adaptive(m, core::Linkage::kSingle));
+  }
+}
+BENCHMARK(BM_AdaptiveClustering)->Arg(128)->Arg(256);
+
+void BM_TransitionMatrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vector(n, 8, 1, 0.3);
+  const auto b = random_vector(n, 8, 2, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::TransitionMatrix::compute(a, b, 16));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TransitionMatrix)->Arg(100'000)->Arg(1'000'000);
+
+void BM_DetectChanges(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  rng::Rng r(5);
+  std::vector<double> phi(n);
+  std::vector<core::TimePoint> times(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    phi[i] = 0.95 + 0.02 * r.uniform01();
+    times[i] = static_cast<core::TimePoint>(i) * 240;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::detect_changes_from_phi(phi, times));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DetectChanges)->Arg(10'000)->Arg(100'000);
+
+void BM_TopologyGeneration(benchmark::State& state) {
+  bgp::TopologyParams p;
+  p.stub_count = static_cast<std::size_t>(state.range(0));
+  p.tier2_count = p.stub_count / 20;
+  p.seed = 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::generate_topology(p));
+  }
+}
+BENCHMARK(BM_TopologyGeneration)->Arg(1'000)->Arg(4'000);
+
+void BM_ComputeRoutes(benchmark::State& state) {
+  bgp::TopologyParams p;
+  p.stub_count = static_cast<std::size_t>(state.range(0));
+  p.tier2_count = p.stub_count / 20;
+  p.seed = 3;
+  const bgp::Topology topo = bgp::generate_topology(p);
+  const std::vector<bgp::Origin> origins{
+      {topo.stubs[0], 0, 0},
+      {topo.stubs[topo.stubs.size() / 2], 1, 0},
+      {topo.stubs.back(), 2, 0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bgp::compute_routes(topo.graph, origins));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(topo.graph.as_count()));
+}
+BENCHMARK(BM_ComputeRoutes)->Arg(1'000)->Arg(4'000)->Arg(16'000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

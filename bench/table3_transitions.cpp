@@ -1,0 +1,45 @@
+// Regenerates Table 3: transition matrices for the G-Root STR drain at
+// 4-minute resolution on 2024-03-04.
+//
+// Paper shape to reproduce:
+//   (a) 21:56 -> 22:00  a large STR -> NAP shift (paper: 3097 networks),
+//       with a sizable STR -> err population still converging (1542);
+//   (b) 22:00 -> 22:04  the drain completes: the err population recovers
+//       to NAP, and nobody remains at STR.
+#include <iostream>
+
+#include "core/transition.h"
+#include "scenarios/groot.h"
+
+using namespace fenrir;
+
+int main() {
+  std::cout << "=== Table 3: G-Root transition matrices, 2024-03-04 ===\n";
+  const scenarios::GrootScenario scenario = scenarios::make_groot({});
+  const core::Dataset& d = scenario.transition;
+
+  const auto t1 = core::TransitionMatrix::compute(d.series[0], d.series[1],
+                                                  d.sites.size());
+  const auto t2 = core::TransitionMatrix::compute(d.series[1], d.series[2],
+                                                  d.sites.size());
+
+  std::cout << "\n(a) large shift from STR to NAP, 21:56 -> 22:00\n";
+  t1.print(d.sites, std::cout);
+  std::cout << "\n(b) drain of STR completes, 22:00 -> 22:04\n";
+  t2.print(d.sites, std::cout);
+
+  std::cout << "\nlargest movements 21:56 -> 22:00:\n";
+  for (const auto& flow : t1.top_movers(3)) {
+    std::cout << "  " << d.sites.name(flow.from) << " -> "
+              << d.sites.name(flow.to) << ": " << flow.count << " VPs\n";
+  }
+  std::cout << "largest movements 22:00 -> 22:04:\n";
+  for (const auto& flow : t2.top_movers(3)) {
+    std::cout << "  " << d.sites.name(flow.from) << " -> "
+              << d.sites.name(flow.to) << ": " << flow.count << " VPs\n";
+  }
+  std::cout << "\nVPs still at STR after completion: "
+            << t2.col_total(*d.sites.find("STR"))
+            << " (paper: ~0 of thousands)\n";
+  return 0;
+}

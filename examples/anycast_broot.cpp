@@ -1,0 +1,83 @@
+// B-Root anycast over five years (the paper's §4.2 study, scaled):
+// discovers the routing modes behind site additions, removals, TE, and
+// third-party changes; quantifies mode recurrence; ties catchment changes
+// to latency the way Figure 4 does.
+//
+// Writes plot-ready artifacts to ./fenrir_out/:
+//   broot_stack.csv    — A(t) per site (Figure 3a)
+//   broot_heatmap.pgm  — all-pairs Φ heatmap (Figure 3b)
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/heatmap.h"
+#include "core/latency.h"
+#include "core/pipeline.h"
+#include "core/stackplot.h"
+#include "io/table.h"
+#include "scenarios/broot.h"
+
+using namespace fenrir;
+
+int main() {
+  scenarios::BrootConfig cfg;
+  std::cout << "building five years of B-Root/Verfploeter observations...\n";
+  const scenarios::BrootScenario scenario = scenarios::make_broot(cfg);
+  const core::Dataset& d = scenario.dataset;
+
+  core::AnalysisConfig ac;
+  ac.detector.min_drop = 0.03;
+  const core::AnalysisResult result = core::analyze(d, ac);
+  core::print_report(d, result, std::cout);
+
+  // Mode recurrence: the paper's "mode (v) is somewhat like mode (i)".
+  std::cout << "\nrecurrence check (later modes vs earlier ones):\n";
+  for (std::size_t i = 2; i < result.modes.size(); ++i) {
+    if (const auto r = result.modes.recurrence(result.matrix, i)) {
+      std::cout << "  mode (" << result.modes.mode(i).label
+                << ") most resembles mode ("
+                << result.modes.mode(r->earlier_mode).label
+                << "), median phi " << io::fixed(r->median_phi, 2) << "\n";
+    }
+  }
+
+  // Latency: per-site p90 at a few instants of the Figure 4 window.
+  std::cout << "\np90 latency per catchment (ms):\n";
+  io::TextTable lat_table;
+  std::vector<std::string> head{"date"};
+  for (core::SiteId s = core::kFirstRealSite; s < d.sites.size(); ++s) {
+    head.push_back(d.sites.name(s));
+  }
+  lat_table.header(std::move(head));
+  for (const char* date : {"2022-03-01", "2023-02-01", "2023-04-01",
+                           "2023-12-15"}) {
+    const std::size_t idx = d.index_at(*core::parse_time(date));
+    if (idx < scenario.rtt_first_index ||
+        idx - scenario.rtt_first_index >= scenario.rtt.size()) {
+      continue;
+    }
+    const auto& rtt = scenario.rtt[idx - scenario.rtt_first_index];
+    std::vector<std::string> row{date};
+    for (core::SiteId s = core::kFirstRealSite; s < d.sites.size(); ++s) {
+      const auto p90 = core::site_p90(d.series[idx], rtt, s);
+      row.push_back(p90 ? io::fixed(*p90, 0) : "-");
+    }
+    lat_table.add_row(std::move(row));
+  }
+  lat_table.print(std::cout);
+  std::cout << "(note ARI's high tail until its 2023-03-06 shutdown, and "
+               "SCL appearing after 2023-06-29)\n";
+
+  std::filesystem::create_directories("fenrir_out");
+  {
+    std::ofstream out("fenrir_out/broot_stack.csv");
+    core::StackSeries::compute(d).write_csv(out);
+  }
+  core::heatmap_image(result.matrix).write_pgm_file(
+      "fenrir_out/broot_heatmap.pgm");
+  core::mode_strip_image(result.clustering)
+      .write_ppm_file("fenrir_out/broot_modes.ppm");
+  std::cout << "\nwrote fenrir_out/broot_{stack.csv,heatmap.pgm,modes.ppm}"
+               " (the .ppm is the colored (i)..(vi) mode strip)\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Archive replay: Fenrir analysis from BGP archives alone.
+//
+// A researcher rarely gets to probe the live system; what they have is
+// twenty years of RouteViews MRT files. This example demonstrates that
+// workflow end to end:
+//
+//   phase 1 (the world happens): a simulated anycast service runs for
+//     six weeks with drains and a third-party change; a route collector
+//     archives every UPDATE — and nothing else is kept;
+//
+//   phase 2 (the analyst, later): reads the MRT archive cold, replays
+//     it through the control-plane probe to rebuild catchment vectors,
+//     and runs the standard Fenrir pipeline plus the online ModeBook on
+//     them. The operator's drains and their recurrences emerge from the
+//     archive bytes — and the third-party change does NOT, because it
+//     happened below the collector's peering horizon. That asymmetry is
+//     the paper's core argument for data-plane measurement.
+#include <iostream>
+#include <sstream>
+
+#include "bgp/mrt.h"
+#include "bgp/service.h"
+#include "core/modebook.h"
+#include "core/pipeline.h"
+#include "io/table.h"
+#include "measure/controlplane.h"
+#include "netbase/hitlist.h"
+#include "scenarios/world.h"
+
+using namespace fenrir;
+
+int main() {
+  // ---------- Phase 1: the world happens; only the archive survives. ---
+  std::ostringstream archive;
+  std::unordered_map<std::uint32_t, std::uint32_t> origin_site;
+  scenarios::WorldConfig wc;
+  wc.topo.seed = 0xa2c4;
+  wc.topo.stub_count = 1000;
+  scenarios::World world = scenarios::make_world(wc);
+
+  {
+    bgp::AsGraph& graph = world.topo.graph;
+    rng::Rng rng(5);
+    bgp::AnycastService service(*netbase::Prefix::parse("199.9.14.0/24"));
+    service.add_site(0, world.topo.stubs[2]);
+    service.add_site(1, world.topo.stubs[500]);
+    service.add_site(2, world.topo.stubs[900]);
+    for (const auto& o : service.active_origins()) {
+      origin_site[graph.node(o.as).asn.value()] = o.site;
+    }
+    const std::vector<bgp::Origin> verify = service.active_origins();
+    const auto cone = scenarios::add_shiftable_cone(
+        world, world.topo.stubs[2], world.topo.stubs[900], 0.12, 64910, rng,
+        &verify);
+
+    // Collector peers: half the tier-2s.
+    std::vector<bgp::AsIndex> peers;
+    for (std::size_t i = 0; i < world.topo.tier2.size(); i += 2) {
+      peers.push_back(world.topo.tier2[i]);
+    }
+    bgp::RouteCollector collector(&graph, peers,
+                                  *netbase::Prefix::parse("199.9.14.0/24"));
+    bgp::MrtWriter writer(archive);
+
+    const core::TimePoint t0 = core::from_date(2024, 5, 1);
+    for (int day = 0; day < 42; ++day) {
+      if (day == 10) service.set_drained(1, true);
+      if (day == 13) service.set_drained(1, false);
+      if (day == 25) service.set_drained(1, true);  // the drain recurs
+      if (day == 28) service.set_drained(1, false);
+      if (day == 34 && cone) cone->flip.apply(graph);  // third party
+      const auto& routing =
+          world.cache.get(graph, service.active_origins());
+      writer.write_batch(t0 + day * core::kDay, graph,
+                         collector.poll(routing));
+    }
+  }
+  const std::string bytes = archive.str();
+  std::cout << "phase 1: archived " << bytes.size()
+            << " bytes of MRT; simulator state discarded\n\n";
+
+  // ---------- Phase 2: the analyst, with the archive and a map. --------
+  // (The topology is public knowledge — prefix origins, AS adjacencies —
+  // the live routing state is not.)
+  netbase::Hitlist hitlist(world.topo.blocks, 1);
+  measure::ControlPlaneProbe probe(&hitlist, origin_site);
+
+  core::Dataset data;
+  data.name = "replayed from MRT";
+  for (std::size_t i = 0; i < hitlist.size(); ++i) {
+    data.networks.intern(hitlist.block(i));
+  }
+  core::SiteTable& sites = data.sites;
+  const std::vector<core::SiteId> site_map =
+      scenarios::make_site_mapping(sites, {"east", "central", "west"});
+
+  const auto frames = bgp::MrtReader::read_frames(
+      std::vector<std::uint8_t>(bytes.begin(), bytes.end()));
+  std::cout << "phase 2: replaying " << frames.size() << " MRT records\n";
+
+  // Group records by day; after each day's records, snapshot a vector.
+  core::TimePoint current_day = frames.front().timestamp;
+  const auto snapshot = [&](core::TimePoint t) {
+    core::RoutingVector v;
+    v.time = t;
+    v.assignment = probe.estimate(world.topo.graph, site_map);
+    data.series.push_back(std::move(v));
+  };
+  for (const auto& frame : frames) {
+    if (frame.timestamp != current_day) {
+      snapshot(current_day);
+      current_day = frame.timestamp;
+    }
+    const auto record = bgp::bgp4mp_from_frame(frame);
+    // Re-attribute the update to its peer by ASN.
+    bgp::CollectedUpdate u;
+    u.wire = record.message;
+    for (bgp::AsIndex as = 0; as < world.topo.graph.as_count(); ++as) {
+      if (world.topo.graph.node(as).asn.value() == record.peer_asn) {
+        u.peer = as;
+        break;
+      }
+    }
+    probe.ingest(u);
+  }
+  snapshot(current_day);
+
+  // Quiet days emit no records, so the replay yields vectors only for
+  // days with churn — exactly the archives' nature. Analyze what we have.
+  const core::AnalysisResult result = core::analyze(data);
+  core::print_report(data, result, std::cout);
+
+  core::ModeBook book;
+  std::cout << "\nonline replay through a ModeBook:\n";
+  for (const auto& v : data.series) {
+    const auto match = book.observe(v);
+    std::cout << "  " << core::format_date(v.time) << "  mode "
+              << match.mode
+              << (match.is_new ? "  NEW"
+                               : (match.is_recurrence ? "  RECURRENCE" : ""))
+              << "\n";
+  }
+  std::cout << "\nThe drained state (day 25) comes back as the SAME mode "
+               "the analyst saw on day 10 —\nrecurrence recovered purely "
+               "from archive bytes. Note what is MISSING: the day-34\n"
+               "third-party change moved ~12% of networks, but no "
+               "collector peer's own path\nchanged, so the archive is "
+               "silent about it. Control-plane data sees changes at\nits "
+               "peers; data-plane catchment measurement (Verfploeter, "
+               "traceroute, EDNS-CS)\nsees changes everywhere — the "
+               "paper's reason for building Fenrir on the data plane.\n";
+  return 0;
+}

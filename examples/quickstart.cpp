@@ -1,0 +1,124 @@
+// Quickstart: the whole Fenrir method on a small synthetic anycast
+// service, end to end —
+//
+//   1. build an Internet-like AS topology (the routing substrate),
+//   2. announce an anycast prefix from three sites,
+//   3. observe catchments daily with a Verfploeter-style probe,
+//   4. inject one operator drain and one third-party routing change,
+//   5. clean, compare (Gower Φ), cluster (HAC), and report: which
+//      routing modes existed, how similar they were, what changed when.
+//
+// Everything is deterministic: run it twice, get the same bytes.
+#include <iostream>
+
+#include "bgp/service.h"
+#include "bgp/topology_gen.h"
+#include "core/cleaning.h"
+#include "core/heatmap.h"
+#include "core/modebook.h"
+#include "core/pipeline.h"
+#include "measure/verfploeter.h"
+#include "netbase/hitlist.h"
+#include "scenarios/world.h"
+
+using namespace fenrir;
+
+int main() {
+  // --- 1. The substrate: a three-tier synthetic Internet. ---
+  scenarios::WorldConfig wc;
+  wc.topo.stub_count = 600;
+  wc.topo.seed = 2024;
+  scenarios::World world = scenarios::make_world(wc);
+  bgp::AsGraph& graph = world.topo.graph;
+  std::cout << "topology: " << graph.as_count() << " ASes, "
+            << world.topo.blocks.size() << " /24 blocks announced\n";
+
+  // --- 2. An anycast service with three sites. ---
+  bgp::AnycastService service(*netbase::Prefix::parse("192.0.2.0/24"));
+  const bgp::AsIndex site_a = world.topo.stubs[10];
+  const bgp::AsIndex site_b = world.topo.stubs[250];
+  const bgp::AsIndex site_c = world.topo.stubs[500];
+  service.add_site(0, site_a);
+  service.add_site(1, site_b);
+  service.add_site(2, site_c);
+
+  // A third-party knob: a transit cone that can flip networks from site
+  // A to site C without the operator doing anything.
+  rng::Rng rng(7);
+  const std::vector<bgp::Origin> verify = service.active_origins();
+  const scenarios::ShiftableCone cone = *scenarios::add_shiftable_cone(
+      world, site_a, site_c, 0.15, 64900, rng, &verify);
+
+  // --- 3. The measurement: Verfploeter over every announced /24. ---
+  netbase::Hitlist hitlist(world.topo.blocks, 42);
+  measure::VerfploeterConfig vpc;
+  vpc.seed = 42;
+  const measure::VerfploeterProbe probe(&hitlist, vpc);
+
+  core::Dataset data;
+  data.name = "quickstart/anycast";
+  for (std::size_t i = 0; i < hitlist.size(); ++i) {
+    data.networks.intern(hitlist.block(i));
+  }
+  const std::vector<core::SiteId> site_map = scenarios::make_site_mapping(
+      data.sites, {"alpha", "beta", "gamma"});
+
+  // --- 4. Sixty daily observations with two events. ---
+  const core::TimePoint t0 = core::from_date(2025, 1, 1);
+  for (int day = 0; day < 60; ++day) {
+    const core::TimePoint t = t0 + day * core::kDay;
+    if (day == 20) service.set_drained(1, true);   // operator drains beta
+    if (day == 30) service.set_drained(1, false);  // ...and restores it
+    if (day == 45) cone.flip.apply(graph);         // third-party change
+    const bgp::RoutingTable& routing =
+        world.cache.get(graph, service.active_origins());
+    core::RoutingVector v;
+    v.time = t;
+    v.assignment = probe.measure(t, graph, routing, site_map);
+    data.series.push_back(std::move(v));
+  }
+
+  // --- 5. Clean, analyze, report. ---
+  // fill_edges replicates the nearest successful observation into leading
+  // and trailing gaps, the way the paper's Verfploeter pipeline does.
+  // Without it, networks whose last response predates the series end stay
+  // unknown there, and Φ would sag artificially toward the boundary.
+  core::InterpolateConfig icfg;
+  icfg.fill_edges = true;
+  const core::CleaningStats cleaned = core::interpolate_missing(data, icfg);
+  std::cout << "cleaning: filled " << cleaned.gaps_filled
+            << " missing observations\n\n";
+
+  // Known-only Φ (the paper's §2.6.1 refinement) judges similarity over
+  // the networks we actually observed, so modes stand out sharply even
+  // though Verfploeter leaves half the blocks dark each round.
+  core::AnalysisConfig acfg;
+  acfg.policy = core::UnknownPolicy::kKnownOnly;
+  const core::AnalysisResult result = core::analyze(data, acfg);
+  core::print_report(data, result, std::cout);
+
+  std::cout << "\nall-pairs similarity (dark = similar):\n"
+            << core::heatmap_ascii(result.matrix, 60) << "\n";
+
+  // The same question, answered online: feed the vectors to a ModeBook
+  // as they "arrive" and watch it rediscover the baseline mode after the
+  // drain ends — no retrospective clustering required.
+  core::ModeBook book;
+  std::size_t recurrences = 0, new_modes = 0;
+  for (const auto& v : data.series) {
+    const auto match = book.observe(v);
+    recurrences += match.is_recurrence;
+    new_modes += match.is_new;
+  }
+  std::cout << "online ModeBook: " << book.mode_count()
+            << " modes discovered, " << new_modes << " foundings, "
+            << recurrences
+            << " recurrences (the post-drain return to the baseline is one "
+               "of them)\n\n";
+
+  std::cout << "The two dark diagonal blocks before day 45 are the drain "
+               "mode inside the\nbaseline mode; the final block is the "
+               "third-party shift the operator never\nconfigured — exactly "
+               "the situation Fenrir exists to expose.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Validation against operator ground truth (the paper's §3): run the
+// change detector over weeks of minute-scale Atlas observations of an
+// anycast service, group the operator's raw maintenance log the way the
+// paper does (same operator within ten minutes), and score detections —
+// reproducing the Table 4 accounting, including the detections that match
+// nothing in the log and are exactly the third-party changes Fenrir is
+// built to surface.
+#include <iostream>
+
+#include "core/events.h"
+#include "io/table.h"
+#include "scenarios/validation_scenario.h"
+#include "validation/confusion.h"
+
+using namespace fenrir;
+
+int main() {
+  std::cout << "generating weeks of 8-minute Atlas observations with a "
+               "maintenance schedule...\n";
+  const scenarios::ValidationScenario scenario =
+      scenarios::make_validation({});
+
+  const auto groups = validation::group_entries(scenario.log_entries);
+  std::cout << scenario.log_entries.size() << " raw log entries -> "
+            << groups.size() << " event groups\n";
+
+  const auto detections = core::detect_changes(scenario.dataset);
+  std::cout << detections.size() << " changes detected by Fenrir\n\n";
+
+  const auto result = validation::validate(groups, detections);
+  validation::print_validation(result, std::cout);
+
+  std::cout << "\nThe " << result.third_party_candidates
+            << " unmatched detections correspond to the "
+            << scenario.third_party_events
+            << " third-party preference changes the scenario injected "
+               "upstream —\nroutes the operator never touched. Treating "
+               "them as false positives is what\ncaps precision; they are "
+               "really Fenrir's added visibility.\n";
+  return 0;
+}

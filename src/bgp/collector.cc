@@ -1,0 +1,59 @@
+#include "bgp/collector.h"
+
+#include <stdexcept>
+
+namespace fenrir::bgp {
+
+RouteCollector::RouteCollector(const AsGraph* graph,
+                               std::vector<AsIndex> peers,
+                               netbase::Prefix prefix)
+    : graph_(graph), peers_(std::move(peers)), prefix_(prefix) {
+  if (graph_ == nullptr) {
+    throw std::invalid_argument("RouteCollector: null graph");
+  }
+  for (const AsIndex p : peers_) {
+    if (p >= graph_->as_count()) {
+      throw std::out_of_range("RouteCollector: bad peer index");
+    }
+  }
+}
+
+std::vector<std::uint32_t> RouteCollector::asn_path_of(
+    const RoutingTable& routing, AsIndex peer) const {
+  std::vector<std::uint32_t> out;
+  for (const AsIndex hop : routing.as_path(peer)) {
+    out.push_back(graph_->node(hop).asn.value());
+  }
+  return out;
+}
+
+std::vector<CollectedUpdate> RouteCollector::poll(
+    const RoutingTable& routing) {
+  std::vector<CollectedUpdate> out;
+  for (const AsIndex peer : peers_) {
+    const bool reachable = routing.at(peer).reachable;
+    const std::vector<std::uint32_t> path =
+        reachable ? asn_path_of(routing, peer) : std::vector<std::uint32_t>{};
+
+    const auto it = rib_.find(peer);
+    const bool had = it != rib_.end();
+    if (reachable) {
+      if (had && it->second == path) continue;  // no change
+      UpdateMessage msg;
+      msg.as_path = path;
+      msg.next_hop = netbase::Ipv4Addr(
+          (graph_->node(peer).asn.value() << 8) | 1);  // peer session addr
+      msg.nlri = {prefix_};
+      out.push_back(CollectedUpdate{peer, msg.encode()});
+      rib_[peer] = path;
+    } else if (had) {
+      UpdateMessage msg;
+      msg.withdrawn = {prefix_};
+      out.push_back(CollectedUpdate{peer, msg.encode()});
+      rib_.erase(peer);
+    }
+  }
+  return out;
+}
+
+}  // namespace fenrir::bgp

@@ -1,0 +1,60 @@
+// fenrir::bgp — a RouteViews/RIS-style route collector.
+//
+// A collector holds passive BGP sessions with a set of peer ASes; each
+// peer advertises its current best route to the monitored prefix. This
+// module turns the simulator's routing state into exactly the artifact a
+// real collector archives: a stream of wire-format UPDATE messages per
+// peer — announcements when a peer's path changes, withdrawals when it
+// loses the route. Consecutive poll() calls diff against the previous
+// routing state, so a site drain produces the burst of updates a real
+// event produces at RouteViews.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/graph.h"
+#include "bgp/routing.h"
+#include "bgp/update_codec.h"
+
+namespace fenrir::bgp {
+
+struct CollectedUpdate {
+  AsIndex peer = kNoAs;
+  std::vector<std::uint8_t> wire;  // one encoded UPDATE
+};
+
+class RouteCollector {
+ public:
+  /// @p graph must outlive the collector. @p peers are the ASes holding
+  /// sessions with the collector; @p prefix is the monitored prefix.
+  RouteCollector(const AsGraph* graph, std::vector<AsIndex> peers,
+                 netbase::Prefix prefix);
+
+  const std::vector<AsIndex>& peers() const noexcept { return peers_; }
+
+  /// Diffs each peer's best path against the previous poll and returns
+  /// the UPDATE stream (empty when routing did not change for any peer).
+  /// The first poll announces every reachable peer's path.
+  std::vector<CollectedUpdate> poll(const RoutingTable& routing);
+
+  /// The collector's current RIB view: ASN path per peer (empty optional
+  /// = peer currently has no route).
+  const std::unordered_map<AsIndex, std::vector<std::uint32_t>>& rib()
+      const noexcept {
+    return rib_;
+  }
+
+ private:
+  std::vector<std::uint32_t> asn_path_of(const RoutingTable& routing,
+                                         AsIndex peer) const;
+
+  const AsGraph* graph_;
+  std::vector<AsIndex> peers_;
+  netbase::Prefix prefix_;
+  std::unordered_map<AsIndex, std::vector<std::uint32_t>> rib_;
+};
+
+}  // namespace fenrir::bgp

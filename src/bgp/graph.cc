@@ -1,0 +1,87 @@
+#include "bgp/graph.h"
+
+#include <algorithm>
+
+namespace fenrir::bgp {
+
+AsIndex AsGraph::add_as(netbase::Asn asn, AsTier tier, geo::Coord location,
+                        std::string name) {
+  if (by_asn_.contains(asn.value())) {
+    throw std::invalid_argument("duplicate ASN " + asn.to_string());
+  }
+  const AsIndex index = static_cast<AsIndex>(nodes_.size());
+  nodes_.push_back(AsNode{asn, tier, location, std::move(name), {}});
+  by_asn_.emplace(asn.value(), index);
+  ++version_;
+  return index;
+}
+
+void AsGraph::add_link(AsIndex a, AsIndex b, Relation relation) {
+  if (a == b) throw std::invalid_argument("self link");
+  if (a >= nodes_.size() || b >= nodes_.size()) {
+    throw std::out_of_range("add_link: bad AS index");
+  }
+  if (find_link(a, b) != nullptr) {
+    throw std::invalid_argument("link already exists");
+  }
+  nodes_[a].links.push_back(Link{b, relation, 0, true});
+  nodes_[b].links.push_back(Link{a, reverse(relation), 0, true});
+  ++version_;
+}
+
+Link* AsGraph::find_link(AsIndex owner, AsIndex neighbor) {
+  if (owner >= nodes_.size()) throw std::out_of_range("bad AS index");
+  auto& links = nodes_[owner].links;
+  const auto it = std::find_if(links.begin(), links.end(), [&](const Link& l) {
+    return l.neighbor == neighbor;
+  });
+  return it == links.end() ? nullptr : &*it;
+}
+
+void AsGraph::set_link_up(AsIndex a, AsIndex b, bool up) {
+  Link* ab = find_link(a, b);
+  Link* ba = find_link(b, a);
+  if (ab == nullptr || ba == nullptr) {
+    throw std::invalid_argument("set_link_up: no such link");
+  }
+  if (ab->up != up) {
+    ab->up = up;
+    ba->up = up;
+    ++version_;
+  }
+}
+
+void AsGraph::set_local_pref_adjust(AsIndex owner, AsIndex neighbor,
+                                    std::int16_t adjust) {
+  Link* link = find_link(owner, neighbor);
+  if (link == nullptr) {
+    throw std::invalid_argument("set_local_pref_adjust: no such link");
+  }
+  const std::int16_t clamped = std::clamp<std::int16_t>(adjust, -99, 99);
+  if (link->local_pref_adjust != clamped) {
+    link->local_pref_adjust = clamped;
+    ++version_;
+  }
+}
+
+std::optional<AsIndex> AsGraph::index_of(netbase::Asn asn) const {
+  const auto it = by_asn_.find(asn.value());
+  if (it == by_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+void AsGraph::announce_prefix(const netbase::Prefix& prefix, AsIndex origin) {
+  if (origin >= nodes_.size()) {
+    throw std::out_of_range("announce_prefix: bad AS index");
+  }
+  prefix_origins_.insert(prefix, origin);
+  ++version_;
+}
+
+std::size_t AsGraph::link_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& node : nodes_) n += node.links.size();
+  return n;
+}
+
+}  // namespace fenrir::bgp

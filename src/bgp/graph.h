@@ -1,0 +1,122 @@
+// fenrir::bgp — the AS-level Internet graph.
+//
+// Nodes are autonomous systems; edges carry a business relationship
+// (customer/provider or peer) per Gao–Rexford, plus a per-direction
+// local-preference adjustment used to model traffic engineering. The graph
+// is the substrate under every Fenrir measurement: anycast catchments,
+// enterprise egress paths, and third-party routing changes are all
+// phenomena of policy routing over this graph.
+//
+// The graph is mutable (events flip links and preferences); a version
+// counter lets route computations be cached per topology state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geo.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix_trie.h"
+
+namespace fenrir::bgp {
+
+/// Dense index of an AS within a graph.
+using AsIndex = std::uint32_t;
+inline constexpr AsIndex kNoAs = ~AsIndex{0};
+
+/// The relationship of a neighbor *to this AS* along a link.
+enum class Relation : std::uint8_t {
+  kCustomer,  // neighbor is my customer (I provide transit to it)
+  kProvider,  // neighbor is my provider
+  kPeer,      // settlement-free peer
+};
+
+/// Flips perspective: my customer sees me as its provider.
+constexpr Relation reverse(Relation r) noexcept {
+  switch (r) {
+    case Relation::kCustomer: return Relation::kProvider;
+    case Relation::kProvider: return Relation::kCustomer;
+    case Relation::kPeer: return Relation::kPeer;
+  }
+  return Relation::kPeer;
+}
+
+/// Coarse role in the hierarchy; used by generators and reports.
+enum class AsTier : std::uint8_t { kTier1, kTier2, kStub };
+
+struct Link {
+  AsIndex neighbor = kNoAs;
+  Relation relation = Relation::kPeer;  // neighbor's role relative to owner
+  /// Local-preference adjustment applied by the *owning* AS to routes
+  /// learned from this neighbor. Clamped to (-100, 100) so it can reorder
+  /// within a relationship class but never across classes (Gao–Rexford
+  /// class ordering is an invariant Fenrir's simulator maintains).
+  std::int16_t local_pref_adjust = 0;
+  bool up = true;  // link state; events can take links down
+};
+
+struct AsNode {
+  netbase::Asn asn;
+  AsTier tier = AsTier::kStub;
+  geo::Coord location;
+  std::string name;  // optional human label ("NTT", "LosNettos")
+  std::vector<Link> links;
+};
+
+class AsGraph {
+ public:
+  /// Adds an AS; ASNs must be unique. Returns its dense index.
+  AsIndex add_as(netbase::Asn asn, AsTier tier, geo::Coord location,
+                 std::string name = {});
+
+  /// Adds a bidirectional adjacency. @p relation is b's role relative to a
+  /// (kCustomer means "b is a's customer"). Throws if the link exists.
+  void add_link(AsIndex a, AsIndex b, Relation relation);
+
+  /// Sets link state (both directions). Throws if no such link.
+  void set_link_up(AsIndex a, AsIndex b, bool up);
+
+  /// Sets the local-pref adjustment @p owner applies to routes from
+  /// @p neighbor. Clamped to [-99, 99]. Throws if no such link.
+  void set_local_pref_adjust(AsIndex owner, AsIndex neighbor,
+                             std::int16_t adjust);
+
+  std::size_t as_count() const noexcept { return nodes_.size(); }
+  const AsNode& node(AsIndex i) const { return nodes_.at(i); }
+  AsNode& node(AsIndex i) { return nodes_.at(i); }
+
+  std::optional<AsIndex> index_of(netbase::Asn asn) const;
+
+  /// Registers a prefix originated by @p origin; longest-prefix match
+  /// resolves addresses to their origin AS.
+  void announce_prefix(const netbase::Prefix& prefix, AsIndex origin);
+
+  /// The AS originating the most-specific prefix covering @p addr.
+  std::optional<AsIndex> origin_of(netbase::Ipv4Addr addr) const {
+    return prefix_origins_.lookup(addr);
+  }
+  std::optional<AsIndex> origin_of(const netbase::Prefix& p) const {
+    return prefix_origins_.lookup(p.base());
+  }
+
+  /// Monotone counter bumped by every topology/policy mutation; cache key
+  /// for route computations.
+  std::uint64_t version() const noexcept { return version_; }
+
+  /// Total directed link records (2x undirected edge count).
+  std::size_t link_count() const noexcept;
+
+ private:
+  Link* find_link(AsIndex owner, AsIndex neighbor);
+
+  std::vector<AsNode> nodes_;
+  std::unordered_map<std::uint32_t, AsIndex> by_asn_;
+  netbase::PrefixTrie<AsIndex> prefix_origins_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace fenrir::bgp

@@ -1,0 +1,87 @@
+#include "bgp/hegemony.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fenrir::bgp {
+
+namespace {
+
+/// Trimmed mean of 0/1 indicators: drop ceil(trim*n) values from each
+/// end after sorting, average the rest. With all-equal values trimming
+/// is a no-op; with mixed values it discards the extreme vantages.
+double trimmed_mean(std::vector<double> values, double trim) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t cut = static_cast<std::size_t>(
+      std::ceil(trim * static_cast<double>(values.size())));
+  if (2 * cut >= values.size()) {
+    // Degenerate trim: fall back to the median.
+    return values[values.size() / 2];
+  }
+  double sum = 0.0;
+  for (std::size_t i = cut; i < values.size() - cut; ++i) sum += values[i];
+  return sum / static_cast<double>(values.size() - 2 * cut);
+}
+
+}  // namespace
+
+std::unordered_map<AsIndex, double> as_hegemony(
+    const AsGraph& graph, AsIndex destination,
+    const std::vector<AsIndex>& vantages, const HegemonyConfig& config) {
+  if (vantages.empty()) {
+    throw std::invalid_argument("as_hegemony: no vantage points");
+  }
+  if (destination >= graph.as_count()) {
+    throw std::out_of_range("as_hegemony: bad destination");
+  }
+
+  const RoutingTable routing =
+      compute_routes(graph, {Origin{destination, 0, 0}});
+
+  // indicator[t] has one 0/1 entry per vantage.
+  std::unordered_map<AsIndex, std::vector<double>> indicator;
+  for (std::size_t v = 0; v < vantages.size(); ++v) {
+    const auto path = routing.as_path(vantages[v]);
+    for (const AsIndex hop : path) {
+      if (hop == destination || hop == vantages[v]) continue;
+      auto& column = indicator[hop];
+      column.resize(vantages.size(), 0.0);
+      column[v] = 1.0;
+    }
+  }
+
+  std::unordered_map<AsIndex, double> out;
+  for (auto& [as, column] : indicator) {
+    column.resize(vantages.size(), 0.0);  // vantages that never saw it
+    const double h = trimmed_mean(std::move(column), config.trim);
+    if (h > 0.0) out.emplace(as, h);
+  }
+  return out;
+}
+
+std::unordered_map<AsIndex, double> country_hegemony(
+    const AsGraph& graph, const std::vector<AsIndex>& country_ases,
+    const std::vector<AsIndex>& vantages, const HegemonyConfig& config) {
+  if (country_ases.empty()) {
+    throw std::invalid_argument("country_hegemony: empty country");
+  }
+  std::unordered_map<AsIndex, double> sum;
+  for (const AsIndex dst : country_ases) {
+    for (const auto& [as, h] : as_hegemony(graph, dst, vantages, config)) {
+      // A country's own ASes are infrastructure, not external dependency.
+      if (std::find(country_ases.begin(), country_ases.end(), as) !=
+          country_ases.end()) {
+        continue;
+      }
+      sum[as] += h;
+    }
+  }
+  for (auto& [as, h] : sum) {
+    h /= static_cast<double>(country_ases.size());
+  }
+  return sum;
+}
+
+}  // namespace fenrir::bgp

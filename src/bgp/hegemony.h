@@ -1,0 +1,46 @@
+// fenrir::bgp — AS hegemony (Fontugne, Shah & Aben, PAM 2018).
+//
+// The paper lists country-level routing analysis among Fenrir's problem
+// domains: "Organizations such as RIPE evaluate country-level Internet
+// access with metrics such as AS-hegemony" (§2.1), computed from
+// control-plane AS paths. Hegemony measures how much of the routing
+// toward a destination depends on each transit AS: 1.0 means every
+// observed path crosses it (a single point of failure); values near 0
+// mean it is incidental.
+//
+// Following the original method, the score for transit t toward
+// destination d is the trimmed mean over vantage points of the indicator
+// "the vantage's best path to d traverses t" — trimming removes the
+// extreme vantages so a few pathological views (a vantage inside t, a
+// stub with weird policy) cannot dominate. The destination itself and
+// each path's own vantage are excluded from scoring.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/graph.h"
+#include "bgp/routing.h"
+
+namespace fenrir::bgp {
+
+struct HegemonyConfig {
+  /// Fraction of extreme vantage observations trimmed from EACH end
+  /// (the method's default 10%).
+  double trim = 0.10;
+};
+
+/// Hegemony of every AS that appears on some vantage path toward
+/// @p destination. @p vantages must be non-empty; vantages without a
+/// route contribute all-zero indicators (they observe "no dependency").
+std::unordered_map<AsIndex, double> as_hegemony(
+    const AsGraph& graph, AsIndex destination,
+    const std::vector<AsIndex>& vantages, const HegemonyConfig& config = {});
+
+/// Country-level hegemony: the mean of per-destination hegemony over all
+/// of a country's ASes (RIPE country reports aggregate exactly this way).
+std::unordered_map<AsIndex, double> country_hegemony(
+    const AsGraph& graph, const std::vector<AsIndex>& country_ases,
+    const std::vector<AsIndex>& vantages, const HegemonyConfig& config = {});
+
+}  // namespace fenrir::bgp

@@ -1,0 +1,306 @@
+#include "bgp/mrt.h"
+
+#include <ostream>
+
+namespace fenrir::bgp {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const auto v =
+        static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = u16();
+    return (v << 16) | u16();
+  }
+  std::span<const std::uint8_t> take(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw BgpError("truncated MRT body");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+void put_prefix(std::vector<std::uint8_t>& out, const netbase::Prefix& p) {
+  out.push_back(static_cast<std::uint8_t>(p.length()));
+  const std::uint32_t base = p.base().value();
+  for (int i = 0; i < (p.length() + 7) / 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(base >> (8 * (3 - i))));
+  }
+}
+
+netbase::Prefix get_prefix(Cursor& c) {
+  const std::uint8_t len = c.u8();
+  if (len > 32) throw BgpError("prefix length > 32");
+  const auto bytes = c.take(static_cast<std::size_t>((len + 7) / 8));
+  std::uint32_t base = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    base <<= 8;
+    if (i < bytes.size()) base |= bytes[i];
+  }
+  base &= netbase::Prefix::mask_for(len);
+  return netbase::Prefix(netbase::Ipv4Addr(base), len);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> MrtFrame::encode() const {
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(timestamp));
+  put_u16(out, type);
+  put_u16(out, subtype);
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+MrtFrame make_bgp4mp_frame(const MrtRecord& record) {
+  MrtFrame f;
+  f.timestamp = record.timestamp;
+  f.type = kMrtTypeBgp4mp;
+  f.subtype = kMrtSubtypeMessageAs4;
+  put_u32(f.body, record.peer_asn);
+  put_u32(f.body, record.local_asn);
+  put_u16(f.body, 0);  // interface index
+  put_u16(f.body, 1);  // AFI: IPv4
+  put_u32(f.body, record.peer_addr.value());
+  put_u32(f.body, record.local_addr.value());
+  f.body.insert(f.body.end(), record.message.begin(), record.message.end());
+  return f;
+}
+
+std::vector<std::uint8_t> MrtRecord::encode() const {
+  return make_bgp4mp_frame(*this).encode();
+}
+
+MrtFrame make_peer_index_frame(core::TimePoint timestamp,
+                               const PeerIndexTable& table) {
+  MrtFrame f;
+  f.timestamp = timestamp;
+  f.type = kMrtTypeTableDumpV2;
+  f.subtype = kMrtSubtypePeerIndexTable;
+  put_u32(f.body, table.collector_id.value());
+  if (table.view_name.size() > 0xffff) throw BgpError("view name too long");
+  put_u16(f.body, static_cast<std::uint16_t>(table.view_name.size()));
+  f.body.insert(f.body.end(), table.view_name.begin(), table.view_name.end());
+  if (table.peers.size() > 0xffff) throw BgpError("too many peers");
+  put_u16(f.body, static_cast<std::uint16_t>(table.peers.size()));
+  for (const auto& peer : table.peers) {
+    f.body.push_back(0x02);  // IPv4 address, 4-octet AS number
+    put_u32(f.body, peer.bgp_id.value());
+    put_u32(f.body, peer.addr.value());
+    put_u32(f.body, peer.asn);
+  }
+  return f;
+}
+
+MrtFrame make_rib_frame(core::TimePoint timestamp, const RibPrefix& rib) {
+  MrtFrame f;
+  f.timestamp = timestamp;
+  f.type = kMrtTypeTableDumpV2;
+  f.subtype = kMrtSubtypeRibIpv4Unicast;
+  put_u32(f.body, rib.sequence);
+  put_prefix(f.body, rib.prefix);
+  if (rib.entries.size() > 0xffff) throw BgpError("too many RIB entries");
+  put_u16(f.body, static_cast<std::uint16_t>(rib.entries.size()));
+  for (const auto& entry : rib.entries) {
+    put_u16(f.body, entry.peer_index);
+    put_u32(f.body, static_cast<std::uint32_t>(entry.originated));
+    const auto attrs = encode_path_attributes(entry.attributes);
+    if (attrs.size() > 0xffff) throw BgpError("RIB attributes too long");
+    put_u16(f.body, static_cast<std::uint16_t>(attrs.size()));
+    f.body.insert(f.body.end(), attrs.begin(), attrs.end());
+  }
+  return f;
+}
+
+MrtRecord bgp4mp_from_frame(const MrtFrame& frame) {
+  if (frame.type != kMrtTypeBgp4mp ||
+      frame.subtype != kMrtSubtypeMessageAs4) {
+    throw BgpError("unsupported MRT record type " +
+                   std::to_string(frame.type) + "/" +
+                   std::to_string(frame.subtype));
+  }
+  Cursor c(frame.body);
+  MrtRecord out;
+  out.timestamp = frame.timestamp;
+  out.peer_asn = c.u32();
+  out.local_asn = c.u32();
+  (void)c.u16();  // interface index
+  if (c.u16() != 1) throw BgpError("non-IPv4 MRT record");
+  out.peer_addr = netbase::Ipv4Addr(c.u32());
+  out.local_addr = netbase::Ipv4Addr(c.u32());
+  const auto rest = c.take(c.remaining());
+  out.message.assign(rest.begin(), rest.end());
+  return out;
+}
+
+PeerIndexTable peer_index_from_frame(const MrtFrame& frame) {
+  if (frame.type != kMrtTypeTableDumpV2 ||
+      frame.subtype != kMrtSubtypePeerIndexTable) {
+    throw BgpError("not a PEER_INDEX_TABLE frame");
+  }
+  Cursor c(frame.body);
+  PeerIndexTable out;
+  out.collector_id = netbase::Ipv4Addr(c.u32());
+  const std::uint16_t name_len = c.u16();
+  const auto name = c.take(name_len);
+  out.view_name.assign(name.begin(), name.end());
+  const std::uint16_t count = c.u16();
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint8_t peer_type = c.u8();
+    if (peer_type & 0x01) throw BgpError("IPv6 peer not supported");
+    PeerIndexTable::Peer peer;
+    peer.bgp_id = netbase::Ipv4Addr(c.u32());
+    peer.addr = netbase::Ipv4Addr(c.u32());
+    peer.asn = (peer_type & 0x02) ? c.u32() : c.u16();
+    out.peers.push_back(peer);
+  }
+  return out;
+}
+
+RibPrefix rib_from_frame(const MrtFrame& frame) {
+  if (frame.type != kMrtTypeTableDumpV2 ||
+      frame.subtype != kMrtSubtypeRibIpv4Unicast) {
+    throw BgpError("not a RIB_IPV4_UNICAST frame");
+  }
+  Cursor c(frame.body);
+  RibPrefix out;
+  out.sequence = c.u32();
+  out.prefix = get_prefix(c);
+  const std::uint16_t count = c.u16();
+  for (std::uint16_t i = 0; i < count; ++i) {
+    RibPrefix::Entry entry;
+    entry.peer_index = c.u16();
+    entry.originated = static_cast<core::TimePoint>(c.u32());
+    const std::uint16_t attr_len = c.u16();
+    entry.attributes = decode_path_attributes(c.take(attr_len));
+    out.entries.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void MrtWriter::write(const MrtFrame& frame) {
+  const auto bytes = frame.encode();
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+void MrtWriter::write_batch(core::TimePoint timestamp, const AsGraph& graph,
+                            std::span<const CollectedUpdate> updates,
+                            std::uint32_t collector_asn,
+                            netbase::Ipv4Addr collector_addr) {
+  for (const CollectedUpdate& u : updates) {
+    MrtRecord record;
+    record.timestamp = timestamp;
+    record.peer_asn = graph.node(u.peer).asn.value();
+    record.local_asn = collector_asn;
+    record.peer_addr =
+        netbase::Ipv4Addr((record.peer_asn << 8) | 1);  // session addr
+    record.local_addr = collector_addr;
+    record.message = u.wire;
+    write(record);
+  }
+}
+
+void MrtWriter::write_rib_dump(core::TimePoint timestamp,
+                               const AsGraph& graph,
+                               const RouteCollector& collector,
+                               const netbase::Prefix& prefix) {
+  PeerIndexTable table;
+  table.collector_id = netbase::Ipv4Addr(128, 223, 51, 102);
+  table.view_name = "fenrir";
+  for (const AsIndex peer : collector.peers()) {
+    PeerIndexTable::Peer p;
+    p.asn = graph.node(peer).asn.value();
+    p.addr = netbase::Ipv4Addr((p.asn << 8) | 1);
+    p.bgp_id = p.addr;
+    table.peers.push_back(p);
+  }
+  write(make_peer_index_frame(timestamp, table));
+
+  RibPrefix rib;
+  rib.sequence = 0;
+  rib.prefix = prefix;
+  for (std::size_t i = 0; i < collector.peers().size(); ++i) {
+    const auto it = collector.rib().find(collector.peers()[i]);
+    if (it == collector.rib().end()) continue;  // peer has no route
+    RibPrefix::Entry entry;
+    entry.peer_index = static_cast<std::uint16_t>(i);
+    entry.originated = timestamp;
+    entry.attributes.as_path = it->second;
+    entry.attributes.next_hop = table.peers[i].addr;
+    rib.entries.push_back(std::move(entry));
+  }
+  write(make_rib_frame(timestamp, rib));
+}
+
+std::optional<MrtFrame> MrtReader::next() {
+  if (pos_ == data_.size()) return std::nullopt;
+  if (pos_ + 12 > data_.size()) throw BgpError("truncated MRT header");
+  const auto u16_at = [&](std::size_t at) {
+    return static_cast<std::uint16_t>((data_[at] << 8) | data_[at + 1]);
+  };
+  const auto u32_at = [&](std::size_t at) {
+    return (static_cast<std::uint32_t>(u16_at(at)) << 16) | u16_at(at + 2);
+  };
+  MrtFrame out;
+  out.timestamp = static_cast<core::TimePoint>(u32_at(pos_));
+  out.type = u16_at(pos_ + 4);
+  out.subtype = u16_at(pos_ + 6);
+  const std::uint32_t length = u32_at(pos_ + 8);
+  pos_ += 12;
+  if (pos_ + length > data_.size()) throw BgpError("truncated MRT record");
+  out.body.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + length));
+  pos_ += length;
+  return out;
+}
+
+std::vector<MrtFrame> MrtReader::read_frames(
+    std::span<const std::uint8_t> data) {
+  MrtReader reader(data);
+  std::vector<MrtFrame> out;
+  while (auto frame = reader.next()) out.push_back(std::move(*frame));
+  return out;
+}
+
+std::vector<MrtRecord> MrtReader::read_all(
+    std::span<const std::uint8_t> data) {
+  std::vector<MrtRecord> out;
+  for (const MrtFrame& frame : read_frames(data)) {
+    out.push_back(bgp4mp_from_frame(frame));
+  }
+  return out;
+}
+
+}  // namespace fenrir::bgp

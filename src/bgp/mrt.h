@@ -1,0 +1,149 @@
+// fenrir::bgp — MRT archives (RFC 6396).
+//
+// RouteViews and RIPE RIS publish their collected BGP traffic as MRT
+// files; twenty years of them are the public corpus the paper cites as
+// long-term routing data. This module writes and reads the two record
+// families those archives consist of:
+//
+//   * BGP4MP / BGP4MP_MESSAGE_AS4 — live UPDATE streams (one record per
+//     received message, 4-octet ASNs, IPv4 session addresses);
+//   * TABLE_DUMP_V2 / PEER_INDEX_TABLE + RIB_IPV4_UNICAST — periodic
+//     full-RIB snapshots (the bi-hourly "rib files"), each prefix with
+//     one entry per peer holding a route, carrying the same path
+//     attribute block UPDATEs carry.
+//
+// Together with RouteCollector this closes the loop: simulate → collect
+// → archive to disk → re-read → analyze, in the formats the real
+// pipeline uses.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bgp/collector.h"
+#include "bgp/update_codec.h"
+#include "core/time.h"
+#include "netbase/ipv4.h"
+
+namespace fenrir::bgp {
+
+/// MRT type/subtype codes for the records we produce.
+inline constexpr std::uint16_t kMrtTypeBgp4mp = 16;
+inline constexpr std::uint16_t kMrtSubtypeMessageAs4 = 4;
+inline constexpr std::uint16_t kMrtTypeTableDumpV2 = 13;
+inline constexpr std::uint16_t kMrtSubtypePeerIndexTable = 1;
+inline constexpr std::uint16_t kMrtSubtypeRibIpv4Unicast = 2;
+
+/// A raw MRT record: common header plus undecoded body.
+struct MrtFrame {
+  core::TimePoint timestamp = 0;
+  std::uint16_t type = 0;
+  std::uint16_t subtype = 0;
+  std::vector<std::uint8_t> body;
+
+  std::vector<std::uint8_t> encode() const;
+};
+
+/// Decoded BGP4MP_MESSAGE_AS4 record.
+struct MrtRecord {
+  core::TimePoint timestamp = 0;
+  std::uint32_t peer_asn = 0;
+  std::uint32_t local_asn = 0;
+  netbase::Ipv4Addr peer_addr;
+  netbase::Ipv4Addr local_addr;
+  /// The raw BGP message (decode with UpdateMessage::decode).
+  std::vector<std::uint8_t> message;
+
+  std::vector<std::uint8_t> encode() const;
+};
+
+/// Decoded TABLE_DUMP_V2 PEER_INDEX_TABLE.
+struct PeerIndexTable {
+  netbase::Ipv4Addr collector_id;
+  std::string view_name;
+  struct Peer {
+    netbase::Ipv4Addr bgp_id;
+    netbase::Ipv4Addr addr;
+    std::uint32_t asn = 0;
+  };
+  std::vector<Peer> peers;
+};
+
+/// Decoded TABLE_DUMP_V2 RIB_IPV4_UNICAST record: one prefix, one entry
+/// per peer currently holding a route to it.
+struct RibPrefix {
+  std::uint32_t sequence = 0;
+  netbase::Prefix prefix;
+  struct Entry {
+    std::uint16_t peer_index = 0;   // into the PEER_INDEX_TABLE
+    core::TimePoint originated = 0;
+    PathAttributes attributes;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Frame constructors (encode the typed bodies).
+MrtFrame make_bgp4mp_frame(const MrtRecord& record);
+MrtFrame make_peer_index_frame(core::TimePoint timestamp,
+                               const PeerIndexTable& table);
+MrtFrame make_rib_frame(core::TimePoint timestamp, const RibPrefix& rib);
+
+/// Frame decoders. Each throws BgpError when the frame's type/subtype or
+/// body does not match.
+MrtRecord bgp4mp_from_frame(const MrtFrame& frame);
+PeerIndexTable peer_index_from_frame(const MrtFrame& frame);
+RibPrefix rib_from_frame(const MrtFrame& frame);
+
+/// Streaming writer.
+class MrtWriter {
+ public:
+  explicit MrtWriter(std::ostream& out) : out_(out) {}
+
+  void write(const MrtFrame& frame);
+  void write(const MrtRecord& record) { write(make_bgp4mp_frame(record)); }
+
+  /// Archives one collector batch: wraps every CollectedUpdate with the
+  /// peer's ASN/address from @p graph and the collector's identity.
+  void write_batch(core::TimePoint timestamp, const AsGraph& graph,
+                   std::span<const CollectedUpdate> updates,
+                   std::uint32_t collector_asn = 6447,  // RouteViews
+                   netbase::Ipv4Addr collector_addr = netbase::Ipv4Addr(
+                       128, 223, 51, 102));
+
+  /// Dumps the collector's current RIB as a TABLE_DUMP_V2 snapshot:
+  /// one PEER_INDEX_TABLE followed by one RIB_IPV4_UNICAST for the
+  /// monitored prefix (with an entry per peer holding a route).
+  void write_rib_dump(core::TimePoint timestamp, const AsGraph& graph,
+                      const RouteCollector& collector,
+                      const netbase::Prefix& prefix);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Pull reader over a complete archive held in memory.
+class MrtReader {
+ public:
+  explicit MrtReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// The next frame, or nullopt at clean end-of-archive. Throws BgpError
+  /// on truncation.
+  std::optional<MrtFrame> next();
+
+  /// All frames of an archive.
+  static std::vector<MrtFrame> read_frames(std::span<const std::uint8_t> data);
+
+  /// Convenience: all BGP4MP_MESSAGE_AS4 records of an archive (throws
+  /// if any frame has a different type).
+  static std::vector<MrtRecord> read_all(std::span<const std::uint8_t> data);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fenrir::bgp

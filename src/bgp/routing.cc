@@ -1,0 +1,193 @@
+#include "bgp/routing.h"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fenrir::bgp {
+
+namespace {
+
+// Local-preference bases. Classes are separated by more than the maximum
+// per-link adjustment (±99), so adjustments reorder within a class but can
+// never promote a provider route over a peer route, etc.
+constexpr std::int32_t kPrefOrigin = 10000;
+constexpr std::int32_t kPrefCustomer = 3000;
+constexpr std::int32_t kPrefPeer = 2000;
+constexpr std::int32_t kPrefProvider = 1000;
+
+// Directed-link key for O(1) reverse-adjustment lookup.
+constexpr std::uint64_t link_key(AsIndex owner, AsIndex neighbor) noexcept {
+  return (std::uint64_t{owner} << 32) | neighbor;
+}
+
+// Is `candidate` strictly preferred over `current` at an AS?
+// BGP order: local-pref desc, path length asc, lowest neighbor ASN.
+bool better(const Route& candidate, const Route& current,
+            const AsGraph& graph) {
+  if (!current.reachable) return candidate.reachable;
+  if (candidate.pref != current.pref) return candidate.pref > current.pref;
+  if (candidate.path_len != current.path_len) {
+    return candidate.path_len < current.path_len;
+  }
+  const auto asn_of = [&](AsIndex i) {
+    return i == kNoAs ? 0u : graph.node(i).asn.value();
+  };
+  return asn_of(candidate.from) < asn_of(current.from);
+}
+
+}  // namespace
+
+std::vector<AsIndex> RoutingTable::as_path(AsIndex as) const {
+  const Route* r = &routes_.at(as);
+  if (!r->reachable) return {};
+  std::vector<AsIndex> path{as};
+  while (r->from != kNoAs) {
+    if (path.size() > routes_.size()) {
+      throw std::logic_error("as_path: cycle in routing state");
+    }
+    const AsIndex next = r->from;
+    path.push_back(next);
+    r = r->via_customer_stage ? &customer_stage_.at(next) : &routes_.at(next);
+    if (!r->reachable) {
+      throw std::logic_error("as_path: dangling parent route");
+    }
+  }
+  return path;
+}
+
+RoutingTable compute_routes(const AsGraph& graph,
+                            const std::vector<Origin>& origins) {
+  const std::size_t n = graph.as_count();
+  std::vector<Route> customer_stage(n);
+  std::vector<Route> selected(n);
+
+  // O(1) lookup of the local-pref adjustment `owner` applies to routes
+  // learned from `neighbor`, considering link state.
+  std::unordered_map<std::uint64_t, const Link*> links;
+  links.reserve(graph.link_count());
+  for (AsIndex i = 0; i < n; ++i) {
+    for (const Link& l : graph.node(i).links) {
+      links.emplace(link_key(i, l.neighbor), &l);
+    }
+  }
+  const auto adjust_at = [&](AsIndex owner, AsIndex neighbor) -> std::int32_t {
+    return links.at(link_key(owner, neighbor))->local_pref_adjust;
+  };
+
+  // --- Seed origins. ---
+  std::unordered_set<AsIndex> origin_ases;
+  std::deque<AsIndex> work;
+  for (const Origin& o : origins) {
+    if (o.as == kNoAs || o.as >= n) {
+      throw std::out_of_range("compute_routes: bad origin AS");
+    }
+    if (!origin_ases.insert(o.as).second) {
+      throw std::invalid_argument("compute_routes: duplicate origin AS");
+    }
+    Route r;
+    r.reachable = true;
+    r.site = o.site;
+    r.origin_as = o.as;
+    r.from = kNoAs;
+    r.klass = RouteClass::kCustomerOrOrigin;
+    r.pref = kPrefOrigin;
+    r.path_len = static_cast<std::uint16_t>(1 + o.prepend);
+    r.cone_only = o.cone_only;
+    customer_stage[o.as] = r;
+    work.push_back(o.as);
+  }
+
+  // --- Phase 1: customer/origin routes climb provider edges. ---
+  // u exports its best customer-stage route to each of its providers.
+  std::vector<char> queued(n, 0);
+  for (AsIndex a : work) queued[a] = 1;
+  while (!work.empty()) {
+    const AsIndex u = work.front();
+    work.pop_front();
+    queued[u] = 0;
+    const Route& ru = customer_stage[u];
+    // A cone-scoped route crosses exactly one provider edge: from the
+    // origin to its direct upstream(s). Nobody re-exports it upward.
+    if (ru.cone_only && ru.from != kNoAs) continue;
+    for (const Link& l : graph.node(u).links) {
+      if (!l.up || l.relation != Relation::kProvider) continue;
+      const AsIndex p = l.neighbor;
+      Route cand = ru;
+      cand.from = u;
+      cand.klass = RouteClass::kCustomerOrOrigin;
+      cand.pref = kPrefCustomer + adjust_at(p, u);
+      cand.path_len = static_cast<std::uint16_t>(ru.path_len + 1);
+      cand.via_customer_stage = true;
+      if (better(cand, customer_stage[p], graph)) {
+        customer_stage[p] = cand;
+        if (!queued[p]) {
+          queued[p] = 1;
+          work.push_back(p);
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: customer-stage routes cross one peer edge. ---
+  std::vector<Route> peer_best(n);
+  for (AsIndex u = 0; u < n; ++u) {
+    const Route& ru = customer_stage[u];
+    if (!ru.reachable) continue;
+    if (ru.cone_only) continue;  // scoped routes never reach peers
+    for (const Link& l : graph.node(u).links) {
+      if (!l.up || l.relation != Relation::kPeer) continue;
+      const AsIndex v = l.neighbor;
+      Route cand = ru;
+      cand.from = u;
+      cand.klass = RouteClass::kPeer;
+      cand.pref = kPrefPeer + adjust_at(v, u);
+      cand.path_len = static_cast<std::uint16_t>(ru.path_len + 1);
+      cand.via_customer_stage = true;
+      if (better(cand, peer_best[v], graph)) peer_best[v] = cand;
+    }
+  }
+
+  // Merge: each AS's provisional selection.
+  for (AsIndex v = 0; v < n; ++v) {
+    selected[v] = customer_stage[v];
+    if (better(peer_best[v], selected[v], graph)) selected[v] = peer_best[v];
+  }
+
+  // --- Phase 3: selections descend customer edges as provider routes. ---
+  work.clear();
+  for (AsIndex v = 0; v < n; ++v) {
+    if (selected[v].reachable) {
+      work.push_back(v);
+      queued[v] = 1;
+    }
+  }
+  while (!work.empty()) {
+    const AsIndex u = work.front();
+    work.pop_front();
+    queued[u] = 0;
+    const Route& ru = selected[u];
+    for (const Link& l : graph.node(u).links) {
+      if (!l.up || l.relation != Relation::kCustomer) continue;
+      const AsIndex c = l.neighbor;
+      Route cand = ru;
+      cand.from = u;
+      cand.klass = RouteClass::kProvider;
+      cand.pref = kPrefProvider + adjust_at(c, u);
+      cand.path_len = static_cast<std::uint16_t>(ru.path_len + 1);
+      cand.via_customer_stage = false;
+      if (better(cand, selected[c], graph)) {
+        selected[c] = cand;
+        if (!queued[c]) {
+          queued[c] = 1;
+          work.push_back(c);
+        }
+      }
+    }
+  }
+
+  return RoutingTable(std::move(selected), std::move(customer_stage));
+}
+
+}  // namespace fenrir::bgp

@@ -1,0 +1,106 @@
+// fenrir::bgp — policy route computation (Gao–Rexford model).
+//
+// Computes, for one destination prefix originated at one or more ASes
+// (unicast: one origin; anycast: one origin per site), the route every AS
+// in the graph selects. Propagation follows the standard valley-free
+// export rules:
+//
+//   * routes learned from a CUSTOMER are exported to everyone;
+//   * routes learned from a PEER or PROVIDER are exported only to
+//     customers.
+//
+// Selection order matches BGP decision logic restricted to the attributes
+// the model carries: highest local preference (customer 300 / peer 200 /
+// provider 100, plus the per-link adjustment clamped within ±99 so class
+// order is absolute), then shortest AS path, then lowest neighbor ASN.
+//
+// The implementation is a three-stage monotone worklist fixpoint
+// (customer routes climb provider edges; peer routes cross one peer edge;
+// then routes descend customer edges). For Gao–Rexford-compliant policies
+// this converges to the unique stable routing, and each stage is
+// near-linear in the edge count.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "bgp/graph.h"
+
+namespace fenrir::bgp {
+
+/// Identifies an anycast origin: the AS announcing the prefix and the
+/// service site label index it stands for (site semantics belong to the
+/// caller; unicast destinations use site = 0).
+struct Origin {
+  AsIndex as = kNoAs;
+  std::uint32_t site = 0;
+  /// AS-path prepending applied at this origin (a classic TE knob): the
+  /// origin's advertisement starts with path length 1 + prepend.
+  std::uint8_t prepend = 0;
+  /// Cone-scoped announcement (NO_EXPORT-style community): the route is
+  /// announced to the origin's direct upstream(s) and propagates only
+  /// DOWN their customer cones — never to peers or further providers.
+  /// This models the paper's "local-only sites [that] serve only a single
+  /// AS and its customers" and the strongest real-world anycast TE knob
+  /// (scoping a site's announcement).
+  bool cone_only = false;
+};
+
+/// Relationship class of a selected route (origin counts as customer —
+/// self-originated routes export everywhere, like customer routes).
+enum class RouteClass : std::uint8_t { kNone, kCustomerOrOrigin, kPeer,
+                                       kProvider };
+
+/// One AS's route toward the destination.
+struct Route {
+  bool reachable = false;
+  std::uint32_t site = 0;        // origin site (anycast catchment)
+  AsIndex origin_as = kNoAs;     // originating AS
+  AsIndex from = kNoAs;          // neighbor the route was learned from
+  RouteClass klass = RouteClass::kNone;
+  std::int32_t pref = std::numeric_limits<std::int32_t>::min();
+  std::uint16_t path_len = 0;    // AS-path length incl. origin
+  /// True when `from`'s exported route was its customer-stage route
+  /// (phases 1–2); false when it was the final selection (phase 3).
+  /// Needed to reconstruct AS paths exactly.
+  bool via_customer_stage = false;
+  /// Propagated from a cone-scoped origin; limits further export.
+  bool cone_only = false;
+};
+
+/// The result of route computation: one Route per AS.
+class RoutingTable {
+ public:
+  explicit RoutingTable(std::vector<Route> routes,
+                        std::vector<Route> customer_stage)
+      : routes_(std::move(routes)), customer_stage_(std::move(customer_stage)) {}
+
+  const Route& at(AsIndex as) const { return routes_.at(as); }
+  std::size_t size() const noexcept { return routes_.size(); }
+
+  /// Anycast catchment of @p as: the origin site of its selected route.
+  /// Unreachable ASes report no site (caller maps to "unknown"/"err").
+  std::optional<std::uint32_t> catchment(AsIndex as) const {
+    const Route& r = routes_.at(as);
+    if (!r.reachable) return std::nullopt;
+    return r.site;
+  }
+
+  /// Reconstructs the AS path from @p as to the origin (inclusive on both
+  /// ends, origin last). Empty if unreachable. Throws std::logic_error if
+  /// internal state is inconsistent (should not happen at fixpoint).
+  std::vector<AsIndex> as_path(AsIndex as) const;
+
+ private:
+  std::vector<Route> routes_;          // final selection
+  std::vector<Route> customer_stage_;  // best customer/origin-class route
+};
+
+/// Computes routing for @p origins over @p graph. Origins on the same AS
+/// are rejected (one announcement per AS); an empty origin list yields an
+/// all-unreachable table.
+RoutingTable compute_routes(const AsGraph& graph,
+                            const std::vector<Origin>& origins);
+
+}  // namespace fenrir::bgp

@@ -1,0 +1,112 @@
+#include "bgp/service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rng/rng.h"
+
+namespace fenrir::bgp {
+
+std::vector<std::size_t> AnycastService::entries_of(std::uint32_t site,
+                                                    bool must_exist) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].site == site) out.push_back(i);
+  }
+  if (must_exist && out.empty()) {
+    throw std::invalid_argument("AnycastService: unknown site");
+  }
+  return out;
+}
+
+void AnycastService::add_site(std::uint32_t site, AsIndex as,
+                              std::uint8_t prepend) {
+  for (const Site& s : sites_) {
+    if (s.as == as) {
+      throw std::invalid_argument(
+          "add_site: AS already announces for this service");
+    }
+  }
+  sites_.push_back(Site{site, as, prepend, false, false});
+}
+
+void AnycastService::remove_site(std::uint32_t site) {
+  std::erase_if(sites_, [&](const Site& s) { return s.site == site; });
+}
+
+void AnycastService::set_drained(std::uint32_t site, bool drained) {
+  for (const std::size_t i : entries_of(site, /*must_exist=*/true)) {
+    sites_[i].drained = drained;
+  }
+}
+
+bool AnycastService::is_drained(std::uint32_t site) const {
+  bool all = true;
+  for (const std::size_t i : entries_of(site, /*must_exist=*/true)) {
+    all = all && sites_[i].drained;
+  }
+  return all;
+}
+
+void AnycastService::move_site(std::uint32_t site, AsIndex new_as) {
+  const auto entries = entries_of(site, /*must_exist=*/true);
+  if (entries.size() != 1) {
+    throw std::invalid_argument(
+        "move_site: site has multiple announcements");
+  }
+  sites_[entries.front()].as = new_as;
+}
+
+void AnycastService::set_prepend(std::uint32_t site, std::uint8_t prepend) {
+  for (const std::size_t i : entries_of(site, /*must_exist=*/true)) {
+    sites_[i].prepend = prepend;
+  }
+}
+
+void AnycastService::set_scoped(std::uint32_t site, bool scoped) {
+  for (const std::size_t i : entries_of(site, /*must_exist=*/true)) {
+    sites_[i].scoped = scoped;
+  }
+}
+
+std::vector<Origin> AnycastService::active_origins() const {
+  std::vector<Origin> out;
+  for (const Site& s : sites_) {
+    if (!s.drained) out.push_back(Origin{s.as, s.site, s.prepend, s.scoped});
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> AnycastService::configured_sites() const {
+  std::vector<std::uint32_t> out;
+  for (const Site& s : sites_) {
+    if (std::find(out.begin(), out.end(), s.site) == out.end()) {
+      out.push_back(s.site);
+    }
+  }
+  return out;
+}
+
+std::uint64_t RouteCache::key_of(const AsGraph& graph,
+                                 const std::vector<Origin>& origins) {
+  std::uint64_t h = rng::mix(0x4f52494721ULL, graph.version());
+  // Order-insensitive combine so callers need not sort origins.
+  std::uint64_t acc = 0;
+  for (const Origin& o : origins) {
+    acc += rng::mix(h, (std::uint64_t{o.as} << 16) | o.site,
+                    (std::uint64_t{o.prepend} << 1) |
+                        static_cast<std::uint64_t>(o.cone_only));
+  }
+  return rng::mix(h, acc, origins.size());
+}
+
+const RoutingTable& RouteCache::get(const AsGraph& graph,
+                                    const std::vector<Origin>& origins) {
+  const std::uint64_t key = key_of(graph, origins);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  ++computations_;
+  return cache_.emplace(key, compute_routes(graph, origins)).first->second;
+}
+
+}  // namespace fenrir::bgp

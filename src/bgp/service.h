@@ -1,0 +1,105 @@
+// fenrir::bgp — anycast service configuration and cached route lookup.
+//
+// AnycastService models the operator side of the systems Fenrir observes:
+// a prefix announced from a set of sites (each an Origin on some AS), with
+// the operational knobs the paper's ground-truth events exercise — site
+// drains/restores, additions/removals, and AS-path prepending.
+//
+// RouteCache memoizes compute_routes() by (graph version, origin set):
+// routing between events is constant, so a multi-year scenario costs a
+// handful of route computations, not one per observation day.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/routing.h"
+#include "netbase/ipv4.h"
+
+namespace fenrir::bgp {
+
+class AnycastService {
+ public:
+  explicit AnycastService(netbase::Prefix prefix) : prefix_(prefix) {}
+
+  const netbase::Prefix& prefix() const noexcept { return prefix_; }
+
+  /// Adds an announcement for @p site from @p as. A site may announce
+  /// from several ASes (fallback adjacencies); the same (site, AS) pair
+  /// may not be added twice, and one AS cannot announce for two sites.
+  void add_site(std::uint32_t site, AsIndex as, std::uint8_t prepend = 0);
+
+  /// Removes a site permanently — all its announcements (decommission).
+  /// No-op if absent.
+  void remove_site(std::uint32_t site);
+
+  /// Drains/restores a site (every announcement): a drained site stays
+  /// configured but stops announcing (maintenance semantics from the
+  /// paper's B-Root logs). Throws if the site is unknown.
+  void set_drained(std::uint32_t site, bool drained);
+  /// True when every announcement of the site is drained.
+  bool is_drained(std::uint32_t site) const;
+
+  /// Moves a site's announcements to a different AS (the paper's "ARI
+  /// moved to a new location in the same country" event). With multiple
+  /// announcements they collapse onto the one new AS is not supported —
+  /// throws unless the site has exactly one announcement.
+  void move_site(std::uint32_t site, AsIndex new_as);
+
+  /// Sets prepending on every announcement of the site.
+  void set_prepend(std::uint32_t site, std::uint8_t prepend);
+
+  /// Scopes/unscopes every announcement of the site to its upstreams'
+  /// customer cones (NO_EXPORT-style TE — the strongest anycast knob;
+  /// see Origin::cone_only).
+  void set_scoped(std::uint32_t site, bool scoped);
+
+  /// Origins currently announcing (configured and not drained).
+  std::vector<Origin> active_origins() const;
+
+  /// All configured sites (deduplicated), drained or not.
+  std::vector<std::uint32_t> configured_sites() const;
+
+ private:
+  struct Site {
+    std::uint32_t site;
+    AsIndex as;
+    std::uint8_t prepend;
+    bool drained;
+    bool scoped;
+  };
+  /// Indices into sites_ of every announcement of @p site; throws
+  /// std::invalid_argument when @p must_exist and none exist.
+  std::vector<std::size_t> entries_of(std::uint32_t site,
+                                      bool must_exist) const;
+
+  netbase::Prefix prefix_;
+  std::vector<Site> sites_;
+};
+
+/// Memoizing wrapper around compute_routes().
+class RouteCache {
+ public:
+  /// Returns the routing table for @p origins over @p graph, computing at
+  /// most once per distinct (graph version, origin multiset). References
+  /// stay valid until clear() or destruction — the cache never evicts on
+  /// its own (a table for a ~1k-AS topology is ~100 KB; scenarios visit a
+  /// few hundred configurations at most). Call clear() between unrelated
+  /// experiments if memory matters.
+  const RoutingTable& get(const AsGraph& graph,
+                          const std::vector<Origin>& origins);
+
+  std::size_t computations() const noexcept { return computations_; }
+  void clear() { cache_.clear(); }
+
+ private:
+  static std::uint64_t key_of(const AsGraph& graph,
+                              const std::vector<Origin>& origins);
+  std::unordered_map<std::uint64_t, RoutingTable> cache_;
+  std::size_t computations_ = 0;
+};
+
+}  // namespace fenrir::bgp

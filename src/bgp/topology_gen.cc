@@ -1,0 +1,145 @@
+#include "bgp/topology_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fenrir::bgp {
+
+namespace {
+
+// Well-spread anchor locations for tier-1 backbones (major IX metros).
+constexpr geo::Coord kBackboneMetros[] = {
+    {40.7, -74.0},   // New York
+    {37.6, -122.4},  // San Francisco
+    {50.1, 8.7},     // Frankfurt
+    {51.5, -0.1},    // London
+    {35.7, 139.7},   // Tokyo
+    {1.36, 103.99},  // Singapore
+    {-23.5, -46.6},  // São Paulo
+    {33.9, -118.4},  // Los Angeles
+    {48.9, 2.4},     // Paris
+    {25.3, 55.4},    // Dubai
+    {-33.9, 151.2},  // Sydney
+    {19.1, 72.9},    // Mumbai
+};
+
+// Indices of the k candidates nearest to `where`, by great-circle distance.
+std::vector<std::size_t> nearest(const geo::Coord& where,
+                                 const std::vector<geo::Coord>& candidates,
+                                 std::size_t k) {
+  std::vector<std::size_t> order(candidates.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return geo::haversine_km(where, candidates[a]) <
+           geo::haversine_km(where, candidates[b]);
+  });
+  if (order.size() > k) order.resize(k);
+  return order;
+}
+
+}  // namespace
+
+Topology generate_topology(const TopologyParams& params) {
+  Topology topo;
+  rng::Rng r(params.seed);
+
+  // --- Tier 1: full peer mesh anchored at backbone metros. ---
+  std::vector<geo::Coord> t1_coords;
+  for (std::size_t i = 0; i < params.tier1_count; ++i) {
+    geo::Coord c = kBackboneMetros[i % std::size(kBackboneMetros)];
+    // Stagger repeats so co-located tier-1s are still distinct points.
+    c.lat_deg += r.uniform_real(-2.0, 2.0);
+    c.lon_deg += r.uniform_real(-2.0, 2.0);
+    t1_coords.push_back(c);
+    topo.tier1.push_back(topo.graph.add_as(
+        netbase::Asn(static_cast<std::uint32_t>(100 + i)), AsTier::kTier1, c,
+        "T1-" + std::to_string(i)));
+  }
+  for (std::size_t i = 0; i < topo.tier1.size(); ++i) {
+    for (std::size_t j = i + 1; j < topo.tier1.size(); ++j) {
+      topo.graph.add_link(topo.tier1[i], topo.tier1[j], Relation::kPeer);
+      // Hot-potato flavour: prefer routes learned from geographically
+      // closer peers (real backbones exit traffic near the source).
+      // Quantized into coarse bands — same-band routes still compete on
+      // AS-path length, so prepending remains a working TE knob — and
+      // well inside the peer class.
+      const double km = geo::haversine_km(t1_coords[i], t1_coords[j]);
+      const std::int16_t pref = km < 3000.0 ? 8 : (km < 8000.0 ? 4 : 0);
+      topo.graph.set_local_pref_adjust(topo.tier1[i], topo.tier1[j], pref);
+      topo.graph.set_local_pref_adjust(topo.tier1[j], topo.tier1[i], pref);
+    }
+  }
+
+  // --- Tier 2: homed to near tier-1s, sparse peering among near pairs. ---
+  std::vector<geo::Coord> t2_coords;
+  for (std::size_t i = 0; i < params.tier2_count; ++i) {
+    const geo::Coord c = geo::random_network_location(r);
+    t2_coords.push_back(c);
+    const AsIndex as = topo.graph.add_as(
+        netbase::Asn(static_cast<std::uint32_t>(1000 + i)), AsTier::kTier2, c,
+        "T2-" + std::to_string(i));
+    topo.tier2.push_back(as);
+
+    const auto cands = nearest(c, t1_coords, params.provider_candidates);
+    const std::size_t primary = cands[r.uniform(cands.size())];
+    topo.graph.add_link(topo.tier1[primary], as, Relation::kCustomer);
+    if (params.tier1_count > 1 && r.bernoulli(params.tier2_multihome_prob)) {
+      std::size_t secondary = primary;
+      while (secondary == primary) secondary = cands[r.uniform(cands.size())];
+      topo.graph.add_link(topo.tier1[secondary], as, Relation::kCustomer);
+      // Prefer the geographically nearer of the two transits.
+      const std::size_t nearer = geo::haversine_km(c, t1_coords[primary]) <=
+                                         geo::haversine_km(c, t1_coords[secondary])
+                                     ? primary
+                                     : secondary;
+      topo.graph.set_local_pref_adjust(as, topo.tier1[nearer], 8);
+    }
+  }
+  for (std::size_t i = 0; i < topo.tier2.size(); ++i) {
+    // Consider peering with a few nearest tier-2s only: peering is a
+    // local phenomenon (IXP colocation).
+    const auto near = nearest(t2_coords[i], t2_coords, 6);
+    for (std::size_t j : near) {
+      if (j <= i) continue;
+      if (r.bernoulli(params.tier2_peer_prob)) {
+        topo.graph.add_link(topo.tier2[i], topo.tier2[j], Relation::kPeer);
+      }
+    }
+  }
+
+  // --- Stubs: homed to near tier-2s; originate /24 blocks. ---
+  std::uint32_t next_block = params.first_block24;
+  for (std::size_t i = 0; i < params.stub_count; ++i) {
+    const geo::Coord c = geo::random_network_location(r);
+    const AsIndex as = topo.graph.add_as(
+        netbase::Asn(static_cast<std::uint32_t>(10000 + i)), AsTier::kStub, c,
+        "stub-" + std::to_string(i));
+    topo.stubs.push_back(as);
+
+    const auto cands = nearest(c, t2_coords, params.provider_candidates);
+    const std::size_t primary = cands[r.uniform(cands.size())];
+    topo.graph.add_link(topo.tier2[primary], as, Relation::kCustomer);
+    if (params.tier2_count > 1 && r.bernoulli(params.stub_multihome_prob)) {
+      std::size_t secondary = primary;
+      while (secondary == primary) secondary = cands[r.uniform(cands.size())];
+      topo.graph.add_link(topo.tier2[secondary], as, Relation::kCustomer);
+    }
+
+    // Zipf-skewed block counts: most stubs are small, a few are large.
+    const std::size_t raw =
+        1 + r.zipf(params.max_blocks_per_stub,
+                   1.0 + 1.0 / std::max(1.0, params.blocks_per_stub_mean));
+    const std::size_t count = std::min(
+        raw * static_cast<std::size_t>(std::max(1.0, params.blocks_per_stub_mean / 2.0)),
+        params.max_blocks_per_stub);
+    for (std::size_t b = 0; b < count; ++b) {
+      const std::uint32_t block = next_block++;
+      topo.graph.announce_prefix(netbase::block24_from_index(block), as);
+      topo.blocks.push_back(block);
+    }
+  }
+
+  return topo;
+}
+
+}  // namespace fenrir::bgp

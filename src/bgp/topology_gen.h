@@ -1,0 +1,58 @@
+// fenrir::bgp — synthetic Internet topology generation.
+//
+// Builds a three-tier AS hierarchy of the kind policy-routing studies use:
+// a full mesh of tier-1 transit providers, regional tier-2 networks homed
+// to geographically-near tier-1s (with some tier-2 peering), and stub/edge
+// ASes homed to near tier-2s, a fraction multi-homed. Stubs originate /24
+// blocks (the measurement unit of every dataset in the paper). All
+// randomness derives from the seed, so a topology is a pure function of
+// its parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/graph.h"
+#include "rng/rng.h"
+
+namespace fenrir::bgp {
+
+struct TopologyParams {
+  std::size_t tier1_count = 8;
+  std::size_t tier2_count = 64;
+  std::size_t stub_count = 1200;
+
+  /// Probability a tier-2 has a second tier-1 provider.
+  double tier2_multihome_prob = 0.5;
+  /// Probability of a peer link between two geographically-close tier-2s.
+  double tier2_peer_prob = 0.25;
+  /// Probability a stub has a second (tier-2) provider.
+  double stub_multihome_prob = 0.3;
+  /// Candidate pool size when picking geographically-near providers.
+  std::size_t provider_candidates = 5;
+
+  /// Mean /24 blocks originated per stub (Zipf-skewed: a few big stubs).
+  double blocks_per_stub_mean = 6.0;
+  std::size_t max_blocks_per_stub = 64;
+
+  /// Base of the synthetic address space blocks are carved from.
+  std::uint32_t first_block24 = (1u << 16);  // 1.0.0.0/24 onward
+
+  std::uint64_t seed = 1;
+};
+
+struct Topology {
+  AsGraph graph;
+  std::vector<AsIndex> tier1;
+  std::vector<AsIndex> tier2;
+  std::vector<AsIndex> stubs;
+  /// All /24 block indices announced by stubs, in address order.
+  std::vector<std::uint32_t> blocks;
+};
+
+/// Generates a topology from @p params. The result always satisfies:
+/// every AS reaches every tier-1 through provider chains (no partitions),
+/// tier-1s form a full peer mesh, and each block maps to exactly one stub.
+Topology generate_topology(const TopologyParams& params);
+
+}  // namespace fenrir::bgp

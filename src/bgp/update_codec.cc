@@ -1,0 +1,225 @@
+#include "bgp/update_codec.h"
+
+namespace fenrir::bgp {
+
+namespace {
+
+constexpr std::size_t kMarkerLen = 16;
+constexpr std::size_t kMaxMessage = 4096;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+/// Prefix wire form: length-in-bits octet followed by ceil(len/8) octets
+/// of the network address (RFC 4271 §4.3).
+void put_prefix(std::vector<std::uint8_t>& out, const netbase::Prefix& p) {
+  out.push_back(static_cast<std::uint8_t>(p.length()));
+  const std::uint32_t base = p.base().value();
+  for (int i = 0; i < (p.length() + 7) / 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(base >> (8 * (3 - i))));
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> data) : data_(data) {}
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::span<const std::uint8_t> take(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw BgpError("truncated UPDATE");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+netbase::Prefix get_prefix(Cursor& c) {
+  const std::uint8_t len = c.u8();
+  if (len > 32) throw BgpError("prefix length > 32");
+  const auto bytes = c.take(static_cast<std::size_t>((len + 7) / 8));
+  std::uint32_t base = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    base <<= 8;
+    if (i < bytes.size()) base |= bytes[i];
+  }
+  // Mask stray host bits rather than reject: real routers tolerate them.
+  base &= netbase::Prefix::mask_for(len);
+  return netbase::Prefix(netbase::Ipv4Addr(base), len);
+}
+
+std::vector<netbase::Prefix> get_prefix_block(
+    std::span<const std::uint8_t> block) {
+  Cursor c(block);
+  std::vector<netbase::Prefix> out;
+  while (c.remaining() > 0) out.push_back(get_prefix(c));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_path_attributes(const PathAttributes& a) {
+  if (a.as_path.empty() || !a.next_hop) {
+    throw BgpError("path attributes require AS_PATH and NEXT_HOP");
+  }
+  std::vector<std::uint8_t> attrs;
+  // ORIGIN: well-known transitive (flags 0x40), length 1.
+  attrs.insert(attrs.end(), {0x40, kAttrOrigin, 1,
+                             static_cast<std::uint8_t>(a.origin)});
+  // AS_PATH: one AS_SEQUENCE segment of 4-octet ASNs.
+  if (a.as_path.size() > 255) throw BgpError("AS path too long");
+  std::vector<std::uint8_t> seg;
+  seg.push_back(2);  // AS_SEQUENCE
+  seg.push_back(static_cast<std::uint8_t>(a.as_path.size()));
+  for (const std::uint32_t asn : a.as_path) put_u32(seg, asn);
+  if (seg.size() > 255) {
+    attrs.insert(attrs.end(), {0x50, kAttrAsPath});  // extended length
+    put_u16(attrs, static_cast<std::uint16_t>(seg.size()));
+  } else {
+    attrs.insert(attrs.end(),
+                 {0x40, kAttrAsPath, static_cast<std::uint8_t>(seg.size())});
+  }
+  attrs.insert(attrs.end(), seg.begin(), seg.end());
+  // NEXT_HOP.
+  attrs.insert(attrs.end(), {0x40, kAttrNextHop, 4});
+  put_u32(attrs, a.next_hop->value());
+  return attrs;
+}
+
+PathAttributes decode_path_attributes(std::span<const std::uint8_t> bytes) {
+  PathAttributes out;
+  Cursor attrs(bytes);
+  bool saw_as_path = false, saw_next_hop = false;
+  while (attrs.remaining() > 0) {
+    const std::uint8_t flags = attrs.u8();
+    const std::uint8_t type = attrs.u8();
+    const std::uint16_t len =
+        (flags & 0x10) ? attrs.u16() : attrs.u8();  // extended length
+    Cursor value(attrs.take(len));
+    switch (type) {
+      case kAttrOrigin: {
+        const std::uint8_t v = value.u8();
+        if (v > 2) throw BgpError("bad ORIGIN value");
+        out.origin = static_cast<PathOrigin>(v);
+        break;
+      }
+      case kAttrAsPath: {
+        while (value.remaining() > 0) {
+          const std::uint8_t seg_type = value.u8();
+          if (seg_type != 1 && seg_type != 2) {
+            throw BgpError("bad AS_PATH segment type");
+          }
+          const std::uint8_t count = value.u8();
+          for (std::uint8_t i = 0; i < count; ++i) {
+            out.as_path.push_back(value.u32());
+          }
+        }
+        saw_as_path = true;
+        break;
+      }
+      case kAttrNextHop: {
+        if (len != 4) throw BgpError("bad NEXT_HOP length");
+        out.next_hop = netbase::Ipv4Addr(value.u32());
+        saw_next_hop = true;
+        break;
+      }
+      default:
+        break;  // optional attributes we do not model: skip
+    }
+  }
+  if (!saw_as_path || !saw_next_hop) {
+    throw BgpError("attribute block missing AS_PATH or NEXT_HOP");
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> UpdateMessage::encode() const {
+  if (!nlri.empty() && (as_path.empty() || !next_hop)) {
+    throw BgpError("NLRI requires AS_PATH and NEXT_HOP attributes");
+  }
+
+  // Body parts first, then frame.
+  std::vector<std::uint8_t> withdrawn_block;
+  for (const auto& p : withdrawn) put_prefix(withdrawn_block, p);
+
+  std::vector<std::uint8_t> attrs;
+  if (!nlri.empty()) {
+    attrs = encode_path_attributes(PathAttributes{origin, as_path, next_hop});
+  }
+
+  std::vector<std::uint8_t> nlri_block;
+  for (const auto& p : nlri) put_prefix(nlri_block, p);
+
+  std::vector<std::uint8_t> out(kMarkerLen, 0xff);
+  const std::size_t total = kMarkerLen + 2 + 1 + 2 + withdrawn_block.size() +
+                            2 + attrs.size() + nlri_block.size();
+  if (total > kMaxMessage) throw BgpError("UPDATE exceeds 4096 octets");
+  put_u16(out, static_cast<std::uint16_t>(total));
+  out.push_back(kBgpTypeUpdate);
+  put_u16(out, static_cast<std::uint16_t>(withdrawn_block.size()));
+  out.insert(out.end(), withdrawn_block.begin(), withdrawn_block.end());
+  put_u16(out, static_cast<std::uint16_t>(attrs.size()));
+  out.insert(out.end(), attrs.begin(), attrs.end());
+  out.insert(out.end(), nlri_block.begin(), nlri_block.end());
+  return out;
+}
+
+UpdateMessage UpdateMessage::decode(std::span<const std::uint8_t> bytes) {
+  Cursor c(bytes);
+  for (std::size_t i = 0; i < kMarkerLen; ++i) {
+    if (c.u8() != 0xff) throw BgpError("bad marker");
+  }
+  const std::uint16_t length = c.u16();
+  if (length != bytes.size()) throw BgpError("length field mismatch");
+  if (c.u8() != kBgpTypeUpdate) throw BgpError("not an UPDATE");
+
+  UpdateMessage out;
+  const std::uint16_t withdrawn_len = c.u16();
+  out.withdrawn = get_prefix_block(c.take(withdrawn_len));
+
+  const std::uint16_t attrs_len = c.u16();
+  const auto attr_bytes = c.take(attrs_len);
+  bool have_attrs = false;
+  if (attrs_len > 0) {
+    const PathAttributes attrs = decode_path_attributes(attr_bytes);
+    out.origin = attrs.origin;
+    out.as_path = attrs.as_path;
+    out.next_hop = attrs.next_hop;
+    have_attrs = true;
+  }
+
+  out.nlri = get_prefix_block(c.take(c.remaining()));
+  if (!out.nlri.empty() && !have_attrs) {
+    throw BgpError("NLRI without mandatory attributes");
+  }
+  return out;
+}
+
+}  // namespace fenrir::bgp

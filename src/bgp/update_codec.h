@@ -1,0 +1,81 @@
+// fenrir::bgp — BGP UPDATE messages on the wire (RFC 4271 §4.3).
+//
+// The paper's related work observes that Fenrir "could use control-plane
+// information as a data source ... demonstrating that is future work".
+// This module implements that future work's substrate: real UPDATE
+// encoding/decoding for the attributes catchment analysis needs —
+// ORIGIN, AS_PATH (AS_SEQUENCE segments, 4-octet ASNs per RFC 6793) and
+// NEXT_HOP — plus withdrawn-routes and NLRI prefix blocks. The
+// RouteCollector (collector.h) emits these messages; the control-plane
+// probe (measure/controlplane.h) parses them back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace fenrir::bgp {
+
+class BgpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Message type codes (RFC 4271 §4.1).
+inline constexpr std::uint8_t kBgpTypeUpdate = 2;
+
+/// Path-attribute type codes.
+inline constexpr std::uint8_t kAttrOrigin = 1;
+inline constexpr std::uint8_t kAttrAsPath = 2;
+inline constexpr std::uint8_t kAttrNextHop = 3;
+
+/// ORIGIN values.
+enum class PathOrigin : std::uint8_t { kIgp = 0, kEgp = 1, kIncomplete = 2 };
+
+struct UpdateMessage {
+  std::vector<netbase::Prefix> withdrawn;
+
+  // Path attributes (meaningful only when nlri is non-empty).
+  PathOrigin origin = PathOrigin::kIgp;
+  /// One flattened AS_SEQUENCE, 4-octet ASNs, nearest speaker first.
+  std::vector<std::uint32_t> as_path;
+  std::optional<netbase::Ipv4Addr> next_hop;
+
+  std::vector<netbase::Prefix> nlri;
+
+  /// Serializes with the standard all-ones marker and length-prefixed
+  /// framing. Throws BgpError if the message would exceed 4096 octets or
+  /// if NLRI is present without the mandatory attributes.
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses one UPDATE. Throws BgpError on malformed framing, truncated
+  /// attributes, bad prefix lengths, or a non-UPDATE type code.
+  static UpdateMessage decode(std::span<const std::uint8_t> bytes);
+
+  /// The origin AS of the announcement (last ASN on the path).
+  std::optional<std::uint32_t> origin_asn() const {
+    if (as_path.empty()) return std::nullopt;
+    return as_path.back();
+  }
+};
+
+/// A route's path attributes, as carried in UPDATEs and in TABLE_DUMP_V2
+/// RIB entries (which store the same attribute block per route).
+struct PathAttributes {
+  PathOrigin origin = PathOrigin::kIgp;
+  std::vector<std::uint32_t> as_path;
+  std::optional<netbase::Ipv4Addr> next_hop;
+};
+
+/// Encodes an attribute block (ORIGIN + AS_PATH + NEXT_HOP). Throws
+/// BgpError when AS_PATH or NEXT_HOP is missing/oversized.
+std::vector<std::uint8_t> encode_path_attributes(const PathAttributes& a);
+
+/// Decodes an attribute block. Unknown attribute types are skipped.
+PathAttributes decode_path_attributes(std::span<const std::uint8_t> bytes);
+
+}  // namespace fenrir::bgp

@@ -1,0 +1,133 @@
+#include "core/cleaning.h"
+
+#include <algorithm>
+
+namespace fenrir::core {
+
+CleaningStats remove_incorrect(
+    Dataset& dataset,
+    const std::function<bool(std::size_t, NetId, SiteId)>& is_bogus) {
+  CleaningStats stats;
+  for (std::size_t t = 0; t < dataset.series.size(); ++t) {
+    RoutingVector& v = dataset.series[t];
+    if (!v.valid) continue;
+    for (NetId n = 0; n < v.assignment.size(); ++n) {
+      const SiteId s = v.assignment[n];
+      if (s != kUnknownSite && is_bogus(t, n, s)) {
+        v.assignment[n] = kUnknownSite;
+        ++stats.incorrect_removed;
+      }
+    }
+  }
+  return stats;
+}
+
+CleaningStats remove_micro_catchments(Dataset& dataset,
+                                      double min_peak_fraction) {
+  CleaningStats stats;
+  const std::size_t sites = dataset.sites.size();
+  // Peak share of known assignments per site across the series.
+  std::vector<double> peak(sites, 0.0);
+  for (const RoutingVector& v : dataset.series) {
+    if (!v.valid) continue;
+    const auto counts = aggregate(v, sites);
+    std::uint64_t known = 0;
+    for (SiteId s = 0; s < sites; ++s) {
+      if (s != kUnknownSite) known += counts[s];
+    }
+    if (known == 0) continue;
+    for (SiteId s = kFirstRealSite; s < sites; ++s) {
+      peak[s] = std::max(peak[s], static_cast<double>(counts[s]) /
+                                      static_cast<double>(known));
+    }
+  }
+
+  std::vector<char> fold(sites, 0);
+  for (SiteId s = kFirstRealSite; s < sites; ++s) {
+    // Fold only sites that were ever observed; a site with zero peak was
+    // simply never seen and needs no rewriting.
+    if (peak[s] > 0.0 && peak[s] < min_peak_fraction) {
+      fold[s] = 1;
+      ++stats.micro_sites_folded;
+    }
+  }
+  if (stats.micro_sites_folded == 0) return stats;
+
+  for (RoutingVector& v : dataset.series) {
+    if (!v.valid) continue;
+    for (SiteId& s : v.assignment) {
+      if (fold[s]) {
+        s = kOtherSite;
+        ++stats.micro_assignments_folded;
+      }
+    }
+  }
+  return stats;
+}
+
+CleaningStats interpolate_missing(Dataset& dataset,
+                                  const InterpolateConfig& config) {
+  CleaningStats stats;
+  const std::size_t total = dataset.series.size();
+  if (total == 0 || dataset.networks.size() == 0) return stats;
+
+  // Work over valid observation indices only: outage slots neither donate
+  // nor receive values, and a gap spanning an outage is not filled across
+  // it (the outage breaks the run).
+  std::vector<std::size_t> valid;
+  for (std::size_t t = 0; t < total; ++t) {
+    if (dataset.series[t].valid) valid.push_back(t);
+  }
+  const std::size_t vn = valid.size();
+  if (vn == 0) return stats;
+
+  for (NetId n = 0; n < dataset.networks.size(); ++n) {
+    std::size_t i = 0;
+    while (i < vn) {
+      if (dataset.series[valid[i]].assignment[n] != kUnknownSite) {
+        ++i;
+        continue;
+      }
+      // Found a run of unknowns [i, j).
+      std::size_t j = i;
+      while (j < vn &&
+             dataset.series[valid[j]].assignment[n] == kUnknownSite) {
+        ++j;
+      }
+      const bool has_left = i > 0;
+      const bool has_right = j < vn;
+      const SiteId left =
+          has_left ? dataset.series[valid[i - 1]].assignment[n] : kUnknownSite;
+      const SiteId right =
+          has_right ? dataset.series[valid[j]].assignment[n] : kUnknownSite;
+
+      for (std::size_t k = i; k < j; ++k) {
+        const std::size_t from_left = k - i + 1;   // distance to left donor
+        const std::size_t from_right = j - k;      // distance to right donor
+        SiteId fill = kUnknownSite;
+        if (has_left && has_right) {
+          // Paper rule: first half from the left, second half from the
+          // right, each donor reaching at most max_distance.
+          const bool left_half = from_left <= (j - i + 1) / 2;
+          if (left_half && from_left <= config.max_distance) {
+            fill = left;
+          } else if (!left_half && from_right <= config.max_distance) {
+            fill = right;
+          }
+        } else if (config.fill_edges && has_left) {
+          fill = left;  // trailing gap: most recent successful observation
+        } else if (config.fill_edges && has_right) {
+          fill = right;  // leading gap: next successful observation
+        }
+        if (fill != kUnknownSite) {
+          dataset.series[valid[k]].assignment[n] = fill;
+          ++stats.gaps_filled;
+        }
+      }
+      i = j;
+    }
+  }
+  return stats;
+}
+
+}  // namespace fenrir::core

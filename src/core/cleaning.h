@@ -1,0 +1,66 @@
+// fenrir::core — data cleaning (paper §2.4).
+//
+// Raw active measurements carry errors and gaps; Fenrir cleans in three
+// service-specific ways before analysis:
+//
+//  1. Remove incorrect data — caller-supplied predicate marks bogus
+//     observations, which are demoted to unknown.
+//  2. Remove micro-catchments — sites that never hold more than a sliver
+//     of networks (local-only anycast sites, an enterprise's internal
+//     prefixes) are folded into "other" so mode discovery focuses on
+//     catchments that matter.
+//  3. Interpolate missing data — temporal gap filling. The paper's rule:
+//     a run of misses between two successes is filled half from the left
+//     neighbour and half from the right, but never farther than
+//     `max_distance` observations from a real observation; leading/
+//     trailing gaps can optionally be forward/backward-filled the way
+//     Verfploeter replicates the most recent successful observation.
+//
+// All functions mutate the dataset in place and report what they did.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+struct CleaningStats {
+  std::uint64_t incorrect_removed = 0;
+  std::uint64_t micro_sites_folded = 0;     // sites folded into "other"
+  std::uint64_t micro_assignments_folded = 0;  // assignments rewritten
+  std::uint64_t gaps_filled = 0;            // unknown cells given a value
+};
+
+/// (1) Marks incorrect observations unknown. The predicate sees
+/// (series index, network, current assignment) and returns true when the
+/// observation is bogus (e.g. a site identity string that cannot exist).
+CleaningStats remove_incorrect(
+    Dataset& dataset,
+    const std::function<bool(std::size_t, NetId, SiteId)>& is_bogus);
+
+/// (2) Folds micro-catchments into kOtherSite: any real site whose peak
+/// share of known assignments across the whole series stays below
+/// @p min_peak_fraction. Returns the affected site ids via stats.
+CleaningStats remove_micro_catchments(Dataset& dataset,
+                                      double min_peak_fraction = 0.001);
+
+struct InterpolateConfig {
+  /// Paper's limit: fill at most this many observations away from a
+  /// successful one.
+  std::size_t max_distance = 3;
+  /// Also fill leading/trailing gaps by replicating the nearest
+  /// observation (Verfploeter-style "most recent successful" fill).
+  bool fill_edges = false;
+};
+
+/// (3) Temporal nearest-neighbour interpolation per network: runs of
+/// kUnknownSite bounded by known values are filled, first half from the
+/// left value and second half from the right, subject to max_distance.
+/// Invalid (outage) vectors are never written to and break runs.
+CleaningStats interpolate_missing(Dataset& dataset,
+                                  const InterpolateConfig& config = {});
+
+}  // namespace fenrir::core

@@ -1,0 +1,288 @@
+#include "core/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fenrir::core {
+
+namespace {
+
+/// Union-find over dendrogram cluster ids.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::vector<std::size_t> valid_indices(const SimilarityMatrix& m) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m.valid(i)) out.push_back(i);
+  }
+  return out;
+}
+
+/// Converts SLINK's pointer representation (pi, lambda) to a merge list.
+Dendrogram pointer_to_dendrogram(const std::vector<std::size_t>& pi,
+                                 const std::vector<double>& lambda) {
+  const std::size_t n = pi.size();
+  Dendrogram d;
+  d.leaves = n;
+  if (n < 2) return d;
+
+  std::vector<std::size_t> order(n - 1);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (lambda[a] != lambda[b]) return lambda[a] < lambda[b];
+    return a < b;
+  });
+
+  Dsu dsu(n);
+  // cluster_of[root leaf] = dendrogram cluster id of the component.
+  std::vector<std::size_t> cluster_of(n);
+  std::iota(cluster_of.begin(), cluster_of.end(), std::size_t{0});
+
+  for (const std::size_t j : order) {
+    const std::size_t ra = dsu.find(j);
+    const std::size_t rb = dsu.find(pi[j]);
+    if (ra == rb) {
+      throw std::logic_error("SLINK pointer representation is inconsistent");
+    }
+    Dendrogram::Merge m;
+    m.a = cluster_of[ra];
+    m.b = cluster_of[rb];
+    m.height = lambda[j];
+    dsu.unite(ra, rb);
+    cluster_of[dsu.find(ra)] = n + d.merges.size();
+    d.merges.push_back(m);
+  }
+  return d;
+}
+
+/// Lance–Williams coefficients for the supported linkages.
+double lw_update(Linkage linkage, double dki, double dkj, double ni,
+                 double nj) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(dki, dkj);
+    case Linkage::kComplete:
+      return std::max(dki, dkj);
+    case Linkage::kAverage:
+      return (ni * dki + nj * dkj) / (ni + nj);
+  }
+  throw std::invalid_argument("unknown linkage");
+}
+
+Dendrogram nn_chain_dendrogram(const SimilarityMatrix& matrix,
+                               Linkage linkage) {
+  const auto idx = valid_indices(matrix);
+  const std::size_t n = idx.size();
+  Dendrogram out;
+  out.leaves = n;
+  if (n < 2) return out;
+
+  // Working full distance matrix over slots 0..n-1.
+  std::vector<double> dist(n * n, 0.0);
+  const auto D = [&](std::size_t a, std::size_t b) -> double& {
+    return dist[a * n + b];
+  };
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a != b) D(a, b) = matrix.dist(idx[a], idx[b]);
+    }
+  }
+
+  std::vector<char> active(n, 1);
+  std::vector<double> size(n, 1.0);
+  std::vector<std::size_t> cluster_id(n);
+  std::iota(cluster_id.begin(), cluster_id.end(), std::size_t{0});
+  std::size_t remaining = n;
+
+  std::vector<std::size_t> chain;
+  chain.reserve(n);
+
+  const auto nearest_of = [&](std::size_t a) {
+    std::size_t best = n;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == a) continue;
+      if (D(a, k) < best_d || (D(a, k) == best_d && k < best)) {
+        best_d = D(a, k);
+        best = k;
+      }
+    }
+    return best;
+  };
+
+  while (remaining > 1) {
+    if (chain.empty()) {
+      // Start from the lowest active slot (deterministic).
+      for (std::size_t a = 0; a < n; ++a) {
+        if (active[a]) {
+          chain.push_back(a);
+          break;
+        }
+      }
+    }
+    const std::size_t a = chain.back();
+    const std::size_t b = nearest_of(a);
+    if (chain.size() >= 2 && b == chain[chain.size() - 2]) {
+      // Reciprocal nearest neighbours: merge a and b.
+      chain.pop_back();
+      chain.pop_back();
+      const double h = D(a, b);
+      const std::size_t keep = std::min(a, b);
+      const std::size_t drop = std::max(a, b);
+      Dendrogram::Merge m;
+      m.a = cluster_id[keep];
+      m.b = cluster_id[drop];
+      m.height = h;
+      cluster_id[keep] = n + out.merges.size();
+      out.merges.push_back(m);
+
+      for (std::size_t k = 0; k < n; ++k) {
+        if (!active[k] || k == keep || k == drop) continue;
+        const double updated =
+            lw_update(linkage, D(k, keep), D(k, drop), size[keep], size[drop]);
+        D(k, keep) = updated;
+        D(keep, k) = updated;
+      }
+      size[keep] += size[drop];
+      active[drop] = 0;
+      --remaining;
+    } else {
+      chain.push_back(b);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> Clustering::members(int c) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == c) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Clustering::clusters_with_at_least(std::size_t n) const {
+  std::vector<std::size_t> sizes(cluster_count, 0);
+  for (const int l : labels) {
+    if (l >= 0) ++sizes[static_cast<std::size_t>(l)];
+  }
+  std::size_t count = 0;
+  for (const std::size_t s : sizes) count += (s >= n);
+  return count;
+}
+
+Dendrogram slink_dendrogram(const SimilarityMatrix& matrix) {
+  const auto idx = valid_indices(matrix);
+  const std::size_t n = idx.size();
+  if (n == 0) return Dendrogram{};
+
+  std::vector<std::size_t> pi(n, 0);
+  std::vector<double> lambda(n, std::numeric_limits<double>::infinity());
+  std::vector<double> m(n, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    pi[i] = i;
+    lambda[i] = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < i; ++j) m[j] = matrix.dist(idx[j], idx[i]);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (lambda[j] >= m[j]) {
+        m[pi[j]] = std::min(m[pi[j]], lambda[j]);
+        lambda[j] = m[j];
+        pi[j] = i;
+      } else {
+        m[pi[j]] = std::min(m[pi[j]], m[j]);
+      }
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (lambda[j] >= lambda[pi[j]]) pi[j] = i;
+    }
+  }
+  return pointer_to_dendrogram(pi, lambda);
+}
+
+Dendrogram build_dendrogram(const SimilarityMatrix& matrix, Linkage linkage) {
+  if (linkage == Linkage::kSingle) return slink_dendrogram(matrix);
+  return nn_chain_dendrogram(matrix, linkage);
+}
+
+Clustering cut_dendrogram(const Dendrogram& dendrogram,
+                          const SimilarityMatrix& matrix, double threshold) {
+  const auto idx = valid_indices(matrix);
+  const std::size_t n = idx.size();
+  if (n != dendrogram.leaves) {
+    throw std::invalid_argument("cut_dendrogram: matrix/dendrogram mismatch");
+  }
+
+  // Apply merges with height <= threshold. Cluster ids n+k materialize
+  // only if their merge applies; for monotone linkages children always
+  // materialize before parents, but we guard regardless.
+  const std::size_t total_ids = n + dendrogram.merges.size();
+  Dsu dsu(total_ids);
+  std::vector<char> materialized(total_ids, 0);
+  for (std::size_t i = 0; i < n; ++i) materialized[i] = 1;
+  for (std::size_t k = 0; k < dendrogram.merges.size(); ++k) {
+    const auto& m = dendrogram.merges[k];
+    if (m.height > threshold) continue;
+    if (!materialized[m.a] || !materialized[m.b]) continue;
+    dsu.unite(m.a, m.b);
+    dsu.unite(n + k, m.a);
+    materialized[n + k] = 1;
+  }
+
+  Clustering out;
+  out.threshold = threshold;
+  out.labels.assign(matrix.size(), Clustering::kNoise);
+  std::vector<int> root_label(total_ids, -1);
+  int next = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t root = dsu.find(v);
+    if (root_label[root] < 0) root_label[root] = next++;
+    out.labels[idx[v]] = root_label[root];
+  }
+  out.cluster_count = static_cast<std::size_t>(next);
+  return out;
+}
+
+Clustering cluster_hac(const SimilarityMatrix& matrix, Linkage linkage,
+                       double threshold) {
+  return cut_dendrogram(build_dendrogram(matrix, linkage), matrix, threshold);
+}
+
+Clustering cluster_adaptive(const SimilarityMatrix& matrix, Linkage linkage,
+                            const AdaptiveConfig& config) {
+  const Dendrogram d = build_dendrogram(matrix, linkage);
+  for (double t = 0.0; t <= 1.0 + 1e-9; t += config.step) {
+    Clustering c = cut_dendrogram(d, matrix, t);
+    // The paper's acceptance rule: fewer than max_clusters clusters, each
+    // holding at least min_observations valid observations (transition
+    // singletons force the threshold up until they join a mode).
+    if (c.cluster_count >= 1 && c.cluster_count < config.max_clusters &&
+        c.clusters_with_at_least(config.min_observations) ==
+            c.cluster_count) {
+      return c;
+    }
+  }
+  return cut_dendrogram(d, matrix, 1.0);
+}
+
+}  // namespace fenrir::core

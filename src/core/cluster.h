@@ -1,0 +1,82 @@
+// fenrir::core — hierarchical agglomerative clustering (paper §2.6.2).
+//
+// Routing "modes" are groups of observation times whose vectors are
+// mutually similar. We cluster on Gower distance (1-Φ) with HAC:
+//
+//   * SLINK (Sibson 1973, the paper's citation): optimal O(n²)/O(n)
+//     single-linkage — the default.
+//   * Nearest-neighbour-chain with Lance–Williams updates: single,
+//     complete and average linkage in O(n²) — powering the linkage
+//     ablation.
+//
+// Both produce a Dendrogram (merge list) that can be cut at any distance
+// threshold; the adaptive threshold scan reimplements the paper's rule:
+// sweep thresholds in [0,1] with step 0.01 and keep the first model with
+// fewer than `max_clusters` clusters of which at least one holds
+// `min_observations`+ valid observations.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "core/distance_matrix.h"
+
+namespace fenrir::core {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+/// A merge list: n-1 rows for n leaves. Cluster ids: 0..n-1 are leaves,
+/// n+k is the cluster produced by merge k.
+struct Dendrogram {
+  struct Merge {
+    std::size_t a = 0, b = 0;  // cluster ids merged
+    double height = 0.0;       // distance at which they merge
+  };
+  std::size_t leaves = 0;
+  std::vector<Merge> merges;
+};
+
+/// Flat clustering: one label per *series index*. Invalid (outage)
+/// observations get label kNoise (-1).
+struct Clustering {
+  static constexpr int kNoise = -1;
+  double threshold = 0.0;
+  std::vector<int> labels;
+  std::size_t cluster_count = 0;
+
+  /// Series indices belonging to cluster c, in time order.
+  std::vector<std::size_t> members(int c) const;
+  /// Number of clusters with at least @p n members.
+  std::size_t clusters_with_at_least(std::size_t n) const;
+};
+
+/// Builds the dendrogram over the matrix's valid observations.
+/// SLINK is used when linkage == kSingle; NN-chain otherwise.
+Dendrogram build_dendrogram(const SimilarityMatrix& matrix, Linkage linkage);
+
+/// SLINK specifically (exposed for testing against NN-chain).
+Dendrogram slink_dendrogram(const SimilarityMatrix& matrix);
+
+/// Cuts a dendrogram at @p threshold: merges with height <= threshold are
+/// applied. @p matrix supplies the valid-index mapping and must be the
+/// one the dendrogram was built from.
+Clustering cut_dendrogram(const Dendrogram& dendrogram,
+                          const SimilarityMatrix& matrix, double threshold);
+
+/// One-shot convenience.
+Clustering cluster_hac(const SimilarityMatrix& matrix, Linkage linkage,
+                       double threshold);
+
+struct AdaptiveConfig {
+  std::size_t max_clusters = 15;   // accept first model with < this many
+  std::size_t min_observations = 2;  // ...of which one has at least this many
+  double step = 0.01;
+};
+
+/// The paper's adaptive threshold selection. Falls back to threshold 1.0
+/// (single cluster) if no step satisfies the rule.
+Clustering cluster_adaptive(const SimilarityMatrix& matrix, Linkage linkage,
+                            const AdaptiveConfig& config = {});
+
+}  // namespace fenrir::core

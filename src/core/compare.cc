@@ -1,0 +1,65 @@
+#include "core/compare.h"
+
+namespace fenrir::core {
+
+double gower_similarity(const RoutingVector& a, const RoutingVector& b,
+                        UnknownPolicy policy) {
+  if (a.assignment.size() != b.assignment.size()) {
+    throw std::invalid_argument("gower_similarity: size mismatch");
+  }
+  const std::size_t n = a.assignment.size();
+  if (n == 0) return 0.0;
+  std::size_t matches = 0;
+  if (policy == UnknownPolicy::kPessimistic) {
+    for (std::size_t i = 0; i < n; ++i) {
+      matches += (a.assignment[i] == b.assignment[i] &&
+                  a.assignment[i] != kUnknownSite);
+    }
+    return static_cast<double>(matches) / static_cast<double>(n);
+  }
+  std::size_t considered = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.assignment[i] == kUnknownSite || b.assignment[i] == kUnknownSite) {
+      continue;
+    }
+    ++considered;
+    matches += (a.assignment[i] == b.assignment[i]);
+  }
+  if (considered == 0) return 0.0;
+  return static_cast<double>(matches) / static_cast<double>(considered);
+}
+
+double gower_similarity(const RoutingVector& a, const RoutingVector& b,
+                        std::span<const double> weights,
+                        UnknownPolicy policy) {
+  if (a.assignment.size() != b.assignment.size()) {
+    throw std::invalid_argument("gower_similarity: size mismatch");
+  }
+  if (weights.size() != a.assignment.size()) {
+    throw std::invalid_argument("gower_similarity: weight size mismatch");
+  }
+  const std::size_t n = a.assignment.size();
+  double matched = 0.0;
+  double denom = 0.0;
+  if (policy == UnknownPolicy::kPessimistic) {
+    for (std::size_t i = 0; i < n; ++i) {
+      denom += weights[i];
+      if (a.assignment[i] == b.assignment[i] &&
+          a.assignment[i] != kUnknownSite) {
+        matched += weights[i];
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.assignment[i] == kUnknownSite || b.assignment[i] == kUnknownSite) {
+        continue;
+      }
+      denom += weights[i];
+      if (a.assignment[i] == b.assignment[i]) matched += weights[i];
+    }
+  }
+  if (denom <= 0.0) return 0.0;
+  return matched / denom;
+}
+
+}  // namespace fenrir::core

@@ -1,0 +1,53 @@
+// fenrir::core — pairwise vector comparison (the paper's §2.6.1).
+//
+// The similarity of two routing vectors is Gower's coefficient over the N
+// per-network categorical elements:
+//
+//     M(t,t',n) = 1  if D(t,n) = D(t',n) and D(t,n) != unknown, else 0
+//     Φ(t,t')   = Σ_n M(t,t',n)·D_w(n) / Σ_n D_w(n)
+//
+// Φ is the weighted fraction of networks whose catchment is identical —
+// "routing today is 80% like last month" is Φ = 0.8.
+//
+// Unknown handling:
+//   * kPessimistic (paper default): an unknown on either side counts as a
+//     mismatch but stays in the denominator. Services with imperfect
+//     coverage (Verfploeter answers for ~half its targets) therefore top
+//     out well below 1.0 — the paper's 0.5–0.6 plateau.
+//   * kKnownOnly (the paper's stated ongoing work, implemented here):
+//     networks unknown on either side leave the denominator, so Φ is the
+//     similarity of the networks we actually know.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+enum class UnknownPolicy {
+  kPessimistic,
+  kKnownOnly,
+};
+
+/// Gower similarity of two equally-sized vectors with uniform weights.
+/// Throws std::invalid_argument on size mismatch. Under kKnownOnly with
+/// no mutually-known network the result is 0.0 (documented convention:
+/// nothing is known to be the same).
+double gower_similarity(const RoutingVector& a, const RoutingVector& b,
+                        UnknownPolicy policy = UnknownPolicy::kPessimistic);
+
+/// Weighted Gower similarity; @p weights must match the vector size.
+double gower_similarity(const RoutingVector& a, const RoutingVector& b,
+                        std::span<const double> weights,
+                        UnknownPolicy policy = UnknownPolicy::kPessimistic);
+
+/// Gower distance = 1 - similarity (the quantity HAC clusters on).
+inline double gower_distance(
+    const RoutingVector& a, const RoutingVector& b,
+    UnknownPolicy policy = UnknownPolicy::kPessimistic) {
+  return 1.0 - gower_similarity(a, b, policy);
+}
+
+}  // namespace fenrir::core

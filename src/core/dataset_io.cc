@@ -1,0 +1,145 @@
+#include "core/dataset_io.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.h"
+#include "io/table.h"
+
+namespace fenrir::core {
+
+namespace {
+
+constexpr const char* kMagic = "#fenrir-dataset";
+constexpr const char* kVersion = "v1";
+
+std::uint64_t parse_u64(const std::string& text) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw DatasetIoError("bad network key: " + text);
+  }
+  return out;
+}
+
+double parse_double(const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) throw DatasetIoError("bad weight: " + text);
+    return v;
+  } catch (const std::exception&) {
+    throw DatasetIoError("bad weight: " + text);
+  }
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& dataset, std::ostream& out) {
+  try {
+    dataset.check_consistent();
+  } catch (const std::invalid_argument& e) {
+    throw DatasetIoError(std::string("refusing to save: ") + e.what());
+  }
+  io::CsvWriter csv(out);
+  csv.row(kMagic, kVersion);
+  csv.row("name", dataset.name);
+  if (!dataset.weights.empty()) {
+    std::vector<std::string> row{"weights"};
+    for (const double w : dataset.weights) row.push_back(io::fixed(w, 6));
+    csv.write_row(row);
+  }
+  {
+    std::vector<std::string> head{"time", "valid"};
+    for (NetId n = 0; n < dataset.networks.size(); ++n) {
+      head.push_back(std::to_string(dataset.networks.key(n)));
+    }
+    csv.write_row(head);
+  }
+  for (const RoutingVector& v : dataset.series) {
+    std::vector<std::string> row{format_time(v.time), v.valid ? "1" : "0"};
+    for (const SiteId s : v.assignment) {
+      row.push_back(dataset.sites.name(s));
+    }
+    csv.write_row(row);
+  }
+}
+
+Dataset load_dataset(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto rows = io::parse_csv(buffer.str());
+  if (rows.size() < 2 || rows[0].size() < 2 || rows[0][0] != kMagic) {
+    throw DatasetIoError("not a fenrir dataset (bad magic)");
+  }
+  if (rows[0][1] != kVersion) {
+    throw DatasetIoError("unsupported dataset version " + rows[0][1]);
+  }
+
+  Dataset d;
+  std::size_t r = 1;
+  if (r < rows.size() && !rows[r].empty() && rows[r][0] == "name") {
+    if (rows[r].size() != 2) throw DatasetIoError("malformed name row");
+    d.name = rows[r][1];
+    ++r;
+  }
+  if (r < rows.size() && !rows[r].empty() && rows[r][0] == "weights") {
+    for (std::size_t i = 1; i < rows[r].size(); ++i) {
+      d.weights.push_back(parse_double(rows[r][i]));
+    }
+    ++r;
+  }
+  if (r >= rows.size() || rows[r].size() < 2 || rows[r][0] != "time" ||
+      rows[r][1] != "valid") {
+    throw DatasetIoError("missing header row");
+  }
+  const std::size_t columns = rows[r].size();
+  for (std::size_t i = 2; i < columns; ++i) {
+    d.networks.intern(parse_u64(rows[r][i]));
+  }
+  ++r;
+
+  for (; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() != columns) {
+      throw DatasetIoError("ragged row at line " + std::to_string(r + 1));
+    }
+    RoutingVector v;
+    const auto t = parse_time(row[0]);
+    if (!t) throw DatasetIoError("bad time: " + row[0]);
+    v.time = *t;
+    if (row[1] != "0" && row[1] != "1") {
+      throw DatasetIoError("bad valid flag: " + row[1]);
+    }
+    v.valid = row[1] == "1";
+    v.assignment.reserve(columns - 2);
+    for (std::size_t i = 2; i < columns; ++i) {
+      v.assignment.push_back(d.sites.intern(row[i]));
+    }
+    d.series.push_back(std::move(v));
+  }
+
+  try {
+    d.check_consistent();
+  } catch (const std::invalid_argument& e) {
+    throw DatasetIoError(std::string("inconsistent dataset: ") + e.what());
+  }
+  return d;
+}
+
+void save_dataset_file(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw DatasetIoError("cannot open " + path + " for writing");
+  save_dataset(dataset, out);
+  if (!out) throw DatasetIoError("write failed: " + path);
+}
+
+Dataset load_dataset_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw DatasetIoError("cannot open " + path);
+  return load_dataset(in);
+}
+
+}  // namespace fenrir::core

@@ -1,0 +1,45 @@
+// fenrir::core — Dataset (de)serialization.
+//
+// Fenrir's on-disk interchange format is CSV, so vectors collected by any
+// external measurement pipeline can be fed to the analysis CLI and so
+// datasets built by the simulators can be archived and shared (the paper
+// releases its enterprise and top-website datasets the same way).
+//
+// Layout (one file per dataset):
+//
+//   #fenrir-dataset,v1
+//   name,<dataset name>
+//   weights,<w1>,<w2>,...            (optional row)
+//   time,valid,<net key1>,<net key2>,...
+//   2020-03-01 00:00,1,LAX,unknown,err,...
+//   2020-03-02 00:00,0,unknown,...   (collection outage)
+//
+// Network keys are decimal uint64 (a /24 block index, a VP id, an
+// encoded prefix). Catchments are site names; "unknown"/"err"/"other"
+// map to the reserved ids.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+class DatasetIoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes the dataset; throws DatasetIoError on an inconsistent dataset.
+void save_dataset(const Dataset& dataset, std::ostream& out);
+
+/// Parses a dataset; throws DatasetIoError on malformed input (bad
+/// magic, ragged rows, unparsable times, unordered series).
+Dataset load_dataset(std::istream& in);
+
+/// Convenience file wrappers (throw DatasetIoError on I/O failure).
+void save_dataset_file(const Dataset& dataset, const std::string& path);
+Dataset load_dataset_file(const std::string& path);
+
+}  // namespace fenrir::core

@@ -1,0 +1,105 @@
+#include "core/distance_matrix.h"
+
+#include "core/parallel.h"
+
+#include <algorithm>
+
+namespace fenrir::core {
+
+SimilarityMatrix SimilarityMatrix::compute(const Dataset& dataset,
+                                           UnknownPolicy policy,
+                                           unsigned threads) {
+  const std::size_t n = dataset.series.size();
+  SimilarityMatrix m(n);
+  const bool weighted = !dataset.weights.empty();
+  if (weighted && dataset.weights.size() != dataset.networks.size()) {
+    throw std::invalid_argument("SimilarityMatrix: weight size mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    m.valid_[i] = dataset.series[i].valid ? 1 : 0;
+  }
+  // Rows write disjoint triangle slices, so row-parallelism is safe and
+  // deterministic. Row costs grow linearly with the index; interleaving
+  // rows across chunks would balance better, but static chunks keep the
+  // memory access pattern contiguous and the skew is modest in practice.
+  parallel_for(
+      n,
+      [&](std::size_t i) {
+        if (!m.valid_[i]) return;
+        for (std::size_t j = 0; j <= i; ++j) {
+          if (!m.valid_[j]) continue;
+          const double phi =
+              weighted
+                  ? gower_similarity(dataset.series[i], dataset.series[j],
+                                     dataset.weights, policy)
+                  : gower_similarity(dataset.series[i], dataset.series[j],
+                                     policy);
+          m.values_[m.tri_index(i, j)] = phi;
+        }
+      },
+      threads);
+  return m;
+}
+
+std::size_t SimilarityMatrix::valid_count() const {
+  std::size_t c = 0;
+  for (const char v : valid_) c += (v != 0);
+  return c;
+}
+
+SimilarityMatrix::Range SimilarityMatrix::range_between(
+    const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) const {
+  Range out;
+  for (const std::size_t i : a) {
+    if (!valid(i)) continue;
+    for (const std::size_t j : b) {
+      if (!valid(j) || i == j) continue;
+      const double p = phi(i, j);
+      if (!out.any) {
+        out.min = out.max = p;
+        out.any = true;
+      } else {
+        out.min = std::min(out.min, p);
+        out.max = std::max(out.max, p);
+      }
+    }
+  }
+  return out;
+}
+
+SimilarityMatrix::Range SimilarityMatrix::range_within(
+    const std::vector<std::size_t>& a) const {
+  Range out;
+  for (std::size_t x = 0; x < a.size(); ++x) {
+    for (std::size_t y = x + 1; y < a.size(); ++y) {
+      if (!valid(a[x]) || !valid(a[y])) continue;
+      const double p = phi(a[x], a[y]);
+      if (!out.any) {
+        out.min = out.max = p;
+        out.any = true;
+      } else {
+        out.min = std::min(out.min, p);
+        out.max = std::max(out.max, p);
+      }
+    }
+  }
+  return out;
+}
+
+double SimilarityMatrix::median_between(
+    const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) const {
+  std::vector<double> values;
+  for (const std::size_t i : a) {
+    if (!valid(i)) continue;
+    for (const std::size_t j : b) {
+      if (!valid(j) || i == j) continue;
+      values.push_back(phi(i, j));
+    }
+  }
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+}  // namespace fenrir::core

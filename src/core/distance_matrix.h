@@ -1,0 +1,75 @@
+// fenrir::core — all-pairs similarity over a time series (paper §2.7).
+//
+// SimilarityMatrix holds Φ(t,t') for every pair of observations in a
+// Dataset. It is the input to the heatmap renderer and to hierarchical
+// clustering (as distance 1-Φ). Invalid observations (collection outages)
+// keep their timeline slot but carry no similarity values — they render
+// blank and are excluded from clustering, matching the paper's blank
+// 2023-07..12 band in Figure 3.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/compare.h"
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+class SimilarityMatrix {
+ public:
+  /// Computes Φ for all pairs of @p dataset.series (weights from the
+  /// dataset; uniform if empty). O(T²·N), parallelized over rows with
+  /// @p threads workers (0 = hardware concurrency, 1 = serial); the
+  /// result is bit-identical for any thread count.
+  static SimilarityMatrix compute(
+      const Dataset& dataset,
+      UnknownPolicy policy = UnknownPolicy::kPessimistic,
+      unsigned threads = 0);
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// Φ(i,j); 0.0 when either index is invalid. phi(i,i) is computed like
+  /// any pair (under the pessimistic policy a vector with unknowns is not
+  /// 100% similar to itself — the paper's Verfploeter ceiling).
+  double phi(std::size_t i, std::size_t j) const {
+    return values_.at(tri_index(i, j));
+  }
+  double dist(std::size_t i, std::size_t j) const { return 1.0 - phi(i, j); }
+
+  bool valid(std::size_t i) const { return valid_.at(i); }
+  std::size_t valid_count() const;
+
+  /// Minimum / maximum Φ over all valid pairs drawn from two index sets
+  /// (used for the paper's "Φ(M_i, M_ii) = [0.11, 0.48]" mode ranges).
+  /// Returns {0,0} if no valid pair exists.
+  struct Range {
+    double min = 0.0, max = 0.0;
+    bool any = false;
+  };
+  Range range_between(const std::vector<std::size_t>& a,
+                      const std::vector<std::size_t>& b) const;
+  /// Range over distinct pairs within one index set.
+  Range range_within(const std::vector<std::size_t>& a) const;
+  /// Median Φ between two index sets (0 if no valid pair).
+  double median_between(const std::vector<std::size_t>& a,
+                        const std::vector<std::size_t>& b) const;
+
+ private:
+  SimilarityMatrix(std::size_t n)
+      : n_(n), values_(n * (n + 1) / 2, 0.0), valid_(n, false) {}
+
+  std::size_t tri_index(std::size_t i, std::size_t j) const {
+    if (i >= n_ || j >= n_) throw std::out_of_range("SimilarityMatrix index");
+    if (i < j) std::swap(i, j);
+    return i * (i + 1) / 2 + j;
+  }
+
+  std::size_t n_;
+  std::vector<double> values_;  // lower triangle incl. diagonal
+  std::vector<char> valid_;
+};
+
+}  // namespace fenrir::core

@@ -1,0 +1,81 @@
+#include "core/events.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace fenrir::core {
+
+std::vector<double> consecutive_phi(const Dataset& dataset,
+                                    UnknownPolicy policy) {
+  const std::size_t n = dataset.series.size();
+  std::vector<double> out(n, -1.0);
+  const bool weighted = !dataset.weights.empty();
+  for (std::size_t i = 1; i < n; ++i) {
+    const RoutingVector& a = dataset.series[i - 1];
+    const RoutingVector& b = dataset.series[i];
+    if (!a.valid || !b.valid) continue;
+    out[i] = weighted
+                 ? gower_similarity(a, b, dataset.weights, policy)
+                 : gower_similarity(a, b, policy);
+  }
+  return out;
+}
+
+std::vector<DetectedEvent> detect_changes_from_phi(
+    const std::vector<double>& phi, const std::vector<TimePoint>& times,
+    const DetectorConfig& config) {
+  if (times.size() != phi.size()) {
+    throw std::invalid_argument("detect_changes_from_phi: size mismatch");
+  }
+  std::vector<DetectedEvent> events;
+  std::deque<double> window;
+
+  const auto baseline_of = [&]() {
+    std::vector<double> sorted(window.begin(), window.end());
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[sorted.size() / 2];
+  };
+  const auto spread_of = [&](double median) {
+    // Median absolute deviation, scaled to be comparable to a stddev.
+    std::vector<double> dev;
+    dev.reserve(window.size());
+    for (const double v : window) dev.push_back(std::fabs(v - median));
+    std::sort(dev.begin(), dev.end());
+    return 1.4826 * dev[dev.size() / 2];
+  };
+
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    if (phi[i] < 0.0) continue;  // no comparison at this slot
+    bool is_event = false;
+    if (window.size() >= config.min_history) {
+      const double baseline = baseline_of();
+      const double spread = spread_of(baseline);
+      const double threshold =
+          baseline - std::max(config.min_drop, config.z_threshold * spread);
+      if (phi[i] < threshold) {
+        is_event = true;
+        events.push_back(DetectedEvent{i, times[i], phi[i], baseline,
+                                       baseline - phi[i]});
+      }
+    }
+    if (!is_event) {
+      window.push_back(phi[i]);
+      if (window.size() > config.window) window.pop_front();
+    }
+  }
+  return events;
+}
+
+std::vector<DetectedEvent> detect_changes(const Dataset& dataset,
+                                          const DetectorConfig& config,
+                                          UnknownPolicy policy) {
+  const auto phi = consecutive_phi(dataset, policy);
+  std::vector<TimePoint> times;
+  times.reserve(dataset.series.size());
+  for (const auto& v : dataset.series) times.push_back(v.time);
+  return detect_changes_from_phi(phi, times, config);
+}
+
+}  // namespace fenrir::core

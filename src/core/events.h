@@ -1,0 +1,53 @@
+// fenrir::core — change-point detection over a vector time series.
+//
+// The validation study (paper §3) identifies events by examining the
+// similarity between consecutive vectors: a routing change appears as a
+// dip in Φ(t, t+1) against the recent baseline. The detector keeps a
+// trailing window of consecutive-pair similarities, estimates a robust
+// baseline (median) and spread, and flags observations whose similarity
+// drops below baseline − max(min_drop, z·spread). Values flagged as
+// events are excluded from the baseline so a long disruption does not
+// mask itself.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/compare.h"
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+/// Similarity of each consecutive valid pair: result[i] = Φ(series[i-1],
+/// series[i]); index 0 and pairs spanning invalid vectors carry -1
+/// ("no comparison").
+std::vector<double> consecutive_phi(
+    const Dataset& dataset, UnknownPolicy policy = UnknownPolicy::kPessimistic);
+
+struct DetectorConfig {
+  std::size_t window = 24;   // trailing comparisons forming the baseline
+  std::size_t min_history = 6;  // don't flag before this many comparisons
+  double z_threshold = 4.0;  // spread multiplier
+  double min_drop = 0.02;    // absolute Φ drop that always counts
+};
+
+struct DetectedEvent {
+  std::size_t index = 0;   // series index where the change lands
+  TimePoint time = 0;
+  double phi = 0.0;        // Φ(prev, this)
+  double baseline = 0.0;   // median of the trailing window
+  double drop = 0.0;       // baseline - phi
+};
+
+/// Runs the detector over the dataset.
+std::vector<DetectedEvent> detect_changes(
+    const Dataset& dataset, const DetectorConfig& config = {},
+    UnknownPolicy policy = UnknownPolicy::kPessimistic);
+
+/// Same detector over a precomputed consecutive-Φ sequence (entries < 0
+/// are skipped); @p times supplies timestamps for reporting.
+std::vector<DetectedEvent> detect_changes_from_phi(
+    const std::vector<double>& phi, const std::vector<TimePoint>& times,
+    const DetectorConfig& config = {});
+
+}  // namespace fenrir::core

@@ -1,0 +1,129 @@
+#include "core/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <ostream>
+
+#include "io/csv.h"
+#include "io/table.h"
+
+namespace fenrir::core {
+
+namespace {
+
+/// Mean Φ over the valid cells of box [r0,r1)×[c0,c1); nullopt if none.
+std::optional<double> box_mean(const SimilarityMatrix& m, std::size_t r0,
+                               std::size_t r1, std::size_t c0,
+                               std::size_t c1) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t r = r0; r < r1; ++r) {
+    if (!m.valid(r)) continue;
+    for (std::size_t c = c0; c < c1; ++c) {
+      if (!m.valid(c)) continue;
+      sum += m.phi(r, c);
+      ++count;
+    }
+  }
+  if (count == 0) return std::nullopt;
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+io::GrayImage heatmap_image(const SimilarityMatrix& matrix,
+                            std::size_t max_pixels) {
+  const std::size_t n = matrix.size();
+  const std::size_t side = std::max<std::size_t>(1, std::min(n, max_pixels));
+  io::GrayImage img(side, side, 255);
+  if (n == 0) return img;
+  for (std::size_t y = 0; y < side; ++y) {
+    const std::size_t r0 = y * n / side;
+    const std::size_t r1 = std::max(r0 + 1, (y + 1) * n / side);
+    for (std::size_t x = 0; x < side; ++x) {
+      const std::size_t c0 = x * n / side;
+      const std::size_t c1 = std::max(c0 + 1, (x + 1) * n / side);
+      const auto phi = box_mean(matrix, r0, r1, c0, c1);
+      if (phi) {
+        const double clamped = std::clamp(*phi, 0.0, 1.0);
+        img.at(x, y) = static_cast<std::uint8_t>(
+            std::lround(255.0 * (1.0 - clamped)));
+      }
+    }
+  }
+  return img;
+}
+
+std::string heatmap_ascii(const SimilarityMatrix& matrix,
+                          std::size_t max_chars) {
+  // Light -> dark ramp; index by Φ so similar pairs print dense glyphs.
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kLevels = sizeof(kRamp) - 2;  // last index
+
+  const std::size_t n = matrix.size();
+  if (n == 0) return "";
+  const std::size_t side = std::min(n, max_chars);
+  std::string out;
+  out.reserve((side + 1) * side);
+  for (std::size_t y = 0; y < side; ++y) {
+    const std::size_t r0 = y * n / side;
+    const std::size_t r1 = std::max(r0 + 1, (y + 1) * n / side);
+    for (std::size_t x = 0; x < side; ++x) {
+      const std::size_t c0 = x * n / side;
+      const std::size_t c1 = std::max(c0 + 1, (x + 1) * n / side);
+      const auto phi = box_mean(matrix, r0, r1, c0, c1);
+      if (!phi) {
+        out.push_back(' ');
+      } else {
+        const double clamped = std::clamp(*phi, 0.0, 1.0);
+        out.push_back(
+            kRamp[static_cast<std::size_t>(clamped * kLevels + 0.5)]);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+io::ColorImage mode_strip_image(const Clustering& clustering,
+                                std::size_t height) {
+  const std::size_t n = clustering.labels.size();
+  io::ColorImage img(std::max<std::size_t>(n, 1), std::max<std::size_t>(height, 1));
+  // A fixed qualitative palette, cycled; distinct enough for ~12 modes.
+  static constexpr io::ColorImage::Rgb kPalette[] = {
+      {230, 159, 0},   {86, 180, 233},  {0, 158, 115},  {240, 228, 66},
+      {0, 114, 178},   {213, 94, 0},    {204, 121, 167}, {148, 103, 189},
+      {140, 86, 75},   {127, 127, 127}, {188, 189, 34},  {23, 190, 207},
+  };
+  for (std::size_t x = 0; x < n; ++x) {
+    const int label = clustering.labels[x];
+    const io::ColorImage::Rgb color =
+        label < 0 ? io::ColorImage::Rgb{0, 0, 0}
+                  : kPalette[static_cast<std::size_t>(label) %
+                             std::size(kPalette)];
+    for (std::size_t y = 0; y < img.height(); ++y) img.at(x, y) = color;
+  }
+  return img;
+}
+
+void write_heatmap_csv(const SimilarityMatrix& matrix, const Dataset& dataset,
+                       std::ostream& out) {
+  io::CsvWriter csv(out);
+  std::vector<std::string> head{"time"};
+  for (const auto& v : dataset.series) head.push_back(format_time(v.time));
+  csv.write_row(head);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    std::vector<std::string> row{format_time(dataset.series[i].time)};
+    for (std::size_t j = 0; j < matrix.size(); ++j) {
+      if (matrix.valid(i) && matrix.valid(j)) {
+        row.push_back(io::fixed(matrix.phi(i, j), 4));
+      } else {
+        row.push_back("");
+      }
+    }
+    csv.write_row(row);
+  }
+}
+
+}  // namespace fenrir::core

@@ -1,0 +1,43 @@
+// fenrir::core — all-pairs similarity heatmaps (paper Figures 2b/3b/5/6b).
+//
+// Renders a SimilarityMatrix the way the paper plots it: both axes are
+// observation time, dark cells are similar pairs, so stable routing modes
+// appear as dark triangles along the diagonal and routing changes as
+// discontinuities in shading. Invalid (outage) rows/columns render white.
+// Output forms: an 8-bit PGM image (optionally downsampled), a terminal
+// ASCII rendering, and CSV for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/cluster.h"
+#include "core/distance_matrix.h"
+#include "io/pgm.h"
+
+namespace fenrir::core {
+
+/// PGM heatmap. If the matrix is larger than @p max_pixels on a side it is
+/// box-downsampled (averaging Φ over valid cells in each box). Pixel value
+/// = 255·(1-Φ): black = identical routing, matching the paper's shading.
+io::GrayImage heatmap_image(const SimilarityMatrix& matrix,
+                            std::size_t max_pixels = 1024);
+
+/// Terminal rendering using a 10-step density ramp, at most @p max_chars
+/// columns. Dark (dense) glyphs = similar. Invalid cells render ' '.
+std::string heatmap_ascii(const SimilarityMatrix& matrix,
+                          std::size_t max_chars = 64);
+
+/// Full-resolution CSV: header row/col of time labels, Φ values in cells,
+/// empty cells for invalid observations.
+void write_heatmap_csv(const SimilarityMatrix& matrix, const Dataset& dataset,
+                       std::ostream& out);
+
+/// A colored mode strip: one column per observation, @p height pixels
+/// tall, each cluster label painted in its own hue (noise/outage black).
+/// Placed under a heatmap it annotates which mode each column belongs to
+/// — the colored bars the paper's figures mark (i), (ii), ... with.
+io::ColorImage mode_strip_image(const Clustering& clustering,
+                                std::size_t height = 12);
+
+}  // namespace fenrir::core

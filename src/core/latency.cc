@@ -1,0 +1,68 @@
+#include "core/latency.h"
+
+#include <stdexcept>
+
+#include "stats/stats.h"
+
+namespace fenrir::core {
+
+namespace {
+
+bool usable(double rtt) { return rtt >= 0.0 && !std::isnan(rtt); }
+
+}  // namespace
+
+CatchmentLatency catchment_latency(const RoutingVector& v,
+                                   std::span<const double> rtt_ms,
+                                   std::span<const double> weights,
+                                   std::size_t site_count) {
+  if (rtt_ms.size() != v.assignment.size()) {
+    throw std::invalid_argument("catchment_latency: rtt size mismatch");
+  }
+  if (!weights.empty() && weights.size() != v.assignment.size()) {
+    throw std::invalid_argument("catchment_latency: weight size mismatch");
+  }
+
+  std::vector<std::vector<double>> samples(site_count);
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (std::size_t n = 0; n < v.assignment.size(); ++n) {
+    const SiteId s = v.assignment[n];
+    if (s == kUnknownSite || !usable(rtt_ms[n])) continue;
+    samples.at(s).push_back(rtt_ms[n]);
+    const double w = weights.empty() ? 1.0 : weights[n];
+    weighted_sum += w * rtt_ms[n];
+    weight_total += w;
+  }
+
+  CatchmentLatency out;
+  out.sites.resize(site_count);
+  for (std::size_t s = 0; s < site_count; ++s) {
+    auto& per = out.sites[s];
+    per.samples = samples[s].size();
+    if (per.samples == 0) continue;
+    per.p50 = stats::median(samples[s]);
+    per.p90 = stats::p90(samples[s]);
+    per.mean = stats::mean(samples[s]);
+    out.total_samples += per.samples;
+  }
+  out.weighted_mean = weight_total > 0.0 ? weighted_sum / weight_total : 0.0;
+  return out;
+}
+
+std::optional<double> site_p90(const RoutingVector& v,
+                               std::span<const double> rtt_ms, SiteId site) {
+  if (rtt_ms.size() != v.assignment.size()) {
+    throw std::invalid_argument("site_p90: rtt size mismatch");
+  }
+  std::vector<double> samples;
+  for (std::size_t n = 0; n < v.assignment.size(); ++n) {
+    if (v.assignment[n] == site && usable(rtt_ms[n])) {
+      samples.push_back(rtt_ms[n]);
+    }
+  }
+  if (samples.empty()) return std::nullopt;
+  return stats::p90(samples);
+}
+
+}  // namespace fenrir::core

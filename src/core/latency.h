@@ -1,0 +1,47 @@
+// fenrir::core — from similarity to performance (paper §2.8, Figure 4).
+//
+// Heatmaps say *that* routing changed; operators care what it did to
+// users. Given per-network RTTs to the currently assigned catchment (from
+// RIPE Atlas built-ins, Trinocular, or Fenrir's latency model), this
+// module computes the per-catchment latency distribution (the paper plots
+// p90 per site) and the weighted overall mean an operator would track.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/tables.h"
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+/// Per-catchment latency summary for one observation.
+struct CatchmentLatency {
+  struct PerSite {
+    std::size_t samples = 0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double mean = 0.0;
+  };
+  /// Indexed by SiteId; sites with no samples have samples == 0.
+  std::vector<PerSite> sites;
+  /// Weight-averaged RTT across all networks with a sample.
+  double weighted_mean = 0.0;
+  std::size_t total_samples = 0;
+};
+
+/// Computes the summary. @p rtt_ms holds one RTT per network; entries that
+/// are negative or NaN mean "no measurement" and are skipped, as are
+/// networks with unknown catchment. @p weights may be empty (uniform).
+CatchmentLatency catchment_latency(const RoutingVector& v,
+                                   std::span<const double> rtt_ms,
+                                   std::span<const double> weights,
+                                   std::size_t site_count);
+
+/// p90 RTT of one site over one observation; nullopt if no samples.
+std::optional<double> site_p90(const RoutingVector& v,
+                               std::span<const double> rtt_ms, SiteId site);
+
+}  // namespace fenrir::core

@@ -1,0 +1,38 @@
+#include "core/modebook.h"
+
+namespace fenrir::core {
+
+ModeBook::Match ModeBook::observe(const RoutingVector& v) {
+  Match out;
+  if (!v.valid) {
+    out.mode = history_.empty() ? 0 : history_.back();
+    return out;
+  }
+
+  std::optional<std::size_t> best;
+  double best_phi = -1.0;
+  for (std::size_t m = 0; m < representatives_.size(); ++m) {
+    const double phi =
+        gower_similarity(representatives_[m], v, config_.policy);
+    if (phi > best_phi) {
+      best_phi = phi;
+      best = m;
+    }
+  }
+
+  if (best && best_phi >= config_.match_threshold) {
+    out.mode = *best;
+    out.phi = best_phi;
+    out.is_recurrence = !history_.empty() && history_.back() != *best;
+    if (config_.adapt_representative) representatives_[*best] = v;
+  } else {
+    out.mode = representatives_.size();
+    out.phi = best_phi < 0 ? 0.0 : best_phi;
+    out.is_new = true;
+    representatives_.push_back(v);
+  }
+  history_.push_back(out.mode);
+  return out;
+}
+
+}  // namespace fenrir::core

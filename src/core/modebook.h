@@ -1,0 +1,67 @@
+// fenrir::core — online mode recognition.
+//
+// The batch pipeline (analyze()) discovers modes retrospectively; an
+// operator watching a live feed asks the paper's question the moment a
+// new vector arrives: "is the current routing new, or is it like a
+// routing mode I saw before?" ModeBook answers it online: it keeps one
+// representative vector per known mode, classifies each incoming
+// observation by Gower similarity against them, and registers a new mode
+// when nothing matches. Re-entering an old mode — the G-Root drain state
+// recurring two days later, B-Root returning toward its 2019 routing —
+// reports the original mode id and the match strength.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/compare.h"
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+class ModeBook {
+ public:
+  struct Config {
+    /// An observation joins a known mode when Φ against its
+    /// representative is at least this. With pessimistic unknown
+    /// handling remember the measurement's ceiling (Verfploeter data
+    /// cannot exceed its coverage — use kKnownOnly there instead).
+    double match_threshold = 0.85;
+    UnknownPolicy policy = UnknownPolicy::kKnownOnly;
+    /// Representatives adapt: the stored vector keeps the latest member
+    /// (true) or stays frozen at the mode's first vector (false).
+    /// Adapting follows slow drift; freezing measures drift.
+    bool adapt_representative = false;
+  };
+
+  struct Match {
+    std::size_t mode = 0;   // id of the (possibly new) mode
+    double phi = 0.0;       // similarity to that mode's representative
+    bool is_new = false;    // a mode was registered for this observation
+    bool is_recurrence = false;  // matched a mode other than the previous
+  };
+
+  ModeBook() = default;
+  explicit ModeBook(const Config& config) : config_(config) {}
+
+  /// Classifies @p v and updates the book. Invalid observations return
+  /// the previous state unchanged with phi = 0 (and are not recorded).
+  Match observe(const RoutingVector& v);
+
+  std::size_t mode_count() const noexcept { return representatives_.size(); }
+  const RoutingVector& representative(std::size_t mode) const {
+    return representatives_.at(mode);
+  }
+  /// Mode id assigned to each observed (valid) vector, in order.
+  const std::vector<std::size_t>& history() const noexcept {
+    return history_;
+  }
+
+ private:
+  Config config_;
+  std::vector<RoutingVector> representatives_;
+  std::vector<std::size_t> history_;
+};
+
+}  // namespace fenrir::core

@@ -1,0 +1,107 @@
+#include "core/modes.h"
+
+#include <algorithm>
+#include <map>
+
+namespace fenrir::core {
+
+std::string roman_numeral(std::size_t n) {
+  static constexpr std::pair<std::size_t, const char*> kParts[] = {
+      {1000, "m"}, {900, "cm"}, {500, "d"}, {400, "cd"}, {100, "c"},
+      {90, "xc"},  {50, "l"},   {40, "xl"}, {10, "x"},   {9, "ix"},
+      {5, "v"},    {4, "iv"},   {1, "i"},
+  };
+  std::string out;
+  for (const auto& [value, digits] : kParts) {
+    while (n >= value) {
+      out += digits;
+      n -= value;
+    }
+  }
+  return out;
+}
+
+ModeSet ModeSet::build(const Dataset& dataset, const Clustering& clustering,
+                       std::size_t min_size) {
+  ModeSet out;
+  // Group series indices by cluster label.
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < clustering.labels.size(); ++i) {
+    const int l = clustering.labels[i];
+    if (l >= 0) groups[l].push_back(i);
+  }
+  // Keep groups of sufficient size, ordered by first appearance.
+  std::vector<std::pair<std::size_t, int>> order;  // (first index, label)
+  for (const auto& [label, members] : groups) {
+    if (members.size() >= min_size) order.emplace_back(members.front(), label);
+  }
+  std::sort(order.begin(), order.end());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const int label = order[k].second;
+    Mode m;
+    m.cluster = label;
+    m.label = roman_numeral(k + 1);
+    m.members = groups[label];
+    m.start = dataset.series.at(m.members.front()).time;
+    m.end = dataset.series.at(m.members.back()).time;
+    out.modes_.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::optional<std::size_t> ModeSet::mode_of(std::size_t series_index) const {
+  for (std::size_t i = 0; i < modes_.size(); ++i) {
+    if (std::binary_search(modes_[i].members.begin(), modes_[i].members.end(),
+                           series_index)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+SimilarityMatrix::Range ModeSet::intra(const SimilarityMatrix& matrix,
+                                       std::size_t i) const {
+  return matrix.range_within(modes_.at(i).members);
+}
+
+SimilarityMatrix::Range ModeSet::inter(const SimilarityMatrix& matrix,
+                                       std::size_t i, std::size_t j) const {
+  return matrix.range_between(modes_.at(i).members, modes_.at(j).members);
+}
+
+double ModeSet::median_inter(const SimilarityMatrix& matrix, std::size_t i,
+                             std::size_t j) const {
+  return matrix.median_between(modes_.at(i).members, modes_.at(j).members);
+}
+
+std::vector<std::vector<std::size_t>> ModeSet::transition_counts(
+    std::size_t series_length) const {
+  std::vector<std::vector<std::size_t>> out(
+      modes_.size(), std::vector<std::size_t>(modes_.size(), 0));
+  // Mode of each series index (modes_.size() = none).
+  std::vector<std::size_t> of(series_length, modes_.size());
+  for (std::size_t m = 0; m < modes_.size(); ++m) {
+    for (const std::size_t idx : modes_[m].members) {
+      if (idx < series_length) of[idx] = m;
+    }
+  }
+  for (std::size_t i = 1; i < series_length; ++i) {
+    const std::size_t a = of[i - 1], b = of[i];
+    if (a < modes_.size() && b < modes_.size() && a != b) ++out[a][b];
+  }
+  return out;
+}
+
+std::optional<ModeSet::Recurrence> ModeSet::recurrence(
+    const SimilarityMatrix& matrix, std::size_t i) const {
+  if (i < 2) return std::nullopt;  // need an earlier, non-adjacent mode
+  Recurrence best{0, -1.0};
+  for (std::size_t e = 0; e + 1 < i; ++e) {
+    const double phi = median_inter(matrix, i, e);
+    if (phi > best.median_phi) best = Recurrence{e, phi};
+  }
+  if (best.median_phi < 0.0) return std::nullopt;
+  return best;
+}
+
+}  // namespace fenrir::core

@@ -1,0 +1,85 @@
+// fenrir::core — routing modes and recurrence (paper §2.6.2, §4).
+//
+// A mode is a cluster of observation times whose routing vectors are
+// mutually similar — a mostly-stable routing regime the service sits in.
+// ModeSet orders clusters by first appearance, names them with roman
+// numerals like the paper's figures ((i), (ii), ...), reports intra- and
+// inter-mode Φ ranges ("Φ(M_i, M_ii) = [0.11, 0.48]"), and answers the
+// paper's recurrence question: is the current mode like one seen before
+// (mode (v) resembling mode (i) at B-Root)?
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/distance_matrix.h"
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+/// Roman numeral for 1-based n ("i", "ii", ..., "xlii").
+std::string roman_numeral(std::size_t n);
+
+struct Mode {
+  int cluster = -1;        // label in the source Clustering
+  std::string label;       // "i", "ii", ...
+  std::vector<std::size_t> members;  // series indices, ascending
+  TimePoint start = 0;     // time of first member
+  TimePoint end = 0;       // time of last member
+};
+
+class ModeSet {
+ public:
+  ModeSet() = default;
+
+  /// Extracts modes: clusters with >= @p min_size members, ordered by
+  /// first member index. Smaller clusters are treated as transition noise
+  /// and not reported.
+  static ModeSet build(const Dataset& dataset, const Clustering& clustering,
+                       std::size_t min_size = 2);
+
+  const std::vector<Mode>& modes() const noexcept { return modes_; }
+  std::size_t size() const noexcept { return modes_.size(); }
+  const Mode& mode(std::size_t i) const { return modes_.at(i); }
+
+  /// Mode containing series index @p t, if any.
+  std::optional<std::size_t> mode_of(std::size_t series_index) const;
+
+  // Φ statistics take the similarity matrix the clustering was built from
+  // (passed per call: a ModeSet never outlives or pins the matrix).
+
+  /// Φ range within mode @p i.
+  SimilarityMatrix::Range intra(const SimilarityMatrix& matrix,
+                                std::size_t i) const;
+  /// Φ range between modes @p i and @p j.
+  SimilarityMatrix::Range inter(const SimilarityMatrix& matrix, std::size_t i,
+                                std::size_t j) const;
+  /// Median Φ between two modes (the recurrence score).
+  double median_inter(const SimilarityMatrix& matrix, std::size_t i,
+                      std::size_t j) const;
+
+  /// Mode-to-mode transition counts: result[a][b] is the number of times
+  /// an observation in mode a was immediately followed (next series
+  /// index) by one in mode b, a != b. Observations outside any mode
+  /// break adjacency. The matrix summarizes the timeline as a mode
+  /// graph — which regimes the service oscillates between.
+  std::vector<std::vector<std::size_t>> transition_counts(
+      std::size_t series_length) const;
+
+  struct Recurrence {
+    std::size_t earlier_mode;  // index into modes()
+    double median_phi;
+  };
+  /// The earlier, non-adjacent mode most similar to mode @p i — evidence
+  /// that routing returned to a previously seen state. nullopt if there is
+  /// no earlier non-adjacent mode.
+  std::optional<Recurrence> recurrence(const SimilarityMatrix& matrix,
+                                       std::size_t i) const;
+
+ private:
+  std::vector<Mode> modes_;
+};
+
+}  // namespace fenrir::core

@@ -1,0 +1,46 @@
+// fenrir::core — minimal deterministic parallelism.
+//
+// The only expensive stage in Fenrir is embarrassingly parallel: the
+// all-pairs Φ matrix (T² comparisons of N-element vectors). parallel_for
+// splits an index range over std::threads with static chunking — no work
+// stealing, no shared mutable state beyond what the caller partitions —
+// so results are bit-identical to the serial loop regardless of thread
+// count or scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace fenrir::core {
+
+/// Invokes fn(i) for every i in [0, count), distributing indices across
+/// @p threads (0 = hardware concurrency) with a stride-n schedule:
+/// worker w handles i = w, w+n, w+2n, ... Striding balances loops whose
+/// per-index cost varies monotonically (the triangular similarity matrix:
+/// row i compares i pairs), where contiguous chunks would leave the last
+/// worker with almost all the work. fn must be safe to call concurrently
+/// for distinct i and must not throw — callers validate inputs first.
+inline void parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& fn,
+                         unsigned threads = 0) {
+  if (count == 0) return;
+  unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  if (n > count) n = static_cast<unsigned>(count);
+  if (n == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    workers.emplace_back([w, n, count, &fn] {
+      for (std::size_t i = w; i < count; i += n) fn(i);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+}  // namespace fenrir::core

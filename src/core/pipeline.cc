@@ -1,0 +1,97 @@
+#include "core/pipeline.h"
+
+#include <ostream>
+
+#include "io/table.h"
+
+namespace fenrir::core {
+
+AnalysisResult analyze(const Dataset& dataset, const AnalysisConfig& config) {
+  dataset.check_consistent();
+  SimilarityMatrix matrix = SimilarityMatrix::compute(dataset, config.policy);
+  Clustering clustering =
+      cluster_adaptive(matrix, config.linkage, config.adaptive);
+  ModeSet modes = ModeSet::build(dataset, clustering, config.min_mode_size);
+  std::vector<DetectedEvent> events =
+      detect_changes(dataset, config.detector, config.policy);
+  return AnalysisResult{std::move(matrix), std::move(clustering),
+                        std::move(modes), std::move(events)};
+}
+
+namespace {
+
+std::string range_str(const SimilarityMatrix::Range& r) {
+  if (!r.any) return "n/a";
+  return "[" + io::fixed(r.min, 2) + ", " + io::fixed(r.max, 2) + "]";
+}
+
+}  // namespace
+
+void print_report(const Dataset& dataset, const AnalysisResult& result,
+                  std::ostream& out) {
+  out << "=== Fenrir analysis: " << dataset.name << " ===\n";
+  out << dataset.series.size() << " observations, "
+      << dataset.networks.size() << " networks, "
+      << dataset.sites.real_site_count() << " sites; clustering threshold "
+      << io::fixed(result.clustering.threshold, 2) << " ("
+      << result.clustering.cluster_count << " clusters)\n\n";
+
+  const ModeSet& modes = result.modes;
+  if (modes.size() == 0) {
+    out << "no routing modes of the required size\n";
+  } else {
+    io::TextTable table;
+    table.header({"mode", "from", "to", "obs", "intra-phi", "recurs-like",
+                  "median-phi"});
+    for (std::size_t i = 0; i < modes.size(); ++i) {
+      const Mode& m = modes.mode(i);
+      std::string recurs = "-";
+      std::string rec_phi = "-";
+      if (const auto r = modes.recurrence(result.matrix, i)) {
+        recurs = "(" + modes.mode(r->earlier_mode).label + ")";
+        rec_phi = io::fixed(r->median_phi, 2);
+      }
+      table.row("(" + m.label + ")", format_date(m.start), format_date(m.end),
+                m.members.size(), range_str(modes.intra(result.matrix, i)),
+                recurs, rec_phi);
+    }
+    table.print(out);
+
+    if (modes.size() > 1) {
+      out << "\nadjacent mode similarity:\n";
+      for (std::size_t i = 0; i + 1 < modes.size(); ++i) {
+        out << "  phi(M" << modes.mode(i).label << ", M"
+            << modes.mode(i + 1).label << ") = "
+            << range_str(modes.inter(result.matrix, i, i + 1)) << "\n";
+      }
+
+      // The mode graph: oscillation between regimes (a drain mode that
+      // keeps re-appearing shows up as a cycle here).
+      const auto transitions =
+          modes.transition_counts(dataset.series.size());
+      bool any = false;
+      for (std::size_t a = 0; a < modes.size(); ++a) {
+        for (std::size_t b = 0; b < modes.size(); ++b) {
+          if (transitions[a][b] == 0) continue;
+          if (!any) {
+            out << "\nmode transitions:\n";
+            any = true;
+          }
+          out << "  (" << modes.mode(a).label << ") -> ("
+              << modes.mode(b).label << ")";
+          if (transitions[a][b] > 1) out << " x" << transitions[a][b];
+          out << "\n";
+        }
+      }
+    }
+  }
+
+  out << "\ndetected changes: " << result.events.size() << "\n";
+  for (const DetectedEvent& e : result.events) {
+    out << "  " << format_time(e.time) << "  phi=" << io::fixed(e.phi, 3)
+        << "  baseline=" << io::fixed(e.baseline, 3)
+        << "  drop=" << io::fixed(e.drop, 3) << "\n";
+  }
+}
+
+}  // namespace fenrir::core

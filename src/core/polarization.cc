@@ -1,0 +1,68 @@
+#include "core/polarization.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fenrir::core {
+
+PolarizationReport detect_polarization(
+    const RoutingVector& v, std::span<const geo::Coord> network_coords,
+    const std::unordered_map<SiteId, geo::Coord>& site_coords,
+    const PolarizationConfig& config) {
+  if (network_coords.size() != v.assignment.size()) {
+    throw std::invalid_argument("detect_polarization: coord size mismatch");
+  }
+  if (site_coords.empty()) {
+    throw std::invalid_argument("detect_polarization: no site coordinates");
+  }
+
+  struct Accumulator {
+    std::size_t networks = 0;
+    double excess_sum = 0.0;
+  };
+  std::unordered_map<std::uint64_t, Accumulator> acc;
+
+  PolarizationReport out;
+  for (std::size_t n = 0; n < v.assignment.size(); ++n) {
+    const SiteId serving = v.assignment[n];
+    const auto serving_it = site_coords.find(serving);
+    if (serving_it == site_coords.end()) continue;  // unknown/err/other
+    ++out.known_networks;
+
+    const double d_serving =
+        geo::haversine_km(network_coords[n], serving_it->second);
+    SiteId nearest = serving;
+    double d_nearest = d_serving;
+    for (const auto& [site, where] : site_coords) {
+      const double d = geo::haversine_km(network_coords[n], where);
+      if (d < d_nearest) {
+        d_nearest = d;
+        nearest = site;
+      }
+    }
+    const double excess = d_serving - d_nearest;
+    if (excess < config.min_excess_km) continue;
+
+    ++out.polarized_networks;
+    auto& a = acc[(std::uint64_t{serving} << 32) | nearest];
+    ++a.networks;
+    a.excess_sum += excess;
+  }
+
+  for (const auto& [key, a] : acc) {
+    PolarizedGroup g;
+    g.serving = static_cast<SiteId>(key >> 32);
+    g.nearest = static_cast<SiteId>(key & 0xffffffffu);
+    g.networks = a.networks;
+    g.mean_excess_km = a.excess_sum / static_cast<double>(a.networks);
+    out.groups.push_back(g);
+  }
+  std::sort(out.groups.begin(), out.groups.end(),
+            [](const PolarizedGroup& a, const PolarizedGroup& b) {
+              if (a.networks != b.networks) return a.networks > b.networks;
+              return a.mean_excess_km > b.mean_excess_km;
+            });
+  return out;
+}
+
+}  // namespace fenrir::core

@@ -1,0 +1,61 @@
+// fenrir::core — anycast polarization detection.
+//
+// The paper's §4.2 traces B-Root's ARI latency to polarization: "a few
+// North American and European networks being routed to it" — networks
+// served by a geographically distant site even though a much closer one
+// is active (Moura et al. 2022, cited by the paper as the phenomenon
+// DNS operators monitor for). Given a routing vector plus network and
+// site coordinates, this module finds the polarized population and
+// groups it by (serving site, nearest site) so an operator can see which
+// site pair needs routing attention.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tables.h"
+#include "core/vector.h"
+#include "geo/geo.h"
+
+namespace fenrir::core {
+
+struct PolarizationConfig {
+  /// A network is polarized when its serving site is at least this much
+  /// farther away than the nearest active site.
+  double min_excess_km = 3000.0;
+};
+
+struct PolarizedGroup {
+  SiteId serving = kUnknownSite;   // the distant site actually serving
+  SiteId nearest = kUnknownSite;   // the close site being ignored
+  std::size_t networks = 0;
+  double mean_excess_km = 0.0;
+};
+
+struct PolarizationReport {
+  std::size_t known_networks = 0;      // networks with usable data
+  std::size_t polarized_networks = 0;
+  /// Groups by (serving, nearest), descending by population.
+  std::vector<PolarizedGroup> groups;
+
+  double polarized_fraction() const {
+    return known_networks == 0
+               ? 0.0
+               : static_cast<double>(polarized_networks) /
+                     static_cast<double>(known_networks);
+  }
+};
+
+/// Detects polarization in one observation. @p network_coords is aligned
+/// with the vector (one coordinate per network); @p site_coords maps each
+/// *active* real site to its location — sites absent from the map (err/
+/// other/unknown, or drained sites) are skipped both as serving sites and
+/// as nearest candidates. Throws std::invalid_argument on size mismatch
+/// or an empty site map.
+PolarizationReport detect_polarization(
+    const RoutingVector& v, std::span<const geo::Coord> network_coords,
+    const std::unordered_map<SiteId, geo::Coord>& site_coords,
+    const PolarizationConfig& config = {});
+
+}  // namespace fenrir::core

@@ -1,0 +1,80 @@
+#include "core/sankey.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "io/csv.h"
+
+namespace fenrir::core {
+
+SankeyFlows SankeyFlows::from_paths(
+    const std::vector<std::vector<std::string>>& paths) {
+  SankeyFlows out;
+  std::size_t max_len = 0;
+  for (const auto& p : paths) max_len = std::max(max_len, p.size());
+  out.node_mass_.resize(max_len);
+  if (max_len > 1) out.flow_.resize(max_len - 1);
+
+  for (const auto& p : paths) {
+    for (std::size_t h = 0; h < p.size(); ++h) {
+      if (p[h].empty()) continue;
+      ++out.node_mass_[h][p[h]];
+      if (h + 1 < p.size() && !p[h + 1].empty()) {
+        ++out.flow_[h][{p[h], p[h + 1]}];
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t SankeyFlows::node(std::size_t hop,
+                                const std::string& label) const {
+  if (hop >= node_mass_.size()) return 0;
+  const auto it = node_mass_[hop].find(label);
+  return it == node_mass_[hop].end() ? 0 : it->second;
+}
+
+double SankeyFlows::node_fraction(std::size_t hop,
+                                  const std::string& label) const {
+  if (hop >= node_mass_.size()) return 0.0;
+  std::uint64_t total = 0;
+  for (const auto& [_, mass] : node_mass_[hop]) total += mass;
+  if (total == 0) return 0.0;
+  return static_cast<double>(node(hop, label)) / static_cast<double>(total);
+}
+
+std::vector<SankeyFlows::Flow> SankeyFlows::flows() const {
+  std::vector<Flow> out;
+  for (std::size_t h = 0; h < flow_.size(); ++h) {
+    for (const auto& [pair, count] : flow_[h]) {
+      out.push_back(Flow{h, pair.first, pair.second, count});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Flow& a, const Flow& b) {
+    if (a.count != b.count) return a.count > b.count;
+    if (a.hop != b.hop) return a.hop < b.hop;
+    if (a.from != b.from) return a.from < b.from;
+    return a.to < b.to;
+  });
+  return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> SankeyFlows::nodes_at(
+    std::size_t hop) const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  if (hop >= node_mass_.size()) return out;
+  out.assign(node_mass_[hop].begin(), node_mass_[hop].end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+void SankeyFlows::write_csv(std::ostream& out) const {
+  io::CsvWriter csv(out);
+  csv.row("hop", "from", "to", "count");
+  for (const Flow& f : flows()) csv.row(f.hop, f.from, f.to, f.count);
+}
+
+}  // namespace fenrir::core

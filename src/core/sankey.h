@@ -1,0 +1,55 @@
+// fenrir::core — hop-level flow aggregation (paper Figures 7/8).
+//
+// For enterprise routing the paper widens the catchment notion to whole
+// forward paths: at each hop k, which network carries each destination?
+// SankeyFlows aggregates per-destination hop-label sequences into node
+// masses per (hop, label) and flows per (hop, label → label), the data
+// behind a Sankey diagram of the enterprise routing cone.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fenrir::core {
+
+class SankeyFlows {
+ public:
+  /// @p paths: one label sequence per destination network — the entity
+  /// (e.g. AS name) at hops 0..H. Shorter sequences simply stop
+  /// contributing past their length. Empty labels are skipped.
+  static SankeyFlows from_paths(const std::vector<std::vector<std::string>>& paths);
+
+  std::size_t hop_count() const noexcept { return node_mass_.size(); }
+
+  /// Mass (destination count) of @p label at @p hop; 0 if absent.
+  std::uint64_t node(std::size_t hop, const std::string& label) const;
+
+  /// Fraction of hop total carried by @p label (0 if hop empty).
+  double node_fraction(std::size_t hop, const std::string& label) const;
+
+  struct Flow {
+    std::size_t hop;  // from hop -> hop+1
+    std::string from, to;
+    std::uint64_t count;
+  };
+  /// All flows, descending by count (ties: hop, labels).
+  std::vector<Flow> flows() const;
+
+  /// Labels present at a hop, descending by mass.
+  std::vector<std::pair<std::string, std::uint64_t>> nodes_at(
+      std::size_t hop) const;
+
+  /// CSV: hop,from,to,count rows.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  // node_mass_[hop][label]; flow_[hop][{from,to}]
+  std::vector<std::map<std::string, std::uint64_t>> node_mass_;
+  std::vector<std::map<std::pair<std::string, std::string>, std::uint64_t>>
+      flow_;
+};
+
+}  // namespace fenrir::core

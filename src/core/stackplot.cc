@@ -1,0 +1,70 @@
+#include "core/stackplot.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "io/csv.h"
+#include "io/table.h"
+
+namespace fenrir::core {
+
+StackSeries StackSeries::compute(const Dataset& dataset) {
+  StackSeries out;
+  const std::size_t sites = dataset.sites.size();
+  for (SiteId s = 0; s < sites; ++s) {
+    out.site_names_.push_back(dataset.sites.name(s));
+  }
+  for (const RoutingVector& v : dataset.series) {
+    out.times_.push_back(v.time);
+    if (!v.valid) {
+      out.values_.emplace_back(sites, 0.0);
+      continue;
+    }
+    if (dataset.weights.empty()) {
+      const auto counts = aggregate(v, sites);
+      std::vector<double> row(sites);
+      for (std::size_t s = 0; s < sites; ++s) {
+        row[s] = static_cast<double>(counts[s]);
+      }
+      out.values_.push_back(std::move(row));
+    } else {
+      out.values_.push_back(aggregate_weighted(v, dataset.weights, sites));
+    }
+  }
+  return out;
+}
+
+double StackSeries::fraction(std::size_t t, SiteId s) const {
+  const auto& row = values_.at(t);
+  double total = 0.0;
+  for (const double v : row) total += v;
+  if (total <= 0.0) return 0.0;
+  return row.at(s) / total;
+}
+
+void StackSeries::write_csv(std::ostream& out) const {
+  io::CsvWriter csv(out);
+  std::vector<std::string> head{"time"};
+  head.insert(head.end(), site_names_.begin(), site_names_.end());
+  csv.write_row(head);
+  for (std::size_t t = 0; t < times_.size(); ++t) {
+    std::vector<std::string> row{format_time(times_[t])};
+    for (std::size_t s = 0; s < site_names_.size(); ++s) {
+      row.push_back(io::fixed(values_[t][s], 1));
+    }
+    csv.write_row(row);
+  }
+}
+
+std::optional<std::size_t> StackSeries::first_collapse(
+    SiteId s, double fraction) const {
+  double running_max = 0.0;
+  for (std::size_t t = 0; t < times_.size(); ++t) {
+    const double v = value(t, s);
+    if (running_max > 0.0 && v < fraction * running_max) return t;
+    running_max = std::max(running_max, v);
+  }
+  return std::nullopt;
+}
+
+}  // namespace fenrir::core

@@ -1,0 +1,51 @@
+// fenrir::core — catchment stack series (paper Figures 1, 2a, 3a, 6a).
+//
+// The per-site aggregate A(t) over time: how many networks (or how much
+// weight) each catchment holds at each observation. Rendered as CSV for
+// plotting and as compact console summaries; drain events are visible as
+// a site's series collapsing toward zero.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+class StackSeries {
+ public:
+  /// Computes A(t) for every vector in the dataset; weighted if the
+  /// dataset has weights.
+  static StackSeries compute(const Dataset& dataset);
+
+  std::size_t times() const noexcept { return times_.size(); }
+  std::size_t site_count() const noexcept { return site_names_.size(); }
+
+  TimePoint time(std::size_t t) const { return times_.at(t); }
+  const std::string& site_name(SiteId s) const { return site_names_.at(s); }
+
+  /// Mass of site s at observation t (count, or total weight).
+  double value(std::size_t t, SiteId s) const {
+    return values_.at(t).at(s);
+  }
+  /// Fraction of the observation total at site s (0 if the total is 0).
+  double fraction(std::size_t t, SiteId s) const;
+
+  /// CSV: time column plus one column per site.
+  void write_csv(std::ostream& out) const;
+
+  /// The observation (if any) where site @p s first drops below
+  /// @p fraction of its preceding running maximum — a drain signature.
+  std::optional<std::size_t> first_collapse(SiteId s,
+                                            double fraction = 0.1) const;
+
+ private:
+  std::vector<TimePoint> times_;
+  std::vector<std::string> site_names_;
+  std::vector<std::vector<double>> values_;  // [t][site]
+};
+
+}  // namespace fenrir::core

@@ -1,0 +1,86 @@
+#include "core/time.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace fenrir::core {
+
+std::int64_t days_from_civil(const CivilDate& d) noexcept {
+  return detail::days_from_civil_impl(d.year, d.month, d.day);
+}
+
+CivilDate civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : -9);
+  return CivilDate{static_cast<int>(y + (month <= 2)),
+                   static_cast<int>(month), static_cast<int>(day)};
+}
+
+namespace {
+
+std::optional<int> parse_int(std::string_view text) {
+  int out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<TimePoint> parse_time(std::string_view text) {
+  if (text.size() < 10 || text[4] != '-' || text[7] != '-') return std::nullopt;
+  const auto year = parse_int(text.substr(0, 4));
+  const auto month = parse_int(text.substr(5, 2));
+  const auto day = parse_int(text.substr(8, 2));
+  if (!year || !month || !day || *month < 1 || *month > 12 || *day < 1 ||
+      *day > 31) {
+    return std::nullopt;
+  }
+  TimePoint t = from_date(*year, *month, *day);
+  if (text.size() == 10) return t;
+  // Optional " HH:MM" suffix.
+  if (text.size() != 16 || text[10] != ' ' || text[13] != ':') {
+    return std::nullopt;
+  }
+  const auto hour = parse_int(text.substr(11, 2));
+  const auto minute = parse_int(text.substr(14, 2));
+  if (!hour || !minute || *hour > 23 || *minute > 59) return std::nullopt;
+  return t + *hour * kHour + *minute * kMinute;
+}
+
+std::string format_date(TimePoint t) {
+  // Floor-divide so pre-1970 times format correctly.
+  std::int64_t days = t / kDay;
+  if (t % kDay < 0) --days;
+  const CivilDate d = civil_from_days(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string format_time(TimePoint t) {
+  std::int64_t days = t / kDay;
+  std::int64_t rem = t % kDay;
+  if (rem < 0) {
+    --days;
+    rem += kDay;
+  }
+  const CivilDate d = civil_from_days(days);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02ld:%02ld", d.year,
+                d.month, d.day, static_cast<long>(rem / kHour),
+                static_cast<long>((rem % kHour) / kMinute));
+  return buf;
+}
+
+}  // namespace fenrir::core

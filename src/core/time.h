@@ -1,0 +1,65 @@
+// fenrir::core — civil time for observation series.
+//
+// Fenrir datasets are time series of routing vectors; scenario timelines
+// and reports speak in dates ("2025-01-16") and the validation pipeline in
+// minutes (Atlas vectors every 4 minutes). TimePoint is seconds since the
+// Unix epoch (UTC); conversions use Howard Hinnant's civil-days algorithm,
+// exact over the full representable range — no locale, no wall clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fenrir::core {
+
+/// Seconds since 1970-01-01T00:00:00Z.
+using TimePoint = std::int64_t;
+
+inline constexpr TimePoint kMinute = 60;
+inline constexpr TimePoint kHour = 3600;
+inline constexpr TimePoint kDay = 86400;
+
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+};
+
+/// Days since the epoch for a civil date (proleptic Gregorian).
+std::int64_t days_from_civil(const CivilDate& d) noexcept;
+
+/// Civil date for a day count since the epoch.
+CivilDate civil_from_days(std::int64_t days) noexcept;
+
+/// Midnight UTC of the given date.
+constexpr TimePoint from_date(int year, int month, int day) noexcept;
+
+/// Parses "YYYY-MM-DD" (returns midnight) or "YYYY-MM-DD HH:MM".
+std::optional<TimePoint> parse_time(std::string_view text);
+
+/// "YYYY-MM-DD".
+std::string format_date(TimePoint t);
+/// "YYYY-MM-DD HH:MM".
+std::string format_time(TimePoint t);
+
+// --- implementation of the constexpr helper ---
+namespace detail {
+constexpr std::int64_t days_from_civil_impl(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+}  // namespace detail
+
+constexpr TimePoint from_date(int year, int month, int day) noexcept {
+  return detail::days_from_civil_impl(year, month, day) * kDay;
+}
+
+}  // namespace fenrir::core

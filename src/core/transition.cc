@@ -1,0 +1,95 @@
+#include "core/transition.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "io/table.h"
+
+namespace fenrir::core {
+
+TransitionMatrix TransitionMatrix::compute(const RoutingVector& from,
+                                           const RoutingVector& to,
+                                           std::size_t site_count) {
+  if (from.assignment.size() != to.assignment.size()) {
+    throw std::invalid_argument("TransitionMatrix: size mismatch");
+  }
+  TransitionMatrix m(site_count);
+  for (std::size_t n = 0; n < from.assignment.size(); ++n) {
+    ++m.counts_.at(m.index(from.assignment[n], to.assignment[n]));
+  }
+  return m;
+}
+
+std::uint64_t TransitionMatrix::stayed() const {
+  std::uint64_t total = 0;
+  for (SiteId s = 0; s < sites_; ++s) {
+    if (s == kUnknownSite) continue;
+    total += count(s, s);
+  }
+  return total;
+}
+
+std::uint64_t TransitionMatrix::moved() const {
+  std::uint64_t total = 0;
+  for (SiteId a = 0; a < sites_; ++a) {
+    for (SiteId b = 0; b < sites_; ++b) {
+      if (a != b) total += count(a, b);
+    }
+  }
+  return total;
+}
+
+std::uint64_t TransitionMatrix::row_total(SiteId s) const {
+  std::uint64_t total = 0;
+  for (SiteId b = 0; b < sites_; ++b) total += count(s, b);
+  return total;
+}
+
+std::uint64_t TransitionMatrix::col_total(SiteId s) const {
+  std::uint64_t total = 0;
+  for (SiteId a = 0; a < sites_; ++a) total += count(a, s);
+  return total;
+}
+
+std::vector<TransitionMatrix::Flow> TransitionMatrix::top_movers(
+    std::size_t k) const {
+  std::vector<Flow> flows;
+  for (SiteId a = 0; a < sites_; ++a) {
+    for (SiteId b = 0; b < sites_; ++b) {
+      if (a != b && count(a, b) > 0) flows.push_back(Flow{a, b, count(a, b)});
+    }
+  }
+  std::sort(flows.begin(), flows.end(), [](const Flow& x, const Flow& y) {
+    if (x.count != y.count) return x.count > y.count;
+    if (x.from != y.from) return x.from < y.from;
+    return x.to < y.to;
+  });
+  if (flows.size() > k) flows.resize(k);
+  return flows;
+}
+
+void TransitionMatrix::print(const SiteTable& sites, std::ostream& out) const {
+  // Show unknown only when it carries mass; err/other always shown last,
+  // matching the paper's "sites ... plus error and other states" layout.
+  std::vector<SiteId> shown;
+  for (SiteId s = kFirstRealSite; s < sites_; ++s) shown.push_back(s);
+  shown.push_back(kErrorSite);
+  shown.push_back(kOtherSite);
+  if (row_total(kUnknownSite) > 0 || col_total(kUnknownSite) > 0) {
+    shown.push_back(kUnknownSite);
+  }
+
+  io::TextTable table;
+  std::vector<std::string> head{"initial\\subseq"};
+  for (const SiteId s : shown) head.push_back(sites.name(s));
+  table.header(std::move(head));
+  for (const SiteId a : shown) {
+    std::vector<std::string> row{sites.name(a)};
+    for (const SiteId b : shown) row.push_back(std::to_string(count(a, b)));
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+}
+
+}  // namespace fenrir::core

@@ -1,0 +1,68 @@
+// fenrir::core — transition matrices between two routing vectors
+// (paper §2.7, Table 3).
+//
+// T(t,t',s,s') counts the networks that were in catchment s at time t and
+// are in s' at time t'. A quiescent service yields a diagonal matrix equal
+// to A(t); mass off the diagonal is movement — e.g. the paper's 3097
+// networks moving STR→NAP during the G-Root drain.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/tables.h"
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+class TransitionMatrix {
+ public:
+  /// Counts transitions between two equally-sized vectors.
+  static TransitionMatrix compute(const RoutingVector& from,
+                                  const RoutingVector& to,
+                                  std::size_t site_count);
+
+  std::size_t site_count() const noexcept { return sites_; }
+
+  std::uint64_t count(SiteId from, SiteId to) const {
+    return counts_.at(index(from, to));
+  }
+
+  /// Networks that stayed in the same catchment (diagonal sum, excluding
+  /// unknown→unknown which is absence of data, not stability).
+  std::uint64_t stayed() const;
+  /// Networks that changed catchment (off-diagonal sum).
+  std::uint64_t moved() const;
+  /// Row sum: size of catchment s in the initial vector.
+  std::uint64_t row_total(SiteId s) const;
+  /// Column sum: size of catchment s in the subsequent vector.
+  std::uint64_t col_total(SiteId s) const;
+
+  struct Flow {
+    SiteId from = 0, to = 0;
+    std::uint64_t count = 0;
+  };
+  /// The k largest off-diagonal flows, descending.
+  std::vector<Flow> top_movers(std::size_t k) const;
+
+  /// Renders in the paper's Table 3 layout: initial states as rows,
+  /// subsequent states as columns, using @p sites for labels. Unknown is
+  /// shown only if it carries any mass.
+  void print(const SiteTable& sites, std::ostream& out) const;
+
+ private:
+  explicit TransitionMatrix(std::size_t sites)
+      : sites_(sites), counts_(sites * sites, 0) {}
+  std::size_t index(SiteId from, SiteId to) const {
+    if (from >= sites_ || to >= sites_) {
+      throw std::out_of_range("TransitionMatrix index");
+    }
+    return static_cast<std::size_t>(from) * sites_ + to;
+  }
+
+  std::size_t sites_;
+  std::vector<std::uint64_t> counts_;
+};
+
+}  // namespace fenrir::core

@@ -1,0 +1,71 @@
+#include "core/vector.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fenrir::core {
+
+std::vector<std::uint64_t> aggregate(const RoutingVector& v,
+                                     std::size_t site_count) {
+  std::vector<std::uint64_t> counts(site_count, 0);
+  for (const SiteId s : v.assignment) counts.at(s) += 1;
+  return counts;
+}
+
+std::vector<double> aggregate_weighted(const RoutingVector& v,
+                                       std::span<const double> weights,
+                                       std::size_t site_count) {
+  if (weights.size() != v.assignment.size()) {
+    throw std::invalid_argument("aggregate_weighted: weight size mismatch");
+  }
+  std::vector<double> counts(site_count, 0.0);
+  for (std::size_t n = 0; n < v.assignment.size(); ++n) {
+    counts.at(v.assignment[n]) += weights[n];
+  }
+  return counts;
+}
+
+std::vector<std::uint8_t> one_hot_row(SiteId assigned,
+                                      std::size_t site_count) {
+  std::vector<std::uint8_t> row(site_count, 0);
+  row.at(assigned) = 1;
+  return row;
+}
+
+double known_fraction(const RoutingVector& v) {
+  if (v.assignment.empty()) return 0.0;
+  std::size_t known = 0;
+  for (const SiteId s : v.assignment) known += (s != kUnknownSite);
+  return static_cast<double>(known) /
+         static_cast<double>(v.assignment.size());
+}
+
+std::size_t Dataset::index_at(TimePoint t) const {
+  const auto it = std::lower_bound(
+      series.begin(), series.end(), t,
+      [](const RoutingVector& v, TimePoint tp) { return v.time < tp; });
+  return static_cast<std::size_t>(it - series.begin());
+}
+
+void Dataset::check_consistent() const {
+  for (const RoutingVector& v : series) {
+    if (v.assignment.size() != networks.size()) {
+      throw std::invalid_argument("Dataset: vector/network size mismatch");
+    }
+    for (const SiteId s : v.assignment) {
+      if (s >= sites.size()) {
+        throw std::invalid_argument("Dataset: site id out of range");
+      }
+    }
+  }
+  if (!weights.empty() && weights.size() != networks.size()) {
+    throw std::invalid_argument("Dataset: weights size mismatch");
+  }
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i].time < series[i - 1].time) {
+      throw std::invalid_argument("Dataset: series not time-ordered");
+    }
+  }
+}
+
+}  // namespace fenrir::core

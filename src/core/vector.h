@@ -1,0 +1,65 @@
+// fenrir::core — routing vectors (the paper's D(t)) and aggregates (A(t)).
+//
+// A RoutingVector is the catchment state of a service at one time: one
+// SiteId per network. aggregate() produces the |S|-long per-site counts
+// A(t,s) = Σ_n D*(t,n,s) (paper §2.2); one_hot() materializes a row of the
+// normalized matrix D* for callers that need the paper's matrix form.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/tables.h"
+#include "core/time.h"
+
+namespace fenrir::core {
+
+struct RoutingVector {
+  TimePoint time = 0;
+  /// assignment[n] = catchment SiteId of network n (kUnknownSite if the
+  /// measurement has no observation for n).
+  std::vector<SiteId> assignment;
+  /// False for collection outages (the paper's blank 2023-07..12 region):
+  /// the slot holds the timeline position, but comparisons skip it.
+  bool valid = true;
+
+  std::size_t network_count() const noexcept { return assignment.size(); }
+};
+
+/// Per-site network counts A(t). Indexed by SiteId; size = site_count.
+std::vector<std::uint64_t> aggregate(const RoutingVector& v,
+                                     std::size_t site_count);
+
+/// Weighted aggregate: Σ weights[n] over networks in each site.
+std::vector<double> aggregate_weighted(const RoutingVector& v,
+                                       std::span<const double> weights,
+                                       std::size_t site_count);
+
+/// One row of the one-hot matrix D*(t,n,·): 1 at the assigned site.
+std::vector<std::uint8_t> one_hot_row(SiteId assigned, std::size_t site_count);
+
+/// Fraction of networks with a known (non-unknown) assignment.
+double known_fraction(const RoutingVector& v);
+
+/// A time-ordered series of routing vectors sharing one site/network
+/// universe. This is the object the analysis stages (distance matrix,
+/// clustering, mode detection) operate on.
+struct Dataset {
+  std::string name;  // e.g. "B-Root/Verfploeter"
+  SiteTable sites;
+  NetworkTable networks;
+  std::vector<RoutingVector> series;
+  /// Per-network weights D_w (paper §2.5); empty means uniform 1.0.
+  std::vector<double> weights;
+
+  /// Index of the first series entry at or after @p t, or size() if none.
+  std::size_t index_at(TimePoint t) const;
+
+  /// Throws std::invalid_argument if any vector's size disagrees with the
+  /// network table or weights; call after construction.
+  void check_consistent() const;
+};
+
+}  // namespace fenrir::core

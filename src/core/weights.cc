@@ -1,0 +1,51 @@
+#include "core/weights.h"
+
+namespace fenrir::core {
+
+std::vector<double> uniform_weights(std::size_t networks) {
+  return std::vector<double>(networks, 1.0);
+}
+
+std::vector<double> address_weights(
+    std::span<const std::uint32_t> blocks_represented) {
+  std::vector<double> out;
+  out.reserve(blocks_represented.size());
+  for (const std::uint32_t b : blocks_represented) {
+    if (b == 0) {
+      throw std::invalid_argument(
+          "address_weights: observation representing zero blocks");
+    }
+    out.push_back(static_cast<double>(b));
+  }
+  return out;
+}
+
+std::vector<double> traffic_weights(std::span<const double> demand) {
+  std::vector<double> out;
+  out.reserve(demand.size());
+  for (const double d : demand) {
+    if (d < 0.0) {
+      throw std::invalid_argument("traffic_weights: negative demand");
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+void normalize_weights(std::vector<double>& weights, double total) {
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  if (sum <= 0.0) {
+    throw std::invalid_argument("normalize_weights: zero total weight");
+  }
+  const double scale = total / sum;
+  for (double& w : weights) w *= scale;
+}
+
+double weight_sum(std::span<const double> weights) {
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  return sum;
+}
+
+}  // namespace fenrir::core

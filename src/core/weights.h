@@ -1,0 +1,49 @@
+// fenrir::core — observation weighting (the paper's D_w, §2.5).
+//
+// A raw vector says what each observer sees; operators care what each
+// observer *represents*. Weighting schemes turn per-network observations
+// into operationally meaningful mass:
+//
+//   * uniform        — every observation counts 1 (the default);
+//   * address-count  — an observation stands for the /24 blocks of the
+//                      covering routable prefix it is the only VP in
+//                      (one Atlas VP in a /16 counts as 256);
+//   * traffic        — externally supplied per-network demand estimates
+//                      (historical query volume, user counts).
+//
+// Weights are consumed by Gower similarity, weighted aggregates, and the
+// latency summaries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/tables.h"
+
+namespace fenrir::core {
+
+/// Uniform weights: 1.0 per network.
+std::vector<double> uniform_weights(std::size_t networks);
+
+/// Address-count weights: weight[n] = blocks_represented[n], e.g. the /24
+/// count of the covering announced prefix divided by the number of
+/// observers inside it. The caller supplies the representation counts
+/// (measurement-specific); zero counts are rejected.
+std::vector<double> address_weights(
+    std::span<const std::uint32_t> blocks_represented);
+
+/// Traffic weights from demand estimates; negative demand is rejected,
+/// zero is allowed (a network that sends nothing contributes nothing).
+std::vector<double> traffic_weights(std::span<const double> demand);
+
+/// Normalizes weights to sum to @p total (default: the network count, so
+/// weighted and unweighted Φ values are on the same scale). Throws if the
+/// sum is zero.
+void normalize_weights(std::vector<double>& weights, double total);
+
+/// Total weight.
+double weight_sum(std::span<const double> weights);
+
+}  // namespace fenrir::core

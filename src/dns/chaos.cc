@@ -1,0 +1,59 @@
+#include "dns/chaos.h"
+
+namespace fenrir::dns {
+
+Message make_hostname_bind_query(std::uint16_t id) {
+  Message q = make_query(
+      id, Question{"hostname.bind", RecordType::kTxt, RecordClass::kChaos});
+  set_edns(q, make_nsid_request());
+  return q;
+}
+
+Message make_hostname_bind_response(const Message& query,
+                                    const std::string& server_identity) {
+  Message resp;
+  resp.header = query.header;
+  resp.header.qr = true;
+  resp.header.aa = true;
+  resp.header.rcode = Rcode::kNoError;
+  resp.questions = query.questions;
+
+  ResourceRecord txt;
+  txt.name = "hostname.bind";
+  txt.type = RecordType::kTxt;
+  txt.klass = static_cast<std::uint16_t>(RecordClass::kChaos);
+  txt.ttl = 0;
+  txt.rdata = make_txt_rdata(server_identity);
+  resp.answers.push_back(std::move(txt));
+
+  // Echo NSID if the client asked for it (RFC 5001 §2.1).
+  if (const auto edns = get_edns(query); edns && edns->find(kOptionNsid)) {
+    EdnsRecord out_edns;
+    EdnsOption nsid;
+    nsid.code = kOptionNsid;
+    nsid.data.assign(server_identity.begin(), server_identity.end());
+    out_edns.options.push_back(std::move(nsid));
+    set_edns(resp, out_edns);
+  }
+  return resp;
+}
+
+std::optional<std::string> extract_server_identity(const Message& response) {
+  if (!response.header.qr || response.header.rcode != Rcode::kNoError) {
+    return std::nullopt;
+  }
+  for (const auto& rr : response.answers) {
+    if (rr.type == RecordType::kTxt) {
+      if (auto text = rr.txt(); text && !text->empty()) return text;
+    }
+  }
+  if (const auto edns = get_edns(response)) {
+    if (const auto* nsid = edns->find(kOptionNsid);
+        nsid && !nsid->data.empty()) {
+      return std::string(nsid->data.begin(), nsid->data.end());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace fenrir::dns

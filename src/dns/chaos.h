@@ -1,0 +1,31 @@
+// fenrir::dns — CHAOS-class identity queries (hostname.bind / id.server).
+//
+// RIPE Atlas determines which anycast instance served it by sending a
+// CHAOS TXT query for "hostname.bind" (BIND convention) or the
+// standardized NSID option (RFC 5001). Both are built/parsed here; the
+// Atlas probe uses them against the simulated DNS servers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "dns/edns.h"
+#include "dns/message.h"
+
+namespace fenrir::dns {
+
+/// Builds the classic `dig CH TXT hostname.bind` query, with an NSID
+/// request attached so servers that prefer NSID can answer that way too.
+Message make_hostname_bind_query(std::uint16_t id);
+
+/// Builds a server-side response to a hostname.bind query carrying
+/// @p server_identity both as the TXT answer and as the NSID option.
+Message make_hostname_bind_response(const Message& query,
+                                    const std::string& server_identity);
+
+/// Extracts the server identity from a response: prefers the TXT answer,
+/// falls back to NSID. Returns nullopt if neither is present/parseable or
+/// the response signals an error rcode.
+std::optional<std::string> extract_server_identity(const Message& response);
+
+}  // namespace fenrir::dns

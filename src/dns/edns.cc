@@ -1,0 +1,124 @@
+#include "dns/edns.h"
+
+namespace fenrir::dns {
+
+ResourceRecord EdnsRecord::to_rr() const {
+  ResourceRecord rr;
+  rr.name = "";  // root
+  rr.type = RecordType::kOpt;
+  rr.klass = udp_payload_size;
+  rr.ttl = (std::uint32_t{extended_rcode} << 24) |
+           (std::uint32_t{version} << 16) | (dnssec_ok ? 0x8000u : 0u);
+  Writer w;
+  for (const auto& opt : options) {
+    w.u16(opt.code);
+    if (opt.data.size() > 0xffff) throw DnsError("EDNS option too long");
+    w.u16(static_cast<std::uint16_t>(opt.data.size()));
+    w.raw(opt.data);
+  }
+  rr.rdata = std::move(w).take();
+  return rr;
+}
+
+EdnsRecord EdnsRecord::from_rr(const ResourceRecord& rr) {
+  if (rr.type != RecordType::kOpt) throw DnsError("not an OPT record");
+  EdnsRecord out;
+  out.udp_payload_size = rr.klass;
+  out.extended_rcode = static_cast<std::uint8_t>(rr.ttl >> 24);
+  out.version = static_cast<std::uint8_t>(rr.ttl >> 16);
+  out.dnssec_ok = (rr.ttl & 0x8000u) != 0;
+  Reader r(rr.rdata);
+  while (r.remaining() > 0) {
+    EdnsOption opt;
+    opt.code = r.u16();
+    const std::uint16_t len = r.u16();
+    const auto data = r.raw(len);
+    opt.data.assign(data.begin(), data.end());
+    out.options.push_back(std::move(opt));
+  }
+  return out;
+}
+
+const EdnsOption* EdnsRecord::find(std::uint16_t code) const {
+  for (const auto& opt : options) {
+    if (opt.code == code) return &opt;
+  }
+  return nullptr;
+}
+
+std::vector<std::uint8_t> ClientSubnet::encode() const {
+  Writer w;
+  w.u16(1);  // FAMILY: IPv4
+  w.u8(static_cast<std::uint8_t>(prefix.length()));
+  w.u8(scope_len);
+  // Address truncated to the bytes covered by the source prefix length.
+  const int addr_bytes = (prefix.length() + 7) / 8;
+  const std::uint32_t base = prefix.base().value();
+  for (int i = 0; i < addr_bytes; ++i) {
+    w.u8(static_cast<std::uint8_t>(base >> (8 * (3 - i))));
+  }
+  return std::move(w).take();
+}
+
+ClientSubnet ClientSubnet::decode(std::span<const std::uint8_t> data) {
+  Reader r(data);
+  const std::uint16_t family = r.u16();
+  if (family != 1) throw DnsError("client-subnet: unsupported family");
+  const std::uint8_t source_len = r.u8();
+  const std::uint8_t scope_len = r.u8();
+  if (source_len > 32) throw DnsError("client-subnet: bad source length");
+  const std::size_t addr_bytes = (std::size_t{source_len} + 7) / 8;
+  if (r.remaining() != addr_bytes) {
+    throw DnsError("client-subnet: address length mismatch");
+  }
+  std::uint32_t base = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    base <<= 8;
+    if (i < addr_bytes) base |= r.u8();
+  }
+  // RFC 7871 §6: bits beyond SOURCE PREFIX-LENGTH MUST be zero.
+  if ((base & ~netbase::Prefix::mask_for(source_len)) != 0) {
+    throw DnsError("client-subnet: nonzero host bits");
+  }
+  ClientSubnet out;
+  out.prefix = netbase::Prefix(netbase::Ipv4Addr(base), source_len);
+  out.scope_len = scope_len;
+  return out;
+}
+
+void set_edns(Message& m, const EdnsRecord& edns) {
+  std::erase_if(m.additional, [](const ResourceRecord& rr) {
+    return rr.type == RecordType::kOpt;
+  });
+  m.additional.push_back(edns.to_rr());
+}
+
+std::optional<EdnsRecord> get_edns(const Message& m) {
+  for (const auto& rr : m.additional) {
+    if (rr.type == RecordType::kOpt) {
+      try {
+        return EdnsRecord::from_rr(rr);
+      } catch (const DnsError&) {
+        return std::nullopt;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+EdnsRecord make_nsid_request() {
+  EdnsRecord edns;
+  edns.options.push_back(EdnsOption{kOptionNsid, {}});
+  return edns;
+}
+
+EdnsRecord make_client_subnet_request(netbase::Prefix prefix) {
+  EdnsRecord edns;
+  ClientSubnet cs;
+  cs.prefix = prefix;
+  cs.scope_len = 0;
+  edns.options.push_back(EdnsOption{kOptionClientSubnet, cs.encode()});
+  return edns;
+}
+
+}  // namespace fenrir::dns

@@ -1,0 +1,70 @@
+// fenrir::dns — EDNS0 (RFC 6891) with the two options Fenrir's probes use:
+//
+//  * NSID (RFC 5001, option code 3): per-server identity string, the
+//    mechanism RIPE Atlas uses to learn which anycast instance answered.
+//  * Client Subnet (RFC 7871, option code 8): lets one vantage point ask
+//    "what would a client in prefix P get?" — the Calder et al. technique
+//    behind the Google/Wikipedia front-end mapping.
+//
+// The OPT pseudo-record overloads the RR class field as the UDP payload
+// size and the TTL as extended-rcode/version/flags; this module hides that.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "netbase/ipv4.h"
+
+namespace fenrir::dns {
+
+inline constexpr std::uint16_t kOptionNsid = 3;
+inline constexpr std::uint16_t kOptionClientSubnet = 8;
+
+struct EdnsOption {
+  std::uint16_t code = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// Decoded form of the OPT pseudo-record.
+struct EdnsRecord {
+  std::uint16_t udp_payload_size = 1232;
+  std::uint8_t extended_rcode = 0;  // high 8 bits of the 12-bit rcode
+  std::uint8_t version = 0;
+  bool dnssec_ok = false;
+  std::vector<EdnsOption> options;
+
+  /// Renders as an OPT ResourceRecord for the additional section.
+  ResourceRecord to_rr() const;
+
+  /// Parses an OPT RR. Throws DnsError if it is not OPT or is malformed.
+  static EdnsRecord from_rr(const ResourceRecord& rr);
+
+  /// First option with the given code, if present.
+  const EdnsOption* find(std::uint16_t code) const;
+};
+
+/// EDNS Client Subnet option payload (IPv4 family only, which is all the
+/// paper's measurements use).
+struct ClientSubnet {
+  netbase::Prefix prefix;       // the client prefix being asked about
+  std::uint8_t scope_len = 0;   // response scope (0 in queries)
+
+  std::vector<std::uint8_t> encode() const;
+  static ClientSubnet decode(std::span<const std::uint8_t> data);
+};
+
+/// Attaches an EDNS record (building the OPT RR) to a message's
+/// additional section, replacing any existing OPT.
+void set_edns(Message& m, const EdnsRecord& edns);
+
+/// Extracts the EDNS record from a message, if present and well-formed.
+std::optional<EdnsRecord> get_edns(const Message& m);
+
+/// Convenience builders used by the probes.
+EdnsRecord make_nsid_request();
+EdnsRecord make_client_subnet_request(netbase::Prefix prefix);
+
+}  // namespace fenrir::dns

@@ -1,0 +1,103 @@
+// fenrir::dns — DNS messages (RFC 1035) with the records Fenrir's
+// measurement probes need: A, TXT (CHAOS hostname.bind), and OPT (EDNS0).
+//
+// This is a full encode/decode round-trip codec, not a pretty-printer:
+// AtlasProbe and EdnsCsProbe exchange real wire bytes with the simulated
+// servers, so malformed-message handling is exercised exactly where the
+// paper's cleaning stage needs it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/wire.h"
+
+namespace fenrir::dns {
+
+enum class RecordType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kTxt = 16,
+  kAaaa = 28,
+  kOpt = 41,
+};
+
+enum class RecordClass : std::uint16_t {
+  kIn = 1,
+  kChaos = 3,
+};
+
+enum class Rcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response?
+  std::uint8_t opcode = 0;
+  bool aa = false;
+  bool tc = false;
+  bool rd = true;
+  bool ra = false;
+  Rcode rcode = Rcode::kNoError;
+
+  std::uint16_t qdcount = 0;
+  std::uint16_t ancount = 0;
+  std::uint16_t nscount = 0;
+  std::uint16_t arcount = 0;
+};
+
+struct Question {
+  std::string name;
+  RecordType type = RecordType::kA;
+  RecordClass klass = RecordClass::kIn;
+};
+
+/// A resource record with raw RDATA. Typed accessors interpret the bytes.
+struct ResourceRecord {
+  std::string name;
+  RecordType type = RecordType::kA;
+  std::uint16_t klass = 1;  // raw: OPT overloads this field
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;
+
+  /// For TXT records: concatenation of the character-strings.
+  std::optional<std::string> txt() const;
+  /// For A records: the 4 address bytes as host-order u32.
+  std::optional<std::uint32_t> a_addr() const;
+};
+
+/// Builds TXT RDATA from a single character-string (<=255 bytes per chunk;
+/// longer strings are split into multiple chunks).
+std::vector<std::uint8_t> make_txt_rdata(std::string_view text);
+/// Builds A RDATA.
+std::vector<std::uint8_t> make_a_rdata(std::uint32_t addr);
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  /// Serializes to wire bytes. Counts in the header are recomputed from
+  /// the section sizes (the stored qd/an/ns/ar counts are ignored).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses wire bytes. Throws DnsError on malformed input.
+  static Message decode(std::span<const std::uint8_t> bytes);
+};
+
+/// Convenience: standard query with one question.
+Message make_query(std::uint16_t id, Question q);
+
+}  // namespace fenrir::dns

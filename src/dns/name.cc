@@ -1,0 +1,112 @@
+#include "dns/name.h"
+
+#include <cctype>
+
+namespace fenrir::dns {
+
+std::string normalize_name(std::string_view name) {
+  if (!name.empty() && name.back() == '.') name.remove_suffix(1);
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+void encode_name(Writer& w, std::string_view name) {
+  const std::string norm = normalize_name(name);
+  std::size_t total = 1;  // terminating root label
+  std::string_view rest = norm;
+  while (!rest.empty()) {
+    const auto dot = rest.find('.');
+    const std::string_view label =
+        dot == std::string_view::npos ? rest : rest.substr(0, dot);
+    if (label.empty()) throw DnsError("empty label in name: " + norm);
+    if (label.size() > kMaxLabelLen) throw DnsError("label too long: " + norm);
+    total += 1 + label.size();
+    if (total > kMaxNameLen) throw DnsError("name too long: " + norm);
+    w.u8(static_cast<std::uint8_t>(label.size()));
+    w.raw(label);
+    rest = dot == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(dot + 1);
+  }
+  w.u8(0);
+}
+
+void NameCompressor::encode(Writer& w, std::string_view name) {
+  const std::string norm = normalize_name(name);
+  if (norm.empty()) {
+    w.u8(0);
+    return;
+  }
+
+  // Walk suffixes left to right: "a.b.c" -> "a.b.c", "b.c", "c".
+  std::string_view rest = norm;
+  std::size_t total = 0;
+  while (!rest.empty()) {
+    // Emit a pointer if this exact suffix is already on the wire within
+    // pointer range.
+    const auto it = offsets_.find(std::string(rest));
+    if (it != offsets_.end() && it->second <= 0x3fff) {
+      w.u8(static_cast<std::uint8_t>(0xc0 | (it->second >> 8)));
+      w.u8(static_cast<std::uint8_t>(it->second));
+      return;
+    }
+
+    const auto dot = rest.find('.');
+    const std::string_view label =
+        dot == std::string_view::npos ? rest : rest.substr(0, dot);
+    if (label.empty()) throw DnsError("empty label in name: " + norm);
+    if (label.size() > kMaxLabelLen) throw DnsError("label too long: " + norm);
+    total += 1 + label.size();
+    if (total + 1 > kMaxNameLen) throw DnsError("name too long: " + norm);
+
+    // Remember where this suffix starts, for later names.
+    if (w.size() <= 0x3fff) {
+      offsets_.emplace(std::string(rest), w.size());
+    }
+    w.u8(static_cast<std::uint8_t>(label.size()));
+    w.raw(label);
+    rest = dot == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(dot + 1);
+  }
+  w.u8(0);
+}
+
+std::string decode_name(Reader& r) {
+  std::string out;
+  std::size_t jumps = 0;
+  std::size_t resume = 0;  // cursor to restore after following pointers
+  bool jumped = false;
+  // A pointer may appear at most once per byte of message; 128 jumps is
+  // far beyond any legal message and guards against loops.
+  constexpr std::size_t kMaxJumps = 128;
+
+  for (;;) {
+    const std::uint8_t len = r.u8();
+    if ((len & 0xc0) == 0xc0) {
+      const std::uint16_t lo = r.u8();
+      const std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | lo;
+      if (!jumped) {
+        resume = r.pos();
+        jumped = true;
+      }
+      if (++jumps > kMaxJumps) throw DnsError("compression pointer loop");
+      r.seek(target);
+      continue;
+    }
+    if ((len & 0xc0) != 0) throw DnsError("reserved label type");
+    if (len == 0) break;
+    const auto label = r.raw(len);
+    if (!out.empty()) out.push_back('.');
+    out.append(reinterpret_cast<const char*>(label.data()), label.size());
+    if (out.size() > kMaxNameLen) throw DnsError("decoded name too long");
+  }
+  if (jumped) r.seek(resume);
+  return normalize_name(out);
+}
+
+}  // namespace fenrir::dns

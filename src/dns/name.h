@@ -1,0 +1,54 @@
+// fenrir::dns — domain names on the wire.
+//
+// Encoding writes uncompressed label sequences (what a stub resolver
+// emits); decoding additionally follows RFC 1035 §4.1.4 compression
+// pointers with loop protection, since servers compress.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <string_view>
+
+#include "dns/wire.h"
+
+namespace fenrir::dns {
+
+/// Maximum total encoded name length per RFC 1035.
+inline constexpr std::size_t kMaxNameLen = 255;
+/// Maximum single label length.
+inline constexpr std::size_t kMaxLabelLen = 63;
+
+/// Normalizes a presentation-form name: lowercases and strips one trailing
+/// dot ("Hostname.Bind." -> "hostname.bind"). The root is "".
+std::string normalize_name(std::string_view name);
+
+/// Appends the wire encoding of @p name (presentation form, e.g.
+/// "hostname.bind"). Throws DnsError on over-long labels/names or empty
+/// labels ("a..b").
+void encode_name(Writer& w, std::string_view name);
+
+/// Decodes a (possibly compressed) name at the reader's cursor, returning
+/// presentation form without the trailing dot (root decodes to "").
+/// The cursor advances past the name as stored (pointers are not
+/// re-entered). Throws DnsError on malformed input or pointer loops.
+std::string decode_name(Reader& r);
+
+/// RFC 1035 §4.1.4 name compression for the encode path. One compressor
+/// lives per message being built; each encoded name's suffixes are
+/// remembered, and later names reuse them via 2-octet pointers — the way
+/// every production server shrinks responses ("hostname.bind" appears in
+/// the question and again as the answer's owner name; the second costs
+/// two bytes).
+class NameCompressor {
+ public:
+  /// Encodes @p name into @p w, pointing into previously written names
+  /// where a suffix matches. The writer must hold the whole message so
+  /// far (offsets are message offsets). Throws like encode_name.
+  void encode(Writer& w, std::string_view name);
+
+ private:
+  /// Offset of each suffix already on the wire ("example.com", "com").
+  std::unordered_map<std::string, std::size_t> offsets_;
+};
+
+}  // namespace fenrir::dns

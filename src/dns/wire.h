@@ -1,0 +1,102 @@
+// fenrir::dns — bounds-checked wire-format buffer primitives.
+//
+// DNS messages are built and parsed through these little codecs. Writer
+// appends big-endian fields to a growable byte vector; Reader consumes a
+// fixed byte span and throws DnsError on truncation, which parse code
+// translates into "malformed message" (the paper's data-cleaning stage
+// discards such responses).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fenrir::dns {
+
+class DnsError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Big-endian append-only byte buffer.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void raw(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+  void raw(std::string_view data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  /// Patches a previously written u16 at @p offset (used for RDLENGTH).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    bytes_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+    bytes_.at(offset + 1) = static_cast<std::uint8_t>(v);
+  }
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  std::vector<std::uint8_t> take() && { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Big-endian bounds-checked reader over a full message. Keeps the whole
+/// message visible (needed to chase name-compression pointers) plus a
+/// cursor.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    const std::uint16_t v = (std::uint16_t{data_[pos_]} << 8) | data_[pos_ + 1];
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::span<const std::uint8_t> raw(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  void seek(std::size_t pos) {
+    if (pos > data_.size()) throw DnsError("seek past end");
+    pos_ = pos;
+  }
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  std::span<const std::uint8_t> whole() const noexcept { return data_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) throw DnsError("truncated message");
+  }
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fenrir::dns

@@ -1,0 +1,31 @@
+#include "geo/geo.h"
+
+namespace fenrir::geo {
+
+Coord random_network_location(rng::Rng& rng) {
+  // Mixture over coarse population bands: mid-northern latitudes dominate.
+  const double u = rng.uniform01();
+  double lat;
+  if (u < 0.55) {
+    lat = rng.uniform_real(25.0, 60.0);  // N. America / Europe / N. Asia
+  } else if (u < 0.80) {
+    lat = rng.uniform_real(0.0, 25.0);  // tropics north
+  } else if (u < 0.95) {
+    lat = rng.uniform_real(-35.0, 0.0);  // S. America / Africa / Oceania
+  } else {
+    lat = rng.uniform_real(-50.0, 65.0);  // long tail
+  }
+  const double lon = rng.uniform_real(-180.0, 180.0);
+  return Coord{lat, lon};
+}
+
+std::string region_of(const Coord& c) {
+  const double lat = c.lat_deg;
+  const double lon = c.lon_deg;
+  if (lon >= -170.0 && lon < -30.0) return lat >= 13.0 ? "na" : "sa";
+  if (lon >= -30.0 && lon < 60.0) return lat >= 35.0 ? "eu" : "af";
+  if (lon >= 60.0 && lon < 150.0) return lat >= -10.0 ? "as" : "oc";
+  return "oc";
+}
+
+}  // namespace fenrir::geo

@@ -1,0 +1,99 @@
+// fenrir::geo — geographic coordinates and the latency model.
+//
+// Fenrir's paper uses RIPE Atlas / Trinocular RTT measurements; our
+// substitute derives RTT from great-circle distance (light in fiber ≈ 2c/3,
+// round trip, plus router and access jitter). This reproduces the paper's
+// latency phenomenology — e.g. a South-American site serving European
+// networks shows >200 ms — without a testbed.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+#include "rng/rng.h"
+
+namespace fenrir::geo {
+
+/// A point on the Earth, degrees.
+struct Coord {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// Great-circle distance via the haversine formula, in kilometres.
+inline double haversine_km(const Coord& a, const Coord& b) noexcept {
+  constexpr double deg = std::numbers::pi / 180.0;
+  const double dlat = (b.lat_deg - a.lat_deg) * deg;
+  const double dlon = (b.lon_deg - a.lon_deg) * deg;
+  const double s1 = std::sin(dlat / 2);
+  const double s2 = std::sin(dlon / 2);
+  const double h = s1 * s1 + std::cos(a.lat_deg * deg) *
+                                 std::cos(b.lat_deg * deg) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+/// Latency model parameters.
+struct LatencyModel {
+  /// Propagation speed in fiber as a fraction of c (the classic 2/3).
+  double fiber_speed_fraction = 2.0 / 3.0;
+  /// Path stretch: fiber routes are not great circles.
+  double path_stretch = 1.25;
+  /// Fixed per-path overhead (access network, serialization), ms.
+  double base_ms = 2.0;
+  /// Std-dev of multiplicative jitter (fraction of the RTT).
+  double jitter_fraction = 0.05;
+
+  /// Deterministic (jitter-free) round-trip time in milliseconds.
+  double rtt_ms(const Coord& a, const Coord& b) const noexcept {
+    constexpr double c_km_per_ms = 299.792458;
+    const double one_way_ms = haversine_km(a, b) * path_stretch /
+                              (c_km_per_ms * fiber_speed_fraction);
+    return base_ms + 2.0 * one_way_ms;
+  }
+
+  /// RTT with multiplicative jitter drawn from @p rng (never below base_ms).
+  double rtt_ms_jittered(const Coord& a, const Coord& b,
+                         rng::Rng& rng) const noexcept {
+    const double rtt = rtt_ms(a, b);
+    const double jittered = rtt * (1.0 + jitter_fraction * rng.normal(0, 1));
+    return jittered < base_ms ? base_ms : jittered;
+  }
+};
+
+/// A few well-known city coordinates used by the scenario builders.
+/// (Airport-code naming follows the paper's site names.)
+namespace city {
+inline constexpr Coord LAX{33.94, -118.41};   // Los Angeles
+inline constexpr Coord MIA{25.79, -80.29};    // Miami
+inline constexpr Coord ARI{-18.48, -70.31};   // Arica, Chile
+inline constexpr Coord SCL{-33.39, -70.79};   // Santiago, Chile
+inline constexpr Coord SIN{1.36, 103.99};     // Singapore
+inline constexpr Coord IAD{38.95, -77.46};    // Washington-Dulles
+inline constexpr Coord AMS{52.31, 4.76};      // Amsterdam
+inline constexpr Coord STR{48.69, 9.19};      // Stuttgart
+inline constexpr Coord NAP{40.88, 14.29};     // Naples
+inline constexpr Coord CMH{39.99, -82.89};    // Columbus
+inline constexpr Coord NRT{35.77, 140.39};    // Narita / Tokyo
+inline constexpr Coord SAT{29.53, -98.47};    // San Antonio
+inline constexpr Coord HNL{21.32, -157.92};   // Honolulu
+inline constexpr Coord EQIAD{38.95, -77.46};  // Wikimedia eqiad (Ashburn)
+inline constexpr Coord CODFW{32.90, -97.04};  // Wikimedia codfw (Dallas)
+inline constexpr Coord ULSFO{37.62, -122.38}; // Wikimedia ulsfo (SF)
+inline constexpr Coord EQSIN{1.36, 103.99};   // Wikimedia eqsin (Singapore)
+inline constexpr Coord ESAMS{52.31, 4.76};    // Wikimedia esams (Amsterdam)
+inline constexpr Coord DRMRS{43.62, 5.21};    // Wikimedia drmrs (Marseille)
+inline constexpr Coord MAGRU{-23.43, -46.47}; // Wikimedia magru (São Paulo)
+}  // namespace city
+
+/// Uniform-ish random location on land-biased latitudes: used when placing
+/// synthetic networks/ASes. Latitudes are drawn from a band distribution
+/// that concentrates mass where networks actually are (N. temperate zone).
+Coord random_network_location(rng::Rng& rng);
+
+/// Region label ("na", "sa", "eu", "af", "as", "oc") for coarse grouping.
+std::string region_of(const Coord& c);
+
+}  // namespace fenrir::geo

@@ -1,0 +1,87 @@
+#include "io/csv.h"
+
+#include <ostream>
+
+namespace fenrir::io {
+
+std::vector<CsvRow> parse_csv(std::string_view text, char sep) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;  // have we seen any content in this row?
+  std::size_t line = 1;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    field_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == sep) {
+      end_field();
+      field_started = true;
+    } else if (c == '\r') {
+      // swallow; LF (if any) ends the row
+    } else if (c == '\n') {
+      ++line;
+      // A blank line yields no row; anything else ends the current row.
+      if (field_started || !field.empty() || !row.empty()) end_row();
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+  }
+  if (in_quotes) throw CsvError("unterminated quoted field", line);
+  if (field_started || !field.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+std::string csv_escape(std::string_view field, char sep) {
+  const bool needs_quotes =
+      field.find_first_of(std::string{sep} + "\"\r\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << sep_;
+    out_ << csv_escape(fields[i], sep_);
+  }
+  out_ << '\n';
+}
+
+}  // namespace fenrir::io

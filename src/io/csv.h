@@ -1,0 +1,71 @@
+// fenrir::io — CSV reading and writing (RFC 4180 subset).
+//
+// Fenrir exchanges datasets (routing vectors, distance matrices, stack
+// series) as CSV so they can be fed to external plotting. The codec
+// supports quoted fields with embedded separators/quotes/newlines, a
+// configurable separator (TSV), and header handling.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fenrir::io {
+
+/// Error for malformed CSV input.
+class CsvError : public std::runtime_error {
+ public:
+  CsvError(std::string message, std::size_t line)
+      : std::runtime_error("csv:" + std::to_string(line) + ": " +
+                           std::move(message)),
+        line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+using CsvRow = std::vector<std::string>;
+
+/// Parses an entire CSV document. Handles quoted fields ("" escaping),
+/// CRLF and LF line endings; a trailing newline does not produce an empty
+/// final row. Throws CsvError on an unterminated quote.
+std::vector<CsvRow> parse_csv(std::string_view text, char sep = ',');
+
+/// Escapes a single field for CSV output if needed.
+std::string csv_escape(std::string_view field, char sep = ',');
+
+/// Streaming CSV writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',')
+      : out_(out), sep_(sep) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Variadic convenience: write_row("a", 3, 2.5).
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    std::vector<std::string> out;
+    out.reserve(sizeof...(fields));
+    (out.push_back(to_field(fields)), ...);
+    write_row(out);
+  }
+
+ private:
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string(s); }
+  template <typename T>
+  static std::string to_field(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::ostream& out_;
+  char sep_;
+};
+
+}  // namespace fenrir::io

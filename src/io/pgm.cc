@@ -1,0 +1,40 @@
+#include "io/pgm.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace fenrir::io {
+
+void GrayImage::write_pgm(std::ostream& out) const {
+  out << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(pixels_.data()),
+            static_cast<std::streamsize>(pixels_.size()));
+}
+
+void GrayImage::write_pgm_file(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path.string() + " for writing");
+  }
+  write_pgm(out);
+}
+
+void ColorImage::write_ppm(std::ostream& out) const {
+  out << "P6\n" << width_ << ' ' << height_ << "\n255\n";
+  for (const Rgb& px : pixels_) {
+    const char bytes[3] = {static_cast<char>(px.r), static_cast<char>(px.g),
+                           static_cast<char>(px.b)};
+    out.write(bytes, 3);
+  }
+}
+
+void ColorImage::write_ppm_file(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open " + path.string() + " for writing");
+  }
+  write_ppm(out);
+}
+
+}  // namespace fenrir::io

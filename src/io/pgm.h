@@ -1,0 +1,92 @@
+// fenrir::io — PGM (portable graymap) image output.
+//
+// Heatmaps of all-pairs routing-vector similarity (the paper's Figures
+// 2b/3b/5/6b) are written as 8-bit PGM images: universally readable,
+// dependency-free, and directly comparable to the paper's grayscale plots
+// (dark = similar).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <stdexcept>
+#include <vector>
+
+namespace fenrir::io {
+
+/// A row-major 8-bit grayscale image.
+class GrayImage {
+ public:
+  GrayImage(std::size_t width, std::size_t height, std::uint8_t fill = 0)
+      : width_(width), height_(height), pixels_(width * height, fill) {}
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+
+  std::uint8_t& at(std::size_t x, std::size_t y) {
+    check(x, y);
+    return pixels_[y * width_ + x];
+  }
+  std::uint8_t at(std::size_t x, std::size_t y) const {
+    check(x, y);
+    return pixels_[y * width_ + x];
+  }
+
+  /// Writes binary PGM (P5).
+  void write_pgm(std::ostream& out) const;
+  void write_pgm_file(const std::filesystem::path& path) const;
+
+ private:
+  void check(std::size_t x, std::size_t y) const {
+    if (x >= width_ || y >= height_) {
+      throw std::out_of_range("GrayImage pixel out of range");
+    }
+  }
+
+  std::size_t width_, height_;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// A row-major 24-bit RGB image (PPM P6 output) for renderings where
+/// shades are not enough — e.g. the mode strip, where each routing mode
+/// gets its own hue.
+class ColorImage {
+ public:
+  struct Rgb {
+    std::uint8_t r = 0, g = 0, b = 0;
+    friend bool operator==(const Rgb&, const Rgb&) = default;
+  };
+
+  ColorImage(std::size_t width, std::size_t height)
+      : width_(width), height_(height), pixels_(width * height) {}
+  ColorImage(std::size_t width, std::size_t height, Rgb fill)
+      : width_(width), height_(height), pixels_(width * height, fill) {}
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t height() const noexcept { return height_; }
+
+  Rgb& at(std::size_t x, std::size_t y) {
+    check(x, y);
+    return pixels_[y * width_ + x];
+  }
+  const Rgb& at(std::size_t x, std::size_t y) const {
+    check(x, y);
+    return pixels_[y * width_ + x];
+  }
+
+  /// Writes binary PPM (P6).
+  void write_ppm(std::ostream& out) const;
+  void write_ppm_file(const std::filesystem::path& path) const;
+
+ private:
+  void check(std::size_t x, std::size_t y) const {
+    if (x >= width_ || y >= height_) {
+      throw std::out_of_range("ColorImage pixel out of range");
+    }
+  }
+
+  std::size_t width_, height_;
+  std::vector<Rgb> pixels_;
+};
+
+}  // namespace fenrir::io

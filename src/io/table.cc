@@ -1,0 +1,76 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+namespace fenrir::io {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != '%' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  if (cols == 0) return;
+
+  std::vector<std::size_t> width(cols, 0);
+  const auto measure = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      width[i] = std::max(width[i], r[i].size());
+    }
+  };
+  if (!header_.empty()) measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  const auto emit = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < r.size() ? r[i] : std::string{};
+      const std::size_t pad = width[i] - cell.size();
+      if (i) out << "  ";
+      if (looks_numeric(cell)) {
+        out << std::string(pad, ' ') << cell;
+      } else {
+        out << cell << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cols; ++i) total += width[i] + (i ? 2 : 0);
+    out << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace fenrir::io

@@ -1,0 +1,51 @@
+// fenrir::io — aligned text tables for console reports.
+//
+// Fenrir's benches print the paper's tables (e.g. Table 3 transition
+// matrices, Table 4 confusion matrix) as aligned monospace tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fenrir::io {
+
+class TextTable {
+ public:
+  /// Sets the header row (optional).
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Variadic convenience mirroring CsvWriter::row.
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> out;
+    out.reserve(sizeof...(cells));
+    (out.push_back(stringify(cells)), ...);
+    add_row(std::move(out));
+  }
+
+  /// Renders with right-aligned numeric-looking cells, left-aligned text,
+  /// two-space gutters, and a rule under the header.
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string stringify(const std::string& s) { return s; }
+  static std::string stringify(const char* s) { return s; }
+  template <typename T>
+  static std::string stringify(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table cells).
+std::string fixed(double value, int digits = 3);
+
+}  // namespace fenrir::io

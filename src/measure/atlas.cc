@@ -1,0 +1,158 @@
+#include "measure/atlas.h"
+
+#include <stdexcept>
+
+#include "dns/message.h"
+
+namespace fenrir::measure {
+
+void ServerIdentityMap::add(const std::string& site_token,
+                            std::uint32_t site) {
+  if (!by_token_.emplace(site_token, site).second) {
+    throw std::invalid_argument("ServerIdentityMap: duplicate token " +
+                                site_token);
+  }
+}
+
+std::optional<std::uint32_t> ServerIdentityMap::site_of_identity(
+    const std::string& identity) const {
+  // Identity format "<instance>.<site>.<zone...>": the site token is the
+  // second label. Anything else is unmappable.
+  const auto first_dot = identity.find('.');
+  if (first_dot == std::string::npos) return std::nullopt;
+  const auto second_dot = identity.find('.', first_dot + 1);
+  if (second_dot == std::string::npos) return std::nullopt;
+  const std::string token =
+      identity.substr(first_dot + 1, second_dot - first_dot - 1);
+  const auto it = by_token_.find(token);
+  if (it == by_token_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ServerIdentityMap::make_identity(std::uint32_t instance,
+                                             const std::string& site_token) {
+  return "b" + std::to_string(instance) + "." + site_token + ".example";
+}
+
+std::vector<std::uint8_t> AnycastDnsServer::handle(
+    std::span<const std::uint8_t> query, std::uint32_t site) const {
+  const dns::Message q = dns::Message::decode(query);
+  if (q.questions.empty()) throw dns::DnsError("query without question");
+
+  const std::string& token = site_tokens_.at(site);
+  // Each site runs several replicated instances; which one answers is
+  // arbitrary from the client's perspective.
+  const std::uint32_t instance =
+      1 + static_cast<std::uint32_t>(
+              rng::mix(seed_, q.header.id, site) % 3);
+  std::string identity = ServerIdentityMap::make_identity(instance, token);
+
+  if (bogus_fraction_ > 0.0) {
+    const std::uint64_t h = rng::mix(seed_, 0xb05e5ULL, q.header.id);
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 < bogus_fraction_) {
+      identity = "fw-" + std::to_string(h % 1000);  // middlebox junk
+    }
+  }
+  return dns::make_hostname_bind_response(q, identity).encode();
+}
+
+AtlasProbe::AtlasProbe(const bgp::AsGraph& graph, AtlasConfig config)
+    : graph_(&graph), config_(config) {
+  rng::Rng r(config_.seed);
+  // Candidate ASes: stubs with high probability, some tier-2s — roughly
+  // the real Atlas skew toward edge networks.
+  std::vector<bgp::AsIndex> candidates;
+  for (bgp::AsIndex i = 0; i < graph.as_count(); ++i) {
+    const auto tier = graph.node(i).tier;
+    if (tier == bgp::AsTier::kStub) {
+      candidates.push_back(i);
+    } else if (tier == bgp::AsTier::kTier2 && r.bernoulli(0.5)) {
+      candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    throw std::invalid_argument("AtlasProbe: graph has no candidate ASes");
+  }
+  vps_.reserve(config_.vp_count);
+  for (std::size_t v = 0; v < config_.vp_count; ++v) {
+    const bgp::AsIndex as = candidates[r.uniform(candidates.size())];
+    geo::Coord loc = graph.node(as).location;
+    loc.lat_deg += r.uniform_real(-1.5, 1.5);
+    loc.lon_deg += r.uniform_real(-1.5, 1.5);
+    vps_.push_back(
+        AtlasVantagePoint{static_cast<std::uint32_t>(v), as, loc});
+  }
+}
+
+std::vector<core::SiteId> AtlasProbe::measure(
+    core::TimePoint time, const bgp::RoutingTable& routing,
+    const AnycastDnsServer& server, const ServerIdentityMap& identity_map,
+    const std::vector<core::SiteId>& site_to_core) const {
+  std::vector<core::SiteId> out(vps_.size(), core::kErrorSite);
+  for (std::size_t v = 0; v < vps_.size(); ++v) {
+    // Transient query loss -> err, like an Atlas timeout.
+    const std::uint64_t h = rng::mix(
+        config_.seed, rng::mix(0xa71a5ULL, v, static_cast<std::uint64_t>(time)));
+    if (static_cast<double>(h >> 11) * 0x1.0p-53 < config_.query_loss) {
+      continue;
+    }
+    const auto site = routing.catchment(vps_[v].as);
+    if (!site) continue;  // no route to the prefix -> no reply -> err
+
+    // Real wire exchange.
+    const std::uint16_t qid = static_cast<std::uint16_t>(h);
+    const auto query_bytes = dns::make_hostname_bind_query(qid).encode();
+    std::vector<std::uint8_t> response_bytes;
+    try {
+      response_bytes = server.handle(query_bytes, *site);
+    } catch (const dns::DnsError&) {
+      continue;  // server-side failure behaves like a timeout
+    }
+    std::optional<std::string> identity;
+    try {
+      identity =
+          dns::extract_server_identity(dns::Message::decode(response_bytes));
+    } catch (const dns::DnsError&) {
+      continue;  // mangled response -> err
+    }
+    if (!identity) continue;
+    const auto mapped = identity_map.site_of_identity(*identity);
+    out[v] = mapped ? site_to_core.at(*mapped) : core::kOtherSite;
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> AtlasProbe::represented_blocks(
+    const std::unordered_map<bgp::AsIndex, std::uint32_t>& blocks_of) const {
+  std::unordered_map<bgp::AsIndex, std::uint32_t> vps_in_as;
+  for (const auto& vp : vps_) ++vps_in_as[vp.as];
+
+  std::vector<std::uint32_t> out;
+  out.reserve(vps_.size());
+  for (const auto& vp : vps_) {
+    const auto blocks = blocks_of.find(vp.as);
+    const std::uint32_t announced =
+        blocks == blocks_of.end() ? 1 : std::max(1u, blocks->second);
+    const std::uint32_t sharers = vps_in_as.at(vp.as);
+    out.push_back(std::max(1u, (announced + sharers - 1) / sharers));
+  }
+  return out;
+}
+
+std::vector<double> AtlasProbe::measure_rtt(
+    core::TimePoint time, const bgp::RoutingTable& routing,
+    const std::vector<geo::Coord>& site_coords,
+    const geo::LatencyModel& model) const {
+  std::vector<double> out(vps_.size(), -1.0);
+  for (std::size_t v = 0; v < vps_.size(); ++v) {
+    const auto site = routing.catchment(vps_[v].as);
+    if (!site) continue;
+    rng::Rng r(rng::mix(config_.seed,
+                        rng::mix(0x277ULL, v, static_cast<std::uint64_t>(time))));
+    out[v] =
+        model.rtt_ms_jittered(vps_[v].location, site_coords.at(*site), r);
+  }
+  return out;
+}
+
+}  // namespace fenrir::measure

@@ -1,0 +1,132 @@
+// fenrir::measure — RIPE-Atlas-style vantage-point probing of anycast DNS.
+//
+// Atlas VPs identify the anycast instance serving them with CHAOS TXT
+// hostname.bind queries (and NSID). This simulator runs that exchange on
+// real DNS wire bytes: the probe encodes the query, the simulated anycast
+// server at the VP's catchment site decodes it and answers with its
+// instance identity string, and the probe parses the response and maps
+// the identity to a site the way Fan et al. 2013 map organization-
+// specific identifiers.
+//
+// Outcomes per VP mirror the paper's vector states:
+//   site   — identity parsed and mapped;
+//   err    — no response (loss, or the VP's AS cannot reach the prefix);
+//   other  — a response whose identity maps to no known site.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/routing.h"
+#include "core/tables.h"
+#include "core/time.h"
+#include "dns/chaos.h"
+#include "geo/geo.h"
+#include "rng/rng.h"
+
+namespace fenrir::measure {
+
+/// Maps instance identity strings ("b1.lax.example") to service site
+/// indices. Identities are matched by their site token: the second
+/// dot-separated label. Unknown tokens yield nullopt (-> "other").
+class ServerIdentityMap {
+ public:
+  /// Registers @p site_token (e.g. "lax") as service site @p site.
+  void add(const std::string& site_token, std::uint32_t site);
+
+  std::optional<std::uint32_t> site_of_identity(
+      const std::string& identity) const;
+
+  /// Builds the canonical identity a server instance reports.
+  static std::string make_identity(std::uint32_t instance,
+                                   const std::string& site_token);
+
+ private:
+  std::unordered_map<std::string, std::uint32_t> by_token_;
+};
+
+/// Server side: given the querying VP's catchment site, produce the wire
+/// response a real anycast DNS node would. Identity strings come from the
+/// per-site token table; @p mangle_identity lets scenarios inject the
+/// malformed identities the cleaning stage must cope with.
+class AnycastDnsServer {
+ public:
+  AnycastDnsServer(std::vector<std::string> site_tokens,
+                   std::uint64_t seed = 0)
+      : site_tokens_(std::move(site_tokens)), seed_(seed) {}
+
+  /// Handles raw query bytes for a VP landing at @p site. Returns the
+  /// response wire bytes. Throws dns::DnsError on malformed queries.
+  std::vector<std::uint8_t> handle(std::span<const std::uint8_t> query,
+                                   std::uint32_t site) const;
+
+  /// When set, this fraction of responses carry a bogus identity string
+  /// ("fw-207" style) that maps to no site — cleaning-stage fodder.
+  void set_bogus_identity_fraction(double f) { bogus_fraction_ = f; }
+
+ private:
+  std::vector<std::string> site_tokens_;
+  std::uint64_t seed_;
+  double bogus_fraction_ = 0.0;
+};
+
+struct AtlasVantagePoint {
+  std::uint32_t vp_id = 0;
+  bgp::AsIndex as = bgp::kNoAs;
+  geo::Coord location;
+};
+
+struct AtlasConfig {
+  std::size_t vp_count = 2000;
+  /// Transient per-query loss (-> err, like a real timeout).
+  double query_loss = 0.01;
+  std::uint64_t seed = 1;
+};
+
+class AtlasProbe {
+ public:
+  /// Samples a VP population over the graph's ASes (weighted toward
+  /// stubs, like the real Atlas footprint).
+  AtlasProbe(const bgp::AsGraph& graph, AtlasConfig config);
+
+  const std::vector<AtlasVantagePoint>& vantage_points() const noexcept {
+    return vps_;
+  }
+
+  /// One measurement round over the DNS wire: returns one core::SiteId
+  /// per VP (order matches vantage_points()).
+  ///
+  /// @p identity_map maps parsed identities to service site indices;
+  /// @p site_to_core maps service sites to dataset SiteIds.
+  std::vector<core::SiteId> measure(
+      core::TimePoint time, const bgp::RoutingTable& routing,
+      const AnycastDnsServer& server, const ServerIdentityMap& identity_map,
+      const std::vector<core::SiteId>& site_to_core) const;
+
+  /// RTT in ms from each VP to its current site for latency studies;
+  /// negative = no measurement (err/unreachable). @p site_coords indexed
+  /// by service site.
+  std::vector<double> measure_rtt(core::TimePoint time,
+                                  const bgp::RoutingTable& routing,
+                                  const std::vector<geo::Coord>& site_coords,
+                                  const geo::LatencyModel& model) const;
+
+  /// Address-count weighting inputs (paper §2.5): how many announced /24
+  /// blocks each VP stands for — its AS's announced block count divided
+  /// among the co-located VPs (at least 1). "If we have only one Atlas VP
+  /// from a /16 prefix, we can count that as 256 /24 blocks rather than
+  /// just one." @p blocks_of maps AS index -> announced /24 count.
+  std::vector<std::uint32_t> represented_blocks(
+      const std::unordered_map<bgp::AsIndex, std::uint32_t>& blocks_of)
+      const;
+
+ private:
+  const bgp::AsGraph* graph_;
+  AtlasConfig config_;
+  std::vector<AtlasVantagePoint> vps_;
+};
+
+}  // namespace fenrir::measure

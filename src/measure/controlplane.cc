@@ -1,0 +1,59 @@
+#include "measure/controlplane.h"
+
+#include <stdexcept>
+
+namespace fenrir::measure {
+
+ControlPlaneProbe::ControlPlaneProbe(
+    const netbase::Hitlist* hitlist,
+    std::unordered_map<std::uint32_t, std::uint32_t> origin_site)
+    : hitlist_(hitlist), origin_site_(std::move(origin_site)) {
+  if (hitlist_ == nullptr) {
+    throw std::invalid_argument("ControlPlaneProbe: null hitlist");
+  }
+}
+
+void ControlPlaneProbe::ingest(const bgp::CollectedUpdate& update) {
+  const bgp::UpdateMessage msg = bgp::UpdateMessage::decode(update.wire);
+  if (!msg.withdrawn.empty()) {
+    peer_site_.erase(update.peer);
+  }
+  if (!msg.nlri.empty()) {
+    const auto origin = msg.origin_asn();
+    if (!origin) throw bgp::BgpError("announcement without AS path");
+    const auto it = origin_site_.find(*origin);
+    peer_site_[update.peer] = it == origin_site_.end() ? kNoSite : it->second;
+  }
+}
+
+std::optional<std::uint32_t> ControlPlaneProbe::observed_site(
+    bgp::AsIndex as) const {
+  const auto it = peer_site_.find(as);
+  if (it == peer_site_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<core::SiteId> ControlPlaneProbe::estimate(
+    const bgp::AsGraph& graph,
+    const std::vector<core::SiteId>& site_to_core) const {
+  std::vector<core::SiteId> out(hitlist_->size(), core::kUnknownSite);
+  for (std::size_t i = 0; i < hitlist_->size(); ++i) {
+    const auto as = graph.origin_of(hitlist_->target(i));
+    if (!as) continue;
+
+    // The stub itself, then its direct providers.
+    std::optional<std::uint32_t> site = observed_site(*as);
+    if (!site) {
+      for (const auto& link : graph.node(*as).links) {
+        if (!link.up || link.relation != bgp::Relation::kProvider) continue;
+        site = observed_site(link.neighbor);
+        if (site) break;
+      }
+    }
+    if (!site) continue;
+    out[i] = (*site == kNoSite) ? core::kOtherSite : site_to_core.at(*site);
+  }
+  return out;
+}
+
+}  // namespace fenrir::measure

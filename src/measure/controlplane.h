@@ -1,0 +1,64 @@
+// fenrir::measure — catchments from control-plane data (the paper's
+// stated future work: "in principle, our approach could use control-plane
+// information as a data source").
+//
+// A ControlPlaneProbe consumes the wire-format UPDATE stream of a
+// RouteCollector (bgp/collector.h), maintains each peer's current origin
+// site (the AS path's last ASN mapped through the service's origin
+// table), and estimates a routing vector: a network inherits the observed
+// catchment of the nearest AS on its upstream chain that holds a
+// collector session — itself, or one of its providers.
+//
+// This is deliberately coarser than the data-plane probes: collectors
+// hear from tens-to-hundreds of peers, not millions of targets, so
+// coverage is partial and inherited catchments can be wrong when a stub's
+// policy differs from its provider's. The ext_control_plane bench
+// quantifies both effects against Verfploeter ground truth.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/collector.h"
+#include "core/tables.h"
+#include "netbase/hitlist.h"
+
+namespace fenrir::measure {
+
+class ControlPlaneProbe {
+ public:
+  /// @p origin_site maps origin ASN -> service site index (the
+  /// service's announcement table, which an analyst knows).
+  ControlPlaneProbe(const netbase::Hitlist* hitlist,
+                    std::unordered_map<std::uint32_t, std::uint32_t>
+                        origin_site);
+
+  /// Ingests one collected UPDATE (wire bytes are decoded here — the
+  /// full codec path runs on every message). Malformed messages throw
+  /// bgp::BgpError; unknown origin ASNs mark the peer as "other".
+  void ingest(const bgp::CollectedUpdate& update);
+
+  /// Number of peers currently holding a route.
+  std::size_t peers_with_routes() const noexcept { return peer_site_.size(); }
+
+  /// Estimates the catchment vector over the hitlist: each network gets
+  /// the observed site of the nearest session-holding AS on its upstream
+  /// chain (itself, then its direct providers), else unknown.
+  std::vector<core::SiteId> estimate(
+      const bgp::AsGraph& graph,
+      const std::vector<core::SiteId>& site_to_core) const;
+
+ private:
+  /// Observed site of an AS if it holds a session and a route.
+  /// kNoSite = session but route maps to no known origin ("other").
+  static constexpr std::uint32_t kNoSite = ~std::uint32_t{0};
+  std::optional<std::uint32_t> observed_site(bgp::AsIndex as) const;
+
+  const netbase::Hitlist* hitlist_;
+  std::unordered_map<std::uint32_t, std::uint32_t> origin_site_;
+  std::unordered_map<bgp::AsIndex, std::uint32_t> peer_site_;
+};
+
+}  // namespace fenrir::measure

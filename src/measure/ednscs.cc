@@ -1,0 +1,256 @@
+#include "measure/ednscs.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "dns/message.h"
+
+namespace fenrir::measure {
+
+namespace {
+
+std::uint64_t prefix_key(const netbase::Prefix& p) {
+  return (std::uint64_t{p.base().value()} << 8) |
+         static_cast<std::uint64_t>(p.length());
+}
+
+double unit_double(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+// --- GeoNearestPolicy ---
+
+void GeoNearestPolicy::add_drain_window(std::uint32_t site,
+                                        core::TimePoint from,
+                                        core::TimePoint to) {
+  drains_.push_back(Drain{site, from, to});
+}
+
+void GeoNearestPolicy::add_penalty_window(std::uint32_t site,
+                                          core::TimePoint from,
+                                          core::TimePoint to, double factor) {
+  penalties_.push_back(Penalty{site, from, to, factor});
+}
+
+bool GeoNearestPolicy::drained(std::uint32_t site, core::TimePoint t) const {
+  for (const Drain& d : drains_) {
+    if (d.site == site && t >= d.from && t < d.to) return true;
+  }
+  return false;
+}
+
+double GeoNearestPolicy::penalty(std::uint32_t site, core::TimePoint t) const {
+  double factor = 1.0;
+  for (const Penalty& p : penalties_) {
+    if (p.site == site && t >= p.from && t < p.to) factor *= p.factor;
+  }
+  return factor;
+}
+
+std::optional<std::size_t> GeoNearestPolicy::select(
+    const netbase::Prefix& client, core::TimePoint time,
+    const std::vector<FrontEnd>& front_ends) const {
+  const auto loc = locator_(client);
+  // Effective distance: geographic distance scaled by any active penalty.
+  std::size_t best = front_ends.size(), second = front_ends.size();
+  double best_km = 0.0, second_km = 0.0;
+  for (std::size_t i = 0; i < front_ends.size(); ++i) {
+    if (drained(front_ends[i].site, time)) continue;
+    if (!loc) return i;  // unknown client location: first active site
+    const double km = geo::haversine_km(*loc, front_ends[i].location) *
+                      penalty(front_ends[i].site, time);
+    if (best == front_ends.size() || km < best_km) {
+      second = best;
+      second_km = best_km;
+      best = i;
+      best_km = km;
+    } else if (second == front_ends.size() || km < second_km) {
+      second = i;
+      second_km = km;
+    }
+  }
+  if (best == front_ends.size()) return std::nullopt;
+
+  // Flapping prefixes oscillate between their two nearest sites.
+  if (flap_fraction_ > 0.0 && second != front_ends.size()) {
+    const std::uint64_t key = prefix_key(client);
+    if (unit_double(rng::mix(seed_, 0xf1a9ULL, key)) < flap_fraction_) {
+      const std::uint64_t day =
+          static_cast<std::uint64_t>(time / core::kDay);
+      if (rng::mix(seed_, key, day) & 1) return second;
+    }
+  }
+  return best;
+}
+
+// --- ChurnPolicy ---
+
+std::uint64_t ChurnPolicy::generation_of(core::TimePoint t) const {
+  std::uint64_t g = 0;
+  for (const core::TimePoint start : config_.generation_starts) {
+    if (t >= start) ++g;
+  }
+  return g;
+}
+
+std::optional<std::size_t> ChurnPolicy::select(
+    const netbase::Prefix& client, core::TimePoint time,
+    const std::vector<FrontEnd>& front_ends) const {
+  const std::uint64_t gen = generation_of(time);
+
+  // Candidate pool: the prefix's nearest front-ends of this generation.
+  std::vector<std::size_t> pool;
+  {
+    const auto loc = locator_(client);
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < front_ends.size(); ++i) {
+      if (front_ends[i].generation == gen) active.push_back(i);
+    }
+    if (active.empty()) return std::nullopt;
+    if (loc) {
+      std::sort(active.begin(), active.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return geo::haversine_km(*loc, front_ends[a].location) <
+                         geo::haversine_km(*loc, front_ends[b].location);
+                });
+    }
+    if (active.size() > config_.candidate_pool) {
+      active.resize(config_.candidate_pool);
+    }
+    pool = std::move(active);
+  }
+
+  const std::uint64_t key = prefix_key(client);
+  const std::uint64_t epoch_index =
+      static_cast<std::uint64_t>(time / config_.epoch);
+  const std::uint64_t day =
+      static_cast<std::uint64_t>(time / core::kDay);
+
+  std::uint64_t salt = rng::mix(config_.seed, gen, epoch_index);
+  // Daily micro-churn: a slice of prefixes gets a day-specific mapping.
+  if (unit_double(rng::mix(config_.seed, key, day)) < config_.daily_churn) {
+    salt = rng::mix(salt, day);
+  }
+  return pool[rng::mix(salt, key) % pool.size()];
+}
+
+// --- WebsiteService ---
+
+std::vector<std::uint8_t> WebsiteService::handle(
+    std::span<const std::uint8_t> query, core::TimePoint time) const {
+  const dns::Message q = dns::Message::decode(query);
+  dns::Message resp;
+  resp.header = q.header;
+  resp.header.qr = true;
+  resp.header.aa = true;
+  resp.questions = q.questions;
+
+  const auto servfail = [&] {
+    resp.header.rcode = dns::Rcode::kServFail;
+    return resp.encode();
+  };
+
+  if (q.questions.size() != 1 ||
+      dns::normalize_name(q.questions[0].name) !=
+          dns::normalize_name(hostname_) ||
+      q.questions[0].type != dns::RecordType::kA) {
+    resp.header.rcode = dns::Rcode::kNxDomain;
+    return resp.encode();
+  }
+
+  // Client subnet: default to 0/0 when absent (RFC 7871 resolver view).
+  netbase::Prefix client;
+  if (const auto edns = dns::get_edns(q)) {
+    if (const auto* opt = edns->find(dns::kOptionClientSubnet)) {
+      try {
+        client = dns::ClientSubnet::decode(opt->data).prefix;
+      } catch (const dns::DnsError&) {
+        resp.header.rcode = dns::Rcode::kFormErr;
+        return resp.encode();
+      }
+    }
+  }
+
+  const auto chosen = policy_->select(client, time, front_ends_);
+  if (!chosen) return servfail();
+
+  dns::ResourceRecord a;
+  a.name = hostname_;
+  a.type = dns::RecordType::kA;
+  a.klass = static_cast<std::uint16_t>(dns::RecordClass::kIn);
+  a.ttl = 60;
+  a.rdata = dns::make_a_rdata(front_ends_.at(*chosen).addr.value());
+  resp.answers.push_back(std::move(a));
+
+  // Echo the client subnet with the answer's scope (we differentiate at
+  // /24 granularity).
+  dns::EdnsRecord edns_out;
+  dns::ClientSubnet cs;
+  cs.prefix = client;
+  cs.scope_len = 24;
+  edns_out.options.push_back(
+      dns::EdnsOption{dns::kOptionClientSubnet, cs.encode()});
+  dns::set_edns(resp, edns_out);
+  return resp.encode();
+}
+
+std::optional<std::uint32_t> WebsiteService::site_of_addr(
+    netbase::Ipv4Addr addr) const {
+  for (const FrontEnd& fe : front_ends_) {
+    if (fe.addr == addr) return fe.site;
+  }
+  return std::nullopt;
+}
+
+// --- EdnsCsProbe ---
+
+std::vector<core::SiteId> EdnsCsProbe::measure(
+    core::TimePoint time, const WebsiteService& service,
+    const std::vector<core::SiteId>& site_to_core) const {
+  std::vector<core::SiteId> out(prefixes_.size(), core::kErrorSite);
+  for (std::size_t i = 0; i < prefixes_.size(); ++i) {
+    const std::uint64_t h = rng::mix(
+        config_.seed,
+        rng::mix(0xec5ULL, prefix_key(prefixes_[i]),
+                 static_cast<std::uint64_t>(time)));
+    if (unit_double(h) < config_.query_loss) continue;  // timeout -> err
+
+    dns::Message q = dns::make_query(
+        static_cast<std::uint16_t>(h),
+        dns::Question{service.hostname(), dns::RecordType::kA,
+                      dns::RecordClass::kIn});
+    dns::set_edns(q, dns::make_client_subnet_request(prefixes_[i]));
+
+    std::vector<std::uint8_t> response_bytes;
+    try {
+      response_bytes = service.handle(q.encode(), time);
+    } catch (const dns::DnsError&) {
+      continue;
+    }
+    dns::Message resp;
+    try {
+      resp = dns::Message::decode(response_bytes);
+    } catch (const dns::DnsError&) {
+      continue;
+    }
+    if (resp.header.rcode != dns::Rcode::kNoError) continue;
+
+    std::optional<std::uint32_t> site;
+    for (const auto& rr : resp.answers) {
+      if (const auto addr = rr.a_addr()) {
+        site = service.site_of_addr(netbase::Ipv4Addr(*addr));
+        break;
+      }
+    }
+    if (!site) {
+      out[i] = core::kOtherSite;  // answered, but from an unknown fleet
+      continue;
+    }
+    out[i] = site_to_core.at(*site);
+  }
+  return out;
+}
+
+}  // namespace fenrir::measure

@@ -1,0 +1,195 @@
+// fenrir::measure — EDNS Client-Subnet mapping of website front-ends.
+//
+// The Calder et al. technique the paper adopts: one observer issues DNS
+// A queries for the site's hostname with an EDNS Client-Subnet option
+// naming each prefix of interest; a CS-aware authoritative answers with
+// the front-end it would hand a client in that prefix. Sweeping millions
+// of prefixes maps the site's global catchments from a single host.
+//
+// The exchange runs on real wire bytes (dns::ClientSubnet build/parse).
+// Server-side selection is pluggable:
+//
+//   * GeoNearestPolicy — pick the nearest active site (Wikipedia-style
+//     geographic steering), with drain windows per site;
+//   * ChurnPolicy — Google-style: each prefix has a pool of nearby
+//     front-end clusters and is re-hashed onto one per remap epoch, with
+//     daily micro-churn, over front-end "generations" that replace the
+//     whole fleet between eras (the 2013-vs-2024 contrast).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/tables.h"
+#include "core/time.h"
+#include "dns/edns.h"
+#include "geo/geo.h"
+#include "netbase/ipv4.h"
+#include "rng/rng.h"
+
+namespace fenrir::measure {
+
+struct FrontEnd {
+  std::uint32_t site = 0;        // service site index (catchment label)
+  netbase::Ipv4Addr addr;        // the A record handed out
+  geo::Coord location;
+  /// Fleet generation (ChurnPolicy only selects front-ends of the current
+  /// generation; a generation switch replaces the whole serving fleet).
+  std::uint32_t generation = 0;
+};
+
+/// Chooses a front-end for (client prefix, time). Implementations must be
+/// deterministic in their inputs.
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+  /// Index into the service's front-end table, or nullopt for SERVFAIL
+  /// (e.g. every site drained).
+  virtual std::optional<std::size_t> select(
+      const netbase::Prefix& client, core::TimePoint time,
+      const std::vector<FrontEnd>& front_ends) const = 0;
+};
+
+/// Nearest active site by great-circle distance, with the operational
+/// wrinkles the Wikipedia study needs: per-site drain windows, per-site
+/// distance-penalty windows (a site returning from maintenance at reduced
+/// preference attracts only its closest clients back — the paper's "only
+/// 30% of codfw's original clients return"), and a small flap fraction of
+/// prefixes that oscillate between their two nearest sites day to day
+/// (ordinary routing noise keeping intra-mode Φ below 1).
+class GeoNearestPolicy : public SelectionPolicy {
+ public:
+  /// @p prefix_locator resolves a client prefix to coordinates (scenarios
+  /// pass a lookup into the topology).
+  using Locator = std::function<std::optional<geo::Coord>(
+      const netbase::Prefix&)>;
+  explicit GeoNearestPolicy(Locator prefix_locator, double flap_fraction = 0.0,
+                            std::uint64_t seed = 0)
+      : locator_(std::move(prefix_locator)),
+        flap_fraction_(flap_fraction),
+        seed_(seed) {}
+
+  /// Drains @p site during [from, to).
+  void add_drain_window(std::uint32_t site, core::TimePoint from,
+                        core::TimePoint to);
+
+  /// Multiplies @p site's effective distance by @p factor during
+  /// [from, to) — models a post-maintenance return at reduced preference.
+  void add_penalty_window(std::uint32_t site, core::TimePoint from,
+                          core::TimePoint to, double factor);
+
+  std::optional<std::size_t> select(
+      const netbase::Prefix& client, core::TimePoint time,
+      const std::vector<FrontEnd>& front_ends) const override;
+
+ private:
+  struct Drain {
+    std::uint32_t site;
+    core::TimePoint from, to;
+  };
+  struct Penalty {
+    std::uint32_t site;
+    core::TimePoint from, to;
+    double factor;
+  };
+  bool drained(std::uint32_t site, core::TimePoint t) const;
+  double penalty(std::uint32_t site, core::TimePoint t) const;
+  Locator locator_;
+  double flap_fraction_;
+  std::uint64_t seed_;
+  std::vector<Drain> drains_;
+  std::vector<Penalty> penalties_;
+};
+
+/// Google-style aggressive churn.
+class ChurnPolicy : public SelectionPolicy {
+ public:
+  struct Config {
+    /// Pool: the prefix's k nearest front-ends are its candidates.
+    std::size_t candidate_pool = 4;
+    /// Remap epoch length (the paper's ~weekly cadence).
+    core::TimePoint epoch = 7 * core::kDay;
+    /// Fraction of prefixes re-hashed each day within an epoch.
+    double daily_churn = 0.10;
+    /// Generation boundaries: at each TimePoint in this list the fleet is
+    /// considered replaced (selection re-salted and front-end subset
+    /// switched), so vectors across a boundary share nothing.
+    std::vector<core::TimePoint> generation_starts;
+    std::uint64_t seed = 1;
+  };
+  using Locator = GeoNearestPolicy::Locator;
+
+  ChurnPolicy(Locator prefix_locator, Config config)
+      : locator_(std::move(prefix_locator)), config_(std::move(config)) {}
+
+  std::optional<std::size_t> select(
+      const netbase::Prefix& client, core::TimePoint time,
+      const std::vector<FrontEnd>& front_ends) const override;
+
+ private:
+  std::uint64_t generation_of(core::TimePoint t) const;
+  Locator locator_;
+  Config config_;
+};
+
+/// The authoritative server: parses the wire query, applies the policy,
+/// answers with the chosen front-end's A record and the client-subnet
+/// option echoed with a /24 scope.
+class WebsiteService {
+ public:
+  WebsiteService(std::string hostname, std::vector<FrontEnd> front_ends,
+                 std::unique_ptr<SelectionPolicy> policy)
+      : hostname_(std::move(hostname)),
+        front_ends_(std::move(front_ends)),
+        policy_(std::move(policy)) {}
+
+  const std::string& hostname() const noexcept { return hostname_; }
+  const std::vector<FrontEnd>& front_ends() const noexcept {
+    return front_ends_;
+  }
+
+  /// Handles raw query bytes at @p time; returns response wire bytes.
+  std::vector<std::uint8_t> handle(std::span<const std::uint8_t> query,
+                                   core::TimePoint time) const;
+
+  /// Service site index of the front-end owning @p addr (how the probe's
+  /// operator maps returned A records to site labels), nullopt if alien.
+  std::optional<std::uint32_t> site_of_addr(netbase::Ipv4Addr addr) const;
+
+ private:
+  std::string hostname_;
+  std::vector<FrontEnd> front_ends_;
+  std::unique_ptr<SelectionPolicy> policy_;
+};
+
+struct EdnsCsConfig {
+  double query_loss = 0.005;
+  std::uint64_t seed = 1;
+};
+
+/// The probe: sweeps a prefix list through the service.
+class EdnsCsProbe {
+ public:
+  EdnsCsProbe(std::vector<netbase::Prefix> prefixes, EdnsCsConfig config)
+      : prefixes_(std::move(prefixes)), config_(config) {}
+
+  const std::vector<netbase::Prefix>& prefixes() const noexcept {
+    return prefixes_;
+  }
+
+  /// One sweep: a core::SiteId per prefix. err on loss/SERVFAIL, other on
+  /// an A record outside the known front-end set.
+  std::vector<core::SiteId> measure(
+      core::TimePoint time, const WebsiteService& service,
+      const std::vector<core::SiteId>& site_to_core) const;
+
+ private:
+  std::vector<netbase::Prefix> prefixes_;
+  EdnsCsConfig config_;
+};
+
+}  // namespace fenrir::measure

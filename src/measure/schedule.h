@@ -1,0 +1,88 @@
+// fenrir::measure — probing schedules.
+//
+// The paper's USC traceroute scan is rate-limited: "We cover 1.6M /24
+// networks ... The probing rate is 550 packets per second ... It takes
+// around 8 hours to complete a full list scan", deliberately slow "to
+// reduce the stress on the first hop". A SweepSchedule captures that
+// discipline: targets are probed in order at a fixed rate, so each
+// target has a deterministic probe instant inside its sweep, sweeps
+// repeat back-to-back (or with an idle gap), and an observation
+// timestamped "sweep k" actually mixes measurements spread over the
+// sweep duration — a smear analysis code sometimes needs to reason
+// about.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "core/time.h"
+
+namespace fenrir::measure {
+
+class SweepSchedule {
+ public:
+  /// @p targets probed at @p packets_per_second, with @p probes_per_target
+  /// packets each (retries/hop counts), starting at @p start. An optional
+  /// idle gap separates consecutive sweeps.
+  SweepSchedule(std::size_t targets, double packets_per_second,
+                std::size_t probes_per_target = 1,
+                core::TimePoint start = 0, core::TimePoint idle_gap = 0)
+      : targets_(targets),
+        pps_(packets_per_second),
+        probes_per_target_(probes_per_target),
+        start_(start),
+        idle_gap_(idle_gap) {
+    if (targets == 0 || packets_per_second <= 0 || probes_per_target == 0) {
+      throw std::invalid_argument("SweepSchedule: bad parameters");
+    }
+  }
+
+  /// Seconds needed for one complete sweep (excluding the idle gap).
+  double sweep_seconds() const noexcept {
+    return static_cast<double>(targets_ * probes_per_target_) / pps_;
+  }
+
+  /// Full period including the idle gap, in seconds (>= 1s granularity
+  /// since TimePoint is integral; rounded up so sweeps never overlap).
+  core::TimePoint period() const noexcept {
+    const auto active = static_cast<core::TimePoint>(sweep_seconds()) + 1;
+    return active + idle_gap_;
+  }
+
+  /// The instant target @p index is probed in sweep @p sweep (0-based).
+  core::TimePoint probe_time(std::size_t sweep, std::size_t index) const {
+    if (index >= targets_) throw std::out_of_range("SweepSchedule: index");
+    const double offset =
+        static_cast<double>(index * probes_per_target_) / pps_;
+    return start_ + static_cast<core::TimePoint>(sweep) * period() +
+           static_cast<core::TimePoint>(offset);
+  }
+
+  /// Which sweep is in progress (or most recently started) at @p t.
+  std::size_t sweep_at(core::TimePoint t) const noexcept {
+    if (t <= start_) return 0;
+    return static_cast<std::size_t>((t - start_) / period());
+  }
+
+  /// Target index being probed at @p t, if the sweep is active then
+  /// (the idle gap and post-sweep slack return targets_, i.e. "none").
+  std::size_t target_at(core::TimePoint t) const noexcept {
+    if (t < start_) return targets_;
+    const core::TimePoint into = (t - start_) % period();
+    const double idx =
+        static_cast<double>(into) * pps_ / static_cast<double>(probes_per_target_);
+    const auto i = static_cast<std::size_t>(idx);
+    return i < targets_ ? i : targets_;
+  }
+
+  std::size_t targets() const noexcept { return targets_; }
+
+ private:
+  std::size_t targets_;
+  double pps_;
+  std::size_t probes_per_target_;
+  core::TimePoint start_;
+  core::TimePoint idle_gap_;
+};
+
+}  // namespace fenrir::measure

@@ -1,0 +1,135 @@
+#include "measure/traceroute.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fenrir::measure {
+
+TracerouteProbe::TracerouteProbe(bgp::AsGraph& graph, bgp::AsIndex enterprise,
+                                 TracerouteConfig config,
+                                 netbase::Ipv4Addr infra_base)
+    : graph_(&graph),
+      enterprise_(enterprise),
+      config_(config),
+      infra_base_block_(netbase::block24_index(infra_base)) {
+  if (enterprise >= graph.as_count()) {
+    throw std::out_of_range("TracerouteProbe: bad enterprise AS");
+  }
+  // One infrastructure /24 per AS so hop addresses attribute back to
+  // their owner through ordinary longest-prefix matching.
+  for (bgp::AsIndex as = 0; as < graph.as_count(); ++as) {
+    graph.announce_prefix(
+        netbase::block24_from_index(infra_base_block_ + as), as);
+  }
+}
+
+netbase::Ipv4Addr TracerouteProbe::router_addr(bgp::AsIndex as,
+                                               int which) const {
+  const std::uint32_t host =
+      1 + static_cast<std::uint32_t>(which) % 250;
+  return netbase::Ipv4Addr(((infra_base_block_ + as) << 8) | host);
+}
+
+std::optional<bgp::AsIndex> TracerouteProbe::hop_owner(
+    const bgp::AsGraph& graph, netbase::Ipv4Addr addr) const {
+  if (addr.is_private()) return std::nullopt;
+  return graph.origin_of(addr);
+}
+
+bool TracerouteProbe::filters_icmp(bgp::AsIndex as) const {
+  if (const auto it = filter_override_.find(as);
+      it != filter_override_.end()) {
+    return it->second;
+  }
+  if (as == enterprise_) return false;  // we answer our own probes
+  const std::uint64_t h = rng::mix(config_.seed, 0xf117e2ULL, as);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 <
+         config_.filtering_as_fraction;
+}
+
+TracerouteResult TracerouteProbe::trace(
+    core::TimePoint time, std::uint32_t dst_block,
+    std::span<const bgp::AsIndex> forward_path) const {
+  TracerouteResult result;
+  const auto respond = [&](std::uint64_t salt, double prob) {
+    // Probability any of the configured attempts answers.
+    const double p_any =
+        1.0 - std::pow(1.0 - prob, config_.attempts_per_hop);
+    const std::uint64_t h = rng::mix(
+        config_.seed,
+        rng::mix(salt, dst_block, static_cast<std::uint64_t>(time)));
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < p_any;
+  };
+
+  // Internal enterprise hops: private addressing, always responsive.
+  for (int i = 0; i < config_.enterprise_internal_hops; ++i) {
+    if (static_cast<int>(result.hops.size()) >= config_.max_hops) {
+      return result;
+    }
+    result.hops.push_back(
+        TracerouteHop{netbase::Ipv4Addr(10, 0, static_cast<std::uint8_t>(i),
+                                        1)});
+  }
+
+  // Forward AS path selected by the routing substrate (enterprise first).
+  const std::span<const bgp::AsIndex> path = forward_path;
+  if (path.empty()) {
+    // Unreachable destination: stars until the hop cap.
+    while (static_cast<int>(result.hops.size()) < config_.max_hops) {
+      result.hops.push_back(TracerouteHop{std::nullopt});
+    }
+    return result;
+  }
+
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (static_cast<int>(result.hops.size()) >= config_.max_hops) {
+      return result;
+    }
+    const bgp::AsIndex as = path[i];
+    const int which =
+        static_cast<int>(rng::mix(config_.seed, as, dst_block) % 4);
+    const bool answers =
+        !filters_icmp(as) && respond(0x40b0 + as, config_.hop_response_prob);
+    result.hops.push_back(
+        TracerouteHop{answers ? std::optional(router_addr(as, which))
+                              : std::nullopt});
+  }
+
+  // Destination host inside the final AS's /24.
+  if (static_cast<int>(result.hops.size()) < config_.max_hops) {
+    const bool answers = respond(0xd057, 0.7);
+    if (answers) {
+      result.hops.push_back(
+          TracerouteHop{netbase::Ipv4Addr((dst_block << 8) | 1)});
+      result.reached = true;
+    } else {
+      result.hops.push_back(TracerouteHop{std::nullopt});
+    }
+  }
+  return result;
+}
+
+std::optional<bgp::AsIndex> TracerouteProbe::focus_catchment(
+    const bgp::AsGraph& graph, const TracerouteResult& result, int focus_hop,
+    int max_fill_distance) const {
+  const auto owner_at = [&](int hop_index) -> std::optional<bgp::AsIndex> {
+    if (hop_index < 1 ||
+        hop_index > static_cast<int>(result.hops.size())) {
+      return std::nullopt;
+    }
+    const auto& hop = result.hops[static_cast<std::size_t>(hop_index - 1)];
+    if (!hop.addr) return std::nullopt;
+    return hop_owner(graph, *hop.addr);
+  };
+
+  if (const auto direct = owner_at(focus_hop)) return direct;
+  // Paper's spatial redundancy: borrow the nearest viable hop, preferring
+  // the one closer to the enterprise on ties.
+  for (int d = 1; d <= max_fill_distance; ++d) {
+    if (const auto before = owner_at(focus_hop - d)) return before;
+    if (const auto after = owner_at(focus_hop + d)) return after;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fenrir::measure

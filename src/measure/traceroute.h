@@ -1,0 +1,117 @@
+// fenrir::measure — scamper-style traceroute out of an enterprise.
+//
+// The USC study maps enterprise egress catchments by tracerouting the
+// first 10 hops toward every routable /24 and asking, at a "focus" hop
+// (hop 3 in the paper's Figure 2), which network carries the traffic.
+// This simulator walks the forward AS path the BGP substrate selects,
+// expands it to router-level hops (internal enterprise hops on RFC 1918
+// addresses, then one or two addressable routers per transit AS), and
+// applies the realities the paper's cleaning stage exists for: ICMP-
+// filtering ASes, per-probe loss, and the 10-hop cap.
+//
+// focus_catchment() reproduces the paper's spatial fill: a silent focus
+// hop borrows the nearest responsive hop's network.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bgp/graph.h"
+#include "bgp/routing.h"
+#include "core/time.h"
+#include "netbase/ipv4.h"
+#include "rng/rng.h"
+
+namespace fenrir::measure {
+
+struct TracerouteConfig {
+  int max_hops = 10;
+  int attempts_per_hop = 2;
+  /// Per-attempt response probability of a cooperating router.
+  double hop_response_prob = 0.9;
+  /// Fraction of ASes whose routers never answer ICMP.
+  double filtering_as_fraction = 0.1;
+  /// Router hops contributed inside the enterprise (private addresses).
+  int enterprise_internal_hops = 2;
+  std::uint64_t seed = 1;
+};
+
+struct TracerouteHop {
+  /// Responding address, or nullopt for "*" (no reply).
+  std::optional<netbase::Ipv4Addr> addr;
+};
+
+struct TracerouteResult {
+  std::vector<TracerouteHop> hops;  // up to max_hops
+  bool reached = false;             // destination answered within the cap
+};
+
+class TracerouteProbe {
+ public:
+  /// @p graph must outlive the probe. Router infrastructure addresses are
+  /// allocated per AS out of @p infra_base (one /24 per AS) and announced
+  /// in the graph so hop addresses resolve back to their AS — how real
+  /// traceroute analysis attributes hops.
+  TracerouteProbe(bgp::AsGraph& graph, bgp::AsIndex enterprise,
+                  TracerouteConfig config,
+                  netbase::Ipv4Addr infra_base = netbase::Ipv4Addr(198, 18, 0,
+                                                                   0));
+
+  bgp::AsIndex enterprise() const noexcept { return enterprise_; }
+
+  /// Traces toward @p dst_block's representative address along
+  /// @p forward_path — the AS-level path from the enterprise to the
+  /// destination (enterprise first), as selected by the routing substrate.
+  /// An empty path means the destination is unreachable (stars to the cap).
+  TracerouteResult trace(core::TimePoint time, std::uint32_t dst_block,
+                         std::span<const bgp::AsIndex> forward_path) const;
+
+  /// Convenience: extracts the forward path from the routing table for
+  /// the destination's prefix.
+  TracerouteResult trace(core::TimePoint time, std::uint32_t dst_block,
+                         const bgp::RoutingTable& routing) const {
+    const auto path = routing.as_path(enterprise_);
+    return trace(time, dst_block,
+                 std::span<const bgp::AsIndex>(path.data(), path.size()));
+  }
+
+  /// Router address of @p as (instance @p which within its infra /24).
+  netbase::Ipv4Addr router_addr(bgp::AsIndex as, int which) const;
+
+  /// The AS owning a hop address, if attributable (infra space announced
+  /// in the graph; private addresses are not).
+  std::optional<bgp::AsIndex> hop_owner(const bgp::AsGraph& graph,
+                                        netbase::Ipv4Addr addr) const;
+
+  /// Catchment at @p focus_hop (1-based index into the result), applying
+  /// the paper's nearest-viable-hop spatial fill within
+  /// @p max_fill_distance hops. nullopt if nothing viable is in range.
+  std::optional<bgp::AsIndex> focus_catchment(const bgp::AsGraph& graph,
+                                              const TracerouteResult& result,
+                                              int focus_hop,
+                                              int max_fill_distance = 2) const;
+
+  /// Whether an AS filters ICMP (stable, derived from the seed, unless
+  /// overridden).
+  bool filters_icmp(bgp::AsIndex as) const;
+
+  /// Pins an AS's filtering behaviour regardless of the seed draw —
+  /// scenarios use this for well-known transit networks whose routers
+  /// are reliably traceable.
+  void set_filter_override(bgp::AsIndex as, bool filters) {
+    filter_override_[as] = filters;
+  }
+
+ private:
+  bgp::AsGraph* graph_;
+  bgp::AsIndex enterprise_;
+  TracerouteConfig config_;
+  std::uint32_t infra_base_block_;
+  std::unordered_map<bgp::AsIndex, bool> filter_override_;
+};
+
+}  // namespace fenrir::measure

@@ -1,0 +1,75 @@
+#include "measure/trinocular.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fenrir::measure {
+
+double path_rtt_ms(std::span<const bgp::AsIndex> path,
+                   const bgp::AsGraph& graph, const geo::LatencyModel& model) {
+  if (path.size() < 2) return model.base_ms;
+  double km = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    km += geo::haversine_km(graph.node(path[i - 1]).location,
+                            graph.node(path[i]).location);
+  }
+  constexpr double c_km_per_ms = 299.792458;
+  const double one_way_ms =
+      km * model.path_stretch / (c_km_per_ms * model.fiber_speed_fraction);
+  return model.base_ms + 2.0 * one_way_ms;
+}
+
+TrinocularProbe::TrinocularProbe(const netbase::Hitlist* hitlist,
+                                 const bgp::AsGraph* graph,
+                                 TrinocularConfig config)
+    : hitlist_(hitlist), graph_(graph), config_(config) {
+  if (hitlist_ == nullptr || graph_ == nullptr) {
+    throw std::invalid_argument("TrinocularProbe: null hitlist or graph");
+  }
+}
+
+bool TrinocularProbe::block_is_dark(std::uint32_t block) const {
+  const std::uint64_t h = rng::mix(config_.seed, 0xda2cULL, block);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 <
+         config_.dark_block_fraction;
+}
+
+std::vector<double> TrinocularProbe::measure_rtt(
+    core::TimePoint t,
+    const std::function<const std::vector<bgp::AsIndex>*(
+        std::uint32_t block)>& path_of,
+    const geo::LatencyModel& model) const {
+  std::vector<double> out(hitlist_->size(), -1.0);
+  const std::uint64_t round_index =
+      static_cast<std::uint64_t>(t / config_.round);
+  // The quarterly list refresh reshuffles which addresses get probed.
+  const std::uint64_t quarter =
+      static_cast<std::uint64_t>(t / (91 * core::kDay));
+
+  for (std::size_t i = 0; i < hitlist_->size(); ++i) {
+    const std::uint32_t block = hitlist_->block(i);
+    if (block_is_dark(block)) continue;
+    const std::vector<bgp::AsIndex>* path = path_of(block);
+    if (path == nullptr || path->empty()) continue;
+
+    // 1..max targets per round; the round succeeds if any answers.
+    const std::uint64_t h0 =
+        rng::mix(config_.seed, rng::mix(quarter, block, round_index));
+    const int targets =
+        1 + static_cast<int>(h0 % static_cast<std::uint64_t>(
+                                      config_.max_targets_per_block));
+    const double p_any =
+        1.0 - std::pow(1.0 - config_.target_response_prob, targets);
+    const double draw =
+        static_cast<double>(rng::mix(h0, 0x7a26e75ULL) >> 11) * 0x1.0p-53;
+    if (draw >= p_any) continue;
+
+    rng::Rng jitter(rng::mix(h0, 0x2177e2ULL));
+    const double rtt = path_rtt_ms(*path, *graph_, model);
+    out[i] = std::max(model.base_ms,
+                      rtt * (1.0 + model.jitter_fraction * jitter.normal(0, 1)));
+  }
+  return out;
+}
+
+}  // namespace fenrir::measure

@@ -1,0 +1,69 @@
+// fenrir::measure — Trinocular-style RTT measurement (paper §2.8.2).
+//
+// The paper sources enterprise latency from Trinocular, the outage
+// detection system that probes ~5M /24 blocks with ICMP echo from a site
+// inside USC: each block is probed every 11 minutes, 1..16 targets drawn
+// from a pseudorandom list refreshed quarterly. This module reproduces
+// that measurement discipline over the simulator, with one upgrade the
+// enterprise study needs: RTT is computed along the *forward AS path*
+// (great-circle length of the hop sequence), so a routing change that
+// sends traffic through a farther upstream visibly changes latency —
+// the "did our reconfiguration help?" question operators ask of Fenrir.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "bgp/graph.h"
+#include "core/time.h"
+#include "geo/geo.h"
+#include "netbase/hitlist.h"
+#include "rng/rng.h"
+
+namespace fenrir::measure {
+
+struct TrinocularConfig {
+  /// Probing round length (the paper's 11 minutes).
+  core::TimePoint round = 11 * core::kMinute;
+  /// Targets probed per block per round, 1..max.
+  int max_targets_per_block = 16;
+  /// Per-target response probability for an "up" block.
+  double target_response_prob = 0.55;
+  /// Fraction of blocks that are persistently dark to ICMP.
+  double dark_block_fraction = 0.25;
+  std::uint64_t seed = 1;
+};
+
+/// RTT along an AS-level forward path: great-circle hop lengths through
+/// the path's AS locations, with the model's speed/stretch/base applied.
+/// Returns the model's base RTT for an empty or single-hop path.
+double path_rtt_ms(std::span<const bgp::AsIndex> path,
+                   const bgp::AsGraph& graph, const geo::LatencyModel& model);
+
+class TrinocularProbe {
+ public:
+  TrinocularProbe(const netbase::Hitlist* hitlist, const bgp::AsGraph* graph,
+                  TrinocularConfig config);
+
+  /// True if the block answers ICMP at all (stable per block).
+  bool block_is_dark(std::uint32_t block) const;
+
+  /// One probing round at time @p t. @p path_of supplies the forward AS
+  /// path toward each block (nullptr = unrouted). Returns RTT in ms per
+  /// hitlist position; -1 for dark blocks, unrouted blocks, and rounds
+  /// where none of the drawn targets answered.
+  std::vector<double> measure_rtt(
+      core::TimePoint t,
+      const std::function<const std::vector<bgp::AsIndex>*(
+          std::uint32_t block)>& path_of,
+      const geo::LatencyModel& model) const;
+
+ private:
+  const netbase::Hitlist* hitlist_;
+  const bgp::AsGraph* graph_;
+  TrinocularConfig config_;
+};
+
+}  // namespace fenrir::measure

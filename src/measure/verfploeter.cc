@@ -1,0 +1,48 @@
+#include "measure/verfploeter.h"
+
+#include <stdexcept>
+
+namespace fenrir::measure {
+
+VerfploeterProbe::VerfploeterProbe(const netbase::Hitlist* hitlist,
+                                   VerfploeterConfig config)
+    : hitlist_(hitlist), config_(config) {
+  if (hitlist_ == nullptr) {
+    throw std::invalid_argument("VerfploeterProbe: null hitlist");
+  }
+}
+
+double VerfploeterProbe::propensity(std::uint32_t block) const {
+  // Stable per-block membership in the responsive or flaky population.
+  const std::uint64_t h = rng::mix(config_.seed, 0xb10cULL, block);
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < config_.stable_fraction ? config_.stable_prob
+                                     : config_.flaky_prob;
+}
+
+std::vector<core::SiteId> VerfploeterProbe::measure(
+    core::TimePoint time, const bgp::AsGraph& graph,
+    const bgp::RoutingTable& routing,
+    const std::vector<core::SiteId>& site_to_core) const {
+  std::vector<core::SiteId> out(hitlist_->size(), core::kUnknownSite);
+  const std::uint64_t round_key = static_cast<std::uint64_t>(time);
+  for (std::size_t i = 0; i < hitlist_->size(); ++i) {
+    const std::uint32_t block = hitlist_->block(i);
+
+    // Does the representative answer this round?
+    const std::uint64_t draw =
+        rng::mix(config_.seed, rng::mix(0xec40ULL, block, round_key));
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    if (u >= propensity(block) * (1.0 - config_.transient_loss)) continue;
+
+    // The reply routes from the block's AS into the anycast system.
+    const auto as = graph.origin_of(hitlist_->target(i));
+    if (!as) continue;  // unrouted space: probe never reaches it
+    const auto site = routing.catchment(*as);
+    if (!site) continue;  // no route to the anycast prefix: reply lost
+    out[i] = site_to_core.at(*site);
+  }
+  return out;
+}
+
+}  // namespace fenrir::measure

@@ -1,0 +1,70 @@
+// fenrir::measure — Verfploeter-style anycast catchment mapping.
+//
+// Verfploeter (de Vries et al. 2017) pings millions of /24 blocks *from*
+// the anycast prefix; the reply enters the anycast system and lands at
+// whichever site the sender's network routes to — that site is the
+// block's catchment. Coverage is broad but incomplete: a block only
+// yields data if its representative address answers ICMP, and with
+// dynamic addressing that is probabilistic. The paper reports roughly
+// half of B-Root's 5M targets unknown per snapshot, which is why
+// pessimistic Φ plateaus at 0.5–0.6 for a stable service.
+//
+// The simulator reproduces exactly that pipeline: per-block responsiveness
+// is a stable per-block propensity (some blocks are reliably up, some
+// reliably dark, many in between), sampled independently each round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgp/routing.h"
+#include "core/tables.h"
+#include "core/time.h"
+#include "netbase/hitlist.h"
+#include "rng/rng.h"
+
+namespace fenrir::measure {
+
+struct VerfploeterConfig {
+  /// Responsiveness is bimodal, matching what ping studies of the IPv4
+  /// space see: a stable population that nearly always answers (server
+  /// blocks, static assignment) and a flaky one that rarely does
+  /// (dynamic pools, firewalled space). With the defaults the known
+  /// fraction per round is ~0.5 and — because a block must answer in
+  /// BOTH rounds to count as a match — pessimistic Φ for a perfectly
+  /// stable service sits in the paper's 0.5–0.6 band.
+  double stable_fraction = 0.55;
+  double stable_prob = 0.96;
+  double flaky_prob = 0.08;
+  /// Additional per-probe transient loss.
+  double transient_loss = 0.02;
+  std::uint64_t seed = 1;
+};
+
+/// Maps each hitlist block to a core::SiteId for one measurement round.
+///
+/// @p routing       routing toward the anycast prefix (current topology).
+/// @p graph         the AS graph (resolves block -> origin AS).
+/// @p site_to_core  service site index -> core SiteId.
+///
+/// Blocks that do not respond (dark block or transient loss) and blocks
+/// whose AS cannot reach the anycast prefix at all are kUnknownSite: in
+/// both cases the reply never arrives, indistinguishable to the prober.
+class VerfploeterProbe {
+ public:
+  VerfploeterProbe(const netbase::Hitlist* hitlist, VerfploeterConfig config);
+
+  std::vector<core::SiteId> measure(
+      core::TimePoint time, const bgp::AsGraph& graph,
+      const bgp::RoutingTable& routing,
+      const std::vector<core::SiteId>& site_to_core) const;
+
+  /// A block's stable responsiveness propensity (exposed for tests).
+  double propensity(std::uint32_t block) const;
+
+ private:
+  const netbase::Hitlist* hitlist_;
+  VerfploeterConfig config_;
+};
+
+}  // namespace fenrir::measure

@@ -1,0 +1,50 @@
+// fenrir::netbase — probing hitlists.
+//
+// A Hitlist selects one representative target address per /24 block, the
+// way the ISI hitlist (Fan et al. 2013) seeds Verfploeter and the USC
+// traceroute scans. Representatives are chosen deterministically from a
+// seed so repeated scans probe the same addresses, and refresh() models the
+// quarterly hitlist updates the paper describes for Trinocular.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/ipv4.h"
+#include "rng/rng.h"
+
+namespace fenrir::netbase {
+
+class Hitlist {
+ public:
+  /// Builds a hitlist covering @p blocks (each entry a /24 block index,
+  /// see block24_index). One target per block, host byte drawn from seed.
+  Hitlist(std::vector<std::uint32_t> blocks, std::uint64_t seed)
+      : blocks_(std::move(blocks)), seed_(seed), epoch_(0) {}
+
+  std::size_t size() const noexcept { return blocks_.size(); }
+
+  /// The /24 block index at position i.
+  std::uint32_t block(std::size_t i) const noexcept { return blocks_[i]; }
+
+  /// The representative target address for position i in the current epoch.
+  Ipv4Addr target(std::size_t i) const noexcept {
+    // Host bytes 1..254 (avoid network and broadcast addresses).
+    const std::uint64_t h = rng::mix(seed_, blocks_[i], epoch_);
+    const std::uint32_t host = 1 + static_cast<std::uint32_t>(h % 254);
+    return Ipv4Addr((blocks_[i] << 8) | host);
+  }
+
+  /// Advances to the next epoch (models the quarterly refresh): every
+  /// block gets a fresh pseudorandom representative.
+  void refresh() noexcept { ++epoch_; }
+
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+ private:
+  std::vector<std::uint32_t> blocks_;
+  std::uint64_t seed_;
+  std::uint64_t epoch_;
+};
+
+}  // namespace fenrir::netbase

@@ -1,0 +1,70 @@
+#include "netbase/ipv4.h"
+
+#include <charconv>
+
+namespace fenrir::netbase {
+
+namespace {
+
+// Parses a decimal integer in [0, max] from the front of `text`, advancing
+// it past the digits. Returns nullopt on empty/overflow/leading-garbage.
+std::optional<std::uint32_t> parse_uint_prefix(std::string_view& text,
+                                               std::uint32_t max) {
+  std::uint32_t out = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc{} || ptr == begin || out > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return out;
+}
+
+}  // namespace
+
+std::string Ipv4Addr::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+    const auto octet = parse_uint_prefix(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  if (!text.empty()) return std::nullopt;
+  return Ipv4Addr(value);
+}
+
+std::string Prefix::to_string() const {
+  return base_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto base = Ipv4Addr::parse(text.substr(0, slash));
+  if (!base) return std::nullopt;
+  auto rest = text.substr(slash + 1);
+  const auto length = parse_uint_prefix(rest, 32);
+  if (!length || !rest.empty()) return std::nullopt;
+  // Reject non-canonical bases: host bits must be zero.
+  if ((base->value() & ~Prefix::mask_for(static_cast<int>(*length))) != 0) {
+    return std::nullopt;
+  }
+  return Prefix(*base, static_cast<int>(*length));
+}
+
+std::string Asn::to_string() const { return "AS" + std::to_string(value_); }
+
+}  // namespace fenrir::netbase

@@ -1,0 +1,151 @@
+// fenrir::netbase — IPv4 addresses and prefixes.
+//
+// Value types for IPv4 addresses and CIDR prefixes, with parsing,
+// formatting, and the block arithmetic Fenrir's measurement pipeline
+// relies on (every dataset in the paper is keyed by /24 blocks).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace fenrir::netbase {
+
+/// An IPv4 address as a host-order 32-bit value.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// RFC 1918 private space (10/8, 172.16/12, 192.168/16).
+  constexpr bool is_private() const noexcept {
+    return (value_ >> 24) == 10 || (value_ >> 20) == 0xac1 ||
+           (value_ >> 16) == 0xc0a8;
+  }
+
+  /// 127/8.
+  constexpr bool is_loopback() const noexcept { return (value_ >> 24) == 127; }
+
+  /// Dotted-quad form, e.g. "192.0.2.1".
+  std::string to_string() const;
+
+  /// Parses dotted-quad; rejects anything else (no shorthand forms).
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix: base address plus length in [0, 32]. The base is always
+/// stored canonically (host bits zeroed).
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4Addr base, int length) noexcept
+      : base_(Ipv4Addr(base.value() & mask_for(length))),
+        length_(static_cast<std::uint8_t>(length)) {}
+
+  constexpr Ipv4Addr base() const noexcept { return base_; }
+  constexpr int length() const noexcept { return length_; }
+
+  static constexpr std::uint32_t mask_for(int length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+  constexpr std::uint32_t mask() const noexcept { return mask_for(length_); }
+
+  constexpr bool contains(Ipv4Addr addr) const noexcept {
+    return (addr.value() & mask()) == base_.value();
+  }
+  constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  /// Number of addresses covered (as 64-bit to hold 2^32 for /0).
+  constexpr std::uint64_t address_count() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// Number of /24 blocks covered; 1 for prefixes longer than /24.
+  constexpr std::uint64_t block24_count() const noexcept {
+    return length_ >= 24 ? 1 : (std::uint64_t{1} << (24 - length_));
+  }
+
+  /// The /24 block containing this prefix's base address.
+  constexpr Prefix block24() const noexcept { return Prefix(base_, 24); }
+
+  /// "192.0.2.0/24".
+  std::string to_string() const;
+
+  /// Parses "a.b.c.d/len". Rejects out-of-range lengths and non-canonical
+  /// bases (host bits set), which in Fenrir's inputs indicate corrupt rows.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept =
+      default;
+
+ private:
+  Ipv4Addr base_;
+  std::uint8_t length_ = 0;
+};
+
+/// Dense index of a /24 block: the top 24 bits of its base address.
+/// Verfploeter-style datasets identify targets by /24, so this is the
+/// natural network key throughout Fenrir.
+constexpr std::uint32_t block24_index(Ipv4Addr addr) noexcept {
+  return addr.value() >> 8;
+}
+constexpr Prefix block24_from_index(std::uint32_t index) noexcept {
+  return Prefix(Ipv4Addr(index << 8), 24);
+}
+
+/// An autonomous-system number.
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(std::uint32_t value) noexcept : value_(value) {}
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  /// "AS2152".
+  std::string to_string() const;
+  friend constexpr auto operator<=>(Asn, Asn) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace fenrir::netbase
+
+template <>
+struct std::hash<fenrir::netbase::Ipv4Addr> {
+  std::size_t operator()(fenrir::netbase::Ipv4Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<fenrir::netbase::Prefix> {
+  std::size_t operator()(const fenrir::netbase::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{p.base().value()} << 8) |
+        static_cast<std::uint64_t>(p.length()));
+  }
+};
+
+template <>
+struct std::hash<fenrir::netbase::Asn> {
+  std::size_t operator()(fenrir::netbase::Asn a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

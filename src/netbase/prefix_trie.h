@@ -1,0 +1,111 @@
+// fenrir::netbase — binary prefix trie with longest-prefix match.
+//
+// Maps CIDR prefixes to values of type V; lookup(addr) returns the value of
+// the most-specific covering prefix. Used for routable-prefix tables (the
+// simulated RouteViews table the USC traceroute scan is seeded from) and
+// for prefix→AS origin mapping inside the BGP simulator.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "netbase/ipv4.h"
+
+namespace fenrir::netbase {
+
+template <typename V>
+class PrefixTrie {
+ public:
+  PrefixTrie() { nodes_.push_back(Node{}); }
+
+  /// Inserts or overwrites the value at @p prefix. Returns true if a new
+  /// entry was created, false if an existing one was replaced.
+  bool insert(const Prefix& prefix, V value) {
+    std::size_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.base().value() >> (31 - depth)) & 1;
+      std::size_t& child = nodes_[node].child[bit];
+      if (child == 0) {
+        child = nodes_.size();
+        // Note: `child` may dangle after push_back; re-fetch through index.
+        const std::size_t parent = node;
+        nodes_.push_back(Node{});
+        node = nodes_[parent].child[bit];
+      } else {
+        node = child;
+      }
+    }
+    const bool fresh = !nodes_[node].value.has_value();
+    nodes_[node].value = std::move(value);
+    if (fresh) ++size_;
+    return fresh;
+  }
+
+  /// Longest-prefix match: value of the most-specific prefix covering
+  /// @p addr, or nullopt if none.
+  std::optional<V> lookup(Ipv4Addr addr) const {
+    std::optional<V> best;
+    std::size_t node = 0;
+    if (nodes_[0].value) best = nodes_[0].value;
+    for (int depth = 0; depth < 32; ++depth) {
+      const int bit = (addr.value() >> (31 - depth)) & 1;
+      const std::size_t child = nodes_[node].child[bit];
+      if (child == 0) break;
+      node = child;
+      if (nodes_[node].value) best = nodes_[node].value;
+    }
+    return best;
+  }
+
+  /// Exact-prefix lookup (no LPM).
+  std::optional<V> find(const Prefix& prefix) const {
+    std::size_t node = 0;
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (prefix.base().value() >> (31 - depth)) & 1;
+      const std::size_t child = nodes_[node].child[bit];
+      if (child == 0) return std::nullopt;
+      node = child;
+    }
+    return nodes_[node].value;
+  }
+
+  /// True if some entry (at any length) covers @p addr.
+  bool covers(Ipv4Addr addr) const { return lookup(addr).has_value(); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in lexicographic prefix order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(0, 0u, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::size_t child[2] = {0, 0};  // 0 = absent (root is never a child)
+    std::optional<V> value;
+  };
+
+  template <typename Fn>
+  void walk(std::size_t node, std::uint32_t bits, int depth, Fn& fn) const {
+    if (nodes_[node].value) {
+      fn(Prefix(Ipv4Addr(bits), depth), *nodes_[node].value);
+    }
+    for (int bit = 0; bit < 2; ++bit) {
+      const std::size_t child = nodes_[node].child[bit];
+      if (child != 0) {
+        const std::uint32_t child_bits =
+            bits | (bit ? (std::uint32_t{1} << (31 - depth)) : 0u);
+        walk(child, child_bits, depth + 1, fn);
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace fenrir::netbase

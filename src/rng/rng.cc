@@ -1,0 +1,67 @@
+#include "rng/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fenrir::rng {
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded sampling with rejection to remove
+  // modulo bias.
+  if (bound == 0) return 0;
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = gen_();
+    // 128-bit multiply-high.
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::exponential(double mean) noexcept {
+  // Inverse CDF; guard against log(0).
+  double u = uniform01();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  // Irwin–Hall approximation: sum of 12 uniforms has mean 6, variance 1.
+  double s = 0.0;
+  for (int i = 0; i < 12; ++i) s += uniform01();
+  return mean + stddev * (s - 6.0);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  if (n <= 1) return 0;
+  if (s <= 0.0) return static_cast<std::size_t>(uniform(n));
+  // Cache the cumulative weights for the most recent (n, s); experiments
+  // draw many variates from a single distribution, so one entry suffices.
+  thread_local std::size_t cached_n = 0;
+  thread_local double cached_s = -1.0;
+  thread_local std::vector<double> cdf;
+  if (cached_n != n || cached_s != s) {
+    cdf.resize(n);
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += std::pow(static_cast<double>(k + 1), -s);
+      cdf[k] = total;
+    }
+    cached_n = n;
+    cached_s = s;
+  }
+  const double u = uniform01() * cdf.back();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<std::size_t>(it - cdf.begin());
+}
+
+}  // namespace fenrir::rng

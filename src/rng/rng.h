@@ -1,0 +1,153 @@
+// fenrir::rng — deterministic, splittable pseudo-random number generation.
+//
+// Every Fenrir simulator draws randomness through this module so that a
+// single 64-bit seed makes an entire experiment bit-reproducible. Two
+// generators are provided:
+//
+//  * SplitMix64 — tiny stateless-style mixer, used for seeding and for
+//    per-key hashing ("give me a stable random value for prefix P on day D").
+//  * Xoshiro256ss — general-purpose generator (xoshiro256**), used for
+//    sequential draws inside a simulator.
+//
+// Rng wraps Xoshiro256ss with the distribution helpers the simulators need
+// (uniform integers/doubles, Bernoulli, exponential, Zipf, shuffling) and a
+// split() operation that derives an independent child stream, so concurrent
+// subsystems never share sequence state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fenrir::rng {
+
+/// SplitMix64 step: advances @p state and returns the next 64-bit output.
+/// Public-domain algorithm by Sebastiano Vigna.
+constexpr std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a seed and a key: a stable "random function" value.
+/// Used to give each (entity, epoch) pair reproducible randomness without
+/// maintaining per-entity generator state.
+constexpr std::uint64_t mix(std::uint64_t seed, std::uint64_t key) noexcept {
+  std::uint64_t s = seed ^ (key * 0xd6e8feb86659fd93ULL);
+  return splitmix64_next(s);
+}
+
+/// Three-way mix, for keys with two components (e.g. prefix + day).
+constexpr std::uint64_t mix(std::uint64_t seed, std::uint64_t k1,
+                            std::uint64_t k2) noexcept {
+  return mix(mix(seed, k1), k2);
+}
+
+/// xoshiro256** 1.0 — fast, high-quality 64-bit generator.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from @p seed via SplitMix64 (the procedure
+  /// recommended by the xoshiro authors).
+  explicit Xoshiro256ss(std::uint64_t seed = 0) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Deterministic random source with the distributions Fenrir's simulators
+/// use. Copyable; copies continue the same sequence independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) noexcept : gen_(seed), seed_(seed) {}
+
+  /// Derives an independent child generator. Children with distinct tags
+  /// (and children of distinct parents) produce unrelated streams.
+  [[nodiscard]] Rng split(std::uint64_t tag) const noexcept {
+    return Rng(mix(seed_, 0x5eedc01dULL, tag));
+  }
+
+  std::uint64_t next_u64() noexcept { return gen_(); }
+
+  /// Uniform integer in [0, bound). @p bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept {
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// True with probability @p p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential variate with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Approximately normal variate (sum of uniforms; adequate for jitter).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Zipf-distributed rank in [0, n) with exponent @p s (s >= 0).
+  /// Rank 0 is the most popular. Inverse-CDF sampling over a cached
+  /// cumulative-weight table (built once per distinct (n, s)).
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Picks a uniformly random element index of a non-empty span.
+  template <typename T>
+  std::size_t pick_index(std::span<const T> items) noexcept {
+    return static_cast<std::size_t>(uniform(items.size()));
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[static_cast<std::size_t>(uniform(i))]);
+    }
+  }
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  Xoshiro256ss gen_;
+  std::uint64_t seed_;
+};
+
+}  // namespace fenrir::rng

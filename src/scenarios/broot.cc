@@ -1,0 +1,305 @@
+#include "scenarios/broot.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "measure/verfploeter.h"
+#include "netbase/hitlist.h"
+#include "netbase/ipv4.h"
+
+namespace fenrir::scenarios {
+
+namespace {
+
+constexpr std::uint32_t kLax = 0;
+constexpr std::uint32_t kMia = 1;
+constexpr std::uint32_t kAri = 2;
+constexpr std::uint32_t kSin = 3;
+constexpr std::uint32_t kIad = 4;
+constexpr std::uint32_t kAms = 5;
+constexpr std::uint32_t kScl = 6;
+
+struct TimelineAction {
+  core::TimePoint time;
+  std::function<void()> apply;
+};
+
+}  // namespace
+
+BrootScenario make_broot(const BrootConfig& config) {
+  BrootScenario out;
+  out.site_names = {"LAX", "MIA", "ARI", "SIN", "IAD", "AMS", "SCL"};
+  out.site_coords = {geo::city::LAX, geo::city::MIA, geo::city::ARI,
+                     geo::city::SIN, geo::city::IAD, geo::city::AMS,
+                     geo::city::SCL};
+
+  WorldConfig wc;
+  wc.topo.seed = config.seed;
+  wc.topo.stub_count = config.topo_stubs;
+  World world = make_world(wc);
+  bgp::AsGraph& graph = world.topo.graph;
+  rng::Rng rng(config.seed);
+
+  // Root-DNS sites connect at major exchange points: each site gets a
+  // fresh origin AS at its metro, homed to the nearest still-unused
+  // tier-1 — which, with hot-potato peer preferences, yields the
+  // regionally coherent catchments root operators actually see.
+  bgp::AnycastService service(*netbase::Prefix::parse("199.9.14.0/24"));
+  std::vector<bgp::AsIndex> origin_as(out.site_names.size(), bgp::kNoAs);
+  {
+    std::vector<bgp::AsIndex> used_t1;
+    for (std::uint32_t s = 0; s < out.site_names.size(); ++s) {
+      if (s == kAri) continue;  // ARI is homed specially below
+      bgp::AsIndex host = bgp::kNoAs;
+      for (const bgp::AsIndex t1 : nearest_ases(
+               world.topo, out.site_coords[s], bgp::AsTier::kTier1, 12)) {
+        if (std::find(used_t1.begin(), used_t1.end(), t1) == used_t1.end()) {
+          host = t1;
+          used_t1.push_back(t1);
+          break;
+        }
+      }
+      const bgp::AsIndex origin = graph.add_as(
+          netbase::Asn(64520 + s), bgp::AsTier::kStub, out.site_coords[s],
+          "broot-" + out.site_names[s]);
+      graph.add_link(host, origin, bgp::Relation::kCustomer);
+      origin_as[s] = origin;
+    }
+  }
+  // ARI exhibits the paper's anycast-polarization pathology ("latency
+  // over 200 ms due to a few North American and European networks being
+  // routed to it"): the Chilean site is announced through a EUROPEAN
+  // transit, so its catchment is a slice of Europe while its machines sit
+  // in Arica. We model this literally: a fresh origin stub located at
+  // ARI, homed to the tier-2 nearest Amsterdam.
+  {
+    const bgp::AsIndex eu_transit =
+        nearest_as(world.topo, geo::city::AMS, bgp::AsTier::kTier2);
+    const bgp::AsIndex ari_origin = graph.add_as(
+        netbase::Asn(64513), bgp::AsTier::kStub, geo::city::ARI,
+        "ari-origin");
+    graph.add_link(eu_transit, ari_origin, bgp::Relation::kCustomer);
+    origin_as[kAri] = ari_origin;
+  }
+
+  // Regional fallback announcement points for the TE events: moving a
+  // site's announcement from its tier-1 exchange down behind a regional
+  // transit shrinks its catchment to that transit's cone — the mechanism
+  // behind the paper's "70% of clients that used to go to LAX were routed
+  // to AMS, IAD and SIN".
+  const auto make_regional = [&](std::uint32_t site) {
+    const bgp::AsIndex t2 =
+        nearest_as(world.topo, out.site_coords[site], bgp::AsTier::kTier2);
+    const bgp::AsIndex stub = graph.add_as(
+        netbase::Asn(64540 + site), bgp::AsTier::kStub,
+        out.site_coords[site], "broot-" + out.site_names[site] + "-regional");
+    graph.add_link(t2, stub, bgp::Relation::kCustomer);
+    return stub;
+  };
+  const bgp::AsIndex lax_regional = make_regional(kLax);
+  const bgp::AsIndex sin_regional = make_regional(kSin);
+  const bgp::AsIndex iad_regional = make_regional(kIad);
+  const bgp::AsIndex ams_regional = make_regional(kAms);
+
+  // Initial deployment: LAX, MIA, ARI. ARI prepends (a small site) and
+  // MIA slightly; LAX takes the bulk — the paper's mode (i) shape.
+  service.add_site(kLax, origin_as[kLax], 0);
+  service.add_site(kMia, origin_as[kMia], 1);
+  service.add_site(kAri, origin_as[kAri], 2);
+
+  // Probe over every announced /24.
+  netbase::Hitlist hitlist(world.topo.blocks,
+                           rng::mix(config.seed, 0x417ULL));
+  measure::VerfploeterConfig vc;
+  vc.seed = rng::mix(config.seed, 0xfe27ULL);
+  const measure::VerfploeterProbe probe(&hitlist, vc);
+
+  out.dataset.name = "B-Root/Verfploeter";
+  for (std::size_t i = 0; i < hitlist.size(); ++i) {
+    out.dataset.networks.intern(hitlist.block(i));
+  }
+  const std::vector<core::SiteId> site_to_core =
+      make_site_mapping(out.dataset.sites, out.site_names);
+
+  // Small third-party changes for the (iv.a)..(iv.d) boundaries: transit
+  // cones between pairs of long-lived sites (all present 2021-2024), each
+  // carrying a few percent of the networks.
+  std::vector<PolicyFlip> small_flips;
+  {
+    // Candidate site pairs among the long-lived sites, most-distinct
+    // first; verified against a representative full deployment so a cone
+    // is only kept if its flip genuinely reroutes.
+    const std::uint32_t stable[] = {kLax, kMia, kSin, kIad, kAms};
+    std::vector<bgp::Origin> verify;
+    for (const std::uint32_t s : stable) {
+      verify.push_back(bgp::Origin{origin_as[s], s, 0});
+    }
+    std::uint32_t asn = 64800;
+    for (const std::uint32_t sa : stable) {
+      for (const std::uint32_t sb : stable) {
+        if (sa == sb || small_flips.size() >= 4) continue;
+        if (const auto cone =
+                add_shiftable_cone(world, origin_as[sa], origin_as[sb], 0.04,
+                                   asn++, rng, &verify)) {
+          small_flips.push_back(cone->flip);
+        }
+      }
+    }
+  }
+  out.third_party_flips_found = small_flips.size();
+
+  // --- Timeline. ---
+  std::vector<TimelineAction> actions;
+  const auto at = [&](int y, int m, int d, std::function<void()> fn) {
+    actions.push_back(TimelineAction{core::from_date(y, m, d), std::move(fn)});
+  };
+
+  // mode (ii): three new sites.
+  at(2020, 2, 1, [&] {
+    service.add_site(kSin, origin_as[kSin], 1);
+    service.add_site(kIad, origin_as[kIad], 1);
+    service.add_site(kAms, origin_as[kAms], 1);
+  });
+  // mode (iii): TE moves LAX's announcement behind a regional transit —
+  // most of its global catchment shifts to the new sites (the paper's
+  // "around 70% [of] clients [that] used to go LAX were routed to AMS,
+  // IAD and SIN").
+  at(2020, 4, 1, [&] {
+    service.move_site(kLax, lax_regional);
+    service.set_scoped(kLax, true);  // regional announcement, NO_EXPORT
+    service.set_prepend(kSin, 0);
+    service.set_prepend(kIad, 0);
+    service.set_prepend(kAms, 0);
+  });
+  // mode (iv): a further rebalance (SIN regionalized the same way).
+  at(2021, 3, 1, [&] {
+    service.move_site(kSin, sin_regional);
+    service.set_scoped(kSin, true);
+    service.set_prepend(kMia, 0);
+  });
+  // (iv.a)..(iv.d): third-party changes, persistent.
+  {
+    const int dates[][3] = {{2022, 9, 16}, {2023, 2, 12}, {2023, 4, 13}};
+    for (std::size_t i = 0; i < small_flips.size() && i < 3; ++i) {
+      const PolicyFlip f = small_flips[i];
+      at(dates[i][0], dates[i][1], dates[i][2],
+         [&graph, f] { f.apply(graph); });
+    }
+  }
+  // ARI shuts down; SCL experiments; SCL resumes.
+  at(2023, 3, 6, [&] { service.remove_site(kAri); });
+  at(2023, 5, 1, [&] { service.add_site(kScl, origin_as[kScl], 1); });
+  at(2023, 5, 8, [&] { service.remove_site(kScl); });
+  at(2023, 5, 24, [&] { service.add_site(kScl, origin_as[kScl], 1); });
+  at(2023, 5, 31, [&] { service.remove_site(kScl); });
+  at(2023, 6, 29, [&] { service.add_site(kScl, origin_as[kScl], 1); });
+  // mode (v): the LAX regionalization is reverted after the
+  // re-optimization — LAX dominates again, which is what makes (v)
+  // resemble (i).
+  // The re-optimization restores LAX's global announcement and
+  // consolidates IAD/AMS behind regional transits — which is exactly why
+  // (v) looks like (i): LAX serves most clients in both.
+  at(2023, 12, 1, [&] {
+    service.move_site(kLax, origin_as[kLax]);
+    service.set_scoped(kLax, false);
+    service.move_site(kIad, iad_regional);
+    service.set_scoped(kIad, true);
+    service.move_site(kAms, ams_regional);
+    service.set_scoped(kAms, true);
+  });
+  // mode (vi): another large shift late in 2024 — LAX regionalized
+  // again, SIN restored, plus a third-party change.
+  at(2024, 10, 1, [&] {
+    service.move_site(kLax, lax_regional);
+    service.set_scoped(kLax, true);
+    service.move_site(kSin, origin_as[kSin]);
+    service.set_scoped(kSin, false);
+    if (small_flips.size() >= 4) small_flips[3].apply(graph);
+  });
+
+  std::sort(actions.begin(), actions.end(),
+            [](const TimelineAction& a, const TimelineAction& b) {
+              return a.time < b.time;
+            });
+
+  // --- Sweep: weekly observations, with the collection outage. ---
+  const core::TimePoint t0 = core::from_date(2019, 9, 1);
+  const core::TimePoint t_end = core::from_date(2024, 12, 31);
+  const core::TimePoint outage_start = core::from_date(2023, 7, 5);
+  const core::TimePoint outage_end = core::from_date(2023, 12, 1);
+  const core::TimePoint fig4_start = core::from_date(2022, 1, 1);
+  const core::TimePoint fig4_end = core::from_date(2024, 1, 1);
+
+  // Block coordinates for the latency model: the originating stub's
+  // location with a little spread.
+  out.network_coords.resize(hitlist.size());
+  for (std::size_t i = 0; i < hitlist.size(); ++i) {
+    const auto as = graph.origin_of(hitlist.target(i));
+    geo::Coord c = as ? graph.node(*as).location : geo::Coord{0, 0};
+    rng::Rng jitter(rng::mix(config.seed, 0x10cULL, hitlist.block(i)));
+    c.lat_deg += jitter.uniform_real(-1.0, 1.0);
+    c.lon_deg += jitter.uniform_real(-1.0, 1.0);
+    out.network_coords[i] = c;
+  }
+  const std::vector<geo::Coord>& block_coords = out.network_coords;
+  const geo::LatencyModel latency_model;
+
+  std::size_t next_action = 0;
+  bool rtt_started = false;
+  for (core::TimePoint t = t0; t < t_end; t += config.cadence) {
+    bool fired = false;
+    while (next_action < actions.size() && actions[next_action].time <= t) {
+      actions[next_action].apply();
+      ++next_action;
+      fired = true;
+    }
+    if (fired) out.event_indices.push_back(out.dataset.series.size());
+
+    core::RoutingVector v;
+    v.time = t;
+    if (t >= outage_start && t < outage_end) {
+      v.valid = false;
+      v.assignment.assign(hitlist.size(), core::kUnknownSite);
+      out.dataset.series.push_back(std::move(v));
+      if (t >= fig4_start && t < fig4_end && rtt_started) {
+        out.rtt.emplace_back(hitlist.size(), -1.0);
+      }
+      continue;
+    }
+    const bgp::RoutingTable& routing =
+        world.cache.get(graph, service.active_origins());
+    v.assignment = probe.measure(t, graph, routing, site_to_core);
+
+    if (t >= fig4_start && t < fig4_end) {
+      if (!rtt_started) {
+        out.rtt_first_index = out.dataset.series.size();
+        rtt_started = true;
+      }
+      std::vector<double> rtt(hitlist.size(), -1.0);
+      for (std::size_t i = 0; i < hitlist.size(); ++i) {
+        const core::SiteId s = v.assignment[i];
+        if (s == core::kUnknownSite || s == core::kErrorSite ||
+            s == core::kOtherSite) {
+          continue;
+        }
+        // Map dataset SiteId back to the service site's coordinates.
+        for (std::uint32_t svc = 0; svc < site_to_core.size(); ++svc) {
+          if (site_to_core[svc] == s) {
+            rng::Rng jr(rng::mix(config.seed,
+                                 rng::mix(0x277ULL, i,
+                                          static_cast<std::uint64_t>(t))));
+            rtt[i] = latency_model.rtt_ms_jittered(
+                block_coords[i], out.site_coords[svc], jr);
+            break;
+          }
+        }
+      }
+      out.rtt.push_back(std::move(rtt));
+    }
+    out.dataset.series.push_back(std::move(v));
+  }
+  out.dataset.check_consistent();
+  return out;
+}
+
+}  // namespace fenrir::scenarios

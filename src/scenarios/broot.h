@@ -1,0 +1,65 @@
+// fenrir::scenarios — five years of B-Root (paper §4.2, Figures 3 and 4).
+//
+// A root-DNS anycast service observed weekly with Verfploeter over
+// 2019-09 .. 2024-12. The timeline reproduces the paper's mode structure:
+//
+//   mode (i)    2019-09 ..          LAX dominant, with MIA and ARI
+//   mode (ii)   2020-02 ..          SIN, IAD, AMS added
+//   mode (iii)  2020-04 ..          TE moves most LAX clients to the new
+//                                   sites (the paper's "70% of clients
+//                                   that used to go to LAX")
+//   mode (iv)   2021-03 .. 2023-07  longest mode; inside it the small
+//                                   third-party boundaries (iv.a)..(iv.d)
+//                                   at 2022-09-16 / 2023-02-12 / 2023-04-13,
+//                                   plus ARI shutdown 2023-03-06 and the
+//                                   brief SCL experiments in 2023-05 before
+//                                   SCL resumes 2023-06-29
+//   (outage)    2023-07-05 .. 2023-12-01  collection gap (invalid vectors)
+//   mode (v)    2023-12 ..          TE reverted: LAX dominant again, so
+//                                   (v) resembles (i) more than (iv)/(vi)
+//   mode (vi)   2024-10 ..          a further large change
+//
+// RTT series for the Figure 4 window (2022-01 .. 2023-12) come from the
+// geo latency model: ARI shows >200 ms p90 because a tail of distant
+// networks routes to it, and drops out when the site shuts down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/vector.h"
+#include "geo/geo.h"
+#include "scenarios/world.h"
+
+namespace fenrir::scenarios {
+
+struct BrootConfig {
+  core::TimePoint cadence = 7 * core::kDay;
+  std::size_t topo_stubs = 2000;  // more stubs -> more /24 blocks (~12k)
+  std::uint64_t seed = 0xb007;
+};
+
+struct BrootScenario {
+  std::vector<std::string> site_names;  // service order: LAX MIA ARI SIN IAD AMS SCL
+  std::vector<geo::Coord> site_coords;
+  core::Dataset dataset;  // weekly Verfploeter vectors
+
+  /// RTT per network for observations inside the Figure 4 window
+  /// (negative = no measurement). rtt[k] belongs to series index
+  /// rtt_first_index + k.
+  std::vector<std::vector<double>> rtt;
+  std::size_t rtt_first_index = 0;
+
+  /// Location of each dataset network (the originating stub, jittered) —
+  /// input to latency and polarization analysis.
+  std::vector<geo::Coord> network_coords;
+
+  /// Series indices where timeline events take effect.
+  std::vector<std::size_t> event_indices;
+  std::size_t third_party_flips_found = 0;
+};
+
+BrootScenario make_broot(const BrootConfig& config = {});
+
+}  // namespace fenrir::scenarios

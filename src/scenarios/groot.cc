@@ -1,0 +1,235 @@
+#include "scenarios/groot.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+#include "geo/geo.h"
+#include "measure/atlas.h"
+#include "netbase/ipv4.h"
+
+namespace fenrir::scenarios {
+
+namespace {
+
+constexpr std::uint32_t kSiteCmh = 0;
+constexpr std::uint32_t kSiteNap = 1;
+constexpr std::uint32_t kSiteStr = 2;
+constexpr std::uint32_t kSiteNrt = 3;
+constexpr std::uint32_t kSiteSat = 4;
+constexpr std::uint32_t kSiteHnl = 5;
+
+}  // namespace
+
+GrootScenario make_groot(const GrootConfig& config) {
+  GrootScenario out;
+  out.site_names = {"CMH", "NAP", "STR", "NRT", "SAT", "HNL"};
+
+  WorldConfig wc;
+  wc.topo.seed = config.seed;
+  World world = make_world(wc);
+  bgp::AsGraph& graph = world.topo.graph;
+  rng::Rng rng(config.seed);
+
+  // Anycast origins near the paper's six metros.
+  const std::vector<std::pair<std::uint32_t, geo::Coord>> placements = {
+      {kSiteCmh, geo::city::CMH}, {kSiteNap, geo::city::NAP},
+      {kSiteStr, geo::city::STR}, {kSiteNrt, geo::city::NRT},
+      {kSiteSat, geo::city::SAT}, {kSiteHnl, geo::city::HNL},
+  };
+  bgp::AnycastService service(
+      *netbase::Prefix::parse("192.0.32.0/24"));
+  std::vector<bgp::AsIndex> origin_of_site(placements.size(), bgp::kNoAs);
+  {
+    // Each site gets its own origin AS: distinct nearest stubs.
+    std::vector<bgp::AsIndex> used;
+    for (const auto& [site, where] : placements) {
+      for (const bgp::AsIndex as :
+           nearest_ases(world.topo, where, bgp::AsTier::kStub, 8)) {
+        if (std::find(used.begin(), used.end(), as) == used.end()) {
+          service.add_site(site, as);
+          origin_of_site[site] = as;
+          used.push_back(as);
+          break;
+        }
+      }
+    }
+    // HNL is a local-only site (paper §2.4: "local-only sites serve only
+    // a single AS and its customers"): its announcement is cone-scoped,
+    // so its catchment is a handful of VPs — the micro-catchment the
+    // cleaning stage exists to fold (Table 3 shows HNL at 12 of ~9k).
+    service.set_scoped(kSiteHnl, true);
+  }
+  // The paper's drain behaviour: STR's users fall over to NAP. We give
+  // NAP a second announcement point under STR's first upstream, so when
+  // STR withdraws, that provider's best route — and therefore everything
+  // that reached STR through it — moves to NAP. (Operators of real
+  // anycast services arrange exactly this kind of fallback adjacency.)
+  {
+    bgp::AsIndex str_provider = bgp::kNoAs;
+    for (const auto& l : graph.node(origin_of_site[kSiteStr]).links) {
+      if (l.relation == bgp::Relation::kProvider) {
+        str_provider = l.neighbor;
+        break;
+      }
+    }
+    // NAP announces from a second adjacency: a fresh stub homed solely to
+    // STR's provider, in addition to its own Naples-side origin.
+    const bgp::AsIndex nap_fallback = graph.add_as(
+        netbase::Asn(64512), bgp::AsTier::kStub, geo::city::NAP,
+        "nap-fallback");
+    graph.add_link(str_provider, nap_fallback, bgp::Relation::kCustomer);
+    // While STR is active it wins the shared provider's preference.
+    graph.set_local_pref_adjust(str_provider, origin_of_site[kSiteStr], 10);
+    service.add_site(kSiteNap, nap_fallback);
+  }
+
+  // Probe and server.
+  measure::AtlasConfig ac;
+  ac.vp_count = config.vp_count;
+  ac.seed = rng::mix(config.seed, 0xa71a5ULL);
+  const measure::AtlasProbe probe(graph, ac);
+
+  std::vector<std::string> tokens;
+  for (const auto& name : out.site_names) {
+    std::string t = name;
+    for (char& c : t) c = static_cast<char>(std::tolower(c));
+    tokens.push_back(t);
+  }
+  measure::AnycastDnsServer server(tokens, config.seed);
+  // A sliver of responses carries middlebox-mangled identities that map
+  // to no site — the paper's "oth" state in Table 3 (46 of ~9k VPs) and
+  // fodder for the remove-incorrect cleaning stage.
+  server.set_bogus_identity_fraction(0.005);
+  measure::ServerIdentityMap identity_map;
+  for (std::uint32_t s = 0; s < tokens.size(); ++s) {
+    identity_map.add(tokens[s], s);
+  }
+
+  // §2.5 weighting inputs: blocks represented per VP.
+  {
+    std::unordered_map<bgp::AsIndex, std::uint32_t> blocks_of;
+    for (const std::uint32_t b : world.topo.blocks) {
+      if (const auto as =
+              graph.origin_of(netbase::block24_from_index(b).base())) {
+        ++blocks_of[*as];
+      }
+    }
+    out.vp_represented_blocks = probe.represented_blocks(blocks_of);
+  }
+
+  // Dataset skeletons.
+  const auto init_dataset = [&](core::Dataset& ds, const std::string& name) {
+    ds.name = name;
+    for (std::uint32_t v = 0; v < probe.vantage_points().size(); ++v) {
+      ds.networks.intern(v);
+    }
+  };
+  init_dataset(out.figure1, "G-Root/Atlas (fig 1)");
+  init_dataset(out.transition, "G-Root/Atlas (table 3)");
+  const std::vector<core::SiteId> site_to_core =
+      make_site_mapping(out.figure1.sites, out.site_names);
+  make_site_mapping(out.transition.sites, out.site_names);
+
+  // The third-party event: a distant transit AS whose preference change
+  // moves a slice of CMH's users to SAT (the paper's smaller secondary
+  // shift, possibly caused by "some third-party network's routing
+  // policy").
+  const std::vector<bgp::Origin> verify = service.active_origins();
+  const std::optional<ShiftableCone> cone =
+      add_shiftable_cone(world, origin_of_site[kSiteCmh],
+                         origin_of_site[kSiteSat], 0.05, 64600, rng, &verify);
+  out.third_party_flip_found = cone.has_value();
+
+  // --- Figure 1 timeline. ---
+  const core::TimePoint t0 = core::from_date(2020, 3, 1);
+  const core::TimePoint t_end = core::from_date(2020, 3, 9);
+  struct TimelineEvent {
+    core::TimePoint time;
+    std::function<void()> apply;
+  };
+  std::vector<TimelineEvent> events;
+  const auto drain = [&](int m, int d, int h, int min, bool down) {
+    events.push_back(TimelineEvent{
+        core::from_date(2020, m, d) + h * core::kHour + min * core::kMinute,
+        [&, down] { service.set_drained(kSiteStr, down); }});
+  };
+  drain(3, 3, 0, 0, true);
+  drain(3, 3, 4, 30, false);
+  drain(3, 5, 0, 0, true);
+  drain(3, 5, 4, 30, false);
+  drain(3, 7, 12, 0, true);
+  if (cone) {
+    events.push_back(TimelineEvent{core::from_date(2020, 3, 6),
+                                   [&, f = cone->flip] { f.apply(graph); }});
+    events.push_back(TimelineEvent{core::from_date(2020, 3, 8),
+                                   [&, f = cone->flip] { f.revert(graph); }});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TimelineEvent& a, const TimelineEvent& b) {
+              return a.time < b.time;
+            });
+
+  std::size_t next_event = 0;
+  for (core::TimePoint t = t0; t < t_end; t += config.cadence) {
+    bool event_fired = false;
+    while (next_event < events.size() && events[next_event].time <= t) {
+      events[next_event].apply();
+      ++next_event;
+      event_fired = true;
+    }
+    if (event_fired) out.event_indices.push_back(out.figure1.series.size());
+    const bgp::RoutingTable& routing =
+        world.cache.get(graph, service.active_origins());
+    core::RoutingVector v;
+    v.time = t;
+    v.assignment =
+        probe.measure(t, routing, server, identity_map, site_to_core);
+    out.figure1.series.push_back(std::move(v));
+  }
+  out.figure1.check_consistent();
+
+  // --- Table 3: drain mid-convergence at 4-minute spacing. ---
+  // Reset to all-sites-up.
+  service.set_drained(kSiteStr, false);
+  const core::TimePoint tt0 = core::from_date(2024, 3, 4) +
+                              21 * core::kHour + 56 * core::kMinute;
+  const bgp::RoutingTable& before =
+      world.cache.get(graph, service.active_origins());
+  service.set_drained(kSiteStr, true);
+  const bgp::RoutingTable& after =
+      world.cache.get(graph, service.active_origins());
+
+  const auto measure_at = [&](core::TimePoint t,
+                              const bgp::RoutingTable& routing) {
+    core::RoutingVector v;
+    v.time = t;
+    v.assignment =
+        probe.measure(t, routing, server, identity_map, site_to_core);
+    return v;
+  };
+
+  core::RoutingVector obs1 = measure_at(tt0, before);
+  core::RoutingVector obs3 = measure_at(tt0 + 8 * core::kMinute, after);
+  // Mid-convergence: each former STR VP has either converged to its
+  // post-drain site, still reaches the draining instance, or blackholes.
+  core::RoutingVector obs2 = measure_at(tt0 + 4 * core::kMinute, after);
+  const core::SiteId str_core = site_to_core[kSiteStr];
+  for (std::size_t n = 0; n < obs1.assignment.size(); ++n) {
+    if (obs1.assignment[n] != str_core) continue;
+    const std::uint64_t h = rng::mix(config.seed, 0xc07fULL, n);
+    const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u < 0.12) {
+      obs2.assignment[n] = str_core;  // not yet withdrawn here
+    } else if (u < 0.42) {
+      obs2.assignment[n] = core::kErrorSite;  // transient blackhole
+    }
+    // else: already converged (keep the post-drain catchment)
+  }
+  out.transition.series = {std::move(obs1), std::move(obs2), std::move(obs3)};
+  out.transition.check_consistent();
+
+  return out;
+}
+
+}  // namespace fenrir::scenarios

@@ -1,0 +1,57 @@
+// fenrir::scenarios — G-Root (paper Figure 1 and Table 3).
+//
+// An anycast root-DNS service with six sites (CMH, NAP, STR, NRT, SAT,
+// HNL) observed by RIPE-Atlas-style VPs. The timeline reproduces the
+// paper's case study:
+//
+//   2020-03-03 00:00  STR drains; its users shift to NAP     (maintenance)
+//   2020-03-03 04:30  STR restored
+//   2020-03-05 00:00  the same drain mode recurs for 4.5 h
+//   2020-03-07 12:00  STR drains again and stays down
+//   2020-03-06 .. -08 a third-party local-pref change moves a smaller
+//                     group of users from CMH to SAT
+//
+// The Table 3 companion is a three-observation series at 4-minute spacing
+// (2024-03-04 21:56 / 22:00 / 22:04) capturing a drain mid-convergence:
+// at 22:00 part of STR's catchment has moved to NAP, part still answers
+// at STR, and part blackholes (err) until convergence completes at 22:04.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/vector.h"
+#include "scenarios/world.h"
+
+namespace fenrir::scenarios {
+
+struct GrootConfig {
+  std::size_t vp_count = 2500;
+  /// Observation cadence for the Figure 1 series. The paper's Atlas data
+  /// is 4-minute; the default here is 30 minutes, which preserves every
+  /// multi-hour event while keeping the all-pairs matrix small. Set to
+  /// 4 * core::kMinute for paper cadence.
+  core::TimePoint cadence = 30 * core::kMinute;
+  std::uint64_t seed = 0x9007;
+};
+
+struct GrootScenario {
+  std::vector<std::string> site_names;  // service site order
+  core::Dataset figure1;     // 2020-03-01 .. 2020-03-09
+  core::Dataset transition;  // the three Table 3 observations
+  /// Series indices in figure1 where timeline events take effect
+  /// (drains, restores, the third-party shift), for validation in tests.
+  std::vector<std::size_t> event_indices;
+  bool third_party_flip_found = false;
+
+  /// Address-count weighting inputs (paper §2.5): announced /24 blocks
+  /// represented by each VP / dataset network. Feed through
+  /// core::address_weights to weight the analysis by address space
+  /// instead of by observer count.
+  std::vector<std::uint32_t> vp_represented_blocks;
+};
+
+GrootScenario make_groot(const GrootConfig& config = {});
+
+}  // namespace fenrir::scenarios

@@ -1,0 +1,212 @@
+#include "scenarios/usc.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "measure/traceroute.h"
+#include "measure/trinocular.h"
+#include "netbase/hitlist.h"
+#include "netbase/ipv4.h"
+
+namespace fenrir::scenarios {
+
+namespace {
+
+/// AS-level forward paths from the enterprise to every destination AS, for
+/// the current topology state.
+std::unordered_map<bgp::AsIndex, std::vector<bgp::AsIndex>> compute_paths(
+    const bgp::AsGraph& graph, bgp::AsIndex enterprise,
+    const std::vector<bgp::AsIndex>& destinations) {
+  std::unordered_map<bgp::AsIndex, std::vector<bgp::AsIndex>> out;
+  out.reserve(destinations.size());
+  for (const bgp::AsIndex dst : destinations) {
+    const bgp::RoutingTable table =
+        bgp::compute_routes(graph, {bgp::Origin{dst, 0, 0}});
+    out.emplace(dst, table.as_path(enterprise));
+  }
+  return out;
+}
+
+}  // namespace
+
+UscScenario make_usc(const UscConfig& config) {
+  UscScenario out;
+  out.change_time = core::from_date(2025, 1, 16);
+
+  WorldConfig wc;
+  wc.topo.seed = config.seed;
+  World world = make_world(wc);
+  bgp::AsGraph& graph = world.topo.graph;
+  rng::Rng rng(config.seed);
+
+  // --- Name the upstreams. ---
+  const geo::Coord la = geo::city::LAX;
+  const auto near_t2 = nearest_ases(world.topo, la, bgp::AsTier::kTier2, 3);
+  const auto near_t1 = nearest_ases(world.topo, la, bgp::AsTier::kTier1, 3);
+  const bgp::AsIndex arn_a = near_t2.at(0);   // regional academic (provider)
+  const bgp::AsIndex losnettos = near_t2.at(1);  // regional exchange (peer)
+  const bgp::AsIndex ann = near_t1.at(0);     // national academic (peer)
+  const bgp::AsIndex he = near_t1.at(1);      // large peering fabric (peer)
+  const bgp::AsIndex ntt = near_t1.at(2);     // commercial transit (provider)
+  graph.node(arn_a).name = "ARN-A";
+  graph.node(losnettos).name = "LosNettos";
+  graph.node(ann).name = "ANN";
+  graph.node(he).name = "HE";
+  graph.node(ntt).name = "NTT";
+  out.upstream_names = {"ARN-A", "ANN", "LosNettos", "HE", "NTT"};
+
+  // --- The enterprise. ---
+  const bgp::AsIndex usc =
+      graph.add_as(netbase::Asn(52), bgp::AsTier::kStub, la, "USC");
+  graph.add_link(arn_a, usc, bgp::Relation::kCustomer);  // provider before
+  graph.add_link(usc, ann, bgp::Relation::kPeer);        // peer before
+  graph.add_link(usc, he, bgp::Relation::kPeer);   // peer before AND after —
+  // the persistent HE peering is why the paper's cross-change similarity
+  // is [0.11, 0.48] rather than zero: part of the routing cone never moves
+  graph.add_link(usc, losnettos, bgp::Relation::kPeer);  // after only
+  graph.add_link(ntt, usc, bgp::Relation::kCustomer);    // after only
+  graph.set_link_up(usc, losnettos, false);
+  graph.set_link_up(ntt, usc, false);
+  // Where the post-change peers' cones overlap, prefer the regional one.
+  graph.set_local_pref_adjust(usc, losnettos, 40);
+
+  // --- Destinations: every announced /24 (sampled down if needed). ---
+  std::vector<std::uint32_t> blocks = world.topo.blocks;
+  if (blocks.size() > config.max_destinations) {
+    rng.shuffle(blocks);
+    blocks.resize(config.max_destinations);
+    std::sort(blocks.begin(), blocks.end());
+  }
+  std::vector<bgp::AsIndex> block_as(blocks.size());
+  std::vector<bgp::AsIndex> unique_dsts;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    const auto as =
+        graph.origin_of(netbase::block24_from_index(blocks[i]).base());
+    block_as[i] = as.value_or(bgp::kNoAs);
+    if (as) unique_dsts.push_back(*as);
+  }
+  std::sort(unique_dsts.begin(), unique_dsts.end());
+  unique_dsts.erase(std::unique(unique_dsts.begin(), unique_dsts.end()),
+                    unique_dsts.end());
+
+  // --- Probe (announces router infra; do this before computing paths). ---
+  measure::TracerouteConfig tc;
+  tc.enterprise_internal_hops = 1;
+  tc.seed = rng::mix(config.seed, 0x7e3ULL);
+  measure::TracerouteProbe probe(graph, usc, tc);
+  // Major transit networks answer traceroute reliably; without this the
+  // seed could declare an upstream ICMP-dark and every hop-3 observation
+  // behind it would spatially fill from the enterprise border.
+  for (const bgp::AsIndex as : {arn_a, ann, losnettos, he, ntt}) {
+    probe.set_filter_override(as, false);
+  }
+
+  out.dataset.name = "USC/traceroute hop-" + std::to_string(config.focus_hop);
+  for (const std::uint32_t b : blocks) out.dataset.networks.intern(b);
+
+  const auto site_of_as = [&](bgp::AsIndex as) -> core::SiteId {
+    const auto& node = graph.node(as);
+    const std::string label =
+        node.name.empty() ? node.asn.to_string() : node.name;
+    return out.dataset.sites.intern(label);
+  };
+
+  // --- Sweep with one reconfiguration. ---
+  const core::TimePoint t0 = core::from_date(2024, 8, 1);
+  const core::TimePoint t_end = core::from_date(2025, 4, 1);
+
+  auto paths = compute_paths(graph, usc, unique_dsts);
+  bool reconfigured = false;
+
+  const auto hop_labels = [&](const std::vector<bgp::AsIndex>& path) {
+    std::vector<std::string> labels;
+    for (std::size_t h = 0; h < 4 && h < path.size(); ++h) {
+      const auto& node = graph.node(path[h]);
+      labels.push_back(node.name.empty() ? node.asn.to_string() : node.name);
+    }
+    return labels;
+  };
+  const auto snapshot_sankey = [&]() {
+    std::vector<std::vector<std::string>> all;
+    all.reserve(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (block_as[i] == bgp::kNoAs) continue;
+      all.push_back(hop_labels(paths.at(block_as[i])));
+    }
+    return all;
+  };
+  const auto snapshot_paths = [&]() {
+    std::unordered_map<std::uint32_t, std::vector<bgp::AsIndex>> all;
+    all.reserve(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (block_as[i] == bgp::kNoAs) continue;
+      all.emplace(blocks[i], paths.at(block_as[i]));
+    }
+    return all;
+  };
+
+  for (core::TimePoint t = t0; t < t_end; t += config.cadence) {
+    if (config.include_change && !reconfigured && t >= out.change_time) {
+      // Snapshot the before-change flows (the paper's 2025-01-14).
+      out.sankey_before = snapshot_sankey();
+      out.paths_before = snapshot_paths();
+      // The border reconfiguration (HE peering stays).
+      graph.set_link_up(arn_a, usc, false);
+      graph.set_link_up(usc, ann, false);
+      graph.set_link_up(losnettos, usc, true);
+      graph.set_link_up(ntt, usc, true);
+      paths = compute_paths(graph, usc, unique_dsts);
+      out.sankey_after = snapshot_sankey();
+      out.paths_after = snapshot_paths();
+      out.change_index = out.dataset.series.size();
+      reconfigured = true;
+    }
+
+    core::RoutingVector v;
+    v.time = t;
+    v.assignment.assign(blocks.size(), core::kUnknownSite);
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      if (block_as[i] == bgp::kNoAs) continue;
+      const auto& path = paths.at(block_as[i]);
+      const auto result = probe.trace(
+          t, blocks[i],
+          std::span<const bgp::AsIndex>(path.data(), path.size()));
+      const auto focus =
+          probe.focus_catchment(graph, result, config.focus_hop);
+      if (focus) v.assignment[i] = site_of_as(*focus);
+    }
+    out.dataset.series.push_back(std::move(v));
+  }
+  if (!config.include_change || out.sankey_before.empty()) {
+    // Quiet enterprise (or change date outside the window): both
+    // snapshots show the stable topology.
+    out.sankey_before = snapshot_sankey();
+    out.sankey_after = out.sankey_before;
+    out.paths_before = snapshot_paths();
+    out.paths_after = out.paths_before;
+  }
+
+  // Trinocular-style latency rounds on each side of the change.
+  {
+    netbase::Hitlist hitlist(blocks, rng::mix(config.seed, 0x311ULL));
+    measure::TrinocularConfig trc;
+    trc.seed = rng::mix(config.seed, 0x7c1ULL);
+    const measure::TrinocularProbe latency(&hitlist, &graph, trc);
+    const geo::LatencyModel model;
+    const auto path_in = [](const std::unordered_map<
+                             std::uint32_t, std::vector<bgp::AsIndex>>& m) {
+      return [&m](std::uint32_t block) -> const std::vector<bgp::AsIndex>* {
+        const auto it = m.find(block);
+        return it == m.end() ? nullptr : &it->second;
+      };
+    };
+    out.rtt_before = latency.measure_rtt(out.change_time - core::kDay,
+                                         path_in(out.paths_before), model);
+    out.rtt_after = latency.measure_rtt(out.change_time + core::kDay,
+                                        path_in(out.paths_after), model);
+  }
+  out.dataset.check_consistent();
+  return out;
+}
+
+}  // namespace fenrir::scenarios

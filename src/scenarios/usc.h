@@ -1,0 +1,74 @@
+// fenrir::scenarios — the multi-homed enterprise (paper §4.1, Figures
+// 2, 7, 8).
+//
+// An enterprise ("the university") in Los Angeles is multi-homed:
+//
+//   before 2025-01-16:  transit via ARN-A (a regional academic network,
+//                       full-table provider) plus settlement-free peering
+//                       with ANN (a national academic network whose
+//                       customer cone covers part of the Internet) — so
+//                       hop-3 catchments are almost entirely ARN-A / ANN;
+//   at 2025-01-16:      a border reconfiguration drops both academic
+//                       connections and brings up LosNettos (regional
+//                       peer), HE (large peering cone) and NTT (full-table
+//                       provider) — hop-3 catchments change almost
+//                       completely, the paper's "at most 90% of
+//                       catchments changed".
+//
+// Each observation is a scamper-style traceroute sweep to every /24; the
+// dataset's catchment labels are the AS names seen at the focus hop.
+// Sankey paths at hops 1–4 are exported for the before/after flow
+// diagrams (Figures 7/8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/vector.h"
+#include "scenarios/world.h"
+
+namespace fenrir::scenarios {
+
+struct UscConfig {
+  core::TimePoint cadence = 2 * core::kDay;
+  int focus_hop = 3;
+  /// Destination /24 count (sampled from the topology's announced blocks).
+  std::size_t max_destinations = 6000;
+  /// False models the paper's second enterprise: "we have also observed a
+  /// second enterprise for 10 months, but thus far, we have not seen
+  /// significant routing changes" — same pipeline, no reconfiguration.
+  bool include_change = true;
+  std::uint64_t seed = 0x05cULL;
+};
+
+struct UscScenario {
+  core::Dataset dataset;  // 2024-08-01 .. 2025-04-01, hop-3 catchments
+  core::TimePoint change_time = 0;  // 2025-01-16
+  std::size_t change_index = 0;     // series index of the change
+
+  /// Hop-label sequences (hops 1..4) per destination for the Sankey
+  /// snapshots of 2025-01-14 (before) and 2025-01-20 (after). When the
+  /// change is disabled both snapshots hold the stable topology.
+  std::vector<std::vector<std::string>> sankey_before;
+  std::vector<std::vector<std::string>> sankey_after;
+
+  /// Full forward AS paths per destination /24 before and after the
+  /// change — the input to path-latency analysis (measure/trinocular.h).
+  std::unordered_map<std::uint32_t, std::vector<bgp::AsIndex>> paths_before;
+  std::unordered_map<std::uint32_t, std::vector<bgp::AsIndex>> paths_after;
+
+  /// Trinocular-style path RTTs per dataset network (ms; -1 = no
+  /// measurement), one round before and one after the change — the
+  /// operator's "did the reconfiguration change latency?" data (§2.8).
+  std::vector<double> rtt_before;
+  std::vector<double> rtt_after;
+
+  /// Upstream AS names in play (for reports).
+  std::vector<std::string> upstream_names;
+};
+
+UscScenario make_usc(const UscConfig& config = {});
+
+}  // namespace fenrir::scenarios

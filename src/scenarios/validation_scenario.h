@@ -1,0 +1,54 @@
+// fenrir::scenarios — the B-Root validation study (paper §3, Table 4).
+//
+// Reconstructs the experiment that validates Fenrir against operator
+// ground truth: an anycast service watched by Atlas-style VPs at
+// minute-scale cadence over several weeks, an operator maintenance log,
+// and a population of events:
+//
+//   * site drains (external, logged)         — the paper's 17;
+//   * traffic engineering via AS-path prepend (external, logged) — 2;
+//   * internal-only maintenance (logged, no routing effect) — 37 groups,
+//     8 of which coincide in time with third-party changes (the paper's
+//     hypothesis for its 8 apparent false positives);
+//   * third-party local-pref flips several hops upstream (NOT logged) —
+//     the changes Fenrir exists to surface.
+//
+// Raw log entries are over-fragmented the way real logs are (~98 entries
+// for 56 activities) so that the grouping stage has real work to do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vector.h"
+#include "scenarios/world.h"
+#include "validation/ground_truth.h"
+
+namespace fenrir::scenarios {
+
+struct ValidationConfig {
+  std::size_t vp_count = 900;
+  core::TimePoint cadence = 8 * core::kMinute;
+  std::size_t weeks = 6;
+
+  std::size_t drain_groups = 17;
+  std::size_t te_groups = 2;
+  std::size_t internal_groups = 37;       // 8 of these overlap third-party
+  std::size_t internal_overlapping = 8;
+  std::size_t third_party_free = 5;       // produce unmatched detections
+
+  std::uint64_t seed = 0x7ab1e4;
+};
+
+struct ValidationScenario {
+  core::Dataset dataset;
+  std::vector<validation::LogEntry> log_entries;  // raw, ungrouped
+  /// Times when third-party flips were applied/reverted (for analysis).
+  std::vector<core::TimePoint> third_party_times;
+  /// How many third-party flips the topology search actually found.
+  std::size_t third_party_events = 0;
+};
+
+ValidationScenario make_validation(const ValidationConfig& config = {});
+
+}  // namespace fenrir::scenarios

@@ -1,0 +1,238 @@
+#include "scenarios/websites.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "measure/ednscs.h"
+#include "netbase/ipv4.h"
+
+namespace fenrir::scenarios {
+
+namespace {
+
+/// Prefix population and a locator resolving prefixes to the originating
+/// stub's coordinates.
+struct PrefixUniverse {
+  std::vector<netbase::Prefix> prefixes;
+  measure::GeoNearestPolicy::Locator locator;
+};
+
+PrefixUniverse finish_universe(const World& world,
+                               std::vector<std::uint32_t> blocks) {
+  std::sort(blocks.begin(), blocks.end());
+  PrefixUniverse out;
+  out.prefixes.reserve(blocks.size());
+  for (const std::uint32_t b : blocks) {
+    out.prefixes.push_back(netbase::block24_from_index(b));
+  }
+  const bgp::AsGraph* graph = &world.topo.graph;
+  out.locator = [graph](const netbase::Prefix& p)
+      -> std::optional<geo::Coord> {
+    const auto as = graph->origin_of(p.base());
+    if (!as) return std::nullopt;
+    return graph->node(*as).location;
+  };
+  return out;
+}
+
+PrefixUniverse make_prefixes(const World& world, std::size_t count,
+                             rng::Rng& rng) {
+  std::vector<std::uint32_t> blocks = world.topo.blocks;
+  if (blocks.size() > count) {
+    rng.shuffle(blocks);
+    blocks.resize(count);
+  }
+  return finish_universe(world, std::move(blocks));
+}
+
+/// Prefix population oversampled near a point — the paper weights
+/// observations by the users they represent (§2.5); a site with a large
+/// user base nearby correspondingly holds a large catchment share.
+PrefixUniverse make_prefixes_near(const World& world, std::size_t count,
+                                  const geo::Coord& where, double near_share,
+                                  double radius_km, rng::Rng& rng) {
+  std::vector<std::uint32_t> near, elsewhere;
+  for (const std::uint32_t b : world.topo.blocks) {
+    const auto as =
+        world.topo.graph.origin_of(netbase::block24_from_index(b).base());
+    const bool close =
+        as && geo::haversine_km(world.topo.graph.node(*as).location, where) <=
+                  radius_km;
+    (close ? near : elsewhere).push_back(b);
+  }
+  rng.shuffle(near);
+  rng.shuffle(elsewhere);
+  std::vector<std::uint32_t> blocks;
+  const std::size_t want_near = std::min(
+      near.size(),
+      static_cast<std::size_t>(near_share * static_cast<double>(count)));
+  blocks.insert(blocks.end(), near.begin(),
+                near.begin() + static_cast<std::ptrdiff_t>(want_near));
+  for (const std::uint32_t b : elsewhere) {
+    if (blocks.size() >= count) break;
+    blocks.push_back(b);
+  }
+  return finish_universe(world, std::move(blocks));
+}
+
+/// Front-end clusters spread over the stub population's locations.
+std::vector<measure::FrontEnd> make_clusters(const World& world,
+                                             std::size_t count,
+                                             std::uint32_t first_site,
+                                             std::uint32_t generation,
+                                             std::uint32_t addr_base,
+                                             rng::Rng& rng) {
+  std::vector<measure::FrontEnd> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bgp::AsIndex host =
+        world.topo.stubs[rng.uniform(world.topo.stubs.size())];
+    measure::FrontEnd fe;
+    fe.site = first_site + static_cast<std::uint32_t>(i);
+    fe.addr = netbase::Ipv4Addr(addr_base + static_cast<std::uint32_t>(i));
+    fe.location = world.topo.graph.node(host).location;
+    fe.generation = generation;
+    out.push_back(fe);
+  }
+  return out;
+}
+
+}  // namespace
+
+GoogleScenario make_google(const GoogleConfig& config) {
+  GoogleScenario out;
+
+  WorldConfig wc;
+  wc.topo.seed = config.seed;
+  World world = make_world(wc);
+  rng::Rng rng(config.seed);
+
+  PrefixUniverse universe = make_prefixes(world, config.prefix_count, rng);
+
+  // Two fleets: the 2013 clusters and the (disjoint) 2024 clusters.
+  std::vector<measure::FrontEnd> fleet = make_clusters(
+      world, config.clusters_2013, 0, 0, netbase::Ipv4Addr(74, 125, 0, 10).value(), rng);
+  {
+    auto fleet24 = make_clusters(
+        world, config.clusters_2024,
+        static_cast<std::uint32_t>(config.clusters_2013), 1,
+        netbase::Ipv4Addr(142, 250, 0, 10).value(), rng);
+    fleet.insert(fleet.end(), fleet24.begin(), fleet24.end());
+  }
+
+  measure::ChurnPolicy::Config pc;
+  pc.candidate_pool = config.candidate_pool;
+  pc.daily_churn = config.daily_churn;
+  pc.generation_starts = {core::from_date(2014, 1, 1)};
+  pc.seed = rng::mix(config.seed, 0x6006ULL);
+  auto policy =
+      std::make_unique<measure::ChurnPolicy>(universe.locator, pc);
+
+  const measure::WebsiteService service("www.google.com", fleet,
+                                        std::move(policy));
+
+  measure::EdnsCsConfig ec;
+  ec.seed = rng::mix(config.seed, 0xedca5ULL);
+  const measure::EdnsCsProbe probe(universe.prefixes, ec);
+
+  out.dataset.name = "Google/EDNS-CS";
+  for (const auto& p : universe.prefixes) {
+    out.dataset.networks.intern(
+        (std::uint64_t{p.base().value()} << 8) | std::uint64_t(p.length()));
+  }
+  // Site order must match service-site indices 0..N-1.
+  std::vector<std::string> ordered(fleet.size());
+  for (const auto& fe : fleet) {
+    ordered.at(fe.site) = (fe.generation == 0 ? "g13-" : "g24-") +
+                          std::to_string(fe.site);
+  }
+  const std::vector<core::SiteId> site_to_core =
+      make_site_mapping(out.dataset.sites, ordered);
+
+  const auto sweep = [&](core::TimePoint from, std::size_t days) {
+    for (std::size_t d = 0; d < days; ++d) {
+      const core::TimePoint t = from + static_cast<core::TimePoint>(d) *
+                                           core::kDay;
+      core::RoutingVector v;
+      v.time = t;
+      v.assignment = probe.measure(t, service, site_to_core);
+      out.dataset.series.push_back(std::move(v));
+    }
+  };
+  sweep(core::from_date(2013, 5, 26), 3);
+  out.obs_2013 = out.dataset.series.size();
+  sweep(core::from_date(2024, 2, 21), 60);
+  out.dataset.check_consistent();
+  return out;
+}
+
+WikipediaScenario make_wikipedia(const WikipediaConfig& config) {
+  WikipediaScenario out;
+  out.site_names = {"eqiad", "codfw", "ulsfo", "eqsin",
+                    "esams", "drmrs", "magru"};
+  const std::vector<geo::Coord> coords = {
+      geo::city::EQIAD, geo::city::CODFW, geo::city::ULSFO,
+      geo::city::EQSIN, geo::city::ESAMS, geo::city::DRMRS,
+      geo::city::MAGRU};
+  out.drain_start = core::from_date(2025, 3, 19);
+  out.drain_end = core::from_date(2025, 3, 26);
+
+  WorldConfig wc;
+  wc.topo.seed = config.seed;
+  World world = make_world(wc);
+  rng::Rng rng(config.seed);
+
+  // Oversample clients in codfw's service region so its catchment share
+  // is in the paper's range (Figure 6a shows codfw holding a substantial
+  // slice whose drain moves ~20% of networks).
+  PrefixUniverse universe = make_prefixes_near(
+      world, config.prefix_count, geo::city::CODFW, 0.30, 2400.0, rng);
+
+  std::vector<measure::FrontEnd> fleet;
+  for (std::uint32_t s = 0; s < out.site_names.size(); ++s) {
+    measure::FrontEnd fe;
+    fe.site = s;
+    fe.addr = netbase::Ipv4Addr(netbase::Ipv4Addr(208, 80, 154, 224).value() + s);
+    fe.location = coords[s];
+    fleet.push_back(fe);
+  }
+
+  auto policy = std::make_unique<measure::GeoNearestPolicy>(
+      universe.locator, config.flap_fraction,
+      rng::mix(config.seed, 0xf1a9ULL));
+  constexpr std::uint32_t kCodfw = 1;
+  policy->add_drain_window(kCodfw, out.drain_start, out.drain_end);
+  // After returning, codfw is de-preferred: only its closest clients
+  // come back.
+  policy->add_penalty_window(kCodfw, out.drain_end,
+                             core::from_date(2026, 1, 1),
+                             config.return_penalty);
+
+  const measure::WebsiteService service("www.wikipedia.org", fleet,
+                                        std::move(policy));
+
+  measure::EdnsCsConfig ec;
+  ec.seed = rng::mix(config.seed, 0xedca5ULL);
+  const measure::EdnsCsProbe probe(universe.prefixes, ec);
+
+  out.dataset.name = "Wiki/EDNS-CS";
+  for (const auto& p : universe.prefixes) {
+    out.dataset.networks.intern(
+        (std::uint64_t{p.base().value()} << 8) | std::uint64_t(p.length()));
+  }
+  const std::vector<core::SiteId> site_to_core =
+      make_site_mapping(out.dataset.sites, out.site_names);
+
+  const core::TimePoint t0 = core::from_date(2025, 3, 15);
+  const core::TimePoint t_end = core::from_date(2025, 4, 27);
+  for (core::TimePoint t = t0; t < t_end; t += core::kDay) {
+    core::RoutingVector v;
+    v.time = t;
+    v.assignment = probe.measure(t, service, site_to_core);
+    out.dataset.series.push_back(std::move(v));
+  }
+  out.dataset.check_consistent();
+  return out;
+}
+
+}  // namespace fenrir::scenarios

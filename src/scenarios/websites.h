@@ -1,0 +1,63 @@
+// fenrir::scenarios — top-website front-end mapping (paper §4.3,
+// Figures 5 and 6).
+//
+// Both scenarios sweep EDNS Client-Subnet queries over a prefix
+// population drawn from the topology, against a simulated authoritative:
+//
+//   * Google: ChurnPolicy over two front-end generations. Three
+//     observation days starting 2013-05-26 run against the 2013 fleet;
+//     sixty days starting 2024-02-21 against the 2024 fleet. Weekly
+//     remap epochs give the paper's ~0.79 within-week / ~0.25
+//     across-week Φ structure, and the generation swap makes the 2013
+//     rows dissimilar to everything modern.
+//
+//   * Wikipedia: GeoNearestPolicy over seven sites (eqiad, codfw, ulsfo,
+//     eqsin, esams, drmrs, magru), daily 2025-03-15 .. 2025-04-26.
+//     codfw drains 2025-03-19 .. 2025-03-26; it returns at reduced
+//     preference (distance penalty), so only its closest clients come
+//     back — the paper's "only 30% of codfw's original clients return".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/vector.h"
+#include "scenarios/world.h"
+
+namespace fenrir::scenarios {
+
+struct GoogleConfig {
+  std::size_t prefix_count = 6000;
+  std::size_t clusters_2013 = 24;
+  std::size_t clusters_2024 = 64;
+  std::size_t candidate_pool = 4;
+  double daily_churn = 0.10;
+  std::uint64_t seed = 0x900913;
+};
+
+struct GoogleScenario {
+  core::Dataset dataset;  // 3 days of 2013 + 60 days of 2024
+  std::size_t obs_2013 = 0;  // leading observations from 2013
+};
+
+GoogleScenario make_google(const GoogleConfig& config = {});
+
+struct WikipediaConfig {
+  std::size_t prefix_count = 6000;
+  double flap_fraction = 0.06;
+  /// Distance multiplier for codfw after it returns from the drain.
+  double return_penalty = 1.35;
+  std::uint64_t seed = 0x31c1;
+};
+
+struct WikipediaScenario {
+  std::vector<std::string> site_names;
+  core::Dataset dataset;  // daily 2025-03-15 .. 2025-04-26
+  core::TimePoint drain_start = 0;  // 2025-03-19
+  core::TimePoint drain_end = 0;    // 2025-03-26
+};
+
+WikipediaScenario make_wikipedia(const WikipediaConfig& config = {});
+
+}  // namespace fenrir::scenarios

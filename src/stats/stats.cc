@@ -1,0 +1,69 @@
+#include "stats/stats.h"
+
+namespace fenrir::stats {
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (q < 0.0 || q > 100.0) {
+    throw std::invalid_argument("percentile: q out of [0,100]");
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = (q / 100.0) * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("mean: empty sample");
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double s = 0.0;
+  for (double v : values) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values.size() - 1));
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary out;
+  out.count = values.size();
+  if (values.empty()) return out;
+  out.min = *std::min_element(values.begin(), values.end());
+  out.max = *std::max_element(values.begin(), values.end());
+  out.mean = mean(values);
+  out.p50 = percentile(values, 50);
+  out.p90 = percentile(values, 90);
+  out.p99 = percentile(values, 99);
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  std::size_t i;
+  if (x < lo_) {
+    i = 0;
+  } else if (x >= hi_) {
+    i = counts_.size() - 1;
+  } else {
+    i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;
+  }
+  ++counts_[i];
+  ++total_;
+}
+
+}  // namespace fenrir::stats

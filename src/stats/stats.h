@@ -1,0 +1,76 @@
+// fenrir::stats — summary statistics used across the analysis pipeline.
+//
+// Percentiles (the paper reports p90 latency), online mean/variance for
+// baselining change-detection, and simple fixed-bin histograms.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace fenrir::stats {
+
+/// Percentile with linear interpolation between order statistics
+/// (the "linear" / R-7 method). @p q in [0, 100]. Throws on empty input.
+double percentile(std::span<const double> values, double q);
+
+/// Convenience: p50 / p90 / p99.
+inline double median(std::span<const double> v) { return percentile(v, 50); }
+inline double p90(std::span<const double> v) { return percentile(v, 90); }
+inline double p99(std::span<const double> v) { return percentile(v, 99); }
+
+double mean(std::span<const double> values);
+double stddev(std::span<const double> values);  // sample (n-1) stddev
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0, max = 0, mean = 0, p50 = 0, p90 = 0, p99 = 0;
+};
+Summary summarize(std::span<const double> values);
+
+/// Welford online mean/variance accumulator. Supports windowless streaming
+/// baselines for event detection.
+class Online {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+  }
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x) noexcept;
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  double bin_low(std::size_t i) const noexcept {
+    return lo_ + width_ * static_cast<double>(i);
+  }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace fenrir::stats

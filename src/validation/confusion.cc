@@ -1,0 +1,62 @@
+#include "validation/confusion.h"
+
+#include <ostream>
+
+#include "io/table.h"
+
+namespace fenrir::validation {
+
+ValidationResult validate(const std::vector<EventGroup>& truth,
+                          const std::vector<core::DetectedEvent>& detections,
+                          const MatchConfig& config) {
+  ValidationResult out;
+  std::vector<char> detection_used(detections.size(), 0);
+
+  for (const EventGroup& g : truth) {
+    bool detected = false;
+    for (std::size_t i = 0; i < detections.size(); ++i) {
+      const core::TimePoint t = detections[i].time;
+      if (t >= g.start - config.tolerance && t <= g.end + config.tolerance) {
+        detected = true;
+        detection_used[i] = 1;  // matched; keep scanning to mark all
+      }
+    }
+    if (g.external()) {
+      detected ? ++out.confusion.tp : ++out.confusion.fn;
+      if (g.kind == MaintenanceKind::kSiteDrain) {
+        ++out.drains_total;
+        if (detected) ++out.drains_detected;
+      } else {
+        ++out.te_total;
+        if (detected) ++out.te_detected;
+      }
+    } else {
+      detected ? ++out.confusion.fp : ++out.confusion.tn;
+    }
+  }
+
+  for (const char used : detection_used) {
+    if (!used) ++out.third_party_candidates;
+  }
+  return out;
+}
+
+void print_validation(const ValidationResult& result, std::ostream& out) {
+  const ConfusionMatrix& c = result.confusion;
+  io::TextTable table;
+  table.header({"ground truth", "detected", "not detected"});
+  table.row("external (TP/FN)", c.tp, c.fn);
+  table.row("  site drain", result.drains_detected,
+            result.drains_total - result.drains_detected);
+  table.row("  traffic engineering", result.te_detected,
+            result.te_total - result.te_detected);
+  table.row("internal only (FP?/TN)", c.fp, c.tn);
+  table.print(out);
+  out << "unmatched detections (third-party candidates, *): "
+      << result.third_party_candidates << "\n";
+  out << "accuracy " << io::fixed(c.accuracy(), 2) << ", recall "
+      << io::fixed(c.recall(), 2) << ", precision "
+      << io::fixed(c.precision(), 2) << "\n";
+}
+
+}  // namespace fenrir::validation

@@ -1,0 +1,69 @@
+// fenrir::validation — matching detections to ground truth (paper Table 4).
+//
+// A ground-truth group counts as *detected* when some Fenrir detection
+// falls within its time span widened by a tolerance. The resulting
+// confusion matrix follows the paper's accounting:
+//
+//   TP — external group, detected          FN — external group, missed
+//   FP — internal group, detected          TN — internal group, quiet
+//
+// Detections matching no group at all are tallied separately as
+// third-party candidates — the "(*)" rows of Table 4: they are failures
+// against the log but are exactly the third-party visibility Fenrir is
+// built to provide.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "core/events.h"
+#include "validation/ground_truth.h"
+
+namespace fenrir::validation {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0, fp = 0, fn = 0, tn = 0;
+
+  std::size_t total() const noexcept { return tp + fp + fn + tn; }
+  double accuracy() const noexcept {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(tp + tn) /
+                              static_cast<double>(total());
+  }
+  double recall() const noexcept {
+    return (tp + fn) == 0
+               ? 0.0
+               : static_cast<double>(tp) / static_cast<double>(tp + fn);
+  }
+  double precision() const noexcept {
+    return (tp + fp) == 0
+               ? 0.0
+               : static_cast<double>(tp) / static_cast<double>(tp + fp);
+  }
+};
+
+struct MatchConfig {
+  /// A detection within [start - tolerance, end + tolerance] matches.
+  core::TimePoint tolerance = 10 * core::kMinute;
+};
+
+struct ValidationResult {
+  ConfusionMatrix confusion;
+  /// Per-kind detected counts (the paper's site-drain / TE breakdown).
+  std::size_t drains_detected = 0;
+  std::size_t drains_total = 0;
+  std::size_t te_detected = 0;
+  std::size_t te_total = 0;
+  /// Detections that match no ground-truth group: third-party candidates.
+  std::size_t third_party_candidates = 0;
+};
+
+ValidationResult validate(const std::vector<EventGroup>& truth,
+                          const std::vector<core::DetectedEvent>& detections,
+                          const MatchConfig& config = {});
+
+/// Renders the paper's Table 4 layout.
+void print_validation(const ValidationResult& result, std::ostream& out);
+
+}  // namespace fenrir::validation

@@ -1,0 +1,56 @@
+#include "validation/ground_truth.h"
+
+#include <algorithm>
+
+namespace fenrir::validation {
+
+namespace {
+
+// Orders kinds by "externality" so a group takes its most external member.
+int externality(MaintenanceKind k) {
+  switch (k) {
+    case MaintenanceKind::kInternal: return 0;
+    case MaintenanceKind::kTrafficEngineering: return 1;
+    case MaintenanceKind::kSiteDrain: return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<EventGroup> group_entries(std::vector<LogEntry> entries,
+                                      core::TimePoint window) {
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const LogEntry& a, const LogEntry& b) {
+                     if (a.operator_name != b.operator_name) {
+                       return a.operator_name < b.operator_name;
+                     }
+                     return a.time < b.time;
+                   });
+
+  std::vector<EventGroup> groups;
+  for (const LogEntry& e : entries) {
+    EventGroup* current =
+        groups.empty() ? nullptr : &groups.back();
+    const bool chains = current != nullptr &&
+                        current->operator_name == e.operator_name &&
+                        e.time - current->end <= window;
+    if (!chains) {
+      groups.push_back(EventGroup{e.time, e.time, e.operator_name, e.kind, 1});
+      continue;
+    }
+    current->end = e.time;
+    if (externality(e.kind) > externality(current->kind)) {
+      current->kind = e.kind;
+    }
+    ++current->entry_count;
+  }
+
+  std::sort(groups.begin(), groups.end(),
+            [](const EventGroup& a, const EventGroup& b) {
+              return a.start < b.start;
+            });
+  return groups;
+}
+
+}  // namespace fenrir::validation

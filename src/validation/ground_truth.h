@@ -1,0 +1,56 @@
+// fenrir::validation — operator ground truth (paper §3).
+//
+// The validation study compares Fenrir's detected changes against B-Root
+// operator maintenance logs. Raw log entries are noisy: one maintenance
+// activity produces several entries, some externally visible (site
+// drains, traffic engineering) and some not (internal server swaps). The
+// paper groups entries performed by the same operator within ten minutes
+// into event groups and classifies each group by its most external
+// member.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+
+namespace fenrir::validation {
+
+enum class MaintenanceKind {
+  kInternal,            // no external routing effect expected
+  kSiteDrain,           // site withdrawn from anycast
+  kTrafficEngineering,  // reachability preserved, catchments shift
+};
+
+/// Externally visible kinds are the positives of the validation study.
+constexpr bool is_external(MaintenanceKind k) noexcept {
+  return k != MaintenanceKind::kInternal;
+}
+
+struct LogEntry {
+  core::TimePoint time = 0;
+  std::string operator_name;
+  MaintenanceKind kind = MaintenanceKind::kInternal;
+  std::string note;
+};
+
+struct EventGroup {
+  core::TimePoint start = 0;
+  core::TimePoint end = 0;
+  std::string operator_name;
+  /// Most external kind among the member entries (a drain grouped with
+  /// internal work is a drain).
+  MaintenanceKind kind = MaintenanceKind::kInternal;
+  std::size_t entry_count = 0;
+
+  bool external() const noexcept { return is_external(kind); }
+};
+
+/// Groups entries by operator, chaining entries whose gap to the previous
+/// entry of the same group is at most @p window (the paper's 10 minutes).
+/// Input order does not matter; output is ordered by start time.
+std::vector<EventGroup> group_entries(
+    std::vector<LogEntry> entries,
+    core::TimePoint window = 10 * core::kMinute);
+
+}  // namespace fenrir::validation

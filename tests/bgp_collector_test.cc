@@ -1,0 +1,117 @@
+#include "bgp/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/service.h"
+#include "bgp/topology_gen.h"
+
+namespace fenrir::bgp {
+namespace {
+
+struct Fixture {
+  Topology topo;
+  AnycastService service;
+  std::vector<AsIndex> peers;
+
+  static Fixture make() {
+    TopologyParams p;
+    p.tier1_count = 3;
+    p.tier2_count = 10;
+    p.stub_count = 120;
+    p.seed = 51;
+    Topology topo = generate_topology(p);
+    AnycastService svc(*netbase::Prefix::parse("199.9.14.0/24"));
+    svc.add_site(0, topo.stubs[0]);
+    svc.add_site(1, topo.stubs[60]);
+    std::vector<AsIndex> peers{topo.stubs[10], topo.stubs[30],
+                               topo.stubs[90], topo.tier2[2]};
+    return Fixture{std::move(topo), std::move(svc), std::move(peers)};
+  }
+};
+
+TEST(RouteCollector, FirstPollAnnouncesEveryReachablePeer) {
+  Fixture f = Fixture::make();
+  RouteCollector collector(&f.topo.graph, f.peers,
+                           *netbase::Prefix::parse("199.9.14.0/24"));
+  const auto routing =
+      compute_routes(f.topo.graph, f.service.active_origins());
+  const auto updates = collector.poll(routing);
+  EXPECT_EQ(updates.size(), f.peers.size());
+  for (const auto& u : updates) {
+    const UpdateMessage m = UpdateMessage::decode(u.wire);
+    EXPECT_FALSE(m.nlri.empty());
+    ASSERT_FALSE(m.as_path.empty());
+    // The path starts at the peer's own ASN and ends at an origin AS.
+    EXPECT_EQ(m.as_path.front(), f.topo.graph.node(u.peer).asn.value());
+    const std::uint32_t origin = *m.origin_asn();
+    EXPECT_TRUE(origin == f.topo.graph.node(f.topo.stubs[0]).asn.value() ||
+                origin == f.topo.graph.node(f.topo.stubs[60]).asn.value());
+  }
+}
+
+TEST(RouteCollector, QuiescentPollsAreSilent) {
+  Fixture f = Fixture::make();
+  RouteCollector collector(&f.topo.graph, f.peers,
+                           *netbase::Prefix::parse("199.9.14.0/24"));
+  const auto routing =
+      compute_routes(f.topo.graph, f.service.active_origins());
+  collector.poll(routing);
+  EXPECT_TRUE(collector.poll(routing).empty());
+  EXPECT_EQ(collector.rib().size(), f.peers.size());
+}
+
+TEST(RouteCollector, DrainEmitsUpdatesAndRestoreReannounces) {
+  Fixture f = Fixture::make();
+  RouteCollector collector(&f.topo.graph, f.peers,
+                           *netbase::Prefix::parse("199.9.14.0/24"));
+  RouteCache cache;
+  collector.poll(cache.get(f.topo.graph, f.service.active_origins()));
+
+  // Drain site 0: every peer that used it re-announces via site 1.
+  f.service.set_drained(0, true);
+  const auto& drained = cache.get(f.topo.graph, f.service.active_origins());
+  const auto updates = collector.poll(drained);
+  EXPECT_FALSE(updates.empty());
+  for (const auto& u : updates) {
+    const UpdateMessage m = UpdateMessage::decode(u.wire);
+    if (!m.nlri.empty()) {
+      EXPECT_EQ(*m.origin_asn(),
+                f.topo.graph.node(f.topo.stubs[60]).asn.value());
+    }
+  }
+
+  // Restore: the same peers flap back.
+  f.service.set_drained(0, false);
+  const auto restored =
+      collector.poll(cache.get(f.topo.graph, f.service.active_origins()));
+  EXPECT_EQ(restored.size(), updates.size());
+}
+
+TEST(RouteCollector, TotalWithdrawalWhenServiceVanishes) {
+  Fixture f = Fixture::make();
+  RouteCollector collector(&f.topo.graph, f.peers,
+                           *netbase::Prefix::parse("199.9.14.0/24"));
+  collector.poll(compute_routes(f.topo.graph, f.service.active_origins()));
+  const auto updates = collector.poll(compute_routes(f.topo.graph, {}));
+  EXPECT_EQ(updates.size(), f.peers.size());
+  for (const auto& u : updates) {
+    const UpdateMessage m = UpdateMessage::decode(u.wire);
+    EXPECT_TRUE(m.nlri.empty());
+    ASSERT_EQ(m.withdrawn.size(), 1u);
+    EXPECT_EQ(m.withdrawn[0].to_string(), "199.9.14.0/24");
+  }
+  EXPECT_TRUE(collector.rib().empty());
+}
+
+TEST(RouteCollector, RejectsBadConstruction) {
+  Fixture f = Fixture::make();
+  EXPECT_THROW(RouteCollector(nullptr, f.peers,
+                              *netbase::Prefix::parse("199.9.14.0/24")),
+               std::invalid_argument);
+  EXPECT_THROW(RouteCollector(&f.topo.graph, {1u << 30},
+                              *netbase::Prefix::parse("199.9.14.0/24")),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fenrir::bgp

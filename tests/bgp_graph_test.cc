@@ -1,0 +1,111 @@
+#include "bgp/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::bgp {
+namespace {
+
+using netbase::Asn;
+using netbase::Ipv4Addr;
+using netbase::Prefix;
+
+geo::Coord nowhere() { return geo::Coord{0, 0}; }
+
+TEST(AsGraph, AddAsAssignsDenseIndices) {
+  AsGraph g;
+  EXPECT_EQ(g.add_as(Asn(10), AsTier::kStub, nowhere()), 0u);
+  EXPECT_EQ(g.add_as(Asn(20), AsTier::kTier1, nowhere()), 1u);
+  EXPECT_EQ(g.as_count(), 2u);
+  EXPECT_EQ(g.index_of(Asn(20)), 1u);
+  EXPECT_EQ(g.index_of(Asn(99)), std::nullopt);
+}
+
+TEST(AsGraph, DuplicateAsnThrows) {
+  AsGraph g;
+  g.add_as(Asn(10), AsTier::kStub, nowhere());
+  EXPECT_THROW(g.add_as(Asn(10), AsTier::kStub, nowhere()),
+               std::invalid_argument);
+}
+
+TEST(AsGraph, LinksAreBidirectionalWithReversedRelation) {
+  AsGraph g;
+  const AsIndex a = g.add_as(Asn(1), AsTier::kTier2, nowhere());
+  const AsIndex b = g.add_as(Asn(2), AsTier::kStub, nowhere());
+  g.add_link(a, b, Relation::kCustomer);  // b is a's customer
+  ASSERT_EQ(g.node(a).links.size(), 1u);
+  ASSERT_EQ(g.node(b).links.size(), 1u);
+  EXPECT_EQ(g.node(a).links[0].relation, Relation::kCustomer);
+  EXPECT_EQ(g.node(b).links[0].relation, Relation::kProvider);
+  EXPECT_EQ(g.link_count(), 2u);
+}
+
+TEST(AsGraph, RejectsBadLinks) {
+  AsGraph g;
+  const AsIndex a = g.add_as(Asn(1), AsTier::kStub, nowhere());
+  const AsIndex b = g.add_as(Asn(2), AsTier::kStub, nowhere());
+  EXPECT_THROW(g.add_link(a, a, Relation::kPeer), std::invalid_argument);
+  EXPECT_THROW(g.add_link(a, 7, Relation::kPeer), std::out_of_range);
+  g.add_link(a, b, Relation::kPeer);
+  EXPECT_THROW(g.add_link(a, b, Relation::kPeer), std::invalid_argument);
+  EXPECT_THROW(g.add_link(b, a, Relation::kPeer), std::invalid_argument);
+}
+
+TEST(AsGraph, LinkStateTogglesBothDirections) {
+  AsGraph g;
+  const AsIndex a = g.add_as(Asn(1), AsTier::kStub, nowhere());
+  const AsIndex b = g.add_as(Asn(2), AsTier::kStub, nowhere());
+  g.add_link(a, b, Relation::kPeer);
+  g.set_link_up(a, b, false);
+  EXPECT_FALSE(g.node(a).links[0].up);
+  EXPECT_FALSE(g.node(b).links[0].up);
+  g.set_link_up(b, a, true);
+  EXPECT_TRUE(g.node(a).links[0].up);
+  EXPECT_THROW(g.set_link_up(a, a, false), std::invalid_argument);
+}
+
+TEST(AsGraph, LocalPrefAdjustIsClampedAndDirectional) {
+  AsGraph g;
+  const AsIndex a = g.add_as(Asn(1), AsTier::kStub, nowhere());
+  const AsIndex b = g.add_as(Asn(2), AsTier::kStub, nowhere());
+  g.add_link(a, b, Relation::kPeer);
+  g.set_local_pref_adjust(a, b, 500);
+  EXPECT_EQ(g.node(a).links[0].local_pref_adjust, 99);
+  EXPECT_EQ(g.node(b).links[0].local_pref_adjust, 0);  // other direction
+  g.set_local_pref_adjust(b, a, -500);
+  EXPECT_EQ(g.node(b).links[0].local_pref_adjust, -99);
+}
+
+TEST(AsGraph, VersionBumpsOnMutation) {
+  AsGraph g;
+  const auto v0 = g.version();
+  const AsIndex a = g.add_as(Asn(1), AsTier::kStub, nowhere());
+  const AsIndex b = g.add_as(Asn(2), AsTier::kStub, nowhere());
+  const auto v1 = g.version();
+  EXPECT_GT(v1, v0);
+  g.add_link(a, b, Relation::kPeer);
+  const auto v2 = g.version();
+  EXPECT_GT(v2, v1);
+  // No-op state changes do not bump.
+  g.set_link_up(a, b, true);
+  EXPECT_EQ(g.version(), v2);
+  g.set_local_pref_adjust(a, b, 0);
+  EXPECT_EQ(g.version(), v2);
+  g.set_local_pref_adjust(a, b, 5);
+  EXPECT_GT(g.version(), v2);
+}
+
+TEST(AsGraph, PrefixOriginLookup) {
+  AsGraph g;
+  const AsIndex a = g.add_as(Asn(1), AsTier::kStub, nowhere());
+  const AsIndex b = g.add_as(Asn(2), AsTier::kStub, nowhere());
+  g.announce_prefix(*Prefix::parse("10.0.0.0/8"), a);
+  g.announce_prefix(*Prefix::parse("10.1.0.0/16"), b);
+  EXPECT_EQ(g.origin_of(Ipv4Addr(10, 1, 2, 3)), b);  // most specific
+  EXPECT_EQ(g.origin_of(Ipv4Addr(10, 2, 0, 1)), a);
+  EXPECT_EQ(g.origin_of(Ipv4Addr(11, 0, 0, 1)), std::nullopt);
+  EXPECT_THROW(g.announce_prefix(*Prefix::parse("10.0.0.0/8"), 9),
+               std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fenrir::bgp

@@ -1,0 +1,166 @@
+#include "bgp/hegemony.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/topology_gen.h"
+
+namespace fenrir::bgp {
+namespace {
+
+using netbase::Asn;
+
+geo::Coord nowhere() { return geo::Coord{0, 0}; }
+
+AsIndex add(AsGraph& g, std::uint32_t asn, AsTier tier = AsTier::kStub) {
+  return g.add_as(Asn(asn), tier, nowhere());
+}
+
+TEST(Hegemony, SingleTransitIsTotalDependency) {
+  // vantages -> T -> destination: every path crosses T.
+  AsGraph g;
+  const AsIndex dst = add(g, 1);
+  const AsIndex t = add(g, 2, AsTier::kTier1);
+  std::vector<AsIndex> vantages;
+  g.add_link(t, dst, Relation::kCustomer);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const AsIndex v = add(g, 100 + i);
+    g.add_link(t, v, Relation::kCustomer);
+    vantages.push_back(v);
+  }
+  const auto h = as_hegemony(g, dst, vantages);
+  ASSERT_TRUE(h.contains(t));
+  EXPECT_DOUBLE_EQ(h.at(t), 1.0);
+  // Neither the destination nor the vantages score themselves.
+  EXPECT_FALSE(h.contains(dst));
+  EXPECT_FALSE(h.contains(vantages[0]));
+}
+
+TEST(Hegemony, DualHomedDestinationSplitsDependency) {
+  // Two disjoint transit chains, half the vantages behind each.
+  AsGraph g;
+  const AsIndex dst = add(g, 1);
+  const AsIndex t1 = add(g, 2, AsTier::kTier2);
+  const AsIndex t2 = add(g, 3, AsTier::kTier2);
+  g.add_link(t1, dst, Relation::kCustomer);
+  g.add_link(t2, dst, Relation::kCustomer);
+  std::vector<AsIndex> vantages;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const AsIndex v = add(g, 100 + i);
+    g.add_link(i % 2 ? t1 : t2, v, Relation::kCustomer);
+    vantages.push_back(v);
+  }
+  const auto h = as_hegemony(g, dst, vantages);
+  ASSERT_TRUE(h.contains(t1));
+  ASSERT_TRUE(h.contains(t2));
+  EXPECT_NEAR(h.at(t1), 0.5, 0.13);  // trimming nudges the estimate
+  EXPECT_NEAR(h.at(t2), 0.5, 0.13);
+}
+
+TEST(Hegemony, TrimmingSuppressesRareDetours) {
+  // 19 vantages behind T; one oddball vantage directly peers with the
+  // destination's provider chain through X. With 10% trim, X's single
+  // observation disappears; T keeps a high score.
+  AsGraph g;
+  const AsIndex dst = add(g, 1);
+  const AsIndex t = add(g, 2, AsTier::kTier1);
+  const AsIndex x = add(g, 3, AsTier::kTier2);
+  g.add_link(t, dst, Relation::kCustomer);
+  g.add_link(t, x, Relation::kCustomer);
+  std::vector<AsIndex> vantages;
+  for (std::uint32_t i = 0; i < 19; ++i) {
+    const AsIndex v = add(g, 100 + i);
+    g.add_link(t, v, Relation::kCustomer);
+    vantages.push_back(v);
+  }
+  const AsIndex oddball = add(g, 200);
+  g.add_link(x, oddball, Relation::kCustomer);
+  vantages.push_back(oddball);
+
+  const auto h = as_hegemony(g, dst, vantages);
+  EXPECT_GT(h.at(t), 0.9);
+  EXPECT_FALSE(h.contains(x));  // trimmed away
+  // With trimming disabled, X shows its 1/20 share.
+  HegemonyConfig raw;
+  raw.trim = 0.0;
+  const auto h_raw = as_hegemony(g, dst, vantages, raw);
+  ASSERT_TRUE(h_raw.contains(x));
+  EXPECT_NEAR(h_raw.at(x), 0.05, 1e-9);
+}
+
+TEST(Hegemony, UnreachableVantagesObserveNoDependency) {
+  AsGraph g;
+  const AsIndex dst = add(g, 1);
+  const AsIndex t = add(g, 2, AsTier::kTier2);
+  g.add_link(t, dst, Relation::kCustomer);
+  const AsIndex connected = add(g, 100);
+  g.add_link(t, connected, Relation::kCustomer);
+  const AsIndex island = add(g, 101);  // no links at all
+  const auto h = as_hegemony(g, dst, {connected, island});
+  // Median of {0,1} style columns: with two vantages and trim 10% the
+  // degenerate-trim median kicks in; T is seen by exactly one of two.
+  ASSERT_TRUE(h.contains(t));
+  EXPECT_GT(h.at(t), 0.0);
+}
+
+TEST(Hegemony, ErrorsOnBadInput) {
+  AsGraph g;
+  const AsIndex dst = add(g, 1);
+  EXPECT_THROW(as_hegemony(g, dst, {}), std::invalid_argument);
+  EXPECT_THROW(as_hegemony(g, 42, {dst}), std::out_of_range);
+  EXPECT_THROW(country_hegemony(g, {}, {dst}), std::invalid_argument);
+}
+
+TEST(CountryHegemony, AveragesAcrossTheCountryAndSkipsDomesticAses) {
+  // Country = two stubs under the same national transit N, which in turn
+  // buys from international T. Hegemony of T should be ~1 (all external
+  // dependency), and N — being part of the country — is excluded.
+  AsGraph g;
+  const AsIndex a = add(g, 1);
+  const AsIndex b = add(g, 2);
+  const AsIndex n = add(g, 3, AsTier::kTier2);
+  const AsIndex t = add(g, 4, AsTier::kTier1);
+  g.add_link(n, a, Relation::kCustomer);
+  g.add_link(n, b, Relation::kCustomer);
+  g.add_link(t, n, Relation::kCustomer);
+  std::vector<AsIndex> vantages;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const AsIndex v = add(g, 100 + i);
+    g.add_link(t, v, Relation::kCustomer);
+    vantages.push_back(v);
+  }
+  const auto h = country_hegemony(g, {a, b, n}, vantages);
+  ASSERT_TRUE(h.contains(t));
+  EXPECT_GT(h.at(t), 0.9);
+  EXPECT_FALSE(h.contains(n));  // domestic
+  EXPECT_FALSE(h.contains(a));
+}
+
+TEST(CountryHegemony, RealTopologyShowsConcentratedTransit) {
+  TopologyParams p;
+  p.tier1_count = 4;
+  p.tier2_count = 16;
+  p.stub_count = 200;
+  p.seed = 33;
+  const Topology topo = generate_topology(p);
+
+  // "Country": the stubs nearest a point (geographic cluster).
+  std::vector<AsIndex> country(topo.stubs.begin(), topo.stubs.begin() + 12);
+  std::vector<AsIndex> vantages;
+  for (std::size_t i = 50; i < topo.stubs.size(); i += 4) {
+    vantages.push_back(topo.stubs[i]);
+  }
+  const auto h = country_hegemony(topo.graph, country, vantages);
+  ASSERT_FALSE(h.empty());
+  // Every score is a valid fraction, and at least one transit carries a
+  // nontrivial share of the country's reachability.
+  double max_h = 0.0;
+  for (const auto& [as, score] : h) {
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0 + 1e-9);
+    max_h = std::max(max_h, score);
+  }
+  EXPECT_GT(max_h, 0.2);
+}
+
+}  // namespace
+}  // namespace fenrir::bgp

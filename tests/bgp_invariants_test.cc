@@ -1,0 +1,168 @@
+// Property tests: routing invariants over randomized topologies.
+//
+// The catchment phenomenology Fenrir studies only means something if the
+// substrate honours the Gao–Rexford model exactly. These tests sweep
+// random topologies and origin placements and check, for EVERY AS:
+//
+//   * valley-freeness: each selected path, classified edge by edge, is
+//     uphill (customer->provider) zero or more times, at most one peer
+//     edge, then downhill only;
+//   * preference soundness: no AS with a customer-learned route selects
+//     a peer/provider route, and no AS with a peer route selects a
+//     provider route;
+//   * path consistency: recorded path_len matches the reconstructed
+//     path, which ends at a configured origin of the reported site.
+#include <gtest/gtest.h>
+
+#include "bgp/routing.h"
+#include "bgp/topology_gen.h"
+#include "rng/rng.h"
+
+namespace fenrir::bgp {
+namespace {
+
+/// Relationship of `next` relative to `current`, looked up in the graph.
+Relation relation_of(const AsGraph& g, AsIndex current, AsIndex next) {
+  for (const auto& l : g.node(current).links) {
+    if (l.neighbor == next) return l.relation;
+  }
+  ADD_FAILURE() << "path uses a non-edge " << current << "->" << next;
+  return Relation::kPeer;
+}
+
+/// Checks the valley-free property of a path from vantage to origin.
+/// The path as stored runs vantage -> ... -> origin; routes propagate the
+/// other way, so we validate the reversed (announcement) direction:
+/// DOWN any number of provider->customer steps may only happen after all
+/// UP steps, with at most one PEER step at the apex.
+void expect_valley_free(const AsGraph& g, const std::vector<AsIndex>& path) {
+  // Walk in announcement order: origin -> vantage.
+  enum Phase { kUp, kPeered, kDown } phase = kUp;
+  for (std::size_t i = path.size(); i-- > 1;) {
+    const AsIndex from = path[i];      // announcement sender
+    const AsIndex to = path[i - 1];    // receiver
+    // How does the receiver see the sender?
+    const Relation rel = relation_of(g, to, from);
+    switch (rel) {
+      case Relation::kCustomer:
+        // Receiver learned from its customer: an UP step (valid only
+        // before any peer/down step).
+        EXPECT_EQ(phase, kUp) << "up step after peer/down";
+        break;
+      case Relation::kPeer:
+        EXPECT_EQ(phase, kUp) << "second peer or peer after down";
+        phase = kPeered;
+        break;
+      case Relation::kProvider:
+        // Receiver learned from its provider: a DOWN step; all later
+        // steps must also be down.
+        phase = kDown;
+        break;
+    }
+  }
+}
+
+TEST(RoutingInvariants, RandomTopologiesAreValleyFreeAndConsistent) {
+  rng::Rng seeds(0x1aec);
+  for (int trial = 0; trial < 8; ++trial) {
+    TopologyParams p;
+    p.tier1_count = 2 + seeds.uniform(5);
+    p.tier2_count = 8 + seeds.uniform(20);
+    p.stub_count = 60 + seeds.uniform(200);
+    p.seed = seeds.next_u64();
+    const Topology topo = generate_topology(p);
+
+    // 1-3 anycast origins at random stubs.
+    std::vector<Origin> origins;
+    std::vector<AsIndex> used;
+    const std::size_t site_count = 1 + seeds.uniform(3);
+    for (std::uint32_t s = 0; s < site_count; ++s) {
+      AsIndex as;
+      do {
+        as = topo.stubs[seeds.uniform(topo.stubs.size())];
+      } while (std::find(used.begin(), used.end(), as) != used.end());
+      used.push_back(as);
+      origins.push_back(
+          Origin{as, s, static_cast<std::uint8_t>(seeds.uniform(3))});
+    }
+
+    const RoutingTable table = compute_routes(topo.graph, origins);
+    for (AsIndex as = 0; as < topo.graph.as_count(); ++as) {
+      const Route& r = table.at(as);
+      ASSERT_TRUE(r.reachable) << "generator promises full reachability";
+
+      const auto path = table.as_path(as);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(path.front(), as);
+      EXPECT_EQ(path.back(), r.origin_as);
+
+      // Recorded length = hops + the origin's prepending.
+      std::uint8_t prepend = 0;
+      for (const auto& o : origins) {
+        if (o.as == r.origin_as) prepend = o.prepend;
+      }
+      EXPECT_EQ(r.path_len, path.size() + prepend);
+
+      // The reported site belongs to the origin at the path's end.
+      bool site_matches = false;
+      for (const auto& o : origins) {
+        site_matches |= (o.as == r.origin_as && o.site == r.site);
+      }
+      EXPECT_TRUE(site_matches);
+
+      expect_valley_free(topo.graph, path);
+    }
+  }
+}
+
+TEST(RoutingInvariants, ClassPreferenceIsNeverViolated) {
+  // If an AS has ANY neighbor that (a) is its customer and (b) selected a
+  // customer-or-origin route, then this AS must not use a peer/provider
+  // route — its customer would have exported one to it.
+  TopologyParams p;
+  p.tier1_count = 4;
+  p.tier2_count = 16;
+  p.stub_count = 150;
+  p.seed = 777;
+  const Topology topo = generate_topology(p);
+  const RoutingTable table = compute_routes(
+      topo.graph, {Origin{topo.stubs[0], 0, 0}, Origin{topo.stubs[75], 1, 0}});
+
+  for (AsIndex as = 0; as < topo.graph.as_count(); ++as) {
+    bool customer_offers = false;
+    for (const auto& l : topo.graph.node(as).links) {
+      if (l.relation != Relation::kCustomer || !l.up) continue;
+      if (table.at(l.neighbor).klass == RouteClass::kCustomerOrOrigin) {
+        customer_offers = true;
+      }
+    }
+    if (customer_offers) {
+      EXPECT_EQ(table.at(as).klass, RouteClass::kCustomerOrOrigin)
+          << "AS " << as << " ignored an available customer route";
+    }
+  }
+}
+
+TEST(RoutingInvariants, DrainNeverCreatesNewUnreachability) {
+  // Removing one of several anycast origins must leave every AS
+  // reachable (the others still announce globally).
+  TopologyParams p;
+  p.tier1_count = 3;
+  p.tier2_count = 12;
+  p.stub_count = 100;
+  p.seed = 778;
+  const Topology topo = generate_topology(p);
+  const std::vector<Origin> both{{topo.stubs[0], 0, 0},
+                                 {topo.stubs[50], 1, 0}};
+  const std::vector<Origin> one{{topo.stubs[50], 1, 0}};
+  const RoutingTable before = compute_routes(topo.graph, both);
+  const RoutingTable after = compute_routes(topo.graph, one);
+  for (AsIndex as = 0; as < topo.graph.as_count(); ++as) {
+    EXPECT_TRUE(before.at(as).reachable);
+    EXPECT_TRUE(after.at(as).reachable);
+    EXPECT_EQ(after.catchment(as), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace fenrir::bgp

@@ -1,0 +1,373 @@
+#include "bgp/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/graph.h"
+
+namespace fenrir::bgp {
+namespace {
+
+using netbase::Asn;
+
+geo::Coord nowhere() { return geo::Coord{0, 0}; }
+
+AsIndex add(AsGraph& g, std::uint32_t asn,
+            AsTier tier = AsTier::kStub) {
+  return g.add_as(Asn(asn), tier, nowhere());
+}
+
+TEST(Routing, CustomerRouteClimbsProviderChain) {
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex mid = add(g, 2, AsTier::kTier2);
+  const AsIndex top = add(g, 3, AsTier::kTier1);
+  g.add_link(mid, origin, Relation::kCustomer);
+  g.add_link(top, mid, Relation::kCustomer);
+
+  const RoutingTable t = compute_routes(g, {Origin{origin, 7, 0}});
+  EXPECT_EQ(t.catchment(origin), 7u);
+  EXPECT_EQ(t.catchment(mid), 7u);
+  EXPECT_EQ(t.catchment(top), 7u);
+  EXPECT_EQ(t.at(top).path_len, 3);
+  EXPECT_EQ(t.as_path(top), (std::vector<AsIndex>{top, mid, origin}));
+}
+
+TEST(Routing, ProviderRouteDescendsToCustomers) {
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex t1 = add(g, 2, AsTier::kTier1);
+  const AsIndex other_mid = add(g, 3, AsTier::kTier2);
+  const AsIndex leaf = add(g, 4);
+  g.add_link(t1, origin, Relation::kCustomer);
+  g.add_link(t1, other_mid, Relation::kCustomer);
+  g.add_link(other_mid, leaf, Relation::kCustomer);
+
+  const RoutingTable t = compute_routes(g, {Origin{origin, 1, 0}});
+  EXPECT_EQ(t.catchment(leaf), 1u);
+  EXPECT_EQ(t.as_path(leaf), (std::vector<AsIndex>{leaf, other_mid, t1,
+                                                   origin}));
+  EXPECT_EQ(t.at(leaf).klass, RouteClass::kProvider);
+}
+
+TEST(Routing, PeerRouteCrossesExactlyOnePeerEdge) {
+  // A <-peer-> B <-peer-> C: C must not learn A's prefix through B
+  // (valley-free: peer routes are not re-exported to peers).
+  AsGraph g;
+  const AsIndex a = add(g, 1);
+  const AsIndex b = add(g, 2);
+  const AsIndex c = add(g, 3);
+  g.add_link(a, b, Relation::kPeer);
+  g.add_link(b, c, Relation::kPeer);
+
+  const RoutingTable t = compute_routes(g, {Origin{a, 1, 0}});
+  EXPECT_TRUE(t.at(b).reachable);
+  EXPECT_EQ(t.at(b).klass, RouteClass::kPeer);
+  EXPECT_FALSE(t.at(c).reachable);
+  EXPECT_EQ(t.catchment(c), std::nullopt);
+}
+
+TEST(Routing, PeerRouteExportsDownToCustomers) {
+  // A <-peer-> B; C is B's customer: C gets the route through B.
+  AsGraph g;
+  const AsIndex a = add(g, 1);
+  const AsIndex b = add(g, 2);
+  const AsIndex c = add(g, 3);
+  g.add_link(a, b, Relation::kPeer);
+  g.add_link(b, c, Relation::kCustomer);
+
+  const RoutingTable t = compute_routes(g, {Origin{a, 1, 0}});
+  EXPECT_TRUE(t.at(c).reachable);
+  EXPECT_EQ(t.as_path(c), (std::vector<AsIndex>{c, b, a}));
+}
+
+TEST(Routing, NoValleyThroughProvider) {
+  // origin -> provider P; S is another customer of nothing. S peers with
+  // origin? No: test "provider route not exported to peers":
+  // P learns from customer O (exports everywhere); but Q, learning from
+  // its PROVIDER T, must not export to its peer R.
+  AsGraph g;
+  const AsIndex o = add(g, 1);
+  const AsIndex t1 = add(g, 2, AsTier::kTier1);
+  const AsIndex q = add(g, 3);
+  const AsIndex r = add(g, 4);
+  g.add_link(t1, o, Relation::kCustomer);
+  g.add_link(t1, q, Relation::kCustomer);
+  g.add_link(q, r, Relation::kPeer);
+
+  const RoutingTable t = compute_routes(g, {Origin{o, 1, 0}});
+  EXPECT_TRUE(t.at(q).reachable);
+  EXPECT_EQ(t.at(q).klass, RouteClass::kProvider);
+  EXPECT_FALSE(t.at(r).reachable);  // q must not leak its provider route
+}
+
+TEST(Routing, CustomerPreferredOverShorterPeerAndProvider) {
+  // X has three ways to the origin: a 3-hop customer path, a 2-hop peer
+  // path, and a 2-hop provider path. Customer must win.
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex x = add(g, 2, AsTier::kTier2);
+  const AsIndex c1 = add(g, 3);  // x's customer chain toward origin
+  const AsIndex peer = add(g, 4);
+  const AsIndex prov = add(g, 5, AsTier::kTier1);
+  g.add_link(x, c1, Relation::kCustomer);
+  g.add_link(c1, origin, Relation::kCustomer);
+  // peer has a customer route to the origin, so it exports it to x.
+  g.add_link(peer, origin, Relation::kCustomer);
+  g.add_link(x, peer, Relation::kPeer);
+  g.add_link(prov, x, Relation::kCustomer);
+  g.add_link(prov, origin, Relation::kCustomer);
+
+  const RoutingTable t = compute_routes(g, {Origin{origin, 1, 0}});
+  EXPECT_EQ(t.at(x).klass, RouteClass::kCustomerOrOrigin);
+  EXPECT_EQ(t.as_path(x), (std::vector<AsIndex>{x, c1, origin}));
+}
+
+TEST(Routing, LocalPrefReordersWithinClass) {
+  // X has two providers, both reaching the origin. Default tiebreaks pick
+  // one; a local-pref adjustment flips the choice.
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex p1 = add(g, 10, AsTier::kTier1);
+  const AsIndex p2 = add(g, 20, AsTier::kTier1);
+  const AsIndex x = add(g, 30);
+  g.add_link(p1, origin, Relation::kCustomer);
+  g.add_link(p2, origin, Relation::kCustomer);
+  g.add_link(p1, x, Relation::kCustomer);
+  g.add_link(p2, x, Relation::kCustomer);
+
+  const RoutingTable before = compute_routes(g, {Origin{origin, 1, 0}});
+  EXPECT_EQ(before.at(x).from, p1);  // lower ASN tiebreak
+
+  g.set_local_pref_adjust(x, p2, 50);
+  const RoutingTable after = compute_routes(g, {Origin{origin, 1, 0}});
+  EXPECT_EQ(after.at(x).from, p2);
+}
+
+TEST(Routing, LocalPrefCannotCrossClasses) {
+  // Even at +99, a provider route cannot beat a customer route.
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex x = add(g, 2, AsTier::kTier2);
+  const AsIndex cust = add(g, 3);
+  const AsIndex prov = add(g, 4, AsTier::kTier1);
+  g.add_link(x, cust, Relation::kCustomer);
+  g.add_link(cust, origin, Relation::kCustomer);
+  g.add_link(prov, x, Relation::kCustomer);
+  g.add_link(prov, origin, Relation::kCustomer);
+  g.set_local_pref_adjust(x, prov, 99);
+  g.set_local_pref_adjust(x, cust, -99);
+
+  const RoutingTable t = compute_routes(g, {Origin{origin, 1, 0}});
+  EXPECT_EQ(t.at(x).klass, RouteClass::kCustomerOrOrigin);
+}
+
+TEST(Routing, ShorterPathWinsWithinClass) {
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex a = add(g, 2, AsTier::kTier2);
+  const AsIndex b = add(g, 3, AsTier::kTier2);
+  const AsIndex x = add(g, 4, AsTier::kTier1);
+  g.add_link(a, origin, Relation::kCustomer);
+  g.add_link(b, a, Relation::kCustomer);
+  g.add_link(x, a, Relation::kCustomer);  // 2-hop customer path
+  g.add_link(x, b, Relation::kCustomer);  // would be 3-hop via b
+  const RoutingTable t = compute_routes(g, {Origin{origin, 1, 0}});
+  EXPECT_EQ(t.at(x).from, a);
+  EXPECT_EQ(t.at(x).path_len, 3);
+}
+
+TEST(Routing, AnycastNearestOriginWins) {
+  // Two origins announcing the same prefix; each AS lands at the closer.
+  AsGraph g;
+  const AsIndex o1 = add(g, 1);
+  const AsIndex o2 = add(g, 2);
+  const AsIndex m1 = add(g, 3, AsTier::kTier2);
+  const AsIndex m2 = add(g, 4, AsTier::kTier2);
+  const AsIndex t1 = add(g, 5, AsTier::kTier1);
+  g.add_link(m1, o1, Relation::kCustomer);
+  g.add_link(m2, o2, Relation::kCustomer);
+  g.add_link(t1, m1, Relation::kCustomer);
+  g.add_link(t1, m2, Relation::kCustomer);
+
+  const RoutingTable t =
+      compute_routes(g, {Origin{o1, 100, 0}, Origin{o2, 200, 0}});
+  EXPECT_EQ(t.catchment(m1), 100u);
+  EXPECT_EQ(t.catchment(m2), 200u);
+  // Tier-1 ties on path length; lower neighbor ASN (m1) wins.
+  EXPECT_EQ(t.catchment(t1), 100u);
+}
+
+TEST(Routing, PrependShedsCatchment) {
+  AsGraph g;
+  const AsIndex o1 = add(g, 1);
+  const AsIndex o2 = add(g, 2);
+  const AsIndex m1 = add(g, 3, AsTier::kTier2);
+  const AsIndex m2 = add(g, 4, AsTier::kTier2);
+  const AsIndex t1 = add(g, 5, AsTier::kTier1);
+  g.add_link(m1, o1, Relation::kCustomer);
+  g.add_link(m2, o2, Relation::kCustomer);
+  g.add_link(t1, m1, Relation::kCustomer);
+  g.add_link(t1, m2, Relation::kCustomer);
+
+  // Prepending at o1 pushes the tier-1 to o2.
+  const RoutingTable t =
+      compute_routes(g, {Origin{o1, 100, 2}, Origin{o2, 200, 0}});
+  EXPECT_EQ(t.catchment(t1), 200u);
+  // But o1's own provider still uses its customer route.
+  EXPECT_EQ(t.catchment(m1), 100u);
+}
+
+TEST(Routing, ConeOnlyStopsAtTheUpstreamCone) {
+  // origin -> provider P -> tier1 T; S is another customer of P; Q is a
+  // customer of T. A cone-scoped announcement reaches P and P's cone (S)
+  // but is never exported above P (so T and Q see nothing).
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex p = add(g, 2, AsTier::kTier2);
+  const AsIndex s = add(g, 3);
+  const AsIndex t = add(g, 4, AsTier::kTier1);
+  const AsIndex q = add(g, 5);
+  g.add_link(p, origin, Relation::kCustomer);
+  g.add_link(p, s, Relation::kCustomer);
+  g.add_link(t, p, Relation::kCustomer);
+  g.add_link(t, q, Relation::kCustomer);
+
+  Origin o{origin, 9, 0};
+  o.cone_only = true;
+  const RoutingTable table = compute_routes(g, {o});
+  EXPECT_TRUE(table.at(p).reachable);
+  EXPECT_EQ(table.catchment(s), 9u);
+  EXPECT_EQ(table.as_path(s), (std::vector<AsIndex>{s, p, origin}));
+  EXPECT_FALSE(table.at(t).reachable);
+  EXPECT_FALSE(table.at(q).reachable);
+}
+
+TEST(Routing, ConeOnlyNeverCrossesPeerEdges) {
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex p = add(g, 2, AsTier::kTier2);
+  const AsIndex peer = add(g, 3, AsTier::kTier2);
+  g.add_link(p, origin, Relation::kCustomer);
+  g.add_link(p, peer, Relation::kPeer);
+
+  Origin o{origin, 1, 0};
+  o.cone_only = true;
+  const RoutingTable table = compute_routes(g, {o});
+  EXPECT_FALSE(table.at(peer).reachable);
+  // The unscoped announcement would have reached the peer.
+  o.cone_only = false;
+  const RoutingTable open = compute_routes(g, {o});
+  EXPECT_TRUE(open.at(peer).reachable);
+}
+
+TEST(Routing, ScopedAnycastSiteServesOnlyItsRegionOfTheMesh) {
+  // Two sites; scoping one hands the rest of the world to the other.
+  AsGraph g;
+  const AsIndex o1 = add(g, 1);
+  const AsIndex o2 = add(g, 2);
+  const AsIndex m1 = add(g, 3, AsTier::kTier2);
+  const AsIndex m2 = add(g, 4, AsTier::kTier2);
+  const AsIndex t1 = add(g, 5, AsTier::kTier1);
+  const AsIndex s1 = add(g, 6);  // inside m1's cone
+  g.add_link(m1, o1, Relation::kCustomer);
+  g.add_link(m2, o2, Relation::kCustomer);
+  g.add_link(t1, m1, Relation::kCustomer);
+  g.add_link(t1, m2, Relation::kCustomer);
+  g.add_link(m1, s1, Relation::kCustomer);
+
+  Origin scoped{o1, 100, 0};
+  scoped.cone_only = true;
+  const RoutingTable table =
+      compute_routes(g, {scoped, Origin{o2, 200, 0}});
+  EXPECT_EQ(table.catchment(s1), 100u);   // cone keeps its site
+  EXPECT_EQ(table.catchment(m1), 100u);
+  EXPECT_EQ(table.catchment(t1), 200u);   // the world goes elsewhere
+  EXPECT_EQ(table.catchment(m2), 200u);
+}
+
+TEST(Routing, LinkDownRemovesRoutes) {
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex p = add(g, 2, AsTier::kTier2);
+  g.add_link(p, origin, Relation::kCustomer);
+  g.set_link_up(p, origin, false);
+  const RoutingTable t = compute_routes(g, {Origin{origin, 1, 0}});
+  EXPECT_FALSE(t.at(p).reachable);
+  EXPECT_TRUE(t.at(origin).reachable);
+}
+
+TEST(Routing, UnreachableIslands) {
+  AsGraph g;
+  const AsIndex origin = add(g, 1);
+  const AsIndex island = add(g, 2);
+  const RoutingTable t = compute_routes(g, {Origin{origin, 1, 0}});
+  EXPECT_FALSE(t.at(island).reachable);
+  EXPECT_TRUE(t.as_path(island).empty());
+}
+
+TEST(Routing, EmptyOriginsAllUnreachable) {
+  AsGraph g;
+  add(g, 1);
+  add(g, 2);
+  const RoutingTable t = compute_routes(g, {});
+  EXPECT_FALSE(t.at(0).reachable);
+  EXPECT_FALSE(t.at(1).reachable);
+}
+
+TEST(Routing, DuplicateOriginAsThrows) {
+  AsGraph g;
+  const AsIndex o = add(g, 1);
+  EXPECT_THROW(
+      compute_routes(g, {Origin{o, 1, 0}, Origin{o, 2, 0}}),
+      std::invalid_argument);
+}
+
+TEST(Routing, BadOriginIndexThrows) {
+  AsGraph g;
+  add(g, 1);
+  EXPECT_THROW(compute_routes(g, {Origin{5, 1, 0}}), std::out_of_range);
+}
+
+TEST(Routing, AsPathsAreConsistentEverywhere) {
+  // Property: on a mid-size random-ish graph, every reachable AS has a
+  // well-formed path ending at an origin, with length == path_len.
+  AsGraph g;
+  const AsIndex o1 = add(g, 1);
+  const AsIndex o2 = add(g, 2);
+  std::vector<AsIndex> mids, tops;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    tops.push_back(add(g, 100 + i, AsTier::kTier1));
+  }
+  for (std::size_t i = 0; i < tops.size(); ++i) {
+    for (std::size_t j = i + 1; j < tops.size(); ++j) {
+      g.add_link(tops[i], tops[j], Relation::kPeer);
+    }
+  }
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const AsIndex m = add(g, 1000 + i, AsTier::kTier2);
+    mids.push_back(m);
+    g.add_link(tops[i % tops.size()], m, Relation::kCustomer);
+    if (i % 3 == 0) {
+      g.add_link(tops[(i + 2) % tops.size()], m, Relation::kCustomer);
+    }
+  }
+  g.add_link(mids[0], o1, Relation::kCustomer);
+  g.add_link(mids[7], o2, Relation::kCustomer);
+
+  const RoutingTable t =
+      compute_routes(g, {Origin{o1, 1, 0}, Origin{o2, 2, 0}});
+  for (AsIndex as = 0; as < g.as_count(); ++as) {
+    const auto& r = t.at(as);
+    ASSERT_TRUE(r.reachable) << "AS index " << as;
+    const auto path = t.as_path(as);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), as);
+    EXPECT_TRUE(path.back() == o1 || path.back() == o2);
+    // With no prepending, the recorded path length is the real one.
+    EXPECT_EQ(path.size(), r.path_len);
+    EXPECT_EQ(path.back(), r.origin_as);
+  }
+}
+
+}  // namespace
+}  // namespace fenrir::bgp

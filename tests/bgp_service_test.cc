@@ -1,0 +1,146 @@
+#include "bgp/service.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/topology_gen.h"
+
+namespace fenrir::bgp {
+namespace {
+
+netbase::Prefix service_prefix() {
+  return *netbase::Prefix::parse("192.0.32.0/24");
+}
+
+TEST(AnycastService, AddDrainRestoreRemove) {
+  AnycastService s(service_prefix());
+  s.add_site(0, 10);
+  s.add_site(1, 20, 2);
+  EXPECT_EQ(s.active_origins().size(), 2u);
+  EXPECT_EQ(s.active_origins()[1].prepend, 2);
+
+  s.set_drained(0, true);
+  EXPECT_TRUE(s.is_drained(0));
+  ASSERT_EQ(s.active_origins().size(), 1u);
+  EXPECT_EQ(s.active_origins()[0].site, 1u);
+
+  s.set_drained(0, false);
+  EXPECT_EQ(s.active_origins().size(), 2u);
+
+  s.remove_site(1);
+  EXPECT_EQ(s.active_origins().size(), 1u);
+  EXPECT_EQ(s.configured_sites(), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(AnycastService, MoveAndPrepend) {
+  AnycastService s(service_prefix());
+  s.add_site(0, 10);
+  s.move_site(0, 55);
+  s.set_prepend(0, 4);
+  const auto origins = s.active_origins();
+  ASSERT_EQ(origins.size(), 1u);
+  EXPECT_EQ(origins[0].as, 55u);
+  EXPECT_EQ(origins[0].prepend, 4);
+}
+
+TEST(AnycastService, ErrorsOnUnknownSitesAndDuplicateAses) {
+  AnycastService s(service_prefix());
+  s.add_site(0, 10);
+  // Same AS cannot announce twice; the same site from a new AS is fine.
+  EXPECT_THROW(s.add_site(1, 10), std::invalid_argument);
+  s.add_site(0, 20);
+  EXPECT_THROW(s.set_drained(9, true), std::invalid_argument);
+  EXPECT_THROW(s.move_site(9, 1), std::invalid_argument);
+  EXPECT_THROW(s.set_prepend(9, 1), std::invalid_argument);
+  EXPECT_THROW(s.is_drained(9), std::invalid_argument);
+  s.remove_site(9);  // remove of unknown site is a no-op
+}
+
+TEST(AnycastService, MultipleAnnouncementsPerSite) {
+  AnycastService s(service_prefix());
+  s.add_site(0, 10);
+  s.add_site(0, 11);  // fallback adjacency
+  s.add_site(1, 20);
+  EXPECT_EQ(s.active_origins().size(), 3u);
+  EXPECT_EQ(s.configured_sites(), (std::vector<std::uint32_t>{0, 1}));
+
+  // Draining a site drains every announcement.
+  s.set_drained(0, true);
+  EXPECT_TRUE(s.is_drained(0));
+  ASSERT_EQ(s.active_origins().size(), 1u);
+  EXPECT_EQ(s.active_origins()[0].site, 1u);
+  s.set_drained(0, false);
+  EXPECT_EQ(s.active_origins().size(), 3u);
+
+  // move_site is ambiguous with several announcements.
+  EXPECT_THROW(s.move_site(0, 30), std::invalid_argument);
+
+  // remove_site removes all announcements.
+  s.remove_site(0);
+  EXPECT_EQ(s.active_origins().size(), 1u);
+}
+
+TEST(RouteCache, MemoizesPerVersionAndOrigins) {
+  TopologyParams p;
+  p.tier1_count = 3;
+  p.tier2_count = 8;
+  p.stub_count = 40;
+  p.seed = 11;
+  Topology topo = generate_topology(p);
+  RouteCache cache;
+
+  const std::vector<Origin> origins{{topo.stubs[0], 0, 0}};
+  const RoutingTable& a = cache.get(topo.graph, origins);
+  const RoutingTable& b = cache.get(topo.graph, origins);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(cache.computations(), 1u);
+
+  // Different origins: new computation.
+  cache.get(topo.graph, {{topo.stubs[1], 0, 0}});
+  EXPECT_EQ(cache.computations(), 2u);
+
+  // Same origins in different order: cache hit (order-insensitive key).
+  const std::vector<Origin> two{{topo.stubs[0], 0, 0}, {topo.stubs[1], 1, 0}};
+  const std::vector<Origin> swapped{{topo.stubs[1], 1, 0},
+                                    {topo.stubs[0], 0, 0}};
+  const RoutingTable& c = cache.get(topo.graph, two);
+  const RoutingTable& d = cache.get(topo.graph, swapped);
+  EXPECT_EQ(&c, &d);
+  EXPECT_EQ(cache.computations(), 3u);
+
+  // Graph mutation invalidates.
+  topo.graph.set_local_pref_adjust(topo.stubs[0],
+                                   topo.graph.node(topo.stubs[0]).links[0].neighbor,
+                                   10);
+  cache.get(topo.graph, origins);
+  EXPECT_EQ(cache.computations(), 4u);
+}
+
+TEST(RouteCache, DrainChangesCatchments) {
+  TopologyParams p;
+  p.tier1_count = 3;
+  p.tier2_count = 8;
+  p.stub_count = 60;
+  p.seed = 13;
+  Topology topo = generate_topology(p);
+  RouteCache cache;
+
+  AnycastService svc(service_prefix());
+  svc.add_site(0, topo.stubs[0]);
+  svc.add_site(1, topo.stubs[30]);
+
+  const RoutingTable& both = cache.get(topo.graph, svc.active_origins());
+  std::size_t site0 = 0;
+  for (const AsIndex s : topo.stubs) {
+    site0 += (both.catchment(s) == std::optional<std::uint32_t>{0});
+  }
+  EXPECT_GT(site0, 0u);
+
+  svc.set_drained(0, true);
+  const RoutingTable& one = cache.get(topo.graph, svc.active_origins());
+  for (const AsIndex s : topo.stubs) {
+    EXPECT_EQ(one.catchment(s), std::optional<std::uint32_t>{1});
+  }
+}
+
+}  // namespace
+}  // namespace fenrir::bgp

@@ -1,0 +1,122 @@
+#include "bgp/topology_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bgp/routing.h"
+
+namespace fenrir::bgp {
+namespace {
+
+TopologyParams small_params(std::uint64_t seed) {
+  TopologyParams p;
+  p.tier1_count = 4;
+  p.tier2_count = 16;
+  p.stub_count = 120;
+  p.seed = seed;
+  return p;
+}
+
+TEST(TopologyGen, CountsMatchParams) {
+  const Topology t = generate_topology(small_params(1));
+  EXPECT_EQ(t.tier1.size(), 4u);
+  EXPECT_EQ(t.tier2.size(), 16u);
+  EXPECT_EQ(t.stubs.size(), 120u);
+  EXPECT_EQ(t.graph.as_count(), 140u);
+  EXPECT_FALSE(t.blocks.empty());
+}
+
+TEST(TopologyGen, Tier1FullPeerMesh) {
+  const Topology t = generate_topology(small_params(2));
+  for (const AsIndex a : t.tier1) {
+    std::size_t peer_links = 0;
+    for (const auto& l : t.graph.node(a).links) {
+      if (l.relation == Relation::kPeer) {
+        // Peers of a tier-1 here are exactly the other tier-1s.
+        EXPECT_EQ(t.graph.node(l.neighbor).tier, AsTier::kTier1);
+        ++peer_links;
+      }
+    }
+    EXPECT_EQ(peer_links, t.tier1.size() - 1);
+  }
+}
+
+TEST(TopologyGen, EveryAsHasAProviderPathToEveryPrefix) {
+  // Originate at an arbitrary stub and check global reachability: the
+  // generator promises no partitions.
+  const Topology t = generate_topology(small_params(3));
+  const RoutingTable routes =
+      compute_routes(t.graph, {Origin{t.stubs[0], 1, 0}});
+  for (AsIndex as = 0; as < t.graph.as_count(); ++as) {
+    EXPECT_TRUE(routes.at(as).reachable) << "unreachable AS " << as;
+  }
+}
+
+TEST(TopologyGen, StubsHaveOnlyProviders) {
+  const Topology t = generate_topology(small_params(4));
+  for (const AsIndex s : t.stubs) {
+    for (const auto& l : t.graph.node(s).links) {
+      EXPECT_EQ(l.relation, Relation::kProvider)
+          << "stub with non-provider link";
+    }
+    EXPECT_GE(t.graph.node(s).links.size(), 1u);
+    EXPECT_LE(t.graph.node(s).links.size(), 2u);
+  }
+}
+
+TEST(TopologyGen, BlocksAreUniqueAndMapToStubs) {
+  const Topology t = generate_topology(small_params(5));
+  std::set<std::uint32_t> seen;
+  for (const std::uint32_t b : t.blocks) {
+    EXPECT_TRUE(seen.insert(b).second) << "duplicate block";
+    const auto origin =
+        t.graph.origin_of(netbase::block24_from_index(b).base());
+    ASSERT_TRUE(origin.has_value());
+    EXPECT_EQ(t.graph.node(*origin).tier, AsTier::kStub);
+  }
+}
+
+TEST(TopologyGen, DeterministicForSeed) {
+  const Topology a = generate_topology(small_params(7));
+  const Topology b = generate_topology(small_params(7));
+  ASSERT_EQ(a.graph.as_count(), b.graph.as_count());
+  ASSERT_EQ(a.blocks, b.blocks);
+  for (AsIndex i = 0; i < a.graph.as_count(); ++i) {
+    EXPECT_EQ(a.graph.node(i).asn, b.graph.node(i).asn);
+    EXPECT_EQ(a.graph.node(i).links.size(), b.graph.node(i).links.size());
+  }
+}
+
+TEST(TopologyGen, SeedsProduceDifferentTopologies) {
+  const Topology a = generate_topology(small_params(8));
+  const Topology b = generate_topology(small_params(9));
+  bool differs = a.blocks.size() != b.blocks.size();
+  if (!differs) {
+    for (AsIndex i = 0; i < a.graph.as_count() && !differs; ++i) {
+      differs = a.graph.node(i).links.size() != b.graph.node(i).links.size();
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(TopologyGen, AnycastCatchmentsPartitionTheStubs) {
+  const Topology t = generate_topology(small_params(10));
+  const RoutingTable routes = compute_routes(
+      t.graph, {Origin{t.stubs[0], 0, 0}, Origin{t.stubs[50], 1, 0},
+                Origin{t.stubs[100], 2, 0}});
+  std::size_t counts[3] = {0, 0, 0};
+  for (const AsIndex s : t.stubs) {
+    const auto c = routes.catchment(s);
+    ASSERT_TRUE(c.has_value());
+    ASSERT_LT(*c, 3u);
+    ++counts[*c];
+  }
+  // Every site should catch someone (its own origin at minimum).
+  EXPECT_GT(counts[0], 0u);
+  EXPECT_GT(counts[1], 0u);
+  EXPECT_GT(counts[2], 0u);
+}
+
+}  // namespace
+}  // namespace fenrir::bgp

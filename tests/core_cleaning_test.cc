@@ -1,0 +1,335 @@
+#include "core/cleaning.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace fenrir::core {
+namespace {
+
+// One-network dataset whose timeline is given by `sites`.
+Dataset timeline(std::vector<SiteId> sites,
+                 std::vector<std::size_t> invalid = {}) {
+  Dataset d;
+  d.name = "cleaning";
+  d.networks.intern(0);
+  d.sites.intern("A");  // id 3
+  d.sites.intern("B");  // id 4
+  d.sites.intern("C");  // id 5
+  TimePoint t = 0;
+  for (const SiteId s : sites) {
+    RoutingVector v;
+    v.time = t;
+    t += kDay;
+    v.assignment = {s};
+    d.series.push_back(std::move(v));
+  }
+  for (const std::size_t i : invalid) d.series[i].valid = false;
+  d.check_consistent();
+  return d;
+}
+
+std::vector<SiteId> series_of(const Dataset& d) {
+  std::vector<SiteId> out;
+  for (const auto& v : d.series) out.push_back(v.assignment[0]);
+  return out;
+}
+
+constexpr SiteId A = 3, B = 4, U = kUnknownSite;
+
+TEST(Interpolate, FillsInteriorGapHalfLeftHalfRight) {
+  // A U U U U B -> first half from A, second half from B.
+  Dataset d = timeline({A, U, U, U, U, B});
+  const auto stats = interpolate_missing(d);
+  EXPECT_EQ(stats.gaps_filled, 4u);
+  EXPECT_EQ(series_of(d), (std::vector<SiteId>{A, A, A, B, B, B}));
+}
+
+TEST(Interpolate, OddGapSplitsWithLeftMajority) {
+  // Gap of 3: positions 1,2 from left (<= ceil), 3 from right.
+  Dataset d = timeline({A, U, U, U, B});
+  interpolate_missing(d);
+  EXPECT_EQ(series_of(d), (std::vector<SiteId>{A, A, A, B, B}));
+}
+
+TEST(Interpolate, RespectsMaxDistanceLimit) {
+  // Gap of 8 with limit 3: positions beyond 3 from both ends stay unknown.
+  Dataset d = timeline({A, U, U, U, U, U, U, U, U, B});
+  const auto stats = interpolate_missing(d);
+  EXPECT_EQ(stats.gaps_filled, 6u);
+  EXPECT_EQ(series_of(d),
+            (std::vector<SiteId>{A, A, A, A, U, U, B, B, B, B}));
+}
+
+TEST(Interpolate, CustomLimit) {
+  Dataset d = timeline({A, U, U, U, U, B});
+  InterpolateConfig cfg;
+  cfg.max_distance = 1;
+  interpolate_missing(d, cfg);
+  EXPECT_EQ(series_of(d), (std::vector<SiteId>{A, A, U, U, B, B}));
+}
+
+TEST(Interpolate, EdgesUntouchedByDefault) {
+  Dataset d = timeline({U, U, A, U, U});
+  const auto stats = interpolate_missing(d);
+  EXPECT_EQ(stats.gaps_filled, 0u);
+  EXPECT_EQ(series_of(d), (std::vector<SiteId>{U, U, A, U, U}));
+}
+
+TEST(Interpolate, EdgeFillReplicatesNearestObservation) {
+  // The paper's Verfploeter rule: replicate the most recent success.
+  Dataset d = timeline({U, U, A, U, U});
+  InterpolateConfig cfg;
+  cfg.fill_edges = true;
+  interpolate_missing(d, cfg);
+  EXPECT_EQ(series_of(d), (std::vector<SiteId>{A, A, A, A, A}));
+}
+
+TEST(Interpolate, OutageSlotsBreakRunsAndStayUntouched) {
+  // A U [outage] U B: the gap spans an outage; neither side may fill
+  // across it, and the outage slot itself is never written.
+  Dataset d = timeline({A, U, U, U, B}, {2});
+  interpolate_missing(d);
+  EXPECT_EQ(series_of(d), (std::vector<SiteId>{A, A, U, B, B}));
+  EXPECT_FALSE(d.series[2].valid);
+}
+
+TEST(Interpolate, NoGapsNoChanges) {
+  Dataset d = timeline({A, B, A, B});
+  const auto stats = interpolate_missing(d);
+  EXPECT_EQ(stats.gaps_filled, 0u);
+}
+
+TEST(Interpolate, AllUnknownStaysUnknown) {
+  Dataset d = timeline({U, U, U});
+  const auto stats = interpolate_missing(d);
+  EXPECT_EQ(stats.gaps_filled, 0u);
+}
+
+// Parameterized sweep of the interpolation limit (the paper fixes 3; the
+// ablation bench varies it).
+class InterpolateLimitTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InterpolateLimitTest, FilledCellsRespectTheLimit) {
+  const std::size_t limit = GetParam();
+  Dataset d = timeline({A, U, U, U, U, U, U, U, U, U, U, B});
+  InterpolateConfig cfg;
+  cfg.max_distance = limit;
+  interpolate_missing(d, cfg);
+  const auto s = series_of(d);
+  // Every filled position is within `limit` of a real observation.
+  for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+    if (s[i] == A) {
+      EXPECT_LE(i, limit);
+    }
+    if (s[i] == B) {
+      EXPECT_GE(i + limit + 1, s.size() - 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, InterpolateLimitTest,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u));
+
+TEST(RemoveIncorrect, PredicateDrivenDemotion) {
+  Dataset d = timeline({A, B, A});
+  const auto stats = remove_incorrect(
+      d, [](std::size_t, NetId, SiteId s) { return s == B; });
+  EXPECT_EQ(stats.incorrect_removed, 1u);
+  EXPECT_EQ(series_of(d), (std::vector<SiteId>{A, U, A}));
+}
+
+TEST(RemoveIncorrect, SkipsInvalidVectorsAndUnknowns) {
+  Dataset d = timeline({A, U, A}, {2});
+  std::size_t calls = 0;
+  remove_incorrect(d, [&](std::size_t, NetId, SiteId) {
+    ++calls;
+    return false;
+  });
+  EXPECT_EQ(calls, 1u);  // only the valid known observation
+}
+
+TEST(MicroCatchments, FoldsTinySitesIntoOther) {
+  Dataset d;
+  d.name = "micro";
+  constexpr std::size_t kNets = 1000;
+  for (std::size_t n = 0; n < kNets; ++n) d.networks.intern(n);
+  const SiteId big = d.sites.intern("big");
+  const SiteId tiny = d.sites.intern("tiny");
+  RoutingVector v;
+  v.time = 0;
+  v.assignment.assign(kNets, big);
+  v.assignment[0] = tiny;  // 0.1% of networks -> below 0.5% threshold
+  d.series.push_back(v);
+  d.check_consistent();
+
+  const auto stats = remove_micro_catchments(d, 0.005);
+  EXPECT_EQ(stats.micro_sites_folded, 1u);
+  EXPECT_EQ(stats.micro_assignments_folded, 1u);
+  EXPECT_EQ(d.series[0].assignment[0], kOtherSite);
+  EXPECT_EQ(d.series[0].assignment[1], big);
+}
+
+TEST(MicroCatchments, PeakShareProtectsFormerlyLargeSites) {
+  // A site that once held half the networks is not micro even if it later
+  // drains to zero (drains are events, not noise).
+  Dataset d;
+  constexpr std::size_t kNets = 100;
+  for (std::size_t n = 0; n < kNets; ++n) d.networks.intern(n);
+  const SiteId a = d.sites.intern("A");
+  const SiteId b = d.sites.intern("B");
+  RoutingVector v1;
+  v1.time = 0;
+  v1.assignment.assign(kNets, a);
+  for (std::size_t n = 0; n < 50; ++n) v1.assignment[n] = b;
+  RoutingVector v2;
+  v2.time = kDay;
+  v2.assignment.assign(kNets, a);
+  d.series = {v1, v2};
+  d.check_consistent();
+
+  const auto stats = remove_micro_catchments(d, 0.005);
+  EXPECT_EQ(stats.micro_sites_folded, 0u);
+}
+
+TEST(MicroCatchments, NeverSeenSitesNeedNoFolding) {
+  Dataset d = timeline({A, A});
+  const auto stats = remove_micro_catchments(d, 0.01);
+  // B and C exist in the table but were never observed.
+  EXPECT_EQ(stats.micro_sites_folded, 0u);
+}
+
+// --- property sweeps over randomized series ---
+
+Dataset random_lossy_dataset(std::uint64_t seed, std::size_t obs = 40,
+                             std::size_t nets = 60) {
+  Dataset d;
+  d.name = "prop";
+  for (std::size_t n = 0; n < nets; ++n) d.networks.intern(n);
+  d.sites.intern("A");
+  d.sites.intern("B");
+  d.sites.intern("C");
+  rng::Rng r(seed);
+  TimePoint t = 0;
+  for (std::size_t i = 0; i < obs; ++i) {
+    RoutingVector v;
+    v.time = t;
+    t += kDay;
+    v.valid = !r.bernoulli(0.05);
+    v.assignment.resize(nets);
+    for (auto& s : v.assignment) {
+      s = r.bernoulli(0.4) ? kUnknownSite
+                           : static_cast<SiteId>(kFirstRealSite + r.uniform(3));
+    }
+    d.series.push_back(std::move(v));
+  }
+  d.check_consistent();
+  return d;
+}
+
+TEST(InterpolateProperties, NeverOverwritesKnownValues) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Dataset original = random_lossy_dataset(seed);
+    Dataset filled = original;
+    interpolate_missing(filled);
+    for (std::size_t t = 0; t < original.series.size(); ++t) {
+      for (std::size_t n = 0; n < original.networks.size(); ++n) {
+        const SiteId was = original.series[t].assignment[n];
+        if (was != kUnknownSite) {
+          EXPECT_EQ(filled.series[t].assignment[n], was);
+        }
+      }
+    }
+  }
+}
+
+TEST(InterpolateProperties, RepeatedPassesConvergeAndOnlyGrowCoverage) {
+  // Interpolation is deliberately NOT idempotent: a second pass treats
+  // first-pass fills as observations and extends coverage further (which
+  // is why the pipeline applies it exactly once). The contract that does
+  // hold: passes never un-fill or change a filled cell, and the process
+  // reaches a fixpoint.
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    Dataset d = random_lossy_dataset(seed);
+    std::size_t passes = 0;
+    for (;; ++passes) {
+      ASSERT_LT(passes, 100u);
+      const Dataset before = d;
+      const auto stats = interpolate_missing(d);
+      for (std::size_t t = 0; t < d.series.size(); ++t) {
+        for (std::size_t n = 0; n < d.networks.size(); ++n) {
+          const SiteId was = before.series[t].assignment[n];
+          if (was != kUnknownSite) {
+            EXPECT_EQ(d.series[t].assignment[n], was);
+          }
+        }
+      }
+      if (stats.gaps_filled == 0) break;
+    }
+  }
+}
+
+TEST(InterpolateProperties, FillsOnlyFromRealNeighbours) {
+  // Every filled cell's value must equal some known value of the same
+  // network within max_distance valid observations.
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    const Dataset original = random_lossy_dataset(seed);
+    Dataset filled = original;
+    InterpolateConfig cfg;
+    interpolate_missing(filled, cfg);
+
+    std::vector<std::size_t> valid;
+    for (std::size_t t = 0; t < original.series.size(); ++t) {
+      if (original.series[t].valid) valid.push_back(t);
+    }
+    for (std::size_t vi = 0; vi < valid.size(); ++vi) {
+      const std::size_t t = valid[vi];
+      for (std::size_t n = 0; n < original.networks.size(); ++n) {
+        if (original.series[t].assignment[n] != kUnknownSite) continue;
+        const SiteId now = filled.series[t].assignment[n];
+        if (now == kUnknownSite) continue;
+        bool justified = false;
+        for (std::size_t d = 1; d <= cfg.max_distance && !justified; ++d) {
+          if (vi >= d) {
+            justified |=
+                original.series[valid[vi - d]].assignment[n] == now;
+          }
+          if (vi + d < valid.size()) {
+            justified |=
+                original.series[valid[vi + d]].assignment[n] == now;
+          }
+        }
+        EXPECT_TRUE(justified) << "seed " << seed << " t " << t;
+      }
+    }
+  }
+}
+
+TEST(MicroCatchmentProperties, FoldingConservesAssignmentCount) {
+  for (std::uint64_t seed = 31; seed <= 36; ++seed) {
+    Dataset d = random_lossy_dataset(seed);
+    const std::size_t sites = d.sites.size();
+    std::vector<std::uint64_t> before(sites, 0);
+    for (const auto& v : d.series) {
+      const auto agg = aggregate(v, sites);
+      for (std::size_t s = 0; s < sites; ++s) before[s] += agg[s];
+    }
+    remove_micro_catchments(d, 0.05);
+    std::vector<std::uint64_t> after(sites, 0);
+    for (const auto& v : d.series) {
+      const auto agg = aggregate(v, sites);
+      for (std::size_t s = 0; s < sites; ++s) after[s] += agg[s];
+    }
+    // Unknown mass untouched; total conserved.
+    EXPECT_EQ(before[kUnknownSite], after[kUnknownSite]);
+    std::uint64_t total_before = 0, total_after = 0;
+    for (std::size_t s = 0; s < sites; ++s) {
+      total_before += before[s];
+      total_after += after[s];
+    }
+    EXPECT_EQ(total_before, total_after);
+  }
+}
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,146 @@
+#include "core/compare.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace fenrir::core {
+namespace {
+
+RoutingVector vec(std::vector<SiteId> a) {
+  RoutingVector v;
+  v.assignment = std::move(a);
+  return v;
+}
+
+TEST(Gower, IdenticalFullyKnownVectorsAreOne) {
+  const auto a = vec({3, 4, 5, kErrorSite});
+  EXPECT_DOUBLE_EQ(gower_similarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(gower_distance(a, a), 0.0);
+}
+
+TEST(Gower, CompletelyDifferentIsZero) {
+  const auto a = vec({3, 3, 3});
+  const auto b = vec({4, 4, 4});
+  EXPECT_DOUBLE_EQ(gower_similarity(a, b), 0.0);
+}
+
+TEST(Gower, FractionOfMatchingNetworks) {
+  const auto a = vec({3, 4, 5, 6});
+  const auto b = vec({3, 4, 9, 9});
+  EXPECT_DOUBLE_EQ(gower_similarity(a, b), 0.5);
+}
+
+TEST(Gower, ErrStateMatchesItself) {
+  // err is a real state (paper's transition matrices track it); only
+  // unknown is excluded from matching.
+  const auto a = vec({kErrorSite, kOtherSite});
+  EXPECT_DOUBLE_EQ(gower_similarity(a, a), 1.0);
+}
+
+TEST(Gower, PessimisticCountsUnknownAsMismatch) {
+  // The paper's Verfploeter ceiling: identical vectors with half the
+  // networks unknown only reach 0.5.
+  const auto a = vec({3, 4, kUnknownSite, kUnknownSite});
+  EXPECT_DOUBLE_EQ(gower_similarity(a, a, UnknownPolicy::kPessimistic), 0.5);
+}
+
+TEST(Gower, KnownOnlyIgnoresUnknowns) {
+  const auto a = vec({3, 4, kUnknownSite, 5});
+  const auto b = vec({3, 9, 5, kUnknownSite});
+  // Considered: indices 0 and 1; index 0 matches.
+  EXPECT_DOUBLE_EQ(gower_similarity(a, b, UnknownPolicy::kKnownOnly), 0.5);
+  // Self-similarity of a partially-unknown vector is 1 under known-only.
+  EXPECT_DOUBLE_EQ(gower_similarity(a, a, UnknownPolicy::kKnownOnly), 1.0);
+}
+
+TEST(Gower, KnownOnlyAllUnknownIsZeroByConvention) {
+  const auto a = vec({kUnknownSite, kUnknownSite});
+  EXPECT_DOUBLE_EQ(gower_similarity(a, a, UnknownPolicy::kKnownOnly), 0.0);
+}
+
+TEST(Gower, EmptyVectorsAreZero) {
+  const auto a = vec({});
+  EXPECT_DOUBLE_EQ(gower_similarity(a, a), 0.0);
+}
+
+TEST(Gower, SizeMismatchThrows) {
+  const auto a = vec({3});
+  const auto b = vec({3, 4});
+  EXPECT_THROW(gower_similarity(a, b), std::invalid_argument);
+}
+
+TEST(GowerWeighted, WeightsShiftTheFraction) {
+  const auto a = vec({3, 4});
+  const auto b = vec({3, 9});
+  const std::vector<double> w{3.0, 1.0};
+  EXPECT_DOUBLE_EQ(gower_similarity(a, b, w), 0.75);
+}
+
+TEST(GowerWeighted, MatchesUnweightedForUniformWeights) {
+  rng::Rng r(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<SiteId> xa(50), xb(50);
+    for (int i = 0; i < 50; ++i) {
+      xa[i] = static_cast<SiteId>(r.uniform(6));
+      xb[i] = static_cast<SiteId>(r.uniform(6));
+    }
+    const auto a = vec(xa);
+    const auto b = vec(xb);
+    const std::vector<double> w(50, 2.5);
+    for (const auto policy :
+         {UnknownPolicy::kPessimistic, UnknownPolicy::kKnownOnly}) {
+      EXPECT_NEAR(gower_similarity(a, b, w, policy),
+                  gower_similarity(a, b, policy), 1e-12);
+    }
+  }
+}
+
+TEST(GowerWeighted, WeightSizeMismatchThrows) {
+  const auto a = vec({3});
+  const std::vector<double> w{1.0, 2.0};
+  EXPECT_THROW(gower_similarity(a, a, w), std::invalid_argument);
+}
+
+// Property sweep over both unknown policies.
+class GowerPropertyTest : public ::testing::TestWithParam<UnknownPolicy> {};
+
+TEST_P(GowerPropertyTest, SymmetricAndBounded) {
+  rng::Rng r(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<SiteId> xa(40), xb(40);
+    for (int i = 0; i < 40; ++i) {
+      xa[i] = static_cast<SiteId>(r.uniform(5));  // includes unknown=0
+      xb[i] = static_cast<SiteId>(r.uniform(5));
+    }
+    const auto a = vec(xa);
+    const auto b = vec(xb);
+    const double ab = gower_similarity(a, b, GetParam());
+    const double ba = gower_similarity(b, a, GetParam());
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+  }
+}
+
+TEST_P(GowerPropertyTest, SelfSimilarityIsMaximal) {
+  rng::Rng r(43);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<SiteId> xa(40), xb(40);
+    for (int i = 0; i < 40; ++i) {
+      xa[i] = static_cast<SiteId>(r.uniform(5));
+      xb[i] = static_cast<SiteId>(r.uniform(5));
+    }
+    const auto a = vec(xa);
+    const auto b = vec(xb);
+    EXPECT_GE(gower_similarity(a, a, GetParam()) + 1e-12,
+              gower_similarity(a, b, GetParam()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, GowerPropertyTest,
+                         ::testing::Values(UnknownPolicy::kPessimistic,
+                                           UnknownPolicy::kKnownOnly));
+
+}  // namespace
+}  // namespace fenrir::core

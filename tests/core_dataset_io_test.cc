@@ -1,0 +1,125 @@
+#include "core/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fenrir::core {
+namespace {
+
+Dataset sample(bool with_weights = false, bool with_outage = true) {
+  Dataset d;
+  d.name = "io-test, with a comma";
+  d.networks.intern(65536);
+  d.networks.intern(65537);
+  d.networks.intern((std::uint64_t{0xc0000200} << 8) | 24);
+  const SiteId a = d.sites.intern("LAX");
+  const SiteId b = d.sites.intern("AMS");
+  TimePoint t = from_date(2024, 3, 4) + 21 * kHour + 56 * kMinute;
+  for (int i = 0; i < 4; ++i) {
+    RoutingVector v;
+    v.time = t;
+    t += 4 * kMinute;
+    v.assignment = {a, (i % 2) ? b : kUnknownSite,
+                    (i == 2) ? kErrorSite : b};
+    d.series.push_back(std::move(v));
+  }
+  if (with_outage) d.series[2].valid = false;
+  if (with_weights) d.weights = {1.0, 256.0, 2.5};
+  d.check_consistent();
+  return d;
+}
+
+Dataset round_trip(const Dataset& d) {
+  std::ostringstream out;
+  save_dataset(d, out);
+  std::istringstream in(out.str());
+  return load_dataset(in);
+}
+
+TEST(DatasetIo, RoundTripPreservesEverything) {
+  const Dataset d = sample(true);
+  const Dataset r = round_trip(d);
+  EXPECT_EQ(r.name, d.name);
+  ASSERT_EQ(r.series.size(), d.series.size());
+  ASSERT_EQ(r.networks.size(), d.networks.size());
+  for (NetId n = 0; n < d.networks.size(); ++n) {
+    EXPECT_EQ(r.networks.key(n), d.networks.key(n));
+  }
+  for (std::size_t i = 0; i < d.series.size(); ++i) {
+    EXPECT_EQ(r.series[i].time, d.series[i].time);
+    EXPECT_EQ(r.series[i].valid, d.series[i].valid);
+    for (NetId n = 0; n < d.networks.size(); ++n) {
+      EXPECT_EQ(r.sites.name(r.series[i].assignment[n]),
+                d.sites.name(d.series[i].assignment[n]));
+    }
+  }
+  ASSERT_EQ(r.weights.size(), 3u);
+  EXPECT_NEAR(r.weights[1], 256.0, 1e-6);
+}
+
+TEST(DatasetIo, RoundTripWithoutWeights) {
+  const Dataset r = round_trip(sample(false));
+  EXPECT_TRUE(r.weights.empty());
+}
+
+TEST(DatasetIo, ReservedSiteNamesMapBack) {
+  const Dataset r = round_trip(sample());
+  // Observation 1 had an unknown; observation 2 had err.
+  EXPECT_EQ(r.series[0].assignment[1], kUnknownSite);
+  EXPECT_EQ(r.series[2].assignment[2], kErrorSite);
+}
+
+TEST(DatasetIo, RejectsMalformedInput) {
+  const auto expect_throw = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(load_dataset(in), DatasetIoError) << text;
+  };
+  expect_throw("");
+  expect_throw("not,a,dataset\n");
+  expect_throw("#fenrir-dataset,v99\nname,x\ntime,valid\n");
+  // Missing header.
+  expect_throw("#fenrir-dataset,v1\nname,x\n");
+  // Ragged data row.
+  expect_throw(
+      "#fenrir-dataset,v1\nname,x\ntime,valid,65536\n"
+      "2024-01-01 00:00,1,LAX,EXTRA\n");
+  // Bad time.
+  expect_throw(
+      "#fenrir-dataset,v1\nname,x\ntime,valid,65536\nyesterday,1,LAX\n");
+  // Bad valid flag.
+  expect_throw(
+      "#fenrir-dataset,v1\nname,x\ntime,valid,65536\n"
+      "2024-01-01 00:00,yes,LAX\n");
+  // Bad network key.
+  expect_throw("#fenrir-dataset,v1\nname,x\ntime,valid,net-one\n");
+  // Unordered series.
+  expect_throw(
+      "#fenrir-dataset,v1\nname,x\ntime,valid,65536\n"
+      "2024-01-02 00:00,1,LAX\n2024-01-01 00:00,1,LAX\n");
+}
+
+TEST(DatasetIo, SaveRejectsInconsistentDataset) {
+  Dataset d = sample();
+  d.series[0].assignment.pop_back();
+  std::ostringstream out;
+  EXPECT_THROW(save_dataset(d, out), DatasetIoError);
+}
+
+TEST(DatasetIo, FileHelpersReportErrors) {
+  EXPECT_THROW(load_dataset_file("/nonexistent/path.csv"), DatasetIoError);
+  EXPECT_THROW(save_dataset_file(sample(), "/nonexistent/dir/out.csv"),
+               DatasetIoError);
+}
+
+TEST(DatasetIo, EmptySeriesRoundTrips) {
+  Dataset d;
+  d.name = "empty";
+  d.networks.intern(1);
+  const Dataset r = round_trip(d);
+  EXPECT_TRUE(r.series.empty());
+  EXPECT_EQ(r.networks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fenrir::core

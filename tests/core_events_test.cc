@@ -1,0 +1,126 @@
+#include "core/events.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace fenrir::core {
+namespace {
+
+// Dataset with stable routing, small noise, and a planted shift at a
+// given index.
+Dataset noisy_with_shift(std::size_t length, std::size_t shift_at,
+                         double shift_fraction, double noise = 0.005) {
+  Dataset d;
+  d.name = "events";
+  constexpr std::size_t kNets = 500;
+  for (std::size_t n = 0; n < kNets; ++n) d.networks.intern(n);
+  const SiteId a = d.sites.intern("A");
+  const SiteId b = d.sites.intern("B");
+  rng::Rng r(7);
+  TimePoint t = from_date(2023, 3, 1);
+  for (std::size_t i = 0; i < length; ++i) {
+    RoutingVector v;
+    v.time = t;
+    t += 4 * kMinute;
+    const std::size_t moved =
+        i >= shift_at ? static_cast<std::size_t>(kNets * shift_fraction) : 0;
+    v.assignment.assign(kNets, a);
+    for (std::size_t n = 0; n < moved; ++n) v.assignment[n] = b;
+    // iid noise.
+    for (std::size_t n = 0; n < kNets; ++n) {
+      if (r.bernoulli(noise)) v.assignment[n] = kUnknownSite;
+    }
+    d.series.push_back(std::move(v));
+  }
+  d.check_consistent();
+  return d;
+}
+
+TEST(ConsecutivePhi, FirstSlotAndOutagesAreSentinel) {
+  Dataset d = noisy_with_shift(5, 99, 0.0);
+  d.series[2].valid = false;
+  const auto phi = consecutive_phi(d);
+  EXPECT_LT(phi[0], 0.0);
+  EXPECT_GT(phi[1], 0.9);
+  EXPECT_LT(phi[2], 0.0);  // pair spans the outage
+  EXPECT_LT(phi[3], 0.0);
+  EXPECT_GT(phi[4], 0.9);
+}
+
+TEST(Detector, QuietSeriesHasNoEvents) {
+  const Dataset d = noisy_with_shift(100, 1000, 0.0);
+  const auto events = detect_changes(d);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Detector, PlantedShiftIsDetectedOnce) {
+  const Dataset d = noisy_with_shift(100, 50, 0.10);
+  const auto events = detect_changes(d);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].index, 50u);
+  EXPECT_GT(events[0].drop, 0.05);
+  EXPECT_EQ(events[0].time, d.series[50].time);
+}
+
+TEST(Detector, EventExcludedFromBaselineSoRecoveryIsAlsoSeen) {
+  // Shift at 40 and revert at 60: two events, the second not masked by
+  // the first having polluted the baseline.
+  Dataset d = noisy_with_shift(100, 40, 0.10);
+  const SiteId a = *d.sites.find("A");
+  for (std::size_t i = 60; i < 100; ++i) {
+    for (std::size_t n = 0; n < 50; ++n) d.series[i].assignment[n] = a;
+  }
+  const auto events = detect_changes(d);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].index, 40u);
+  EXPECT_EQ(events[1].index, 60u);
+}
+
+TEST(Detector, SmallDriftBelowMinDropIgnored) {
+  const Dataset d = noisy_with_shift(100, 50, 0.005);
+  const auto events = detect_changes(d);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(Detector, NoFlagsBeforeMinHistory) {
+  // A shift at index 2 cannot be flagged: not enough baseline.
+  const Dataset d = noisy_with_shift(30, 2, 0.2);
+  const auto events = detect_changes(d);
+  for (const auto& e : events) EXPECT_GE(e.index, 7u);
+}
+
+TEST(Detector, FromPhiSizeMismatchThrows) {
+  const std::vector<double> phi{0.9, 0.9};
+  const std::vector<TimePoint> times{0};
+  EXPECT_THROW(detect_changes_from_phi(phi, times), std::invalid_argument);
+}
+
+TEST(Detector, SentinelSlotsSkipped) {
+  std::vector<double> phi(50, 0.95);
+  phi[0] = -1.0;
+  phi[20] = -1.0;
+  phi[30] = 0.5;  // planted event
+  std::vector<TimePoint> times(50);
+  for (std::size_t i = 0; i < 50; ++i) times[i] = static_cast<TimePoint>(i);
+  const auto events = detect_changes_from_phi(phi, times);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].index, 30u);
+}
+
+class DetectorShiftSize
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectorShiftSize, ShiftsAboveThresholdDetected) {
+  const double frac = GetParam();
+  const Dataset d = noisy_with_shift(80, 40, frac);
+  const auto events = detect_changes(d);
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_EQ(events[0].index, 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DetectorShiftSize,
+                         ::testing::Values(0.05, 0.1, 0.3, 0.8));
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,88 @@
+#include "core/latency.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::core {
+namespace {
+
+RoutingVector vec(std::vector<SiteId> a) {
+  RoutingVector v;
+  v.assignment = std::move(a);
+  return v;
+}
+
+TEST(CatchmentLatency, PerSitePercentiles) {
+  const SiteId s1 = 3, s2 = 4;
+  const auto v = vec({s1, s1, s1, s2, s2});
+  const std::vector<double> rtt{10, 20, 30, 100, 200};
+  const auto lat = catchment_latency(v, rtt, {}, 5);
+  EXPECT_EQ(lat.sites[s1].samples, 3u);
+  EXPECT_DOUBLE_EQ(lat.sites[s1].p50, 20.0);
+  EXPECT_DOUBLE_EQ(lat.sites[s1].mean, 20.0);
+  EXPECT_EQ(lat.sites[s2].samples, 2u);
+  EXPECT_DOUBLE_EQ(lat.sites[s2].p90, 190.0);
+  EXPECT_EQ(lat.total_samples, 5u);
+  EXPECT_DOUBLE_EQ(lat.weighted_mean, 72.0);
+}
+
+TEST(CatchmentLatency, MissingMeasurementsSkipped) {
+  const auto v = vec({3, 3, 3});
+  const std::vector<double> rtt{10, -1, std::nan("")};
+  const auto lat = catchment_latency(v, rtt, {}, 5);
+  EXPECT_EQ(lat.sites[3].samples, 1u);
+  EXPECT_DOUBLE_EQ(lat.weighted_mean, 10.0);
+}
+
+TEST(CatchmentLatency, UnknownCatchmentsSkipped) {
+  const auto v = vec({kUnknownSite, 3});
+  const std::vector<double> rtt{10, 20};
+  const auto lat = catchment_latency(v, rtt, {}, 5);
+  EXPECT_EQ(lat.total_samples, 1u);
+  EXPECT_EQ(lat.sites[kUnknownSite].samples, 0u);
+}
+
+TEST(CatchmentLatency, WeightsShiftTheMean) {
+  const auto v = vec({3, 4});
+  const std::vector<double> rtt{10, 100};
+  const std::vector<double> w{9, 1};
+  const auto lat = catchment_latency(v, rtt, w, 5);
+  EXPECT_DOUBLE_EQ(lat.weighted_mean, 19.0);
+}
+
+TEST(CatchmentLatency, EmptyVector) {
+  const auto v = vec({});
+  const auto lat = catchment_latency(v, {}, {}, 5);
+  EXPECT_EQ(lat.total_samples, 0u);
+  EXPECT_DOUBLE_EQ(lat.weighted_mean, 0.0);
+}
+
+TEST(CatchmentLatency, SizeMismatchThrows) {
+  const auto v = vec({3});
+  const std::vector<double> rtt{1, 2};
+  EXPECT_THROW(catchment_latency(v, rtt, {}, 5), std::invalid_argument);
+  const std::vector<double> rtt1{1};
+  const std::vector<double> w{1, 2};
+  EXPECT_THROW(catchment_latency(v, rtt1, w, 5), std::invalid_argument);
+}
+
+TEST(SiteP90, ComputesForOneSite) {
+  const auto v = vec({3, 3, 4});
+  const std::vector<double> rtt{10, 30, 99};
+  const auto p = site_p90(v, rtt, 3);
+  ASSERT_TRUE(p);
+  EXPECT_NEAR(*p, 28.0, 0.01);
+  EXPECT_EQ(site_p90(v, rtt, 5), std::nullopt);  // no samples
+}
+
+// --- sanity link to the paper's ARI narrative: a far site has high p90
+// until it disappears from the assignment. ---
+TEST(SiteP90, DrainedSiteHasNoSamples) {
+  auto v = vec({3, 3});
+  const std::vector<double> rtt{250, 260};
+  EXPECT_GT(*site_p90(v, rtt, 3), 200.0);
+  v.assignment = {4, 4};  // ARI shut down; everyone moved
+  EXPECT_EQ(site_p90(v, rtt, 3), std::nullopt);
+}
+
+}  // namespace
+}  // namespace fenrir::core

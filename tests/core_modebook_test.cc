@@ -1,0 +1,148 @@
+#include "core/modebook.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace fenrir::core {
+namespace {
+
+RoutingVector vec(SiteId dominant, std::size_t n, std::size_t flips,
+                  SiteId other, std::uint64_t salt = 0) {
+  RoutingVector v;
+  v.assignment.assign(n, dominant);
+  rng::Rng r(salt + 100);
+  for (std::size_t i = 0; i < flips; ++i) {
+    v.assignment[r.uniform(n)] = other;
+  }
+  return v;
+}
+
+constexpr SiteId A = kFirstRealSite, B = kFirstRealSite + 1;
+constexpr std::size_t N = 200;
+
+TEST(ModeBook, FirstObservationFoundsModeZero) {
+  ModeBook book;
+  const auto m = book.observe(vec(A, N, 0, B));
+  EXPECT_EQ(m.mode, 0u);
+  EXPECT_TRUE(m.is_new);
+  EXPECT_FALSE(m.is_recurrence);
+  EXPECT_EQ(book.mode_count(), 1u);
+}
+
+TEST(ModeBook, SimilarVectorsJoinTheSameMode) {
+  ModeBook book;
+  book.observe(vec(A, N, 2, B, 1));
+  for (int i = 2; i < 8; ++i) {
+    const auto m = book.observe(vec(A, N, 2, B, i));
+    EXPECT_EQ(m.mode, 0u);
+    EXPECT_FALSE(m.is_new);
+    EXPECT_GT(m.phi, 0.9);
+  }
+  EXPECT_EQ(book.mode_count(), 1u);
+}
+
+TEST(ModeBook, DissimilarVectorFoundsANewMode) {
+  ModeBook book;
+  book.observe(vec(A, N, 0, B));
+  const auto m = book.observe(vec(B, N, 0, A));
+  EXPECT_EQ(m.mode, 1u);
+  EXPECT_TRUE(m.is_new);
+  EXPECT_EQ(book.mode_count(), 2u);
+}
+
+TEST(ModeBook, RecurringModeIsRediscovered) {
+  // The paper's headline behaviour, online: normal -> drain -> normal ->
+  // drain again. The second drain must come back as mode 1, flagged as a
+  // recurrence, not as a new mode.
+  ModeBook book;
+  EXPECT_EQ(book.observe(vec(A, N, 0, B)).mode, 0u);   // normal
+  EXPECT_EQ(book.observe(vec(B, N, 0, A)).mode, 1u);   // drain state
+  const auto back = book.observe(vec(A, N, 0, B));
+  EXPECT_EQ(back.mode, 0u);
+  EXPECT_TRUE(back.is_recurrence);
+  const auto drain_again = book.observe(vec(B, N, 3, A, 9));
+  EXPECT_EQ(drain_again.mode, 1u);
+  EXPECT_TRUE(drain_again.is_recurrence);
+  EXPECT_FALSE(drain_again.is_new);
+  EXPECT_EQ(book.mode_count(), 2u);
+  EXPECT_EQ(book.history(),
+            (std::vector<std::size_t>{0, 1, 0, 1}));
+}
+
+TEST(ModeBook, ThresholdControlsGranularity) {
+  ModeBook::Config strict;
+  strict.match_threshold = 0.99;
+  ModeBook picky(strict);
+  picky.observe(vec(A, N, 0, B));
+  // 4 flips = phi 0.98 < 0.99: a new mode for the picky book.
+  EXPECT_TRUE(picky.observe(vec(A, N, 4, B, 5)).is_new);
+
+  ModeBook::Config loose;
+  loose.match_threshold = 0.5;
+  ModeBook tolerant(loose);
+  tolerant.observe(vec(A, N, 0, B));
+  EXPECT_FALSE(tolerant.observe(vec(A, N, 4, B, 5)).is_new);
+}
+
+TEST(ModeBook, InvalidObservationsAreIgnored) {
+  ModeBook book;
+  book.observe(vec(A, N, 0, B));
+  RoutingVector outage;
+  outage.valid = false;
+  outage.assignment.assign(N, kUnknownSite);
+  const auto m = book.observe(outage);
+  EXPECT_EQ(m.mode, 0u);  // reports the standing mode
+  EXPECT_FALSE(m.is_new);
+  EXPECT_EQ(book.history().size(), 1u);  // not recorded
+}
+
+TEST(ModeBook, AdaptiveRepresentativeFollowsSlowDrift) {
+  // 1% drift per step: after 30 steps the state is ~26% away from the
+  // start. A frozen book eventually declares a new mode; an adaptive one
+  // follows the drift and never does.
+  ModeBook::Config adapt;
+  adapt.adapt_representative = true;
+  adapt.match_threshold = 0.9;
+  ModeBook follower(adapt);
+  ModeBook::Config frozen;
+  frozen.adapt_representative = false;
+  frozen.match_threshold = 0.9;
+  ModeBook strict(frozen);
+
+  RoutingVector v;
+  v.assignment.assign(N, A);
+  for (std::size_t step = 0; step < 30; ++step) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      v.assignment[(step * 2 + k) % N] = B;
+    }
+    follower.observe(v);
+    strict.observe(v);
+  }
+  EXPECT_EQ(follower.mode_count(), 1u);
+  EXPECT_GT(strict.mode_count(), 1u);
+}
+
+TEST(ModeBook, KnownOnlyPolicyIgnoresCoverageGaps) {
+  // 40% of networks unknown each time (mostly different 40%): known-only
+  // matching judges the overlap and keeps one mode; pessimistic splits.
+  ModeBook book;  // default kKnownOnly
+  RoutingVector a;
+  a.assignment.assign(N, A);
+  for (std::size_t i = 0; i < 2 * N / 5; ++i) a.assignment[i] = kUnknownSite;
+  RoutingVector b;
+  b.assignment.assign(N, A);
+  for (std::size_t i = 3 * N / 5; i < N; ++i) b.assignment[i] = kUnknownSite;
+  book.observe(a);
+  const auto m = book.observe(b);
+  EXPECT_FALSE(m.is_new);
+
+  ModeBook::Config pess;
+  pess.policy = UnknownPolicy::kPessimistic;
+  ModeBook pbook(pess);
+  pbook.observe(a);
+  EXPECT_TRUE(pbook.observe(b).is_new);
+}
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,148 @@
+#include "core/modes.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::core {
+namespace {
+
+TEST(RomanNumeral, KnownValues) {
+  EXPECT_EQ(roman_numeral(1), "i");
+  EXPECT_EQ(roman_numeral(2), "ii");
+  EXPECT_EQ(roman_numeral(4), "iv");
+  EXPECT_EQ(roman_numeral(5), "v");
+  EXPECT_EQ(roman_numeral(6), "vi");
+  EXPECT_EQ(roman_numeral(9), "ix");
+  EXPECT_EQ(roman_numeral(14), "xiv");
+  EXPECT_EQ(roman_numeral(42), "xlii");
+  EXPECT_EQ(roman_numeral(1987), "mcmlxxxvii");
+}
+
+// Builds a dataset whose timeline is A A A B B B A' A' (A' similar to A):
+// three modes where the third recurs like the first.
+Dataset recurring_dataset() {
+  Dataset d;
+  d.name = "recurring";
+  constexpr std::size_t kNets = 100;
+  for (std::size_t n = 0; n < kNets; ++n) d.networks.intern(n);
+  const SiteId a = d.sites.intern("A");
+  const SiteId b = d.sites.intern("B");
+
+  TimePoint t = 0;
+  const auto emit = [&](SiteId dominant, std::size_t flips) {
+    RoutingVector v;
+    v.time = t;
+    t += kDay;
+    v.assignment.assign(kNets, dominant);
+    for (std::size_t i = 0; i < flips; ++i) {
+      v.assignment[i] = (dominant == a) ? b : a;
+    }
+    d.series.push_back(std::move(v));
+  };
+  for (int i = 0; i < 3; ++i) emit(a, 2);
+  for (int i = 0; i < 3; ++i) emit(b, 2);
+  for (int i = 0; i < 3; ++i) emit(a, 10);  // A': mostly like A
+  d.check_consistent();
+  return d;
+}
+
+TEST(ModeSet, OrdersAndLabelsByFirstAppearance) {
+  const Dataset d = recurring_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  const Clustering c = cluster_hac(m, Linkage::kSingle, 0.05);
+  const ModeSet modes = ModeSet::build(d, c);
+  ASSERT_EQ(modes.size(), 3u);
+  EXPECT_EQ(modes.mode(0).label, "i");
+  EXPECT_EQ(modes.mode(1).label, "ii");
+  EXPECT_EQ(modes.mode(2).label, "iii");
+  EXPECT_EQ(modes.mode(0).members, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(modes.mode(0).start, 0);
+  EXPECT_EQ(modes.mode(0).end, 2 * kDay);
+}
+
+TEST(ModeSet, SmallClustersAreNotModes) {
+  const Dataset d = recurring_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  const Clustering c = cluster_hac(m, Linkage::kSingle, 0.05);
+  const ModeSet modes = ModeSet::build(d, c, /*min_size=*/4);
+  EXPECT_EQ(modes.size(), 0u);
+}
+
+TEST(ModeSet, ModeOfLocatesMembership) {
+  const Dataset d = recurring_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  const Clustering c = cluster_hac(m, Linkage::kSingle, 0.05);
+  const ModeSet modes = ModeSet::build(d, c);
+  EXPECT_EQ(modes.mode_of(0), 0u);
+  EXPECT_EQ(modes.mode_of(4), 1u);
+  EXPECT_EQ(modes.mode_of(8), 2u);
+}
+
+TEST(ModeSet, IntraAndInterRanges) {
+  const Dataset d = recurring_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  const Clustering c = cluster_hac(m, Linkage::kSingle, 0.05);
+  const ModeSet modes = ModeSet::build(d, c);
+  EXPECT_GT(modes.intra(m, 0).min, 0.9);
+  // Mode (ii) is the flipped regime: nearly nothing matches (i).
+  EXPECT_LT(modes.inter(m, 0, 1).max, 0.2);
+  // Mode (iii) recurs like (i): high similarity.
+  EXPECT_GT(modes.inter(m, 0, 2).min, 0.8);
+}
+
+TEST(ModeSet, RecurrenceFindsTheEarlierLookalike) {
+  // The paper's marquee observation: mode (v) resembling mode (i).
+  const Dataset d = recurring_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  const Clustering c = cluster_hac(m, Linkage::kSingle, 0.05);
+  const ModeSet modes = ModeSet::build(d, c);
+  EXPECT_EQ(modes.recurrence(m, 0), std::nullopt);  // nothing earlier
+  EXPECT_EQ(modes.recurrence(m, 1), std::nullopt);  // only adjacent earlier
+  const auto r = modes.recurrence(m, 2);
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->earlier_mode, 0u);
+  EXPECT_GT(r->median_phi, 0.8);
+}
+
+TEST(ModeSet, TransitionCountsFormTheModeGraph) {
+  // Timeline A A A | B B B | A' A' A' with threshold separating A/B but
+  // joining A and A' would give a cycle; at 0.05 they are three modes in
+  // a chain: (i)->(ii)->(iii).
+  const Dataset d = recurring_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  const Clustering c = cluster_hac(m, Linkage::kSingle, 0.05);
+  const ModeSet modes = ModeSet::build(d, c);
+  ASSERT_EQ(modes.size(), 3u);
+  const auto t = modes.transition_counts(d.series.size());
+  EXPECT_EQ(t[0][1], 1u);
+  EXPECT_EQ(t[1][2], 1u);
+  EXPECT_EQ(t[0][2], 0u);
+  EXPECT_EQ(t[1][0], 0u);
+  EXPECT_EQ(t[0][0], 0u);  // self-transitions are not counted
+}
+
+TEST(ModeSet, TransitionCountsCountOscillation) {
+  // A B A B: the (i)<->(ii) cycle shows multiplicities.
+  Dataset d;
+  constexpr std::size_t kNets = 50;
+  for (std::size_t n = 0; n < kNets; ++n) d.networks.intern(n);
+  const SiteId a = d.sites.intern("A");
+  const SiteId b = d.sites.intern("B");
+  TimePoint t = 0;
+  for (const SiteId dominant : {a, a, b, a, b, b, a}) {
+    RoutingVector v;
+    v.time = t;
+    t += kDay;
+    v.assignment.assign(kNets, dominant);
+    d.series.push_back(std::move(v));
+  }
+  const auto m = SimilarityMatrix::compute(d);
+  const Clustering c = cluster_hac(m, Linkage::kSingle, 0.05);
+  const ModeSet modes = ModeSet::build(d, c);
+  ASSERT_EQ(modes.size(), 2u);
+  const auto counts = modes.transition_counts(d.series.size());
+  EXPECT_EQ(counts[0][1], 2u);  // A->B at indices 2 and 4
+  EXPECT_EQ(counts[1][0], 2u);  // B->A at indices 3 and 6
+}
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,100 @@
+#include "core/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/distance_matrix.h"
+#include "rng/rng.h"
+
+namespace fenrir::core {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (const unsigned threads : {0u, 1u, 2u, 7u}) {
+    std::vector<std::atomic<int>> hits(1000);
+    parallel_for(hits.size(),
+                 [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+  std::atomic<int> calls{0};
+  parallel_for(1, [&](std::size_t) { calls.fetch_add(1); }, 8);
+  EXPECT_EQ(calls.load(), 1);
+  parallel_for(3, [&](std::size_t) { calls.fetch_add(1); }, 64);
+  EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ParallelFor, DisjointWritesAreComplete) {
+  std::vector<std::size_t> out(5000, 0);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+Dataset random_dataset(std::size_t obs, std::size_t nets,
+                       std::uint64_t seed) {
+  Dataset d;
+  d.name = "par";
+  for (std::size_t n = 0; n < nets; ++n) d.networks.intern(n);
+  for (int s = 0; s < 5; ++s) d.sites.intern("s" + std::to_string(s));
+  rng::Rng r(seed);
+  TimePoint t = 0;
+  for (std::size_t i = 0; i < obs; ++i) {
+    RoutingVector v;
+    v.time = t;
+    t += kDay;
+    v.valid = !r.bernoulli(0.1);
+    v.assignment.resize(nets);
+    for (auto& s : v.assignment) {
+      s = static_cast<SiteId>(r.uniform(8));  // includes reserved ids
+    }
+    d.series.push_back(std::move(v));
+  }
+  return d;
+}
+
+TEST(ParallelMatrix, BitIdenticalToSerialForAnyThreadCount) {
+  const Dataset d = random_dataset(60, 500, 77);
+  const auto serial = SimilarityMatrix::compute(
+      d, UnknownPolicy::kPessimistic, /*threads=*/1);
+  for (const unsigned threads : {0u, 2u, 3u, 16u}) {
+    const auto parallel =
+        SimilarityMatrix::compute(d, UnknownPolicy::kPessimistic, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        EXPECT_EQ(parallel.phi(i, j), serial.phi(i, j))
+            << i << "," << j << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelMatrix, WeightedPathToo) {
+  Dataset d = random_dataset(40, 300, 78);
+  d.weights.assign(300, 1.0);
+  rng::Rng r(5);
+  for (auto& w : d.weights) w = 0.5 + r.uniform01();
+  const auto serial =
+      SimilarityMatrix::compute(d, UnknownPolicy::kKnownOnly, 1);
+  const auto parallel =
+      SimilarityMatrix::compute(d, UnknownPolicy::kKnownOnly, 0);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(parallel.phi(i, j), serial.phi(i, j));
+    }
+  }
+}
+
+TEST(ParallelMatrix, WeightSizeMismatchThrowsBeforeWork) {
+  Dataset d = random_dataset(4, 10, 79);
+  d.weights = {1.0, 2.0};  // wrong size
+  EXPECT_THROW(SimilarityMatrix::compute(d), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,151 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fenrir::core {
+namespace {
+
+// Three stable regimes with a transition observation between them.
+Dataset three_mode_dataset() {
+  Dataset d;
+  d.name = "pipeline";
+  constexpr std::size_t kNets = 200;
+  for (std::size_t n = 0; n < kNets; ++n) d.networks.intern(n);
+  const SiteId a = d.sites.intern("A");
+  const SiteId b = d.sites.intern("B");
+  const SiteId c = d.sites.intern("C");
+  TimePoint t = from_date(2020, 1, 1);
+  const auto emit = [&](SiteId dominant, int count) {
+    for (int i = 0; i < count; ++i) {
+      RoutingVector v;
+      v.time = t;
+      t += kDay;
+      v.assignment.assign(kNets, dominant);
+      d.series.push_back(std::move(v));
+    }
+  };
+  emit(a, 10);
+  emit(b, 10);
+  emit(c, 10);
+  d.check_consistent();
+  return d;
+}
+
+TEST(Analyze, FindsModesAndEvents) {
+  const Dataset d = three_mode_dataset();
+  const AnalysisResult r = analyze(d);
+  EXPECT_EQ(r.modes.size(), 3u);
+  EXPECT_EQ(r.matrix.size(), 30u);
+  // Two regime boundaries -> two detected changes.
+  ASSERT_EQ(r.events.size(), 2u);
+  EXPECT_EQ(r.events[0].index, 10u);
+  EXPECT_EQ(r.events[1].index, 20u);
+}
+
+TEST(Analyze, ConfigurableLinkageAndPolicy) {
+  const Dataset d = three_mode_dataset();
+  AnalysisConfig cfg;
+  cfg.linkage = Linkage::kComplete;
+  cfg.policy = UnknownPolicy::kKnownOnly;
+  const AnalysisResult r = analyze(d, cfg);
+  EXPECT_EQ(r.modes.size(), 3u);
+}
+
+TEST(Analyze, InconsistentDatasetThrows) {
+  Dataset d = three_mode_dataset();
+  d.series[0].assignment.pop_back();
+  EXPECT_THROW(analyze(d), std::invalid_argument);
+}
+
+TEST(Report, MentionsModesRangesAndEvents) {
+  const Dataset d = three_mode_dataset();
+  const AnalysisResult r = analyze(d);
+  std::ostringstream out;
+  print_report(d, r, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("pipeline"), std::string::npos);
+  EXPECT_NE(s.find("(i)"), std::string::npos);
+  EXPECT_NE(s.find("(iii)"), std::string::npos);
+  EXPECT_NE(s.find("phi(M"), std::string::npos);
+  EXPECT_NE(s.find("detected changes: 2"), std::string::npos);
+}
+
+TEST(Analyze, WeightsFlowThroughTheWholePipeline) {
+  // Give all the weight to the networks that never change: the "event"
+  // becomes weightless, Φ stays 1 across the regime switch, and the
+  // pipeline reports one mode and no events — whereas uniform weights
+  // see two modes and the event. Weighting changes conclusions, end to
+  // end.
+  Dataset d;
+  d.name = "weighted";
+  constexpr std::size_t kNets = 100;
+  for (std::size_t n = 0; n < kNets; ++n) d.networks.intern(n);
+  const SiteId a = d.sites.intern("A");
+  const SiteId b = d.sites.intern("B");
+  TimePoint t = from_date(2020, 1, 1);
+  for (int i = 0; i < 20; ++i) {
+    RoutingVector v;
+    v.time = t;
+    t += kDay;
+    v.assignment.assign(kNets, a);
+    if (i >= 10) {
+      // Networks 50.. flip to B in the second half.
+      for (std::size_t n = 50; n < kNets; ++n) v.assignment[n] = b;
+    }
+    d.series.push_back(std::move(v));
+  }
+
+  const AnalysisResult uniform = analyze(d);
+  EXPECT_EQ(uniform.modes.size(), 2u);
+  EXPECT_EQ(uniform.events.size(), 1u);
+
+  d.weights.assign(kNets, 0.0);
+  for (std::size_t n = 0; n < 50; ++n) d.weights[n] = 1.0;
+  const AnalysisResult weighted = analyze(d);
+  EXPECT_EQ(weighted.modes.size(), 1u);
+  EXPECT_TRUE(weighted.events.empty());
+}
+
+TEST(Report, MentionsModeTransitions) {
+  // A B A oscillation: the report's mode graph must show the cycle.
+  Dataset d;
+  constexpr std::size_t kNets = 50;
+  for (std::size_t n = 0; n < kNets; ++n) d.networks.intern(n);
+  const SiteId a = d.sites.intern("A");
+  const SiteId b = d.sites.intern("B");
+  TimePoint t = from_date(2020, 1, 1);
+  for (const SiteId dom : {a, a, b, b, a, a}) {
+    RoutingVector v;
+    v.time = t;
+    t += kDay;
+    v.assignment.assign(kNets, dom);
+    d.series.push_back(std::move(v));
+  }
+  const AnalysisResult r = analyze(d);
+  std::ostringstream out;
+  print_report(d, r, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("mode transitions:"), std::string::npos);
+  EXPECT_NE(s.find("(i) -> (ii)"), std::string::npos);
+  EXPECT_NE(s.find("(ii) -> (i)"), std::string::npos);
+}
+
+TEST(Report, EmptyModesHandled) {
+  Dataset d;
+  d.name = "tiny";
+  d.networks.intern(0);
+  d.sites.intern("A");
+  RoutingVector v;
+  v.time = 0;
+  v.assignment = {kFirstRealSite};
+  d.series.push_back(v);
+  const AnalysisResult r = analyze(d);
+  std::ostringstream out;
+  print_report(d, r, out);
+  EXPECT_NE(out.str().find("no routing modes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fenrir::core

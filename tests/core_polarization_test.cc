@@ -1,0 +1,96 @@
+#include "core/polarization.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::core {
+namespace {
+
+constexpr SiteId kNear = kFirstRealSite;      // "LAX"
+constexpr SiteId kFar = kFirstRealSite + 1;   // "ARI"
+
+std::unordered_map<SiteId, geo::Coord> two_sites() {
+  return {{kNear, geo::city::LAX}, {kFar, geo::city::ARI}};
+}
+
+TEST(Polarization, WellRoutedNetworksAreNotPolarized) {
+  RoutingVector v;
+  v.assignment = {kNear, kNear, kFar};
+  // Two networks near LA served by LAX, one near Arica served by ARI.
+  const std::vector<geo::Coord> coords{
+      {34.0, -118.0}, {36.0, -115.0}, {-18.0, -70.0}};
+  const auto report = detect_polarization(v, coords, two_sites());
+  EXPECT_EQ(report.known_networks, 3u);
+  EXPECT_EQ(report.polarized_networks, 0u);
+  EXPECT_TRUE(report.groups.empty());
+  EXPECT_DOUBLE_EQ(report.polarized_fraction(), 0.0);
+}
+
+TEST(Polarization, DistantServingSiteIsFlagged) {
+  // Los Angeles networks served by Arica: the paper's ARI pathology.
+  RoutingVector v;
+  v.assignment = {kFar, kFar, kNear};
+  const std::vector<geo::Coord> coords{
+      {34.0, -118.0}, {36.0, -115.0}, {33.0, -117.0}};
+  const auto report = detect_polarization(v, coords, two_sites());
+  EXPECT_EQ(report.polarized_networks, 2u);
+  ASSERT_EQ(report.groups.size(), 1u);
+  EXPECT_EQ(report.groups[0].serving, kFar);
+  EXPECT_EQ(report.groups[0].nearest, kNear);
+  EXPECT_EQ(report.groups[0].networks, 2u);
+  // LA -> Arica is ~7600 km; LA -> LAX is ~0, so excess ~7600.
+  EXPECT_GT(report.groups[0].mean_excess_km, 6000.0);
+  EXPECT_NEAR(report.polarized_fraction(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Polarization, ThresholdControlsSensitivity) {
+  RoutingVector v;
+  v.assignment = {kFar};
+  const std::vector<geo::Coord> coords{{34.0, -118.0}};
+  PolarizationConfig strict;
+  strict.min_excess_km = 9000.0;  // above the ~7600 km excess
+  EXPECT_EQ(detect_polarization(v, coords, two_sites(), strict)
+                .polarized_networks,
+            0u);
+  PolarizationConfig loose;
+  loose.min_excess_km = 1000.0;
+  EXPECT_EQ(detect_polarization(v, coords, two_sites(), loose)
+                .polarized_networks,
+            1u);
+}
+
+TEST(Polarization, UnknownErrAndUnmappedSitesAreSkipped) {
+  RoutingVector v;
+  v.assignment = {kUnknownSite, kErrorSite, kOtherSite, kFirstRealSite + 7};
+  const std::vector<geo::Coord> coords(4, geo::Coord{34.0, -118.0});
+  const auto report = detect_polarization(v, coords, two_sites());
+  EXPECT_EQ(report.known_networks, 0u);
+  EXPECT_EQ(report.polarized_networks, 0u);
+}
+
+TEST(Polarization, GroupsSortByPopulation) {
+  const SiteId third = kFirstRealSite + 2;
+  auto sites = two_sites();
+  sites.emplace(third, geo::city::AMS);
+  RoutingVector v;
+  // Three LA networks served by ARI, one LA network served by AMS.
+  v.assignment = {kFar, kFar, kFar, third};
+  const std::vector<geo::Coord> coords(4, geo::Coord{34.0, -118.0});
+  const auto report = detect_polarization(v, coords, sites);
+  ASSERT_EQ(report.groups.size(), 2u);
+  EXPECT_EQ(report.groups[0].serving, kFar);
+  EXPECT_EQ(report.groups[0].networks, 3u);
+  EXPECT_EQ(report.groups[1].serving, third);
+}
+
+TEST(Polarization, ErrorsOnBadInput) {
+  RoutingVector v;
+  v.assignment = {kNear};
+  const std::vector<geo::Coord> wrong_size;
+  EXPECT_THROW(detect_polarization(v, wrong_size, two_sites()),
+               std::invalid_argument);
+  const std::vector<geo::Coord> coords{{0, 0}};
+  EXPECT_THROW(detect_polarization(v, coords, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fenrir::core

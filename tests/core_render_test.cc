@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/heatmap.h"
+#include "core/stackplot.h"
+#include "io/csv.h"
+
+namespace fenrir::core {
+namespace {
+
+Dataset two_regime_dataset() {
+  Dataset d;
+  d.name = "render";
+  constexpr std::size_t kNets = 40;
+  for (std::size_t n = 0; n < kNets; ++n) d.networks.intern(n);
+  const SiteId a = d.sites.intern("A");
+  const SiteId b = d.sites.intern("B");
+  TimePoint t = from_date(2024, 1, 1);
+  for (int i = 0; i < 4; ++i) {
+    RoutingVector v;
+    v.time = t;
+    t += kDay;
+    v.assignment.assign(kNets, a);
+    d.series.push_back(std::move(v));
+  }
+  {
+    RoutingVector v;  // outage
+    v.time = t;
+    t += kDay;
+    v.valid = false;
+    v.assignment.assign(kNets, kUnknownSite);
+    d.series.push_back(std::move(v));
+  }
+  for (int i = 0; i < 4; ++i) {
+    RoutingVector v;
+    v.time = t;
+    t += kDay;
+    v.assignment.assign(kNets, b);
+    d.series.push_back(std::move(v));
+  }
+  d.check_consistent();
+  return d;
+}
+
+TEST(Heatmap, ImageShadesSimilarDark) {
+  const Dataset d = two_regime_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  const auto img = heatmap_image(m);
+  EXPECT_EQ(img.width(), m.size());
+  // Identical pair -> black; cross-regime pair -> white-ish; outage -> white.
+  EXPECT_EQ(img.at(0, 1), 0);
+  EXPECT_EQ(img.at(0, 8), 255);
+  EXPECT_EQ(img.at(4, 0), 255);
+}
+
+TEST(Heatmap, DownsamplesLargeMatrices) {
+  const Dataset d = two_regime_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  const auto img = heatmap_image(m, 4);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 4u);
+  // Top-left box is within regime A: dark.
+  EXPECT_LT(img.at(0, 0), 64);
+}
+
+TEST(Heatmap, AsciiShowsTrianglesAndBlankOutage) {
+  const Dataset d = two_regime_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  const std::string art = heatmap_ascii(m);
+  // 9 rows of 9 chars + newlines.
+  EXPECT_EQ(art.size(), 9u * 10u);
+  EXPECT_EQ(art[0], '@');        // self-similar
+  EXPECT_EQ(art[4], ' ');        // outage column
+  EXPECT_EQ(art[8], ' ');        // dissimilar regime renders lightest
+}
+
+TEST(Heatmap, CsvHasHeaderAndBlankInvalidCells) {
+  const Dataset d = two_regime_dataset();
+  const auto m = SimilarityMatrix::compute(d);
+  std::ostringstream out;
+  write_heatmap_csv(m, d, out);
+  const auto rows = io::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), d.series.size() + 1);
+  EXPECT_EQ(rows[0][0], "time");
+  EXPECT_EQ(rows[1][1], "1.0000");  // phi(0,0)
+  EXPECT_EQ(rows[5][1], "");        // outage row blank
+}
+
+TEST(Heatmap, EmptyMatrix) {
+  Dataset d;
+  const auto m = SimilarityMatrix::compute(d);
+  EXPECT_EQ(heatmap_ascii(m), "");
+  const auto img = heatmap_image(m);
+  EXPECT_EQ(img.width(), 1u);  // degenerate 1x1 white image
+}
+
+TEST(ModeStrip, PaintsClustersAndNoise) {
+  Clustering c;
+  c.labels = {0, 0, 1, Clustering::kNoise, 1, 2};
+  c.cluster_count = 3;
+  const auto img = mode_strip_image(c, 4);
+  EXPECT_EQ(img.width(), 6u);
+  EXPECT_EQ(img.height(), 4u);
+  // Same label -> same color; different labels differ; noise is black.
+  EXPECT_EQ(img.at(0, 0), img.at(1, 3));
+  EXPECT_EQ(img.at(2, 0), img.at(4, 0));
+  EXPECT_FALSE(img.at(0, 0) == img.at(2, 0));
+  EXPECT_FALSE(img.at(2, 0) == img.at(5, 0));
+  EXPECT_EQ(img.at(3, 0), (io::ColorImage::Rgb{0, 0, 0}));
+}
+
+TEST(ModeStrip, EmptyClusteringYieldsPlaceholderColumn) {
+  Clustering c;
+  const auto img = mode_strip_image(c);
+  EXPECT_EQ(img.width(), 1u);
+}
+
+TEST(ColorImage, PpmHeaderAndPayload) {
+  io::ColorImage img(2, 1);
+  img.at(1, 0) = {10, 20, 30};
+  std::ostringstream out;
+  img.write_ppm(out);
+  const std::string s = out.str();
+  EXPECT_EQ(s.substr(0, 3), "P6\n");
+  const auto header_end = s.find("255\n") + 4;
+  ASSERT_EQ(s.size() - header_end, 6u);
+  EXPECT_EQ(static_cast<unsigned char>(s[header_end + 3]), 10);
+  EXPECT_EQ(static_cast<unsigned char>(s[header_end + 5]), 30);
+  EXPECT_THROW(img.at(2, 0), std::out_of_range);
+}
+
+TEST(StackSeries, CountsPerSitePerTime) {
+  const Dataset d = two_regime_dataset();
+  const auto s = StackSeries::compute(d);
+  EXPECT_EQ(s.times(), d.series.size());
+  const SiteId a = *d.sites.find("A");
+  const SiteId b = *d.sites.find("B");
+  EXPECT_DOUBLE_EQ(s.value(0, a), 40.0);
+  EXPECT_DOUBLE_EQ(s.value(0, b), 0.0);
+  EXPECT_DOUBLE_EQ(s.value(8, b), 40.0);
+  EXPECT_DOUBLE_EQ(s.fraction(0, a), 1.0);
+  // Outage slot contributes zeros.
+  EXPECT_DOUBLE_EQ(s.value(4, a), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction(4, a), 0.0);
+}
+
+TEST(StackSeries, WeightedAggregation) {
+  Dataset d;
+  d.networks.intern(0);
+  d.networks.intern(1);
+  const SiteId a = d.sites.intern("A");
+  RoutingVector v;
+  v.time = 0;
+  v.assignment = {a, a};
+  d.series.push_back(v);
+  d.weights = {2.0, 5.0};
+  const auto s = StackSeries::compute(d);
+  EXPECT_DOUBLE_EQ(s.value(0, a), 7.0);
+}
+
+TEST(StackSeries, CsvRoundTrips) {
+  const Dataset d = two_regime_dataset();
+  const auto s = StackSeries::compute(d);
+  std::ostringstream out;
+  s.write_csv(out);
+  const auto rows = io::parse_csv(out.str());
+  ASSERT_EQ(rows.size(), d.series.size() + 1);
+  EXPECT_EQ(rows[0].size(), d.sites.size() + 1);
+  EXPECT_EQ(rows[1][0], "2024-01-01 00:00");
+}
+
+TEST(StackSeries, FirstCollapseDetectsDrain) {
+  const Dataset d = two_regime_dataset();
+  const auto s = StackSeries::compute(d);
+  const SiteId a = *d.sites.find("A");
+  const SiteId b = *d.sites.find("B");
+  // Site A collapses at the outage slot (value 0 < 10% of max 40).
+  const auto c = s.first_collapse(a);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(*c, 4u);
+  // Site B only ever grows, so no collapse.
+  EXPECT_EQ(s.first_collapse(b), std::nullopt);
+}
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,96 @@
+#include "core/sankey.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.h"
+
+namespace fenrir::core {
+namespace {
+
+std::vector<std::vector<std::string>> sample_paths() {
+  return {
+      {"USC", "ARN-A", "ANN", "NTT"},
+      {"USC", "ARN-A", "ANN", "HE"},
+      {"USC", "ARN-A", "NTT", "NTT"},
+      {"USC", "ANN", "NTT"},
+  };
+}
+
+TEST(Sankey, NodeMassesPerHop) {
+  const auto s = SankeyFlows::from_paths(sample_paths());
+  EXPECT_EQ(s.hop_count(), 4u);
+  EXPECT_EQ(s.node(0, "USC"), 4u);
+  EXPECT_EQ(s.node(1, "ARN-A"), 3u);
+  EXPECT_EQ(s.node(1, "ANN"), 1u);
+  EXPECT_EQ(s.node(2, "NTT"), 2u);
+  EXPECT_EQ(s.node(3, "NTT"), 2u);
+  EXPECT_EQ(s.node(1, "nonexistent"), 0u);
+  EXPECT_EQ(s.node(9, "USC"), 0u);
+}
+
+TEST(Sankey, NodeFractions) {
+  const auto s = SankeyFlows::from_paths(sample_paths());
+  EXPECT_DOUBLE_EQ(s.node_fraction(1, "ARN-A"), 0.75);
+  EXPECT_DOUBLE_EQ(s.node_fraction(1, "ANN"), 0.25);
+  EXPECT_DOUBLE_EQ(s.node_fraction(9, "x"), 0.0);
+}
+
+TEST(Sankey, FlowsAggregateAndSort) {
+  const auto s = SankeyFlows::from_paths(sample_paths());
+  const auto flows = s.flows();
+  ASSERT_FALSE(flows.empty());
+  // Largest flow: USC -> ARN-A at hop 0 with count 3.
+  EXPECT_EQ(flows[0].hop, 0u);
+  EXPECT_EQ(flows[0].from, "USC");
+  EXPECT_EQ(flows[0].to, "ARN-A");
+  EXPECT_EQ(flows[0].count, 3u);
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_GE(flows[i - 1].count, flows[i].count);
+  }
+}
+
+TEST(Sankey, ShortPathsStopContributing) {
+  const auto s = SankeyFlows::from_paths({{"A", "B"}, {"A"}});
+  EXPECT_EQ(s.node(0, "A"), 2u);
+  EXPECT_EQ(s.node(1, "B"), 1u);
+  const auto flows = s.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].count, 1u);
+}
+
+TEST(Sankey, EmptyLabelsSkipped) {
+  const auto s = SankeyFlows::from_paths({{"A", "", "C"}});
+  EXPECT_EQ(s.node(1, ""), 0u);
+  // No flow across the empty hop.
+  EXPECT_TRUE(s.flows().empty());
+}
+
+TEST(Sankey, NodesAtSortedByMass) {
+  const auto s = SankeyFlows::from_paths(sample_paths());
+  const auto nodes = s.nodes_at(1);
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0].first, "ARN-A");
+  EXPECT_EQ(nodes[1].first, "ANN");
+  EXPECT_TRUE(s.nodes_at(9).empty());
+}
+
+TEST(Sankey, CsvOutput) {
+  const auto s = SankeyFlows::from_paths(sample_paths());
+  std::ostringstream out;
+  s.write_csv(out);
+  const auto rows = io::parse_csv(out.str());
+  ASSERT_GT(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (io::CsvRow{"hop", "from", "to", "count"}));
+  EXPECT_EQ(rows[1], (io::CsvRow{"0", "USC", "ARN-A", "3"}));
+}
+
+TEST(Sankey, EmptyInput) {
+  const auto s = SankeyFlows::from_paths({});
+  EXPECT_EQ(s.hop_count(), 0u);
+  EXPECT_TRUE(s.flows().empty());
+}
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,69 @@
+#include "core/tables.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::core {
+namespace {
+
+TEST(SiteTable, ReservedIdsPreexist) {
+  SiteTable t;
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.real_site_count(), 0u);
+  EXPECT_EQ(t.name(kUnknownSite), "unknown");
+  EXPECT_EQ(t.name(kErrorSite), "err");
+  EXPECT_EQ(t.name(kOtherSite), "other");
+}
+
+TEST(SiteTable, InternAssignsStableIdsFromFirstReal) {
+  SiteTable t;
+  const SiteId lax = t.intern("LAX");
+  const SiteId mia = t.intern("MIA");
+  EXPECT_EQ(lax, kFirstRealSite);
+  EXPECT_EQ(mia, kFirstRealSite + 1);
+  EXPECT_EQ(t.intern("LAX"), lax);
+  EXPECT_EQ(t.real_site_count(), 2u);
+  EXPECT_EQ(t.name(lax), "LAX");
+}
+
+TEST(SiteTable, ReservedNamesInternToReservedIds) {
+  SiteTable t;
+  EXPECT_EQ(t.intern("unknown"), kUnknownSite);
+  EXPECT_EQ(t.intern("err"), kErrorSite);
+  EXPECT_EQ(t.intern("other"), kOtherSite);
+  EXPECT_EQ(t.real_site_count(), 0u);
+}
+
+TEST(SiteTable, FindMirrorsIntern) {
+  SiteTable t;
+  EXPECT_EQ(t.find("LAX"), std::nullopt);
+  const SiteId lax = t.intern("LAX");
+  EXPECT_EQ(t.find("LAX"), lax);
+  EXPECT_EQ(t.find("err"), kErrorSite);
+}
+
+TEST(SiteTable, NameOutOfRangeThrows) {
+  SiteTable t;
+  EXPECT_THROW(t.name(99), std::out_of_range);
+}
+
+TEST(NetworkTable, InternIsIdempotentAndDense) {
+  NetworkTable t;
+  EXPECT_EQ(t.intern(1000), 0u);
+  EXPECT_EQ(t.intern(2000), 1u);
+  EXPECT_EQ(t.intern(1000), 0u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.key(0), 1000u);
+  EXPECT_EQ(t.key(1), 2000u);
+  EXPECT_EQ(t.find(2000), 1u);
+  EXPECT_EQ(t.find(3000), std::nullopt);
+}
+
+TEST(NetworkTable, LargeKeySpace) {
+  NetworkTable t;
+  const std::uint64_t big = (std::uint64_t{0xc0000200} << 8) | 24;
+  EXPECT_EQ(t.intern(big), 0u);
+  EXPECT_EQ(t.key(0), big);
+}
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,78 @@
+#include "core/time.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::core {
+namespace {
+
+TEST(Time, EpochIsZero) {
+  EXPECT_EQ(from_date(1970, 1, 1), 0);
+}
+
+TEST(Time, KnownDates) {
+  EXPECT_EQ(from_date(1970, 1, 2), kDay);
+  EXPECT_EQ(from_date(2000, 1, 1), 946684800);
+  EXPECT_EQ(from_date(2024, 3, 1), 1709251200);
+}
+
+TEST(Time, LeapYearHandling) {
+  EXPECT_EQ(from_date(2020, 3, 1) - from_date(2020, 2, 28), 2 * kDay);
+  EXPECT_EQ(from_date(2021, 3, 1) - from_date(2021, 2, 28), kDay);
+  // 2000 was a leap year (divisible by 400), 1900 was not.
+  EXPECT_EQ(from_date(2000, 3, 1) - from_date(2000, 2, 28), 2 * kDay);
+  EXPECT_EQ(from_date(1900, 3, 1) - from_date(1900, 2, 28), kDay);
+}
+
+TEST(Time, CivilRoundTripAcrossYears) {
+  for (int year : {1970, 1999, 2000, 2020, 2024, 2025, 2100}) {
+    for (int month : {1, 2, 6, 12}) {
+      for (int day : {1, 15, 28}) {
+        const CivilDate d{year, month, day};
+        EXPECT_EQ(civil_from_days(days_from_civil(d)).year, year);
+        EXPECT_EQ(civil_from_days(days_from_civil(d)).month, month);
+        EXPECT_EQ(civil_from_days(days_from_civil(d)).day, day);
+      }
+    }
+  }
+}
+
+TEST(Time, FormatDate) {
+  EXPECT_EQ(format_date(from_date(2025, 1, 16)), "2025-01-16");
+  EXPECT_EQ(format_date(from_date(2025, 1, 16) + 5 * kHour), "2025-01-16");
+}
+
+TEST(Time, FormatTime) {
+  EXPECT_EQ(format_time(from_date(2024, 3, 4) + 21 * kHour + 56 * kMinute),
+            "2024-03-04 21:56");
+  EXPECT_EQ(format_time(from_date(2024, 3, 4)), "2024-03-04 00:00");
+}
+
+TEST(Time, ParseDateOnly) {
+  EXPECT_EQ(parse_time("2020-03-01"), from_date(2020, 3, 1));
+  EXPECT_EQ(parse_time("1970-01-01"), 0);
+}
+
+TEST(Time, ParseDateTime) {
+  EXPECT_EQ(parse_time("2024-03-04 21:56"),
+            from_date(2024, 3, 4) + 21 * kHour + 56 * kMinute);
+}
+
+TEST(Time, ParseRejectsMalformed) {
+  for (const char* bad :
+       {"", "2024", "2024-3-4", "2024-13-01", "2024-00-01", "2024-01-32",
+        "2024-01-00", "2024-01-01T00:00", "2024-01-01 24:00",
+        "2024-01-01 12:60", "2024/01/01", "2024-01-01 1:00"}) {
+    EXPECT_EQ(parse_time(bad), std::nullopt) << bad;
+  }
+}
+
+TEST(Time, ParseFormatRoundTrip) {
+  for (const char* text : {"2019-09-01", "2023-07-05", "2025-04-26"}) {
+    const auto t = parse_time(text);
+    ASSERT_TRUE(t);
+    EXPECT_EQ(format_date(*t), text);
+  }
+}
+
+}  // namespace
+}  // namespace fenrir::core

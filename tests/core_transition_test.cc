@@ -1,0 +1,110 @@
+#include "core/transition.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fenrir::core {
+namespace {
+
+RoutingVector vec(std::vector<SiteId> a) {
+  RoutingVector v;
+  v.assignment = std::move(a);
+  return v;
+}
+
+TEST(Transition, QuiescentServiceIsDiagonal) {
+  const auto a = vec({3, 3, 4, 4, 4});
+  const auto t = TransitionMatrix::compute(a, a, 5);
+  EXPECT_EQ(t.count(3, 3), 2u);
+  EXPECT_EQ(t.count(4, 4), 3u);
+  EXPECT_EQ(t.moved(), 0u);
+  EXPECT_EQ(t.stayed(), 5u);
+}
+
+TEST(Transition, DrainMovesMassOffDiagonal) {
+  // The paper's Table 3 shape: STR drains to NAP, some blackhole to err.
+  const SiteId str = 3, nap = 4;
+  const auto before = vec({str, str, str, str, nap});
+  const auto after = vec({nap, nap, nap, kErrorSite, nap});
+  const auto t = TransitionMatrix::compute(before, after, 5);
+  EXPECT_EQ(t.count(str, nap), 3u);
+  EXPECT_EQ(t.count(str, kErrorSite), 1u);
+  EXPECT_EQ(t.count(nap, nap), 1u);
+  EXPECT_EQ(t.moved(), 4u);
+  EXPECT_EQ(t.stayed(), 1u);
+}
+
+TEST(Transition, RowAndColumnTotalsAreAggregates) {
+  const auto before = vec({3, 3, 4});
+  const auto after = vec({4, 3, 4});
+  const auto t = TransitionMatrix::compute(before, after, 5);
+  EXPECT_EQ(t.row_total(3), 2u);  // A(before) at site 3
+  EXPECT_EQ(t.row_total(4), 1u);
+  EXPECT_EQ(t.col_total(3), 1u);  // A(after) at site 3
+  EXPECT_EQ(t.col_total(4), 2u);
+}
+
+TEST(Transition, UnknownToUnknownIsNotStability) {
+  const auto a = vec({kUnknownSite, 3});
+  const auto t = TransitionMatrix::compute(a, a, 5);
+  EXPECT_EQ(t.count(kUnknownSite, kUnknownSite), 1u);
+  EXPECT_EQ(t.stayed(), 1u);  // only the site-3 network counts
+}
+
+TEST(Transition, TopMoversSortedDescending) {
+  const auto before = vec({3, 3, 3, 3, 3, 4, 4, 4});
+  const auto after = vec({4, 4, 4, 5, 5, 3, 3, 4});
+  const auto t = TransitionMatrix::compute(before, after, 6);
+  const auto movers = t.top_movers(10);
+  ASSERT_GE(movers.size(), 3u);
+  EXPECT_EQ(movers[0].from, 3u);
+  EXPECT_EQ(movers[0].to, 4u);
+  EXPECT_EQ(movers[0].count, 3u);
+  for (std::size_t i = 1; i < movers.size(); ++i) {
+    EXPECT_GE(movers[i - 1].count, movers[i].count);
+  }
+  EXPECT_EQ(t.top_movers(1).size(), 1u);
+}
+
+TEST(Transition, SizeMismatchThrows) {
+  const auto a = vec({3});
+  const auto b = vec({3, 4});
+  EXPECT_THROW(TransitionMatrix::compute(a, b, 5), std::invalid_argument);
+}
+
+TEST(Transition, SiteOutOfRangeThrows) {
+  const auto a = vec({9});
+  EXPECT_THROW(TransitionMatrix::compute(a, a, 5), std::out_of_range);
+}
+
+TEST(Transition, PrintsPaperLayout) {
+  SiteTable sites;
+  const SiteId str = sites.intern("STR");
+  const SiteId nap = sites.intern("NAP");
+  const auto before = vec({str, str, nap});
+  const auto after = vec({nap, kErrorSite, nap});
+  const auto t = TransitionMatrix::compute(before, after, sites.size());
+  std::ostringstream out;
+  t.print(sites, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("STR"), std::string::npos);
+  EXPECT_NE(s.find("NAP"), std::string::npos);
+  EXPECT_NE(s.find("err"), std::string::npos);
+  // No unknown row when it carries no mass.
+  EXPECT_EQ(s.find("unknown"), std::string::npos);
+}
+
+TEST(Transition, PrintsUnknownOnlyWhenPresent) {
+  SiteTable sites;
+  const SiteId str = sites.intern("STR");
+  const auto before = vec({str, kUnknownSite});
+  const auto after = vec({str, str});
+  const auto t = TransitionMatrix::compute(before, after, sites.size());
+  std::ostringstream out;
+  t.print(sites, out);
+  EXPECT_NE(out.str().find("unknown"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,131 @@
+#include "core/vector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/weights.h"
+
+namespace fenrir::core {
+namespace {
+
+RoutingVector vec(std::vector<SiteId> a, TimePoint t = 0) {
+  RoutingVector v;
+  v.time = t;
+  v.assignment = std::move(a);
+  return v;
+}
+
+TEST(Aggregate, CountsPerSite) {
+  // Sites: 0 unknown, 1 err, 2 other, 3/4 real.
+  const RoutingVector v = vec({3, 3, 4, kUnknownSite, kErrorSite, 3});
+  const auto a = aggregate(v, 5);
+  EXPECT_EQ(a[3], 3u);
+  EXPECT_EQ(a[4], 1u);
+  EXPECT_EQ(a[kUnknownSite], 1u);
+  EXPECT_EQ(a[kErrorSite], 1u);
+}
+
+TEST(Aggregate, OutOfRangeSiteThrows) {
+  const RoutingVector v = vec({7});
+  EXPECT_THROW(aggregate(v, 5), std::out_of_range);
+}
+
+TEST(AggregateWeighted, SumsWeights) {
+  const RoutingVector v = vec({3, 3, 4});
+  const std::vector<double> w{1.0, 2.0, 10.0};
+  const auto a = aggregate_weighted(v, w, 5);
+  EXPECT_DOUBLE_EQ(a[3], 3.0);
+  EXPECT_DOUBLE_EQ(a[4], 10.0);
+}
+
+TEST(AggregateWeighted, SizeMismatchThrows) {
+  const RoutingVector v = vec({3});
+  const std::vector<double> w{1.0, 2.0};
+  EXPECT_THROW(aggregate_weighted(v, w, 5), std::invalid_argument);
+}
+
+TEST(OneHot, SingleOneAtAssignment) {
+  const auto row = one_hot_row(3, 5);
+  EXPECT_EQ(row, (std::vector<std::uint8_t>{0, 0, 0, 1, 0}));
+}
+
+TEST(KnownFraction, CountsNonUnknown) {
+  EXPECT_DOUBLE_EQ(known_fraction(vec({3, kUnknownSite, 4, kUnknownSite})),
+                   0.5);
+  EXPECT_DOUBLE_EQ(known_fraction(vec({kErrorSite})), 1.0);  // err is known
+  EXPECT_DOUBLE_EQ(known_fraction(vec({})), 0.0);
+}
+
+TEST(Dataset, IndexAtBinarySearches) {
+  Dataset d;
+  d.series.push_back(vec({}, 100));
+  d.series.push_back(vec({}, 200));
+  d.series.push_back(vec({}, 300));
+  EXPECT_EQ(d.index_at(50), 0u);
+  EXPECT_EQ(d.index_at(200), 1u);
+  EXPECT_EQ(d.index_at(250), 2u);
+  EXPECT_EQ(d.index_at(301), 3u);
+}
+
+TEST(Dataset, ConsistencyChecks) {
+  Dataset d;
+  d.networks.intern(1);
+  d.networks.intern(2);
+  d.sites.intern("A");
+  d.series.push_back(vec({3, 3}, 0));
+  d.check_consistent();  // fine
+
+  Dataset wrong_size = d;
+  wrong_size.series.push_back(vec({3}, 1));
+  EXPECT_THROW(wrong_size.check_consistent(), std::invalid_argument);
+
+  Dataset bad_site = d;
+  bad_site.series[0].assignment[0] = 42;
+  EXPECT_THROW(bad_site.check_consistent(), std::invalid_argument);
+
+  Dataset bad_weights = d;
+  bad_weights.weights = {1.0};
+  EXPECT_THROW(bad_weights.check_consistent(), std::invalid_argument);
+
+  Dataset unordered = d;
+  unordered.series.push_back(vec({3, 3}, -5));
+  EXPECT_THROW(unordered.check_consistent(), std::invalid_argument);
+}
+
+// --- weights ---
+
+TEST(Weights, Uniform) {
+  const auto w = uniform_weights(3);
+  EXPECT_EQ(w, (std::vector<double>{1.0, 1.0, 1.0}));
+}
+
+TEST(Weights, AddressCounts) {
+  const std::vector<std::uint32_t> blocks{1, 256, 16};
+  const auto w = address_weights(blocks);
+  EXPECT_EQ(w, (std::vector<double>{1.0, 256.0, 16.0}));
+  const std::vector<std::uint32_t> zero{0};
+  EXPECT_THROW(address_weights(zero), std::invalid_argument);
+}
+
+TEST(Weights, TrafficRejectsNegative) {
+  const std::vector<double> ok{0.0, 5.5};
+  EXPECT_EQ(traffic_weights(ok).size(), 2u);
+  const std::vector<double> bad{-1.0};
+  EXPECT_THROW(traffic_weights(bad), std::invalid_argument);
+}
+
+TEST(Weights, NormalizeToTotal) {
+  std::vector<double> w{1.0, 3.0};
+  normalize_weights(w, 8.0);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[1], 6.0);
+  std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW(normalize_weights(zeros, 1.0), std::invalid_argument);
+}
+
+TEST(Weights, Sum) {
+  const std::vector<double> w{1.0, 2.5};
+  EXPECT_DOUBLE_EQ(weight_sum(w), 3.5);
+}
+
+}  // namespace
+}  // namespace fenrir::core

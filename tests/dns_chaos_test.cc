@@ -1,0 +1,91 @@
+#include "dns/chaos.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::dns {
+namespace {
+
+TEST(HostnameBind, QueryShape) {
+  const Message q = make_hostname_bind_query(0xabcd);
+  EXPECT_EQ(q.header.id, 0xabcd);
+  ASSERT_EQ(q.questions.size(), 1u);
+  EXPECT_EQ(q.questions[0].name, "hostname.bind");
+  EXPECT_EQ(q.questions[0].type, RecordType::kTxt);
+  EXPECT_EQ(q.questions[0].klass, RecordClass::kChaos);
+  // NSID requested.
+  const auto e = get_edns(q);
+  ASSERT_TRUE(e);
+  EXPECT_NE(e->find(kOptionNsid), nullptr);
+}
+
+TEST(HostnameBind, FullExchangeOverTheWire) {
+  const Message q = make_hostname_bind_query(7);
+  const auto q_bytes = q.encode();
+  const Message q_decoded = Message::decode(q_bytes);
+  const Message resp = make_hostname_bind_response(q_decoded, "b1.lax.example");
+  const Message resp_decoded = Message::decode(resp.encode());
+  EXPECT_EQ(resp_decoded.header.id, 7);
+  EXPECT_TRUE(resp_decoded.header.qr);
+  EXPECT_EQ(extract_server_identity(resp_decoded), "b1.lax.example");
+}
+
+TEST(HostnameBind, NsidEchoedWhenRequested) {
+  const Message q = make_hostname_bind_query(7);
+  const Message resp = make_hostname_bind_response(q, "b2.ams.example");
+  const auto e = get_edns(resp);
+  ASSERT_TRUE(e);
+  const auto* nsid = e->find(kOptionNsid);
+  ASSERT_NE(nsid, nullptr);
+  EXPECT_EQ(std::string(nsid->data.begin(), nsid->data.end()),
+            "b2.ams.example");
+}
+
+TEST(HostnameBind, NoNsidEchoWithoutRequest) {
+  Message q = make_query(
+      3, Question{"hostname.bind", RecordType::kTxt, RecordClass::kChaos});
+  const Message resp = make_hostname_bind_response(q, "b1.sin.example");
+  EXPECT_FALSE(get_edns(resp).has_value());
+  EXPECT_EQ(extract_server_identity(resp), "b1.sin.example");
+}
+
+TEST(ExtractIdentity, PrefersTxtFallsBackToNsid) {
+  Message resp;
+  resp.header.qr = true;
+  EdnsRecord e;
+  e.options.push_back(
+      EdnsOption{kOptionNsid, {'n', 's', 'i', 'd', '-', 'i', 'd'}});
+  set_edns(resp, e);
+  EXPECT_EQ(extract_server_identity(resp), "nsid-id");
+
+  ResourceRecord txt;
+  txt.name = "hostname.bind";
+  txt.type = RecordType::kTxt;
+  txt.rdata = make_txt_rdata("txt-id");
+  resp.answers.push_back(txt);
+  EXPECT_EQ(extract_server_identity(resp), "txt-id");
+}
+
+TEST(ExtractIdentity, ErrorResponsesYieldNothing) {
+  Message resp;
+  resp.header.qr = true;
+  resp.header.rcode = Rcode::kServFail;
+  ResourceRecord txt;
+  txt.type = RecordType::kTxt;
+  txt.rdata = make_txt_rdata("ignored");
+  resp.answers.push_back(txt);
+  EXPECT_EQ(extract_server_identity(resp), std::nullopt);
+}
+
+TEST(ExtractIdentity, NonResponseYieldsNothing) {
+  const Message q = make_hostname_bind_query(1);
+  EXPECT_EQ(extract_server_identity(q), std::nullopt);
+}
+
+TEST(ExtractIdentity, EmptyAnswerYieldsNothing) {
+  Message resp;
+  resp.header.qr = true;
+  EXPECT_EQ(extract_server_identity(resp), std::nullopt);
+}
+
+}  // namespace
+}  // namespace fenrir::dns

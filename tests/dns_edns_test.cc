@@ -1,0 +1,140 @@
+#include "dns/edns.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::dns {
+namespace {
+
+using netbase::Ipv4Addr;
+using netbase::Prefix;
+
+TEST(EdnsRecord, RoundTripThroughOptRr) {
+  EdnsRecord e;
+  e.udp_payload_size = 4096;
+  e.extended_rcode = 1;
+  e.version = 0;
+  e.dnssec_ok = true;
+  e.options.push_back(EdnsOption{kOptionNsid, {'a', 'b'}});
+  const ResourceRecord rr = e.to_rr();
+  EXPECT_EQ(rr.type, RecordType::kOpt);
+  EXPECT_EQ(rr.name, "");
+  const EdnsRecord d = EdnsRecord::from_rr(rr);
+  EXPECT_EQ(d.udp_payload_size, 4096);
+  EXPECT_EQ(d.extended_rcode, 1);
+  EXPECT_TRUE(d.dnssec_ok);
+  ASSERT_EQ(d.options.size(), 1u);
+  EXPECT_EQ(d.options[0].code, kOptionNsid);
+  EXPECT_EQ(d.options[0].data, (std::vector<std::uint8_t>{'a', 'b'}));
+}
+
+TEST(EdnsRecord, FromRrRejectsNonOpt) {
+  ResourceRecord rr;
+  rr.type = RecordType::kA;
+  EXPECT_THROW(EdnsRecord::from_rr(rr), DnsError);
+}
+
+TEST(EdnsRecord, TruncatedOptionsThrow) {
+  ResourceRecord rr;
+  rr.type = RecordType::kOpt;
+  rr.rdata = {0, 8, 0, 10, 1};  // claims 10 option bytes, has 1
+  EXPECT_THROW(EdnsRecord::from_rr(rr), DnsError);
+}
+
+TEST(EdnsRecord, FindLocatesOption) {
+  EdnsRecord e;
+  e.options.push_back(EdnsOption{kOptionNsid, {}});
+  e.options.push_back(EdnsOption{kOptionClientSubnet, {1}});
+  EXPECT_NE(e.find(kOptionNsid), nullptr);
+  EXPECT_NE(e.find(kOptionClientSubnet), nullptr);
+  EXPECT_EQ(e.find(42), nullptr);
+}
+
+TEST(ClientSubnet, RoundTrip24) {
+  ClientSubnet cs;
+  cs.prefix = *Prefix::parse("203.0.113.0/24");
+  const auto bytes = cs.encode();
+  // family(2) + lens(2) + 3 address bytes.
+  EXPECT_EQ(bytes.size(), 7u);
+  const ClientSubnet d = ClientSubnet::decode(bytes);
+  EXPECT_EQ(d.prefix, cs.prefix);
+  EXPECT_EQ(d.scope_len, 0);
+}
+
+TEST(ClientSubnet, RoundTripVariousLengths) {
+  for (const char* p : {"0.0.0.0/0", "128.0.0.0/1", "10.0.0.0/8",
+                        "10.128.0.0/9", "192.0.2.0/24", "192.0.2.128/25",
+                        "192.0.2.1/32"}) {
+    ClientSubnet cs;
+    cs.prefix = *Prefix::parse(p);
+    const ClientSubnet d = ClientSubnet::decode(cs.encode());
+    EXPECT_EQ(d.prefix.to_string(), p);
+  }
+}
+
+TEST(ClientSubnet, AddressBytesAreTruncated) {
+  ClientSubnet cs;
+  cs.prefix = *Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(cs.encode().size(), 5u);  // 1 address byte
+  cs.prefix = *Prefix::parse("0.0.0.0/0");
+  EXPECT_EQ(cs.encode().size(), 4u);  // 0 address bytes
+}
+
+TEST(ClientSubnet, DecodeRejectsBadInput) {
+  // Unsupported family.
+  EXPECT_THROW(ClientSubnet::decode(std::vector<std::uint8_t>{0, 2, 24, 0, 1,
+                                                              2, 3}),
+               DnsError);
+  // Source length > 32.
+  EXPECT_THROW(
+      ClientSubnet::decode(std::vector<std::uint8_t>{0, 1, 33, 0, 1, 2, 3, 4,
+                                                     5}),
+      DnsError);
+  // Length/byte-count mismatch.
+  EXPECT_THROW(ClientSubnet::decode(std::vector<std::uint8_t>{0, 1, 24, 0, 1}),
+               DnsError);
+  // Nonzero host bits beyond the prefix length (RFC 7871 MUST be zero).
+  EXPECT_THROW(
+      ClientSubnet::decode(std::vector<std::uint8_t>{0, 1, 23, 0, 192, 0, 3}),
+      DnsError);
+}
+
+TEST(SetGetEdns, AttachAndExtract) {
+  Message m = make_query(1, Question{"example.com", RecordType::kA,
+                                     RecordClass::kIn});
+  EXPECT_FALSE(get_edns(m).has_value());
+  set_edns(m, make_client_subnet_request(*Prefix::parse("198.51.100.0/24")));
+  const auto e = get_edns(m);
+  ASSERT_TRUE(e);
+  const auto* opt = e->find(kOptionClientSubnet);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(ClientSubnet::decode(opt->data).prefix.to_string(),
+            "198.51.100.0/24");
+}
+
+TEST(SetGetEdns, ReplacesExistingOpt) {
+  Message m = make_query(1, Question{"example.com", RecordType::kA,
+                                     RecordClass::kIn});
+  set_edns(m, make_nsid_request());
+  set_edns(m, make_client_subnet_request(*Prefix::parse("10.0.0.0/8")));
+  EXPECT_EQ(m.additional.size(), 1u);
+  const auto e = get_edns(m);
+  ASSERT_TRUE(e);
+  EXPECT_EQ(e->find(kOptionNsid), nullptr);
+  EXPECT_NE(e->find(kOptionClientSubnet), nullptr);
+}
+
+TEST(SetGetEdns, SurvivesWireRoundTrip) {
+  Message m = make_query(5, Question{"example.com", RecordType::kA,
+                                     RecordClass::kIn});
+  set_edns(m, make_client_subnet_request(*Prefix::parse("203.0.113.0/24")));
+  const Message d = Message::decode(m.encode());
+  const auto e = get_edns(d);
+  ASSERT_TRUE(e);
+  const auto* opt = e->find(kOptionClientSubnet);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(ClientSubnet::decode(opt->data).prefix.to_string(),
+            "203.0.113.0/24");
+}
+
+}  // namespace
+}  // namespace fenrir::dns

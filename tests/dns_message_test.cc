@@ -1,0 +1,144 @@
+#include "dns/message.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::dns {
+namespace {
+
+TEST(Message, QueryRoundTrip) {
+  const Message q = make_query(
+      0x1234, Question{"www.example.com", RecordType::kA, RecordClass::kIn});
+  const Message d = Message::decode(q.encode());
+  EXPECT_EQ(d.header.id, 0x1234);
+  EXPECT_FALSE(d.header.qr);
+  EXPECT_TRUE(d.header.rd);
+  ASSERT_EQ(d.questions.size(), 1u);
+  EXPECT_EQ(d.questions[0].name, "www.example.com");
+  EXPECT_EQ(d.questions[0].type, RecordType::kA);
+  EXPECT_EQ(d.questions[0].klass, RecordClass::kIn);
+}
+
+TEST(Message, ResponseWithAnswerRoundTrip) {
+  Message m = make_query(7, Question{"example.com", RecordType::kA,
+                                     RecordClass::kIn});
+  m.header.qr = true;
+  m.header.aa = true;
+  m.header.rcode = Rcode::kNoError;
+  ResourceRecord rr;
+  rr.name = "example.com";
+  rr.type = RecordType::kA;
+  rr.klass = 1;
+  rr.ttl = 300;
+  rr.rdata = make_a_rdata(0xc0000201);
+  m.answers.push_back(rr);
+
+  const Message d = Message::decode(m.encode());
+  EXPECT_TRUE(d.header.qr);
+  EXPECT_TRUE(d.header.aa);
+  ASSERT_EQ(d.answers.size(), 1u);
+  EXPECT_EQ(d.answers[0].ttl, 300u);
+  EXPECT_EQ(d.answers[0].a_addr(), 0xc0000201u);
+}
+
+TEST(Message, HeaderFlagsRoundTrip) {
+  Message m;
+  m.header.id = 9;
+  m.header.qr = true;
+  m.header.opcode = 2;
+  m.header.tc = true;
+  m.header.rd = false;
+  m.header.ra = true;
+  m.header.rcode = Rcode::kRefused;
+  const Message d = Message::decode(m.encode());
+  EXPECT_TRUE(d.header.qr);
+  EXPECT_EQ(d.header.opcode, 2);
+  EXPECT_TRUE(d.header.tc);
+  EXPECT_FALSE(d.header.rd);
+  EXPECT_TRUE(d.header.ra);
+  EXPECT_EQ(d.header.rcode, Rcode::kRefused);
+}
+
+TEST(Message, CountsRecomputedOnEncode) {
+  Message m;
+  m.header.qdcount = 99;  // lies; encode must ignore
+  m.questions.push_back(
+      Question{"a.example", RecordType::kTxt, RecordClass::kChaos});
+  const Message d = Message::decode(m.encode());
+  EXPECT_EQ(d.header.qdcount, 1);
+  EXPECT_EQ(d.header.ancount, 0);
+}
+
+TEST(Message, AllSectionsRoundTrip) {
+  Message m;
+  ResourceRecord rr;
+  rr.name = "x.example";
+  rr.type = RecordType::kTxt;
+  rr.rdata = make_txt_rdata("hello");
+  m.answers.push_back(rr);
+  m.authority.push_back(rr);
+  m.additional.push_back(rr);
+  const Message d = Message::decode(m.encode());
+  EXPECT_EQ(d.answers.size(), 1u);
+  EXPECT_EQ(d.authority.size(), 1u);
+  EXPECT_EQ(d.additional.size(), 1u);
+}
+
+TEST(Message, DecodeTruncatedThrows) {
+  const Message q =
+      make_query(1, Question{"example.com", RecordType::kA, RecordClass::kIn});
+  auto bytes = q.encode();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(Message::decode(bytes), DnsError);
+}
+
+TEST(Message, DecodeEmptyThrows) {
+  EXPECT_THROW(Message::decode(std::vector<std::uint8_t>{}), DnsError);
+}
+
+TEST(Txt, SingleChunk) {
+  ResourceRecord rr;
+  rr.type = RecordType::kTxt;
+  rr.rdata = make_txt_rdata("b1.lax.example");
+  EXPECT_EQ(rr.txt(), "b1.lax.example");
+}
+
+TEST(Txt, LongStringSplitsIntoChunks) {
+  const std::string text(600, 'x');
+  ResourceRecord rr;
+  rr.type = RecordType::kTxt;
+  rr.rdata = make_txt_rdata(text);
+  // 255 + 255 + 90 chunks plus 3 length bytes.
+  EXPECT_EQ(rr.rdata.size(), 603u);
+  EXPECT_EQ(rr.txt(), text);
+}
+
+TEST(Txt, EmptyString) {
+  ResourceRecord rr;
+  rr.type = RecordType::kTxt;
+  rr.rdata = make_txt_rdata("");
+  EXPECT_EQ(rr.txt(), "");
+}
+
+TEST(Txt, MalformedLengthYieldsNullopt) {
+  ResourceRecord rr;
+  rr.type = RecordType::kTxt;
+  rr.rdata = {10, 'a'};  // claims 10 bytes, has 1
+  EXPECT_EQ(rr.txt(), std::nullopt);
+}
+
+TEST(Txt, WrongTypeYieldsNullopt) {
+  ResourceRecord rr;
+  rr.type = RecordType::kA;
+  rr.rdata = make_txt_rdata("x");
+  EXPECT_EQ(rr.txt(), std::nullopt);
+}
+
+TEST(ARecord, WrongSizeYieldsNullopt) {
+  ResourceRecord rr;
+  rr.type = RecordType::kA;
+  rr.rdata = {1, 2, 3};
+  EXPECT_EQ(rr.a_addr(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace fenrir::dns

@@ -1,0 +1,121 @@
+#include "dns/name.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::dns {
+namespace {
+
+std::vector<std::uint8_t> encode(std::string_view name) {
+  Writer w;
+  encode_name(w, name);
+  return std::move(w).take();
+}
+
+TEST(NormalizeName, LowercasesAndStripsDot) {
+  EXPECT_EQ(normalize_name("Hostname.BIND."), "hostname.bind");
+  EXPECT_EQ(normalize_name(""), "");
+  EXPECT_EQ(normalize_name("."), "");
+}
+
+TEST(EncodeName, RootIsSingleZeroByte) {
+  EXPECT_EQ(encode(""), (std::vector<std::uint8_t>{0}));
+  EXPECT_EQ(encode("."), (std::vector<std::uint8_t>{0}));
+}
+
+TEST(EncodeName, LabelsWithLengthBytes) {
+  const auto bytes = encode("ab.c");
+  const std::vector<std::uint8_t> expected{2, 'a', 'b', 1, 'c', 0};
+  EXPECT_EQ(bytes, expected);
+}
+
+TEST(EncodeName, RejectsMalformed) {
+  Writer w;
+  EXPECT_THROW(encode_name(w, "a..b"), DnsError);
+  EXPECT_THROW(encode_name(w, std::string(64, 'x') + ".com"), DnsError);
+  // Total length > 255.
+  std::string long_name;
+  for (int i = 0; i < 10; ++i) long_name += std::string(30, 'a') + ".";
+  long_name += "com";
+  EXPECT_THROW(encode_name(w, long_name), DnsError);
+}
+
+TEST(DecodeName, RoundTrip) {
+  for (const char* name :
+       {"", "hostname.bind", "www.example.com", "a.b.c.d.e"}) {
+    const auto bytes = encode(name);
+    Reader r(bytes);
+    EXPECT_EQ(decode_name(r), name);
+    EXPECT_EQ(r.remaining(), 0u);
+  }
+}
+
+TEST(DecodeName, CaseInsensitiveRoundTrip) {
+  const auto bytes = encode("WwW.ExAmPle.COM");
+  Reader r(bytes);
+  EXPECT_EQ(decode_name(r), "www.example.com");
+}
+
+TEST(DecodeName, FollowsCompressionPointer) {
+  // Message layout: [name "example.com" at 0][name "www" + ptr to 0].
+  Writer w;
+  encode_name(w, "example.com");
+  const std::size_t second = w.size();
+  w.u8(3);
+  w.raw(std::string_view("www"));
+  w.u8(0xc0);
+  w.u8(0);  // pointer to offset 0
+  const auto bytes = std::move(w).take();
+
+  Reader r(bytes);
+  r.seek(second);
+  EXPECT_EQ(decode_name(r), "www.example.com");
+  EXPECT_EQ(r.remaining(), 0u);  // cursor resumed after the pointer
+}
+
+TEST(DecodeName, PointerLoopThrows) {
+  // A pointer that points at itself.
+  const std::vector<std::uint8_t> bytes{0xc0, 0x00};
+  Reader r(bytes);
+  EXPECT_THROW(decode_name(r), DnsError);
+}
+
+TEST(DecodeName, MutualPointerLoopThrows) {
+  const std::vector<std::uint8_t> bytes{0xc0, 0x02, 0xc0, 0x00};
+  Reader r(bytes);
+  EXPECT_THROW(decode_name(r), DnsError);
+}
+
+TEST(DecodeName, TruncatedLabelThrows) {
+  const std::vector<std::uint8_t> bytes{5, 'a', 'b'};
+  Reader r(bytes);
+  EXPECT_THROW(decode_name(r), DnsError);
+}
+
+TEST(DecodeName, ReservedLabelTypeThrows) {
+  const std::vector<std::uint8_t> bytes{0x80, 0x01};
+  Reader r(bytes);
+  EXPECT_THROW(decode_name(r), DnsError);
+}
+
+TEST(Reader, BoundsChecking) {
+  const std::vector<std::uint8_t> bytes{1, 2, 3};
+  Reader r(bytes);
+  EXPECT_EQ(r.u16(), 0x0102);
+  EXPECT_THROW(r.u16(), DnsError);
+  EXPECT_EQ(r.u8(), 3);
+  EXPECT_THROW(r.u8(), DnsError);
+  EXPECT_THROW(r.seek(4), DnsError);
+}
+
+TEST(Writer, PatchU16) {
+  Writer w;
+  w.u16(0);
+  w.u8(9);
+  w.patch_u16(0, 0xbeef);
+  EXPECT_EQ(w.bytes()[0], 0xbe);
+  EXPECT_EQ(w.bytes()[1], 0xef);
+  EXPECT_EQ(w.bytes()[2], 9);
+}
+
+}  // namespace
+}  // namespace fenrir::dns

@@ -1,0 +1,105 @@
+// Robustness tests: the DNS and BGP wire decoders must never crash or
+// hang on arbitrary bytes — they either parse or throw. This is the
+// property the measurement pipeline relies on when it treats malformed
+// responses as data to discard (paper §2.4 "remove incorrect data").
+#include <gtest/gtest.h>
+
+#include "bgp/update_codec.h"
+#include "dns/chaos.h"
+#include "dns/edns.h"
+#include "dns/message.h"
+#include "rng/rng.h"
+
+namespace fenrir {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(rng::Rng& r, std::size_t max_len) {
+  std::vector<std::uint8_t> out(r.uniform(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(r.uniform(256));
+  return out;
+}
+
+TEST(DnsRobustness, RandomBytesEitherParseOrThrow) {
+  rng::Rng r(0xf022);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto bytes = random_bytes(r, 64);
+    try {
+      const dns::Message m = dns::Message::decode(bytes);
+      // If it parsed, re-encoding must not crash either.
+      (void)m.encode();
+    } catch (const dns::DnsError&) {
+      // expected for almost all inputs
+    }
+  }
+}
+
+TEST(DnsRobustness, BitFlippedRealMessagesEitherParseOrThrow) {
+  rng::Rng r(0xf023);
+  dns::Message q = dns::make_query(
+      7, dns::Question{"www.example.com", dns::RecordType::kA,
+                       dns::RecordClass::kIn});
+  dns::set_edns(q, dns::make_client_subnet_request(
+                       *netbase::Prefix::parse("198.51.100.0/24")));
+  const auto base = q.encode();
+  for (int trial = 0; trial < 20000; ++trial) {
+    auto bytes = base;
+    const std::size_t flips = 1 + r.uniform(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[r.uniform(bytes.size())] ^=
+          static_cast<std::uint8_t>(1u << r.uniform(8));
+    }
+    try {
+      const dns::Message m = dns::Message::decode(bytes);
+      (void)dns::get_edns(m);
+      for (const auto& rr : m.answers) (void)rr.txt();
+    } catch (const dns::DnsError&) {
+    }
+  }
+}
+
+TEST(DnsRobustness, TruncationsOfRealMessagesEitherParseOrThrow) {
+  const dns::Message resp = dns::make_hostname_bind_response(
+      dns::make_hostname_bind_query(3), "b1.lax.example");
+  const auto base = resp.encode();
+  for (std::size_t len = 0; len < base.size(); ++len) {
+    std::vector<std::uint8_t> cut(base.begin(),
+                                  base.begin() + static_cast<long>(len));
+    try {
+      (void)dns::Message::decode(cut);
+    } catch (const dns::DnsError&) {
+    }
+  }
+}
+
+TEST(BgpRobustness, RandomBytesEitherParseOrThrow) {
+  rng::Rng r(0xf024);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto bytes = random_bytes(r, 96);
+    try {
+      (void)bgp::UpdateMessage::decode(bytes);
+    } catch (const bgp::BgpError&) {
+    }
+  }
+}
+
+TEST(BgpRobustness, BitFlippedUpdatesEitherParseOrThrow) {
+  rng::Rng r(0xf025);
+  bgp::UpdateMessage m;
+  m.as_path = {65001, 65002, 65003};
+  m.next_hop = netbase::Ipv4Addr(198, 51, 100, 1);
+  m.nlri = {*netbase::Prefix::parse("199.9.14.0/24")};
+  m.withdrawn = {*netbase::Prefix::parse("10.0.0.0/8")};
+  const auto base = m.encode();
+  for (int trial = 0; trial < 20000; ++trial) {
+    auto bytes = base;
+    bytes[r.uniform(bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << r.uniform(8));
+    try {
+      (void)bgp::UpdateMessage::decode(bytes);
+    } catch (const bgp::BgpError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fenrir

@@ -1,0 +1,94 @@
+#include "geo/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::geo {
+namespace {
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(haversine_km(city::LAX, city::LAX), 0.0);
+}
+
+TEST(Haversine, Symmetric) {
+  EXPECT_DOUBLE_EQ(haversine_km(city::LAX, city::AMS),
+                   haversine_km(city::AMS, city::LAX));
+}
+
+TEST(Haversine, KnownDistances) {
+  // LA <-> Amsterdam is about 8950 km.
+  EXPECT_NEAR(haversine_km(city::LAX, city::AMS), 8950, 250);
+  // Stuttgart <-> Naples is about 950 km.
+  EXPECT_NEAR(haversine_km(city::STR, city::NAP), 950, 120);
+}
+
+TEST(Haversine, AntipodalBounded) {
+  const Coord a{0, 0}, b{0, 180};
+  EXPECT_NEAR(haversine_km(a, b), 20015, 50);  // half circumference
+}
+
+TEST(LatencyModel, BaseFloorForColocated) {
+  const LatencyModel m;
+  EXPECT_DOUBLE_EQ(m.rtt_ms(city::LAX, city::LAX), m.base_ms);
+}
+
+TEST(LatencyModel, MonotoneInDistance) {
+  const LatencyModel m;
+  EXPECT_LT(m.rtt_ms(city::STR, city::NAP), m.rtt_ms(city::STR, city::NRT));
+}
+
+TEST(LatencyModel, TransatlanticInRealisticRange) {
+  const LatencyModel m;
+  const double rtt = m.rtt_ms(city::IAD, city::AMS);
+  EXPECT_GT(rtt, 50.0);
+  EXPECT_LT(rtt, 150.0);
+}
+
+TEST(LatencyModel, IntercontinentalToSouthAmericaIsSlow) {
+  // The paper's ARI example: European networks routed to Chile see very
+  // high latency.
+  const LatencyModel m;
+  EXPECT_GT(m.rtt_ms(city::AMS, city::ARI), 110.0);
+}
+
+TEST(LatencyModel, JitterStaysAboveFloorAndNearRtt) {
+  const LatencyModel m;
+  rng::Rng r(1);
+  const double base = m.rtt_ms(city::LAX, city::AMS);
+  for (int i = 0; i < 1000; ++i) {
+    const double j = m.rtt_ms_jittered(city::LAX, city::AMS, r);
+    EXPECT_GE(j, m.base_ms);
+    EXPECT_NEAR(j, base, base * 0.4);
+  }
+}
+
+TEST(RandomNetworkLocation, WithinValidBounds) {
+  rng::Rng r(2);
+  for (int i = 0; i < 5000; ++i) {
+    const Coord c = random_network_location(r);
+    EXPECT_GE(c.lat_deg, -90.0);
+    EXPECT_LE(c.lat_deg, 90.0);
+    EXPECT_GE(c.lon_deg, -180.0);
+    EXPECT_LE(c.lon_deg, 180.0);
+  }
+}
+
+TEST(RandomNetworkLocation, NorthernBiasMatchesPopulation) {
+  rng::Rng r(3);
+  int north = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    north += (random_network_location(r).lat_deg > 0);
+  }
+  EXPECT_GT(north, kTrials * 6 / 10);
+}
+
+TEST(RegionOf, MajorCities) {
+  EXPECT_EQ(region_of(city::LAX), "na");
+  EXPECT_EQ(region_of(city::ARI), "sa");
+  EXPECT_EQ(region_of(city::AMS), "eu");
+  EXPECT_EQ(region_of(city::SIN), "as");
+  EXPECT_EQ(region_of(city::NRT), "as");
+}
+
+}  // namespace
+}  // namespace fenrir::geo

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.h"
+#include "io/pgm.h"
+#include "io/table.h"
+
+namespace fenrir::io {
+namespace {
+
+TEST(CsvParse, SimpleRows) {
+  const auto rows = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (CsvRow{"1", "2", "3"}));
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  const auto rows = parse_csv("a,b");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvParse, QuotedFieldsWithSeparatorsAndQuotes) {
+  const auto rows = parse_csv("\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"a,b", "say \"hi\""}));
+}
+
+TEST(CsvParse, QuotedNewlines) {
+  const auto rows = parse_csv("\"line1\nline2\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "line1\nline2");
+  EXPECT_EQ(rows[0][1], "x");
+}
+
+TEST(CsvParse, CrLfLineEndings) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (CsvRow{"c", "d"}));
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto rows = parse_csv(",a,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (CsvRow{"", "a", ""}));
+}
+
+TEST(CsvParse, BlankLinesSkipped) {
+  const auto rows = parse_csv("a\n\nb\n");
+  ASSERT_EQ(rows.size(), 2u);
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("\"oops\n"), CsvError);
+}
+
+TEST(CsvParse, TsvSeparator) {
+  const auto rows = parse_csv("a\tb\nc\td\n", '\t');
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"a", "b"}));
+}
+
+TEST(CsvEscape, OnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, RoundTripsThroughParser) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"plain", "a,b", "q\"q", "multi\nline"});
+  w.row("n", 42, 2.5);
+  const auto rows = parse_csv(out.str());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (CsvRow{"plain", "a,b", "q\"q", "multi\nline"}));
+  EXPECT_EQ(rows[1][0], "n");
+  EXPECT_EQ(rows[1][1], "42");
+}
+
+TEST(TextTable, AlignsAndRules) {
+  TextTable t;
+  t.header({"name", "count"});
+  t.row("alpha", 1);
+  t.row("b", 22);
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Numeric cells right-aligned: " 1" under "count".
+  EXPECT_NE(s.find("    1"), std::string::npos);
+}
+
+TEST(TextTable, EmptyPrintsNothing) {
+  TextTable t;
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Fixed, Formatting) {
+  EXPECT_EQ(fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fixed(1.0, 3), "1.000");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(GrayImage, PixelAccessAndBounds) {
+  GrayImage img(4, 3, 7);
+  EXPECT_EQ(img.at(0, 0), 7);
+  img.at(3, 2) = 255;
+  EXPECT_EQ(img.at(3, 2), 255);
+  EXPECT_THROW(img.at(4, 0), std::out_of_range);
+  EXPECT_THROW(img.at(0, 3), std::out_of_range);
+}
+
+TEST(GrayImage, PgmHeaderAndPayload) {
+  GrayImage img(2, 2, 0);
+  img.at(1, 0) = 128;
+  std::ostringstream out;
+  img.write_pgm(out);
+  const std::string s = out.str();
+  EXPECT_EQ(s.substr(0, 3), "P5\n");
+  EXPECT_NE(s.find("2 2\n255\n"), std::string::npos);
+  // 4 payload bytes after the header.
+  const auto header_end = s.find("255\n") + 4;
+  EXPECT_EQ(s.size() - header_end, 4u);
+  EXPECT_EQ(static_cast<unsigned char>(s[header_end + 1]), 128);
+}
+
+}  // namespace
+}  // namespace fenrir::io

@@ -1,0 +1,222 @@
+#include "measure/atlas.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/topology_gen.h"
+
+namespace fenrir::measure {
+namespace {
+
+TEST(ServerIdentityMap, MapsSiteTokens) {
+  ServerIdentityMap m;
+  m.add("lax", 0);
+  m.add("ams", 1);
+  EXPECT_EQ(m.site_of_identity("b1.lax.example"), 0u);
+  EXPECT_EQ(m.site_of_identity("b3.ams.example"), 1u);
+  EXPECT_EQ(m.site_of_identity("b1.sin.example"), std::nullopt);
+  EXPECT_EQ(m.site_of_identity("garbage"), std::nullopt);
+  EXPECT_EQ(m.site_of_identity("fw-207"), std::nullopt);
+  EXPECT_THROW(m.add("lax", 2), std::invalid_argument);
+}
+
+TEST(ServerIdentityMap, MakeIdentityRoundTrips) {
+  ServerIdentityMap m;
+  m.add("nrt", 4);
+  EXPECT_EQ(m.site_of_identity(ServerIdentityMap::make_identity(2, "nrt")),
+            4u);
+}
+
+struct Fixture {
+  bgp::Topology topo;
+  AnycastDnsServer server;
+  ServerIdentityMap identity_map;
+  std::vector<core::SiteId> site_to_core;
+
+  static Fixture make(std::uint64_t seed = 3) {
+    bgp::TopologyParams p;
+    p.tier1_count = 3;
+    p.tier2_count = 10;
+    p.stub_count = 120;
+    p.seed = seed;
+    Fixture f{bgp::generate_topology(p),
+              AnycastDnsServer({"lax", "ams"}, seed),
+              {},
+              {core::kFirstRealSite, core::kFirstRealSite + 1}};
+    f.identity_map.add("lax", 0);
+    f.identity_map.add("ams", 1);
+    return f;
+  }
+
+  bgp::RoutingTable routing() const {
+    return bgp::compute_routes(
+        topo.graph, {{topo.stubs[0], 0, 0}, {topo.stubs[60], 1, 0}});
+  }
+};
+
+TEST(AnycastDnsServer, AnswersOverTheWire) {
+  Fixture f = Fixture::make();
+  const auto query = dns::make_hostname_bind_query(11).encode();
+  const auto response = f.server.handle(query, 1);
+  const auto identity =
+      dns::extract_server_identity(dns::Message::decode(response));
+  ASSERT_TRUE(identity);
+  EXPECT_EQ(f.identity_map.site_of_identity(*identity), 1u);
+}
+
+TEST(AnycastDnsServer, MalformedQueryThrows) {
+  Fixture f = Fixture::make();
+  const std::vector<std::uint8_t> junk{1, 2, 3};
+  EXPECT_THROW(f.server.handle(junk, 0), dns::DnsError);
+}
+
+TEST(AtlasProbe, VpPopulationSampledFromGraph) {
+  Fixture f = Fixture::make();
+  AtlasConfig cfg;
+  cfg.vp_count = 300;
+  cfg.seed = 9;
+  const AtlasProbe probe(f.topo.graph, cfg);
+  EXPECT_EQ(probe.vantage_points().size(), 300u);
+  for (const auto& vp : probe.vantage_points()) {
+    EXPECT_LT(vp.as, f.topo.graph.as_count());
+    EXPECT_NE(f.topo.graph.node(vp.as).tier, bgp::AsTier::kTier1);
+  }
+}
+
+TEST(AtlasProbe, MeasuresCatchmentsThroughDns) {
+  Fixture f = Fixture::make();
+  AtlasConfig cfg;
+  cfg.vp_count = 400;
+  cfg.query_loss = 0.0;
+  cfg.seed = 10;
+  const AtlasProbe probe(f.topo.graph, cfg);
+  const auto routing = f.routing();
+  const auto out = probe.measure(0, routing, f.server, f.identity_map,
+                                 f.site_to_core);
+  ASSERT_EQ(out.size(), 400u);
+  std::size_t site_hits = 0;
+  for (std::size_t v = 0; v < out.size(); ++v) {
+    // With zero loss and full reachability, every VP maps to a site and
+    // agrees with the routing table's catchment for its AS.
+    const auto expected = routing.catchment(probe.vantage_points()[v].as);
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_EQ(out[v], f.site_to_core[*expected]);
+    ++site_hits;
+  }
+  EXPECT_EQ(site_hits, 400u);
+}
+
+TEST(AtlasProbe, LossBecomesErrState) {
+  Fixture f = Fixture::make();
+  AtlasConfig cfg;
+  cfg.vp_count = 500;
+  cfg.query_loss = 0.3;
+  cfg.seed = 11;
+  const AtlasProbe probe(f.topo.graph, cfg);
+  const auto routing = f.routing();
+  const auto out = probe.measure(0, routing, f.server, f.identity_map,
+                                 f.site_to_core);
+  std::size_t errs = 0;
+  for (const auto s : out) errs += (s == core::kErrorSite);
+  EXPECT_GT(errs, 90u);
+  EXPECT_LT(errs, 230u);
+}
+
+TEST(AtlasProbe, BogusIdentitiesBecomeOtherState) {
+  Fixture f = Fixture::make();
+  f.server.set_bogus_identity_fraction(0.5);
+  AtlasConfig cfg;
+  cfg.vp_count = 400;
+  cfg.query_loss = 0.0;
+  cfg.seed = 12;
+  const AtlasProbe probe(f.topo.graph, cfg);
+  const auto out = probe.measure(0, f.routing(), f.server, f.identity_map,
+                                 f.site_to_core);
+  std::size_t others = 0;
+  for (const auto s : out) others += (s == core::kOtherSite);
+  EXPECT_GT(others, 100u);
+}
+
+TEST(AtlasProbe, UnreachableServiceIsErrEverywhere) {
+  Fixture f = Fixture::make();
+  AtlasConfig cfg;
+  cfg.vp_count = 100;
+  cfg.query_loss = 0.0;
+  const AtlasProbe probe(f.topo.graph, cfg);
+  const auto routing = bgp::compute_routes(f.topo.graph, {});
+  const auto out = probe.measure(0, routing, f.server, f.identity_map,
+                                 f.site_to_core);
+  for (const auto s : out) EXPECT_EQ(s, core::kErrorSite);
+}
+
+TEST(AtlasProbe, RepresentedBlocksImplementAddressWeighting) {
+  Fixture f = Fixture::make();
+  AtlasConfig cfg;
+  cfg.vp_count = 300;
+  cfg.seed = 14;
+  const AtlasProbe probe(f.topo.graph, cfg);
+
+  // Announced /24 count per AS, from the topology.
+  std::unordered_map<bgp::AsIndex, std::uint32_t> blocks_of;
+  for (const std::uint32_t b : f.topo.blocks) {
+    const auto as =
+        f.topo.graph.origin_of(netbase::block24_from_index(b).base());
+    if (as) ++blocks_of[*as];
+  }
+
+  const auto rep = probe.represented_blocks(blocks_of);
+  ASSERT_EQ(rep.size(), probe.vantage_points().size());
+
+  std::unordered_map<bgp::AsIndex, std::uint32_t> vps_in_as;
+  for (const auto& vp : probe.vantage_points()) ++vps_in_as[vp.as];
+
+  for (std::size_t v = 0; v < rep.size(); ++v) {
+    EXPECT_GE(rep[v], 1u);
+    const auto& vp = probe.vantage_points()[v];
+    const auto it = blocks_of.find(vp.as);
+    if (it != blocks_of.end()) {
+      // Co-located VPs split their AS's address space, never exceed it.
+      EXPECT_LE(rep[v],
+                std::max(1u, it->second));
+      EXPECT_GE(rep[v] * vps_in_as.at(vp.as) + vps_in_as.at(vp.as),
+                it->second);
+    } else {
+      EXPECT_EQ(rep[v], 1u);  // AS announces nothing we know of
+    }
+  }
+
+  // A lone VP in a large AS must carry that AS's full block count —
+  // the paper's "one VP in a /16 counts as 256".
+  for (std::size_t v = 0; v < rep.size(); ++v) {
+    const auto& vp = probe.vantage_points()[v];
+    const auto it = blocks_of.find(vp.as);
+    if (it != blocks_of.end() && vps_in_as.at(vp.as) == 1) {
+      EXPECT_EQ(rep[v], std::max(1u, it->second));
+    }
+  }
+}
+
+TEST(AtlasProbe, RttTracksGeographyOfCatchment) {
+  Fixture f = Fixture::make();
+  AtlasConfig cfg;
+  cfg.vp_count = 200;
+  cfg.seed = 13;
+  const AtlasProbe probe(f.topo.graph, cfg);
+  const auto routing = f.routing();
+  const std::vector<geo::Coord> site_coords{
+      f.topo.graph.node(f.topo.stubs[0]).location,
+      f.topo.graph.node(f.topo.stubs[60]).location};
+  const geo::LatencyModel model;
+  const auto rtt = probe.measure_rtt(0, routing, site_coords, model);
+  ASSERT_EQ(rtt.size(), 200u);
+  for (std::size_t v = 0; v < rtt.size(); ++v) {
+    ASSERT_GE(rtt[v], model.base_ms * 0.5);
+    const auto site = routing.catchment(probe.vantage_points()[v].as);
+    ASSERT_TRUE(site);
+    const double ideal = model.rtt_ms(probe.vantage_points()[v].location,
+                                      site_coords[*site]);
+    EXPECT_NEAR(rtt[v], ideal, std::max(5.0, ideal * 0.4));
+  }
+}
+
+}  // namespace
+}  // namespace fenrir::measure

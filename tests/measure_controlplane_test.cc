@@ -1,0 +1,138 @@
+#include "measure/controlplane.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/service.h"
+#include "bgp/topology_gen.h"
+#include "measure/verfploeter.h"
+
+namespace fenrir::measure {
+namespace {
+
+struct Fixture {
+  bgp::Topology topo;
+  bgp::AnycastService service;
+  netbase::Hitlist hitlist;
+  std::unordered_map<std::uint32_t, std::uint32_t> origin_site;
+  std::vector<core::SiteId> site_to_core{core::kFirstRealSite,
+                                         core::kFirstRealSite + 1};
+
+  static Fixture make() {
+    bgp::TopologyParams p;
+    p.tier1_count = 3;
+    p.tier2_count = 12;
+    p.stub_count = 200;
+    p.seed = 77;
+    bgp::Topology topo = bgp::generate_topology(p);
+    bgp::AnycastService svc(*netbase::Prefix::parse("199.9.14.0/24"));
+    svc.add_site(0, topo.stubs[0]);
+    svc.add_site(1, topo.stubs[100]);
+    std::unordered_map<std::uint32_t, std::uint32_t> origin_site{
+        {topo.graph.node(topo.stubs[0]).asn.value(), 0u},
+        {topo.graph.node(topo.stubs[100]).asn.value(), 1u}};
+    netbase::Hitlist hl(topo.blocks, 7);
+    return Fixture{std::move(topo), std::move(svc), std::move(hl),
+                   std::move(origin_site)};
+  }
+};
+
+TEST(ControlPlane, PeerEstimatesMatchTheRoutingTable) {
+  Fixture f = Fixture::make();
+  // Every tier-2 peers with the collector: broad control-plane coverage.
+  bgp::RouteCollector collector(&f.topo.graph, f.topo.tier2,
+                                *netbase::Prefix::parse("199.9.14.0/24"));
+  ControlPlaneProbe probe(&f.hitlist, f.origin_site);
+  const auto routing =
+      bgp::compute_routes(f.topo.graph, f.service.active_origins());
+  for (const auto& u : collector.poll(routing)) probe.ingest(u);
+  EXPECT_EQ(probe.peers_with_routes(), f.topo.tier2.size());
+
+  const auto estimate = probe.estimate(f.topo.graph, f.site_to_core);
+  ASSERT_EQ(estimate.size(), f.hitlist.size());
+
+  // Where the estimate claims knowledge, it must agree with the real
+  // catchment whenever the block's stub has a single provider (the
+  // inheritance assumption is exact there).
+  std::size_t known = 0, checked = 0, agree = 0;
+  for (std::size_t i = 0; i < estimate.size(); ++i) {
+    if (estimate[i] == core::kUnknownSite) continue;
+    ++known;
+    const auto as = f.topo.graph.origin_of(f.hitlist.target(i));
+    ASSERT_TRUE(as.has_value());
+    std::size_t providers = 0;
+    for (const auto& l : f.topo.graph.node(*as).links) {
+      providers += (l.relation == bgp::Relation::kProvider);
+    }
+    if (providers != 1) continue;
+    ++checked;
+    const auto truth = routing.catchment(*as);
+    ASSERT_TRUE(truth.has_value());
+    agree += (estimate[i] == f.site_to_core[*truth]);
+  }
+  EXPECT_GT(known, f.hitlist.size() / 2);
+  EXPECT_GT(checked, 0u);
+  EXPECT_EQ(agree, checked);
+}
+
+TEST(ControlPlane, SparsePeeringYieldsPartialCoverage) {
+  Fixture f = Fixture::make();
+  const std::vector<bgp::AsIndex> few_peers{f.topo.tier2[0], f.topo.tier2[1]};
+  bgp::RouteCollector collector(&f.topo.graph, few_peers,
+                                *netbase::Prefix::parse("199.9.14.0/24"));
+  ControlPlaneProbe probe(&f.hitlist, f.origin_site);
+  const auto routing =
+      bgp::compute_routes(f.topo.graph, f.service.active_origins());
+  for (const auto& u : collector.poll(routing)) probe.ingest(u);
+
+  const auto estimate = probe.estimate(f.topo.graph, f.site_to_core);
+  std::size_t known = 0;
+  for (const auto s : estimate) known += (s != core::kUnknownSite);
+  EXPECT_GT(known, 0u);
+  EXPECT_LT(known, estimate.size() / 2);  // far from full coverage
+}
+
+TEST(ControlPlane, WithdrawalsEraseKnowledge) {
+  Fixture f = Fixture::make();
+  bgp::RouteCollector collector(&f.topo.graph, f.topo.tier2,
+                                *netbase::Prefix::parse("199.9.14.0/24"));
+  ControlPlaneProbe probe(&f.hitlist, f.origin_site);
+  for (const auto& u : collector.poll(
+           bgp::compute_routes(f.topo.graph, f.service.active_origins()))) {
+    probe.ingest(u);
+  }
+  EXPECT_GT(probe.peers_with_routes(), 0u);
+  for (const auto& u : collector.poll(bgp::compute_routes(f.topo.graph, {}))) {
+    probe.ingest(u);
+  }
+  EXPECT_EQ(probe.peers_with_routes(), 0u);
+  const auto estimate = probe.estimate(f.topo.graph, f.site_to_core);
+  for (const auto s : estimate) EXPECT_EQ(s, core::kUnknownSite);
+}
+
+TEST(ControlPlane, UnknownOriginAsnBecomesOther) {
+  Fixture f = Fixture::make();
+  ControlPlaneProbe probe(&f.hitlist, {});  // empty origin table
+  bgp::RouteCollector collector(&f.topo.graph, f.topo.tier2,
+                                *netbase::Prefix::parse("199.9.14.0/24"));
+  for (const auto& u : collector.poll(
+           bgp::compute_routes(f.topo.graph, f.service.active_origins()))) {
+    probe.ingest(u);
+  }
+  const auto estimate = probe.estimate(f.topo.graph, f.site_to_core);
+  std::size_t other = 0;
+  for (const auto s : estimate) other += (s == core::kOtherSite);
+  EXPECT_GT(other, 0u);
+}
+
+TEST(ControlPlane, MalformedWireThrows) {
+  Fixture f = Fixture::make();
+  ControlPlaneProbe probe(&f.hitlist, f.origin_site);
+  bgp::CollectedUpdate junk;
+  junk.peer = f.topo.tier2[0];
+  junk.wire = {1, 2, 3};
+  EXPECT_THROW(probe.ingest(junk), bgp::BgpError);
+  EXPECT_THROW(ControlPlaneProbe(nullptr, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fenrir::measure

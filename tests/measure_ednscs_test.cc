@@ -1,0 +1,230 @@
+#include "measure/ednscs.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace fenrir::measure {
+namespace {
+
+using netbase::Ipv4Addr;
+using netbase::Prefix;
+
+// Fixed test geography: two sites, clients near one or the other.
+const geo::Coord kEast{40.0, -75.0};
+const geo::Coord kWest{37.0, -122.0};
+
+std::optional<geo::Coord> locate(const Prefix& p) {
+  // 10.1.x near east, 10.2.x near west, anything else unknown.
+  if (p.base().octet(1) == 1) return kEast;
+  if (p.base().octet(1) == 2) return kWest;
+  return std::nullopt;
+}
+
+std::vector<FrontEnd> two_sites() {
+  return {
+      FrontEnd{0, Ipv4Addr(198, 51, 100, 1), kEast, 0},
+      FrontEnd{1, Ipv4Addr(198, 51, 100, 2), kWest, 0},
+  };
+}
+
+Prefix east_prefix() { return *Prefix::parse("10.1.0.0/24"); }
+Prefix west_prefix() { return *Prefix::parse("10.2.0.0/24"); }
+
+TEST(GeoNearest, PicksNearestSite) {
+  GeoNearestPolicy policy(locate);
+  const auto fleet = two_sites();
+  EXPECT_EQ(policy.select(east_prefix(), 0, fleet), 0u);
+  EXPECT_EQ(policy.select(west_prefix(), 0, fleet), 1u);
+}
+
+TEST(GeoNearest, DrainWindowRedirects) {
+  GeoNearestPolicy policy(locate);
+  policy.add_drain_window(0, 100, 200);
+  const auto fleet = two_sites();
+  EXPECT_EQ(policy.select(east_prefix(), 50, fleet), 0u);
+  EXPECT_EQ(policy.select(east_prefix(), 150, fleet), 1u);  // drained
+  EXPECT_EQ(policy.select(east_prefix(), 200, fleet), 0u);  // back
+}
+
+TEST(GeoNearest, AllDrainedIsServfail) {
+  GeoNearestPolicy policy(locate);
+  policy.add_drain_window(0, 0, 10);
+  policy.add_drain_window(1, 0, 10);
+  EXPECT_EQ(policy.select(east_prefix(), 5, two_sites()), std::nullopt);
+}
+
+TEST(GeoNearest, PenaltyWindowRepelsDistantClientsOnly) {
+  const auto fleet = two_sites();
+  // A client ~85 km from the east site: with a 50x penalty its effective
+  // east distance (~4250 km) exceeds the real west distance (~4100 km).
+  GeoNearestPolicy near_policy(
+      [](const Prefix&) -> std::optional<geo::Coord> {
+        return geo::Coord{40.0, -74.0};
+      });
+  near_policy.add_penalty_window(0, 100, 200, 50.0);
+  EXPECT_EQ(near_policy.select(east_prefix(), 50, fleet), 0u);   // before
+  EXPECT_EQ(near_policy.select(east_prefix(), 150, fleet), 1u);  // during
+  EXPECT_EQ(near_policy.select(east_prefix(), 250, fleet), 0u);  // after
+  // A client exactly at the east site (distance ~0) stays: 0 * 50 = 0.
+  GeoNearestPolicy at_site_policy(
+      [](const Prefix&) -> std::optional<geo::Coord> { return kEast; });
+  at_site_policy.add_penalty_window(0, 100, 200, 50.0);
+  EXPECT_EQ(at_site_policy.select(east_prefix(), 150, fleet), 0u);
+}
+
+TEST(GeoNearest, FlappingPrefixesOscillateDeterministically) {
+  GeoNearestPolicy policy(locate, /*flap_fraction=*/1.0, /*seed=*/5);
+  const auto fleet = two_sites();
+  std::size_t flips = 0;
+  std::optional<std::size_t> prev;
+  for (int day = 0; day < 30; ++day) {
+    const auto s = policy.select(east_prefix(), day * core::kDay, fleet);
+    ASSERT_TRUE(s);
+    if (prev && *s != *prev) ++flips;
+    prev = s;
+    // Determinism.
+    EXPECT_EQ(policy.select(east_prefix(), day * core::kDay, fleet), s);
+  }
+  EXPECT_GT(flips, 5u);
+}
+
+TEST(GeoNearest, UnknownLocationGetsSomeActiveSite) {
+  GeoNearestPolicy policy(locate);
+  const auto s =
+      policy.select(*Prefix::parse("10.9.0.0/24"), 0, two_sites());
+  ASSERT_TRUE(s);
+}
+
+TEST(Churn, RemapsAcrossEpochsButNotWithin) {
+  ChurnPolicy::Config cfg;
+  cfg.candidate_pool = 4;
+  cfg.daily_churn = 0.0;
+  cfg.seed = 9;
+  // Eight co-located front-ends so the pool has real alternatives.
+  std::vector<FrontEnd> fleet;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    fleet.push_back(FrontEnd{i, Ipv4Addr(198, 51, 100, i + 1), kEast, 0});
+  }
+  ChurnPolicy policy(locate, cfg);
+
+  // Within one epoch: stable.
+  const auto d0 = policy.select(east_prefix(), 0, fleet);
+  const auto d3 = policy.select(east_prefix(), 3 * core::kDay, fleet);
+  EXPECT_EQ(d0, d3);
+
+  // Across many epochs: the assignment changes for most prefixes.
+  std::size_t changed = 0, total = 0;
+  for (std::uint32_t p = 0; p < 64; ++p) {
+    const Prefix client(Ipv4Addr(10, 1, static_cast<std::uint8_t>(p), 0), 24);
+    const auto e0 = policy.select(client, 0, fleet);
+    const auto e1 = policy.select(client, 8 * core::kDay, fleet);
+    ++total;
+    changed += (e0 != e1);
+  }
+  EXPECT_GT(changed, total / 2);
+}
+
+TEST(Churn, GenerationSwapReplacesFleet) {
+  ChurnPolicy::Config cfg;
+  cfg.generation_starts = {1000};
+  cfg.seed = 10;
+  std::vector<FrontEnd> fleet{
+      FrontEnd{0, Ipv4Addr(198, 51, 100, 1), kEast, 0},
+      FrontEnd{1, Ipv4Addr(198, 51, 100, 2), kEast, 1},
+  };
+  ChurnPolicy policy(locate, cfg);
+  EXPECT_EQ(policy.select(east_prefix(), 0, fleet), 0u);     // gen 0
+  EXPECT_EQ(policy.select(east_prefix(), 2000, fleet), 1u);  // gen 1
+}
+
+TEST(Churn, EmptyGenerationIsServfail) {
+  ChurnPolicy::Config cfg;
+  cfg.generation_starts = {1000};
+  std::vector<FrontEnd> fleet{
+      FrontEnd{0, Ipv4Addr(198, 51, 100, 1), kEast, 0}};
+  ChurnPolicy policy(locate, cfg);
+  EXPECT_EQ(policy.select(east_prefix(), 5000, fleet), std::nullopt);
+}
+
+// --- WebsiteService + probe over the wire ---
+
+std::unique_ptr<WebsiteService> make_service() {
+  return std::make_unique<WebsiteService>(
+      "www.example.org", two_sites(),
+      std::make_unique<GeoNearestPolicy>(locate));
+}
+
+TEST(WebsiteService, AnswersClientSubnetQueries) {
+  const auto svc = make_service();
+  dns::Message q = dns::make_query(
+      3, dns::Question{"www.example.org", dns::RecordType::kA,
+                       dns::RecordClass::kIn});
+  dns::set_edns(q, dns::make_client_subnet_request(west_prefix()));
+  const auto resp = dns::Message::decode(svc->handle(q.encode(), 0));
+  EXPECT_EQ(resp.header.rcode, dns::Rcode::kNoError);
+  ASSERT_EQ(resp.answers.size(), 1u);
+  EXPECT_EQ(resp.answers[0].a_addr(), Ipv4Addr(198, 51, 100, 2).value());
+  // Scope echoed at /24.
+  const auto e = dns::get_edns(resp);
+  ASSERT_TRUE(e);
+  const auto* opt = e->find(dns::kOptionClientSubnet);
+  ASSERT_NE(opt, nullptr);
+  EXPECT_EQ(dns::ClientSubnet::decode(opt->data).scope_len, 24);
+}
+
+TEST(WebsiteService, WrongNameIsNxdomain) {
+  const auto svc = make_service();
+  const dns::Message q = dns::make_query(
+      3, dns::Question{"other.example.org", dns::RecordType::kA,
+                       dns::RecordClass::kIn});
+  const auto resp = dns::Message::decode(svc->handle(q.encode(), 0));
+  EXPECT_EQ(resp.header.rcode, dns::Rcode::kNxDomain);
+  EXPECT_TRUE(resp.answers.empty());
+}
+
+TEST(WebsiteService, SiteOfAddrMapsFleet) {
+  const auto svc = make_service();
+  EXPECT_EQ(svc->site_of_addr(Ipv4Addr(198, 51, 100, 1)), 0u);
+  EXPECT_EQ(svc->site_of_addr(Ipv4Addr(198, 51, 100, 2)), 1u);
+  EXPECT_EQ(svc->site_of_addr(Ipv4Addr(8, 8, 8, 8)), std::nullopt);
+}
+
+TEST(EdnsCsProbe, SweepsPrefixesToSites) {
+  const auto svc = make_service();
+  EdnsCsConfig cfg;
+  cfg.query_loss = 0.0;
+  const EdnsCsProbe probe({east_prefix(), west_prefix()}, cfg);
+  const std::vector<core::SiteId> map{core::kFirstRealSite,
+                                      core::kFirstRealSite + 1};
+  const auto out = probe.measure(0, *svc, map);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], core::kFirstRealSite);
+  EXPECT_EQ(out[1], core::kFirstRealSite + 1);
+}
+
+TEST(EdnsCsProbe, DrainedServiceYieldsErr) {
+  auto policy = std::make_unique<GeoNearestPolicy>(locate);
+  policy->add_drain_window(0, 0, 10);
+  policy->add_drain_window(1, 0, 10);
+  const WebsiteService svc("www.example.org", two_sites(), std::move(policy));
+  EdnsCsConfig cfg;
+  cfg.query_loss = 0.0;
+  const EdnsCsProbe probe({east_prefix()}, cfg);
+  const auto out =
+      probe.measure(5, svc, {core::kFirstRealSite, core::kFirstRealSite + 1});
+  EXPECT_EQ(out[0], core::kErrorSite);
+}
+
+TEST(EdnsCsProbe, QueryLossYieldsErr) {
+  const auto svc = make_service();
+  EdnsCsConfig cfg;
+  cfg.query_loss = 1.0;
+  const EdnsCsProbe probe({east_prefix()}, cfg);
+  const auto out =
+      probe.measure(0, *svc, {core::kFirstRealSite, core::kFirstRealSite + 1});
+  EXPECT_EQ(out[0], core::kErrorSite);
+}
+
+}  // namespace
+}  // namespace fenrir::measure

@@ -1,0 +1,61 @@
+#include "measure/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::measure {
+namespace {
+
+TEST(SweepSchedule, PaperScanTakesAboutEightHours) {
+  // 1.6M /24 targets, 10 hops x ~1 probe, 550 pps -> the paper's "around
+  // 8 hours to complete a full list scan".
+  SweepSchedule s(1'600'000, 550.0, 10);
+  EXPECT_NEAR(s.sweep_seconds() / 3600.0, 8.08, 0.1);
+}
+
+TEST(SweepSchedule, ProbeTimesAreOrderedAndRateLimited) {
+  SweepSchedule s(1000, 100.0, 2, /*start=*/500);
+  EXPECT_EQ(s.probe_time(0, 0), 500);
+  // Target 500: 500*2/100 = 10 s in.
+  EXPECT_EQ(s.probe_time(0, 500), 510);
+  // Monotone in index.
+  for (std::size_t i = 1; i < 1000; i += 97) {
+    EXPECT_GE(s.probe_time(0, i), s.probe_time(0, i - 1));
+  }
+  // Next sweep starts after period.
+  EXPECT_GE(s.probe_time(1, 0), s.probe_time(0, 999));
+}
+
+TEST(SweepSchedule, SweepAndTargetLookup) {
+  SweepSchedule s(100, 10.0, 1, 0, /*idle_gap=*/9);
+  // Sweep takes 10s, period = 11 + 9 = 20s.
+  EXPECT_EQ(s.period(), 20);
+  EXPECT_EQ(s.sweep_at(0), 0u);
+  EXPECT_EQ(s.sweep_at(19), 0u);
+  EXPECT_EQ(s.sweep_at(20), 1u);
+  EXPECT_EQ(s.sweep_at(45), 2u);
+  // 5 seconds into a sweep: target 50.
+  EXPECT_EQ(s.target_at(5), 50u);
+  EXPECT_EQ(s.target_at(25), 50u);  // same phase, next sweep
+  // During the idle gap: none.
+  EXPECT_EQ(s.target_at(15), 100u);
+}
+
+TEST(SweepSchedule, ObservationSmearIsVisible) {
+  // The first and last target of a sweep are probed hours apart even
+  // though they land in the same observation vector.
+  SweepSchedule s(1'600'000, 550.0, 10);
+  const auto first = s.probe_time(0, 0);
+  const auto last = s.probe_time(0, 1'599'999);
+  EXPECT_GT(last - first, 7 * core::kHour);
+}
+
+TEST(SweepSchedule, RejectsBadParameters) {
+  EXPECT_THROW(SweepSchedule(0, 100.0), std::invalid_argument);
+  EXPECT_THROW(SweepSchedule(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(SweepSchedule(10, 100.0, 0), std::invalid_argument);
+  SweepSchedule s(10, 100.0);
+  EXPECT_THROW(s.probe_time(0, 10), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fenrir::measure

@@ -1,0 +1,175 @@
+#include "measure/traceroute.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/topology_gen.h"
+
+namespace fenrir::measure {
+namespace {
+
+struct Fixture {
+  bgp::Topology topo;
+  bgp::AsIndex enterprise;
+
+  static Fixture make(std::uint64_t seed = 21) {
+    bgp::TopologyParams p;
+    p.tier1_count = 3;
+    p.tier2_count = 10;
+    p.stub_count = 100;
+    p.seed = seed;
+    bgp::Topology topo = bgp::generate_topology(p);
+    const bgp::AsIndex ent = topo.stubs[0];
+    return Fixture{std::move(topo), ent};
+  }
+};
+
+TEST(Traceroute, RouterAddressesAttributeToTheirAs) {
+  Fixture f = Fixture::make();
+  TracerouteConfig cfg;
+  cfg.seed = 31;
+  TracerouteProbe probe(f.topo.graph, f.enterprise, cfg);
+  for (const bgp::AsIndex as : {f.topo.tier1[0], f.topo.tier2[3],
+                                f.topo.stubs[42]}) {
+    const auto addr = probe.router_addr(as, 1);
+    EXPECT_EQ(probe.hop_owner(f.topo.graph, addr), as);
+  }
+  // Private addresses are unattributable.
+  EXPECT_EQ(probe.hop_owner(f.topo.graph, netbase::Ipv4Addr(10, 0, 0, 1)),
+            std::nullopt);
+}
+
+TEST(Traceroute, WalksTheForwardPath) {
+  Fixture f = Fixture::make();
+  TracerouteConfig cfg;
+  cfg.seed = 32;
+  cfg.hop_response_prob = 1.0;
+  cfg.filtering_as_fraction = 0.0;
+  cfg.enterprise_internal_hops = 1;
+  TracerouteProbe probe(f.topo.graph, f.enterprise, cfg);
+
+  const std::uint32_t dst_block = f.topo.blocks.back();
+  const auto dst_as = f.topo.graph.origin_of(
+      netbase::block24_from_index(dst_block).base());
+  ASSERT_TRUE(dst_as);
+  const auto routing =
+      bgp::compute_routes(f.topo.graph, {{*dst_as, 0, 0}});
+  const auto result = probe.trace(0, dst_block, routing);
+
+  const auto path = routing.as_path(f.enterprise);
+  ASSERT_FALSE(path.empty());
+  // Hop 1 internal/private; hops 2..n+1 are the path ASes in order.
+  ASSERT_GE(result.hops.size(), 1 + path.size());
+  EXPECT_TRUE(result.hops[0].addr->is_private());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const auto& hop = result.hops[1 + i];
+    ASSERT_TRUE(hop.addr.has_value());
+    EXPECT_EQ(probe.hop_owner(f.topo.graph, *hop.addr), path[i]);
+  }
+}
+
+TEST(Traceroute, CapsAtMaxHops) {
+  Fixture f = Fixture::make();
+  TracerouteConfig cfg;
+  cfg.max_hops = 4;
+  TracerouteProbe probe(f.topo.graph, f.enterprise, cfg);
+  const std::uint32_t dst_block = f.topo.blocks.back();
+  const auto dst_as = f.topo.graph.origin_of(
+      netbase::block24_from_index(dst_block).base());
+  const auto routing =
+      bgp::compute_routes(f.topo.graph, {{*dst_as, 0, 0}});
+  const auto result = probe.trace(0, dst_block, routing);
+  EXPECT_LE(result.hops.size(), 4u);
+}
+
+TEST(Traceroute, UnreachableDestinationIsAllStarsAfterInternal) {
+  Fixture f = Fixture::make();
+  TracerouteConfig cfg;
+  cfg.enterprise_internal_hops = 2;
+  TracerouteProbe probe(f.topo.graph, f.enterprise, cfg);
+  const auto result =
+      probe.trace(0, f.topo.blocks[0], std::span<const bgp::AsIndex>{});
+  EXPECT_EQ(result.hops.size(), static_cast<std::size_t>(cfg.max_hops));
+  EXPECT_FALSE(result.reached);
+  for (std::size_t i = 2; i < result.hops.size(); ++i) {
+    EXPECT_FALSE(result.hops[i].addr.has_value());
+  }
+}
+
+TEST(Traceroute, FilteringAsesNeverAnswer) {
+  Fixture f = Fixture::make();
+  TracerouteConfig cfg;
+  cfg.seed = 33;
+  cfg.filtering_as_fraction = 1.0;  // everyone except the enterprise
+  cfg.enterprise_internal_hops = 1;
+  TracerouteProbe probe(f.topo.graph, f.enterprise, cfg);
+  EXPECT_FALSE(probe.filters_icmp(f.enterprise));
+  EXPECT_TRUE(probe.filters_icmp(f.topo.tier1[0]));
+
+  const std::uint32_t dst_block = f.topo.blocks.back();
+  const auto dst_as = f.topo.graph.origin_of(
+      netbase::block24_from_index(dst_block).base());
+  const auto routing =
+      bgp::compute_routes(f.topo.graph, {{*dst_as, 0, 0}});
+  const auto result = probe.trace(0, dst_block, routing);
+  // Internal hop answers; enterprise border answers; the rest are stars.
+  EXPECT_TRUE(result.hops[0].addr.has_value());
+  EXPECT_TRUE(result.hops[1].addr.has_value());
+  for (std::size_t i = 2; i < result.hops.size(); ++i) {
+    if (i + 1 == result.hops.size() && result.reached) continue;
+    EXPECT_FALSE(result.hops[i].addr.has_value()) << "hop " << i;
+  }
+}
+
+TEST(Traceroute, FocusCatchmentDirectAndSpatialFill) {
+  Fixture f = Fixture::make();
+  TracerouteConfig cfg;
+  cfg.seed = 34;
+  TracerouteProbe probe(f.topo.graph, f.enterprise, cfg);
+
+  TracerouteResult result;
+  result.hops.push_back({netbase::Ipv4Addr(10, 0, 0, 1)});  // private
+  result.hops.push_back({probe.router_addr(f.topo.tier2[0], 0)});
+  result.hops.push_back({std::nullopt});  // focus hop silent
+  result.hops.push_back({probe.router_addr(f.topo.tier1[0], 0)});
+
+  // Direct hit.
+  EXPECT_EQ(probe.focus_catchment(f.topo.graph, result, 2), f.topo.tier2[0]);
+  // Hop 3 is silent: nearest viable is hop 2 (closer to the enterprise
+  // wins the tie against hop 4).
+  EXPECT_EQ(probe.focus_catchment(f.topo.graph, result, 3), f.topo.tier2[0]);
+  // Fill distance 0 would find nothing.
+  EXPECT_EQ(probe.focus_catchment(f.topo.graph, result, 3, 0), std::nullopt);
+  // Out-of-range hop with fill reaches back to hop 4.
+  EXPECT_EQ(probe.focus_catchment(f.topo.graph, result, 5, 1),
+            f.topo.tier1[0]);
+  // Hop 1 is private (unattributable): fill borrows hop 2.
+  EXPECT_EQ(probe.focus_catchment(f.topo.graph, result, 1), f.topo.tier2[0]);
+}
+
+TEST(Traceroute, DeterministicPerInputs) {
+  Fixture f = Fixture::make();
+  TracerouteConfig cfg;
+  cfg.seed = 35;
+  TracerouteProbe probe(f.topo.graph, f.enterprise, cfg);
+  const std::uint32_t dst_block = f.topo.blocks[5];
+  const auto dst_as = f.topo.graph.origin_of(
+      netbase::block24_from_index(dst_block).base());
+  const auto routing =
+      bgp::compute_routes(f.topo.graph, {{*dst_as, 0, 0}});
+  const auto r1 = probe.trace(100, dst_block, routing);
+  const auto r2 = probe.trace(100, dst_block, routing);
+  ASSERT_EQ(r1.hops.size(), r2.hops.size());
+  for (std::size_t i = 0; i < r1.hops.size(); ++i) {
+    EXPECT_EQ(r1.hops[i].addr, r2.hops[i].addr);
+  }
+}
+
+TEST(Traceroute, BadEnterpriseIndexThrows) {
+  Fixture f = Fixture::make();
+  EXPECT_THROW(
+      TracerouteProbe(f.topo.graph, 1u << 30, TracerouteConfig{}),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace fenrir::measure

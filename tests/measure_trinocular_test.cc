@@ -1,0 +1,153 @@
+#include "measure/trinocular.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/routing.h"
+#include "bgp/topology_gen.h"
+
+namespace fenrir::measure {
+namespace {
+
+struct Fixture {
+  bgp::Topology topo;
+  netbase::Hitlist hitlist;
+  std::unordered_map<std::uint32_t, std::vector<bgp::AsIndex>> paths;
+
+  static Fixture make() {
+    bgp::TopologyParams p;
+    p.tier1_count = 3;
+    p.tier2_count = 10;
+    p.stub_count = 150;
+    p.seed = 91;
+    bgp::Topology topo = bgp::generate_topology(p);
+    netbase::Hitlist hl(topo.blocks, 5);
+
+    // Forward paths from one enterprise stub to every block's AS.
+    const bgp::AsIndex ent = topo.stubs[0];
+    std::unordered_map<std::uint32_t, std::vector<bgp::AsIndex>> paths;
+    for (std::size_t i = 0; i < hl.size(); ++i) {
+      const auto dst = topo.graph.origin_of(hl.target(i));
+      if (!dst) continue;
+      const auto table =
+          bgp::compute_routes(topo.graph, {bgp::Origin{*dst, 0, 0}});
+      paths[hl.block(i)] = table.as_path(ent);
+    }
+    return Fixture{std::move(topo), std::move(hl), std::move(paths)};
+  }
+
+  auto path_fn() const {
+    return [this](std::uint32_t block) -> const std::vector<bgp::AsIndex>* {
+      const auto it = paths.find(block);
+      return it == paths.end() ? nullptr : &it->second;
+    };
+  }
+};
+
+TEST(PathRtt, GrowsWithPathGeography) {
+  Fixture f = Fixture::make();
+  const geo::LatencyModel model;
+  // Empty / single-hop paths pay only the base cost.
+  EXPECT_DOUBLE_EQ(path_rtt_ms({}, f.topo.graph, model), model.base_ms);
+  const std::vector<bgp::AsIndex> self{f.topo.stubs[0]};
+  EXPECT_DOUBLE_EQ(path_rtt_ms(self, f.topo.graph, model), model.base_ms);
+
+  // A longer geographic detour costs more than its sub-path.
+  const std::vector<bgp::AsIndex> two{f.topo.stubs[0], f.topo.tier1[0]};
+  const std::vector<bgp::AsIndex> three{f.topo.stubs[0], f.topo.tier1[0],
+                                        f.topo.tier1[1]};
+  EXPECT_GE(path_rtt_ms(three, f.topo.graph, model),
+            path_rtt_ms(two, f.topo.graph, model));
+}
+
+TEST(Trinocular, RoundShapeAndDeterminism) {
+  Fixture f = Fixture::make();
+  TrinocularConfig cfg;
+  cfg.seed = 13;
+  const TrinocularProbe probe(&f.hitlist, &f.topo.graph, cfg);
+  const geo::LatencyModel model;
+  const auto a = probe.measure_rtt(0, f.path_fn(), model);
+  const auto b = probe.measure_rtt(0, f.path_fn(), model);
+  ASSERT_EQ(a.size(), f.hitlist.size());
+  EXPECT_EQ(a, b);
+
+  std::size_t responsive = 0;
+  for (const double rtt : a) {
+    if (rtt >= 0) {
+      ++responsive;
+      EXPECT_GE(rtt, model.base_ms * 0.5);
+      EXPECT_LT(rtt, 2000.0);
+    }
+  }
+  // Dark blocks and per-round misses leave gaps, but most answer.
+  EXPECT_GT(responsive, a.size() / 3);
+  EXPECT_LT(responsive, a.size());
+}
+
+TEST(Trinocular, DarkBlocksNeverAnswer) {
+  Fixture f = Fixture::make();
+  TrinocularConfig cfg;
+  cfg.seed = 14;
+  const TrinocularProbe probe(&f.hitlist, &f.topo.graph, cfg);
+  const geo::LatencyModel model;
+  // Across many rounds, dark blocks stay at -1 and lit blocks answer
+  // at least once.
+  std::vector<char> ever(f.hitlist.size(), 0);
+  for (int round = 0; round < 12; ++round) {
+    const auto rtt = probe.measure_rtt(round * cfg.round, f.path_fn(), model);
+    for (std::size_t i = 0; i < rtt.size(); ++i) ever[i] |= (rtt[i] >= 0);
+  }
+  std::size_t lit_answered = 0, lit_total = 0;
+  for (std::size_t i = 0; i < f.hitlist.size(); ++i) {
+    if (probe.block_is_dark(f.hitlist.block(i))) {
+      EXPECT_FALSE(ever[i]);
+    } else if (f.paths.contains(f.hitlist.block(i))) {
+      ++lit_total;
+      lit_answered += ever[i];
+    }
+  }
+  EXPECT_GT(lit_total, 0u);
+  EXPECT_GT(static_cast<double>(lit_answered),
+            0.95 * static_cast<double>(lit_total));
+}
+
+TEST(Trinocular, UnroutedBlocksGetNoMeasurement) {
+  Fixture f = Fixture::make();
+  TrinocularConfig cfg;
+  const TrinocularProbe probe(&f.hitlist, &f.topo.graph, cfg);
+  const geo::LatencyModel model;
+  const auto rtt = probe.measure_rtt(
+      0, [](std::uint32_t) -> const std::vector<bgp::AsIndex>* {
+        return nullptr;
+      },
+      model);
+  for (const double v : rtt) EXPECT_LT(v, 0);
+}
+
+TEST(Trinocular, LongerPathsCostMore) {
+  // RTT through a transatlantic detour must exceed a regional path.
+  Fixture f = Fixture::make();
+  TrinocularConfig cfg;
+  cfg.dark_block_fraction = 0.0;
+  cfg.target_response_prob = 1.0;
+  const TrinocularProbe probe(&f.hitlist, &f.topo.graph, cfg);
+  const geo::LatencyModel model;
+
+  // Construct two synthetic paths sharing the first hop.
+  std::vector<bgp::AsIndex> near_path{f.topo.stubs[0], f.topo.tier2[0]};
+  std::vector<bgp::AsIndex> far_path{f.topo.stubs[0], f.topo.tier2[0],
+                                     f.topo.tier1[0], f.topo.tier1[2]};
+  const double near_rtt = path_rtt_ms(near_path, f.topo.graph, model);
+  const double far_rtt = path_rtt_ms(far_path, f.topo.graph, model);
+  EXPECT_GT(far_rtt, near_rtt);
+}
+
+TEST(Trinocular, NullArgumentsThrow) {
+  Fixture f = Fixture::make();
+  EXPECT_THROW(TrinocularProbe(nullptr, &f.topo.graph, {}),
+               std::invalid_argument);
+  EXPECT_THROW(TrinocularProbe(&f.hitlist, nullptr, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fenrir::measure

@@ -1,0 +1,115 @@
+#include "measure/verfploeter.h"
+
+#include <gtest/gtest.h>
+
+#include "bgp/topology_gen.h"
+
+namespace fenrir::measure {
+namespace {
+
+struct Fixture {
+  bgp::Topology topo;
+  netbase::Hitlist hitlist;
+  std::vector<core::SiteId> site_to_core;
+
+  static Fixture make(std::uint64_t seed = 5) {
+    bgp::TopologyParams p;
+    p.tier1_count = 3;
+    p.tier2_count = 10;
+    p.stub_count = 150;
+    p.seed = seed;
+    bgp::Topology topo = bgp::generate_topology(p);
+    netbase::Hitlist hl(topo.blocks, seed);
+    return Fixture{std::move(topo), std::move(hl),
+                   {core::kFirstRealSite, core::kFirstRealSite + 1}};
+  }
+};
+
+TEST(Verfploeter, CoverageNearHalfByDefault) {
+  Fixture f = Fixture::make();
+  VerfploeterConfig cfg;
+  cfg.seed = 77;
+  const VerfploeterProbe probe(&f.hitlist, cfg);
+  const auto routing = bgp::compute_routes(
+      f.topo.graph,
+      {{f.topo.stubs[0], 0, 0}, {f.topo.stubs[75], 1, 0}});
+  const auto out = probe.measure(0, f.topo.graph, routing, f.site_to_core);
+  ASSERT_EQ(out.size(), f.hitlist.size());
+  std::size_t known = 0;
+  for (const auto s : out) known += (s != core::kUnknownSite);
+  const double frac = static_cast<double>(known) / out.size();
+  EXPECT_GT(frac, 0.35);
+  EXPECT_LT(frac, 0.70);
+}
+
+TEST(Verfploeter, StableBlocksReportStableCatchments) {
+  // Across two rounds with identical routing, every known-both-times
+  // block reports the same site (routing did not change).
+  Fixture f = Fixture::make();
+  VerfploeterConfig cfg;
+  cfg.seed = 78;
+  const VerfploeterProbe probe(&f.hitlist, cfg);
+  const auto routing = bgp::compute_routes(
+      f.topo.graph,
+      {{f.topo.stubs[0], 0, 0}, {f.topo.stubs[75], 1, 0}});
+  const auto day1 = probe.measure(0, f.topo.graph, routing, f.site_to_core);
+  const auto day2 =
+      probe.measure(core::kDay, f.topo.graph, routing, f.site_to_core);
+  for (std::size_t i = 0; i < day1.size(); ++i) {
+    if (day1[i] != core::kUnknownSite && day2[i] != core::kUnknownSite) {
+      EXPECT_EQ(day1[i], day2[i]);
+    }
+  }
+}
+
+TEST(Verfploeter, PropensityIsBimodalAndStable) {
+  Fixture f = Fixture::make();
+  VerfploeterConfig cfg;
+  cfg.seed = 79;
+  const VerfploeterProbe probe(&f.hitlist, cfg);
+  std::size_t stable = 0, flaky = 0;
+  for (std::size_t i = 0; i < f.hitlist.size(); ++i) {
+    const double p = probe.propensity(f.hitlist.block(i));
+    EXPECT_EQ(probe.propensity(f.hitlist.block(i)), p);  // stable
+    if (p == cfg.stable_prob) {
+      ++stable;
+    } else {
+      EXPECT_EQ(p, cfg.flaky_prob);
+      ++flaky;
+    }
+  }
+  EXPECT_GT(stable, 0u);
+  EXPECT_GT(flaky, 0u);
+}
+
+TEST(Verfploeter, DrainedOnlySiteYieldsUnknownEverywhere) {
+  // No origins at all: no catchments, nothing can answer back.
+  Fixture f = Fixture::make();
+  VerfploeterConfig cfg;
+  const VerfploeterProbe probe(&f.hitlist, cfg);
+  const auto routing = bgp::compute_routes(f.topo.graph, {});
+  const auto out = probe.measure(0, f.topo.graph, routing, f.site_to_core);
+  for (const auto s : out) EXPECT_EQ(s, core::kUnknownSite);
+}
+
+TEST(Verfploeter, DeterministicPerTimeAndSeed) {
+  Fixture f = Fixture::make();
+  VerfploeterConfig cfg;
+  cfg.seed = 80;
+  const VerfploeterProbe probe(&f.hitlist, cfg);
+  const auto routing =
+      bgp::compute_routes(f.topo.graph, {{f.topo.stubs[0], 0, 0}});
+  const std::vector<core::SiteId> map{core::kFirstRealSite};
+  EXPECT_EQ(probe.measure(42, f.topo.graph, routing, map),
+            probe.measure(42, f.topo.graph, routing, map));
+  EXPECT_NE(probe.measure(42, f.topo.graph, routing, map),
+            probe.measure(43 * core::kDay, f.topo.graph, routing, map));
+}
+
+TEST(Verfploeter, NullHitlistThrows) {
+  EXPECT_THROW(VerfploeterProbe(nullptr, VerfploeterConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fenrir::measure

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "netbase/hitlist.h"
+#include "netbase/ipv4.h"
+#include "netbase/prefix_trie.h"
+
+namespace fenrir::netbase {
+namespace {
+
+TEST(Ipv4Addr, OctetsAndValueAgree) {
+  const Ipv4Addr a(192, 0, 2, 1);
+  EXPECT_EQ(a.value(), 0xc0000201u);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(3), 1);
+}
+
+TEST(Ipv4Addr, ToStringRoundTrip) {
+  for (const char* text : {"0.0.0.0", "255.255.255.255", "10.1.2.3",
+                           "198.51.100.77"}) {
+    const auto parsed = Ipv4Addr::parse(text);
+    ASSERT_TRUE(parsed) << text;
+    EXPECT_EQ(parsed->to_string(), text);
+  }
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  for (const char* text :
+       {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x", "1..2.3",
+        " 1.2.3.4", "1.2.3.4 ", "-1.2.3.4"}) {
+    EXPECT_FALSE(Ipv4Addr::parse(text)) << text;
+  }
+}
+
+TEST(Ipv4Addr, PrivateRanges) {
+  EXPECT_TRUE(Ipv4Addr(10, 0, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(172, 31, 255, 255).is_private());
+  EXPECT_FALSE(Ipv4Addr(172, 32, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Addr(192, 168, 1, 1).is_private());
+  EXPECT_FALSE(Ipv4Addr(192, 169, 1, 1).is_private());
+  EXPECT_FALSE(Ipv4Addr(8, 8, 8, 8).is_private());
+  EXPECT_TRUE(Ipv4Addr(127, 0, 0, 1).is_loopback());
+}
+
+TEST(Prefix, CanonicalizesBase) {
+  const Prefix p(Ipv4Addr(192, 0, 2, 99), 24);
+  EXPECT_EQ(p.base(), Ipv4Addr(192, 0, 2, 0));
+}
+
+TEST(Prefix, ContainsAddressAndPrefix) {
+  const Prefix p = *Prefix::parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 200, 3, 4)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(11, 0, 0, 0)));
+  EXPECT_TRUE(p.contains(*Prefix::parse("10.1.0.0/16")));
+  EXPECT_FALSE(p.contains(*Prefix::parse("0.0.0.0/0")));
+  EXPECT_TRUE(Prefix::parse("0.0.0.0/0")->contains(p));
+}
+
+TEST(Prefix, ParseRejectsNonCanonicalAndBadLengths) {
+  EXPECT_FALSE(Prefix::parse("10.0.0.1/8"));  // host bits set
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/"));
+  EXPECT_FALSE(Prefix::parse("10.0.0.0/8x"));
+  EXPECT_TRUE(Prefix::parse("10.0.0.0/8"));
+  EXPECT_TRUE(Prefix::parse("0.0.0.0/0"));
+  EXPECT_TRUE(Prefix::parse("198.51.100.77/32"));
+}
+
+TEST(Prefix, AddressAndBlockCounts) {
+  EXPECT_EQ(Prefix::parse("10.0.0.0/8")->address_count(), 1u << 24);
+  EXPECT_EQ(Prefix::parse("0.0.0.0/0")->address_count(), std::uint64_t{1}
+                                                             << 32);
+  EXPECT_EQ(Prefix::parse("10.0.0.0/8")->block24_count(), 1u << 16);
+  EXPECT_EQ(Prefix::parse("10.0.0.0/24")->block24_count(), 1u);
+  EXPECT_EQ(Prefix::parse("10.0.0.0/30")->block24_count(), 1u);
+}
+
+TEST(Prefix, Block24Index) {
+  const Ipv4Addr a(1, 2, 3, 4);
+  const std::uint32_t idx = block24_index(a);
+  EXPECT_EQ(block24_from_index(idx), Prefix(Ipv4Addr(1, 2, 3, 0), 24));
+  EXPECT_TRUE(block24_from_index(idx).contains(a));
+}
+
+TEST(Asn, Formatting) {
+  EXPECT_EQ(Asn(2152).to_string(), "AS2152");
+}
+
+// --- PrefixTrie ---
+
+TEST(PrefixTrie, LongestPrefixMatchPrefersMoreSpecific) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  trie.insert(*Prefix::parse("10.1.0.0/16"), 16);
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 24);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 2, 3)), 24);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 1, 9, 9)), 16);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 9, 9, 9)), 8);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(11, 0, 0, 0)), std::nullopt);
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("0.0.0.0/0"), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(1, 2, 3, 4)), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(255, 255, 255, 255)), 1);
+}
+
+TEST(PrefixTrie, InsertOverwritesAndReportsFreshness) {
+  PrefixTrie<int> trie;
+  EXPECT_TRUE(trie.insert(*Prefix::parse("10.0.0.0/8"), 1));
+  EXPECT_FALSE(trie.insert(*Prefix::parse("10.0.0.0/8"), 2));
+  EXPECT_EQ(trie.lookup(Ipv4Addr(10, 0, 0, 1)), 2);
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(PrefixTrie, ExactFindDoesNotUseLpm) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 8);
+  EXPECT_EQ(trie.find(*Prefix::parse("10.0.0.0/8")), 8);
+  EXPECT_EQ(trie.find(*Prefix::parse("10.1.0.0/16")), std::nullopt);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("198.51.100.77/32"), 77);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(198, 51, 100, 77)), 77);
+  EXPECT_EQ(trie.lookup(Ipv4Addr(198, 51, 100, 78)), std::nullopt);
+}
+
+TEST(PrefixTrie, ForEachVisitsAllInOrder) {
+  PrefixTrie<int> trie;
+  trie.insert(*Prefix::parse("10.1.2.0/24"), 3);
+  trie.insert(*Prefix::parse("10.0.0.0/8"), 1);
+  trie.insert(*Prefix::parse("192.0.2.0/24"), 2);
+  std::vector<std::pair<std::string, int>> seen;
+  trie.for_each([&](const Prefix& p, int v) {
+    seen.emplace_back(p.to_string(), v);
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].first, "10.0.0.0/8");
+  EXPECT_EQ(seen[1].first, "10.1.2.0/24");
+  EXPECT_EQ(seen[2].first, "192.0.2.0/24");
+}
+
+TEST(PrefixTrie, ManyRandomInsertsLookupConsistent) {
+  PrefixTrie<std::uint32_t> trie;
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    trie.insert(block24_from_index(65536 + i), i);
+  }
+  EXPECT_EQ(trie.size(), 2000u);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    EXPECT_EQ(trie.lookup(Ipv4Addr(((65536 + i) << 8) | 42)), i);
+  }
+}
+
+// --- Hitlist ---
+
+TEST(Hitlist, TargetsStayInsideTheirBlocks) {
+  Hitlist h({100, 200, 300}, 7);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_EQ(h.target(i).value() >> 8, h.block(i));
+    const auto host = h.target(i).value() & 0xff;
+    EXPECT_GE(host, 1u);
+    EXPECT_LE(host, 254u);
+  }
+}
+
+TEST(Hitlist, DeterministicPerSeedAndEpoch) {
+  Hitlist a({100, 200}, 7);
+  Hitlist b({100, 200}, 7);
+  EXPECT_EQ(a.target(0), b.target(0));
+  Hitlist c({100, 200}, 8);
+  bool any_diff = a.target(0) != c.target(0) || a.target(1) != c.target(1);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Hitlist, RefreshChangesRepresentatives) {
+  Hitlist h(
+      [] {
+        std::vector<std::uint32_t> blocks;
+        for (std::uint32_t i = 0; i < 64; ++i) blocks.push_back(1000 + i);
+        return blocks;
+      }(),
+      7);
+  std::vector<Ipv4Addr> before;
+  for (std::size_t i = 0; i < h.size(); ++i) before.push_back(h.target(i));
+  h.refresh();
+  EXPECT_EQ(h.epoch(), 1u);
+  int changed = 0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    changed += (h.target(i) != before[i]);
+    EXPECT_EQ(h.target(i).value() >> 8, h.block(i));  // still in block
+  }
+  EXPECT_GT(changed, 32);  // most representatives moved
+}
+
+}  // namespace
+}  // namespace fenrir::netbase

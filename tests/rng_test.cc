@@ -1,0 +1,163 @@
+#include "rng/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace fenrir::rng {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64_next(s1), splitmix64_next(s2));
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  std::uint64_t a = 1, b = 2;
+  EXPECT_NE(splitmix64_next(a), splitmix64_next(b));
+}
+
+TEST(Mix, IsAPureFunction) {
+  EXPECT_EQ(mix(1, 2), mix(1, 2));
+  EXPECT_EQ(mix(1, 2, 3), mix(1, 2, 3));
+  EXPECT_NE(mix(1, 2), mix(2, 1));
+  EXPECT_NE(mix(1, 2, 3), mix(1, 3, 2));
+}
+
+TEST(Xoshiro, ReproducibleFromSeed) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, ZeroSeedStillProducesVariedOutput) {
+  Xoshiro256ss g(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(g());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng r(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformBound1IsAlwaysZero) {
+  Rng r(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform(1), 0u);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRateIsApproximatelyP) {
+  Rng r(17);
+  int hits = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(23);
+  double sum = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / kTrials, 5.0, 0.2);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(29);
+  double sum = 0, sq = 0;
+  constexpr int kTrials = 50000;
+  for (int i = 0; i < kTrials; ++i) {
+    const double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kTrials;
+  const double var = sq / kTrials - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, ZipfRankZeroMostPopular) {
+  Rng r(31);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[r.zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+}
+
+TEST(Rng, ZipfDegenerateCases) {
+  Rng r(37);
+  EXPECT_EQ(r.zipf(1, 1.0), 0u);
+  EXPECT_EQ(r.zipf(0, 1.0), 0u);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.zipf(5, 0.0), 5u);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(99);
+  Rng a = parent.split(1);
+  Rng b = parent.split(2);
+  Rng a2 = Rng(99).split(1);
+  // Same tag reproduces; different tags diverge.
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  Rng a3 = Rng(99).split(1);
+  a3.next_u64();
+  EXPECT_NE(a3.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(43);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto original = v;
+  r.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+}  // namespace
+}  // namespace fenrir::rng

@@ -1,0 +1,203 @@
+#include "scenarios/usc.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/pipeline.h"
+#include "core/sankey.h"
+#include "core/stackplot.h"
+
+namespace fenrir::scenarios {
+namespace {
+
+UscConfig test_config() {
+  UscConfig cfg;
+  cfg.cadence = 4 * core::kDay;
+  cfg.max_destinations = 2500;
+  return cfg;
+}
+
+class UscScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new UscScenario(make_usc(test_config()));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static UscScenario* scenario_;
+};
+
+UscScenario* UscScenarioTest::scenario_ = nullptr;
+
+TEST_F(UscScenarioTest, DatasetShape) {
+  const auto& d = scenario_->dataset;
+  EXPECT_EQ(d.networks.size(), 2500u);
+  EXPECT_GT(d.series.size(), 50u);
+  EXPECT_EQ(scenario_->change_time, core::from_date(2025, 1, 16));
+  EXPECT_GT(scenario_->change_index, 0u);
+  EXPECT_LT(scenario_->change_index, d.series.size());
+}
+
+TEST_F(UscScenarioTest, BeforeChangeAcademicNetworksDominate) {
+  const auto& d = scenario_->dataset;
+  const auto stack = core::StackSeries::compute(d);
+  const auto arn_a = d.sites.find("ARN-A");
+  const auto ann = d.sites.find("ANN");
+  ASSERT_TRUE(arn_a);
+  ASSERT_TRUE(ann);
+  const std::size_t before = scenario_->change_index / 2;
+  const double academic = stack.fraction(before, *arn_a) +
+                          stack.fraction(before, *ann);
+  EXPECT_GT(academic, 0.60);
+  // The persistent HE peering carries the rest.
+  if (const auto he = d.sites.find("HE")) {
+    EXPECT_GT(academic + stack.fraction(before, *he), 0.90);
+  }
+}
+
+TEST_F(UscScenarioTest, AfterChangeNewUpstreamsCarryTraffic) {
+  const auto& d = scenario_->dataset;
+  const auto stack = core::StackSeries::compute(d);
+  const std::size_t after =
+      (scenario_->change_index + d.series.size()) / 2;
+
+  double new_upstreams = 0.0;
+  for (const char* name : {"LosNettos", "HE", "NTT"}) {
+    if (const auto s = d.sites.find(name)) {
+      new_upstreams += stack.fraction(after, *s);
+    }
+  }
+  EXPECT_GT(new_upstreams, 0.85);
+
+  // The old academic upstreams vanish at the focus hop — the paper's
+  // "Internet2 vanishes in hop 3".
+  for (const char* name : {"ARN-A", "ANN"}) {
+    if (const auto s = d.sites.find(name)) {
+      EXPECT_LT(stack.fraction(after, *s), 0.02) << name;
+    }
+  }
+}
+
+TEST_F(UscScenarioTest, HugeRoutingChangeAtTheBoundary) {
+  // Paper: "at most 90% of catchments have changed" — the cross-boundary
+  // similarity collapses relative to within-mode similarity.
+  const auto& d = scenario_->dataset;
+  const std::size_t c = scenario_->change_index;
+  const double within_before =
+      core::gower_similarity(d.series[c / 2], d.series[c - 1]);
+  const double across =
+      core::gower_similarity(d.series[c - 1], d.series[c]);
+  EXPECT_GT(within_before, 0.75);
+  EXPECT_LT(across, 0.48);
+  // The paper's Φ(Mi, Mii) = [0.11, 0.48]: not zero — the persistent HE
+  // peering keeps part of the cone in place across the change.
+  EXPECT_GT(across, 0.05);
+}
+
+TEST_F(UscScenarioTest, AnalysisFindsTwoModesSplitAtTheChange) {
+  core::AnalysisConfig cfg;
+  const auto result = core::analyze(scenario_->dataset, cfg);
+  ASSERT_GE(result.modes.size(), 2u);
+  // The first two big modes bracket the reconfiguration date.
+  EXPECT_LT(result.modes.mode(0).end, scenario_->change_time);
+  EXPECT_GE(result.modes.mode(1).start, scenario_->change_time);
+  // And the change is detected as an event at the boundary.
+  bool found = false;
+  for (const auto& e : result.events) {
+    found |= (e.index == scenario_->change_index);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(UscScenarioTest, SankeySnapshotsMatchFigures7And8) {
+  const auto before = core::SankeyFlows::from_paths(scenario_->sankey_before);
+  const auto after = core::SankeyFlows::from_paths(scenario_->sankey_after);
+
+  // Hop 0 is always the enterprise.
+  EXPECT_DOUBLE_EQ(before.node_fraction(0, "USC"), 1.0);
+  EXPECT_DOUBLE_EQ(after.node_fraction(0, "USC"), 1.0);
+
+  // Hop 1: the immediate upstream mix flips, except the persistent HE
+  // peering on both sides.
+  EXPECT_GT(before.node_fraction(1, "ARN-A") +
+                before.node_fraction(1, "ANN") +
+                before.node_fraction(1, "HE"),
+            0.95);
+  EXPECT_GT(
+      before.node_fraction(1, "ARN-A") + before.node_fraction(1, "ANN"),
+      0.6);
+  EXPECT_DOUBLE_EQ(after.node_fraction(1, "ARN-A"), 0.0);
+  EXPECT_DOUBLE_EQ(after.node_fraction(1, "ANN"), 0.0);
+  EXPECT_GT(after.node_fraction(1, "NTT") + after.node_fraction(1, "HE") +
+                after.node_fraction(1, "LosNettos"),
+            0.95);
+}
+
+TEST_F(UscScenarioTest, TrinocularLatencyRoundsCoverBothSides) {
+  const auto& d = scenario_->dataset;
+  ASSERT_EQ(scenario_->rtt_before.size(), d.networks.size());
+  ASSERT_EQ(scenario_->rtt_after.size(), d.networks.size());
+  std::size_t measured = 0;
+  for (std::size_t i = 0; i < scenario_->rtt_before.size(); ++i) {
+    if (scenario_->rtt_before[i] >= 0) {
+      ++measured;
+      EXPECT_LT(scenario_->rtt_before[i], 2000.0);
+    }
+  }
+  // Dark blocks and per-round loss leave gaps; most blocks answer.
+  EXPECT_GT(measured, d.networks.size() / 3);
+  EXPECT_LT(measured, d.networks.size());
+}
+
+TEST_F(UscScenarioTest, ReconfigurationShiftsPathLatency) {
+  // Paths changed for most destinations, so per-block RTTs move; the
+  // median absolute change across the event is non-trivial.
+  std::vector<double> deltas;
+  for (std::size_t i = 0; i < scenario_->rtt_before.size(); ++i) {
+    if (scenario_->rtt_before[i] >= 0 && scenario_->rtt_after[i] >= 0) {
+      deltas.push_back(
+          std::abs(scenario_->rtt_after[i] - scenario_->rtt_before[i]));
+    }
+  }
+  ASSERT_GT(deltas.size(), 100u);
+  std::nth_element(deltas.begin(), deltas.begin() + deltas.size() / 2,
+                   deltas.end());
+  EXPECT_GT(deltas[deltas.size() / 2], 1.0);
+}
+
+TEST(UscQuietEnterprise, SecondEnterpriseShowsOneStableMode) {
+  // The paper: "we have also observed a second enterprise ... we have not
+  // seen significant routing changes."
+  UscConfig cfg = test_config();
+  cfg.include_change = false;
+  cfg.seed = 0x2571;
+  const UscScenario quiet = make_usc(cfg);
+  const auto result = core::analyze(quiet.dataset);
+  EXPECT_EQ(result.modes.size(), 1u);
+  EXPECT_TRUE(result.events.empty());
+  // Sankey snapshots are identical on both "sides".
+  EXPECT_EQ(quiet.sankey_before.size(), quiet.sankey_after.size());
+  const auto before = core::SankeyFlows::from_paths(quiet.sankey_before);
+  const auto after = core::SankeyFlows::from_paths(quiet.sankey_after);
+  EXPECT_EQ(before.flows().size(), after.flows().size());
+}
+
+TEST_F(UscScenarioTest, SpatialFillAttributesEverythingToRealUpstreams) {
+  // Per-hop loss and filtering leave raw gaps, but the nearest-viable-hop
+  // fill (paper §2.4) recovers an attribution for essentially all
+  // destinations — and never mislabels them as the enterprise itself.
+  const auto& d = scenario_->dataset;
+  const double known = core::known_fraction(d.series[3]);
+  EXPECT_GT(known, 0.95);
+  if (const auto usc_site = d.sites.find("USC")) {
+    const auto stack = core::StackSeries::compute(d);
+    EXPECT_LT(stack.fraction(3, *usc_site), 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace fenrir::scenarios

@@ -1,0 +1,171 @@
+#include "scenarios/websites.h"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/stackplot.h"
+
+namespace fenrir::scenarios {
+namespace {
+
+// --- Google ---
+
+GoogleConfig google_config() {
+  GoogleConfig cfg;
+  cfg.prefix_count = 2500;
+  return cfg;
+}
+
+class GoogleScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new GoogleScenario(make_google(google_config()));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static GoogleScenario* scenario_;
+};
+
+GoogleScenario* GoogleScenarioTest::scenario_ = nullptr;
+
+TEST_F(GoogleScenarioTest, TwoObservationEras) {
+  const auto& d = scenario_->dataset;
+  EXPECT_EQ(scenario_->obs_2013, 3u);
+  EXPECT_EQ(d.series.size(), 63u);
+  EXPECT_EQ(core::format_date(d.series[0].time), "2013-05-26");
+  EXPECT_EQ(core::format_date(d.series[3].time), "2024-02-21");
+}
+
+TEST_F(GoogleScenarioTest, ErasShareNothing) {
+  // "Google has completely changed its front-end infrastructure after
+  // ten years": 2013 vectors have ~zero similarity with 2024 vectors.
+  const auto& d = scenario_->dataset;
+  const double cross = core::gower_similarity(d.series[0], d.series[10]);
+  EXPECT_LT(cross, 0.02);
+}
+
+TEST_F(GoogleScenarioTest, WeeklyModeStructure) {
+  // Within a remap epoch phi is high (paper ~0.79); across epochs it
+  // collapses (paper ~0.25).
+  const auto& d = scenario_->dataset;
+  // Find two observations inside one epoch and two straddling epochs.
+  const std::size_t base = scenario_->obs_2013 + 8;
+  const double within =
+      core::gower_similarity(d.series[base], d.series[base + 2]);
+  const double across =
+      core::gower_similarity(d.series[base], d.series[base + 21]);
+  EXPECT_GT(within, 0.6);
+  EXPECT_LT(across, 0.45);
+  EXPECT_GT(within, across + 0.2);
+}
+
+TEST_F(GoogleScenarioTest, DailyChurnKeepsWithinWeekBelowOne) {
+  const auto& d = scenario_->dataset;
+  const auto phi = core::consecutive_phi(d);
+  double total = 0;
+  std::size_t n = 0;
+  for (std::size_t i = scenario_->obs_2013 + 1; i < phi.size(); ++i) {
+    if (phi[i] < 0) continue;
+    total += phi[i];
+    ++n;
+  }
+  const double mean = total / static_cast<double>(n);
+  EXPECT_GT(mean, 0.55);
+  EXPECT_LT(mean, 0.97);
+}
+
+TEST_F(GoogleScenarioTest, ManyFrontEndSites) {
+  EXPECT_GE(scenario_->dataset.sites.real_site_count(), 80u);
+}
+
+// --- Wikipedia ---
+
+WikipediaConfig wikipedia_config() {
+  WikipediaConfig cfg;
+  cfg.prefix_count = 2500;
+  return cfg;
+}
+
+class WikipediaScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new WikipediaScenario(make_wikipedia(wikipedia_config()));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static WikipediaScenario* scenario_;
+};
+
+WikipediaScenario* WikipediaScenarioTest::scenario_ = nullptr;
+
+TEST_F(WikipediaScenarioTest, SevenSitesDailySeries) {
+  const auto& d = scenario_->dataset;
+  EXPECT_EQ(d.sites.real_site_count(), 7u);
+  EXPECT_EQ(d.series.size(), 43u);
+  EXPECT_EQ(core::format_date(d.series[0].time), "2025-03-15");
+}
+
+TEST_F(WikipediaScenarioTest, StableModesAreVerySimilar) {
+  // Paper: phi within modes in [0.93, 0.95].
+  const auto& d = scenario_->dataset;
+  const double phi01 = core::gower_similarity(d.series[0], d.series[1]);
+  EXPECT_GT(phi01, 0.88);
+  EXPECT_LT(phi01, 0.995);
+}
+
+TEST_F(WikipediaScenarioTest, CodfwDrainShiftsItsClients) {
+  const auto& d = scenario_->dataset;
+  const auto stack = core::StackSeries::compute(d);
+  const auto codfw = *d.sites.find("codfw");
+  const std::size_t before = d.index_at(core::from_date(2025, 3, 17));
+  const std::size_t during = d.index_at(core::from_date(2025, 3, 22));
+  EXPECT_GT(stack.fraction(before, codfw), 0.08);
+  EXPECT_DOUBLE_EQ(stack.value(during, codfw), 0.0);
+
+  // Paper: phi(Mi, Mii) around 0.8 — the drain moves ~20% of networks.
+  const double across =
+      core::gower_similarity(d.series[before], d.series[during]);
+  EXPECT_GT(across, 0.70);
+  EXPECT_LT(across, 0.93);
+}
+
+TEST_F(WikipediaScenarioTest, PartialReturnAfterRestore) {
+  // Paper: only ~30% of codfw's original clients return, so the post-
+  // restore mode differs from the original by the non-returners.
+  const auto& d = scenario_->dataset;
+  const auto codfw = *d.sites.find("codfw");
+  const auto stack = core::StackSeries::compute(d);
+  const std::size_t before = d.index_at(core::from_date(2025, 3, 17));
+  const std::size_t after = d.index_at(core::from_date(2025, 4, 10));
+
+  const double returned =
+      stack.value(after, codfw) / stack.value(before, codfw);
+  EXPECT_GT(returned, 0.10);
+  EXPECT_LT(returned, 0.60);
+
+  const double phi =
+      core::gower_similarity(d.series[before], d.series[after]);
+  EXPECT_GT(phi, 0.70);
+  EXPECT_LT(phi, 0.95);
+}
+
+TEST_F(WikipediaScenarioTest, AnalysisSeesTheDrainAndReturn) {
+  core::AnalysisConfig cfg;
+  // The series starts four days before the drain; allow flagging early.
+  cfg.detector.min_history = 3;
+  const auto result = core::analyze(scenario_->dataset, cfg);
+  bool drain_seen = false, return_seen = false;
+  for (const auto& e : result.events) {
+    drain_seen |= (e.time == scenario_->drain_start);
+    return_seen |= (e.time == scenario_->drain_end);
+  }
+  EXPECT_TRUE(drain_seen);
+  EXPECT_TRUE(return_seen);
+}
+
+}  // namespace
+}  // namespace fenrir::scenarios

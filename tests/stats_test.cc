@@ -1,0 +1,106 @@
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace fenrir::stats {
+namespace {
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 1.75);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.0);
+}
+
+TEST(Percentile, ThrowsOnEmptyOrBadQ) {
+  const std::vector<double> empty;
+  EXPECT_THROW(percentile(empty, 50), std::invalid_argument);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW(percentile(v, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 101), std::invalid_argument);
+}
+
+TEST(Percentile, P90OfHundred) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_NEAR(p90(v), 90.1, 0.2);
+}
+
+TEST(MeanStddev, Basics) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 0.01);  // sample stddev
+}
+
+TEST(MeanStddev, DegenerateCases) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  const std::vector<double> one{3.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
+TEST(Summarize, AllFieldsPopulated) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) v.push_back(i);
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_DOUBLE_EQ(s.mean, 500.5);
+  EXPECT_NEAR(s.p50, 500.5, 0.01);
+  EXPECT_NEAR(s.p90, 900.1, 0.5);
+  EXPECT_NEAR(s.p99, 990.01, 0.5);
+}
+
+TEST(Summarize, EmptyYieldsZeroCount) {
+  const Summary s = summarize(std::vector<double>{});
+  EXPECT_EQ(s.count, 0u);
+}
+
+TEST(Online, MatchesBatchStatistics) {
+  const std::vector<double> v{1.5, 2.5, 3.5, 10.0, -4.0};
+  Online o;
+  for (const double x : v) o.add(x);
+  EXPECT_EQ(o.count(), v.size());
+  EXPECT_NEAR(o.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(o.stddev(), stddev(v), 1e-12);
+}
+
+TEST(Online, SingleValueHasZeroVariance) {
+  Online o;
+  o.add(42.0);
+  EXPECT_DOUBLE_EQ(o.variance(), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to first bin
+  h.add(0.5);
+  h.add(9.99);
+  h.add(25.0);   // clamps to last bin
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(1), 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fenrir::stats

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "validation/confusion.h"
+#include "validation/ground_truth.h"
+
+namespace fenrir::validation {
+namespace {
+
+using core::kMinute;
+
+LogEntry entry(core::TimePoint t, const char* op, MaintenanceKind kind) {
+  return LogEntry{t, op, kind, ""};
+}
+
+TEST(Grouping, ChainsSameOperatorWithinWindow) {
+  // alice at t=0, t=5min, t=12min: chains (each gap <= 10 min).
+  const auto groups = group_entries({
+      entry(0, "alice", MaintenanceKind::kInternal),
+      entry(5 * kMinute, "alice", MaintenanceKind::kSiteDrain),
+      entry(12 * kMinute, "alice", MaintenanceKind::kInternal),
+  });
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].entry_count, 3u);
+  EXPECT_EQ(groups[0].start, 0);
+  EXPECT_EQ(groups[0].end, 12 * kMinute);
+  // Most external member wins.
+  EXPECT_EQ(groups[0].kind, MaintenanceKind::kSiteDrain);
+  EXPECT_TRUE(groups[0].external());
+}
+
+TEST(Grouping, GapBeyondWindowSplits) {
+  const auto groups = group_entries({
+      entry(0, "alice", MaintenanceKind::kInternal),
+      entry(11 * kMinute, "alice", MaintenanceKind::kInternal),
+  });
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Grouping, DifferentOperatorsNeverMerge) {
+  const auto groups = group_entries({
+      entry(0, "alice", MaintenanceKind::kInternal),
+      entry(1 * kMinute, "bob", MaintenanceKind::kInternal),
+  });
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(Grouping, UnsortedInputHandledAndOutputSorted) {
+  const auto groups = group_entries({
+      entry(50 * kMinute, "bob", MaintenanceKind::kInternal),
+      entry(5 * kMinute, "alice", MaintenanceKind::kSiteDrain),
+      entry(0, "alice", MaintenanceKind::kInternal),
+  });
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].operator_name, "alice");
+  EXPECT_EQ(groups[0].entry_count, 2u);
+  EXPECT_EQ(groups[1].operator_name, "bob");
+}
+
+TEST(Grouping, PaperScaleCompression) {
+  // ~98 entries in ~56 activities: grouping must compress, not collapse.
+  std::vector<LogEntry> entries;
+  core::TimePoint t = 0;
+  for (int g = 0; g < 56; ++g) {
+    const char* op = (g % 2) ? "alice" : "bob";
+    entries.push_back(entry(t, op, g < 19 ? MaintenanceKind::kSiteDrain
+                                          : MaintenanceKind::kInternal));
+    if (g % 4 == 0) {
+      entries.push_back(entry(t + 2 * kMinute, op,
+                              MaintenanceKind::kInternal));
+    }
+    t += 4 * core::kHour;
+  }
+  const auto groups = group_entries(entries);
+  EXPECT_EQ(groups.size(), 56u);
+  std::size_t external = 0;
+  for (const auto& g : groups) external += g.external();
+  EXPECT_EQ(external, 19u);
+}
+
+TEST(Confusion, MetricsArithmetic) {
+  ConfusionMatrix c;
+  c.tp = 19;
+  c.fp = 8;
+  c.fn = 0;
+  c.tn = 29;
+  EXPECT_EQ(c.total(), 56u);
+  EXPECT_NEAR(c.accuracy(), 0.857, 0.001);
+  EXPECT_DOUBLE_EQ(c.recall(), 1.0);
+  EXPECT_NEAR(c.precision(), 0.704, 0.001);
+}
+
+TEST(Confusion, DegenerateZeros) {
+  ConfusionMatrix c;
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+}
+
+core::DetectedEvent detection(core::TimePoint t) {
+  core::DetectedEvent e;
+  e.time = t;
+  e.phi = 0.5;
+  e.baseline = 0.95;
+  e.drop = 0.45;
+  return e;
+}
+
+TEST(Validate, MatchesWithinTolerance) {
+  std::vector<EventGroup> truth{
+      {0, 8 * kMinute, "alice", MaintenanceKind::kSiteDrain, 2},     // TP
+      {core::kHour, core::kHour, "bob", MaintenanceKind::kSiteDrain,
+       1},                                                           // FN
+      {2 * core::kHour, 2 * core::kHour, "carol",
+       MaintenanceKind::kInternal, 1},                               // FP
+      {3 * core::kHour, 3 * core::kHour, "dave",
+       MaintenanceKind::kInternal, 1},                               // TN
+  };
+  const std::vector<core::DetectedEvent> detections{
+      detection(4 * kMinute),                      // inside group 0
+      detection(2 * core::kHour + 5 * kMinute),    // matches internal g2
+      detection(9 * core::kHour),                  // matches nothing: (*)
+  };
+  const auto r = validate(truth, detections);
+  EXPECT_EQ(r.confusion.tp, 1u);
+  EXPECT_EQ(r.confusion.fn, 1u);
+  EXPECT_EQ(r.confusion.fp, 1u);
+  EXPECT_EQ(r.confusion.tn, 1u);
+  EXPECT_EQ(r.third_party_candidates, 1u);
+  EXPECT_EQ(r.drains_total, 2u);
+  EXPECT_EQ(r.drains_detected, 1u);
+}
+
+TEST(Validate, ToleranceBoundaryIsInclusive) {
+  std::vector<EventGroup> truth{
+      {core::kHour, core::kHour, "a", MaintenanceKind::kSiteDrain, 1}};
+  MatchConfig cfg;
+  cfg.tolerance = 10 * kMinute;
+  // Exactly at start - tolerance.
+  const auto r1 = validate(truth, {detection(core::kHour - 10 * kMinute)},
+                           cfg);
+  EXPECT_EQ(r1.confusion.tp, 1u);
+  // One minute beyond.
+  const auto r2 = validate(truth, {detection(core::kHour - 11 * kMinute)},
+                           cfg);
+  EXPECT_EQ(r2.confusion.fn, 1u);
+  EXPECT_EQ(r2.third_party_candidates, 1u);
+}
+
+TEST(Validate, TeBreakdown) {
+  std::vector<EventGroup> truth{
+      {0, 0, "a", MaintenanceKind::kTrafficEngineering, 1},
+      {core::kHour, core::kHour, "b", MaintenanceKind::kTrafficEngineering,
+       1}};
+  const auto r = validate(truth, {detection(0)});
+  EXPECT_EQ(r.te_total, 2u);
+  EXPECT_EQ(r.te_detected, 1u);
+}
+
+TEST(Validate, OneDetectionCanConfirmOverlappingGroups) {
+  // Two groups close in time: the same dip confirms both (and is not a
+  // third-party candidate).
+  std::vector<EventGroup> truth{
+      {0, 0, "a", MaintenanceKind::kSiteDrain, 1},
+      {5 * kMinute, 5 * kMinute, "b", MaintenanceKind::kInternal, 1}};
+  const auto r = validate(truth, {detection(3 * kMinute)});
+  EXPECT_EQ(r.confusion.tp, 1u);
+  EXPECT_EQ(r.confusion.fp, 1u);
+  EXPECT_EQ(r.third_party_candidates, 0u);
+}
+
+TEST(PrintValidation, RendersTable4Shape) {
+  ValidationResult r;
+  r.confusion = {19, 8, 0, 29};
+  r.drains_total = 17;
+  r.drains_detected = 17;
+  r.te_total = 2;
+  r.te_detected = 2;
+  r.third_party_candidates = 10;
+  std::ostringstream out;
+  print_validation(r, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("site drain"), std::string::npos);
+  EXPECT_NE(s.find("traffic engineering"), std::string::npos);
+  EXPECT_NE(s.find("third-party candidates"), std::string::npos);
+  EXPECT_NE(s.find("recall 1.00"), std::string::npos);
+  EXPECT_NE(s.find("precision 0.70"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fenrir::validation

@@ -1,0 +1,350 @@
+// fenrirctl — the Fenrir command-line analyst.
+//
+// Operates on Fenrir dataset CSV files (see core/dataset_io.h), so any
+// measurement pipeline that can emit "one catchment label per network per
+// observation" can use the full analysis without writing C++:
+//
+//   fenrirctl demo out.csv                generate a sample dataset
+//   fenrirctl info data.csv               dataset summary
+//   fenrirctl analyze data.csv [options]  modes, recurrences, events
+//   fenrirctl watch data.csv [options]    online mode recognition per
+//                                         observation (is this routing
+//                                         new, or a mode seen before?)
+//   fenrirctl clean in.csv out.csv        interpolate gaps, fold micros
+//   fenrirctl compare data.csv T1 T2      Gower phi between two instants
+//   fenrirctl transitions data.csv T1 T2  the Table-3 style matrix
+//
+// analyze options:
+//   --known-only          known-only unknown policy (default pessimistic)
+//   --linkage L           single | complete | average
+//   --min-drop X          detector threshold (default 0.02)
+//   --heatmap FILE.pgm    write the all-pairs heatmap image
+//   --heatmap-csv FILE    write the full phi matrix as CSV
+//   --stack FILE.csv      write the per-site stack series
+//   --ascii               print an ASCII heatmap
+//
+// clean options:
+//   --limit N             interpolation distance (default 3)
+//   --fill-edges          replicate nearest observation into edge gaps
+//   --micro X             fold sites whose peak share is below X
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cleaning.h"
+#include "core/dataset_io.h"
+#include "core/heatmap.h"
+#include "core/modebook.h"
+#include "core/pipeline.h"
+#include "core/stackplot.h"
+#include "core/transition.h"
+#include "io/table.h"
+#include "measure/verfploeter.h"
+#include "netbase/hitlist.h"
+#include "scenarios/world.h"
+
+using namespace fenrir;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: fenrirctl <demo|info|analyze|watch|clean|compare|transitions> "
+               "...\n(see the header of tools/fenrirctl.cpp for options)\n";
+  return 2;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  bool has(const std::string& flag) const {
+    for (const auto& [k, _] : options) {
+      if (k == flag) return true;
+    }
+    return false;
+  }
+  std::string get(const std::string& flag, const std::string& fallback) const {
+    for (const auto& [k, v] : options) {
+      if (k == flag) return v;
+    }
+    return fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  // Flags with a value; everything else is boolean or positional.
+  const auto takes_value = [](const std::string& flag) {
+    return flag == "--linkage" || flag == "--min-drop" ||
+           flag == "--threshold" || flag == "--mode-strip" ||
+           flag == "--heatmap" || flag == "--heatmap-csv" ||
+           flag == "--stack" || flag == "--limit" || flag == "--micro";
+  };
+  Args out;
+  for (int i = first; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      if (takes_value(a)) {
+        if (i + 1 >= argc) throw std::runtime_error(a + " needs a value");
+        out.options.emplace_back(a, argv[++i]);
+      } else {
+        out.options.emplace_back(a, "");
+      }
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+core::TimePoint parse_time_or_throw(const std::string& text) {
+  const auto t = core::parse_time(text);
+  if (!t) throw std::runtime_error("bad time (want YYYY-MM-DD[ HH:MM]): " +
+                                   text);
+  return *t;
+}
+
+/// Nearest valid observation to t; throws if the dataset is empty.
+std::size_t observation_at(const core::Dataset& d, core::TimePoint t) {
+  if (d.series.empty()) throw std::runtime_error("dataset has no series");
+  const std::size_t i = d.index_at(t);
+  return i >= d.series.size() ? d.series.size() - 1 : i;
+}
+
+int cmd_demo(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  // A compact version of examples/quickstart.cpp: three sites, a drain,
+  // and a third-party shift, saved as a dataset file.
+  scenarios::WorldConfig wc;
+  wc.topo.stub_count = 400;
+  wc.topo.seed = 77;
+  scenarios::World world = scenarios::make_world(wc);
+  bgp::AnycastService service(*netbase::Prefix::parse("192.0.2.0/24"));
+  service.add_site(0, world.topo.stubs[5]);
+  service.add_site(1, world.topo.stubs[200]);
+  service.add_site(2, world.topo.stubs[395]);
+  rng::Rng rng(7);
+  const std::vector<bgp::Origin> verify = service.active_origins();
+  const auto cone = scenarios::add_shiftable_cone(
+      world, world.topo.stubs[5], world.topo.stubs[395], 0.15, 64900, rng,
+      &verify);
+
+  netbase::Hitlist hitlist(world.topo.blocks, 3);
+  measure::VerfploeterConfig vc;
+  vc.seed = 3;
+  const measure::VerfploeterProbe probe(&hitlist, vc);
+
+  core::Dataset data;
+  data.name = "fenrirctl demo";
+  for (std::size_t i = 0; i < hitlist.size(); ++i) {
+    data.networks.intern(hitlist.block(i));
+  }
+  const auto site_map =
+      scenarios::make_site_mapping(data.sites, {"alpha", "beta", "gamma"});
+  const core::TimePoint t0 = core::from_date(2025, 1, 1);
+  for (int day = 0; day < 45; ++day) {
+    if (day == 15) service.set_drained(1, true);
+    if (day == 22) service.set_drained(1, false);
+    if (day == 33 && cone) cone->flip.apply(world.topo.graph);
+    const auto& routing =
+        world.cache.get(world.topo.graph, service.active_origins());
+    core::RoutingVector v;
+    v.time = t0 + day * core::kDay;
+    v.assignment =
+        probe.measure(v.time, world.topo.graph, routing, site_map);
+    data.series.push_back(std::move(v));
+  }
+  core::save_dataset_file(data, args.positional[0]);
+  std::cout << "wrote " << args.positional[0] << ": "
+            << data.series.size() << " observations x "
+            << data.networks.size()
+            << " networks (drain day 15-21, third-party shift day 33)\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  core::Dataset data = core::load_dataset_file(args.positional[0]);
+
+  core::AnalysisConfig cfg;
+  if (args.has("--known-only")) cfg.policy = core::UnknownPolicy::kKnownOnly;
+  const std::string linkage = args.get("--linkage", "single");
+  if (linkage == "complete") {
+    cfg.linkage = core::Linkage::kComplete;
+  } else if (linkage == "average") {
+    cfg.linkage = core::Linkage::kAverage;
+  } else if (linkage != "single") {
+    throw std::runtime_error("unknown linkage: " + linkage);
+  }
+  cfg.detector.min_drop = std::stod(args.get("--min-drop", "0.02"));
+
+  const core::AnalysisResult result = core::analyze(data, cfg);
+  core::print_report(data, result, std::cout);
+
+  if (args.has("--ascii")) {
+    std::cout << "\n" << core::heatmap_ascii(result.matrix, 72);
+  }
+  if (const auto path = args.get("--heatmap", ""); !path.empty()) {
+    core::heatmap_image(result.matrix).write_pgm_file(path);
+    std::cout << "wrote " << path << "\n";
+  }
+  if (const auto path = args.get("--mode-strip", ""); !path.empty()) {
+    core::mode_strip_image(result.clustering).write_ppm_file(path);
+    std::cout << "wrote " << path << "\n";
+  }
+  if (const auto path = args.get("--heatmap-csv", ""); !path.empty()) {
+    std::ofstream out(path);
+    core::write_heatmap_csv(result.matrix, data, out);
+    std::cout << "wrote " << path << "\n";
+  }
+  if (const auto path = args.get("--stack", ""); !path.empty()) {
+    std::ofstream out(path);
+    core::StackSeries::compute(data).write_csv(out);
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const core::Dataset data = core::load_dataset_file(args.positional[0]);
+  std::cout << "name:      " << data.name << "\n";
+  std::cout << "networks:  " << data.networks.size() << "\n";
+  std::cout << "sites:     " << data.sites.real_site_count();
+  for (core::SiteId s = core::kFirstRealSite; s < data.sites.size(); ++s) {
+    std::cout << (s == core::kFirstRealSite ? "  (" : ", ")
+              << data.sites.name(s);
+  }
+  if (data.sites.real_site_count() > 0) std::cout << ")";
+  std::cout << "\n";
+  std::size_t invalid = 0;
+  double known_sum = 0;
+  for (const auto& v : data.series) {
+    invalid += !v.valid;
+    if (v.valid) known_sum += core::known_fraction(v);
+  }
+  std::cout << "series:    " << data.series.size() << " observations";
+  if (!data.series.empty()) {
+    std::cout << ", " << core::format_time(data.series.front().time) << " .. "
+              << core::format_time(data.series.back().time);
+  }
+  std::cout << "\n";
+  std::cout << "outages:   " << invalid << "\n";
+  if (data.series.size() > invalid) {
+    std::cout << "known:     "
+              << io::fixed(100.0 * known_sum /
+                               static_cast<double>(data.series.size() - invalid),
+                           1)
+              << "% of networks per valid observation (mean)\n";
+  }
+  std::cout << "weights:   "
+            << (data.weights.empty() ? "uniform" : "per-network") << "\n";
+  return 0;
+}
+
+int cmd_watch(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const core::Dataset data = core::load_dataset_file(args.positional[0]);
+  core::ModeBook::Config cfg;
+  cfg.match_threshold = std::stod(args.get("--threshold", "0.85"));
+  if (args.has("--pessimistic")) {
+    cfg.policy = core::UnknownPolicy::kPessimistic;
+  }
+  cfg.adapt_representative = args.has("--adapt");
+  core::ModeBook book(cfg);
+
+  for (const auto& v : data.series) {
+    const auto match = book.observe(v);
+    std::cout << core::format_time(v.time) << "  mode " << match.mode
+              << "  phi " << io::fixed(match.phi, 3);
+    if (!v.valid) {
+      std::cout << "  (outage)";
+    } else if (match.is_new) {
+      std::cout << "  NEW MODE";
+    } else if (match.is_recurrence) {
+      std::cout << "  RECURRENCE";
+    }
+    std::cout << "\n";
+  }
+  std::cout << book.mode_count() << " modes over " << book.history().size()
+            << " observations\n";
+  return 0;
+}
+
+int cmd_clean(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  core::Dataset data = core::load_dataset_file(args.positional[0]);
+  core::InterpolateConfig icfg;
+  icfg.max_distance = std::stoul(args.get("--limit", "3"));
+  icfg.fill_edges = args.has("--fill-edges");
+  const auto istats = core::interpolate_missing(data, icfg);
+  core::CleaningStats mstats;
+  if (const auto micro = args.get("--micro", ""); !micro.empty()) {
+    mstats = core::remove_micro_catchments(data, std::stod(micro));
+  }
+  core::save_dataset_file(data, args.positional[1]);
+  std::cout << "filled " << istats.gaps_filled << " gaps, folded "
+            << mstats.micro_sites_folded << " micro-catchments; wrote "
+            << args.positional[1] << "\n";
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  if (args.positional.size() != 3) return usage();
+  const core::Dataset data = core::load_dataset_file(args.positional[0]);
+  const std::size_t i =
+      observation_at(data, parse_time_or_throw(args.positional[1]));
+  const std::size_t j =
+      observation_at(data, parse_time_or_throw(args.positional[2]));
+  const auto phi = [&](core::UnknownPolicy p) {
+    return data.weights.empty()
+               ? core::gower_similarity(data.series[i], data.series[j], p)
+               : core::gower_similarity(data.series[i], data.series[j],
+                                        data.weights, p);
+  };
+  std::cout << "phi(" << core::format_time(data.series[i].time) << ", "
+            << core::format_time(data.series[j].time) << "):\n"
+            << "  pessimistic "
+            << io::fixed(phi(core::UnknownPolicy::kPessimistic), 4)
+            << "\n  known-only  "
+            << io::fixed(phi(core::UnknownPolicy::kKnownOnly), 4) << "\n";
+  return 0;
+}
+
+int cmd_transitions(const Args& args) {
+  if (args.positional.size() != 3) return usage();
+  const core::Dataset data = core::load_dataset_file(args.positional[0]);
+  const std::size_t i =
+      observation_at(data, parse_time_or_throw(args.positional[1]));
+  const std::size_t j =
+      observation_at(data, parse_time_or_throw(args.positional[2]));
+  const auto t = core::TransitionMatrix::compute(
+      data.series[i], data.series[j], data.sites.size());
+  std::cout << "transitions " << core::format_time(data.series[i].time)
+            << " -> " << core::format_time(data.series[j].time) << ":\n";
+  t.print(data.sites, std::cout);
+  std::cout << "stayed " << t.stayed() << ", moved " << t.moved() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args args = parse_args(argc, argv, 2);
+    if (cmd == "demo") return cmd_demo(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "watch") return cmd_watch(args);
+    if (cmd == "clean") return cmd_clean(args);
+    if (cmd == "compare") return cmd_compare(args);
+    if (cmd == "transitions") return cmd_transitions(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "fenrirctl: " << e.what() << "\n";
+    return 1;
+  }
+}
