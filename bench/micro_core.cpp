@@ -1,6 +1,16 @@
 // Microbenchmarks of Fenrir's core operations: the costs that set how
 // large a deployment one analysis host can watch.
+//
+// Besides the usual console table, every timing is mirrored into the
+// fenrir::obs metrics registry and dumped as machine-readable JSON
+// (default ./BENCH_core.json, override with FENRIR_BENCH_OUT) so
+// successive PRs accumulate a diffable perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
 
 #include "bgp/routing.h"
 #include "bgp/topology_gen.h"
@@ -8,6 +18,7 @@
 #include "core/compare.h"
 #include "core/events.h"
 #include "core/transition.h"
+#include "obs/metrics.h"
 #include "rng/rng.h"
 
 namespace {
@@ -178,6 +189,58 @@ void BM_ComputeRoutes(benchmark::State& state) {
 }
 BENCHMARK(BM_ComputeRoutes)->Arg(1'000)->Arg(4'000)->Arg(16'000);
 
+/// Console output as usual, plus per-benchmark gauges in the metrics
+/// registry: bench_core_<name>_real_ns / _cpu_ns / _items_per_s.
+class RegistryReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      gauge(run.benchmark_name(), "real_ns")
+          .set(run.real_accumulated_time / iters * 1e9);
+      gauge(run.benchmark_name(), "cpu_ns")
+          .set(run.cpu_accumulated_time / iters * 1e9);
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        gauge(run.benchmark_name(), "items_per_s").set(items->second);
+      }
+    }
+  }
+
+ private:
+  static fenrir::obs::Gauge& gauge(const std::string& bench,
+                                   const char* what) {
+    std::string name = "bench_core_" + bench + "_" + what;
+    for (char& c : name) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_' || c == ':';
+      if (!ok) c = '_';
+    }
+    return fenrir::obs::registry().gauge(name);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RegistryReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const char* env = std::getenv("FENRIR_BENCH_OUT");
+  const std::string path = env != nullptr ? env : "BENCH_core.json";
+  std::ofstream out(path);
+  fenrir::obs::registry().write_json(out);
+  if (out) {
+    std::cerr << "wrote " << path << "\n";
+  } else {
+    std::cerr << "could not write " << path << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace fenrir::bgp {
 
 namespace {
@@ -59,6 +63,10 @@ std::vector<AsIndex> RoutingTable::as_path(AsIndex as) const {
 
 RoutingTable compute_routes(const AsGraph& graph,
                             const std::vector<Origin>& origins) {
+  obs::Span span("bgp/compute_routes");
+  // Worklist pops across all three phases: the fixpoint's "iterations to
+  // convergence" (phase 2 is a single linear scan and is not counted).
+  std::uint64_t worklist_pops = 0;
   const std::size_t n = graph.as_count();
   std::vector<Route> customer_stage(n);
   std::vector<Route> selected(n);
@@ -107,6 +115,7 @@ RoutingTable compute_routes(const AsGraph& graph,
     const AsIndex u = work.front();
     work.pop_front();
     queued[u] = 0;
+    ++worklist_pops;
     const Route& ru = customer_stage[u];
     // A cone-scoped route crosses exactly one provider edge: from the
     // origin to its direct upstream(s). Nobody re-exports it upward.
@@ -167,6 +176,7 @@ RoutingTable compute_routes(const AsGraph& graph,
     const AsIndex u = work.front();
     work.pop_front();
     queued[u] = 0;
+    ++worklist_pops;
     const Route& ru = selected[u];
     for (const Link& l : graph.node(u).links) {
       if (!l.up || l.relation != Relation::kCustomer) continue;
@@ -187,6 +197,24 @@ RoutingTable compute_routes(const AsGraph& graph,
     }
   }
 
+  std::uint64_t installed = 0;
+  for (const Route& r : selected) installed += r.reachable ? 1 : 0;
+  static obs::Counter& computations = obs::registry().counter(
+      "fenrir_bgp_computations_total", "compute_routes invocations");
+  static obs::Counter& routes_installed = obs::registry().counter(
+      "fenrir_bgp_routes_installed_total",
+      "ASes with a selected route, summed over compute_routes calls");
+  static obs::Counter& pops = obs::registry().counter(
+      "fenrir_bgp_worklist_pops_total",
+      "fixpoint worklist pops, summed over compute_routes calls");
+  computations.inc();
+  routes_installed.inc(installed);
+  pops.inc(worklist_pops);
+  FENRIR_LOG(Debug).field("ases", n)
+          .field("origins", origins.size())
+          .field("installed", installed)
+          .field("worklist_pops", worklist_pops)
+      << "bgp: routes computed";
   return RoutingTable(std::move(selected), std::move(customer_stage));
 }
 

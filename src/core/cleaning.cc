@@ -2,11 +2,16 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace fenrir::core {
 
 CleaningStats remove_incorrect(
     Dataset& dataset,
     const std::function<bool(std::size_t, NetId, SiteId)>& is_bogus) {
+  obs::Span span("clean/remove_incorrect");
   CleaningStats stats;
   for (std::size_t t = 0; t < dataset.series.size(); ++t) {
     RoutingVector& v = dataset.series[t];
@@ -19,11 +24,18 @@ CleaningStats remove_incorrect(
       }
     }
   }
+  static obs::Counter& removed = obs::registry().counter(
+      "fenrir_clean_incorrect_removed_total",
+      "assignments demoted to unknown by remove_incorrect");
+  removed.inc(stats.incorrect_removed);
+  FENRIR_LOG(Debug).field("removed", stats.incorrect_removed)
+      << "clean: remove_incorrect done";
   return stats;
 }
 
 CleaningStats remove_micro_catchments(Dataset& dataset,
                                       double min_peak_fraction) {
+  obs::Span span("clean/micro_catchments");
   CleaningStats stats;
   const std::size_t sites = dataset.sites.size();
   // Peak share of known assignments per site across the series.
@@ -62,11 +74,26 @@ CleaningStats remove_micro_catchments(Dataset& dataset,
       }
     }
   }
+  static obs::Counter& sites_folded = obs::registry().counter(
+      "fenrir_clean_micro_sites_folded_total",
+      "sites folded into other by remove_micro_catchments");
+  static obs::Counter& assignments_folded = obs::registry().counter(
+      "fenrir_clean_micro_assignments_folded_total",
+      "assignments rewritten to other by remove_micro_catchments");
+  sites_folded.inc(stats.micro_sites_folded);
+  assignments_folded.inc(stats.micro_assignments_folded);
+  FENRIR_LOG(Debug).field("sites", stats.micro_sites_folded)
+          .field("assignments", stats.micro_assignments_folded)
+      << "clean: micro-catchments folded";
   return stats;
 }
 
 CleaningStats interpolate_missing(Dataset& dataset,
                                   const InterpolateConfig& config) {
+  obs::Span span("clean/interpolate");
+  static obs::Counter& gaps_filled = obs::registry().counter(
+      "fenrir_clean_gaps_filled_total",
+      "unknown cells interpolated by interpolate_missing");
   CleaningStats stats;
   const std::size_t total = dataset.series.size();
   if (total == 0 || dataset.networks.size() == 0) return stats;
@@ -127,6 +154,10 @@ CleaningStats interpolate_missing(Dataset& dataset,
       i = j;
     }
   }
+  gaps_filled.inc(stats.gaps_filled);
+  FENRIR_LOG(Debug).field("filled", stats.gaps_filled)
+          .field("limit", config.max_distance)
+      << "clean: interpolation done";
   return stats;
 }
 

@@ -8,10 +8,14 @@
 // count or scheduling.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
-#include <functional>
+#include <exception>
 #include <thread>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace fenrir::core {
 
@@ -20,11 +24,17 @@ namespace fenrir::core {
 /// worker w handles i = w, w+n, w+2n, ... Striding balances loops whose
 /// per-index cost varies monotonically (the triangular similarity matrix:
 /// row i compares i pairs), where contiguous chunks would leave the last
-/// worker with almost all the work. fn must be safe to call concurrently
-/// for distinct i and must not throw — callers validate inputs first.
-inline void parallel_for(std::size_t count,
-                         const std::function<void(std::size_t)>& fn,
-                         unsigned threads = 0) {
+/// worker with almost all the work. The callable is invoked directly (no
+/// std::function indirection on the per-index hot path); fn must be safe
+/// to call concurrently for distinct i. If workers throw, the exception
+/// of the lowest-numbered throwing worker is rethrown after all workers
+/// have joined (remaining indices of a throwing worker are skipped).
+///
+/// Worker busy time feeds the fenrir_parallel_* metrics (jobs run, and
+/// the max/mean busy-time imbalance ratio of the last job) — observation
+/// only, never a scheduling input.
+template <typename Fn>
+void parallel_for(std::size_t count, Fn&& fn, unsigned threads = 0) {
   if (count == 0) return;
   unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
@@ -33,14 +43,41 @@ inline void parallel_for(std::size_t count,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
+  static obs::Counter& jobs = obs::registry().counter(
+      "fenrir_parallel_jobs_total", "parallel_for invocations that spawned");
+  static obs::Gauge& imbalance = obs::registry().gauge(
+      "fenrir_parallel_imbalance_ratio",
+      "max/mean worker busy time of the last parallel_for");
   std::vector<std::thread> workers;
   workers.reserve(n);
+  std::vector<std::exception_ptr> errors(n);
+  std::vector<double> busy(n, 0.0);
   for (unsigned w = 0; w < n; ++w) {
-    workers.emplace_back([w, n, count, &fn] {
-      for (std::size_t i = w; i < count; i += n) fn(i);
+    workers.emplace_back([w, n, count, &fn, &errors, &busy] {
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        for (std::size_t i = w; i < count; i += n) fn(i);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+      busy[w] = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
     });
   }
   for (auto& worker : workers) worker.join();
+  jobs.inc();
+  double max_busy = 0.0, sum_busy = 0.0;
+  for (const double b : busy) {
+    if (b > max_busy) max_busy = b;
+    sum_busy += b;
+  }
+  if (sum_busy > 0.0) {
+    imbalance.set(max_busy * static_cast<double>(n) / sum_busy);
+  }
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
 }
 
 }  // namespace fenrir::core

@@ -3,17 +3,57 @@
 #include <ostream>
 
 #include "io/table.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace fenrir::core {
 
 AnalysisResult analyze(const Dataset& dataset, const AnalysisConfig& config) {
+  obs::Span span("analyze");
+  static obs::Counter& runs = obs::registry().counter(
+      "fenrir_analyze_runs_total", "analyze() pipeline invocations");
+  static obs::Gauge& observations = obs::registry().gauge(
+      "fenrir_analyze_observations", "observations in the last analyze()");
+  runs.inc();
+  observations.set(static_cast<double>(dataset.series.size()));
+  FENRIR_LOG(Info).field("dataset", dataset.name)
+          .field("observations", dataset.series.size())
+          .field("networks", dataset.networks.size())
+      << "analyze: start";
+
   dataset.check_consistent();
-  SimilarityMatrix matrix = SimilarityMatrix::compute(dataset, config.policy);
-  Clustering clustering =
-      cluster_adaptive(matrix, config.linkage, config.adaptive);
-  ModeSet modes = ModeSet::build(dataset, clustering, config.min_mode_size);
-  std::vector<DetectedEvent> events =
-      detect_changes(dataset, config.detector, config.policy);
+  SimilarityMatrix matrix = [&] {
+    obs::Span stage("phi_matrix");
+    return SimilarityMatrix::compute(dataset, config.policy);
+  }();
+  Clustering clustering = [&] {
+    obs::Span stage("hac_clustering");
+    return cluster_adaptive(matrix, config.linkage, config.adaptive);
+  }();
+  ModeSet modes = [&] {
+    obs::Span stage("mode_extraction");
+    return ModeSet::build(dataset, clustering, config.min_mode_size);
+  }();
+  std::vector<DetectedEvent> events = [&] {
+    obs::Span stage("event_detection");
+    return detect_changes(dataset, config.detector, config.policy);
+  }();
+
+  static obs::Gauge& clusters = obs::registry().gauge(
+      "fenrir_analyze_clusters", "clusters found by the last analyze()");
+  static obs::Gauge& mode_count = obs::registry().gauge(
+      "fenrir_analyze_modes", "modes reported by the last analyze()");
+  static obs::Counter& event_count = obs::registry().counter(
+      "fenrir_analyze_events_total", "change events detected by analyze()");
+  clusters.set(static_cast<double>(clustering.cluster_count));
+  mode_count.set(static_cast<double>(modes.size()));
+  event_count.inc(events.size());
+  FENRIR_LOG(Info).field("threshold", clustering.threshold)
+          .field("clusters", clustering.cluster_count)
+          .field("modes", modes.size())
+          .field("events", events.size())
+      << "analyze: done";
   return AnalysisResult{std::move(matrix), std::move(clustering),
                         std::move(modes), std::move(events)};
 }

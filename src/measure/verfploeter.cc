@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace fenrir::measure {
 
 VerfploeterProbe::VerfploeterProbe(const netbase::Hitlist* hitlist,
@@ -24,6 +28,15 @@ std::vector<core::SiteId> VerfploeterProbe::measure(
     core::TimePoint time, const bgp::AsGraph& graph,
     const bgp::RoutingTable& routing,
     const std::vector<core::SiteId>& site_to_core) const {
+  obs::Span span("measure/verfploeter_sweep");
+  // Per-sweep tallies, folded into cumulative counters at the end so the
+  // hot loop touches plain integers only. All three loss modes look the
+  // same to the prober (no reply), but the simulator knows why.
+  std::uint64_t lost_no_reply = 0;   // dark block or transient loss
+  std::uint64_t lost_unrouted = 0;   // target address in unrouted space
+  std::uint64_t lost_no_route = 0;   // block's AS cannot reach the prefix
+  std::uint64_t answered = 0;
+
   std::vector<core::SiteId> out(hitlist_->size(), core::kUnknownSite);
   const std::uint64_t round_key = static_cast<std::uint64_t>(time);
   for (std::size_t i = 0; i < hitlist_->size(); ++i) {
@@ -33,15 +46,50 @@ std::vector<core::SiteId> VerfploeterProbe::measure(
     const std::uint64_t draw =
         rng::mix(config_.seed, rng::mix(0xec40ULL, block, round_key));
     const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
-    if (u >= propensity(block) * (1.0 - config_.transient_loss)) continue;
+    if (u >= propensity(block) * (1.0 - config_.transient_loss)) {
+      ++lost_no_reply;
+      continue;
+    }
 
     // The reply routes from the block's AS into the anycast system.
     const auto as = graph.origin_of(hitlist_->target(i));
-    if (!as) continue;  // unrouted space: probe never reaches it
+    if (!as) {
+      ++lost_unrouted;  // unrouted space: probe never reaches it
+      continue;
+    }
     const auto site = routing.catchment(*as);
-    if (!site) continue;  // no route to the anycast prefix: reply lost
+    if (!site) {
+      ++lost_no_route;  // no route to the anycast prefix: reply lost
+      continue;
+    }
     out[i] = site_to_core.at(*site);
+    ++answered;
   }
+
+  static obs::Counter& sent = obs::registry().counter(
+      "fenrir_probes_sent_total", "verfploeter probes sent");
+  static obs::Counter& got = obs::registry().counter(
+      "fenrir_probes_answered_total", "verfploeter probes answered");
+  static obs::Counter& no_reply = obs::registry().counter(
+      "fenrir_probes_lost_total",
+      "verfploeter probes lost to dark blocks or transient loss");
+  static obs::Counter& unrouted = obs::registry().counter(
+      "fenrir_probes_unrouted_total",
+      "verfploeter probes into unrouted address space");
+  static obs::Counter& unreachable = obs::registry().counter(
+      "fenrir_probes_unreachable_total",
+      "verfploeter replies lost to missing anycast routes");
+  sent.inc(hitlist_->size());
+  got.inc(answered);
+  no_reply.inc(lost_no_reply);
+  unrouted.inc(lost_unrouted);
+  unreachable.inc(lost_no_route);
+  FENRIR_LOG(Debug).field("sent", hitlist_->size())
+          .field("answered", answered)
+          .field("lost", lost_no_reply)
+          .field("unrouted", lost_unrouted)
+          .field("unreachable", lost_no_route)
+      << "verfploeter sweep";
   return out;
 }
 

@@ -1,0 +1,195 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+namespace fenrir::obs {
+
+namespace {
+
+// Warn by default: library users see problems, tests and benches stay
+// quiet, and nothing is formatted on the hot paths.
+std::atomic<int> g_level{static_cast<int>(Level::kWarn)};
+std::atomic<int> g_format{static_cast<int>(LogFormat::kText)};
+std::atomic<std::ostream*> g_sink{nullptr};  // nullptr = std::cerr
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Seconds since the first log statement (steady clock, so log output
+/// never depends on wall-clock time — simulators stay deterministic).
+double elapsed_seconds() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::string_view basename_of(std::string_view path) {
+  const auto slash = path.find_last_of('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+std::string lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Level log_level() noexcept {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(Level level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool set_log_level(std::string_view name) noexcept {
+  const std::string n = lower(name);
+  if (n == "trace") {
+    set_log_level(Level::kTrace);
+  } else if (n == "debug") {
+    set_log_level(Level::kDebug);
+  } else if (n == "info") {
+    set_log_level(Level::kInfo);
+  } else if (n == "warn" || n == "warning") {
+    set_log_level(Level::kWarn);
+  } else if (n == "error") {
+    set_log_level(Level::kError);
+  } else if (n == "off" || n == "none") {
+    set_log_level(Level::kOff);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool log_enabled(Level level) noexcept {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace: return "trace";
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_log_format(LogFormat format) noexcept {
+  g_format.store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+LogFormat log_format() noexcept {
+  return static_cast<LogFormat>(g_format.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(std::ostream* sink) noexcept {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
+void init_log_from_env() {
+  if (const char* level = std::getenv("FENRIR_LOG_LEVEL")) {
+    if (!set_log_level(level)) {
+      std::cerr << "fenrir: ignoring bad FENRIR_LOG_LEVEL '" << level
+                << "' (want trace|debug|info|warn|error|off)\n";
+    }
+  }
+  if (const char* format = std::getenv("FENRIR_LOG_FORMAT")) {
+    const std::string f = lower(format);
+    if (f == "json") {
+      set_log_format(LogFormat::kJson);
+    } else if (f == "text") {
+      set_log_format(LogFormat::kText);
+    } else {
+      std::cerr << "fenrir: ignoring bad FENRIR_LOG_FORMAT '" << format
+                << "' (want text|json)\n";
+    }
+  }
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+LogLine::LogLine(Level level, const char* file, int line)
+    : level_(level), file_(file), line_(line) {}
+
+LogLine& LogLine::field(std::string_view key, std::string_view value) {
+  fields_.push_back(
+      Field{std::string(key), std::string(value), /*json_raw=*/false});
+  return *this;
+}
+
+LogLine::~LogLine() {
+  std::ostringstream line;
+  const double t = elapsed_seconds();
+  if (log_format() == LogFormat::kJson) {
+    line << "{\"elapsed_s\":" << t << ",\"level\":\"" << level_name(level_)
+         << "\",\"src\":\"" << json_escape(basename_of(file_)) << ':' << line_
+         << "\",\"msg\":\"" << json_escape(message_.str()) << '"';
+    for (const Field& f : fields_) {
+      line << ",\"" << json_escape(f.key) << "\":";
+      if (f.json_raw) {
+        line << f.rendered;
+      } else {
+        line << '"' << json_escape(f.rendered) << '"';
+      }
+    }
+    line << "}\n";
+  } else {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), "%10.3f", t);
+    line << '[' << stamp << "] " << level_name(level_) << ' '
+         << basename_of(file_) << ':' << line_ << ": " << message_.str();
+    for (const Field& f : fields_) {
+      line << ' ' << f.key << '=' << f.rendered;
+    }
+    line << '\n';
+  }
+  std::ostream* sink = g_sink.load(std::memory_order_relaxed);
+  if (sink == nullptr) sink = &std::cerr;
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  *sink << line.str() << std::flush;
+}
+
+}  // namespace fenrir::obs

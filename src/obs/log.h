@@ -1,0 +1,123 @@
+// fenrir::obs — structured leveled logging.
+//
+// Fenrir previously ran blind: no way to see what a probe sweep dropped
+// or why an analysis took 8 seconds. This header provides the logging
+// third of the observability subsystem (see also metrics.h and span.h):
+//
+//   FENRIR_LOG(Info) << "sweep finished";
+//   FENRIR_LOG(Warn).field("lost", lost) << "probe loss above budget";
+//
+// Levels follow the usual ladder (Trace < Debug < Info < Warn < Error <
+// Off). The macro checks the level *before* evaluating any of the
+// stream operands, so a disabled statement costs one relaxed atomic
+// load and nothing else — safe to leave in hot paths.
+//
+// One global sink (default stderr) renders either aligned text lines or
+// JSON-lines; fields attached via .field() become `key=value` tokens in
+// text and proper typed JSON members. The level is configurable at
+// runtime (set_log_level), from the FENRIR_LOG_LEVEL environment
+// variable, and from fenrirctl's --log-level flag; FENRIR_LOG_FORMAT
+// selects text|json. Logging is I/O only: it never feeds back into
+// analysis results, which stay bit-identical at any level.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace fenrir::obs {
+
+enum class Level : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+enum class LogFormat { kText, kJson };
+
+/// Current global threshold; statements below it are skipped unformatted.
+Level log_level() noexcept;
+void set_log_level(Level level) noexcept;
+
+/// Parses "trace|debug|info|warn|error|off" (case-insensitive).
+/// Returns false (and leaves the level unchanged) on anything else.
+bool set_log_level(std::string_view name) noexcept;
+
+bool log_enabled(Level level) noexcept;
+
+const char* level_name(Level level) noexcept;
+
+void set_log_format(LogFormat format) noexcept;
+LogFormat log_format() noexcept;
+
+/// Redirects the sink (default &std::cerr). Pass nullptr to restore the
+/// default. The stream must outlive all logging; tests point this at a
+/// std::ostringstream.
+void set_log_sink(std::ostream* sink) noexcept;
+
+/// Reads FENRIR_LOG_LEVEL / FENRIR_LOG_FORMAT. Unset or invalid values
+/// leave the current configuration untouched.
+void init_log_from_env();
+
+/// Escapes a string for embedding inside a JSON string literal
+/// (quotes, backslashes, and control characters, per RFC 8259).
+std::string json_escape(std::string_view text);
+
+/// One log statement: accumulates a message via operator<< and typed
+/// fields via .field(), then emits a single line (under the sink mutex)
+/// on destruction. Construct only through FENRIR_LOG — the macro is what
+/// makes disabled levels free.
+class LogLine {
+ public:
+  LogLine(Level level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    message_ << value;
+    return *this;
+  }
+
+  LogLine& field(std::string_view key, std::string_view value);
+  LogLine& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  /// Numbers and bools embed unquoted in JSON and bare in text.
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  LogLine& field(std::string_view key, T value) {
+    std::ostringstream out;
+    if constexpr (std::is_same_v<T, bool>) {
+      out << (value ? "true" : "false");
+    } else {
+      out << value;
+    }
+    fields_.push_back(Field{std::string(key), out.str(), /*json_raw=*/true});
+    return *this;
+  }
+
+ private:
+  struct Field {
+    std::string key;
+    std::string rendered;  // already JSON-ready when json_raw
+    bool json_raw;         // numbers/bools embed unquoted
+  };
+
+  Level level_;
+  const char* file_;
+  int line_;
+  std::ostringstream message_;
+  std::vector<Field> fields_;
+};
+
+}  // namespace fenrir::obs
+
+/// FENRIR_LOG(Info) << ...; — the if/else keeps the statement an
+/// expression (no dangling-else surprises) and guarantees operands are
+/// not evaluated when the level is disabled.
+#define FENRIR_LOG(level)                                                   \
+  if (!::fenrir::obs::log_enabled(::fenrir::obs::Level::k##level)) {        \
+  } else                                                                    \
+    ::fenrir::obs::LogLine(::fenrir::obs::Level::k##level, __FILE__, __LINE__)

@@ -1,0 +1,249 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/log.h"
+
+namespace fenrir::obs {
+
+namespace {
+
+/// Doubles rendered for exposition: shortest round-trip form keeps the
+/// files small and diffs stable.
+std::string render(double x) {
+  std::ostringstream out;
+  out.precision(17);
+  out << x;
+  std::string s = out.str();
+  // Try shorter representations that still round-trip.
+  for (int p = 1; p < 17; ++p) {
+    std::ostringstream trial;
+    trial.precision(p);
+    trial << x;
+    double back = 0.0;
+    std::istringstream(trial.str()) >> back;
+    if (back == x) return trial.str();
+  }
+  return s;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: no buckets");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must strictly increase");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double x) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(
+      old, std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + x),
+      std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    cumulative += bucket_count(i);
+    if (static_cast<double>(cumulative) >= rank) {
+      return i < bounds_.size() ? bounds_[i] : bounds_.back();
+    }
+  }
+  return bounds_.back();
+}
+
+std::vector<double> Histogram::duration_bounds() {
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 1e3; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.5);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(std::bit_cast<std::uint64_t>(0.0),
+                  std::memory_order_relaxed);
+}
+
+Registry::Entry& Registry::find_or_create(std::string_view name, Kind kind,
+                                          std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("Registry: '" + std::string(name) +
+                             "' already registered as a different kind");
+    }
+    // Pre-registration (e.g. fenrirctl's catalog) may not know the help
+    // text; let the instrumentation site fill it in later.
+    if (it->second.help.empty() && !help.empty()) {
+      it->second.help = std::string(help);
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.help = std::string(help);
+  return entries_.emplace(std::string(name), std::move(entry)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  Entry& e = find_or_create(name, Kind::kCounter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  Entry& e = find_or_create(name, Kind::kGauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds,
+                               std::string_view help) {
+  Entry& e = find_or_create(name, Kind::kHistogram, help);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *e.histogram;
+}
+
+void Registry::write_prometheus(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) out << "# HELP " << name << ' ' << e.help << '\n';
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << ' ' << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << ' ' << render(e.gauge->value()) << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        out << "# TYPE " << name << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          out << name << "_bucket{le=\"" << render(h.bounds()[i]) << "\"} "
+              << cumulative << '\n';
+        }
+        out << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+        out << name << "_sum " << render(h.sum()) << '\n';
+        out << name << "_count " << h.count() << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  out << "kind,name,field,value\n";
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << "counter," << name << ",value," << e.counter->value() << '\n';
+        break;
+      case Kind::kGauge:
+        out << "gauge," << name << ",value," << render(e.gauge->value())
+            << '\n';
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        out << "histogram," << name << ",count," << h.count() << '\n';
+        out << "histogram," << name << ",sum," << render(h.sum()) << '\n';
+        out << "histogram," << name << ",p50," << render(h.quantile(0.50))
+            << '\n';
+        out << "histogram," << name << ",p95," << render(h.quantile(0.95))
+            << '\n';
+        break;
+      }
+    }
+  }
+}
+
+void Registry::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto emit_kind = [&](Kind kind, const char* label, bool& first_kind) {
+    if (!first_kind) out << ',';
+    first_kind = false;
+    out << '"' << label << "\":{";
+    bool first = true;
+    for (const auto& [name, e] : entries_) {
+      if (e.kind != kind) continue;
+      if (!first) out << ',';
+      first = false;
+      out << '"' << json_escape(name) << "\":";
+      switch (kind) {
+        case Kind::kCounter: out << e.counter->value(); break;
+        case Kind::kGauge: out << render(e.gauge->value()); break;
+        case Kind::kHistogram: {
+          const Histogram& h = *e.histogram;
+          out << "{\"count\":" << h.count() << ",\"sum\":" << render(h.sum())
+              << ",\"p50\":" << render(h.quantile(0.50))
+              << ",\"p95\":" << render(h.quantile(0.95)) << '}';
+          break;
+        }
+      }
+    }
+    out << '}';
+  };
+  out << '{';
+  bool first_kind = true;
+  emit_kind(Kind::kCounter, "counters", first_kind);
+  emit_kind(Kind::kGauge, "gauges", first_kind);
+  emit_kind(Kind::kHistogram, "histograms", first_kind);
+  out << "}\n";
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->reset(); break;
+      case Kind::kGauge: e.gauge->reset(); break;
+      case Kind::kHistogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // never destroyed: metric
+  return *instance;  // refs in static objects may outlive main's exit
+}
+
+}  // namespace fenrir::obs

@@ -1,0 +1,178 @@
+#include "obs/span.h"
+
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace fenrir::obs {
+
+namespace internal {
+
+struct SpanNode {
+  explicit SpanNode(std::string node_name)
+      : name(std::move(node_name)), durations(Histogram::duration_bounds()) {}
+
+  void record(double seconds) noexcept {
+    count.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t old = total_bits.load(std::memory_order_relaxed);
+    while (!total_bits.compare_exchange_weak(
+        old,
+        std::bit_cast<std::uint64_t>(std::bit_cast<double>(old) + seconds),
+        std::memory_order_relaxed)) {
+    }
+    durations.observe(seconds);
+  }
+
+  std::string name;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_bits{std::bit_cast<std::uint64_t>(0.0)};
+  Histogram durations;
+  std::map<std::string, std::unique_ptr<SpanNode>, std::less<>> children;
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::SpanNode;
+
+std::atomic<bool> g_profiling{false};
+
+// Guards child creation/lookup only; stat updates are atomic.
+std::mutex& tree_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+SpanNode& root() {
+  // Leaked on purpose: spans in static destructors must stay valid.
+  static SpanNode* node = new SpanNode("");
+  return *node;
+}
+
+thread_local SpanNode* tls_current = nullptr;
+
+/// Walks (creating as needed) the '/'-separated path below @p from.
+SpanNode* resolve(SpanNode* from, std::string_view path) {
+  SpanNode* node = from;
+  const std::lock_guard<std::mutex> lock(tree_mutex());
+  while (!path.empty()) {
+    const auto slash = path.find('/');
+    const std::string_view segment =
+        slash == std::string_view::npos ? path : path.substr(0, slash);
+    path = slash == std::string_view::npos ? std::string_view()
+                                           : path.substr(slash + 1);
+    if (segment.empty()) continue;
+    const auto it = node->children.find(segment);
+    if (it != node->children.end()) {
+      node = it->second.get();
+    } else {
+      auto child = std::make_unique<SpanNode>(std::string(segment));
+      SpanNode* raw = child.get();
+      node->children.emplace(std::string(segment), std::move(child));
+      node = raw;
+    }
+  }
+  return node;
+}
+
+void collect(const SpanNode& node, int depth,
+             std::vector<ProfileEntry>& out) {
+  for (const auto& [name, child] : node.children) {
+    const std::uint64_t count = child->count.load(std::memory_order_relaxed);
+    if (count > 0) {
+      ProfileEntry e;
+      e.name = name;
+      e.depth = depth;
+      e.count = count;
+      e.total_seconds = std::bit_cast<double>(
+          child->total_bits.load(std::memory_order_relaxed));
+      e.p50_seconds = child->durations.quantile(0.50);
+      e.p95_seconds = child->durations.quantile(0.95);
+      out.push_back(std::move(e));
+      collect(*child, depth + 1, out);
+    } else {
+      // A zero-count node can still have observed descendants (reset
+      // while only the parent had closed, or long-lived outer spans).
+      collect(*child, depth, out);
+    }
+  }
+}
+
+void zero(SpanNode& node) {
+  node.count.store(0, std::memory_order_relaxed);
+  node.total_bits.store(std::bit_cast<std::uint64_t>(0.0),
+                        std::memory_order_relaxed);
+  node.durations.reset();
+  for (auto& [name, child] : node.children) zero(*child);
+}
+
+}  // namespace
+
+void set_profiling(bool on) noexcept {
+  g_profiling.store(on, std::memory_order_relaxed);
+}
+
+bool profiling_enabled() noexcept {
+  return g_profiling.load(std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) {
+  if (!profiling_enabled()) return;
+  SpanNode* parent = tls_current != nullptr ? tls_current : &root();
+  node_ = resolve(parent, name);
+  previous_ = tls_current;
+  tls_current = node_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (node_ == nullptr) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  node_->record(seconds);
+  tls_current = previous_;
+}
+
+std::vector<ProfileEntry> profile_entries() {
+  std::vector<ProfileEntry> out;
+  const std::lock_guard<std::mutex> lock(tree_mutex());
+  collect(root(), 0, out);
+  return out;
+}
+
+void write_profile(std::ostream& out) {
+  const std::vector<ProfileEntry> entries = profile_entries();
+  out << "=== Fenrir profile (wall time) ===\n";
+  if (entries.empty()) {
+    out << "no spans recorded (is profiling enabled?)\n";
+    return;
+  }
+  out << "span                                     count     total      p50"
+         "      p95\n";
+  for (const ProfileEntry& e : entries) {
+    std::string label(static_cast<std::size_t>(e.depth) * 2, ' ');
+    label += e.name;
+    if (label.size() > 38) label = label.substr(0, 35) + "...";
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-38s %7llu %8.3fs %7.4fs %7.4fs\n",
+                  label.c_str(),
+                  static_cast<unsigned long long>(e.count), e.total_seconds,
+                  e.p50_seconds, e.p95_seconds);
+    out << line;
+  }
+}
+
+void reset_profile() {
+  const std::lock_guard<std::mutex> lock(tree_mutex());
+  zero(root());
+}
+
+}  // namespace fenrir::obs

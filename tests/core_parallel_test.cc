@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/distance_matrix.h"
 #include "rng/rng.h"
@@ -27,6 +29,35 @@ TEST(ParallelFor, EmptyAndTinyRanges) {
   EXPECT_EQ(calls.load(), 1);
   parallel_for(3, [&](std::size_t) { calls.fetch_add(1); }, 64);
   EXPECT_EQ(calls.load(), 4);
+}
+
+TEST(ParallelFor, RethrowsFirstWorkerException) {
+  for (const unsigned threads : {1u, 4u}) {
+    std::atomic<int> calls{0};
+    try {
+      parallel_for(
+          100,
+          [&](std::size_t i) {
+            calls.fetch_add(1);
+            if (i == 13) throw std::runtime_error("boom at 13");
+          },
+          threads);
+      FAIL() << "expected the worker exception to propagate";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "boom at 13");
+    }
+    // Other workers finish their strides; nothing deadlocks or leaks.
+    EXPECT_GE(calls.load(), 1);
+  }
+}
+
+TEST(ParallelFor, MovableOnlyCallableCompiles) {
+  auto ptr = std::make_unique<int>(7);
+  std::atomic<int> sum{0};
+  parallel_for(4, [p = std::move(ptr), &sum](std::size_t) {
+    sum.fetch_add(*p);
+  });
+  EXPECT_EQ(sum.load(), 28);
 }
 
 TEST(ParallelFor, DisjointWritesAreComplete) {

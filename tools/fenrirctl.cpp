@@ -27,6 +27,16 @@
 //   --limit N             interpolation distance (default 3)
 //   --fill-edges          replicate nearest observation into edge gaps
 //   --micro X             fold sites whose peak share is below X
+//
+// observability (any command; see src/obs/):
+//   --log-level L         trace|debug|info|warn|error|off (also settable
+//                         via FENRIR_LOG_LEVEL; FENRIR_LOG_FORMAT=json
+//                         switches the sink to JSON-lines)
+//   --metrics FILE        write the metrics registry after the command:
+//                         Prometheus text, or CSV/JSON if FILE ends in
+//                         .csv/.json
+//   --profile             print the span-tree wall-time profile to
+//                         stderr (stdout output stays byte-identical)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -43,6 +53,9 @@
 #include "io/table.h"
 #include "measure/verfploeter.h"
 #include "netbase/hitlist.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "scenarios/world.h"
 
 using namespace fenrir;
@@ -79,7 +92,8 @@ Args parse_args(int argc, char** argv, int first) {
     return flag == "--linkage" || flag == "--min-drop" ||
            flag == "--threshold" || flag == "--mode-strip" ||
            flag == "--heatmap" || flag == "--heatmap-csv" ||
-           flag == "--stack" || flag == "--limit" || flag == "--micro";
+           flag == "--stack" || flag == "--limit" || flag == "--micro" ||
+           flag == "--log-level" || flag == "--metrics";
   };
   Args out;
   for (int i = first; i < argc; ++i) {
@@ -166,6 +180,15 @@ int cmd_demo(const Args& args) {
 int cmd_analyze(const Args& args) {
   if (args.positional.size() != 1) return usage();
   core::Dataset data = core::load_dataset_file(args.positional[0]);
+  if (data.series.size() < 2) {
+    // The pipeline needs at least one consecutive pair; bail with a
+    // diagnostic instead of letting a deep stage assert.
+    FENRIR_LOG(Error).field("file", args.positional[0])
+            .field("observations", data.series.size())
+        << "analyze needs at least 2 observations; "
+           "nothing to compare (is the dataset empty or truncated?)";
+    return 1;
+  }
 
   core::AnalysisConfig cfg;
   if (args.has("--known-only")) cfg.policy = core::UnknownPolicy::kKnownOnly;
@@ -330,19 +353,86 @@ int cmd_transitions(const Args& args) {
 
 }  // namespace
 
+int dispatch(const std::string& cmd, const Args& args) {
+  if (cmd == "demo") return cmd_demo(args);
+  if (cmd == "info") return cmd_info(args);
+  if (cmd == "analyze") return cmd_analyze(args);
+  if (cmd == "watch") return cmd_watch(args);
+  if (cmd == "clean") return cmd_clean(args);
+  if (cmd == "compare") return cmd_compare(args);
+  if (cmd == "transitions") return cmd_transitions(args);
+  return usage();
+}
+
+/// Ensures the well-known Fenrir metrics exist (at zero) even when this
+/// command never reached their code path, so --metrics always writes the
+/// complete catalog. Names mirror the instrumentation sites (grep the
+/// name to find the site); re-registration there is idempotent and
+/// supplies the help text.
+void register_metric_catalog() {
+  auto& r = obs::registry();
+  for (const char* name :
+       {"fenrir_analyze_runs_total", "fenrir_analyze_events_total",
+        "fenrir_clean_incorrect_removed_total",
+        "fenrir_clean_micro_sites_folded_total",
+        "fenrir_clean_micro_assignments_folded_total",
+        "fenrir_clean_gaps_filled_total", "fenrir_parallel_jobs_total",
+        "fenrir_probes_sent_total", "fenrir_probes_answered_total",
+        "fenrir_probes_lost_total", "fenrir_probes_unrouted_total",
+        "fenrir_probes_unreachable_total", "fenrir_bgp_computations_total",
+        "fenrir_bgp_routes_installed_total",
+        "fenrir_bgp_worklist_pops_total"}) {
+    r.counter(name);
+  }
+  for (const char* name :
+       {"fenrir_analyze_observations", "fenrir_analyze_clusters",
+        "fenrir_analyze_modes", "fenrir_parallel_imbalance_ratio"}) {
+    r.gauge(name);
+  }
+}
+
+/// Renders the metrics registry by file extension: .csv/.json get those
+/// formats, everything else Prometheus text exposition. Returns false
+/// when the file cannot be written.
+bool write_metrics_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "fenrirctl: cannot write metrics file " << path << "\n";
+    return false;
+  }
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".csv") {
+    obs::registry().write_csv(out);
+  } else if (path.size() >= 5 && path.substr(path.size() - 5) == ".json") {
+    obs::registry().write_json(out);
+  } else {
+    obs::registry().write_prometheus(out);
+  }
+  return static_cast<bool>(out);
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  obs::init_log_from_env();
   try {
     const Args args = parse_args(argc, argv, 2);
-    if (cmd == "demo") return cmd_demo(args);
-    if (cmd == "info") return cmd_info(args);
-    if (cmd == "analyze") return cmd_analyze(args);
-    if (cmd == "watch") return cmd_watch(args);
-    if (cmd == "clean") return cmd_clean(args);
-    if (cmd == "compare") return cmd_compare(args);
-    if (cmd == "transitions") return cmd_transitions(args);
-    return usage();
+    if (const auto level = args.get("--log-level", ""); !level.empty()) {
+      if (!obs::set_log_level(level)) {
+        std::cerr << "fenrirctl: bad --log-level '" << level
+                  << "' (want trace|debug|info|warn|error|off)\n";
+        return 2;
+      }
+    }
+    if (args.has("--profile")) obs::set_profiling(true);
+    if (args.has("--metrics")) register_metric_catalog();
+    int rc = dispatch(cmd, args);
+    // Telemetry goes to its own sinks (file / stderr) so the command's
+    // stdout stays byte-identical with or without these flags.
+    if (const auto path = args.get("--metrics", ""); !path.empty()) {
+      if (!write_metrics_file(path) && rc == 0) rc = 1;
+    }
+    if (args.has("--profile")) obs::write_profile(std::cerr);
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "fenrirctl: " << e.what() << "\n";
     return 1;
