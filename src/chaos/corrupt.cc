@@ -1,0 +1,123 @@
+#include "chaos/corrupt.h"
+
+#include <vector>
+
+#include "rng/rng.h"
+
+namespace fenrir::chaos {
+
+namespace {
+
+struct Lines {
+  std::vector<std::string> lines;
+  std::size_t first_data = 0;  // index just past the "time,valid" header
+};
+
+Lines split(std::string_view text) {
+  Lines out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    out.lines.emplace_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  for (std::size_t i = 0; i < out.lines.size(); ++i) {
+    if (out.lines[i].rfind("time,valid", 0) == 0) {
+      out.first_data = i + 1;
+      return out;
+    }
+  }
+  out.first_data = out.lines.size();  // no header: nothing to hit per-row
+  return out;
+}
+
+std::string join(const Lines& in) {
+  std::string out;
+  for (const std::string& line : in.lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Applies @p mutate to ~1/4 of the data rows (always at least one, if
+/// any exist), chosen stably from the seed.
+template <typename Fn>
+std::string mutate_rows(std::string_view text, std::uint64_t seed,
+                        std::uint64_t salt, Fn mutate) {
+  Lines doc = split(text);
+  bool hit_any = false;
+  for (std::size_t i = doc.first_data; i < doc.lines.size(); ++i) {
+    if (doc.lines[i].empty()) continue;
+    if (rng::mix(seed, salt, i) % 4 == 0) {
+      mutate(doc.lines[i]);
+      hit_any = true;
+    }
+  }
+  if (!hit_any && doc.first_data < doc.lines.size()) {
+    mutate(doc.lines[doc.first_data]);
+  }
+  return join(doc);
+}
+
+}  // namespace
+
+const char* corruption_name(Corruption kind) noexcept {
+  switch (kind) {
+    case Corruption::kTruncate:
+      return "truncate";
+    case Corruption::kBadMagic:
+      return "bad-magic";
+    case Corruption::kRaggedRows:
+      return "ragged-rows";
+    case Corruption::kFlipValidFlags:
+      return "flip-valid-flags";
+    case Corruption::kBadTimes:
+      return "bad-times";
+  }
+  return "unknown";
+}
+
+std::string corrupt_text(std::string_view text, Corruption kind,
+                         std::uint64_t seed) {
+  switch (kind) {
+    case Corruption::kTruncate: {
+      if (text.size() < 3) return std::string(text);
+      // Cut somewhere in the last third — past the header, mid-row.
+      const std::size_t third = text.size() / 3;
+      const std::size_t cut =
+          2 * third + static_cast<std::size_t>(
+                          rng::mix(seed, 0x7a11ULL) % (third ? third : 1));
+      return std::string(text.substr(0, cut));
+    }
+    case Corruption::kBadMagic: {
+      Lines doc = split(text);
+      if (!doc.lines.empty()) doc.lines[0] = "#fenrir-damaged,v0";
+      return join(doc);
+    }
+    case Corruption::kRaggedRows:
+      return mutate_rows(text, seed, 0x4a99ULL, [](std::string& line) {
+        const std::size_t comma = line.rfind(',');
+        if (comma != std::string::npos) line.erase(comma);
+      });
+    case Corruption::kFlipValidFlags:
+      return mutate_rows(text, seed, 0xf1a9ULL, [](std::string& line) {
+        // time,valid,... — the valid field sits between commas 1 and 2.
+        const std::size_t first = line.find(',');
+        if (first == std::string::npos) return;
+        const std::size_t second = line.find(',', first + 1);
+        if (second == std::string::npos) return;
+        line.replace(first + 1, second - first - 1, "maybe");
+      });
+    case Corruption::kBadTimes:
+      return mutate_rows(text, seed, 0xbad7ULL, [](std::string& line) {
+        const std::size_t first = line.find(',');
+        if (first == std::string::npos) return;
+        line.replace(0, first, "when it rained");
+      });
+  }
+  return std::string(text);
+}
+
+}  // namespace fenrir::chaos

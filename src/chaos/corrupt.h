@@ -1,0 +1,35 @@
+// fenrir::chaos — byte-level dataset corruption for I/O hardening tests.
+//
+// Archives arrive damaged in boringly repeatable ways: a transfer cut
+// mid-file, a writer crash leaving ragged rows, a flag column scribbled
+// over, timestamps mangled by a locale-confused exporter. corrupt_text()
+// applies one such failure to a serialized dataset (core/dataset_io.h
+// CSV text), deterministically from a seed, so tests can assert exactly
+// what core::load_dataset does in strict mode (throws DatasetIoError)
+// and what the lenient salvage mode recovers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fenrir::chaos {
+
+enum class Corruption {
+  kTruncate,        // cut the file mid-byte somewhere in its last third
+  kBadMagic,        // scribble over the #fenrir-dataset header line
+  kRaggedRows,      // drop the last field from ~1/4 of the data rows
+  kFlipValidFlags,  // replace the valid column with junk on ~1/4 of rows
+  kBadTimes,        // replace the time column with junk on ~1/4 of rows
+};
+
+/// Human-readable corruption name ("truncate", "ragged-rows", ...).
+const char* corruption_name(Corruption kind) noexcept;
+
+/// Returns @p text with @p kind applied; which bytes/rows are hit is a
+/// pure function of @p seed. Text without recognizable data rows (e.g.
+/// header-only files) comes back with at most the header damaged.
+std::string corrupt_text(std::string_view text, Corruption kind,
+                         std::uint64_t seed);
+
+}  // namespace fenrir::chaos

@@ -1,0 +1,119 @@
+#include "chaos/fault_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "rng/rng.h"
+
+namespace fenrir::chaos {
+
+namespace {
+
+double unit_draw(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::add_loss_burst(core::TimePoint from, core::TimePoint to,
+                                     double loss) {
+  if (to < from || loss < 0.0 || loss > 1.0) {
+    throw std::invalid_argument("FaultPlan: bad loss burst");
+  }
+  bursts_.push_back(LossBurst{from, to, loss});
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_outage(std::uint64_t entity, core::TimePoint from,
+                                 core::TimePoint to) {
+  if (to < from) throw std::invalid_argument("FaultPlan: bad outage window");
+  outages_.push_back(EntityOutage{entity, from, to});
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_collector_gap(core::TimePoint from,
+                                        core::TimePoint to) {
+  if (to < from) throw std::invalid_argument("FaultPlan: bad collector gap");
+  gaps_.push_back(CollectorGap{from, to});
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_kill(std::size_t sweep, double fraction) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("FaultPlan: kill fraction outside [0,1]");
+  }
+  kills_.push_back(SweepKill{sweep, fraction});
+  std::sort(kills_.begin(), kills_.end(),
+            [](const SweepKill& a, const SweepKill& b) {
+              return a.sweep != b.sweep ? a.sweep < b.sweep
+                                        : a.fraction < b.fraction;
+            });
+  return *this;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const RandomConfig& config) {
+  if (config.to < config.from) {
+    throw std::invalid_argument("FaultPlan::random: bad horizon");
+  }
+  FaultPlan plan(seed);
+  const auto span = static_cast<std::uint64_t>(config.to - config.from);
+  const auto start_at = [&](std::uint64_t h) {
+    return config.from +
+           static_cast<core::TimePoint>(span == 0 ? 0 : h % span);
+  };
+  for (std::size_t i = 0; i < config.bursts; ++i) {
+    const core::TimePoint from = start_at(rng::mix(seed, 0xb57ULL, i));
+    plan.add_loss_burst(from, from + config.burst_length, config.burst_loss);
+  }
+  if (config.entity_universe > 0) {
+    for (std::size_t i = 0; i < config.outages; ++i) {
+      const std::uint64_t entity =
+          rng::mix(seed, 0x0a7aULL, i) % config.entity_universe;
+      const core::TimePoint from = start_at(rng::mix(seed, 0x0a7bULL, i));
+      plan.add_outage(entity, from, from + config.outage_length);
+    }
+  }
+  for (std::size_t i = 0; i < config.collector_gaps; ++i) {
+    const core::TimePoint from = start_at(rng::mix(seed, 0xc011ULL, i));
+    plan.add_collector_gap(from, from + config.gap_length);
+  }
+  return plan;
+}
+
+bool FaultPlan::probe_lost(std::uint64_t entity, core::TimePoint t) const {
+  if (entity_dark(entity, t)) return true;
+  for (const LossBurst& b : bursts_) {
+    if (t < b.from || t >= b.to) continue;
+    const std::uint64_t h =
+        rng::mix(seed_, rng::mix(0x10ccULL, entity, static_cast<std::uint64_t>(t)));
+    if (unit_draw(h) < b.loss) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::entity_dark(std::uint64_t entity, core::TimePoint t) const {
+  for (const EntityOutage& o : outages_) {
+    if (o.entity == entity && t >= o.from && t < o.to) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::collector_down(core::TimePoint t) const {
+  for (const CollectorGap& g : gaps_) {
+    if (t >= g.from && t < g.to) return true;
+  }
+  return false;
+}
+
+std::optional<std::size_t> FaultPlan::kill_index(
+    std::size_t sweep, std::size_t sweep_targets,
+    std::size_t kills_fired) const {
+  if (kills_fired >= kills_.size()) return std::nullopt;
+  const SweepKill& kill = kills_[kills_fired];
+  if (kill.sweep != sweep) return std::nullopt;
+  const auto index = static_cast<std::size_t>(
+      kill.fraction * static_cast<double>(sweep_targets));
+  return std::min(index, sweep_targets);
+}
+
+}  // namespace fenrir::chaos

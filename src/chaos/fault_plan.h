@@ -1,0 +1,153 @@
+// fenrir::chaos — deterministic fault injection for measurement pipelines.
+//
+// The paper's longitudinal campaigns (B-Root, USC, the website fleets)
+// only produce usable routing vectors because the pipelines around them
+// tolerate constant low-grade failure: probes time out in bursts, vantage
+// points go dark for days and come back, collectors miss whole snapshots,
+// and multi-month campaigns get killed and restarted. Each Fenrir prober
+// already models *ambient* loss; this module injects the *adversarial*
+// kind on top, so the recovery machinery (measure::Campaign) can be
+// property-tested instead of trusted.
+//
+// Everything here is a pure function of a 64-bit seed and the query
+// arguments — no wall clock, no generator state — so a chaos experiment
+// is as bit-reproducible as the simulators it perturbs, and a FaultPlan
+// can be consulted from any point of a resumed campaign and give the
+// same answers. Plans observe, never steer: with an empty plan every
+// query returns "no fault" and the wrapped pipeline behaves identically
+// to one that never heard of fenrir::chaos.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/time.h"
+
+namespace fenrir::chaos {
+
+/// The campaign's simulated clock. Probing costs simulated time (a
+/// SweepSchedule's 550 pps discipline, retry backoff waits); the clock
+/// carries "now" forward monotonically so fault windows, retries, and
+/// reports all reason about the same instant. Strictly monotone by
+/// construction: advancing backwards is a no-op, not an error.
+class FaultClock {
+ public:
+  explicit FaultClock(core::TimePoint start = 0) noexcept : now_(start) {}
+
+  core::TimePoint now() const noexcept { return now_; }
+
+  void advance(core::TimePoint dt) noexcept {
+    if (dt > 0) now_ += dt;
+  }
+  /// Moves to @p t if it is in the future; never goes backwards.
+  void advance_to(core::TimePoint t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  core::TimePoint now_;
+};
+
+/// Extra probe loss during [from, to): each probe in the window is lost
+/// with probability @p loss, drawn stably from (seed, entity, instant).
+struct LossBurst {
+  core::TimePoint from = 0;
+  core::TimePoint to = 0;
+  double loss = 1.0;
+};
+
+/// One entity (a /24 block, a VP id, a prefix key) dark during [from, to):
+/// every probe of it is lost. Scheduled recovery is the window's end.
+struct EntityOutage {
+  std::uint64_t entity = 0;
+  core::TimePoint from = 0;
+  core::TimePoint to = 0;
+};
+
+/// The collector (not the data plane) loses everything in [from, to):
+/// sweeps whose observations land in the window arrive empty.
+struct CollectorGap {
+  core::TimePoint from = 0;
+  core::TimePoint to = 0;
+};
+
+/// The campaign process is killed during sweep @p sweep, after
+/// @p fraction of the sweep's first-attempt probes have been issued.
+/// Kills are one-shot: a resumed campaign does not re-die at the same
+/// point (measure::Campaign tracks how many kills have already fired).
+struct SweepKill {
+  std::size_t sweep = 0;
+  double fraction = 0.5;  // in [0, 1]
+};
+
+/// A deterministic, seedable schedule of injected faults. Build one by
+/// hand for targeted tests or via random() for property tests; hand it
+/// to measure::Campaign (or query it directly around any prober call).
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0) noexcept : seed_(seed) {}
+
+  FaultPlan& add_loss_burst(core::TimePoint from, core::TimePoint to,
+                            double loss);
+  FaultPlan& add_outage(std::uint64_t entity, core::TimePoint from,
+                        core::TimePoint to);
+  FaultPlan& add_collector_gap(core::TimePoint from, core::TimePoint to);
+  FaultPlan& add_kill(std::size_t sweep, double fraction);
+
+  /// Knobs for random(): every count/length below is an expectation the
+  /// generated plan meets exactly (counts) or deterministically (spans).
+  struct RandomConfig {
+    core::TimePoint from = 0;  // horizon the faults land in
+    core::TimePoint to = 0;
+    std::size_t bursts = 2;
+    core::TimePoint burst_length = core::kHour;
+    double burst_loss = 0.8;
+    std::size_t outages = 4;
+    core::TimePoint outage_length = core::kDay;
+    /// Outage entities are drawn from [0, entity_universe); pass the
+    /// campaign's target-key count (0 disables outages).
+    std::uint64_t entity_universe = 0;
+    std::size_t collector_gaps = 0;
+    core::TimePoint gap_length = core::kDay;
+  };
+
+  /// A plan whose faults are a pure function of @p seed and @p config.
+  static FaultPlan random(std::uint64_t seed, const RandomConfig& config);
+
+  // --- queries (const, deterministic, callable in any order) ---
+
+  /// True when the probe of @p entity at @p t is injected as lost,
+  /// either by an outage window or a loss-burst draw.
+  bool probe_lost(std::uint64_t entity, core::TimePoint t) const;
+
+  /// True when @p entity sits inside one of its outage windows at @p t.
+  bool entity_dark(std::uint64_t entity, core::TimePoint t) const;
+
+  /// True when the collector is down at @p t.
+  bool collector_down(core::TimePoint t) const;
+
+  /// The first-attempt index at which kill number @p kills_fired (0-based,
+  /// in (sweep, fraction) order) interrupts sweep @p sweep of
+  /// @p sweep_targets targets — nullopt when that kill targets another
+  /// sweep or has already fired.
+  std::optional<std::size_t> kill_index(std::size_t sweep,
+                                        std::size_t sweep_targets,
+                                        std::size_t kills_fired) const;
+
+  bool empty() const noexcept {
+    return bursts_.empty() && outages_.empty() && gaps_.empty() &&
+           kills_.empty();
+  }
+  std::uint64_t seed() const noexcept { return seed_; }
+  const std::vector<SweepKill>& kills() const noexcept { return kills_; }
+
+ private:
+  std::uint64_t seed_;
+  std::vector<LossBurst> bursts_;
+  std::vector<EntityOutage> outages_;
+  std::vector<CollectorGap> gaps_;
+  std::vector<SweepKill> kills_;  // kept sorted by (sweep, fraction)
+};
+
+}  // namespace fenrir::chaos

@@ -6,6 +6,7 @@
 
 #include "io/csv.h"
 #include "io/table.h"
+#include "obs/log.h"
 
 namespace fenrir::core {
 
@@ -67,7 +68,8 @@ void save_dataset(const Dataset& dataset, std::ostream& out) {
   }
 }
 
-Dataset load_dataset(std::istream& in) {
+Dataset load_dataset(std::istream& in, const LoadOptions& options,
+                     LoadStats* stats) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const auto rows = io::parse_csv(buffer.str());
@@ -78,6 +80,7 @@ Dataset load_dataset(std::istream& in) {
     throw DatasetIoError("unsupported dataset version " + rows[0][1]);
   }
 
+  LoadStats local;
   Dataset d;
   std::size_t r = 1;
   if (r < rows.size() && !rows[r].empty() && rows[r][0] == "name") {
@@ -86,8 +89,14 @@ Dataset load_dataset(std::istream& in) {
     ++r;
   }
   if (r < rows.size() && !rows[r].empty() && rows[r][0] == "weights") {
-    for (std::size_t i = 1; i < rows[r].size(); ++i) {
-      d.weights.push_back(parse_double(rows[r][i]));
+    try {
+      for (std::size_t i = 1; i < rows[r].size(); ++i) {
+        d.weights.push_back(parse_double(rows[r][i]));
+      }
+    } catch (const DatasetIoError&) {
+      if (!options.lenient) throw;
+      d.weights.clear();
+      local.weights_dropped = true;
     }
     ++r;
   }
@@ -96,30 +105,92 @@ Dataset load_dataset(std::istream& in) {
     throw DatasetIoError("missing header row");
   }
   const std::size_t columns = rows[r].size();
+  // keep_column[i] is false for a repeated network key (first wins);
+  // strict mode interns duplicates and lets check_consistent reject the
+  // resulting size mismatch, preserving the historical behavior.
+  std::vector<bool> keep_column(columns, true);
   for (std::size_t i = 2; i < columns; ++i) {
-    d.networks.intern(parse_u64(rows[r][i]));
+    const std::uint64_t key = parse_u64(rows[r][i]);
+    if (options.lenient && d.networks.find(key)) {
+      keep_column[i] = false;
+      ++local.duplicate_networks;
+      continue;
+    }
+    d.networks.intern(key);
+  }
+  if (options.lenient && !d.weights.empty() &&
+      d.weights.size() != d.networks.size()) {
+    d.weights.clear();
+    local.weights_dropped = true;
   }
   ++r;
 
   for (; r < rows.size(); ++r) {
     const auto& row = rows[r];
     if (row.size() != columns) {
+      if (options.lenient) {
+        ++local.ragged_rows;
+        continue;
+      }
       throw DatasetIoError("ragged row at line " + std::to_string(r + 1));
     }
     RoutingVector v;
     const auto t = parse_time(row[0]);
-    if (!t) throw DatasetIoError("bad time: " + row[0]);
+    if (!t) {
+      if (options.lenient) {
+        ++local.bad_times;
+        continue;
+      }
+      throw DatasetIoError("bad time: " + row[0]);
+    }
     v.time = *t;
+    if (options.lenient && !d.series.empty() && v.time < d.series.back().time) {
+      ++local.out_of_order_rows;
+      continue;
+    }
     if (row[1] != "0" && row[1] != "1") {
+      if (options.lenient) {
+        ++local.bad_valid_flags;
+        continue;
+      }
       throw DatasetIoError("bad valid flag: " + row[1]);
     }
     v.valid = row[1] == "1";
-    v.assignment.reserve(columns - 2);
+    v.assignment.reserve(d.networks.size());
     for (std::size_t i = 2; i < columns; ++i) {
+      if (!keep_column[i]) continue;
       v.assignment.push_back(d.sites.intern(row[i]));
     }
     d.series.push_back(std::move(v));
   }
+  local.rows_kept = d.series.size();
+
+  // One warning per damage category, not per row — a damaged multi-year
+  // archive must not produce a million-line log.
+  if (local.ragged_rows != 0) {
+    FENRIR_LOG(Warn).field("count", local.ragged_rows)
+        << "lenient load: skipped ragged rows";
+  }
+  if (local.bad_times != 0) {
+    FENRIR_LOG(Warn).field("count", local.bad_times)
+        << "lenient load: skipped rows with unparsable times";
+  }
+  if (local.out_of_order_rows != 0) {
+    FENRIR_LOG(Warn).field("count", local.out_of_order_rows)
+        << "lenient load: skipped out-of-order rows";
+  }
+  if (local.bad_valid_flags != 0) {
+    FENRIR_LOG(Warn).field("count", local.bad_valid_flags)
+        << "lenient load: skipped rows with bad valid flags";
+  }
+  if (local.duplicate_networks != 0) {
+    FENRIR_LOG(Warn).field("count", local.duplicate_networks)
+        << "lenient load: dropped duplicate network-key columns";
+  }
+  if (local.weights_dropped) {
+    FENRIR_LOG(Warn) << "lenient load: dropped unusable weights row";
+  }
+  if (stats != nullptr) *stats = local;
 
   try {
     d.check_consistent();
@@ -136,10 +207,11 @@ void save_dataset_file(const Dataset& dataset, const std::string& path) {
   if (!out) throw DatasetIoError("write failed: " + path);
 }
 
-Dataset load_dataset_file(const std::string& path) {
+Dataset load_dataset_file(const std::string& path, const LoadOptions& options,
+                          LoadStats* stats) {
   std::ifstream in(path);
   if (!in) throw DatasetIoError("cannot open " + path);
-  return load_dataset(in);
+  return load_dataset(in, options, stats);
 }
 
 }  // namespace fenrir::core

@@ -31,15 +31,49 @@ class DatasetIoError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+struct LoadOptions {
+  /// Salvage mode for damaged archives (a truncated scp, a collector
+  /// that died mid-write). Instead of rejecting the whole file, the
+  /// loader skips what it cannot parse — ragged rows, unparsable times,
+  /// out-of-order rows, bad valid flags — drops duplicate network-key
+  /// columns (first occurrence wins) and unusable weights rows, and
+  /// logs one warning per damage category with a count. Structural
+  /// damage (bad magic, unsupported version, missing header) still
+  /// throws: there is nothing trustworthy left to salvage.
+  bool lenient = false;
+};
+
+/// What lenient loading skipped; all zeros for an undamaged file.
+struct LoadStats {
+  std::size_t rows_kept = 0;
+  std::size_t ragged_rows = 0;
+  std::size_t bad_times = 0;
+  std::size_t out_of_order_rows = 0;
+  std::size_t bad_valid_flags = 0;
+  std::size_t duplicate_networks = 0;  // dropped header columns
+  bool weights_dropped = false;
+
+  bool salvaged() const noexcept {
+    return ragged_rows != 0 || bad_times != 0 || out_of_order_rows != 0 ||
+           bad_valid_flags != 0 || duplicate_networks != 0 || weights_dropped;
+  }
+};
+
 /// Writes the dataset; throws DatasetIoError on an inconsistent dataset.
 void save_dataset(const Dataset& dataset, std::ostream& out);
 
 /// Parses a dataset; throws DatasetIoError on malformed input (bad
-/// magic, ragged rows, unparsable times, unordered series).
-Dataset load_dataset(std::istream& in);
+/// magic, ragged rows, unparsable times, unordered series). With
+/// options.lenient, damaged rows are skipped instead (see LoadOptions);
+/// @p stats (optional) reports what was dropped. The default options
+/// are byte-compatible with the historical strict loader.
+Dataset load_dataset(std::istream& in, const LoadOptions& options = {},
+                     LoadStats* stats = nullptr);
 
 /// Convenience file wrappers (throw DatasetIoError on I/O failure).
 void save_dataset_file(const Dataset& dataset, const std::string& path);
-Dataset load_dataset_file(const std::string& path);
+Dataset load_dataset_file(const std::string& path,
+                          const LoadOptions& options = {},
+                          LoadStats* stats = nullptr);
 
 }  // namespace fenrir::core

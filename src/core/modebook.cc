@@ -1,5 +1,8 @@
 #include "core/modebook.h"
 
+#include <stdexcept>
+#include <string>
+
 namespace fenrir::core {
 
 ModeBook::Match ModeBook::observe(const RoutingVector& v) {
@@ -33,6 +36,20 @@ ModeBook::Match ModeBook::observe(const RoutingVector& v) {
   }
   history_.push_back(out.mode);
   return out;
+}
+
+void ModeBook::restore(std::vector<RoutingVector> representatives,
+                       std::vector<std::size_t> history) {
+  for (const std::size_t mode : history) {
+    if (mode >= representatives.size()) {
+      throw std::invalid_argument(
+          "ModeBook::restore: history names mode " + std::to_string(mode) +
+          " but only " + std::to_string(representatives.size()) +
+          " representatives were given");
+    }
+  }
+  representatives_ = std::move(representatives);
+  history_ = std::move(history);
 }
 
 }  // namespace fenrir::core

@@ -49,6 +49,14 @@ class ModeBook {
   /// the previous state unchanged with phi = 0 (and are not recorded).
   Match observe(const RoutingVector& v);
 
+  /// Replaces the book's state with a previously captured one (the
+  /// representative per mode plus the per-observation mode history), so
+  /// a watcher can resume where an earlier process stopped (fenrirctl
+  /// watch --resume). Throws std::invalid_argument when a history entry
+  /// names a mode without a representative.
+  void restore(std::vector<RoutingVector> representatives,
+               std::vector<std::size_t> history);
+
   std::size_t mode_count() const noexcept { return representatives_.size(); }
   const RoutingVector& representative(std::size_t mode) const {
     return representatives_.at(mode);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "dns/message.h"
+#include "measure/site_map.h"
 
 namespace fenrir::measure {
 
@@ -117,7 +118,8 @@ std::vector<core::SiteId> AtlasProbe::measure(
     }
     if (!identity) continue;
     const auto mapped = identity_map.site_of_identity(*identity);
-    out[v] = mapped ? site_to_core.at(*mapped) : core::kOtherSite;
+    out[v] = mapped ? map_site(site_to_core, *mapped, "atlas")
+                    : core::kOtherSite;
   }
   return out;
 }

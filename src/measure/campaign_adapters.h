@@ -1,0 +1,70 @@
+// fenrir::measure — adapters from concrete probers to Campaign's
+// per-target view.
+//
+// The sweep probers return whole vectors; Campaign needs one probe at a
+// time so it can retry, skip, and checkpoint between targets. The
+// adapters here are thin: they hold pointers to the prober and its
+// routing context (all must outlive the adapter) and translate the
+// prober's outcome vocabulary into ProbeStatus.
+#pragma once
+
+#include <vector>
+
+#include "bgp/routing.h"
+#include "measure/campaign.h"
+#include "measure/verfploeter.h"
+#include "netbase/hitlist.h"
+
+namespace fenrir::measure {
+
+/// Per-target verfploeter probing against a fixed routing state. The
+/// prober's kNoRoute collapses into kNoReply — on the wire both are a
+/// missing reply, and Campaign's retry machinery should treat them the
+/// same — while kUnrouted stays distinct because retrying unrouted
+/// space is pointless and Campaign accounts it separately.
+class VerfploeterTargetProber : public TargetProber {
+ public:
+  VerfploeterTargetProber(const VerfploeterProbe* probe,
+                          const netbase::Hitlist* hitlist,
+                          const bgp::AsGraph* graph,
+                          const bgp::RoutingTable* routing,
+                          const std::vector<core::SiteId>* site_to_core)
+      : probe_(probe),
+        hitlist_(hitlist),
+        graph_(graph),
+        routing_(routing),
+        site_to_core_(site_to_core) {
+    if (probe_ == nullptr || hitlist_ == nullptr || graph_ == nullptr ||
+        routing_ == nullptr || site_to_core_ == nullptr) {
+      throw CampaignError("VerfploeterTargetProber: null dependency");
+    }
+  }
+
+  std::size_t target_count() const override { return hitlist_->size(); }
+  std::uint64_t target_key(std::size_t index) const override {
+    return hitlist_->block(index);
+  }
+  ProbeReply probe(std::size_t index, core::TimePoint when) const override {
+    const VerfploeterReply r =
+        probe_->measure_one(index, when, *graph_, *routing_, *site_to_core_);
+    switch (r.outcome) {
+      case VerfploeterOutcome::kAnswered:
+        return {r.site, ProbeStatus::kAnswered};
+      case VerfploeterOutcome::kUnrouted:
+        return {core::kUnknownSite, ProbeStatus::kUnrouted};
+      case VerfploeterOutcome::kNoReply:
+      case VerfploeterOutcome::kNoRoute:
+        return {core::kUnknownSite, ProbeStatus::kNoReply};
+    }
+    return {core::kUnknownSite, ProbeStatus::kNoReply};
+  }
+
+ private:
+  const VerfploeterProbe* probe_;
+  const netbase::Hitlist* hitlist_;
+  const bgp::AsGraph* graph_;
+  const bgp::RoutingTable* routing_;
+  const std::vector<core::SiteId>* site_to_core_;
+};
+
+}  // namespace fenrir::measure

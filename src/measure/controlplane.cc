@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "measure/site_map.h"
+
 namespace fenrir::measure {
 
 ControlPlaneProbe::ControlPlaneProbe(
@@ -51,7 +53,8 @@ std::vector<core::SiteId> ControlPlaneProbe::estimate(
       }
     }
     if (!site) continue;
-    out[i] = (*site == kNoSite) ? core::kOtherSite : site_to_core.at(*site);
+    out[i] = (*site == kNoSite) ? core::kOtherSite
+                                : map_site(site_to_core, *site, "controlplane");
   }
   return out;
 }

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "dns/message.h"
+#include "measure/site_map.h"
 
 namespace fenrir::measure {
 
@@ -248,7 +249,7 @@ std::vector<core::SiteId> EdnsCsProbe::measure(
       out[i] = core::kOtherSite;  // answered, but from an unknown fleet
       continue;
     }
-    out[i] = site_to_core.at(*site);
+    out[i] = map_site(site_to_core, *site, "ednscs");
   }
   return out;
 }

@@ -1,0 +1,35 @@
+// fenrir::measure — shared service-site → core::SiteId mapping.
+//
+// Every prober finishes the same way: a routing verdict names a service
+// site index, and the caller-provided site_to_core table turns it into a
+// core::SiteId. A table that is too short used to surface as a bare
+// std::out_of_range from std::vector::at — "vector::_M_range_check" with
+// no hint of which prober, which site, or how big the table was. This
+// helper throws the message a 2 a.m. operator actually needs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/tables.h"
+
+namespace fenrir::measure {
+
+/// Maps service site index @p site through @p site_to_core. Throws
+/// std::runtime_error naming @p prober, the offending index, and the
+/// table size when the table does not cover the site — which means the
+/// caller built site_to_core for a different (smaller) service topology.
+inline core::SiteId map_site(const std::vector<core::SiteId>& site_to_core,
+                             std::size_t site, const char* prober) {
+  if (site >= site_to_core.size()) {
+    throw std::runtime_error(
+        std::string(prober) + ": routing answered service site " +
+        std::to_string(site) + " but site_to_core maps only " +
+        std::to_string(site_to_core.size()) +
+        " sites — was the mapping built for a different topology?");
+  }
+  return site_to_core[site];
+}
+
+}  // namespace fenrir::measure

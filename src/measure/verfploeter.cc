@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "measure/site_map.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -14,6 +15,34 @@ VerfploeterProbe::VerfploeterProbe(const netbase::Hitlist* hitlist,
   if (hitlist_ == nullptr) {
     throw std::invalid_argument("VerfploeterProbe: null hitlist");
   }
+}
+
+VerfploeterReply VerfploeterProbe::measure_one(
+    std::size_t index, core::TimePoint time, const bgp::AsGraph& graph,
+    const bgp::RoutingTable& routing,
+    const std::vector<core::SiteId>& site_to_core) const {
+  const std::uint32_t block = hitlist_->block(index);
+  const std::uint64_t round_key = static_cast<std::uint64_t>(time);
+
+  // Does the representative answer this round?
+  const std::uint64_t draw =
+      rng::mix(config_.seed, rng::mix(0xec40ULL, block, round_key));
+  const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  if (u >= propensity(block) * (1.0 - config_.transient_loss)) {
+    return {core::kUnknownSite, VerfploeterOutcome::kNoReply};
+  }
+
+  // The reply routes from the block's AS into the anycast system.
+  const auto as = graph.origin_of(hitlist_->target(index));
+  if (!as) {
+    return {core::kUnknownSite, VerfploeterOutcome::kUnrouted};
+  }
+  const auto site = routing.catchment(*as);
+  if (!site) {
+    return {core::kUnknownSite, VerfploeterOutcome::kNoRoute};
+  }
+  return {map_site(site_to_core, *site, "verfploeter"),
+          VerfploeterOutcome::kAnswered};
 }
 
 double VerfploeterProbe::propensity(std::uint32_t block) const {
@@ -38,32 +67,24 @@ std::vector<core::SiteId> VerfploeterProbe::measure(
   std::uint64_t answered = 0;
 
   std::vector<core::SiteId> out(hitlist_->size(), core::kUnknownSite);
-  const std::uint64_t round_key = static_cast<std::uint64_t>(time);
   for (std::size_t i = 0; i < hitlist_->size(); ++i) {
-    const std::uint32_t block = hitlist_->block(i);
-
-    // Does the representative answer this round?
-    const std::uint64_t draw =
-        rng::mix(config_.seed, rng::mix(0xec40ULL, block, round_key));
-    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
-    if (u >= propensity(block) * (1.0 - config_.transient_loss)) {
-      ++lost_no_reply;
-      continue;
+    const VerfploeterReply r =
+        measure_one(i, time, graph, routing, site_to_core);
+    switch (r.outcome) {
+      case VerfploeterOutcome::kAnswered:
+        out[i] = r.site;
+        ++answered;
+        break;
+      case VerfploeterOutcome::kNoReply:
+        ++lost_no_reply;
+        break;
+      case VerfploeterOutcome::kUnrouted:
+        ++lost_unrouted;
+        break;
+      case VerfploeterOutcome::kNoRoute:
+        ++lost_no_route;
+        break;
     }
-
-    // The reply routes from the block's AS into the anycast system.
-    const auto as = graph.origin_of(hitlist_->target(i));
-    if (!as) {
-      ++lost_unrouted;  // unrouted space: probe never reaches it
-      continue;
-    }
-    const auto site = routing.catchment(*as);
-    if (!site) {
-      ++lost_no_route;  // no route to the anycast prefix: reply lost
-      continue;
-    }
-    out[i] = site_to_core.at(*site);
-    ++answered;
   }
 
   static obs::Counter& sent = obs::registry().counter(

@@ -25,6 +25,22 @@
 
 namespace fenrir::measure {
 
+/// Why a single verfploeter probe did (not) produce a catchment label.
+/// kNoReply and kNoRoute are indistinguishable on the wire (no reply
+/// either way) but the simulator knows, and Campaign's retry logic only
+/// benefits from retrying the transient kinds.
+enum class VerfploeterOutcome : std::uint8_t {
+  kAnswered,  // reply arrived; site holds the catchment
+  kNoReply,   // dark block or transient loss — retryable
+  kUnrouted,  // target in unrouted space — retry will never help
+  kNoRoute,   // block's AS has no route to the anycast prefix
+};
+
+struct VerfploeterReply {
+  core::SiteId site = core::kUnknownSite;
+  VerfploeterOutcome outcome = VerfploeterOutcome::kNoReply;
+};
+
 struct VerfploeterConfig {
   /// Responsiveness is bimodal, matching what ping studies of the IPv4
   /// space see: a stable population that nearly always answers (server
@@ -56,6 +72,15 @@ class VerfploeterProbe {
 
   std::vector<core::SiteId> measure(
       core::TimePoint time, const bgp::AsGraph& graph,
+      const bgp::RoutingTable& routing,
+      const std::vector<core::SiteId>& site_to_core) const;
+
+  /// One probe of hitlist block @p index at @p time. Deterministic in
+  /// (index, time) — measure() is exactly this, looped, at a single
+  /// instant, and measure::Campaign probes through it one target at a
+  /// time so retries at later instants get fresh responsiveness draws.
+  VerfploeterReply measure_one(
+      std::size_t index, core::TimePoint time, const bgp::AsGraph& graph,
       const bgp::RoutingTable& routing,
       const std::vector<core::SiteId>& site_to_core) const;
 

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "chaos/corrupt.h"
+
 namespace fenrir::core {
 namespace {
 
@@ -119,6 +121,170 @@ TEST(DatasetIo, EmptySeriesRoundTrips) {
   const Dataset r = round_trip(d);
   EXPECT_TRUE(r.series.empty());
   EXPECT_EQ(r.networks.size(), 1u);
+}
+
+// --- the malformed-dataset corpus: strict rejects with a useful
+// message, lenient salvages the documented subset ---
+
+std::string sample_text() {
+  std::ostringstream out;
+  save_dataset(sample(true), out);
+  return out.str();
+}
+
+Dataset load_text(const std::string& text, const LoadOptions& options = {},
+                  LoadStats* stats = nullptr) {
+  std::istringstream in(text);
+  return load_dataset(in, options, stats);
+}
+
+/// Strict mode must throw a DatasetIoError whose message names the
+/// problem (not vector::_M_range_check).
+void expect_strict_rejects(const std::string& text,
+                           const std::string& message_fragment) {
+  try {
+    load_text(text);
+    FAIL() << "strict load accepted: " << text.substr(0, 80);
+  } catch (const DatasetIoError& e) {
+    EXPECT_NE(std::string(e.what()).find(message_fragment),
+              std::string::npos)
+        << "message '" << e.what() << "' lacks '" << message_fragment << "'";
+  }
+}
+
+TEST(DatasetIoCorpus, TruncatedFile) {
+  const std::string text = sample_text();
+  const std::string cut = text.substr(0, text.size() - text.size() / 4);
+  expect_strict_rejects(cut, "ragged row");
+  LoadStats stats;
+  const Dataset r = load_text(cut, {.lenient = true}, &stats);
+  EXPECT_TRUE(stats.salvaged());
+  EXPECT_GT(stats.rows_kept, 0u);
+  EXPECT_LT(r.series.size(), 4u);
+}
+
+TEST(DatasetIoCorpus, BadMagicIsFatalEvenLeniently) {
+  const std::string bad =
+      chaos::corrupt_text(sample_text(), chaos::Corruption::kBadMagic, 1);
+  expect_strict_rejects(bad, "bad magic");
+  EXPECT_THROW(load_text(bad, {.lenient = true}), DatasetIoError);
+}
+
+TEST(DatasetIoCorpus, RaggedRows) {
+  const std::string bad =
+      chaos::corrupt_text(sample_text(), chaos::Corruption::kRaggedRows, 3);
+  expect_strict_rejects(bad, "ragged row");
+  LoadStats stats;
+  const Dataset r = load_text(bad, {.lenient = true}, &stats);
+  EXPECT_GT(stats.ragged_rows, 0u);
+  EXPECT_EQ(r.series.size() + stats.ragged_rows, 4u);
+  r.check_consistent();
+}
+
+TEST(DatasetIoCorpus, BadTimes) {
+  const std::string bad =
+      chaos::corrupt_text(sample_text(), chaos::Corruption::kBadTimes, 5);
+  expect_strict_rejects(bad, "bad time");
+  LoadStats stats;
+  const Dataset r = load_text(bad, {.lenient = true}, &stats);
+  EXPECT_GT(stats.bad_times, 0u);
+  EXPECT_EQ(r.series.size() + stats.bad_times, 4u);
+}
+
+TEST(DatasetIoCorpus, FlippedValidFlags) {
+  const std::string bad = chaos::corrupt_text(
+      sample_text(), chaos::Corruption::kFlipValidFlags, 7);
+  expect_strict_rejects(bad, "bad valid flag");
+  LoadStats stats;
+  const Dataset r = load_text(bad, {.lenient = true}, &stats);
+  EXPECT_GT(stats.bad_valid_flags, 0u);
+  EXPECT_EQ(r.series.size() + stats.bad_valid_flags, 4u);
+}
+
+TEST(DatasetIoCorpus, DuplicateNetworkKeys) {
+  const std::string bad =
+      "#fenrir-dataset,v1\nname,dup\ntime,valid,65536,65537,65536\n"
+      "2024-01-01 00:00,1,LAX,AMS,MIA\n"
+      "2024-01-02 00:00,1,LAX,LAX,MIA\n";
+  expect_strict_rejects(bad, "inconsistent");
+  LoadStats stats;
+  const Dataset r = load_text(bad, {.lenient = true}, &stats);
+  EXPECT_EQ(stats.duplicate_networks, 1u);
+  ASSERT_EQ(r.networks.size(), 2u);
+  ASSERT_EQ(r.series.size(), 2u);
+  // The first occurrence of the duplicated key wins.
+  EXPECT_EQ(r.sites.name(r.series[0].assignment[0]), "LAX");
+  EXPECT_EQ(r.sites.name(r.series[0].assignment[1]), "AMS");
+  r.check_consistent();
+}
+
+TEST(DatasetIoCorpus, OutOfOrderRows) {
+  const std::string bad =
+      "#fenrir-dataset,v1\nname,x\ntime,valid,65536\n"
+      "2024-01-02 00:00,1,LAX\n2024-01-01 00:00,1,AMS\n"
+      "2024-01-03 00:00,1,LAX\n";
+  expect_strict_rejects(bad, "inconsistent");
+  LoadStats stats;
+  const Dataset r = load_text(bad, {.lenient = true}, &stats);
+  EXPECT_EQ(stats.out_of_order_rows, 1u);
+  ASSERT_EQ(r.series.size(), 2u);
+  r.check_consistent();
+}
+
+TEST(DatasetIoCorpus, UnusableWeightsAreDroppedLeniently) {
+  const std::string bad =
+      "#fenrir-dataset,v1\nname,x\nweights,1.0,banana\ntime,valid,65536,65537\n"
+      "2024-01-01 00:00,1,LAX,AMS\n";
+  expect_strict_rejects(bad, "bad weight");
+  LoadStats stats;
+  const Dataset r = load_text(bad, {.lenient = true}, &stats);
+  EXPECT_TRUE(stats.weights_dropped);
+  EXPECT_TRUE(r.weights.empty());
+  ASSERT_EQ(r.series.size(), 1u);
+}
+
+TEST(DatasetIoCorpus, EmptySeriesLoadsInBothModes) {
+  const std::string text = "#fenrir-dataset,v1\nname,x\ntime,valid,65536\n";
+  EXPECT_TRUE(load_text(text).series.empty());
+  LoadStats stats;
+  EXPECT_TRUE(load_text(text, {.lenient = true}, &stats).series.empty());
+  EXPECT_FALSE(stats.salvaged());
+  EXPECT_EQ(stats.rows_kept, 0u);
+}
+
+TEST(DatasetIoCorpus, LenientOnCleanInputMatchesStrict) {
+  const std::string text = sample_text();
+  const Dataset strict = load_text(text);
+  LoadStats stats;
+  const Dataset lenient = load_text(text, {.lenient = true}, &stats);
+  EXPECT_FALSE(stats.salvaged());
+  EXPECT_EQ(stats.rows_kept, strict.series.size());
+  ASSERT_EQ(lenient.series.size(), strict.series.size());
+  for (std::size_t i = 0; i < strict.series.size(); ++i) {
+    EXPECT_EQ(lenient.series[i].time, strict.series[i].time);
+    EXPECT_EQ(lenient.series[i].valid, strict.series[i].valid);
+    EXPECT_EQ(lenient.series[i].assignment, strict.series[i].assignment);
+  }
+  ASSERT_EQ(lenient.weights.size(), strict.weights.size());
+}
+
+TEST(DatasetIoCorpus, SalvagedDatasetsStayConsistentAcrossSeeds) {
+  // Whatever the corruption draws, a lenient load either throws
+  // DatasetIoError (structural damage) or returns a consistent dataset.
+  const std::string text = sample_text();
+  for (const auto kind :
+       {chaos::Corruption::kTruncate, chaos::Corruption::kRaggedRows,
+        chaos::Corruption::kFlipValidFlags, chaos::Corruption::kBadTimes}) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      const std::string bad = chaos::corrupt_text(text, kind, seed);
+      try {
+        const Dataset r = load_text(bad, {.lenient = true});
+        r.check_consistent();
+      } catch (const DatasetIoError&) {
+        // acceptable: damage reached a structural row
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -23,10 +23,22 @@
 //   --stack FILE.csv      write the per-site stack series
 //   --ascii               print an ASCII heatmap
 //
+// watch options:
+//   --threshold X         mode match threshold (default 0.85)
+//   --pessimistic         pessimistic unknown policy (default known-only)
+//   --adapt               representatives follow the latest member
+//   --resume FILE         restore the mode book from FILE (if it exists),
+//                         process only new observations, write the state
+//                         back — a long-lived watch across restarts
+//
 // clean options:
 //   --limit N             interpolation distance (default 3)
 //   --fill-edges          replicate nearest observation into edge gaps
 //   --micro X             fold sites whose peak share is below X
+//
+// exit codes: 0 success; 2 usage errors; 3 I/O errors (unreadable,
+// unwritable, or malformed dataset/state files); 1 analysis errors and
+// everything else.
 //
 // observability (any command; see src/obs/):
 //   --log-level L         trace|debug|info|warn|error|off (also settable
@@ -40,6 +52,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -50,6 +63,7 @@
 #include "core/pipeline.h"
 #include "core/stackplot.h"
 #include "core/transition.h"
+#include "io/csv.h"
 #include "io/table.h"
 #include "measure/verfploeter.h"
 #include "netbase/hitlist.h"
@@ -93,7 +107,8 @@ Args parse_args(int argc, char** argv, int first) {
            flag == "--threshold" || flag == "--mode-strip" ||
            flag == "--heatmap" || flag == "--heatmap-csv" ||
            flag == "--stack" || flag == "--limit" || flag == "--micro" ||
-           flag == "--log-level" || flag == "--metrics";
+           flag == "--log-level" || flag == "--metrics" ||
+           flag == "--resume";
   };
   Args out;
   for (int i = first; i < argc; ++i) {
@@ -266,9 +281,99 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
+constexpr const char* kWatchStateMagic = "#fenrir-watchstate";
+constexpr const char* kWatchStateVersion = "v1";
+
+/// Persists a watch session: how many series entries were consumed, the
+/// mode history, and each mode's representative (site names, so the
+/// state survives as long as the dataset keeps the same networks).
+void save_watch_state(const core::Dataset& data, const core::ModeBook& book,
+                      std::size_t processed, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw core::DatasetIoError("cannot open " + path + " for writing");
+  }
+  io::CsvWriter csv(out);
+  csv.row(kWatchStateMagic, kWatchStateVersion);
+  csv.row("processed", processed);
+  {
+    std::vector<std::string> row{"history"};
+    for (const std::size_t m : book.history()) {
+      row.push_back(std::to_string(m));
+    }
+    csv.write_row(row);
+  }
+  for (std::size_t m = 0; m < book.mode_count(); ++m) {
+    const core::RoutingVector& rep = book.representative(m);
+    std::vector<std::string> row{"mode", core::format_time(rep.time)};
+    row.reserve(rep.assignment.size() + 2);
+    for (const core::SiteId s : rep.assignment) {
+      row.push_back(data.sites.name(s));
+    }
+    csv.write_row(row);
+  }
+  if (!out) throw core::DatasetIoError("write failed: " + path);
+}
+
+/// Restores a watch session into @p book; returns how many series
+/// entries the previous session already consumed. Site names re-intern
+/// into @p data's table. Throws DatasetIoError on malformed state or a
+/// network-count mismatch with the dataset.
+std::size_t load_watch_state(core::Dataset& data, core::ModeBook& book,
+                             const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw core::DatasetIoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto rows = io::parse_csv(buffer.str());
+  if (rows.size() < 3 || rows[0].size() < 2 || rows[0][0] != kWatchStateMagic) {
+    throw core::DatasetIoError("not a watch state file (bad magic): " + path);
+  }
+  if (rows[0][1] != kWatchStateVersion) {
+    throw core::DatasetIoError("unsupported watch state version " + rows[0][1]);
+  }
+  if (rows[1].size() != 2 || rows[1][0] != "processed") {
+    throw core::DatasetIoError("watch state: malformed processed row");
+  }
+  const std::size_t processed = std::stoul(rows[1][1]);
+  if (rows[2].empty() || rows[2][0] != "history") {
+    throw core::DatasetIoError("watch state: malformed history row");
+  }
+  std::vector<std::size_t> history;
+  for (std::size_t i = 1; i < rows[2].size(); ++i) {
+    history.push_back(std::stoul(rows[2][i]));
+  }
+  std::vector<core::RoutingVector> representatives;
+  for (std::size_t r = 3; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() < 2 || row[0] != "mode") {
+      throw core::DatasetIoError("watch state: malformed mode row");
+    }
+    if (row.size() - 2 != data.networks.size()) {
+      throw core::DatasetIoError(
+          "watch state disagrees with the dataset: representative has " +
+          std::to_string(row.size() - 2) + " networks, dataset has " +
+          std::to_string(data.networks.size()));
+    }
+    core::RoutingVector rep;
+    rep.time = parse_time_or_throw(row[1]);
+    rep.assignment.reserve(row.size() - 2);
+    for (std::size_t i = 2; i < row.size(); ++i) {
+      rep.assignment.push_back(data.sites.intern(row[i]));
+    }
+    representatives.push_back(std::move(rep));
+  }
+  try {
+    book.restore(std::move(representatives), std::move(history));
+  } catch (const std::invalid_argument& e) {
+    throw core::DatasetIoError(std::string("watch state: ") + e.what());
+  }
+  return processed;
+}
+
 int cmd_watch(const Args& args) {
   if (args.positional.size() != 1) return usage();
-  const core::Dataset data = core::load_dataset_file(args.positional[0]);
+  core::Dataset data = core::load_dataset_file(args.positional[0]);
   core::ModeBook::Config cfg;
   cfg.match_threshold = std::stod(args.get("--threshold", "0.85"));
   if (args.has("--pessimistic")) {
@@ -277,7 +382,27 @@ int cmd_watch(const Args& args) {
   cfg.adapt_representative = args.has("--adapt");
   core::ModeBook book(cfg);
 
-  for (const auto& v : data.series) {
+  // --resume FILE: pick up where an earlier watch of the (possibly
+  // grown) dataset left off, and write the state back when done.
+  std::size_t start = 0;
+  const std::string state_path = args.get("--resume", "");
+  if (!state_path.empty() && std::ifstream(state_path).good()) {
+    start = load_watch_state(data, book, state_path);
+    if (start > data.series.size()) {
+      throw core::DatasetIoError(
+          "watch state is ahead of the dataset (" + std::to_string(start) +
+          " processed, " + std::to_string(data.series.size()) +
+          " observations on disk) — did the dataset shrink?");
+    }
+    static obs::Counter& resumes = obs::registry().counter(
+        "fenrir_watch_resumes_total", "watch sessions resumed from state");
+    resumes.inc();
+    std::cout << "resumed: " << start << " observations already processed, "
+              << book.mode_count() << " known modes\n";
+  }
+
+  for (std::size_t i = start; i < data.series.size(); ++i) {
+    const core::RoutingVector& v = data.series[i];
     const auto match = book.observe(v);
     std::cout << core::format_time(v.time) << "  mode " << match.mode
               << "  phi " << io::fixed(match.phi, 3);
@@ -292,6 +417,9 @@ int cmd_watch(const Args& args) {
   }
   std::cout << book.mode_count() << " modes over " << book.history().size()
             << " observations\n";
+  if (!state_path.empty()) {
+    save_watch_state(data, book, data.series.size(), state_path);
+  }
   return 0;
 }
 
@@ -381,12 +509,20 @@ void register_metric_catalog() {
         "fenrir_probes_lost_total", "fenrir_probes_unrouted_total",
         "fenrir_probes_unreachable_total", "fenrir_bgp_computations_total",
         "fenrir_bgp_routes_installed_total",
-        "fenrir_bgp_worklist_pops_total"}) {
+        "fenrir_bgp_worklist_pops_total", "fenrir_campaign_sweeps_total",
+        "fenrir_campaign_probes_total", "fenrir_campaign_retries_total",
+        "fenrir_campaign_retried_out_total",
+        "fenrir_campaign_breaker_trips_total",
+        "fenrir_campaign_breaker_skips_total",
+        "fenrir_campaign_low_coverage_sweeps_total",
+        "fenrir_campaign_quorum_disagreements_total",
+        "fenrir_campaign_resumes_total", "fenrir_watch_resumes_total"}) {
     r.counter(name);
   }
   for (const char* name :
        {"fenrir_analyze_observations", "fenrir_analyze_clusters",
-        "fenrir_analyze_modes", "fenrir_parallel_imbalance_ratio"}) {
+        "fenrir_analyze_modes", "fenrir_parallel_imbalance_ratio",
+        "fenrir_campaign_coverage", "fenrir_campaign_confidence"}) {
     r.gauge(name);
   }
 }
@@ -429,10 +565,15 @@ int main(int argc, char** argv) {
     // Telemetry goes to its own sinks (file / stderr) so the command's
     // stdout stays byte-identical with or without these flags.
     if (const auto path = args.get("--metrics", ""); !path.empty()) {
-      if (!write_metrics_file(path) && rc == 0) rc = 1;
+      if (!write_metrics_file(path) && rc == 0) rc = 3;
     }
     if (args.has("--profile")) obs::write_profile(std::cerr);
     return rc;
+  } catch (const core::DatasetIoError& e) {
+    // Exit code taxonomy (see README): 2 usage, 3 I/O (unreadable,
+    // unwritable, or malformed dataset/state files), 1 everything else.
+    std::cerr << "fenrirctl: " << e.what() << "\n";
+    return 3;
   } catch (const std::exception& e) {
     std::cerr << "fenrirctl: " << e.what() << "\n";
     return 1;
