@@ -16,6 +16,7 @@
 #include "bgp/topology_gen.h"
 #include "core/cluster.h"
 #include "core/compare.h"
+#include "core/compare_kernels.h"
 #include "core/events.h"
 #include "core/transition.h"
 #include "obs/metrics.h"
@@ -90,6 +91,63 @@ core::Dataset random_dataset(std::size_t obs, std::size_t nets) {
   return d;
 }
 
+// The paper's recurring-routing structure: consecutive vectors differ in
+// a small fraction of networks. This is the workload the delta-encoded
+// Φ path is built for (1% flips/step ~ production churn between sweeps).
+core::Dataset low_churn_dataset(std::size_t obs, std::size_t nets,
+                                double churn) {
+  core::Dataset d;
+  d.name = "bench-low-churn";
+  for (std::size_t i = 0; i < nets; ++i) d.networks.intern(i);
+  for (int s = 0; s < 8; ++s) d.sites.intern("s" + std::to_string(s));
+  rng::Rng r(41);
+  auto v = random_vector(nets, 8, 40, 0.1);
+  for (std::size_t t = 0; t < obs; ++t) {
+    v.time = static_cast<core::TimePoint>(t) * core::kDay;
+    d.series.push_back(v);
+    const auto flips = static_cast<std::size_t>(churn * nets);
+    for (std::size_t k = 0; k < flips; ++k) {
+      v.assignment[r.uniform(nets)] = static_cast<core::SiteId>(
+          core::kFirstRealSite + r.uniform(8));
+    }
+  }
+  return d;
+}
+
+// The packed kernel against the scalar gower_similarity (same vectors as
+// BM_GowerPessimistic): items/s ratio is the SIMD win.
+void BM_GowerPacked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Dataset d;
+  d.series = {random_vector(n, 8, 1, 0.5), random_vector(n, 8, 2, 0.5)};
+  const auto s = core::PackedSeries::pack(d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::phi_from_counts(s.counts(0, 1), n, core::UnknownPolicy::kPessimistic));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GowerPacked)->Arg(100'000)->Arg(1'000'000);
+
+// The delta patch for one pair at 1% churn. Items are counted in
+// networks covered (the N the patch replaces), so items/s is directly
+// comparable with BM_GowerPessimistic / BM_GowerPacked.
+void BM_GowerDelta(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Dataset d = low_churn_dataset(2, n, 0.01);
+  d.series.push_back(random_vector(n, 8, 9, 0.1));  // the partner row
+  const auto s = core::PackedSeries::pack(d);
+  const auto delta = s.delta_between(0, 1);
+  const auto base = s.counts(0, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::apply_delta(base, delta, s, 2).matches);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GowerDelta)->Arg(100'000)->Arg(1'000'000);
+
 void BM_SimilarityMatrix(benchmark::State& state) {
   const auto d = random_dataset(static_cast<std::size_t>(state.range(0)),
                                 static_cast<std::size_t>(state.range(1)));
@@ -109,6 +167,55 @@ void BM_SimilarityMatrixThreads(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimilarityMatrixThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The acceptance pair: the full low-churn matrix on the scalar reference
+// versus the layered fast path (packed kernels + delta rows), both
+// single-threaded so the ratio is pure algorithm. Items are scalar-
+// equivalent comparisons T(T+1)/2 · N.
+void BM_SimilarityMatrixLowChurnScalar(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto d = low_churn_dataset(t, n, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimilarityMatrix::compute_reference(d));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t * (t + 1) / 2 * n));
+}
+BENCHMARK(BM_SimilarityMatrixLowChurnScalar)->Args({128, 20'000});
+
+void BM_SimilarityMatrixLowChurn(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto d = low_churn_dataset(t, n, 0.01);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimilarityMatrix::compute(
+        d, core::UnknownPolicy::kPessimistic, /*threads=*/1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t * (t + 1) / 2 * n));
+}
+BENCHMARK(BM_SimilarityMatrixLowChurn)->Args({128, 20'000});
+
+// What `fenrirctl watch` pays per tick: one append() onto a standing
+// T-row matrix (delta path at 1% churn). Items are the scalar-equivalent
+// comparisons of the appended row, (T+1)·N.
+void BM_SimilarityMatrixAppend(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto d = low_churn_dataset(t + 1, n, 0.01);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+    for (std::size_t i = 0; i < t; ++i) m.append(d.series[i]);
+    state.ResumeTiming();
+    m.append(d.series[t]);
+    benchmark::DoNotOptimize(m.phi(t, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>((t + 1) * n));
+}
+BENCHMARK(BM_SimilarityMatrixAppend)->Args({64, 10'000})->Args({256, 10'000});
 
 void BM_SlinkDendrogram(benchmark::State& state) {
   const auto d = random_dataset(static_cast<std::size_t>(state.range(0)),

@@ -1,0 +1,311 @@
+#include "core/compare_kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace fenrir::core {
+
+double in_order_sum(std::span<const double> w) {
+  double total = 0.0;
+  for (const double x : w) total += x;
+  return total;
+}
+
+namespace {
+
+template <typename T>
+void pack_row(std::byte* dst, const RoutingVector& v) {
+  T* out = reinterpret_cast<T*>(dst);
+  for (std::size_t i = 0; i < v.assignment.size(); ++i) {
+    out[i] = static_cast<T>(v.assignment[i]);
+  }
+}
+
+// Blocked branchless match counter. The inner block accumulates into
+// 32-bit lanes the compiler widens from byte/word compares (pcmpeq +
+// psadbw-style reductions); the outer loop drains them into 64-bit sums
+// well before they could wrap.
+template <typename T>
+MatchCounts count_matches_impl(const T* a, const T* b, std::size_t n) {
+  MatchCounts out;
+  constexpr std::size_t kBlock = 4096;
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t end = std::min(n, i + kBlock);
+    std::uint32_t m = 0, k = 0;
+    for (std::size_t j = i; j < end; ++j) {
+      const unsigned eq = a[j] == b[j];
+      const unsigned an = a[j] != 0;  // kUnknownSite == 0 survives packing
+      const unsigned bn = b[j] != 0;
+      m += eq & an;
+      k += an & bn;
+    }
+    out.matches += m;
+    out.mutual_known += k;
+    i = end;
+  }
+  return out;
+}
+
+// Weighted variant: same left-to-right accumulation as the scalar
+// reference (reordering doubles changes the bits), but branchless
+// selects instead of data-dependent branches.
+template <typename T>
+WeightedCounts weighted_impl(const T* a, const T* b, const double* w,
+                             std::size_t n, UnknownPolicy policy,
+                             double pessimistic_total) {
+  WeightedCounts out;
+  if (policy == UnknownPolicy::kPessimistic) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool hit = a[i] == b[i] && a[i] != 0;
+      out.matched += hit ? w[i] : 0.0;
+    }
+    out.denom = pessimistic_total;
+    return out;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool known = a[i] != 0 && b[i] != 0;
+    const bool hit = known && a[i] == b[i];
+    out.denom += known ? w[i] : 0.0;
+    out.matched += hit ? w[i] : 0.0;
+  }
+  return out;
+}
+
+std::size_t width_for(SiteId max_id) {
+  if (max_id <= 0xff) return 1;
+  if (max_id <= 0xffff) return 2;
+  return 4;
+}
+
+// Typed change-set scan. Mismatches are rare on the workloads that reach
+// this path (that is why the delta layer exists), so the hot loop is a
+// well-predicted equality test per element, not a per-element width
+// dispatch.
+template <typename T>
+void delta_scan(const T* a, const T* b, std::size_t n,
+                std::vector<DeltaEntry>& out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      out.push_back({static_cast<std::uint32_t>(i),
+                     static_cast<SiteId>(a[i]), static_cast<SiteId>(b[i])});
+    }
+  }
+}
+
+}  // namespace
+
+PackedSeries PackedSeries::pack(const Dataset& dataset) {
+  PackedSeries s;
+  SiteId max_id = 0;
+  for (const RoutingVector& v : dataset.series) {
+    for (const SiteId id : v.assignment) max_id = std::max(max_id, id);
+  }
+  s.width_ = width_for(max_id);
+  for (const RoutingVector& v : dataset.series) s.append(v);
+  return s;
+}
+
+void PackedSeries::append(const RoutingVector& v) {
+  if (rows_ == 0 && networks_ == 0) {
+    networks_ = v.assignment.size();
+  } else if (v.assignment.size() != networks_) {
+    throw std::invalid_argument("PackedSeries: vector size mismatch");
+  }
+  SiteId max_id = 0;
+  for (const SiteId id : v.assignment) max_id = std::max(max_id, id);
+  if (const std::size_t need = width_for(max_id); need > width_) {
+    widen_to(need);
+  }
+  data_.resize((rows_ + 1) * networks_ * width_);
+  std::byte* dst = row_ptr(rows_);
+  switch (width_) {
+    case 1: pack_row<std::uint8_t>(dst, v); break;
+    case 2: pack_row<std::uint16_t>(dst, v); break;
+    default: pack_row<std::uint32_t>(dst, v); break;
+  }
+  ++rows_;
+}
+
+void PackedSeries::pop_back() noexcept {
+  if (rows_ == 0) return;
+  --rows_;
+  data_.resize(rows_ * networks_ * width_);
+}
+
+void PackedSeries::copy_row(std::size_t dst, std::size_t src) {
+  if (dst >= rows_ || src >= rows_) {
+    throw std::out_of_range("PackedSeries::copy_row");
+  }
+  if (dst != src) {
+    std::memcpy(row_ptr(dst), row_ptr(src), networks_ * width_);
+  }
+}
+
+void PackedSeries::clear() noexcept {
+  rows_ = 0;
+  networks_ = 0;
+  width_ = 1;
+  data_.clear();
+}
+
+void PackedSeries::widen_to(std::size_t width) {
+  std::vector<std::byte> wide(rows_ * networks_ * width);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t n = 0; n < networks_; ++n) {
+      const SiteId v = value_at(r, n);
+      std::byte* dst = wide.data() + (r * networks_ + n) * width;
+      if (width == 2) {
+        const auto x = static_cast<std::uint16_t>(v);
+        std::memcpy(dst, &x, sizeof x);
+      } else {
+        std::memcpy(dst, &v, sizeof v);
+      }
+    }
+  }
+  data_ = std::move(wide);
+  width_ = width;
+}
+
+MatchCounts PackedSeries::counts(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= rows_) throw std::out_of_range("PackedSeries::counts");
+  const std::byte* a = row_ptr(i);
+  const std::byte* b = row_ptr(j);
+  switch (width_) {
+    case 1:
+      return count_matches_impl(reinterpret_cast<const std::uint8_t*>(a),
+                                reinterpret_cast<const std::uint8_t*>(b),
+                                networks_);
+    case 2:
+      return count_matches_impl(reinterpret_cast<const std::uint16_t*>(a),
+                                reinterpret_cast<const std::uint16_t*>(b),
+                                networks_);
+    default:
+      return count_matches_impl(reinterpret_cast<const std::uint32_t*>(a),
+                                reinterpret_cast<const std::uint32_t*>(b),
+                                networks_);
+  }
+}
+
+WeightedCounts PackedSeries::weighted_counts(std::size_t i, std::size_t j,
+                                             std::span<const double> w,
+                                             UnknownPolicy policy,
+                                             double pessimistic_total) const {
+  if (i >= rows_ || j >= rows_) {
+    throw std::out_of_range("PackedSeries::weighted_counts");
+  }
+  if (w.size() != networks_) {
+    throw std::invalid_argument("PackedSeries: weight size mismatch");
+  }
+  const std::byte* a = row_ptr(i);
+  const std::byte* b = row_ptr(j);
+  switch (width_) {
+    case 1:
+      return weighted_impl(reinterpret_cast<const std::uint8_t*>(a),
+                           reinterpret_cast<const std::uint8_t*>(b), w.data(),
+                           networks_, policy, pessimistic_total);
+    case 2:
+      return weighted_impl(reinterpret_cast<const std::uint16_t*>(a),
+                           reinterpret_cast<const std::uint16_t*>(b), w.data(),
+                           networks_, policy, pessimistic_total);
+    default:
+      return weighted_impl(reinterpret_cast<const std::uint32_t*>(a),
+                           reinterpret_cast<const std::uint32_t*>(b), w.data(),
+                           networks_, policy, pessimistic_total);
+  }
+}
+
+SiteId PackedSeries::value_at(std::size_t row, std::size_t n) const {
+  const std::byte* p = row_ptr(row) + n * width_;
+  switch (width_) {
+    case 1: {
+      std::uint8_t x;
+      std::memcpy(&x, p, sizeof x);
+      return x;
+    }
+    case 2: {
+      std::uint16_t x;
+      std::memcpy(&x, p, sizeof x);
+      return x;
+    }
+    default: {
+      SiteId x;
+      std::memcpy(&x, p, sizeof x);
+      return x;
+    }
+  }
+}
+
+std::vector<DeltaEntry> PackedSeries::delta_between(std::size_t from,
+                                                    std::size_t to) const {
+  if (from >= rows_ || to >= rows_) {
+    throw std::out_of_range("PackedSeries::delta_between");
+  }
+  std::vector<DeltaEntry> delta;
+  const std::byte* a = row_ptr(from);
+  const std::byte* b = row_ptr(to);
+  switch (width_) {
+    case 1:
+      delta_scan(reinterpret_cast<const std::uint8_t*>(a),
+                 reinterpret_cast<const std::uint8_t*>(b), networks_, delta);
+      break;
+    case 2:
+      delta_scan(reinterpret_cast<const std::uint16_t*>(a),
+                 reinterpret_cast<const std::uint16_t*>(b), networks_, delta);
+      break;
+    default:
+      delta_scan(reinterpret_cast<const std::uint32_t*>(a),
+                 reinterpret_cast<const std::uint32_t*>(b), networks_, delta);
+      break;
+  }
+  return delta;
+}
+
+namespace {
+
+// The per-entry body of apply_delta with the other row's width resolved
+// once; the matrix's append loop calls this |Δ| times per cached pair,
+// so a per-entry width dispatch would dominate the patch itself.
+template <typename T>
+void apply_delta_typed(const T* row_b, std::span<const DeltaEntry> delta,
+                       std::int64_t& d_matches, std::int64_t& d_known) {
+  for (const DeltaEntry& d : delta) {
+    const SiteId b = row_b[d.index];
+    const bool b_known = b != kUnknownSite;
+    d_matches -= (d.before == b && d.before != kUnknownSite);
+    d_known -= (d.before != kUnknownSite && b_known);
+    d_matches += (d.after == b && d.after != kUnknownSite);
+    d_known += (d.after != kUnknownSite && b_known);
+  }
+}
+
+}  // namespace
+
+MatchCounts apply_delta(MatchCounts base, std::span<const DeltaEntry> delta,
+                        const PackedSeries& series, std::size_t row_b) {
+  std::int64_t d_matches = 0;
+  std::int64_t d_known = 0;
+  const std::byte* b = series.row_ptr(row_b);
+  switch (series.width_) {
+    case 1:
+      apply_delta_typed(reinterpret_cast<const std::uint8_t*>(b), delta,
+                        d_matches, d_known);
+      break;
+    case 2:
+      apply_delta_typed(reinterpret_cast<const std::uint16_t*>(b), delta,
+                        d_matches, d_known);
+      break;
+    default:
+      apply_delta_typed(reinterpret_cast<const std::uint32_t*>(b), delta,
+                        d_matches, d_known);
+      break;
+  }
+  base.matches = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(base.matches) + d_matches);
+  base.mutual_known = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(base.mutual_known) + d_known);
+  return base;
+}
+
+}  // namespace fenrir::core

@@ -1,0 +1,151 @@
+// fenrir::core — packed similarity kernels: the integer core of Φ.
+//
+// gower_similarity() is exact but scalar: one branchy comparison per
+// network, on 4-byte SiteIds. At production scale (millions of networks,
+// hundreds of observations) the all-pairs matrix does T²·N of those, and
+// the paper's own thesis — routing *recurs*, consecutive vectors differ
+// in a tiny fraction of networks — goes unexploited. This header supplies
+// the three fast layers the SimilarityMatrix builds on:
+//
+//  * PackedSeries — rows narrowed to the smallest element width that
+//    holds every SiteId seen (uint8 for < 255 sites, uint16 below 64k,
+//    uint32 otherwise). A packed row is 4×–1× denser than the
+//    RoutingVector it came from, so the match kernels stream 4× more
+//    networks per cache line and auto-vectorize to 16–32 lanes per step.
+//  * count_matches kernels — blocked, branchless mask-accumulation loops
+//    producing MatchCounts: how many networks match (both known, equal)
+//    and how many are mutually known. Both UnknownPolicy variants of Φ
+//    are pure functions of these two integers (phi_from_counts), so any
+//    kernel that reproduces the counts reproduces Φ *bit-identically* —
+//    the determinism contract the property tests enforce.
+//  * delta_between / apply_delta — a sorted change-set between a row and
+//    its predecessor, and an O(|Δ|) patch taking counts(prev, b) to
+//    counts(cur, b). When churn is sparse this replaces an O(N) scan per
+//    pair; counts stay exact integers, so Φ stays bit-identical.
+//
+// Weighted Φ accumulates doubles, where reordering changes the result
+// bits. The weighted kernel therefore keeps the reference's in-order
+// single accumulator and is branchless-select only (no SIMD reduction,
+// no delta path) — still bit-identical, still faster than the branchy
+// scalar loop on unpredictable data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compare.h"
+#include "core/vector.h"
+
+namespace fenrir::core {
+
+/// The integer core of unweighted Φ between two rows.
+struct MatchCounts {
+  std::uint64_t matches = 0;       // both known and equal
+  std::uint64_t mutual_known = 0;  // both sides != kUnknownSite
+};
+
+/// The double core of weighted Φ (matched / denom, 0 if denom <= 0).
+struct WeightedCounts {
+  double matched = 0.0;
+  double denom = 0.0;
+};
+
+/// Φ from integer counts — exactly compare.cc's divisions, so a kernel
+/// producing the reference's counts produces the reference's bits.
+inline double phi_from_counts(const MatchCounts& c, std::size_t n,
+                              UnknownPolicy policy) {
+  if (policy == UnknownPolicy::kPessimistic) {
+    if (n == 0) return 0.0;
+    return static_cast<double>(c.matches) / static_cast<double>(n);
+  }
+  if (c.mutual_known == 0) return 0.0;
+  return static_cast<double>(c.matches) / static_cast<double>(c.mutual_known);
+}
+
+inline double phi_from_weighted(const WeightedCounts& c) {
+  if (c.denom <= 0.0) return 0.0;
+  return c.matched / c.denom;
+}
+
+/// Left-to-right sum of @p w — the bit-exact denominator the reference's
+/// pessimistic weighted loop accumulates on every call, hoisted so the
+/// matrix pays it once instead of once per pair.
+double in_order_sum(std::span<const double> w);
+
+/// One element of a change-set between a row and its predecessor.
+struct DeltaEntry {
+  std::uint32_t index = 0;  // network index
+  SiteId before = kUnknownSite;
+  SiteId after = kUnknownSite;
+};
+
+/// A time-series of routing vectors packed to the narrowest element type
+/// that holds every SiteId appended so far. Appending a vector with a
+/// larger id transparently re-packs the store one width up (ids only grow
+/// as a dataset interns new sites, so widening is rare and amortizes).
+class PackedSeries {
+ public:
+  PackedSeries() = default;
+
+  /// Packs every row of @p dataset (width from the largest id present).
+  static PackedSeries pack(const Dataset& dataset);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t networks() const noexcept { return networks_; }
+  /// Bytes per element: 1, 2, or 4.
+  std::size_t width() const noexcept { return width_; }
+
+  /// Appends one packed row. The first row fixes networks(); later rows
+  /// must match it (std::invalid_argument otherwise).
+  void append(const RoutingVector& v);
+  /// Drops the last row (for speculative appends, e.g. ModeBook's
+  /// candidate row). No-op on an empty series.
+  void pop_back() noexcept;
+  /// Overwrites row @p dst with a copy of row @p src.
+  void copy_row(std::size_t dst, std::size_t src);
+  void clear() noexcept;
+
+  /// MatchCounts between rows i and j: the blocked branchless kernel.
+  MatchCounts counts(std::size_t i, std::size_t j) const;
+
+  /// Weighted counts between rows i and j, mirroring the reference's
+  /// accumulation order. For kPessimistic the denominator does not
+  /// depend on the rows; pass the hoisted in_order_sum(w) as
+  /// @p pessimistic_total and it is returned as .denom unchanged.
+  WeightedCounts weighted_counts(std::size_t i, std::size_t j,
+                                 std::span<const double> w,
+                                 UnknownPolicy policy,
+                                 double pessimistic_total) const;
+
+  /// SiteId at (row, network) — random access for delta patching.
+  SiteId value_at(std::size_t row, std::size_t n) const;
+
+  /// Sorted change-set taking row @p from to row @p to (same series).
+  std::vector<DeltaEntry> delta_between(std::size_t from, std::size_t to) const;
+
+ private:
+  friend MatchCounts apply_delta(MatchCounts, std::span<const DeltaEntry>,
+                                 const PackedSeries&, std::size_t);
+  void widen_to(std::size_t width);
+  const std::byte* row_ptr(std::size_t i) const {
+    return data_.data() + i * networks_ * width_;
+  }
+  std::byte* row_ptr(std::size_t i) {
+    return data_.data() + i * networks_ * width_;
+  }
+
+  std::size_t networks_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t width_ = 1;
+  std::vector<std::byte> data_;
+};
+
+/// Patches counts(prev, b) into counts(cur, b) given the change-set
+/// delta_between(prev, cur): O(|Δ|) with one random access into row
+/// @p row_b per entry. Exact integer arithmetic — bit-identical Φ.
+MatchCounts apply_delta(MatchCounts base, std::span<const DeltaEntry> delta,
+                        const PackedSeries& series, std::size_t row_b);
+
+}  // namespace fenrir::core

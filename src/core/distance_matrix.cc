@@ -1,44 +1,170 @@
 #include "core/distance_matrix.h"
 
-#include "core/parallel.h"
-
 #include <algorithm>
 
+#include "core/parallel.h"
+#include "obs/metrics.h"
+
 namespace fenrir::core {
+
+namespace {
+
+struct PhiMetrics {
+  obs::Counter& appends;
+  obs::Counter& rows_delta;
+  obs::Counter& rows_kernel;
+  obs::Gauge& delta_density;
+  obs::Gauge& delta_speedup;
+};
+
+PhiMetrics& phi_metrics() {
+  static PhiMetrics m{
+      obs::registry().counter("fenrir_phi_appends_total",
+                              "rows appended to similarity matrices"),
+      obs::registry().counter(
+          "fenrir_phi_rows_delta_total",
+          "matrix rows computed by patching the previous row's counts"),
+      obs::registry().counter("fenrir_phi_rows_kernel_total",
+                              "matrix rows computed by the packed kernels"),
+      obs::registry().gauge(
+          "fenrir_phi_delta_density",
+          "churn fraction |delta|/N at the last delta-vs-kernel decision"),
+      obs::registry().gauge(
+          "fenrir_phi_delta_speedup_ratio",
+          "estimated per-pair work ratio N/(|delta|+1) of the last "
+          "delta-path row (scalar scan cost over patch cost)")};
+  return m;
+}
+
+}  // namespace
+
+SimilarityMatrix::SimilarityMatrix(UnknownPolicy policy,
+                                   std::vector<double> weights,
+                                   unsigned threads)
+    : policy_(policy), weights_(std::move(weights)), threads_(threads) {
+  total_weight_ = in_order_sum(weights_);
+}
 
 SimilarityMatrix SimilarityMatrix::compute(const Dataset& dataset,
                                            UnknownPolicy policy,
                                            unsigned threads) {
-  const std::size_t n = dataset.series.size();
-  SimilarityMatrix m(n);
   const bool weighted = !dataset.weights.empty();
   if (weighted && dataset.weights.size() != dataset.networks.size()) {
     throw std::invalid_argument("SimilarityMatrix: weight size mismatch");
   }
+  SimilarityMatrix m(policy, dataset.weights, threads);
+  for (const RoutingVector& v : dataset.series) m.append(v);
+  return m;
+}
+
+SimilarityMatrix SimilarityMatrix::compute_reference(const Dataset& dataset,
+                                                     UnknownPolicy policy) {
+  const bool weighted = !dataset.weights.empty();
+  if (weighted && dataset.weights.size() != dataset.networks.size()) {
+    throw std::invalid_argument("SimilarityMatrix: weight size mismatch");
+  }
+  SimilarityMatrix m(policy, dataset.weights, 1);
+  const std::size_t n = dataset.series.size();
+  m.n_ = n;
+  m.values_.assign(n * (n + 1) / 2, 0.0);
+  m.valid_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     m.valid_[i] = dataset.series[i].valid ? 1 : 0;
   }
-  // Rows write disjoint triangle slices, so row-parallelism is safe and
-  // deterministic. Row costs grow linearly with the index; interleaving
-  // rows across chunks would balance better, but static chunks keep the
-  // memory access pattern contiguous and the skew is modest in practice.
-  parallel_for(
-      n,
-      [&](std::size_t i) {
-        if (!m.valid_[i]) return;
-        for (std::size_t j = 0; j <= i; ++j) {
-          if (!m.valid_[j]) continue;
-          const double phi =
-              weighted
-                  ? gower_similarity(dataset.series[i], dataset.series[j],
-                                     dataset.weights, policy)
-                  : gower_similarity(dataset.series[i], dataset.series[j],
-                                     policy);
-          m.values_[m.tri_index(i, j)] = phi;
-        }
-      },
-      threads);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!m.valid_[i]) continue;
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (!m.valid_[j]) continue;
+      const double phi =
+          weighted ? gower_similarity(dataset.series[i], dataset.series[j],
+                                      dataset.weights, policy)
+                   : gower_similarity(dataset.series[i], dataset.series[j],
+                                      policy);
+      m.values_[m.tri_index(i, j)] = phi;
+    }
+  }
   return m;
+}
+
+void SimilarityMatrix::append(const RoutingVector& v) {
+  if (packed_.rows() != n_) {
+    throw std::logic_error(
+        "SimilarityMatrix::append: matrix was not built incrementally "
+        "(compute_reference matrices are read-only)");
+  }
+  if (!weights_.empty() && v.assignment.size() != weights_.size()) {
+    throw std::invalid_argument("SimilarityMatrix: weight size mismatch");
+  }
+  const std::size_t i = n_;
+  packed_.append(v);  // also rejects size mismatches against earlier rows
+  n_ += 1;
+  values_.resize(values_.size() + i + 1, 0.0);
+  valid_.push_back(v.valid ? 1 : 0);
+  phi_metrics().appends.inc();
+  if (!v.valid) {
+    // The slot keeps its timeline position; the next row has no valid
+    // predecessor to patch from.
+    prev_counts_usable_ = false;
+    return;
+  }
+
+  const std::size_t nets = packed_.networks();
+  const std::size_t row_base = i * (i + 1) / 2;
+  const bool weighted = !weights_.empty();
+
+  // Delta path: patch counts(i-1, j) into counts(i, j) using the change
+  // set between rows i-1 and i. Integer-exact, so Φ stays bit-identical;
+  // only worth it when the churn is sparse.
+  std::vector<DeltaEntry> delta;
+  bool use_delta = false;
+  if (!weighted && prev_counts_usable_ && i > 0 && valid_[i - 1]) {
+    delta = packed_.delta_between(i - 1, i);
+    const double density =
+        nets == 0 ? 1.0
+                  : static_cast<double>(delta.size()) /
+                        static_cast<double>(nets);
+    phi_metrics().delta_density.set(density);
+    use_delta = density <= kDeltaDensityThreshold;
+  }
+  if (use_delta) {
+    phi_metrics().rows_delta.inc();
+    phi_metrics().delta_speedup.set(static_cast<double>(nets) /
+                                    static_cast<double>(delta.size() + 1));
+  } else {
+    phi_metrics().rows_kernel.inc();
+  }
+
+  std::vector<MatchCounts> row(i + 1);
+  auto fill_column = [&](std::size_t j) {
+    if (!valid_[j]) return;
+    if (weighted) {
+      values_[row_base + j] = phi_from_weighted(
+          packed_.weighted_counts(i, j, weights_, policy_, total_weight_));
+      return;
+    }
+    MatchCounts c;
+    if (use_delta && j < i) {
+      c = apply_delta(prev_counts_[j], delta, packed_, j);
+    } else {
+      c = packed_.counts(i, j);  // diagonal, or kernel-path row
+    }
+    row[j] = c;
+    values_[row_base + j] = phi_from_counts(c, nets, policy_);
+  };
+
+  // Parallelize over columns only when the row carries enough work to
+  // beat the pool dispatch; the cutoff affects time only, never values.
+  const std::size_t per_pair = use_delta ? delta.size() + 1 : nets;
+  const bool parallel =
+      threads_ != 1 && (i + 1) * std::max<std::size_t>(per_pair, 1) >= 65536;
+  if (parallel) {
+    parallel_for(i + 1, fill_column, threads_);
+  } else {
+    for (std::size_t j = 0; j <= i; ++j) fill_column(j);
+  }
+
+  prev_counts_ = std::move(row);
+  prev_counts_usable_ = !weighted;
 }
 
 std::size_t SimilarityMatrix::valid_count() const {
@@ -47,21 +173,33 @@ std::size_t SimilarityMatrix::valid_count() const {
   return c;
 }
 
-SimilarityMatrix::Range SimilarityMatrix::range_between(
+std::vector<std::size_t> SimilarityMatrix::pair_keys(
     const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) const {
-  Range out;
+  std::vector<std::size_t> keys;
+  keys.reserve(a.size() * b.size());
   for (const std::size_t i : a) {
     if (!valid(i)) continue;
     for (const std::size_t j : b) {
       if (!valid(j) || i == j) continue;
-      const double p = phi(i, j);
-      if (!out.any) {
-        out.min = out.max = p;
-        out.any = true;
-      } else {
-        out.min = std::min(out.min, p);
-        out.max = std::max(out.max, p);
-      }
+      keys.push_back(tri_index(i, j));  // canonical for the unordered pair
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+SimilarityMatrix::Range SimilarityMatrix::range_between(
+    const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) const {
+  Range out;
+  for (const std::size_t key : pair_keys(a, b)) {
+    const double p = values_[key];
+    if (!out.any) {
+      out.min = out.max = p;
+      out.any = true;
+    } else {
+      out.min = std::min(out.min, p);
+      out.max = std::max(out.max, p);
     }
   }
   return out;
@@ -88,15 +226,11 @@ SimilarityMatrix::Range SimilarityMatrix::range_within(
 
 double SimilarityMatrix::median_between(
     const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) const {
+  const std::vector<std::size_t> keys = pair_keys(a, b);
+  if (keys.empty()) return 0.0;
   std::vector<double> values;
-  for (const std::size_t i : a) {
-    if (!valid(i)) continue;
-    for (const std::size_t j : b) {
-      if (!valid(j) || i == j) continue;
-      values.push_back(phi(i, j));
-    }
-  }
-  if (values.empty()) return 0.0;
+  values.reserve(keys.size());
+  for (const std::size_t key : keys) values.push_back(values_[key]);
   const std::size_t mid = values.size() / 2;
   std::nth_element(values.begin(), values.begin() + mid, values.end());
   return values[mid];

@@ -6,6 +6,21 @@
 // keep their timeline slot but carry no similarity values — they render
 // blank and are excluded from clustering, matching the paper's blank
 // 2023-07..12 band in Figure 3.
+//
+// Construction is incremental: append() computes exactly the one new
+// row, choosing per row between
+//   * the packed kernels (compare_kernels.h) — O(N) per pair but SIMD-
+//     dense, and
+//   * delta patching — O(|Δ|) per pair from the previous row's cached
+//     match counts, taken when the vector's churn against its
+//     predecessor is below kDeltaDensityThreshold (unweighted Φ only;
+//     weighted Φ would have to reorder double additions to go fast,
+//     which breaks bit-identity).
+// compute() is an append() loop, so batch analysis, `fenrirctl watch`,
+// and ModeBook share one code path; every path is bit-identical to the
+// scalar reference (compute_reference), which the property tests
+// enforce. Path choice and realized savings are exported as
+// fenrir_phi_* metrics (observation only — never a result input).
 #pragma once
 
 #include <cstddef>
@@ -14,20 +29,49 @@
 #include <vector>
 
 #include "core/compare.h"
+#include "core/compare_kernels.h"
 #include "core/vector.h"
 
 namespace fenrir::core {
 
 class SimilarityMatrix {
  public:
+  /// Churn fraction |Δ|/N at or below which append() patches the
+  /// previous row's counts instead of re-scanning packed rows. Delta
+  /// patching touches ~|Δ| random elements per pair versus N sequential
+  /// SIMD lanes, so the break-even sits well below the SIMD width.
+  static constexpr double kDeltaDensityThreshold = 0.05;
+
   /// Computes Φ for all pairs of @p dataset.series (weights from the
-  /// dataset; uniform if empty). O(T²·N), parallelized over rows with
-  /// @p threads workers (0 = hardware concurrency, 1 = serial); the
-  /// result is bit-identical for any thread count.
+  /// dataset; uniform if empty) by appending one row at a time. Each
+  /// row parallelizes over its columns with @p threads workers (0 =
+  /// hardware concurrency, 1 = serial); the result is bit-identical for
+  /// any thread count and to compute_reference().
   static SimilarityMatrix compute(
       const Dataset& dataset,
       UnknownPolicy policy = UnknownPolicy::kPessimistic,
       unsigned threads = 0);
+
+  /// The scalar reference: serial gower_similarity() per pair, no
+  /// packing, no deltas. The oracle the fast paths are property-tested
+  /// against and the baseline BM_SimilarityMatrixLowChurnScalar times.
+  /// Reference matrices are read-only — append() on one throws.
+  static SimilarityMatrix compute_reference(
+      const Dataset& dataset,
+      UnknownPolicy policy = UnknownPolicy::kPessimistic);
+
+  /// An empty matrix ready to be grown with append(). @p weights are the
+  /// per-network D_w (empty = uniform); @p threads as in compute().
+  explicit SimilarityMatrix(UnknownPolicy policy = UnknownPolicy::kPessimistic,
+                            std::vector<double> weights = {},
+                            unsigned threads = 1);
+
+  /// Appends one observation, computing only the new row: O(T·N) on the
+  /// packed kernels, O(T·|Δ|) when the vector is a sparse change set
+  /// against its predecessor. A matrix grown by append() is
+  /// bit-identical to compute() over the same series — this is what
+  /// keeps `fenrirctl watch` at O(T·Δ) per tick instead of O(T²·N).
+  void append(const RoutingVector& v);
 
   std::size_t size() const noexcept { return n_; }
 
@@ -44,6 +88,7 @@ class SimilarityMatrix {
 
   /// Minimum / maximum Φ over all valid pairs drawn from two index sets
   /// (used for the paper's "Φ(M_i, M_ii) = [0.11, 0.48]" mode ranges).
+  /// Each unordered pair {i,j} counts once even when the sets overlap.
   /// Returns {0,0} if no valid pair exists.
   struct Range {
     double min = 0.0, max = 0.0;
@@ -53,23 +98,36 @@ class SimilarityMatrix {
                       const std::vector<std::size_t>& b) const;
   /// Range over distinct pairs within one index set.
   Range range_within(const std::vector<std::size_t>& a) const;
-  /// Median Φ between two index sets (0 if no valid pair).
+  /// Median Φ between two index sets (0 if no valid pair); distinct
+  /// unordered pairs only, so overlapping sets do not skew the median.
   double median_between(const std::vector<std::size_t>& a,
                         const std::vector<std::size_t>& b) const;
 
  private:
-  SimilarityMatrix(std::size_t n)
-      : n_(n), values_(n * (n + 1) / 2, 0.0), valid_(n, false) {}
-
   std::size_t tri_index(std::size_t i, std::size_t j) const {
     if (i >= n_ || j >= n_) throw std::out_of_range("SimilarityMatrix index");
     if (i < j) std::swap(i, j);
     return i * (i + 1) / 2 + j;
   }
 
-  std::size_t n_;
+  /// Canonical tri_index keys of all distinct valid unordered pairs
+  /// drawn from a × b (sorted, deduplicated).
+  std::vector<std::size_t> pair_keys(const std::vector<std::size_t>& a,
+                                     const std::vector<std::size_t>& b) const;
+
+  std::size_t n_ = 0;
   std::vector<double> values_;  // lower triangle incl. diagonal
   std::vector<char> valid_;
+
+  UnknownPolicy policy_ = UnknownPolicy::kPessimistic;
+  std::vector<double> weights_;
+  double total_weight_ = 0.0;  // in-order sum of weights_ (pessimistic denom)
+  unsigned threads_ = 1;
+  PackedSeries packed_;  // one row per appended observation
+  /// counts(last row, j) for j = 0..last — what the next row's delta
+  /// path patches. Meaningful only when prev_counts_usable_.
+  std::vector<MatchCounts> prev_counts_;
+  bool prev_counts_usable_ = false;
 };
 
 }  // namespace fenrir::core

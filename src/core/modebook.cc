@@ -3,7 +3,22 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace fenrir::core {
+
+namespace {
+
+obs::Histogram& scan_length_histogram() {
+  static obs::Histogram& h = obs::registry().histogram(
+      "fenrir_modebook_scan_length",
+      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024},
+      "representatives scanned per ModeBook::observe before the best "
+      "match was settled");
+  return h;
+}
+
+}  // namespace
 
 ModeBook::Match ModeBook::observe(const RoutingVector& v) {
   Match out;
@@ -12,27 +27,43 @@ ModeBook::Match ModeBook::observe(const RoutingVector& v) {
     return out;
   }
 
+  // Pack the observation once as a candidate row; every representative
+  // comparison is then one packed kernel pass. If the vector founds a
+  // new mode the row stays; otherwise it is popped again.
+  packed_.append(v);
+  const std::size_t candidate = packed_.rows() - 1;
+
   std::optional<std::size_t> best;
   double best_phi = -1.0;
+  std::size_t scanned = 0;
   for (std::size_t m = 0; m < representatives_.size(); ++m) {
-    const double phi =
-        gower_similarity(representatives_[m], v, config_.policy);
+    ++scanned;
+    const double phi = phi_from_counts(packed_.counts(m, candidate),
+                                       v.assignment.size(), config_.policy);
     if (phi > best_phi) {
       best_phi = phi;
       best = m;
     }
+    // A perfect match cannot be beaten, only tied — and a later tie
+    // loses to the earlier mode under the strict > above.
+    if (best_phi >= 1.0) break;
   }
+  scan_length_histogram().observe(static_cast<double>(scanned));
 
   if (best && best_phi >= config_.match_threshold) {
     out.mode = *best;
     out.phi = best_phi;
     out.is_recurrence = !history_.empty() && history_.back() != *best;
-    if (config_.adapt_representative) representatives_[*best] = v;
+    if (config_.adapt_representative) {
+      representatives_[*best] = v;
+      packed_.copy_row(*best, candidate);
+    }
+    packed_.pop_back();
   } else {
     out.mode = representatives_.size();
     out.phi = best_phi < 0 ? 0.0 : best_phi;
     out.is_new = true;
-    representatives_.push_back(v);
+    representatives_.push_back(v);  // the candidate row stays in packed_
   }
   history_.push_back(out.mode);
   return out;
@@ -48,7 +79,10 @@ void ModeBook::restore(std::vector<RoutingVector> representatives,
           " representatives were given");
     }
   }
+  PackedSeries packed;
+  for (const RoutingVector& r : representatives) packed.append(r);
   representatives_ = std::move(representatives);
+  packed_ = std::move(packed);
   history_ = std::move(history);
 }
 

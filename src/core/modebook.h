@@ -9,6 +9,12 @@
 // when nothing matches. Re-entering an old mode — the G-Root drain state
 // recurring two days later, B-Root returning toward its 2019 routing —
 // reports the original mode id and the match strength.
+//
+// The representative scan runs on the packed match-count kernels
+// (compare_kernels.h) — bit-identical to gower_similarity() — and stops
+// at the first Φ = 1.0 representative (a perfect match cannot be beaten,
+// and ties resolve to the earliest mode either way). Scan lengths are
+// exported as the fenrir_modebook_scan_length histogram.
 #pragma once
 
 #include <cstddef>
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "core/compare.h"
+#include "core/compare_kernels.h"
 #include "core/vector.h"
 
 namespace fenrir::core {
@@ -69,6 +76,9 @@ class ModeBook {
  private:
   Config config_;
   std::vector<RoutingVector> representatives_;
+  /// representatives_ packed for the kernel scan; row m mirrors
+  /// representatives_[m].
+  PackedSeries packed_;
   std::vector<std::size_t> history_;
 };
 

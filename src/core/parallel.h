@@ -2,16 +2,41 @@
 //
 // The only expensive stage in Fenrir is embarrassingly parallel: the
 // all-pairs Φ matrix (T² comparisons of N-element vectors). parallel_for
-// splits an index range over std::threads with static chunking — no work
-// stealing, no shared mutable state beyond what the caller partitions —
-// so results are bit-identical to the serial loop regardless of thread
-// count or scheduling.
+// splits an index range into stride loops with no work stealing and no
+// shared mutable state beyond what the caller partitions, so results are
+// bit-identical to the serial loop regardless of thread count or
+// scheduling.
+//
+// Execution runs on a lazily started persistent worker pool (one pool
+// per process, hardware_concurrency - 1 helper threads). Spawning a
+// std::thread costs tens of microseconds; the incremental Φ path issues
+// one parallel_for per appended row, where spawn-per-call overhead used
+// to dominate small jobs. The pool replaces start/join with a
+// condition-variable wakeup while keeping the observable contract of the
+// original spawn-per-call implementation:
+//
+//  * the same stride schedule — logical worker w handles i = w, w+n,
+//    w+2n, ...; strides are multiplexed over the available pool threads
+//    (plus the calling thread) when n exceeds them;
+//  * the same determinism — fn writes to disjoint state per index, so
+//    results do not depend on which physical thread runs which stride;
+//  * the same exception semantics — the lowest-numbered throwing stride
+//    is rethrown after all strides finish; a throwing stride skips its
+//    remaining indices, other strides run to completion;
+//  * the same metrics — fenrir_parallel_jobs_total and the max/mean
+//    stride busy-time imbalance ratio of the last job.
+//
+// Nested or concurrent parallel_for calls are safe: a call from inside a
+// parallel_for body runs serially inline (the pool is occupied by its
+// ancestor), and independent threads' calls are serialized one job at a
+// time.
 #pragma once
 
 #include <chrono>
 #include <cstddef>
 #include <exception>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -19,18 +44,64 @@
 
 namespace fenrir::core {
 
+namespace detail {
+
+/// True while this thread is executing inside a parallel_for (as caller
+/// or pool worker); nested calls then run serially inline instead of
+/// waiting on the pool they already occupy.
+bool& in_parallel_region() noexcept;
+
+/// The process-wide persistent worker pool. Threads start on the first
+/// multi-threaded parallel_for and live until process exit.
+class WorkerPool {
+ public:
+  /// A type-erased stride job: run_stride(fn, w, strides, count) executes
+  /// logical worker w's loop i = w, w+strides, ... — the callable stays a
+  /// direct (devirtualized) call on the per-index hot path.
+  struct Job {
+    void (*run_stride)(void* fn, unsigned w, unsigned strides,
+                       std::size_t count) = nullptr;
+    void* fn = nullptr;
+    unsigned strides = 0;
+    std::size_t count = 0;
+    std::exception_ptr* errors = nullptr;  // one slot per stride
+    double* busy = nullptr;                // seconds spent per stride
+  };
+
+  static WorkerPool& instance();
+
+  /// Runs every stride of @p job, the calling thread claiming strides
+  /// alongside the pool workers. Blocks until all strides finished and
+  /// no worker still references @p job. One job at a time; concurrent
+  /// callers queue.
+  void run(Job& job);
+
+  ~WorkerPool();
+
+ private:
+  WorkerPool();
+  struct State;
+  void worker_main();
+  void claim_strides(Job& job);
+
+  // Implementation state lives in parallel.cc (pimpl-free: members are
+  // declared there via the State struct to keep this header light).
+  State* state_ = nullptr;
+};
+
+}  // namespace detail
+
 /// Invokes fn(i) for every i in [0, count), distributing indices across
-/// @p threads (0 = hardware concurrency) with a stride-n schedule:
-/// worker w handles i = w, w+n, w+2n, ... Striding balances loops whose
-/// per-index cost varies monotonically (the triangular similarity matrix:
-/// row i compares i pairs), where contiguous chunks would leave the last
-/// worker with almost all the work. The callable is invoked directly (no
-/// std::function indirection on the per-index hot path); fn must be safe
-/// to call concurrently for distinct i. If workers throw, the exception
-/// of the lowest-numbered throwing worker is rethrown after all workers
-/// have joined (remaining indices of a throwing worker are skipped).
+/// @p threads logical workers (0 = hardware concurrency) with a stride-n
+/// schedule: worker w handles i = w, w+n, w+2n, ... Striding balances
+/// loops whose per-index cost varies monotonically (the triangular
+/// similarity matrix: row i compares i pairs), where contiguous chunks
+/// would leave the last worker with almost all the work. fn must be safe
+/// to call concurrently for distinct i. If strides throw, the exception
+/// of the lowest-numbered throwing stride is rethrown after all strides
+/// have finished (remaining indices of a throwing stride are skipped).
 ///
-/// Worker busy time feeds the fenrir_parallel_* metrics (jobs run, and
+/// Stride busy time feeds the fenrir_parallel_* metrics (jobs run, and
 /// the max/mean busy-time imbalance ratio of the last job) — observation
 /// only, never a scheduling input.
 template <typename Fn>
@@ -39,7 +110,7 @@ void parallel_for(std::size_t count, Fn&& fn, unsigned threads = 0) {
   unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
   if (n > count) n = static_cast<unsigned>(count);
-  if (n == 1) {
+  if (n == 1 || detail::in_parallel_region()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -47,25 +118,21 @@ void parallel_for(std::size_t count, Fn&& fn, unsigned threads = 0) {
       "fenrir_parallel_jobs_total", "parallel_for invocations that spawned");
   static obs::Gauge& imbalance = obs::registry().gauge(
       "fenrir_parallel_imbalance_ratio",
-      "max/mean worker busy time of the last parallel_for");
-  std::vector<std::thread> workers;
-  workers.reserve(n);
+      "max/mean stride busy time of the last parallel_for");
   std::vector<std::exception_ptr> errors(n);
   std::vector<double> busy(n, 0.0);
-  for (unsigned w = 0; w < n; ++w) {
-    workers.emplace_back([w, n, count, &fn, &errors, &busy] {
-      const auto start = std::chrono::steady_clock::now();
-      try {
-        for (std::size_t i = w; i < count; i += n) fn(i);
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-      busy[w] = std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start)
-                    .count();
-    });
-  }
-  for (auto& worker : workers) worker.join();
+  detail::WorkerPool::Job job;
+  job.run_stride = [](void* f, unsigned w, unsigned strides,
+                      std::size_t total) {
+    auto& body = *static_cast<std::remove_reference_t<Fn>*>(f);
+    for (std::size_t i = w; i < total; i += strides) body(i);
+  };
+  job.fn = const_cast<void*>(static_cast<const void*>(std::addressof(fn)));
+  job.strides = n;
+  job.count = count;
+  job.errors = errors.data();
+  job.busy = busy.data();
+  detail::WorkerPool::instance().run(job);
   jobs.inc();
   double max_busy = 0.0, sum_busy = 0.0;
   for (const double b : busy) {

@@ -1,0 +1,184 @@
+#include "core/compare_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/compare.h"
+#include "rng/rng.h"
+
+namespace fenrir::core {
+namespace {
+
+RoutingVector random_vector(rng::Rng& r, std::size_t n, SiteId max_site,
+                            double unknown_frac) {
+  RoutingVector v;
+  v.assignment.resize(n);
+  for (auto& s : v.assignment) {
+    s = r.bernoulli(unknown_frac)
+            ? kUnknownSite
+            : static_cast<SiteId>(kFirstRealSite + r.uniform(max_site));
+  }
+  return v;
+}
+
+TEST(PackedSeries, WidthFollowsTheLargestId) {
+  RoutingVector small;
+  small.assignment = {3, 4, 200};
+  RoutingVector medium;
+  medium.assignment = {3, 4, 300};
+  RoutingVector large;
+  large.assignment = {3, 4, 70'000};
+
+  PackedSeries s;
+  s.append(small);
+  EXPECT_EQ(s.width(), 1u);
+  s.append(medium);
+  EXPECT_EQ(s.width(), 2u);
+  s.append(large);
+  EXPECT_EQ(s.width(), 4u);
+  EXPECT_EQ(s.rows(), 3u);
+
+  // Widening preserved the earlier rows' values.
+  EXPECT_EQ(s.value_at(0, 2), 200u);
+  EXPECT_EQ(s.value_at(1, 2), 300u);
+  EXPECT_EQ(s.value_at(2, 2), 70'000u);
+}
+
+TEST(PackedSeries, SizeMismatchThrows) {
+  RoutingVector a;
+  a.assignment = {3, 4};
+  RoutingVector b;
+  b.assignment = {3};
+  PackedSeries s;
+  s.append(a);
+  EXPECT_THROW(s.append(b), std::invalid_argument);
+}
+
+TEST(PackedSeries, PopBackAndCopyRow) {
+  RoutingVector a;
+  a.assignment = {3, 4, 5};
+  RoutingVector b;
+  b.assignment = {6, 7, 8};
+  PackedSeries s;
+  s.append(a);
+  s.append(b);
+  s.copy_row(0, 1);
+  EXPECT_EQ(s.value_at(0, 0), 6u);
+  s.pop_back();
+  EXPECT_EQ(s.rows(), 1u);
+  s.pop_back();
+  EXPECT_EQ(s.rows(), 0u);
+  s.pop_back();  // no-op on empty
+  EXPECT_EQ(s.rows(), 0u);
+}
+
+// The determinism contract: Φ derived from packed kernel counts must be
+// bit-identical to the scalar reference, across sizes that exercise the
+// blocked loop (full blocks, tails, tiny), every width, both policies,
+// and unknown fractions from none to nearly-all.
+TEST(PackedKernels, BitIdenticalToScalarReference) {
+  const std::size_t sizes[] = {0, 1, 7, 255, 4096, 4097, 10'000};
+  const SiteId site_counts[] = {5, 300, 70'000};
+  const double unknown_fracs[] = {0.0, 0.3, 0.9};
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    rng::Rng r(seed);
+    for (const std::size_t n : sizes) {
+      for (const SiteId sites : site_counts) {
+        for (const double uf : unknown_fracs) {
+          const auto a = random_vector(r, n, sites, uf);
+          const auto b = random_vector(r, n, sites, uf);
+          Dataset d;
+          d.series = {a, b};
+          const PackedSeries s = PackedSeries::pack(d);
+          const MatchCounts c = s.counts(0, 1);
+          for (const auto policy :
+               {UnknownPolicy::kPessimistic, UnknownPolicy::kKnownOnly}) {
+            EXPECT_EQ(phi_from_counts(c, n, policy),
+                      gower_similarity(a, b, policy))
+                << "n=" << n << " sites=" << sites << " uf=" << uf;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedKernels, WeightedBitIdenticalToScalarReference) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    rng::Rng r(seed * 17);
+    const std::size_t n = 1 + r.uniform(5000);
+    const auto a = random_vector(r, n, 40, 0.4);
+    const auto b = random_vector(r, n, 40, 0.4);
+    std::vector<double> w(n);
+    for (auto& x : w) x = 0.01 + r.uniform01() * 3.0;
+    Dataset d;
+    d.series = {a, b};
+    const PackedSeries s = PackedSeries::pack(d);
+    const double total = in_order_sum(w);
+    for (const auto policy :
+         {UnknownPolicy::kPessimistic, UnknownPolicy::kKnownOnly}) {
+      const WeightedCounts c = s.weighted_counts(0, 1, w, policy, total);
+      EXPECT_EQ(phi_from_weighted(c), gower_similarity(a, b, w, policy))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(DeltaKernels, ChangeSetIsSortedAndExact) {
+  RoutingVector a;
+  a.assignment = {3, 4, 5, kUnknownSite, 6};
+  RoutingVector b = a;
+  b.assignment[1] = 9;
+  b.assignment[3] = 7;
+  Dataset d;
+  d.series = {a, b};
+  const PackedSeries s = PackedSeries::pack(d);
+  const auto delta = s.delta_between(0, 1);
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].index, 1u);
+  EXPECT_EQ(delta[0].before, 4u);
+  EXPECT_EQ(delta[0].after, 9u);
+  EXPECT_EQ(delta[1].index, 3u);
+  EXPECT_EQ(delta[1].before, kUnknownSite);
+  EXPECT_EQ(delta[1].after, 7u);
+}
+
+// apply_delta must take counts(prev, partner) to exactly
+// counts(cur, partner) — the identity the delta Φ path relies on.
+TEST(DeltaKernels, PatchedCountsEqualDirectCounts) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    rng::Rng r(seed * 101);
+    const std::size_t n = 500 + r.uniform(2000);
+    const auto prev = random_vector(r, n, 12, 0.3);
+    RoutingVector cur = prev;
+    const std::size_t flips = r.uniform(n / 10);
+    for (std::size_t k = 0; k < flips; ++k) {
+      // Includes flips to/from unknown, the trickiest accounting.
+      cur.assignment[r.uniform(n)] =
+          r.bernoulli(0.2) ? kUnknownSite
+                           : static_cast<SiteId>(kFirstRealSite + r.uniform(12));
+    }
+    const auto partner = random_vector(r, n, 12, 0.3);
+    Dataset d;
+    d.series = {prev, cur, partner};
+    const PackedSeries s = PackedSeries::pack(d);
+    const auto delta = s.delta_between(0, 1);
+    const MatchCounts patched = apply_delta(s.counts(0, 2), delta, s, 2);
+    const MatchCounts direct = s.counts(1, 2);
+    EXPECT_EQ(patched.matches, direct.matches) << "seed=" << seed;
+    EXPECT_EQ(patched.mutual_known, direct.mutual_known) << "seed=" << seed;
+  }
+}
+
+TEST(Kernels, InOrderSumMatchesSequentialAccumulation) {
+  rng::Rng r(7);
+  std::vector<double> w(1000);
+  for (auto& x : w) x = r.uniform01() * 1e-3 + 1e-9;
+  double expect = 0.0;
+  for (const double x : w) expect += x;
+  EXPECT_EQ(in_order_sum(w), expect);
+}
+
+}  // namespace
+}  // namespace fenrir::core

@@ -1,0 +1,218 @@
+#include "core/distance_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "rng/rng.h"
+
+namespace fenrir::core {
+namespace {
+
+// A series with controllable churn: each vector flips `churn` of the
+// networks of its predecessor — the paper's recurring-routing structure
+// that the delta path exploits. Includes invalid (outage) slots.
+Dataset churn_dataset(std::size_t obs, std::size_t nets, double churn,
+                      std::uint64_t seed, double invalid_frac = 0.0,
+                      double unknown_frac = 0.1, bool weighted = false) {
+  Dataset d;
+  d.name = "churn";
+  for (std::size_t n = 0; n < nets; ++n) d.networks.intern(n);
+  for (int s = 0; s < 6; ++s) d.sites.intern("s" + std::to_string(s));
+  rng::Rng r(seed);
+  RoutingVector v;
+  v.assignment.resize(nets);
+  for (auto& s : v.assignment) {
+    s = r.bernoulli(unknown_frac)
+            ? kUnknownSite
+            : static_cast<SiteId>(kFirstRealSite + r.uniform(6));
+  }
+  for (std::size_t t = 0; t < obs; ++t) {
+    v.time = static_cast<TimePoint>(t) * kDay;
+    v.valid = !r.bernoulli(invalid_frac);
+    d.series.push_back(v);
+    const auto flips = static_cast<std::size_t>(churn * nets);
+    for (std::size_t k = 0; k < flips; ++k) {
+      v.assignment[r.uniform(nets)] =
+          r.bernoulli(unknown_frac)
+              ? kUnknownSite
+              : static_cast<SiteId>(kFirstRealSite + r.uniform(6));
+    }
+  }
+  if (weighted) {
+    d.weights.resize(nets);
+    for (auto& w : d.weights) w = 0.1 + r.uniform01() * 2.0;
+  }
+  return d;
+}
+
+void expect_bit_identical(const SimilarityMatrix& got,
+                          const SimilarityMatrix& want,
+                          const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.valid(i), want.valid(i)) << label << " row " << i;
+    for (std::size_t j = 0; j <= i; ++j) {
+      ASSERT_EQ(got.phi(i, j), want.phi(i, j))
+          << label << " phi(" << i << "," << j << ")";
+    }
+  }
+}
+
+// The acceptance property: compute() (packed kernels + delta path +
+// append construction) is bit-identical to the scalar reference across
+// churn levels, policies, weighting, invalid slots, and thread counts.
+TEST(SimilarityMatrixFast, ComputeBitIdenticalToReference) {
+  struct Case {
+    double churn;
+    double invalid;
+    bool weighted;
+  };
+  const Case cases[] = {
+      {0.01, 0.0, false},  // low churn: delta path
+      {0.01, 0.2, false},  // delta path interrupted by outages
+      {0.5, 0.1, false},   // high churn: kernel path
+      {0.01, 0.1, true},   // weighted: kernel path only
+  };
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const Case& c : cases) {
+      for (const auto policy :
+           {UnknownPolicy::kPessimistic, UnknownPolicy::kKnownOnly}) {
+        const Dataset d =
+            churn_dataset(24, 400, c.churn, seed, c.invalid, 0.15, c.weighted);
+        const auto ref = SimilarityMatrix::compute_reference(d, policy);
+        for (const unsigned threads : {1u, 0u, 3u}) {
+          const auto fast = SimilarityMatrix::compute(d, policy, threads);
+          expect_bit_identical(
+              fast, ref,
+              "churn=" + std::to_string(c.churn) + " weighted=" +
+                  std::to_string(c.weighted) + " threads=" +
+                  std::to_string(threads) + " seed=" + std::to_string(seed));
+        }
+      }
+    }
+  }
+}
+
+TEST(SimilarityMatrixFast, AppendLoopBitIdenticalToReference) {
+  const Dataset d = churn_dataset(30, 300, 0.02, 9, 0.15);
+  for (const auto policy :
+       {UnknownPolicy::kPessimistic, UnknownPolicy::kKnownOnly}) {
+    const auto ref = SimilarityMatrix::compute_reference(d, policy);
+    SimilarityMatrix grown(policy, d.weights, 1);
+    for (const RoutingVector& v : d.series) {
+      grown.append(v);
+      // Every prefix of the grown matrix already agrees with the final
+      // reference values — append never revisits old cells.
+      const std::size_t t = grown.size() - 1;
+      for (std::size_t j = 0; j <= t; ++j) {
+        ASSERT_EQ(grown.phi(t, j), ref.phi(t, j)) << t << "," << j;
+      }
+    }
+    expect_bit_identical(grown, ref, "append loop");
+  }
+}
+
+TEST(SimilarityMatrixFast, AppendOnReferenceMatrixThrows) {
+  const Dataset d = churn_dataset(4, 50, 0.1, 3);
+  auto ref = SimilarityMatrix::compute_reference(d);
+  EXPECT_THROW(ref.append(d.series[0]), std::logic_error);
+}
+
+TEST(SimilarityMatrixFast, AppendChecksWeightSize) {
+  SimilarityMatrix m(UnknownPolicy::kPessimistic, {1.0, 2.0}, 1);
+  RoutingVector v;
+  v.assignment = {3, 4, 5};
+  EXPECT_THROW(m.append(v), std::invalid_argument);
+}
+
+TEST(SimilarityMatrixFast, DeltaPathEngagesOnLowChurn) {
+  auto& delta_rows =
+      obs::registry().counter("fenrir_phi_rows_delta_total");
+  auto& kernel_rows =
+      obs::registry().counter("fenrir_phi_rows_kernel_total");
+  const auto delta_before = delta_rows.value();
+  const auto kernel_before = kernel_rows.value();
+
+  // 1% churn over 2000 networks: every row after the first patches.
+  const Dataset low = churn_dataset(12, 2000, 0.01, 21);
+  (void)SimilarityMatrix::compute(low, UnknownPolicy::kPessimistic, 1);
+  EXPECT_GE(delta_rows.value() - delta_before, 10u);
+
+  // 50% churn: the kernels take over.
+  const auto delta_mid = delta_rows.value();
+  const Dataset high = churn_dataset(12, 2000, 0.5, 22);
+  (void)SimilarityMatrix::compute(high, UnknownPolicy::kPessimistic, 1);
+  EXPECT_EQ(delta_rows.value(), delta_mid);
+  EXPECT_GE(kernel_rows.value() - kernel_before, 12u);
+}
+
+// Regression: range_between/median_between used to visit each unordered
+// pair twice when the index lists overlap, duplicating every value and
+// skewing the median.
+TEST(SimilarityMatrixRanges, OverlappingListsCountEachPairOnce) {
+  // Four networks, phi = fraction matching: phi(0,1)=0.75, phi(0,2)=0.25,
+  // phi(1,2)=0.5.
+  Dataset d;
+  d.name = "overlap";
+  for (std::size_t n = 0; n < 4; ++n) d.networks.intern(n);
+  for (int s = 0; s < 4; ++s) d.sites.intern("s" + std::to_string(s));
+  const auto vec = [](std::vector<SiteId> a) {
+    RoutingVector v;
+    v.assignment = std::move(a);
+    return v;
+  };
+  d.series.push_back(vec({3, 4, 5, 6}));
+  d.series.push_back(vec({3, 4, 5, 7}));  // 3 of 4 match row 0
+  d.series.push_back(vec({3, 7, 7, 7}));  // 1 of 4 match row 0, 2 of 4 row 1
+  const auto m = SimilarityMatrix::compute(d);
+  ASSERT_DOUBLE_EQ(m.phi(1, 0), 0.75);
+  ASSERT_DOUBLE_EQ(m.phi(2, 0), 0.25);
+  ASSERT_DOUBLE_EQ(m.phi(2, 1), 0.5);
+
+  const std::vector<std::size_t> a{0, 1};
+  const std::vector<std::size_t> b{0, 1, 2};
+  // Distinct unordered pairs {0,1},{0,2},{1,2}: median is 0.5. The old
+  // double-counting produced {0.75,0.25,0.75,0.5} whose median was 0.75.
+  EXPECT_DOUBLE_EQ(m.median_between(a, b), 0.5);
+
+  const auto r = m.range_between(a, b);
+  EXPECT_TRUE(r.any);
+  EXPECT_DOUBLE_EQ(r.min, 0.25);
+  EXPECT_DOUBLE_EQ(r.max, 0.75);
+
+  // Fully overlapping lists behave like range_within.
+  const auto between = m.range_between(b, b);
+  const auto within = m.range_within(b);
+  EXPECT_EQ(between.any, within.any);
+  EXPECT_DOUBLE_EQ(between.min, within.min);
+  EXPECT_DOUBLE_EQ(between.max, within.max);
+}
+
+TEST(SimilarityMatrixRanges, DisjointListsKeepTheirSemantics) {
+  const Dataset d = churn_dataset(8, 100, 0.2, 31);
+  const auto m = SimilarityMatrix::compute(d);
+  const std::vector<std::size_t> a{0, 1, 2};
+  const std::vector<std::size_t> b{5, 6, 7};
+  const auto r = m.range_between(a, b);
+  double lo = 2.0, hi = -1.0;
+  bool any = false;
+  for (const auto i : a) {
+    for (const auto j : b) {
+      if (!m.valid(i) || !m.valid(j)) continue;
+      lo = std::min(lo, m.phi(i, j));
+      hi = std::max(hi, m.phi(i, j));
+      any = true;
+    }
+  }
+  ASSERT_EQ(r.any, any);
+  if (any) {
+    EXPECT_DOUBLE_EQ(r.min, lo);
+    EXPECT_DOUBLE_EQ(r.max, hi);
+  }
+}
+
+}  // namespace
+}  // namespace fenrir::core

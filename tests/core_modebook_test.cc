@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "rng/rng.h"
 
 namespace fenrir::core {
@@ -142,6 +143,61 @@ TEST(ModeBook, KnownOnlyPolicyIgnoresCoverageGaps) {
   ModeBook pbook(pess);
   pbook.observe(a);
   EXPECT_TRUE(pbook.observe(b).is_new);
+}
+
+TEST(ModeBook, PerfectMatchKeepsTheEarliestMode) {
+  // Restore installs two byte-identical representatives (observe alone
+  // could never create that state); a perfect match must resolve to the
+  // earlier mode — the invariant that makes the Φ = 1.0 early-exit safe.
+  ModeBook book;
+  const auto rep = vec(A, N, 0, B);
+  book.restore({rep, rep, vec(B, N, 0, A)}, {0, 1, 2});
+  const auto m = book.observe(rep);
+  EXPECT_EQ(m.mode, 0u);
+  EXPECT_FALSE(m.is_new);
+  EXPECT_DOUBLE_EQ(m.phi, 1.0);
+}
+
+TEST(ModeBook, ScanLengthHistogramRecordsObserves) {
+  auto& h = obs::registry().histogram("fenrir_modebook_scan_length",
+                                      {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                       1024});
+  const auto before = h.count();
+  ModeBook book;
+  book.observe(vec(A, N, 0, B));      // empty book: scan length 0
+  book.observe(vec(B, N, 0, A));      // scans 1 rep, founds mode 1
+  book.observe(vec(A, N, 0, B));      // perfect match on rep 0: early exit
+  EXPECT_EQ(h.count() - before, 3u);
+}
+
+TEST(ModeBook, PackedScanMatchesScalarSimilarity) {
+  // The kernel-based scan must classify exactly like gower_similarity:
+  // replay a noisy series through the book and re-check every match
+  // score against the scalar on the stored representative.
+  rng::Rng r(404);
+  ModeBook book;
+  for (int step = 0; step < 40; ++step) {
+    const SiteId dominant = step % 3 == 0 ? A : (step % 3 == 1 ? B : A + 2);
+    const auto v = vec(dominant, N, r.uniform(8), B, 1000 + step);
+    const auto m = book.observe(v);
+    if (!m.is_new) {
+      EXPECT_EQ(m.phi, gower_similarity(book.representative(m.mode), v,
+                                        UnknownPolicy::kKnownOnly));
+    }
+  }
+}
+
+TEST(ModeBook, RestoreRebuildsThePackedScan) {
+  ModeBook source;
+  source.observe(vec(A, N, 0, B));
+  source.observe(vec(B, N, 0, A));
+
+  ModeBook resumed;
+  resumed.restore({source.representative(0), source.representative(1)},
+                  {0, 1});
+  const auto m = resumed.observe(vec(A, N, 2, B, 77));
+  EXPECT_EQ(m.mode, 0u);
+  EXPECT_FALSE(m.is_new);
 }
 
 }  // namespace

@@ -51,6 +51,71 @@ TEST(ParallelFor, RethrowsFirstWorkerException) {
   }
 }
 
+TEST(ParallelFor, PoolSurvivesManyConsecutiveJobs) {
+  // The persistent pool must be reusable back-to-back without leaking
+  // state between jobs (stride tickets, error slots, generations).
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::size_t> sum{0};
+    parallel_for(64, [&](std::size_t i) { sum.fetch_add(i + 1); },
+                 round % 2 == 0 ? 4u : 0u);
+    ASSERT_EQ(sum.load(), 64u * 65u / 2u) << "round " << round;
+  }
+}
+
+TEST(ParallelFor, NestedCallRunsSerialInline) {
+  // A parallel_for inside a parallel_for body must not deadlock on the
+  // shared pool; the inner call degrades to the serial loop.
+  std::vector<std::atomic<int>> hits(32 * 16);
+  parallel_for(32, [&](std::size_t outer) {
+    parallel_for(16, [&](std::size_t inner) {
+      hits[outer * 16 + inner].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ConcurrentCallersFromIndependentThreads) {
+  // Two threads issuing jobs at once: the pool serializes them; both
+  // complete with every index visited exactly once.
+  std::vector<std::atomic<int>> a(2000), b(2000);
+  std::thread t1([&] {
+    for (int round = 0; round < 20; ++round) {
+      parallel_for(a.size(), [&](std::size_t i) { a[i].fetch_add(1); }, 3);
+    }
+  });
+  std::thread t2([&] {
+    for (int round = 0; round < 20; ++round) {
+      parallel_for(b.size(), [&](std::size_t i) { b[i].fetch_add(1); }, 5);
+    }
+  });
+  t1.join();
+  t2.join();
+  for (const auto& h : a) EXPECT_EQ(h.load(), 20);
+  for (const auto& h : b) EXPECT_EQ(h.load(), 20);
+}
+
+TEST(ParallelFor, MoreStridesThanHardwareThreads) {
+  // Requesting more logical workers than the pool has threads multiplexes
+  // strides; every index still runs exactly once and exceptions still
+  // surface from the lowest-numbered throwing stride.
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); },
+               64);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+  try {
+    parallel_for(
+        500,
+        [&](std::size_t i) {
+          if (i >= 100) throw std::runtime_error("stride fault");
+        },
+        64);
+    FAIL() << "expected the stride exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "stride fault");
+  }
+}
+
 TEST(ParallelFor, MovableOnlyCallableCompiles) {
   auto ptr = std::make_unique<int>(7);
   std::atomic<int> sum{0};
@@ -99,6 +164,26 @@ TEST(ParallelMatrix, BitIdenticalToSerialForAnyThreadCount) {
     for (std::size_t i = 0; i < serial.size(); ++i) {
       for (std::size_t j = 0; j <= i; ++j) {
         EXPECT_EQ(parallel.phi(i, j), serial.phi(i, j))
+            << i << "," << j << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelMatrix, PoolEngagesOnLargeRowsAndStaysBitIdentical) {
+  // Large enough that the per-row column loop actually dispatches to the
+  // worker pool (row work above the serial cutoff) — the pool-based
+  // schedule must reproduce the serial bits exactly.
+  const Dataset d = random_dataset(220, 600, 80);
+  const auto serial =
+      SimilarityMatrix::compute(d, UnknownPolicy::kKnownOnly, 1);
+  for (const unsigned threads : {0u, 2u, 5u}) {
+    const auto pooled =
+        SimilarityMatrix::compute(d, UnknownPolicy::kKnownOnly, threads);
+    ASSERT_EQ(pooled.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        ASSERT_EQ(pooled.phi(i, j), serial.phi(i, j))
             << i << "," << j << " threads=" << threads;
       }
     }
