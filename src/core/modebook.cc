@@ -66,6 +66,21 @@ ModeBook::Match ModeBook::observe(const RoutingVector& v) {
     representatives_.push_back(v);  // the candidate row stays in packed_
   }
   history_.push_back(out.mode);
+  last_ = out;
+  return out;
+}
+
+std::string ModeBook::status_json() const {
+  std::string out = "{\"modes\":" + std::to_string(mode_count()) +
+                    ",\"observations\":" + std::to_string(history_.size());
+  if (last_) {
+    out += ",\"last_mode\":" + std::to_string(last_->mode) +
+           ",\"last_phi\":" + obs::render_double(last_->phi) +
+           ",\"last_is_new\":" + (last_->is_new ? "true" : "false") +
+           ",\"last_is_recurrence\":" +
+           (last_->is_recurrence ? "true" : "false");
+  }
+  out += "}";
   return out;
 }
 

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/compare.h"
@@ -73,6 +74,11 @@ class ModeBook {
     return history_;
   }
 
+  /// The book's state as one JSON object — mode count, observations,
+  /// and the last match — for the StatusBoard ("modebook" fragment on
+  /// fenrirctl watch's /status endpoint).
+  std::string status_json() const;
+
  private:
   Config config_;
   std::vector<RoutingVector> representatives_;
@@ -80,6 +86,7 @@ class ModeBook {
   /// representatives_[m].
   PackedSeries packed_;
   std::vector<std::size_t> history_;
+  std::optional<Match> last_;
 };
 
 }  // namespace fenrir::core

@@ -4,6 +4,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <string>
+
+#include "obs/trace_export.h"
 
 namespace fenrir::core::detail {
 
@@ -62,8 +65,9 @@ void WorkerPool::claim_strides(Job& job) {
   }
 }
 
-void WorkerPool::worker_main() {
+void WorkerPool::worker_main(unsigned index) {
   in_parallel_region() = true;  // nested parallel_for in fn runs inline
+  obs::set_trace_thread_name("fenrir-worker-" + std::to_string(index));
   std::uint64_t seen = 0;
   for (;;) {
     Job* job = nullptr;
@@ -79,7 +83,12 @@ void WorkerPool::worker_main() {
       }
     }
     if (job != nullptr) {
-      claim_strides(*job);
+      {
+        // Spans opened inside fn nest under the dispatching call site
+        // rather than rooting at the top of the profile tree.
+        obs::internal::SpanParentScope scope(job->span_parent);
+        claim_strides(*job);
+      }
       std::lock_guard<std::mutex> lk(state_->mu);
       if (--state_->in_flight == 0) state_->done.notify_all();
     }
@@ -96,7 +105,7 @@ void WorkerPool::run(Job& job) {
       const unsigned helpers = hw > 1 ? hw - 1 : 0;
       state_->workers.reserve(helpers);
       for (unsigned i = 0; i < helpers; ++i) {
-        state_->workers.emplace_back([this] { worker_main(); });
+        state_->workers.emplace_back([this, i] { worker_main(i); });
       }
     }
     state_->job = &job;

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace fenrir::core {
 
@@ -66,6 +67,9 @@ class WorkerPool {
     std::size_t count = 0;
     std::exception_ptr* errors = nullptr;  // one slot per stride
     double* busy = nullptr;                // seconds spent per stride
+    /// Dispatching thread's span cursor; workers adopt it so spans
+    /// opened inside fn nest under the parallel_for call site.
+    obs::internal::SpanNode* span_parent = nullptr;
   };
 
   static WorkerPool& instance();
@@ -81,7 +85,7 @@ class WorkerPool {
  private:
   WorkerPool();
   struct State;
-  void worker_main();
+  void worker_main(unsigned index);
   void claim_strides(Job& job);
 
   // Implementation state lives in parallel.cc (pimpl-free: members are
@@ -132,6 +136,7 @@ void parallel_for(std::size_t count, Fn&& fn, unsigned threads = 0) {
   job.count = count;
   job.errors = errors.data();
   job.busy = busy.data();
+  job.span_parent = obs::internal::current_span_node();
   detail::WorkerPool::instance().run(job);
   jobs.inc();
   double max_busy = 0.0, sum_busy = 0.0;

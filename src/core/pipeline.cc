@@ -1,11 +1,13 @@
 #include "core/pipeline.h"
 
 #include <ostream>
+#include <sstream>
 
 #include "io/table.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/status_board.h"
 
 namespace fenrir::core {
 
@@ -49,6 +51,16 @@ AnalysisResult analyze(const Dataset& dataset, const AnalysisConfig& config) {
   clusters.set(static_cast<double>(clustering.cluster_count));
   mode_count.set(static_cast<double>(modes.size()));
   event_count.inc(events.size());
+  {
+    std::ostringstream os;
+    os << "{\"dataset\":\"" << obs::json_escape(dataset.name)
+       << "\",\"observations\":" << dataset.series.size()
+       << ",\"networks\":" << dataset.networks.size()
+       << ",\"clusters\":" << clustering.cluster_count
+       << ",\"modes\":" << modes.size() << ",\"events\":" << events.size()
+       << ",\"threshold\":" << obs::render_double(clustering.threshold) << "}";
+    obs::status_board().publish("analyze", os.str());
+  }
   FENRIR_LOG(Info).field("threshold", clustering.threshold)
           .field("clusters", clustering.cluster_count)
           .field("modes", modes.size())

@@ -8,9 +8,11 @@
 #include <sstream>
 
 #include "io/csv.h"
+#include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/status_board.h"
 
 namespace fenrir::measure {
 
@@ -331,6 +333,22 @@ void Campaign::run_retry_waves() {
   tally_.end = pass_end;
 }
 
+std::string Campaign::journal_entry(const SweepReport& r, bool valid) {
+  std::ostringstream os;
+  os << "{\"type\":\"sweep\",\"sweep\":" << r.sweep << ",\"start\":" << r.start
+     << ",\"end\":" << r.end << ",\"targets\":" << r.targets
+     << ",\"answered\":" << r.answered << ",\"retried_out\":" << r.retried_out
+     << ",\"broken\":" << r.broken << ",\"unrouted\":" << r.unrouted
+     << ",\"retries\":" << r.retries
+     << ",\"disagreements\":" << r.disagreements
+     << ",\"coverage\":" << obs::render_double(r.coverage())
+     << ",\"confidence\":" << obs::render_double(r.confidence())
+     << ",\"valid\":" << (valid ? "true" : "false")
+     << ",\"low_coverage\":" << (r.low_coverage ? "true" : "false")
+     << ",\"collector_gap\":" << (r.collector_gap ? "true" : "false") << "}";
+  return os.str();
+}
+
 void Campaign::finish_sweep() {
   tally_.low_coverage = tally_.coverage() < config_.coverage_floor;
   tally_.collector_gap =
@@ -364,6 +382,26 @@ void Campaign::finish_sweep() {
           .field("valid", v.valid)
       << "campaign sweep";
 
+  // Journal order within a sweep: breaker transitions (written by
+  // update_health above) first, then the sweep summary — deterministic,
+  // so the chaos prefix property holds line-for-line.
+  if (journal_ != nullptr) journal_->append(journal_entry(tally_, v.valid));
+
+  std::size_t breakers_open = 0;
+  for (const TargetHealth& h : health_) {
+    if (h.state == BreakerState::kOpen) ++breakers_open;
+  }
+  {
+    std::ostringstream os;
+    os << "{\"sweeps_completed\":" << (sweep_ + 1)
+       << ",\"last_coverage\":" << obs::render_double(tally_.coverage())
+       << ",\"last_confidence\":" << obs::render_double(tally_.confidence())
+       << ",\"last_valid\":" << (v.valid ? "true" : "false")
+       << ",\"breakers_open\":" << breakers_open
+       << ",\"retries\":" << tally_.retries << "}";
+    obs::status_board().publish("campaign", os.str());
+  }
+
   series_.push_back(std::move(v));
   reports_.push_back(tally_);
   in_sweep_ = false;
@@ -388,6 +426,11 @@ void Campaign::update_health() {
           h.state = BreakerState::kClosed;
           h.reason = BreakReason::kNone;
           h.reopen_sweep = 0;
+          if (journal_ != nullptr) {
+            journal_->append("{\"type\":\"breaker\",\"sweep\":" +
+                             std::to_string(sweep_) + ",\"target\":" +
+                             std::to_string(i) + ",\"state\":\"closed\"}");
+          }
         }
         break;
       case Outcome::kRetriedOut: {
@@ -404,6 +447,12 @@ void Campaign::update_health() {
               sweep_ + 1 + config_.breaker.cooldown_sweeps);
           ++h.trips;
           metrics().breaker_trips.inc();
+          if (journal_ != nullptr) {
+            journal_->append(
+                "{\"type\":\"breaker\",\"sweep\":" + std::to_string(sweep_) +
+                ",\"target\":" + std::to_string(i) +
+                ",\"state\":\"open\",\"reason\":\"persistently_dark\"}");
+          }
         }
         break;
       }

@@ -1,0 +1,58 @@
+#include "obs/build_info.h"
+
+#include "obs/metrics.h"
+
+// Baked in by src/obs/CMakeLists.txt; the fallbacks keep non-CMake
+// builds (IDE indexers, quick compiles) working.
+#ifndef FENRIR_GIT_SHA
+#define FENRIR_GIT_SHA "unknown"
+#endif
+#ifndef FENRIR_BUILD_TYPE
+#define FENRIR_BUILD_TYPE "unknown"
+#endif
+#ifndef FENRIR_SANITIZE_FLAGS
+#define FENRIR_SANITIZE_FLAGS ""
+#endif
+
+namespace fenrir::obs {
+
+namespace {
+constexpr const char* kVersion = "0.4.0";
+}  // namespace
+
+const BuildInfo& build_info() noexcept {
+  static const BuildInfo info{
+      kVersion, FENRIR_GIT_SHA, FENRIR_BUILD_TYPE,
+      FENRIR_SANITIZE_FLAGS[0] != '\0' ? FENRIR_SANITIZE_FLAGS : "none"};
+  return info;
+}
+
+std::string build_info_string() {
+  const BuildInfo& info = build_info();
+  std::string out = "fenrir ";
+  out += info.version;
+  out += " (";
+  out += info.git_sha;
+  out += ", ";
+  out += info.build_type;
+  if (std::string(info.sanitize) != "none") {
+    out += ", sanitize=";
+    out += info.sanitize;
+  }
+  out += ")";
+  return out;
+}
+
+void register_build_info_metric() {
+  const BuildInfo& info = build_info();
+  registry()
+      .gauge("fenrir_build_info",
+             Labels{{"version", info.version},
+                    {"git_sha", info.git_sha},
+                    {"build_type", info.build_type},
+                    {"sanitize", info.sanitize}},
+             "build identity; value is always 1")
+      .set(1.0);
+}
+
+}  // namespace fenrir::obs

@@ -1,0 +1,39 @@
+// fenrir::obs — build identity: version, git sha, build type, sanitizers.
+//
+// Every telemetry surface should say *which build* produced it: a perf
+// regression report without the build type, or a crash log without the
+// sha, sends the investigation in circles. The values are baked in at
+// configure time (see src/obs/CMakeLists.txt), surfaced three ways:
+//
+//   * fenrirctl --version prints build_info_string();
+//   * register_build_info_metric() exports the conventional
+//     fenrir_build_info{version=...,git_sha=...,...} 1 gauge, so a
+//     scrape can join any metric with the build that produced it;
+//   * fenrirctl logs the same fields once at startup.
+//
+// The git sha is captured when CMake configures, not per build — a dirty
+// tree or un-reconfigured increment can lag by a commit; treat it as a
+// strong hint, not a proof.
+#pragma once
+
+#include <string>
+
+namespace fenrir::obs {
+
+struct BuildInfo {
+  const char* version;     // fenrir release, e.g. "0.4.0"
+  const char* git_sha;     // short sha at configure time, or "unknown"
+  const char* build_type;  // CMAKE_BUILD_TYPE, e.g. "Release"
+  const char* sanitize;    // FENRIR_SANITIZE flags, or "none"
+};
+
+const BuildInfo& build_info() noexcept;
+
+/// "fenrir <version> (<git_sha>, <build_type>[, sanitize=<flags>])".
+std::string build_info_string();
+
+/// Registers fenrir_build_info{version=...,git_sha=...,build_type=...,
+/// sanitize=...} = 1 in the process registry (idempotent).
+void register_build_info_metric();
+
+}  // namespace fenrir::obs

@@ -1,0 +1,268 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <string_view>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/status_board.h"
+#include "obs/trace_export.h"
+
+namespace fenrir::obs {
+
+namespace {
+
+constexpr int kPollTickMs = 200;       // stop_ check cadence
+constexpr std::size_t kMaxRequest = 8192;  // request head cap → 400
+
+std::chrono::steady_clock::time_point server_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+Counter& requests_counter() {
+  static Counter& c = registry().counter(
+      "fenrir_status_requests_total", "HTTP requests served by the status server");
+  return c;
+}
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.1 200 OK";
+    case 400: return "HTTP/1.1 400 Bad Request";
+    case 404: return "HTTP/1.1 404 Not Found";
+    case 405: return "HTTP/1.1 405 Method Not Allowed";
+    default:  return "HTTP/1.1 500 Internal Server Error";
+  }
+}
+
+std::string make_response(int code, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = status_line(code);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Sends all of @p data, tolerating partial writes. Gives up (and lets
+/// the connection close) on error or when @p stop goes true.
+void send_all(int fd, const std::string& data, const std::atomic<bool>& stop) {
+  std::size_t sent = 0;
+  while (sent < data.size() && !stop.load(std::memory_order_relaxed)) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) {
+      struct pollfd pfd{fd, POLLOUT, 0};
+      ::poll(&pfd, 1, kPollTickMs);
+      continue;
+    }
+    return;  // client went away; nothing to do
+  }
+}
+
+}  // namespace
+
+bool render_endpoint(const std::string& path, std::string& body,
+                     std::string& content_type) {
+  if (path == "/metrics") {
+    std::ostringstream os;
+    registry().write_prometheus(os);
+    body = os.str();
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return true;
+  }
+  if (path == "/healthz") {
+    const double uptime = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - server_epoch())
+                              .count();
+    std::ostringstream os;
+    os << "{\"status\":\"ok\",\"uptime_seconds\":" << render_double(uptime)
+       << ",\"last_publish_age_seconds\":"
+       << render_double(status_board().last_publish_age_seconds()) << "}\n";
+    body = os.str();
+    content_type = "application/json";
+    return true;
+  }
+  if (path == "/status") {
+    std::ostringstream os;
+    status_board().write_json(os);
+    os << '\n';
+    body = os.str();
+    content_type = "application/json";
+    return true;
+  }
+  if (path == "/profile") {
+    std::ostringstream os;
+    write_profile_json(os);
+    os << '\n';
+    body = os.str();
+    content_type = "application/json";
+    return true;
+  }
+  return false;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(std::uint16_t port) {
+  if (running_.load(std::memory_order_acquire)) return true;
+  server_epoch();  // pin uptime zero
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    FENRIR_LOG(Warn).field("errno", errno)
+        << "status server disabled: socket() failed";
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    // Port taken (or otherwise unusable): fall back to an ephemeral
+    // port rather than refusing to run — the watch matters more than
+    // the requested number.
+    FENRIR_LOG(Warn)
+            .field("requested_port", static_cast<std::uint64_t>(port))
+            .field("errno", errno)
+        << "status port unavailable, falling back to ephemeral";
+    addr.sin_port = htons(0);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      FENRIR_LOG(Warn).field("errno", errno)
+          << "status server disabled: bind failed";
+      ::close(fd);
+      return false;
+    }
+  }
+  if (::listen(fd, 16) != 0) {
+    FENRIR_LOG(Warn).field("errno", errno)
+        << "status server disabled: listen failed";
+    ::close(fd);
+    return false;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  }
+
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  FENRIR_LOG(Info)
+          .field("port", static_cast<std::uint64_t>(
+                             port_.load(std::memory_order_acquire)))
+      << "status server listening";
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(0, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+}
+
+void HttpServer::serve_loop() {
+  set_trace_thread_name("fenrir-status");
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (ready <= 0) continue;  // tick: re-check stop_
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::handle_connection(int client_fd) {
+  // Read until the end of the request head, a 2 s budget, the size cap,
+  // or shutdown — never block indefinitely on a silent client.
+  std::string request;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(2);
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequest &&
+         !stop_.load(std::memory_order_relaxed) &&
+         std::chrono::steady_clock::now() < deadline) {
+    struct pollfd pfd{client_fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kPollTickMs);
+    if (ready <= 0) continue;
+    char buf[2048];
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // peer closed or error
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  served_.fetch_add(1, std::memory_order_relaxed);
+  requests_counter().inc();
+
+  // Parse "METHOD SP target SP HTTP/x.y" from the first line.
+  const std::size_t eol = request.find("\r\n");
+  const std::string_view line =
+      std::string_view(request).substr(0, eol == std::string::npos
+                                              ? request.size()
+                                              : eol);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? std::string_view::npos
+                                    : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.substr(sp2 + 1).rfind("HTTP/", 0) != 0) {
+    send_all(client_fd,
+             make_response(400, "text/plain", "bad request line\n"), stop_);
+    return;
+  }
+  const std::string_view method = line.substr(0, sp1);
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (method != "GET") {
+    send_all(client_fd,
+             make_response(405, "text/plain", "only GET is supported\n"),
+             stop_);
+    return;
+  }
+  const std::size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+
+  std::string body, content_type;
+  if (!render_endpoint(std::string(target), body, content_type)) {
+    send_all(client_fd,
+             make_response(
+                 404, "text/plain",
+                 "not found; try /metrics /healthz /status /profile\n"),
+             stop_);
+    return;
+  }
+  send_all(client_fd, make_response(200, content_type, body), stop_);
+}
+
+}  // namespace fenrir::obs

@@ -1,0 +1,85 @@
+#include "obs/journal.h"
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace fenrir::obs {
+
+namespace {
+
+Counter& lines_counter() {
+  static Counter& c = registry().counter("fenrir_journal_lines_total",
+                                         "journal lines appended");
+  return c;
+}
+
+/// The journal's integrity check: a complete single-line JSON object.
+/// (Full JSON validation would need a parser the repo deliberately does
+/// not carry; brace framing catches every torn write, which is the
+/// failure mode the journal defends against.)
+bool looks_complete(std::string_view line) {
+  return line.size() >= 2 && line.front() == '{' && line.back() == '}';
+}
+
+}  // namespace
+
+Journal::~Journal() { close(); }
+
+bool Journal::open(const std::string& path, bool truncate) {
+  close();
+  out_.open(path, truncate ? std::ios::out | std::ios::trunc
+                           : std::ios::out | std::ios::app);
+  if (!out_) {
+    FENRIR_LOG(Warn).field("path", path) << "journal disabled: cannot open file";
+    return false;
+  }
+  path_ = path;
+  lines_ = 0;
+  return true;
+}
+
+void Journal::append(std::string_view json_object) {
+  if (!out_.is_open()) return;
+  out_ << json_object << '\n';
+  out_.flush();  // a kill after this point never loses the entry
+  ++lines_;
+  lines_counter().inc();
+}
+
+void Journal::close() {
+  if (out_.is_open()) out_.close();
+  path_.clear();
+}
+
+std::vector<std::string> read_journal(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw JournalError("cannot open journal: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  // std::getline strips '\n'; detect an unterminated final line (a torn
+  // append) from the raw last byte of the file.
+  bool last_terminated = true;
+  if (!lines.empty()) {
+    std::ifstream raw(path, std::ios::binary | std::ios::ate);
+    if (raw && raw.tellg() > std::streampos(0)) {
+      raw.seekg(-1, std::ios::end);
+      char last = '\0';
+      raw.get(last);
+      last_terminated = (last == '\n');
+    }
+  }
+  if (!lines.empty()) {
+    const bool last_ok = last_terminated && looks_complete(lines.back());
+    if (!last_ok) lines.pop_back();  // torn tail: the truth is "not written"
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!looks_complete(lines[i])) {
+      throw JournalError("journal " + path + " corrupt at line " +
+                         std::to_string(i + 1));
+    }
+  }
+  return lines;
+}
+
+}  // namespace fenrir::obs

@@ -9,11 +9,7 @@
 
 namespace fenrir::obs {
 
-namespace {
-
-/// Doubles rendered for exposition: shortest round-trip form keeps the
-/// files small and diffs stable.
-std::string render(double x) {
+std::string render_double(double x) {
   std::ostringstream out;
   out.precision(17);
   out << x;
@@ -28,6 +24,60 @@ std::string render(double x) {
     if (back == x) return trial.str();
   }
   return s;
+}
+
+std::string escape_help(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_label_value(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string render(double x) { return render_double(x); }
+
+/// The exposition form of a label block, e.g. {a="x",b="y"}; empty
+/// string for an empty label set. Doubles as the registry key suffix.
+std::string render_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += escape_label_value(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
 }
 
 }  // namespace
@@ -90,13 +140,15 @@ void Histogram::reset() noexcept {
                   std::memory_order_relaxed);
 }
 
-Registry::Entry& Registry::find_or_create(std::string_view name, Kind kind,
+Registry::Entry& Registry::find_or_create(std::string_view name,
+                                          const Labels& labels, Kind kind,
                                           std::string_view help) {
+  const std::string key = std::string(name) + render_labels(labels);
   const std::lock_guard<std::mutex> lock(mu_);
-  const auto it = entries_.find(name);
+  const auto it = entries_.find(key);
   if (it != entries_.end()) {
     if (it->second.kind != kind) {
-      throw std::logic_error("Registry: '" + std::string(name) +
+      throw std::logic_error("Registry: '" + key +
                              "' already registered as a different kind");
     }
     // Pre-registration (e.g. fenrirctl's catalog) may not know the help
@@ -106,20 +158,40 @@ Registry::Entry& Registry::find_or_create(std::string_view name, Kind kind,
     }
     return it->second;
   }
+  const auto family = family_kind_.find(name);
+  if (family != family_kind_.end() && family->second != kind) {
+    throw std::logic_error("Registry: family '" + std::string(name) +
+                           "' already registered as a different kind");
+  }
+  if (family == family_kind_.end()) {
+    family_kind_.emplace(std::string(name), kind);
+  }
   Entry entry;
   entry.kind = kind;
+  entry.family = std::string(name);
+  entry.labels = labels;
   entry.help = std::string(help);
-  return entries_.emplace(std::string(name), std::move(entry)).first->second;
+  return entries_.emplace(key, std::move(entry)).first->second;
 }
 
 Counter& Registry::counter(std::string_view name, std::string_view help) {
-  Entry& e = find_or_create(name, Kind::kCounter, help);
+  return counter(name, Labels{}, help);
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  return gauge(name, Labels{}, help);
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels,
+                           std::string_view help) {
+  Entry& e = find_or_create(name, labels, Kind::kCounter, help);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
 }
 
-Gauge& Registry::gauge(std::string_view name, std::string_view help) {
-  Entry& e = find_or_create(name, Kind::kGauge, help);
+Gauge& Registry::gauge(std::string_view name, const Labels& labels,
+                       std::string_view help) {
+  Entry& e = find_or_create(name, labels, Kind::kGauge, help);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
 }
@@ -127,7 +199,7 @@ Gauge& Registry::gauge(std::string_view name, std::string_view help) {
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> upper_bounds,
                                std::string_view help) {
-  Entry& e = find_or_create(name, Kind::kHistogram, help);
+  Entry& e = find_or_create(name, Labels{}, Kind::kHistogram, help);
   if (!e.histogram) {
     e.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
   }
@@ -136,30 +208,49 @@ Histogram& Registry::histogram(std::string_view name,
 
 void Registry::write_prometheus(std::ostream& out) const {
   const std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, e] : entries_) {
-    if (!e.help.empty()) out << "# HELP " << name << ' ' << e.help << '\n';
-    switch (e.kind) {
-      case Kind::kCounter:
-        out << "# TYPE " << name << " counter\n";
-        out << name << ' ' << e.counter->value() << '\n';
+  // Series of one family must form one block under a single HELP/TYPE
+  // header (the exposition grammar forbids interleaving), so group by
+  // family first: plain "foo" and labeled "foo{...}" would otherwise be
+  // split by an unrelated "foo_bar" in the sorted entry map.
+  std::map<std::string, std::vector<const Entry*>, std::less<>> families;
+  for (const auto& [key, e] : entries_) {
+    families[e.family].push_back(&e);
+  }
+  for (const auto& [family, series] : families) {
+    const Entry& first = *series.front();
+    if (!first.help.empty()) {
+      out << "# HELP " << family << ' ' << escape_help(first.help) << '\n';
+    }
+    switch (first.kind) {
+      case Kind::kCounter: out << "# TYPE " << family << " counter\n"; break;
+      case Kind::kGauge: out << "# TYPE " << family << " gauge\n"; break;
+      case Kind::kHistogram:
+        out << "# TYPE " << family << " histogram\n";
         break;
-      case Kind::kGauge:
-        out << "# TYPE " << name << " gauge\n";
-        out << name << ' ' << render(e.gauge->value()) << '\n';
-        break;
-      case Kind::kHistogram: {
-        const Histogram& h = *e.histogram;
-        out << "# TYPE " << name << " histogram\n";
-        std::uint64_t cumulative = 0;
-        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
-          cumulative += h.bucket_count(i);
-          out << name << "_bucket{le=\"" << render(h.bounds()[i]) << "\"} "
-              << cumulative << '\n';
+    }
+    for (const Entry* entry : series) {
+      const Entry& e = *entry;
+      const std::string labels = render_labels(e.labels);
+      switch (e.kind) {
+        case Kind::kCounter:
+          out << family << labels << ' ' << e.counter->value() << '\n';
+          break;
+        case Kind::kGauge:
+          out << family << labels << ' ' << render(e.gauge->value()) << '\n';
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *e.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += h.bucket_count(i);
+            out << family << "_bucket{le=\"" << render(h.bounds()[i])
+                << "\"} " << cumulative << '\n';
+          }
+          out << family << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
+          out << family << "_sum " << render(h.sum()) << '\n';
+          out << family << "_count " << h.count() << '\n';
+          break;
         }
-        out << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n';
-        out << name << "_sum " << render(h.sum()) << '\n';
-        out << name << "_count " << h.count() << '\n';
-        break;
       }
     }
   }

@@ -32,9 +32,21 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace fenrir::obs {
+
+/// Shortest decimal form of @p x that still round-trips: keeps exposition
+/// files small and their diffs stable. Shared by the metrics writers, the
+/// sweep journal, and the trace exporter.
+std::string render_double(double x);
+
+/// Prometheus exposition escaping. HELP text escapes backslash and
+/// newline; label values additionally escape the double quote. Applied
+/// by write_prometheus — exposed so tests can pin the grammar.
+std::string escape_help(std::string_view text);
+std::string escape_label_value(std::string_view text);
 
 /// Monotonically increasing count (events, probes, routes installed).
 class Counter {
@@ -115,6 +127,11 @@ class Histogram {
   std::atomic<std::uint64_t> sum_bits_{std::bit_cast<std::uint64_t>(0.0)};
 };
 
+/// An ordered label set, e.g. {{"git_sha","9f61d0f"},{"build","Release"}}.
+/// Order is preserved in exposition; the same name with the same labels
+/// (in the same order) names the same metric.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
 /// Thread-safe name → metric registry with deterministic (sorted)
 /// exposition order. Re-requesting a name returns the same metric;
 /// requesting it as a different kind throws std::logic_error.
@@ -125,6 +142,14 @@ class Registry {
   Histogram& histogram(std::string_view name,
                        std::vector<double> upper_bounds,
                        std::string_view help = "");
+
+  /// Labeled variants: one series per (name, labels) pair, rendered as
+  /// name{key="value",...} with exposition-escaped values. All series of
+  /// a family share one HELP/TYPE header (first help text wins).
+  Counter& counter(std::string_view name, const Labels& labels,
+                   std::string_view help = "");
+  Gauge& gauge(std::string_view name, const Labels& labels,
+               std::string_view help = "");
 
   /// Prometheus text exposition format: HELP/TYPE headers, histogram
   /// cumulative buckets with le labels, _sum and _count series.
@@ -148,17 +173,24 @@ class Registry {
   enum class Kind { kCounter, kGauge, kHistogram };
   struct Entry {
     Kind kind;
+    std::string family;  // metric name without the label block
+    Labels labels;       // empty for plain metrics
     std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry& find_or_create(std::string_view name, Kind kind,
-                        std::string_view help);
+  Entry& find_or_create(std::string_view name, const Labels& labels,
+                        Kind kind, std::string_view help);
 
   mutable std::mutex mu_;
+  // Keyed by family plus the rendered label block, so labeled series of
+  // one family are distinct entries with deterministic order.
   std::map<std::string, Entry, std::less<>> entries_;
+  // Every series of a family must share one kind (the exposition format
+  // has a single TYPE line per family).
+  std::map<std::string, Kind, std::less<>> family_kind_;
 };
 
 /// The process-wide registry every instrumentation site uses.

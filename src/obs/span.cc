@@ -8,7 +8,9 @@
 #include <ostream>
 #include <string_view>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
 
 namespace fenrir::obs {
 
@@ -124,15 +126,25 @@ bool profiling_enabled() noexcept {
 }
 
 Span::Span(const char* name) {
-  if (!profiling_enabled()) return;
-  SpanNode* parent = tls_current != nullptr ? tls_current : &root();
-  node_ = resolve(parent, name);
-  previous_ = tls_current;
-  tls_current = node_;
-  start_ = std::chrono::steady_clock::now();
+  const bool profile = profiling_enabled();
+  const bool trace = tracing_enabled();
+  if (!profile && !trace) return;
+  if (trace) {
+    name_ = name;
+    traced_ = true;
+    trace_begin(name);
+  }
+  if (profile) {
+    SpanNode* parent = tls_current != nullptr ? tls_current : &root();
+    node_ = resolve(parent, name);
+    previous_ = tls_current;
+    tls_current = node_;
+    start_ = std::chrono::steady_clock::now();
+  }
 }
 
 Span::~Span() {
+  if (traced_) trace_end(name_);
   if (node_ == nullptr) return;
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -170,9 +182,40 @@ void write_profile(std::ostream& out) {
   }
 }
 
+void write_profile_json(std::ostream& out) {
+  const std::vector<ProfileEntry> entries = profile_entries();
+  out << "{\"spans\":[";
+  bool first = true;
+  for (const ProfileEntry& e : entries) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"" << json_escape(e.name) << "\",\"depth\":" << e.depth
+        << ",\"count\":" << e.count
+        << ",\"total_seconds\":" << render_double(e.total_seconds)
+        << ",\"p50_seconds\":" << render_double(e.p50_seconds)
+        << ",\"p95_seconds\":" << render_double(e.p95_seconds) << '}';
+  }
+  out << "]}";
+}
+
 void reset_profile() {
   const std::lock_guard<std::mutex> lock(tree_mutex());
   zero(root());
 }
+
+namespace internal {
+
+SpanNode* current_span_node() noexcept { return tls_current; }
+
+SpanParentScope::SpanParentScope(SpanNode* parent) noexcept
+    : previous_(tls_current), active_(parent != nullptr) {
+  if (active_) tls_current = parent;
+}
+
+SpanParentScope::~SpanParentScope() {
+  if (active_) tls_current = previous_;
+}
+
+}  // namespace internal
 
 }  // namespace fenrir::obs

@@ -23,11 +23,17 @@
 // observe, never steer: analysis results are bit-identical with
 // profiling on or off.
 //
-// Threading: each thread has its own current-span cursor; spans on
-// worker threads (e.g. inside parallel_for bodies) root at the top of
-// the tree rather than under the spawning thread's span. Stat updates
-// are atomic; node creation takes a short global lock the first time a
-// path is seen.
+// Threading: each thread has its own current-span cursor. The core
+// worker pool propagates the dispatching thread's cursor through the
+// job ticket (internal::SpanParentScope), so spans opened inside
+// parallel_for bodies nest under the call site that dispatched them
+// rather than rooting at the top of the tree. Stat updates are atomic;
+// node creation takes a short global lock the first time a path is
+// seen.
+//
+// Spans also feed the Chrome-trace timeline (trace_export.h): when
+// tracing is enabled each Span additionally emits begin/end events,
+// independently of whether profiling is on.
 #pragma once
 
 #include <chrono>
@@ -42,7 +48,31 @@ void set_profiling(bool on) noexcept;
 bool profiling_enabled() noexcept;
 
 namespace internal {
+
 struct SpanNode;
+
+/// The innermost live span node on this thread (null at top level or
+/// with profiling off). Capture it when dispatching work to another
+/// thread and hand it to a SpanParentScope there.
+SpanNode* current_span_node() noexcept;
+
+/// RAII: makes @p parent this thread's span parent for the scope's
+/// lifetime, so spans opened here nest under the dispatching call site.
+/// A null parent leaves the cursor untouched. Used by the core worker
+/// pool; not part of the public surface.
+class SpanParentScope {
+ public:
+  explicit SpanParentScope(SpanNode* parent) noexcept;
+  ~SpanParentScope();
+
+  SpanParentScope(const SpanParentScope&) = delete;
+  SpanParentScope& operator=(const SpanParentScope&) = delete;
+
+ private:
+  SpanNode* previous_;
+  bool active_;
+};
+
 }  // namespace internal
 
 class Span {
@@ -58,6 +88,8 @@ class Span {
  private:
   internal::SpanNode* node_ = nullptr;     // null when profiling is off
   internal::SpanNode* previous_ = nullptr; // restored on close
+  const char* name_ = nullptr;             // set when tracing; borrowed
+  bool traced_ = false;
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -79,6 +111,13 @@ std::vector<ProfileEntry> profile_entries();
 
 /// Indented human-readable report of profile_entries().
 void write_profile(std::ostream& out);
+
+/// profile_entries() as one JSON object:
+///   {"spans":[{"name":...,"depth":...,"count":...,"total_seconds":...,
+///              "p50_seconds":...,"p95_seconds":...},...]}
+/// Pre-order with depth, i.e. the flattened span tree. Serves the
+/// status server's /profile endpoint.
+void write_profile_json(std::ostream& out);
 
 /// Zeroes all aggregated stats (tree shape is retained internally but
 /// zero-count nodes disappear from reports). For tests and repeated runs.

@@ -1,0 +1,73 @@
+#include "obs/status_board.h"
+
+#include <ostream>
+
+#include "obs/log.h"
+
+namespace fenrir::obs {
+
+void StatusBoard::publish(std::string_view key, std::string json_fragment) {
+  auto fragment =
+      std::make_shared<const std::string>(std::move(json_fragment));
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = fragments_.find(key);
+  if (it != fragments_.end()) {
+    it->second = std::move(fragment);
+  } else {
+    fragments_.emplace(std::string(key), std::move(fragment));
+  }
+  any_publish_ = true;
+  last_publish_ = std::chrono::steady_clock::now();
+}
+
+std::shared_ptr<const std::string> StatusBoard::fragment(
+    std::string_view key) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = fragments_.find(key);
+  return it != fragments_.end() ? it->second : nullptr;
+}
+
+double StatusBoard::last_publish_age_seconds() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!any_publish_) return -1.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       last_publish_)
+      .count();
+}
+
+void StatusBoard::write_json(std::ostream& out) const {
+  // Copy the fragment pointers under the lock, render outside it: a slow
+  // ostream (an HTTP client) must not block publishers.
+  std::map<std::string, std::shared_ptr<const std::string>, std::less<>>
+      snapshot;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    snapshot = fragments_;
+  }
+  out << '{';
+  bool first = true;
+  for (const auto& [key, fragment] : snapshot) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(key) << "\":" << *fragment;
+  }
+  out << '}';
+}
+
+void StatusBoard::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  fragments_.clear();
+  any_publish_ = false;
+}
+
+std::size_t StatusBoard::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return fragments_.size();
+}
+
+StatusBoard& status_board() {
+  static StatusBoard* instance = new StatusBoard();  // never destroyed:
+  return *instance;  // publishers in static objects may outlive main
+}
+
+}  // namespace fenrir::obs

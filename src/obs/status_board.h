@@ -1,0 +1,63 @@
+// fenrir::obs — the status board: live JSON fragments for /status.
+//
+// Long-running commands (a watch loop, a measurement campaign, an
+// analyze run) publish their current state here as small JSON fragments
+// under stable keys; the HTTP status server (http_server.h) renders the
+// board as one JSON object on GET /status. Publishing swaps a
+// shared_ptr under a short mutex, so a reader never sees a torn
+// fragment and a publisher never blocks on a slow HTTP client:
+//
+//   obs::status_board().publish("campaign",
+//       R"({"sweep":12,"coverage":0.97})");
+//
+// Fragments must be valid JSON values (an object, usually); the board
+// embeds them verbatim. Like the rest of fenrir::obs, the board is
+// observation only — nothing may read it back into analysis decisions.
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace fenrir::obs {
+
+class StatusBoard {
+ public:
+  /// Replaces (or creates) the fragment under @p key. @p json_fragment
+  /// must be a complete JSON value; it is embedded verbatim in render
+  /// output. Also stamps the board's last-publish instant (the /healthz
+  /// "last sweep age" signal).
+  void publish(std::string_view key, std::string json_fragment);
+
+  /// The current fragment under @p key, or nullptr. The returned string
+  /// is immutable and stays valid after later publishes.
+  std::shared_ptr<const std::string> fragment(std::string_view key) const;
+
+  /// Seconds since the most recent publish on any key; a negative value
+  /// when nothing has been published yet.
+  double last_publish_age_seconds() const;
+
+  /// {"key1":<fragment1>,"key2":<fragment2>,...} in sorted key order.
+  void write_json(std::ostream& out) const;
+
+  /// Drops every fragment and the last-publish stamp (tests).
+  void reset();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const std::string>, std::less<>>
+      fragments_;
+  bool any_publish_ = false;
+  std::chrono::steady_clock::time_point last_publish_{};
+};
+
+/// The process-wide board every publisher and the status server use.
+StatusBoard& status_board();
+
+}  // namespace fenrir::obs

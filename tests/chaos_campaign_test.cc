@@ -6,10 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "chaos/fault_plan.h"
 #include "core/pipeline.h"
+#include "obs/journal.h"
 #include "rng/rng.h"
 
 namespace fenrir::measure {
@@ -434,6 +438,78 @@ TEST(Campaign, KillRestartIsBitIdentical) {
   EXPECT_FALSE(completed.interrupted);  // the kill already fired
 
   expect_equal_results(completed, expected);
+}
+
+TEST(Campaign, JournalOfKilledCampaignIsPrefixOfUninterruptedJournal) {
+  // The sweep journal's integrity story (obs/journal.h) leans on the
+  // determinism invariant: a campaign killed mid-run must leave behind
+  // exactly the leading lines of the journal the uninterrupted campaign
+  // writes — nothing reordered, nothing half-written, and a resumed
+  // campaign appending to the same file completes it bit-identically.
+  const FnProber p = flaky_prober(50, 77, 0.6);
+  const auto ambient = [](chaos::FaultPlan& plan) {
+    plan.add_loss_burst(10, 40, 0.7);
+    plan.add_outage(1010, 0, 30);
+  };
+  chaos::FaultPlan baseline_plan(1);
+  ambient(baseline_plan);
+  chaos::FaultPlan killing_plan(1);
+  ambient(killing_plan);
+  killing_plan.add_kill(1, 0.4);
+
+  const std::string full_path =
+      ::testing::TempDir() + "fenrir_journal_full.jsonl";
+  const std::string killed_path =
+      ::testing::TempDir() + "fenrir_journal_killed.jsonl";
+  std::remove(full_path.c_str());
+  std::remove(killed_path.c_str());
+
+  obs::Journal full_journal;
+  ASSERT_TRUE(full_journal.open(full_path, /*truncate=*/true));
+  Campaign baseline({&p}, fast_config());
+  baseline.set_fault_plan(&baseline_plan);
+  baseline.set_journal(&full_journal);
+  baseline.run(4);
+  full_journal.close();
+
+  obs::Journal killed_journal;
+  ASSERT_TRUE(killed_journal.open(killed_path, /*truncate=*/true));
+  Campaign doomed({&p}, fast_config());
+  doomed.set_fault_plan(&killing_plan);
+  doomed.set_journal(&killed_journal);
+  const CampaignResult partial = doomed.run(4);
+  ASSERT_TRUE(partial.interrupted);
+  killed_journal.close();
+
+  const std::vector<std::string> full = obs::read_journal(full_path);
+  const std::vector<std::string> killed = obs::read_journal(killed_path);
+  ASSERT_FALSE(full.empty());
+  ASSERT_LT(killed.size(), full.size());
+  for (std::size_t i = 0; i < killed.size(); ++i) {
+    EXPECT_EQ(killed[i], full[i]) << "journal line " << i;
+  }
+
+  // Resume from a checkpoint, appending to the killed journal: the
+  // finished file must equal the uninterrupted journal line for line.
+  std::ostringstream checkpoint;
+  doomed.save_checkpoint(checkpoint);
+  obs::Journal resumed_journal;
+  ASSERT_TRUE(resumed_journal.open(killed_path, /*truncate=*/false));
+  Campaign resumed({&p}, fast_config());
+  resumed.set_fault_plan(&killing_plan);
+  std::istringstream in(checkpoint.str());
+  resumed.load_checkpoint(in);
+  resumed.set_journal(&resumed_journal);
+  resumed.run(4);
+  resumed_journal.close();
+
+  const std::vector<std::string> completed = obs::read_journal(killed_path);
+  ASSERT_EQ(completed.size(), full.size());
+  for (std::size_t i = 0; i < completed.size(); ++i) {
+    EXPECT_EQ(completed[i], full[i]) << "journal line " << i;
+  }
+  std::remove(full_path.c_str());
+  std::remove(killed_path.c_str());
 }
 
 TEST(Campaign, CheckpointRoundTripsBetweenSweeps) {

@@ -131,6 +131,32 @@ TEST(ParallelFor, DisjointWritesAreComplete) {
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
 }
 
+TEST(ParallelFor, WorkerSpansNestUnderTheDispatchSite) {
+  // The dispatching thread's span cursor rides through the job ticket
+  // (Job::span_parent + SpanParentScope), so spans opened inside
+  // parallel_for bodies — whether the body ran on the caller or on a
+  // pool worker — aggregate under the call-site span instead of rooting
+  // their own trees.
+  obs::set_profiling(true);
+  obs::reset_profile();
+  {
+    obs::Span dispatch("dispatch_site");
+    parallel_for(
+        64, [](std::size_t) { obs::Span inner("stride_work"); }, 4);
+  }
+  const auto entries = obs::profile_entries();
+  obs::set_profiling(false);
+  obs::reset_profile();
+
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "dispatch_site");
+  EXPECT_EQ(entries[0].depth, 0);
+  EXPECT_EQ(entries[0].count, 1u);
+  EXPECT_EQ(entries[1].name, "stride_work");
+  EXPECT_EQ(entries[1].depth, 1);  // child of dispatch_site, not a root
+  EXPECT_EQ(entries[1].count, 64u);
+}
+
 Dataset random_dataset(std::size_t obs, std::size_t nets,
                        std::uint64_t seed) {
   Dataset d;

@@ -1,0 +1,241 @@
+// Tests for the fenrir::obs status server: endpoint content, the HTTP
+// error taxonomy (400/404/405), ephemeral-port fallback when the
+// requested port is taken, concurrent clients, and clean shutdown even
+// with a silent client attached. A real socket client is used against a
+// real server on 127.0.0.1 — the server is simple enough that testing a
+// mock instead would test nothing.
+#include "obs/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/status_board.h"
+
+namespace fenrir::obs {
+namespace {
+
+/// Quiet logs (the server Warn-logs its port fallback by design).
+struct LogSilencer {
+  LogSilencer() { set_log_level(Level::kOff); }
+  ~LogSilencer() { set_log_level(Level::kInfo); }
+};
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Sends @p raw verbatim and reads the full response (server closes).
+std::string roundtrip(std::uint16_t port, const std::string& raw) {
+  const int fd = connect_to(port);
+  if (fd < 0) return "";
+  std::size_t sent = 0;
+  while (sent < raw.size()) {
+    const ssize_t n = ::send(fd, raw.data() + sent, raw.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string get(std::uint16_t port, const std::string& path) {
+  return roundtrip(port,
+                   "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n");
+}
+
+// --- render_endpoint (socketless) ---
+
+TEST(RenderEndpoint, MetricsIsPrometheusText) {
+  registry().counter("http_test_hits_total", "test counter").inc();
+  std::string body, type;
+  ASSERT_TRUE(render_endpoint("/metrics", body, type));
+  EXPECT_NE(type.find("text/plain"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE http_test_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("http_test_hits_total 1"), std::string::npos);
+}
+
+TEST(RenderEndpoint, HealthzReportsStatusAndAges) {
+  std::string body, type;
+  ASSERT_TRUE(render_endpoint("/healthz", body, type));
+  EXPECT_EQ(type, "application/json");
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"last_publish_age_seconds\":"), std::string::npos);
+}
+
+TEST(RenderEndpoint, StatusComposesBoardFragments) {
+  status_board().publish("http_test", "{\"alive\":true}");
+  std::string body, type;
+  ASSERT_TRUE(render_endpoint("/status", body, type));
+  EXPECT_EQ(type, "application/json");
+  EXPECT_NE(body.find("\"http_test\":{\"alive\":true}"), std::string::npos);
+}
+
+TEST(RenderEndpoint, ProfileIsSpanJson) {
+  std::string body, type;
+  ASSERT_TRUE(render_endpoint("/profile", body, type));
+  EXPECT_EQ(type, "application/json");
+  EXPECT_EQ(body.rfind("{\"spans\":[", 0), 0u);
+}
+
+TEST(RenderEndpoint, UnknownPathIsRejected) {
+  std::string body, type;
+  EXPECT_FALSE(render_endpoint("/", body, type));
+  EXPECT_FALSE(render_endpoint("/metricsx", body, type));
+  EXPECT_FALSE(render_endpoint("", body, type));
+}
+
+// --- the live server ---
+
+TEST(HttpServer, ServesEveryEndpointOnAnEphemeralPort) {
+  LogSilencer quiet;
+  HttpServer server;
+  ASSERT_TRUE(server.start(0));
+  EXPECT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  for (const char* path : {"/metrics", "/healthz", "/status", "/profile"}) {
+    const std::string response = get(server.port(), path);
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << path;
+    EXPECT_NE(response.find("Connection: close"), std::string::npos) << path;
+    EXPECT_NE(response.find("Content-Length: "), std::string::npos) << path;
+  }
+  const std::string health = get(server.port(), "/healthz");
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+
+TEST(HttpServer, QueryStringsAreStripped) {
+  LogSilencer quiet;
+  HttpServer server;
+  ASSERT_TRUE(server.start(0));
+  const std::string response = get(server.port(), "/healthz?verbose=1");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, ErrorTaxonomy) {
+  LogSilencer quiet;
+  HttpServer server;
+  ASSERT_TRUE(server.start(0));
+
+  EXPECT_NE(get(server.port(), "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(roundtrip(server.port(),
+                      "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(roundtrip(server.port(), "garbage\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  EXPECT_NE(roundtrip(server.port(), "GET /metrics\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, FallsBackToEphemeralWhenPortTaken) {
+  LogSilencer quiet;
+  HttpServer first;
+  ASSERT_TRUE(first.start(0));
+  ASSERT_NE(first.port(), 0);
+
+  HttpServer second;
+  ASSERT_TRUE(second.start(first.port()));  // taken → ephemeral fallback
+  EXPECT_TRUE(second.running());
+  EXPECT_NE(second.port(), 0);
+  EXPECT_NE(second.port(), first.port());
+
+  // Both keep serving.
+  EXPECT_NE(get(first.port(), "/healthz").find("200 OK"), std::string::npos);
+  EXPECT_NE(get(second.port(), "/healthz").find("200 OK"), std::string::npos);
+  second.stop();
+  first.stop();
+}
+
+TEST(HttpServer, ConcurrentClientsAllGetAnswers) {
+  LogSilencer quiet;
+  HttpServer server;
+  ASSERT_TRUE(server.start(0));
+  const std::uint64_t before = server.requests_served();
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsEach = 5;
+  std::vector<std::thread> clients;
+  std::vector<int> ok(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kRequestsEach; ++i) {
+        const std::string response = get(server.port(), "/metrics");
+        if (response.find("HTTP/1.1 200 OK") != std::string::npos) ++ok[t];
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(ok[t], kRequestsEach) << "client " << t;
+  }
+  EXPECT_GE(server.requests_served() - before,
+            static_cast<std::uint64_t>(kThreads * kRequestsEach));
+  server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable) {
+  LogSilencer quiet;
+  HttpServer server;
+  server.stop();  // never started: no-op
+  ASSERT_TRUE(server.start(0));
+  EXPECT_TRUE(server.start(0));  // already running: no-op success
+  server.stop();
+  server.stop();  // double stop: no-op
+  ASSERT_TRUE(server.start(0));  // restart binds a fresh socket
+  EXPECT_NE(get(server.port(), "/healthz").find("200 OK"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServer, ShutsDownCleanlyWithASilentClientAttached) {
+  LogSilencer quiet;
+  HttpServer server;
+  ASSERT_TRUE(server.start(0));
+  // Connect and send nothing: the serving thread must not wedge on this
+  // client when asked to stop (the read loop checks stop_ every tick).
+  const int fd = connect_to(server.port());
+  ASSERT_GE(fd, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();  // must return; the ctest timeout is the failure mode
+  EXPECT_FALSE(server.running());
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace fenrir::obs

@@ -1,0 +1,154 @@
+// Tests for the fenrir::obs sweep journal: append/flush round trips,
+// truncate-vs-append open modes, the torn-tail drop rule (a kill
+// mid-append must read back as "not written"), and the hard line drawn
+// at interior corruption.
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+
+namespace fenrir::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "fenrir_journal_" + name;
+}
+
+struct FileCleaner {
+  explicit FileCleaner(std::string p) : path(std::move(p)) {
+    std::remove(path.c_str());
+  }
+  ~FileCleaner() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(Journal, AppendedLinesRoundTrip) {
+  FileCleaner f(temp_path("roundtrip.jsonl"));
+  Journal j;
+  ASSERT_TRUE(j.open(f.path, /*truncate=*/true));
+  EXPECT_TRUE(j.is_open());
+  EXPECT_EQ(j.path(), f.path);
+  j.append("{\"type\":\"sweep\",\"sweep\":0}");
+  j.append("{\"type\":\"breaker\",\"target\":3}");
+  j.append("{\"type\":\"sweep\",\"sweep\":1}");
+  EXPECT_EQ(j.lines_written(), 3u);
+  j.close();
+  EXPECT_FALSE(j.is_open());
+
+  const std::vector<std::string> lines = read_journal(f.path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"type\":\"sweep\",\"sweep\":0}");
+  EXPECT_EQ(lines[1], "{\"type\":\"breaker\",\"target\":3}");
+  EXPECT_EQ(lines[2], "{\"type\":\"sweep\",\"sweep\":1}");
+}
+
+TEST(Journal, EntriesSurviveWithoutCloseBecauseAppendFlushes) {
+  FileCleaner f(temp_path("flush.jsonl"));
+  Journal j;
+  ASSERT_TRUE(j.open(f.path, /*truncate=*/true));
+  j.append("{\"a\":1}");
+  // Read back while the journal is still open — append() flushed, so a
+  // kill at this point would not lose the entry.
+  const std::vector<std::string> lines = read_journal(f.path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"a\":1}");
+}
+
+TEST(Journal, AppendModeExtendsTruncateModeReplaces) {
+  FileCleaner f(temp_path("modes.jsonl"));
+  {
+    Journal j;
+    ASSERT_TRUE(j.open(f.path, /*truncate=*/true));
+    j.append("{\"run\":1}");
+  }
+  {
+    Journal j;  // resumed campaign: append
+    ASSERT_TRUE(j.open(f.path, /*truncate=*/false));
+    j.append("{\"run\":2}");
+  }
+  EXPECT_EQ(read_journal(f.path).size(), 2u);
+  {
+    Journal j;  // fresh campaign: truncate
+    ASSERT_TRUE(j.open(f.path, /*truncate=*/true));
+    j.append("{\"run\":3}");
+  }
+  const std::vector<std::string> lines = read_journal(f.path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"run\":3}");
+}
+
+TEST(Journal, UnterminatedTailIsDropped) {
+  FileCleaner f(temp_path("torn1.jsonl"));
+  {
+    std::ofstream out(f.path);
+    out << "{\"sweep\":0}\n{\"sweep\":1}\n{\"swee";  // killed mid-append
+  }
+  const std::vector<std::string> lines = read_journal(f.path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "{\"sweep\":1}");
+}
+
+TEST(Journal, TerminatedButIncompleteTailIsDropped) {
+  FileCleaner f(temp_path("torn2.jsonl"));
+  {
+    std::ofstream out(f.path);
+    out << "{\"sweep\":0}\n{\"sweep\":\n";  // newline made it, braces didn't
+  }
+  const std::vector<std::string> lines = read_journal(f.path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"sweep\":0}");
+}
+
+TEST(Journal, InteriorCorruptionThrows) {
+  FileCleaner f(temp_path("corrupt.jsonl"));
+  {
+    std::ofstream out(f.path);
+    out << "{\"sweep\":0}\nnot json at all\n{\"sweep\":2}\n";
+  }
+  EXPECT_THROW(read_journal(f.path), JournalError);
+}
+
+TEST(Journal, MissingFileThrows) {
+  EXPECT_THROW(read_journal(temp_path("never_written.jsonl")), JournalError);
+}
+
+TEST(Journal, EmptyFileReadsEmpty) {
+  FileCleaner f(temp_path("empty.jsonl"));
+  { std::ofstream out(f.path); }
+  EXPECT_TRUE(read_journal(f.path).empty());
+}
+
+TEST(Journal, UnopenableJournalIsInert) {
+  set_log_level(Level::kOff);  // the failed open Warn-logs by design
+  Journal j;
+  EXPECT_FALSE(j.open(temp_path("no_such_dir/x.jsonl")));
+  set_log_level(Level::kInfo);
+  EXPECT_FALSE(j.is_open());
+  j.append("{\"lost\":true}");  // must be a silent no-op, not a crash
+  EXPECT_EQ(j.lines_written(), 0u);
+  j.close();  // also a no-op
+}
+
+TEST(Journal, ReopenResetsLineCount) {
+  FileCleaner f(temp_path("reopen.jsonl"));
+  Journal j;
+  ASSERT_TRUE(j.open(f.path, /*truncate=*/true));
+  j.append("{\"a\":1}");
+  j.append("{\"a\":2}");
+  EXPECT_EQ(j.lines_written(), 2u);
+  ASSERT_TRUE(j.open(f.path, /*truncate=*/false));  // implicit close
+  EXPECT_EQ(j.lines_written(), 0u);
+  j.append("{\"a\":3}");
+  EXPECT_EQ(j.lines_written(), 1u);
+  j.close();
+  EXPECT_EQ(read_journal(f.path).size(), 3u);
+}
+
+}  // namespace
+}  // namespace fenrir::obs

@@ -2,14 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/pipeline.h"
 #include "core/vector.h"
+#include "obs/build_info.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/status_board.h"
 
 namespace fenrir {
 namespace {
@@ -205,6 +208,146 @@ TEST(Metrics, PrometheusExposition) {
   EXPECT_NE(s.find("fenrir_test_seconds_count 3"), std::string::npos);
 }
 
+TEST(Metrics, ExpositionEscapingFunctions) {
+  EXPECT_EQ(obs::escape_help("plain"), "plain");
+  EXPECT_EQ(obs::escape_help("a\\b\nc"), "a\\\\b\\nc");
+  // HELP text does NOT escape quotes (the grammar keeps them literal).
+  EXPECT_EQ(obs::escape_help("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(obs::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST(Metrics, LabeledSeriesShareOneFamilyHeader) {
+  obs::Registry r;
+  r.counter("req_total", obs::Labels{{"code", "200"}}, "requests by code")
+      .inc(3);
+  r.counter("req_total", obs::Labels{{"code", "404"}}).inc();
+  std::ostringstream out;
+  r.write_prometheus(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("# HELP req_total requests by code"), std::string::npos);
+  EXPECT_NE(s.find("# TYPE req_total counter"), std::string::npos);
+  EXPECT_NE(s.find("req_total{code=\"200\"} 3"), std::string::npos);
+  EXPECT_NE(s.find("req_total{code=\"404\"} 1"), std::string::npos);
+  // Exactly one HELP and one TYPE line for the family.
+  EXPECT_EQ(s.find("# TYPE req_total"), s.rfind("# TYPE req_total"));
+  EXPECT_EQ(s.find("# HELP req_total"), s.rfind("# HELP req_total"));
+  // Same name+labels returns the same series; different labels do not.
+  EXPECT_EQ(&r.counter("req_total", obs::Labels{{"code", "200"}}),
+            &r.counter("req_total", obs::Labels{{"code", "200"}}));
+  EXPECT_NE(&r.counter("req_total", obs::Labels{{"code", "200"}}),
+            &r.counter("req_total", obs::Labels{{"code", "404"}}));
+}
+
+TEST(Metrics, LabelValuesAndHelpAreEscaped) {
+  obs::Registry r;
+  r.gauge("weird", obs::Labels{{"v", "a\\b\"c\nd"}}, "help \\ with\nnewline")
+      .set(1.0);
+  std::ostringstream out;
+  r.write_prometheus(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("# HELP weird help \\\\ with\\nnewline"),
+            std::string::npos);
+  EXPECT_NE(s.find("weird{v=\"a\\\\b\\\"c\\nd\"} 1"), std::string::npos);
+  // The raw newline must not survive into the exposition stream.
+  EXPECT_EQ(s.find("with\nnewline"), std::string::npos);
+}
+
+TEST(Metrics, LabeledFamilyKindIsConsistent) {
+  obs::Registry r;
+  r.counter("fam_total", obs::Labels{{"a", "1"}});
+  EXPECT_THROW(r.gauge("fam_total", obs::Labels{{"a", "2"}}),
+               std::logic_error);
+  EXPECT_THROW(r.gauge("fam_total"), std::logic_error);
+}
+
+TEST(Metrics, ExpositionMatchesGrammar) {
+  // Every line of the exposition must be a comment (HELP/TYPE) or a
+  // sample: metric_name{labels} value — the subset of the Prometheus
+  // text-format grammar this writer emits.
+  obs::Registry r;
+  r.counter("fenrir_a_total", "counts").inc(2);
+  r.gauge("fenrir_b_ratio").set(0.25);
+  r.gauge("fenrir_build_info",
+          obs::Labels{{"sha", "abc123"}, {"type", "Release\\x \"q\""}},
+          "identity")
+      .set(1.0);
+  r.histogram("fenrir_c_seconds", {0.1, 1.0}, "latencies").observe(0.5);
+  std::ostringstream out;
+  r.write_prometheus(out);
+
+  const std::regex help_re(R"(^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$)");
+  const std::regex type_re(
+      R"(^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$)");
+  const std::regex sample_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (\+Inf|-?[0-9.eE+-]+)$)");
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t samples = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    const bool ok = std::regex_match(line, help_re) ||
+                    std::regex_match(line, type_re) ||
+                    std::regex_match(line, sample_re);
+    EXPECT_TRUE(ok) << "line violates exposition grammar: " << line;
+    if (line[0] != '#') ++samples;
+  }
+  // 1 counter + 1 gauge + 1 labeled gauge + histogram (2 buckets + +Inf
+  // + sum + count) = 8 sample lines.
+  EXPECT_EQ(samples, 8u);
+}
+
+TEST(StatusBoard, PublishFragmentAndAge) {
+  obs::StatusBoard board;
+  EXPECT_EQ(board.last_publish_age_seconds(), -1.0);
+  EXPECT_EQ(board.fragment("campaign"), nullptr);
+  board.publish("campaign", "{\"sweeps\":3}");
+  ASSERT_NE(board.fragment("campaign"), nullptr);
+  EXPECT_EQ(*board.fragment("campaign"), "{\"sweeps\":3}");
+  EXPECT_GE(board.last_publish_age_seconds(), 0.0);
+  // Re-publishing swaps; old shared_ptr snapshots stay readable.
+  const auto old = board.fragment("campaign");
+  board.publish("campaign", "{\"sweeps\":4}");
+  EXPECT_EQ(*old, "{\"sweeps\":3}");
+  EXPECT_EQ(*board.fragment("campaign"), "{\"sweeps\":4}");
+  EXPECT_EQ(board.size(), 1u);
+  board.reset();
+  EXPECT_EQ(board.size(), 0u);
+  EXPECT_EQ(board.last_publish_age_seconds(), -1.0);
+}
+
+TEST(StatusBoard, WriteJsonComposesFragments) {
+  obs::StatusBoard board;
+  board.publish("b_second", "{\"x\":1}");
+  board.publish("a_first", "[1,2]");
+  std::ostringstream out;
+  board.write_json(out);
+  // Keys sorted, fragments embedded verbatim.
+  EXPECT_EQ(out.str(), "{\"a_first\":[1,2],\"b_second\":{\"x\":1}}");
+  std::ostringstream empty;
+  obs::StatusBoard().write_json(empty);
+  EXPECT_EQ(empty.str(), "{}");
+}
+
+TEST(BuildInfo, IdentityIsPopulatedEverywhere) {
+  const obs::BuildInfo& info = obs::build_info();
+  EXPECT_NE(info.version, nullptr);
+  EXPECT_STRNE(info.version, "");
+  const std::string s = obs::build_info_string();
+  EXPECT_EQ(s.rfind("fenrir ", 0), 0u);
+  EXPECT_NE(s.find(info.git_sha), std::string::npos);
+  EXPECT_NE(s.find(info.build_type), std::string::npos);
+
+  obs::register_build_info_metric();
+  std::ostringstream out;
+  obs::registry().write_prometheus(out);
+  const std::string prom = out.str();
+  EXPECT_NE(prom.find("fenrir_build_info{version=\""), std::string::npos);
+  EXPECT_NE(prom.find("git_sha=\""), std::string::npos);
+  // Registration is idempotent.
+  obs::register_build_info_metric();
+}
+
 TEST(Metrics, CsvAndJsonExposition) {
   obs::Registry r;
   r.counter("c_total").inc(3);
@@ -295,6 +438,29 @@ TEST(Span, WriteProfileRendersTree) {
   EXPECT_NE(s.find("Fenrir profile"), std::string::npos);
   EXPECT_NE(s.find("analyze"), std::string::npos);
   EXPECT_NE(s.find("  phi_matrix"), std::string::npos);
+}
+
+TEST(Span, WriteProfileJsonIsFlattenedTree) {
+  ObsGuard guard;
+  obs::set_profiling(true);
+  {
+    obs::Span outer("analyze");
+    obs::Span inner("phi_matrix");
+  }
+  std::ostringstream out;
+  obs::write_profile_json(out);
+  const std::string s = out.str();
+  EXPECT_EQ(s.rfind("{\"spans\":[", 0), 0u);
+  EXPECT_NE(s.find("\"name\":\"analyze\",\"depth\":0,\"count\":1"),
+            std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"phi_matrix\",\"depth\":1,\"count\":1"),
+            std::string::npos);
+  EXPECT_NE(s.find("\"total_seconds\":"), std::string::npos);
+
+  obs::reset_profile();
+  std::ostringstream empty;
+  obs::write_profile_json(empty);
+  EXPECT_EQ(empty.str(), "{\"spans\":[]}");
 }
 
 core::Dataset pipeline_dataset() {

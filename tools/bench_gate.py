@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare a fresh BENCH_core.json against the
+committed baseline and fail on a real kernel slowdown.
+
+Usage:
+    bench_gate.py BASELINE.json CURRENT.json [--threshold 1.30]
+                  [--summary OUT.md]
+
+The two files are metric-registry JSON dumps from bench/micro_core
+(gauges named bench_core_<bench>_real_ns). Raw wall times are not
+comparable across machines — the committed baseline comes from whatever
+box last regenerated it, CI runs on something else entirely. The gate
+therefore calibrates first: it computes current/baseline ratios for
+*every* shared _real_ns gauge, takes the median ratio as the machine
+speed factor, and divides it out. A uniformly slower runner moves every
+ratio the same way and cancels; a single regressing kernel stands out
+against the fleet.
+
+Only the similarity kernels are gated (BM_Gower*, BM_SimilarityMatrix*):
+they are the paper-relevant hot path, they run long enough to be stable
+at --benchmark_min_time=0.01s, and they have no allocation noise. The
+other benches are reported in the table but never fail the gate.
+
+Exit codes: 0 pass, 1 regression, 2 usage/unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+# Gated benches: the Φ kernel hot path. Everything else is informational.
+GATED_PREFIXES = ("bench_core_BM_Gower", "bench_core_BM_SimilarityMatrix")
+SUFFIX = "_real_ns"
+
+
+def load_real_ns(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_gate: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    gauges = data.get("gauges", {})
+    out = {
+        name: value
+        for name, value in gauges.items()
+        if name.endswith(SUFFIX) and isinstance(value, (int, float)) and value > 0
+    }
+    if not out:
+        print(f"bench_gate: no {SUFFIX} gauges in {path}", file=sys.stderr)
+        sys.exit(2)
+    return out
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def short_name(gauge):
+    name = gauge[len("bench_core_"):] if gauge.startswith("bench_core_") else gauge
+    return name[: -len(SUFFIX)] if name.endswith(SUFFIX) else name
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=1.30,
+                        help="normalized ratio above which a gated bench "
+                             "fails (default 1.30 = +30%%)")
+    parser.add_argument("--summary", default=None,
+                        help="write the comparison as a markdown table here "
+                             "(for CI job summaries)")
+    args = parser.parse_args()
+
+    base = load_real_ns(args.baseline)
+    cur = load_real_ns(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("bench_gate: baseline and current share no benches",
+              file=sys.stderr)
+        sys.exit(2)
+
+    ratios = {name: cur[name] / base[name] for name in shared}
+    speed = median(ratios.values())  # machine-speed calibration factor
+
+    rows = []
+    failures = []
+    for name in shared:
+        normalized = ratios[name] / speed
+        gated = name.startswith(GATED_PREFIXES)
+        verdict = "ok"
+        if gated and normalized > args.threshold:
+            verdict = "REGRESSION"
+            failures.append((name, normalized))
+        elif not gated:
+            verdict = "info"
+        rows.append((short_name(name), base[name], cur[name], ratios[name],
+                     normalized, verdict))
+
+    header = (f"bench gate: {len(shared)} shared benches, "
+              f"median speed factor {speed:.3f}, "
+              f"threshold {args.threshold:.2f} "
+              f"({len([r for r in rows if r[5] != 'info'])} gated)")
+    print(header)
+    for name, b, c, raw, norm, verdict in rows:
+        print(f"  {name:<44} {b:>14.0f} -> {c:>14.0f} ns"
+              f"  raw x{raw:.3f}  norm x{norm:.3f}  {verdict}")
+
+    if args.summary:
+        with open(args.summary, "w") as f:
+            f.write("### Bench gate\n\n")
+            f.write(f"{header}\n\n")
+            f.write("| bench | baseline ns | current ns | raw ratio "
+                    "| normalized | verdict |\n")
+            f.write("|---|---:|---:|---:|---:|---|\n")
+            for name, b, c, raw, norm, verdict in rows:
+                mark = "**REGRESSION**" if verdict == "REGRESSION" else verdict
+                f.write(f"| {name} | {b:.0f} | {c:.0f} | {raw:.3f} "
+                        f"| {norm:.3f} | {mark} |\n")
+
+    if failures:
+        print("bench_gate: FAIL — kernel wall-time regression "
+              f"(>{(args.threshold - 1) * 100:.0f}% after machine-speed "
+              "normalization):", file=sys.stderr)
+        for name, norm in failures:
+            print(f"  {short_name(name)}: x{norm:.3f}", file=sys.stderr)
+        print("  (rerun locally with: cmake --build build && "
+              "build/bench/micro_core --benchmark_min_time=0.01s; "
+              "label the PR skip-bench-gate to override)", file=sys.stderr)
+        sys.exit(1)
+    print("bench_gate: PASS")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,11 @@
 //   fenrirctl clean in.csv out.csv        interpolate gaps, fold micros
 //   fenrirctl compare data.csv T1 T2      Gower phi between two instants
 //   fenrirctl transitions data.csv T1 T2  the Table-3 style matrix
+//   fenrirctl journal file.jsonl          replay a sweep journal (see
+//                                         src/obs/journal.h); summarizes
+//                                         sweeps and breaker transitions
+//   fenrirctl --version                   build identity (version, git
+//                                         sha, build type, sanitizers)
 //
 // analyze options:
 //   --known-only          known-only unknown policy (default pessimistic)
@@ -49,11 +54,28 @@
 //                         .csv/.json
 //   --profile             print the span-tree wall-time profile to
 //                         stderr (stdout output stays byte-identical)
+//   --trace-out FILE      record span begin/end events and write them as
+//                         Chrome trace JSON (chrome://tracing, Perfetto)
+//   --status-port N       serve GET /metrics /healthz /status /profile
+//                         on 127.0.0.1:N while the command runs (0 =
+//                         ephemeral; also via FENRIR_STATUS_PORT; if N
+//                         is taken an ephemeral port replaces it)
+//   --status-port-file F  write the actually bound status port to F, so
+//                         scripts need not parse logs
+//   --serve               keep the status server (and the process) alive
+//                         after the command until SIGINT/SIGTERM
+//   --journal FILE        watch only: append one JSONL entry per
+//                         observation (replay with `fenrirctl journal`)
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cleaning.h"
@@ -67,9 +89,14 @@
 #include "io/table.h"
 #include "measure/verfploeter.h"
 #include "netbase/hitlist.h"
+#include "obs/build_info.h"
+#include "obs/http_server.h"
+#include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "obs/status_board.h"
+#include "obs/trace_export.h"
 #include "scenarios/world.h"
 
 using namespace fenrir;
@@ -77,10 +104,15 @@ using namespace fenrir;
 namespace {
 
 int usage() {
-  std::cerr << "usage: fenrirctl <demo|info|analyze|watch|clean|compare|transitions> "
+  std::cerr << "usage: fenrirctl "
+               "<demo|info|analyze|watch|clean|compare|transitions|journal> "
                "...\n(see the header of tools/fenrirctl.cpp for options)\n";
   return 2;
 }
+
+std::atomic<bool> g_shutdown{false};
+
+void handle_shutdown_signal(int) { g_shutdown.store(true); }
 
 struct Args {
   std::vector<std::string> positional;
@@ -108,7 +140,9 @@ Args parse_args(int argc, char** argv, int first) {
            flag == "--heatmap" || flag == "--heatmap-csv" ||
            flag == "--stack" || flag == "--limit" || flag == "--micro" ||
            flag == "--log-level" || flag == "--metrics" ||
-           flag == "--resume";
+           flag == "--resume" || flag == "--trace-out" ||
+           flag == "--status-port" || flag == "--status-port-file" ||
+           flag == "--journal";
   };
   Args out;
   for (int i = first; i < argc; ++i) {
@@ -401,6 +435,14 @@ int cmd_watch(const Args& args) {
               << book.mode_count() << " known modes\n";
   }
 
+  // --journal FILE: one JSONL entry per observation, flushed as it is
+  // written (obs/journal.h). A fresh watch truncates; a resumed one
+  // appends, continuing the existing record.
+  obs::Journal journal;
+  if (const auto path = args.get("--journal", ""); !path.empty()) {
+    journal.open(path, /*truncate=*/start == 0);
+  }
+
   for (std::size_t i = start; i < data.series.size(); ++i) {
     const core::RoutingVector& v = data.series[i];
     const auto match = book.observe(v);
@@ -414,12 +456,85 @@ int cmd_watch(const Args& args) {
       std::cout << "  RECURRENCE";
     }
     std::cout << "\n";
+    if (journal.is_open()) {
+      std::ostringstream os;
+      os << "{\"type\":\"watch\",\"time\":" << v.time
+         << ",\"mode\":" << match.mode
+         << ",\"phi\":" << obs::render_double(match.phi)
+         << ",\"valid\":" << (v.valid ? "true" : "false")
+         << ",\"is_new\":" << (match.is_new ? "true" : "false")
+         << ",\"is_recurrence\":" << (match.is_recurrence ? "true" : "false")
+         << "}";
+      journal.append(os.str());
+    }
+    obs::status_board().publish("modebook", book.status_json());
   }
   std::cout << book.mode_count() << " modes over " << book.history().size()
             << " observations\n";
+  // Publish once even when every observation was already processed, so
+  // /status has a modebook fragment under --serve.
+  obs::status_board().publish("modebook", book.status_json());
   if (!state_path.empty()) {
     save_watch_state(data, book, data.series.size(), state_path);
   }
+  return 0;
+}
+
+/// Pulls the numeric or bare-literal value of "key": out of a flat JSON
+/// object line — enough for the journal's own writer-side format, not a
+/// general parser.
+std::string json_field(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = line.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t from = at + needle.size();
+  std::size_t to = from;
+  if (to < line.size() && line[to] == '"') {
+    ++from;
+    to = line.find('"', from);
+    return to == std::string::npos ? "" : line.substr(from, to - from);
+  }
+  while (to < line.size() && line[to] != ',' && line[to] != '}') ++to;
+  return line.substr(from, to - from);
+}
+
+int cmd_journal(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  std::vector<std::string> lines;
+  try {
+    lines = obs::read_journal(args.positional[0]);
+  } catch (const obs::JournalError& e) {
+    // Unreadable or corrupt journal files sit in the same taxonomy slot
+    // as malformed datasets: exit code 3.
+    throw core::DatasetIoError(e.what());
+  }
+
+  io::TextTable table;
+  table.header({"sweep", "answered", "retried-out", "broken", "unrouted",
+                "retries", "coverage", "valid"});
+  std::size_t sweeps = 0, breakers = 0, watches = 0, other = 0;
+  for (const std::string& line : lines) {
+    const std::string type = json_field(line, "type");
+    if (type == "sweep") {
+      ++sweeps;
+      table.row(json_field(line, "sweep"), json_field(line, "answered"),
+                json_field(line, "retried_out"), json_field(line, "broken"),
+                json_field(line, "unrouted"), json_field(line, "retries"),
+                json_field(line, "coverage"), json_field(line, "valid"));
+    } else if (type == "breaker") {
+      ++breakers;
+    } else if (type == "watch") {
+      ++watches;
+    } else {
+      ++other;
+    }
+  }
+  if (sweeps > 0) table.print(std::cout);
+  std::cout << lines.size() << " journal entries: " << sweeps << " sweeps, "
+            << breakers << " breaker transitions, " << watches
+            << " watch observations";
+  if (other > 0) std::cout << ", " << other << " other";
+  std::cout << "\n";
   return 0;
 }
 
@@ -489,6 +604,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "clean") return cmd_clean(args);
   if (cmd == "compare") return cmd_compare(args);
   if (cmd == "transitions") return cmd_transitions(args);
+  if (cmd == "journal") return cmd_journal(args);
   return usage();
 }
 
@@ -516,7 +632,9 @@ void register_metric_catalog() {
         "fenrir_campaign_breaker_skips_total",
         "fenrir_campaign_low_coverage_sweeps_total",
         "fenrir_campaign_quorum_disagreements_total",
-        "fenrir_campaign_resumes_total", "fenrir_watch_resumes_total"}) {
+        "fenrir_campaign_resumes_total", "fenrir_watch_resumes_total",
+        "fenrir_status_requests_total", "fenrir_journal_lines_total",
+        "fenrir_trace_events_dropped_total"}) {
     r.counter(name);
   }
   for (const char* name :
@@ -549,6 +667,10 @@ bool write_metrics_file(const std::string& path) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (cmd == "--version" || cmd == "version") {
+    std::cout << obs::build_info_string() << "\n";
+    return 0;
+  }
   obs::init_log_from_env();
   try {
     const Args args = parse_args(argc, argv, 2);
@@ -560,12 +682,79 @@ int main(int argc, char** argv) {
       }
     }
     if (args.has("--profile")) obs::set_profiling(true);
+    if (args.has("--trace-out")) obs::set_tracing(true);
     if (args.has("--metrics")) register_metric_catalog();
+    obs::register_build_info_metric();
+    {
+      const obs::BuildInfo& info = obs::build_info();
+      FENRIR_LOG(Info)
+              .field("version", info.version)
+              .field("git_sha", info.git_sha)
+              .field("build_type", info.build_type)
+              .field("sanitize", info.sanitize)
+          << "fenrirctl starting";
+    }
+
+    // Live introspection plane: --status-port N (or FENRIR_STATUS_PORT)
+    // serves /metrics /healthz /status /profile while the command runs.
+    obs::HttpServer server;
+    std::string port_spec = args.get("--status-port", "");
+    if (port_spec.empty()) {
+      if (const char* env = std::getenv("FENRIR_STATUS_PORT")) {
+        port_spec = env;
+      }
+    }
+    const bool want_server = !port_spec.empty();
+    if (want_server) {
+      long port = -1;
+      try {
+        port = std::stol(port_spec);
+      } catch (const std::exception&) {
+        port = -1;  // falls into the range check → usage error
+      }
+      if (port < 0 || port > 65535) {
+        std::cerr << "fenrirctl: bad status port '" << port_spec << "'\n";
+        return 2;
+      }
+      if (server.start(static_cast<std::uint16_t>(port))) {
+        if (const auto path = args.get("--status-port-file", "");
+            !path.empty()) {
+          std::ofstream out(path);
+          out << server.port() << "\n";
+        }
+      }
+    }
+
+    // Install the shutdown handlers before dispatch: a SIGTERM that
+    // lands while the command is still running must mean "finish and
+    // shut down", not "die with the default action" — scripts curl the
+    // server as soon as the port file appears, which can be mid-command.
+    if (args.has("--serve") && server.running()) {
+      std::signal(SIGINT, handle_shutdown_signal);
+      std::signal(SIGTERM, handle_shutdown_signal);
+    }
+
     int rc = dispatch(cmd, args);
+
+    // --serve: the command is done but the status server stays up for
+    // inspection until SIGINT/SIGTERM (the smoke test's curl window).
+    if (args.has("--serve") && server.running()) {
+      while (!g_shutdown.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    }
+    server.stop();
+
     // Telemetry goes to its own sinks (file / stderr) so the command's
     // stdout stays byte-identical with or without these flags.
     if (const auto path = args.get("--metrics", ""); !path.empty()) {
       if (!write_metrics_file(path) && rc == 0) rc = 3;
+    }
+    if (const auto path = args.get("--trace-out", ""); !path.empty()) {
+      if (!obs::write_trace_json_file(path)) {
+        std::cerr << "fenrirctl: cannot write trace file " << path << "\n";
+        if (rc == 0) rc = 3;
+      }
     }
     if (args.has("--profile")) obs::write_profile(std::cerr);
     return rc;
