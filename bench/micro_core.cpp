@@ -18,7 +18,9 @@
 #include "core/compare.h"
 #include "core/compare_kernels.h"
 #include "core/events.h"
+#include "core/modebook.h"
 #include "core/transition.h"
+#include "io/snapshot.h"
 #include "obs/metrics.h"
 #include "rng/rng.h"
 
@@ -216,6 +218,127 @@ void BM_SimilarityMatrixAppend(benchmark::State& state) {
                           static_cast<std::int64_t>((t + 1) * n));
 }
 BENCHMARK(BM_SimilarityMatrixAppend)->Args({64, 10'000})->Args({256, 10'000});
+
+// The paper's recurrence itself: two routing modes alternating in
+// blocks of 8 observations. Within a block consecutive sweeps differ by
+// 0.1% of networks; a mode returns within ~1% of its previous block
+// (intra-mode churn), while the other mode is a near-total rewrite. The
+// predecessor-only delta path pays a packed-kernel row at every block
+// boundary; anchored chains patch the return from the old mode's
+// representative row.
+core::Dataset periodic_dataset(std::size_t obs, std::size_t nets) {
+  core::Dataset d;
+  d.name = "bench-periodic";
+  for (std::size_t i = 0; i < nets; ++i) d.networks.intern(i);
+  for (int s = 0; s < 8; ++s) d.sites.intern("s" + std::to_string(s));
+  rng::Rng r(43);
+  core::RoutingVector modes[2] = {random_vector(nets, 8, 44, 0.1),
+                                  random_vector(nets, 8, 45, 0.1)};
+  const std::size_t flips = nets / 1000;  // 0.1% per step, ~1% per block
+  for (std::size_t t = 0; t < obs; ++t) {
+    core::RoutingVector& m = modes[(t / 8) % 2];
+    m.time = static_cast<core::TimePoint>(t) * core::kDay;
+    d.series.push_back(m);
+    for (std::size_t k = 0; k < flips; ++k) {
+      m.assignment[r.uniform(nets)] = static_cast<core::SiteId>(
+          core::kFirstRealSite + r.uniform(8));
+    }
+  }
+  return d;
+}
+
+void BM_SimilarityMatrixPeriodic(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto d = periodic_dataset(t, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimilarityMatrix::compute(
+        d, core::UnknownPolicy::kPessimistic, /*threads=*/1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t * (t + 1) / 2 * n));
+}
+BENCHMARK(BM_SimilarityMatrixPeriodic)->Args({512, 10'000});
+
+// The same series limited to the single-predecessor anchor of earlier
+// builds: every return to a mode falls off the delta path. The ratio to
+// BM_SimilarityMatrixPeriodic is the win of anchored chains.
+void BM_SimilarityMatrixPeriodicPredecessor(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto d = periodic_dataset(t, n);
+  for (auto _ : state) {
+    core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+    m.set_anchor_limits(1, 0);
+    for (const core::RoutingVector& v : d.series) m.append(v);
+    benchmark::DoNotOptimize(m.phi(t - 1, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t * (t + 1) / 2 * n));
+}
+BENCHMARK(BM_SimilarityMatrixPeriodicPredecessor)->Args({512, 10'000});
+
+void BM_SimilarityMatrixPeriodicScalar(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto d = periodic_dataset(t, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SimilarityMatrix::compute_reference(d));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t * (t + 1) / 2 * n));
+}
+BENCHMARK(BM_SimilarityMatrixPeriodicScalar)->Args({512, 10'000});
+
+// What `fenrirctl watch` pays in the ModeBook per tick: classify one
+// observation against the known representatives on the packed kernels.
+void BM_ModeBookObserve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto d = periodic_dataset(64, n);
+  for (auto _ : state) {
+    core::ModeBook book;
+    for (const core::RoutingVector& v : d.series) {
+      benchmark::DoNotOptimize(book.observe(v));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(64 * n));
+}
+BENCHMARK(BM_ModeBookObserve)->Arg(20'000)->Arg(100'000);
+
+// The resume acceptance pair: decoding a snapshot of a long watch's
+// matrix versus growing the same matrix from scratch. Both produce the
+// identical object; the snapshot is O(bytes).
+void BM_SnapshotLoad(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto d = low_churn_dataset(t, n, 0.01);
+  core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+  for (const core::RoutingVector& v : d.series) m.append(v);
+  io::Snapshot snap;
+  snap.processed = t;
+  snap.prefix_hash = io::dataset_prefix_hash(d, t);
+  snap.matrix = std::move(m);
+  const std::string bytes = io::encode_snapshot(snap);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::decode_snapshot(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_SnapshotLoad)->Args({2'000, 1'000});
+
+void BM_SnapshotRecompute(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto d = low_churn_dataset(t, n, 0.01);
+  for (auto _ : state) {
+    core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+    for (const core::RoutingVector& v : d.series) m.append(v);
+    benchmark::DoNotOptimize(m.phi(t - 1, 0));
+  }
+}
+BENCHMARK(BM_SnapshotRecompute)->Args({2'000, 1'000});
 
 void BM_SlinkDendrogram(benchmark::State& state) {
   const auto d = random_dataset(static_cast<std::size_t>(state.range(0)),

@@ -1,0 +1,27 @@
+#include "chaos/killpoint.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace fenrir::chaos {
+
+std::optional<std::size_t> kill_save_threshold() {
+  const char* env = std::getenv("FENRIR_CHAOS_KILL_SAVE");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  try {
+    return static_cast<std::size_t>(std::stoull(env));
+  } catch (const std::exception&) {
+    return std::nullopt;  // an unparsable schedule arms nothing
+  }
+}
+
+void maybe_kill_during_save(std::size_t bytes_written) {
+  const auto threshold = kill_save_threshold();
+  if (threshold && bytes_written >= *threshold) {
+    _exit(137);
+  }
+}
+
+}  // namespace fenrir::chaos

@@ -1,0 +1,36 @@
+// fenrir::chaos — scheduled process kills inside file saves.
+//
+// The atomic writers (io/snapshot.h) promise that a crash mid-save never
+// tears the file being replaced: the bytes go to a temp file and the old
+// state survives until the final rename. fault_plan.h can kill a sweep;
+// this header lets a test kill the *save itself* at a chosen byte
+// offset, which is the only way to exercise that promise for real — the
+// process dies with the temp file half-written and the assertion is that
+// the previous state file still loads.
+//
+// The schedule comes from the environment so death tests (and the
+// fenrirctl chaos ctest) can arm it in a child process:
+//
+//   FENRIR_CHAOS_KILL_SAVE=<N>   _exit(137) once a save has written >= N
+//                                bytes (0 kills before the first byte)
+//
+// The variable is re-read on every save (never cached) — gtest death
+// tests set it between forks and expect the child to see it.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace fenrir::chaos {
+
+/// The armed kill threshold in bytes, or nullopt when the environment
+/// does not schedule one. Re-reads FENRIR_CHAOS_KILL_SAVE every call.
+std::optional<std::size_t> kill_save_threshold();
+
+/// Called by atomic file writers after each chunk with the cumulative
+/// byte count; _exit(137)s when a scheduled threshold has been reached.
+/// The exit is immediate (no atexit, no flush) — a real SIGKILL, minus
+/// the signal.
+void maybe_kill_during_save(std::size_t bytes_written);
+
+}  // namespace fenrir::chaos

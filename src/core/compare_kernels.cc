@@ -94,6 +94,26 @@ void delta_scan(const T* a, const T* b, std::size_t n,
   }
 }
 
+// Bounded variant: bails at the (cap+1)-th mismatch. Anchor probes call
+// this against rows that are usually either near-identical (the probe
+// wins) or near-total rewrites (bail after ~cap mismatches), so the
+// abort is what keeps a failed probe cheap.
+template <typename T>
+bool delta_scan_bounded(const T* a, const T* b, std::size_t n,
+                        std::size_t cap, std::vector<DeltaEntry>& out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) {
+      if (out.size() == cap) {
+        out.clear();
+        return false;
+      }
+      out.push_back({static_cast<std::uint32_t>(i),
+                     static_cast<SiteId>(a[i]), static_cast<SiteId>(b[i])});
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 PackedSeries PackedSeries::pack(const Dataset& dataset) {
@@ -260,6 +280,31 @@ std::vector<DeltaEntry> PackedSeries::delta_between(std::size_t from,
       break;
   }
   return delta;
+}
+
+bool PackedSeries::delta_between_bounded(std::size_t from, std::size_t to,
+                                         std::size_t cap,
+                                         std::vector<DeltaEntry>& out) const {
+  if (from >= rows_ || to >= rows_) {
+    throw std::out_of_range("PackedSeries::delta_between_bounded");
+  }
+  out.clear();
+  const std::byte* a = row_ptr(from);
+  const std::byte* b = row_ptr(to);
+  switch (width_) {
+    case 1:
+      return delta_scan_bounded(reinterpret_cast<const std::uint8_t*>(a),
+                                reinterpret_cast<const std::uint8_t*>(b),
+                                networks_, cap, out);
+    case 2:
+      return delta_scan_bounded(reinterpret_cast<const std::uint16_t*>(a),
+                                reinterpret_cast<const std::uint16_t*>(b),
+                                networks_, cap, out);
+    default:
+      return delta_scan_bounded(reinterpret_cast<const std::uint32_t*>(a),
+                                reinterpret_cast<const std::uint32_t*>(b),
+                                networks_, cap, out);
+  }
 }
 
 namespace {

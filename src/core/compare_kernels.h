@@ -38,6 +38,10 @@
 #include "core/compare.h"
 #include "core/vector.h"
 
+namespace fenrir::io {
+class SnapshotCodec;  // binary persistence (io/snapshot.h)
+}  // namespace fenrir::io
+
 namespace fenrir::core {
 
 /// The integer core of unweighted Φ between two rows.
@@ -125,9 +129,36 @@ class PackedSeries {
   /// Sorted change-set taking row @p from to row @p to (same series).
   std::vector<DeltaEntry> delta_between(std::size_t from, std::size_t to) const;
 
+  /// Bounded change-set scan: fills @p out with delta_between(from, to),
+  /// aborting as soon as it would exceed @p cap entries. Returns true when
+  /// the full change-set fit; false when |Δ| > cap (@p out is cleared).
+  /// An aborted scan stops at the (cap+1)-th mismatch, so probing a
+  /// dissimilar row costs O(cap/density) lanes instead of O(N) plus a
+  /// change-set allocation that would only be thrown away.
+  bool delta_between_bounded(std::size_t from, std::size_t to, std::size_t cap,
+                             std::vector<DeltaEntry>& out) const;
+
+  /// Hint-prefetches the lines apply_delta will read in row @p row_b.
+  /// The matrix's fill loop issues this a couple of pairs ahead so the
+  /// patch's random reads overlap in the memory system instead of
+  /// serialising one cache miss per entry.
+  void prefetch_delta(std::size_t row_b,
+                      std::span<const DeltaEntry> delta) const {
+    if (row_b >= rows_) return;
+    const std::byte* b = row_ptr(row_b);
+#if defined(__GNUC__) || defined(__clang__)
+    for (const DeltaEntry& d : delta) {
+      __builtin_prefetch(b + static_cast<std::size_t>(d.index) * width_, 0, 1);
+    }
+#else
+    (void)b;
+#endif
+  }
+
  private:
   friend MatchCounts apply_delta(MatchCounts, std::span<const DeltaEntry>,
                                  const PackedSeries&, std::size_t);
+  friend class fenrir::io::SnapshotCodec;
   void widen_to(std::size_t width);
   const std::byte* row_ptr(std::size_t i) const {
     return data_.data() + i * networks_ * width_;

@@ -1,6 +1,7 @@
 #include "core/distance_matrix.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "core/parallel.h"
 #include "obs/metrics.h"
@@ -15,6 +16,16 @@ struct PhiMetrics {
   obs::Counter& rows_kernel;
   obs::Gauge& delta_density;
   obs::Gauge& delta_speedup;
+  // Which anchor won the row (see the header's path taxonomy).
+  obs::Counter& anchor_predecessor;
+  obs::Counter& anchor_chained;
+  obs::Counter& anchor_representative;
+  obs::Counter& anchor_packed;
+  obs::Counter& anchor_probes;
+  obs::Counter& anchor_pins;
+  obs::Counter& anchor_refreshes;
+  obs::Gauge& anchor_est_delta;
+  obs::Gauge& anchor_realized_delta;
 };
 
 PhiMetrics& phi_metrics() {
@@ -23,7 +34,7 @@ PhiMetrics& phi_metrics() {
                               "rows appended to similarity matrices"),
       obs::registry().counter(
           "fenrir_phi_rows_delta_total",
-          "matrix rows computed by patching the previous row's counts"),
+          "matrix rows computed by patching an anchor's cached counts"),
       obs::registry().counter("fenrir_phi_rows_kernel_total",
                               "matrix rows computed by the packed kernels"),
       obs::registry().gauge(
@@ -32,8 +43,46 @@ PhiMetrics& phi_metrics() {
       obs::registry().gauge(
           "fenrir_phi_delta_speedup_ratio",
           "estimated per-pair work ratio N/(|delta|+1) of the last "
-          "delta-path row (scalar scan cost over patch cost)")};
+          "delta-path row (scalar scan cost over patch cost)"),
+      obs::registry().counter(
+          "fenrir_phi_anchor_predecessor_total",
+          "rows patched from the immediate predecessor anchor"),
+      obs::registry().counter(
+          "fenrir_phi_anchor_chained_total",
+          "rows patched from a recent anchor reached via the chained "
+          "bound or a probe"),
+      obs::registry().counter(
+          "fenrir_phi_anchor_representative_total",
+          "rows patched from a representative (mode) anchor — the "
+          "recurrence fast path"),
+      obs::registry().counter(
+          "fenrir_phi_anchor_packed_total",
+          "rows where no anchor was cheap and the packed kernels ran"),
+      obs::registry().counter(
+          "fenrir_phi_anchor_probes_total",
+          "exact change-set scans spent probing anchor candidates"),
+      obs::registry().counter(
+          "fenrir_phi_anchor_pins_total",
+          "rows pinned as representative anchors (auto + pin_anchor)"),
+      obs::registry().counter(
+          "fenrir_phi_anchor_refreshes_total",
+          "representative anchors re-anchored to the row they just "
+          "explained (mode drift tracking)"),
+      obs::registry().gauge(
+          "fenrir_phi_anchor_est_delta",
+          "chained upper bound on |delta| for the chosen anchor at the "
+          "last delta-path row"),
+      obs::registry().gauge(
+          "fenrir_phi_anchor_realized_delta",
+          "realized |delta| against the chosen anchor at the last "
+          "delta-path row")};
   return m;
+}
+
+constexpr std::size_t kEstSaturated = std::numeric_limits<std::size_t>::max();
+
+std::size_t sat_add(std::size_t a, std::size_t b) {
+  return a > kEstSaturated - b ? kEstSaturated : a + b;
 }
 
 }  // namespace
@@ -86,6 +135,77 @@ SimilarityMatrix SimilarityMatrix::compute_reference(const Dataset& dataset,
   return m;
 }
 
+SimilarityMatrix::AnchorRow* SimilarityMatrix::find_anchor(std::size_t row) {
+  for (AnchorRow& a : recent_) {
+    if (a.row == row) return &a;
+  }
+  for (AnchorRow& a : representatives_) {
+    if (a.row == row) return &a;
+  }
+  return nullptr;
+}
+
+void SimilarityMatrix::pin_representative(AnchorRow anchor) {
+  for (const AnchorRow& a : representatives_) {
+    if (a.row == anchor.row) return;
+  }
+  if (representative_limit_ == 0) return;
+  phi_metrics().anchor_pins.inc();
+  if (representatives_.size() >= representative_limit_) {
+    auto oldest = std::min_element(
+        representatives_.begin(), representatives_.end(),
+        [](const AnchorRow& a, const AnchorRow& b) {
+          return a.last_used < b.last_used;
+        });
+    *oldest = std::move(anchor);
+    return;
+  }
+  representatives_.push_back(std::move(anchor));
+}
+
+void SimilarityMatrix::pin_anchor(std::size_t row) {
+  if (row >= n_) throw std::out_of_range("SimilarityMatrix::pin_anchor");
+  if (!weights_.empty() || !valid_[row] || representative_limit_ == 0) return;
+  if (packed_.rows() != n_) {
+    throw std::logic_error(
+        "SimilarityMatrix::pin_anchor: compute_reference matrices carry no "
+        "packed rows to anchor");
+  }
+  for (const AnchorRow& a : representatives_) {
+    if (a.row == row) return;
+  }
+  AnchorRow anchor;
+  anchor.row = row;
+  anchor.last_used = append_clock_;
+  if (const AnchorRow* existing = find_anchor(row)) {
+    anchor.counts = existing->counts;
+    anchor.est_delta = existing->est_delta;
+  } else {
+    // The row left the anchor set; rebuild its counts at kernel cost.
+    anchor.counts.resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (valid_[j]) anchor.counts[j] = packed_.counts(row, j);
+    }
+    anchor.est_delta = kEstSaturated;  // unknown distance to the latest row
+  }
+  pin_representative(std::move(anchor));
+}
+
+void SimilarityMatrix::set_anchor_limits(std::size_t recent,
+                                        std::size_t representatives) {
+  recent_limit_ = recent;
+  representative_limit_ = representatives;
+  while (recent_.size() > recent_limit_) recent_.pop_front();
+  while (representatives_.size() > representative_limit_) {
+    auto oldest = std::min_element(
+        representatives_.begin(), representatives_.end(),
+        [](const AnchorRow& a, const AnchorRow& b) {
+          return a.last_used < b.last_used;
+        });
+    representatives_.erase(oldest);
+  }
+}
+
 void SimilarityMatrix::append(const RoutingVector& v) {
   if (packed_.rows() != n_) {
     throw std::logic_error(
@@ -100,41 +220,159 @@ void SimilarityMatrix::append(const RoutingVector& v) {
   n_ += 1;
   values_.resize(values_.size() + i + 1, 0.0);
   valid_.push_back(v.valid ? 1 : 0);
-  phi_metrics().appends.inc();
+  append_clock_ += 1;
+  PhiMetrics& metrics = phi_metrics();
+  metrics.appends.inc();
+  const bool weighted = !weights_.empty();
   if (!v.valid) {
-    // The slot keeps its timeline position; the next row has no valid
-    // predecessor to patch from.
-    prev_counts_usable_ = false;
+    // The slot keeps its timeline position. Anchors stay alive — their
+    // chained bounds extend through the slot below — but their counts
+    // rows need a placeholder so column indices keep lining up.
+    for (AnchorRow& a : recent_) a.counts.emplace_back();
+    for (AnchorRow& a : representatives_) a.counts.emplace_back();
+    if (i > 0 && !weighted && (!recent_.empty() || !representatives_.empty())) {
+      const std::size_t step = packed_.delta_between(i - 1, i).size();
+      for (AnchorRow& a : recent_) a.est_delta = sat_add(a.est_delta, step);
+      for (AnchorRow& a : representatives_) {
+        a.est_delta = sat_add(a.est_delta, step);
+      }
+    }
     return;
   }
 
   const std::size_t nets = packed_.networks();
   const std::size_t row_base = i * (i + 1) / 2;
-  const bool weighted = !weights_.empty();
 
-  // Delta path: patch counts(i-1, j) into counts(i, j) using the change
-  // set between rows i-1 and i. Integer-exact, so Φ stays bit-identical;
-  // only worth it when the churn is sparse.
+  // Extend every anchor's chained bound by this row's step change set
+  // (the triangle inequality holds through any intermediate row, valid
+  // or not), then pick the cheapest anchor.
+  std::vector<DeltaEntry> step;
+  const bool anchors_on =
+      !weighted && (!recent_.empty() || !representatives_.empty());
+  if (anchors_on && i > 0) {
+    step = packed_.delta_between(i - 1, i);
+    for (AnchorRow& a : recent_) {
+      a.est_delta = a.row == i - 1 ? step.size()
+                                   : sat_add(a.est_delta, step.size());
+    }
+    for (AnchorRow& a : representatives_) {
+      a.est_delta = a.row == i - 1 ? step.size()
+                                   : sat_add(a.est_delta, step.size());
+    }
+  }
+
+  // Candidates, recent first (newest to oldest), then representatives
+  // not already listed.
+  std::vector<AnchorRow*> candidates;
+  if (anchors_on) {
+    candidates.reserve(recent_.size() + representatives_.size());
+    for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+      candidates.push_back(&*it);
+    }
+    for (AnchorRow& a : representatives_) {
+      if (!std::any_of(recent_.begin(), recent_.end(),
+                       [&](const AnchorRow& r) { return r.row == a.row; })) {
+        candidates.push_back(&a);
+      }
+    }
+  }
+
+  const auto max_delta = static_cast<std::size_t>(
+      kDeltaDensityThreshold * static_cast<double>(nets));
+  AnchorRow* chosen = nullptr;
   std::vector<DeltaEntry> delta;
-  bool use_delta = false;
-  if (!weighted && prev_counts_usable_ && i > 0 && valid_[i - 1]) {
-    delta = packed_.delta_between(i - 1, i);
-    const double density =
+  std::size_t chosen_bound = kEstSaturated;
+  bool probed = false;
+
+  // 1. Chained bounds: if some anchor's running Σ|Δ| already clears the
+  // threshold, the exact change set can only be smaller.
+  for (AnchorRow* a : candidates) {
+    if (a->est_delta < chosen_bound) {
+      chosen_bound = a->est_delta;
+      chosen = a;
+    }
+  }
+  if (chosen != nullptr && chosen_bound <= max_delta) {
+    if (chosen->row == i - 1) {
+      delta = std::move(step);
+    } else {
+      delta = packed_.delta_between(chosen->row, i);
+    }
+  } else if (!candidates.empty() && candidates.size() * 4 <= i &&
+             probe_cooldown_ == 0) {
+    // 2. Probe: one bounded scan per candidate — the recurrence
+    // rediscovery. The cap shrinks to the best change-set found so far,
+    // so a candidate from the wrong mode bails after ~cap mismatches
+    // instead of paying a full O(N) scan; the winner is still the
+    // smallest change-set ≤ the density threshold, exactly as an
+    // unbounded sweep would pick. Worth it only once the row is long
+    // enough that the scans are small next to the O(T·N) kernel
+    // fallback.
+    chosen = nullptr;
+    std::size_t best_size = kEstSaturated;
+    std::vector<DeltaEntry> probe;
+    for (AnchorRow* a : candidates) {
+      metrics.anchor_probes.inc();
+      const std::size_t cap =
+          best_size == kEstSaturated ? max_delta : best_size - 1;
+      if (packed_.delta_between_bounded(a->row, i, cap, probe)) {
+        a->est_delta = probe.size();  // the bound re-anchors to exact
+        best_size = probe.size();
+        chosen = a;
+        delta.swap(probe);
+        if (best_size == 0) break;  // a duplicate row cannot be beaten
+      }
+      // On a bailed probe the anchor keeps its chained bound: the scan
+      // only learned |Δ| > cap, which is a lower bound and must not
+      // replace an upper one.
+    }
+    probed = true;
+    if (chosen == nullptr) {
+      delta.clear();
+      probe_failures_ += 1;
+      probe_cooldown_ = std::min<std::size_t>(
+          std::size_t{1} << std::min<std::size_t>(probe_failures_, 6), 64);
+    } else {
+      chosen_bound = best_size;
+      probe_failures_ = 0;
+    }
+  } else {
+    chosen = nullptr;
+  }
+
+  const bool use_delta = chosen != nullptr;
+  const bool chose_rep =
+      use_delta && std::any_of(representatives_.begin(),
+                               representatives_.end(),
+                               [&](const AnchorRow& a) { return &a == chosen; });
+  if (use_delta) {
+    chosen->est_delta = delta.size();
+    chosen->last_used = append_clock_;
+    probe_failures_ = 0;
+    metrics.rows_delta.inc();
+    metrics.delta_density.set(
         nets == 0 ? 1.0
                   : static_cast<double>(delta.size()) /
-                        static_cast<double>(nets);
-    phi_metrics().delta_density.set(density);
-    use_delta = density <= kDeltaDensityThreshold;
-  }
-  if (use_delta) {
-    phi_metrics().rows_delta.inc();
-    phi_metrics().delta_speedup.set(static_cast<double>(nets) /
-                                    static_cast<double>(delta.size() + 1));
-  } else {
-    phi_metrics().rows_kernel.inc();
+                        static_cast<double>(nets));
+    metrics.delta_speedup.set(static_cast<double>(nets) /
+                              static_cast<double>(delta.size() + 1));
+    metrics.anchor_est_delta.set(static_cast<double>(chosen_bound));
+    metrics.anchor_realized_delta.set(static_cast<double>(delta.size()));
+    if (chosen->row == i - 1) {
+      metrics.anchor_predecessor.inc();
+    } else if (chose_rep) {
+      metrics.anchor_representative.inc();
+    } else {
+      metrics.anchor_chained.inc();
+    }
+  } else if (!weighted) {
+    metrics.rows_kernel.inc();
+    metrics.anchor_packed.inc();
+    if (probe_cooldown_ > 0 && !probed) probe_cooldown_ -= 1;
   }
 
   std::vector<MatchCounts> row(i + 1);
+  const AnchorRow* anchor = chosen;  // stable across the parallel fill
   auto fill_column = [&](std::size_t j) {
     if (!valid_[j]) return;
     if (weighted) {
@@ -144,7 +382,10 @@ void SimilarityMatrix::append(const RoutingVector& v) {
     }
     MatchCounts c;
     if (use_delta && j < i) {
-      c = apply_delta(prev_counts_[j], delta, packed_, j);
+      // Overlap the next pair's random reads with this pair's patch; the
+      // patch is otherwise bound by one serialised miss per delta entry.
+      if (j + 2 < i && valid_[j + 2]) packed_.prefetch_delta(j + 2, delta);
+      c = apply_delta(anchor->counts[j], delta, packed_, j);
     } else {
       c = packed_.counts(i, j);  // diagonal, or kernel-path row
     }
@@ -163,8 +404,42 @@ void SimilarityMatrix::append(const RoutingVector& v) {
     for (std::size_t j = 0; j <= i; ++j) fill_column(j);
   }
 
-  prev_counts_ = std::move(row);
-  prev_counts_usable_ = !weighted;
+  if (weighted) return;
+
+  // Every anchor learns its counts against the new row "for free":
+  // counts(a, i) = counts(i, a), which the row just computed.
+  for (AnchorRow& a : recent_) a.counts.push_back(row[a.row]);
+  for (AnchorRow& a : representatives_) a.counts.push_back(row[a.row]);
+
+  // A representative that explained this row re-anchors to it: the
+  // anchor tracks the mode's *latest* state, so the next return pays
+  // only the away-gap churn. Left at its original row, every
+  // representative would drift toward the density threshold as the mode
+  // churns and recurrence would decay back to kernel rows.
+  if (chose_rep && !delta.empty()) {
+    chosen->row = i;
+    chosen->counts = row;  // exact counts(i, ·), just computed
+    chosen->est_delta = 0;
+    metrics.anchor_refreshes.inc();
+  }
+
+  // A kernel-fallback row is a routing state no anchor explained — the
+  // online analogue of ModeBook registering a new mode — so it becomes
+  // a representative anchor before the recency window rolls it out.
+  AnchorRow fresh;
+  fresh.row = i;
+  fresh.est_delta = 0;
+  fresh.last_used = append_clock_;
+  if (!use_delta && representative_limit_ > 0) {
+    AnchorRow rep = fresh;
+    rep.counts = row;
+    pin_representative(std::move(rep));
+  }
+  if (recent_limit_ > 0) {
+    fresh.counts = std::move(row);
+    recent_.push_back(std::move(fresh));
+    while (recent_.size() > recent_limit_) recent_.pop_front();
+  }
 }
 
 std::size_t SimilarityMatrix::valid_count() const {

@@ -10,20 +10,38 @@
 // Construction is incremental: append() computes exactly the one new
 // row, choosing per row between
 //   * the packed kernels (compare_kernels.h) — O(N) per pair but SIMD-
-//     dense, and
-//   * delta patching — O(|Δ|) per pair from the previous row's cached
-//     match counts, taken when the vector's churn against its
-//     predecessor is below kDeltaDensityThreshold (unweighted Φ only;
-//     weighted Φ would have to reorder double additions to go fast,
-//     which breaks bit-identity).
+//     dense,
+//   * delta patching from an *anchor* — O(|Δ|) per pair from a cached
+//     row of match counts. Anchors are the last kRecentAnchors valid
+//     rows plus up to kMaxRepresentativeAnchors "representative" rows
+//     (rows that once paid the packed kernels — novel routing states —
+//     or rows pinned by a caller, e.g. a ModeBook representative's
+//     first occurrence). The paper's thesis is that routing *recurs*:
+//     when a series flips back to a mode it held before, the cheap
+//     anchor is not the immediate predecessor but the old mode's row,
+//     and patching from it keeps the flip at O(|Δ|) instead of O(N)
+//     per pair.
+// Churn against each anchor is first *estimated* without touching the
+// vectors: |Δ(t, anchor)| ≤ Σ|Δ| of the per-step change sets along the
+// chain between them (triangle inequality over Hamming distance), a
+// running sum each anchor maintains. Only when every chained bound
+// misses the kDeltaDensityThreshold does append() probe anchors with
+// one exact O(N) change-set scan each — still far cheaper than the
+// O(T·N) kernel row — and it falls back to the packed kernels when no
+// probe clears the threshold either. Delta patching applies to
+// unweighted Φ only (weighted Φ would have to reorder double additions
+// to go fast, which breaks bit-identity).
+//
 // compute() is an append() loop, so batch analysis, `fenrirctl watch`,
 // and ModeBook share one code path; every path is bit-identical to the
 // scalar reference (compute_reference), which the property tests
 // enforce. Path choice and realized savings are exported as
-// fenrir_phi_* metrics (observation only — never a result input).
+// fenrir_phi_* / fenrir_phi_anchor_* metrics (observation only — never
+// a result input).
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -32,15 +50,29 @@
 #include "core/compare_kernels.h"
 #include "core/vector.h"
 
+namespace fenrir::io {
+class SnapshotCodec;  // binary persistence (io/snapshot.h)
+}  // namespace fenrir::io
+
 namespace fenrir::core {
 
 class SimilarityMatrix {
  public:
-  /// Churn fraction |Δ|/N at or below which append() patches the
-  /// previous row's counts instead of re-scanning packed rows. Delta
+  /// Churn fraction |Δ|/N at or below which append() patches an
+  /// anchor's cached counts instead of re-scanning packed rows. Delta
   /// patching touches ~|Δ| random elements per pair versus N sequential
   /// SIMD lanes, so the break-even sits well below the SIMD width.
   static constexpr double kDeltaDensityThreshold = 0.05;
+
+  /// How many recent valid rows keep a cached counts row (the newest is
+  /// the classic predecessor anchor; the older ones catch short-period
+  /// mode alternation without a probe).
+  static constexpr std::size_t kRecentAnchors = 4;
+
+  /// Cap on representative anchors (novel-state rows auto-pinned on a
+  /// kernel fallback, plus pin_anchor() rows). Least-recently-chosen is
+  /// evicted beyond the cap.
+  static constexpr std::size_t kMaxRepresentativeAnchors = 32;
 
   /// Computes Φ for all pairs of @p dataset.series (weights from the
   /// dataset; uniform if empty) by appending one row at a time. Each
@@ -68,12 +100,32 @@ class SimilarityMatrix {
 
   /// Appends one observation, computing only the new row: O(T·N) on the
   /// packed kernels, O(T·|Δ|) when the vector is a sparse change set
-  /// against its predecessor. A matrix grown by append() is
-  /// bit-identical to compute() over the same series — this is what
-  /// keeps `fenrirctl watch` at O(T·Δ) per tick instead of O(T²·N).
+  /// against some anchor. A matrix grown by append() is bit-identical
+  /// to compute() over the same series — this is what keeps
+  /// `fenrirctl watch` at O(T·Δ) per tick instead of O(T²·N).
   void append(const RoutingVector& v);
 
+  /// Pins @p row (a valid, already-appended observation) as a
+  /// representative anchor, so later rows that recur to its routing
+  /// state patch from it. `fenrirctl watch` pins each ModeBook
+  /// representative's first occurrence; rows that fell back to the
+  /// packed kernels (novel states) are pinned automatically. Cheap when
+  /// the row is still an anchor (the usual case: the row just
+  /// appended); otherwise its counts row is recomputed at O(T·N).
+  /// No-op on weighted matrices and rows already pinned.
+  void pin_anchor(std::size_t row);
+
+  /// Caps the anchor set: @p recent recent rows, @p representatives
+  /// pinned rows (0,0 disables delta patching entirely; 1,0 is the
+  /// predecessor-only delta path of earlier builds — the baseline
+  /// BM_SimilarityMatrixPeriodicPredecessor times). Affects time only,
+  /// never values. Existing anchors beyond the new caps are dropped.
+  void set_anchor_limits(std::size_t recent, std::size_t representatives);
+
   std::size_t size() const noexcept { return n_; }
+
+  UnknownPolicy policy() const noexcept { return policy_; }
+  const std::vector<double>& weights() const noexcept { return weights_; }
 
   /// Φ(i,j); 0.0 when either index is invalid. phi(i,i) is computed like
   /// any pair (under the pessimistic policy a vector with unknowns is not
@@ -104,6 +156,26 @@ class SimilarityMatrix {
                         const std::vector<std::size_t>& b) const;
 
  private:
+  friend class io::SnapshotCodec;
+
+  /// One anchor: a row whose exact counts(row, j) are cached for every
+  /// column j, plus the chained upper bound on |Δ(row, latest)|.
+  struct AnchorRow {
+    std::size_t row = 0;
+    /// counts(row, j) for j = 0..n_-1, extended by one entry per
+    /// append (counts(row, i) = counts(i, row), which the new row just
+    /// computed). Entries at invalid columns are zero placeholders and
+    /// never read.
+    std::vector<MatchCounts> counts;
+    /// Running Σ|Δ| of per-step change sets since the bound was last
+    /// exact — an upper bound on |Δ(row, latest)| by the triangle
+    /// inequality. Refreshed to the exact size on every probe/patch.
+    std::size_t est_delta = 0;
+    /// append counter at the last time this anchor was chosen (LRU
+    /// eviction of representatives).
+    std::uint64_t last_used = 0;
+  };
+
   std::size_t tri_index(std::size_t i, std::size_t j) const {
     if (i >= n_ || j >= n_) throw std::out_of_range("SimilarityMatrix index");
     if (i < j) std::swap(i, j);
@@ -115,6 +187,9 @@ class SimilarityMatrix {
   std::vector<std::size_t> pair_keys(const std::vector<std::size_t>& a,
                                      const std::vector<std::size_t>& b) const;
 
+  AnchorRow* find_anchor(std::size_t row);
+  void pin_representative(AnchorRow anchor);
+
   std::size_t n_ = 0;
   std::vector<double> values_;  // lower triangle incl. diagonal
   std::vector<char> valid_;
@@ -124,10 +199,16 @@ class SimilarityMatrix {
   double total_weight_ = 0.0;  // in-order sum of weights_ (pessimistic denom)
   unsigned threads_ = 1;
   PackedSeries packed_;  // one row per appended observation
-  /// counts(last row, j) for j = 0..last — what the next row's delta
-  /// path patches. Meaningful only when prev_counts_usable_.
-  std::vector<MatchCounts> prev_counts_;
-  bool prev_counts_usable_ = false;
+
+  std::deque<AnchorRow> recent_;        // newest at the back
+  std::vector<AnchorRow> representatives_;
+  std::size_t recent_limit_ = kRecentAnchors;
+  std::size_t representative_limit_ = kMaxRepresentativeAnchors;
+  std::uint64_t append_clock_ = 0;
+  /// Kernel-fallback rows left to skip before probing again after a
+  /// round of probes found nothing (exponential backoff, capped).
+  std::size_t probe_cooldown_ = 0;
+  std::size_t probe_failures_ = 0;
 };
 
 }  // namespace fenrir::core

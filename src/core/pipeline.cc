@@ -11,8 +11,9 @@
 
 namespace fenrir::core {
 
-AnalysisResult analyze(const Dataset& dataset, const AnalysisConfig& config) {
-  obs::Span span("analyze");
+namespace {
+
+void log_analyze_start(const Dataset& dataset) {
   static obs::Counter& runs = obs::registry().counter(
       "fenrir_analyze_runs_total", "analyze() pipeline invocations");
   static obs::Gauge& observations = obs::registry().gauge(
@@ -23,12 +24,12 @@ AnalysisResult analyze(const Dataset& dataset, const AnalysisConfig& config) {
           .field("observations", dataset.series.size())
           .field("networks", dataset.networks.size())
       << "analyze: start";
+}
 
-  dataset.check_consistent();
-  SimilarityMatrix matrix = [&] {
-    obs::Span stage("phi_matrix");
-    return SimilarityMatrix::compute(dataset, config.policy);
-  }();
+/// Everything after the Φ matrix: clustering, modes, events, telemetry.
+AnalysisResult analyze_from_matrix(const Dataset& dataset,
+                                   const AnalysisConfig& config,
+                                   SimilarityMatrix matrix) {
   Clustering clustering = [&] {
     obs::Span stage("hac_clustering");
     return cluster_adaptive(matrix, config.linkage, config.adaptive);
@@ -68,6 +69,37 @@ AnalysisResult analyze(const Dataset& dataset, const AnalysisConfig& config) {
       << "analyze: done";
   return AnalysisResult{std::move(matrix), std::move(clustering),
                         std::move(modes), std::move(events)};
+}
+
+}  // namespace
+
+AnalysisResult analyze(const Dataset& dataset, const AnalysisConfig& config) {
+  obs::Span span("analyze");
+  log_analyze_start(dataset);
+  dataset.check_consistent();
+  SimilarityMatrix matrix = [&] {
+    obs::Span stage("phi_matrix");
+    return SimilarityMatrix::compute(dataset, config.policy);
+  }();
+  return analyze_from_matrix(dataset, config, std::move(matrix));
+}
+
+AnalysisResult analyze(const Dataset& dataset, const AnalysisConfig& config,
+                       SimilarityMatrix matrix) {
+  obs::Span span("analyze");
+  log_analyze_start(dataset);
+  if (matrix.size() != dataset.series.size()) {
+    throw std::invalid_argument(
+        "analyze: matrix covers " + std::to_string(matrix.size()) +
+        " observations, dataset has " +
+        std::to_string(dataset.series.size()));
+  }
+  if (matrix.policy() != config.policy) {
+    throw std::invalid_argument(
+        "analyze: matrix was built under a different unknown policy");
+  }
+  dataset.check_consistent();
+  return analyze_from_matrix(dataset, config, std::move(matrix));
 }
 
 namespace {

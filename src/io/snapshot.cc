@@ -1,0 +1,788 @@
+#include "io/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "chaos/killpoint.h"
+#include "core/time.h"
+#include "io/csv.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/status_board.h"
+
+namespace fenrir::io {
+
+namespace {
+
+using core::DatasetIoError;
+
+struct SnapMetrics {
+  obs::Counter& save_total;
+  obs::Counter& save_bytes;
+  obs::Gauge& save_seconds;
+  obs::Counter& load_total;
+  obs::Counter& load_bytes;
+  obs::Gauge& load_seconds;
+  obs::Counter& corrupt;
+};
+
+SnapMetrics& snap_metrics() {
+  static SnapMetrics m{
+      obs::registry().counter("fenrir_snapshot_save_total",
+                              "snapshot / watch-state files written"),
+      obs::registry().counter("fenrir_snapshot_save_bytes_total",
+                              "bytes written to snapshot files"),
+      obs::registry().gauge("fenrir_snapshot_save_seconds",
+                            "wall time of the last snapshot save"),
+      obs::registry().counter("fenrir_snapshot_load_total",
+                              "snapshot / watch-state files loaded"),
+      obs::registry().counter("fenrir_snapshot_load_bytes_total",
+                              "bytes read from snapshot files"),
+      obs::registry().gauge("fenrir_snapshot_load_seconds",
+                            "wall time of the last snapshot load"),
+      obs::registry().counter(
+          "fenrir_snapshot_corrupt_total",
+          "snapshot loads rejected as corrupt, truncated, or version-skewed")};
+  return m;
+}
+
+void publish_snapshot_fragment(const char* op,
+                               const std::filesystem::path& path,
+                               std::size_t bytes, double seconds,
+                               const Snapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"last_op\":\"" << op << "\",\"path\":\""
+     << obs::json_escape(path.string()) << "\",\"bytes\":" << bytes
+     << ",\"seconds\":" << obs::render_double(seconds)
+     << ",\"processed\":" << snapshot.processed << ",\"has_matrix\":"
+     << (snapshot.matrix.has_value() ? "true" : "false")
+     << ",\"modes\":" << snapshot.representatives.size() << "}";
+  obs::status_board().publish("snapshot", os.str());
+}
+
+// Trailer checksum: four independent multiply–rotate lanes over 64-bit
+// words, folded to 32 bits. The target is bit rot and truncation, not
+// adversarial collisions, and resuming a long watch decodes tens of
+// megabytes — a table-driven CRC at a few hundred MB/s would cost more
+// than the rest of the decode combined, while the four lanes keep the
+// multiplier latency off the critical path and run at memory speed.
+std::uint32_t payload_checksum(const void* data, std::size_t size) {
+  constexpr std::uint64_t kC1 = 0x9E3779B97F4A7C15ull;
+  constexpr std::uint64_t kC2 = 0xD6E8FEB86659FD93ull;
+  const auto mix = [](std::uint64_t h, std::uint64_t w) {
+    h ^= w * kC2;
+    h = (h << 27) | (h >> 37);
+    return h * kC1;
+  };
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h[4] = {kC1, kC2, kC1 ^ 0x5555555555555555ull,
+                        kC2 ^ 0x3333333333333333ull};
+  std::size_t i = 0;
+  for (; i + 32 <= size; i += 32) {
+    std::uint64_t w[4];
+    std::memcpy(w, p + i, 32);
+    h[0] = mix(h[0], w[0]);
+    h[1] = mix(h[1], w[1]);
+    h[2] = mix(h[2], w[2]);
+    h[3] = mix(h[3], w[3]);
+  }
+  std::uint64_t tail = 0;
+  for (int k = 0; i < size; ++i, ++k) {
+    tail |= static_cast<std::uint64_t>(p[i]) << (8 * k);
+  }
+  h[0] = mix(h[0], tail);
+  std::uint64_t out = mix(mix(mix(h[0], h[1]), h[2]), h[3]) ^
+                      static_cast<std::uint64_t>(size);
+  out ^= out >> 32;
+  return static_cast<std::uint32_t>(out);
+}
+
+// --- little-endian primitives -------------------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void put_double(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+// Bulk little-endian append of @p count 8-byte words. The big sections
+// (Φ values, anchor counts) are tens of megabytes on a long watch; a
+// per-element put_u64 would dominate the save. On a little-endian host
+// this is one append; the byte loop is the big-endian fallback.
+void put_u64_array(std::string& out, const void* words, std::size_t count) {
+  if constexpr (std::endian::native == std::endian::little) {
+    out.append(static_cast<const char*>(words), count * 8);
+  } else {
+    const auto* p = static_cast<const std::uint64_t*>(words);
+    for (std::size_t i = 0; i < count; ++i) put_u64(out, p[i]);
+  }
+}
+
+void patch_u64(std::string& out, std::size_t at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[at + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+/// Bounds-checked reads over the validated payload. The length and CRC
+/// checks run first, so an overrun here means internal inconsistency
+/// (crafted or miswritten sections), not bit rot.
+struct Reader {
+  const unsigned char* p;
+  std::size_t size;
+  std::size_t off = 0;
+
+  void need(std::size_t k) const {
+    if (size - off < k) {
+      throw DatasetIoError(
+          "snapshot: malformed section — a field extends past the recorded "
+          "payload");
+    }
+  }
+  std::uint8_t get_u8() {
+    need(1);
+    return p[off++];
+  }
+  std::uint32_t get_u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p[off + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    off += 4;
+    return v;
+  }
+  std::uint64_t get_u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[off + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    off += 8;
+    return v;
+  }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+  double get_double() {
+    const std::uint64_t bits = get_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  /// A u64 count that is about to size a container: cap it by what the
+  /// remaining payload could possibly hold for @p element_bytes-sized
+  /// elements, so a crafted count cannot drive a huge allocation.
+  std::size_t get_count(std::size_t element_bytes) {
+    const std::uint64_t v = get_u64();
+    if (element_bytes > 0 && v > (size - off) / element_bytes) {
+      throw DatasetIoError(
+          "snapshot: malformed section — a count exceeds the recorded "
+          "payload");
+    }
+    return static_cast<std::size_t>(v);
+  }
+  void get_bytes(void* dst, std::size_t k) {
+    need(k);
+    std::memcpy(dst, p + off, k);
+    off += k;
+  }
+  /// Bulk read of @p count little-endian 8-byte words — the decode-side
+  /// twin of put_u64_array, one memcpy on little-endian hosts.
+  void get_u64_array(void* dst, std::size_t count) {
+    if constexpr (std::endian::native == std::endian::little) {
+      get_bytes(dst, count * 8);
+    } else {
+      auto* out = static_cast<std::uint64_t*>(dst);
+      for (std::size_t i = 0; i < count; ++i) out[i] = get_u64();
+    }
+  }
+};
+
+std::uint64_t fnv_init() { return 1469598103934665603ULL; }
+
+void fnv_mix(std::uint64_t& h, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ p[i]) * 1099511628211ULL;
+  }
+}
+
+void fnv_mix_u64(std::uint64_t& h, std::uint64_t v) { fnv_mix(h, &v, 8); }
+
+}  // namespace
+
+// SnapshotCodec is the single friend of SimilarityMatrix and
+// PackedSeries: it moves their private state to and from the wire
+// without widening either class's public API.
+class SnapshotCodec {
+ public:
+  static void encode_matrix(std::string& out,
+                            const core::SimilarityMatrix& m) {
+    const std::size_t n = m.n_;
+    put_u64(out, n);
+    put_u64(out, m.packed_.networks_);
+    put_u64(out, m.packed_.width_);
+    put_u64(out, m.weights_.size());
+    put_u64_array(out, m.weights_.data(), m.weights_.size());
+    for (const char v : m.valid_) put_u8(out, v ? 1 : 0);
+    out.append(reinterpret_cast<const char*>(m.packed_.data_.data()),
+               m.packed_.data_.size());
+    put_u64(out, m.values_.size());
+    put_u64_array(out, m.values_.data(), m.values_.size());
+    static_assert(sizeof(core::MatchCounts) == 16,
+                  "MatchCounts must stay two packed u64s — the snapshot "
+                  "codec writes anchor counts as a flat word array");
+    const auto encode_anchors = [&](const auto& anchors) {
+      put_u64(out, anchors.size());
+      for (const auto& a : anchors) {
+        put_u64(out, a.row);
+        put_u64(out, a.est_delta);
+        put_u64(out, a.last_used);
+        put_u64_array(out, a.counts.data(), a.counts.size() * 2);
+      }
+    };
+    encode_anchors(m.recent_);
+    encode_anchors(m.representatives_);
+    put_u64(out, m.append_clock_);
+    put_u64(out, m.probe_cooldown_);
+    put_u64(out, m.probe_failures_);
+  }
+
+  static core::SimilarityMatrix decode_matrix(Reader& r,
+                                              core::UnknownPolicy policy,
+                                              unsigned threads) {
+    const std::size_t n = r.get_count(1);
+    const std::size_t networks = static_cast<std::size_t>(r.get_u64());
+    const std::size_t width = static_cast<std::size_t>(r.get_u64());
+    if (width != 1 && width != 2 && width != 4) {
+      throw DatasetIoError(
+          "snapshot: inconsistent matrix section — packed width " +
+          std::to_string(width) + " is not 1, 2, or 4");
+    }
+    const std::size_t weight_count = r.get_count(8);
+    std::vector<double> weights(weight_count);
+    r.get_u64_array(weights.data(), weight_count);
+
+    core::SimilarityMatrix m(policy, std::move(weights), threads);
+    m.n_ = n;
+    m.valid_.resize(n);
+    for (char& v : m.valid_) v = r.get_u8() ? 1 : 0;
+    if (n > 0 && networks > 0 && width > 0 &&
+        n > (r.size - r.off) / networks / width) {
+      throw DatasetIoError(
+          "snapshot: malformed section — a count exceeds the recorded "
+          "payload");
+    }
+    m.packed_.networks_ = networks;
+    m.packed_.rows_ = n;
+    m.packed_.width_ = width;
+    m.packed_.data_.resize(n * networks * width);
+    r.get_bytes(m.packed_.data_.data(), m.packed_.data_.size());
+    const std::size_t value_count = r.get_count(8);
+    if (value_count != n * (n + 1) / 2) {
+      throw DatasetIoError(
+          "snapshot: inconsistent matrix section — " +
+          std::to_string(value_count) + " phi values for " +
+          std::to_string(n) + " observations (expected n(n+1)/2)");
+    }
+    m.values_.resize(value_count);
+    r.get_u64_array(m.values_.data(), value_count);
+    const auto decode_anchors = [&](auto& anchors) {
+      const std::size_t count = r.get_count(24 + 16 * n);
+      for (std::size_t k = 0; k < count; ++k) {
+        core::SimilarityMatrix::AnchorRow a;
+        a.row = static_cast<std::size_t>(r.get_u64());
+        if (a.row >= n) {
+          throw DatasetIoError(
+              "snapshot: inconsistent matrix section — anchor row " +
+              std::to_string(a.row) + " out of range");
+        }
+        a.est_delta = static_cast<std::size_t>(r.get_u64());
+        a.last_used = r.get_u64();
+        a.counts.resize(n);
+        r.get_u64_array(a.counts.data(), n * 2);
+        anchors.push_back(std::move(a));
+      }
+    };
+    decode_anchors(m.recent_);
+    decode_anchors(m.representatives_);
+    m.append_clock_ = r.get_u64();
+    m.probe_cooldown_ = static_cast<std::size_t>(r.get_u64());
+    m.probe_failures_ = static_cast<std::size_t>(r.get_u64());
+    return m;
+  }
+};
+
+std::uint64_t dataset_prefix_hash(const core::Dataset& dataset,
+                                  std::size_t rows) {
+  if (rows > dataset.series.size()) {
+    throw std::invalid_argument(
+        "dataset_prefix_hash: prefix longer than the dataset");
+  }
+  std::uint64_t h = fnv_init();
+  fnv_mix_u64(h, dataset.networks.size());
+  for (core::NetId id = 0; id < dataset.networks.size(); ++id) {
+    fnv_mix_u64(h, dataset.networks.key(id));
+  }
+  core::SiteId max_site = core::kOtherSite;  // the reserved ids always exist
+  fnv_mix_u64(h, rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const core::RoutingVector& v = dataset.series[r];
+    fnv_mix_u64(h, static_cast<std::uint64_t>(v.time));
+    fnv_mix_u64(h, v.valid ? 1 : 0);
+    fnv_mix_u64(h, v.assignment.size());
+    for (const core::SiteId s : v.assignment) {
+      fnv_mix_u64(h, s);
+      max_site = std::max(max_site, s);
+    }
+  }
+  // The intern order over a prefix is fixed by the prefix, so hashing
+  // the names behind every referenced id ties the ids above to labels.
+  fnv_mix_u64(h, static_cast<std::uint64_t>(max_site) + 1);
+  for (core::SiteId s = 0; s <= max_site; ++s) {
+    const std::string& name = dataset.sites.name(s);
+    fnv_mix_u64(h, name.size());
+    fnv_mix(h, name.data(), name.size());
+  }
+  fnv_mix_u64(h, dataset.weights.size());
+  for (const double w : dataset.weights) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &w, sizeof(bits));
+    fnv_mix_u64(h, bits);
+  }
+  return h;
+}
+
+std::string encode_snapshot(const Snapshot& snapshot) {
+  std::string out;
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  put_u32(out, kSnapshotVersion);
+  const std::size_t length_at = out.size();
+  put_u64(out, 0);  // total length, patched below
+  put_u64(out, snapshot.prefix_hash);
+  put_u64(out, snapshot.processed);
+  put_u8(out, snapshot.matrix.has_value() ? 1 : 0);
+  put_u8(out, snapshot.has_modebook ? 1 : 0);
+  put_u8(out, snapshot.matrix.has_value() &&
+                      snapshot.matrix->policy() ==
+                          core::UnknownPolicy::kKnownOnly
+                  ? 1
+                  : 0);
+  put_u8(out, 0);
+  if (snapshot.matrix.has_value()) {
+    SnapshotCodec::encode_matrix(out, *snapshot.matrix);
+  }
+  if (snapshot.has_modebook) {
+    put_u64(out, snapshot.representatives.size());
+    for (const core::RoutingVector& rep : snapshot.representatives) {
+      put_u64(out, static_cast<std::uint64_t>(rep.time));
+      put_u8(out, rep.valid ? 1 : 0);
+      put_u64(out, rep.assignment.size());
+      for (const core::SiteId s : rep.assignment) put_u32(out, s);
+    }
+    put_u64(out, snapshot.history.size());
+    for (const std::size_t m : snapshot.history) put_u64(out, m);
+  }
+  patch_u64(out, length_at, out.size() + 4);  // the CRC trailer follows
+  put_u32(out, payload_checksum(out.data(), out.size()));
+  return out;
+}
+
+Snapshot decode_snapshot(std::string_view bytes, unsigned threads) {
+  const auto corrupt = [](const std::string& what) -> DatasetIoError {
+    snap_metrics().corrupt.inc();
+    return DatasetIoError(what);
+  };
+  if (bytes.size() < sizeof(kSnapshotMagic) ||
+      std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) !=
+          0) {
+    throw corrupt(
+        "snapshot: bad magic — not a fenrir snapshot file (expected it to "
+        "start with FENRSNAP)");
+  }
+  if (bytes.size() < 12) {
+    throw corrupt(
+        "snapshot: truncated — the file ends inside the header; re-create "
+        "it from the dataset");
+  }
+  Reader header{reinterpret_cast<const unsigned char*>(bytes.data()),
+                bytes.size(), sizeof(kSnapshotMagic)};
+  const std::uint32_t version = header.get_u32();
+  if (version != kSnapshotVersion) {
+    throw corrupt("snapshot: version skew — file is v" +
+                  std::to_string(version) + " but this build reads v" +
+                  std::to_string(kSnapshotVersion) +
+                  "; re-create the snapshot with this binary");
+  }
+  if (bytes.size() < 20) {
+    throw corrupt(
+        "snapshot: truncated — the file ends inside the header; re-create "
+        "it from the dataset");
+  }
+  const std::uint64_t recorded = header.get_u64();
+  if (recorded > bytes.size()) {
+    throw corrupt("snapshot: truncated — the file holds " +
+                  std::to_string(bytes.size()) + " of a recorded " +
+                  std::to_string(recorded) +
+                  " bytes; the tail is missing (interrupted copy or "
+                  "save?)");
+  }
+  if (recorded < bytes.size()) {
+    throw corrupt("snapshot: " + std::to_string(bytes.size() - recorded) +
+                  " trailing bytes after the recorded length — the file "
+                  "was appended to or mixed with another; re-create it");
+  }
+  if (recorded < 44) {  // header + flags + CRC: the smallest valid file
+    throw corrupt(
+        "snapshot: malformed header — recorded length is smaller than the "
+        "fixed header");
+  }
+  const std::uint32_t stored_crc =
+      Reader{reinterpret_cast<const unsigned char*>(bytes.data()),
+             bytes.size(), bytes.size() - 4}
+          .get_u32();
+  const std::uint32_t computed_crc = payload_checksum(bytes.data(), bytes.size() - 4);
+  if (stored_crc != computed_crc) {
+    std::ostringstream os;
+    os << "snapshot: checksum mismatch (stored " << std::hex << stored_crc
+       << ", computed " << computed_crc
+       << ") — the file is corrupt; re-create it from the dataset";
+    throw corrupt(os.str());
+  }
+
+  Reader r{reinterpret_cast<const unsigned char*>(bytes.data()),
+           bytes.size() - 4, 20};
+  Snapshot snapshot;
+  try {
+    snapshot.prefix_hash = r.get_u64();
+    snapshot.processed = static_cast<std::size_t>(r.get_u64());
+    const bool has_matrix = r.get_u8() != 0;
+    snapshot.has_modebook = r.get_u8() != 0;
+    const core::UnknownPolicy policy = r.get_u8() != 0
+                                           ? core::UnknownPolicy::kKnownOnly
+                                           : core::UnknownPolicy::kPessimistic;
+    r.get_u8();  // reserved
+    if (has_matrix) {
+      snapshot.matrix = SnapshotCodec::decode_matrix(r, policy, threads);
+    }
+    if (snapshot.has_modebook) {
+      const std::size_t modes = r.get_count(17);
+      snapshot.representatives.reserve(modes);
+      for (std::size_t m = 0; m < modes; ++m) {
+        core::RoutingVector rep;
+        rep.time = static_cast<core::TimePoint>(r.get_i64());
+        rep.valid = r.get_u8() != 0;
+        rep.assignment.resize(r.get_count(4));
+        for (core::SiteId& s : rep.assignment) s = r.get_u32();
+        snapshot.representatives.push_back(std::move(rep));
+      }
+      snapshot.history.resize(r.get_count(8));
+      for (std::size_t& m : snapshot.history) {
+        m = static_cast<std::size_t>(r.get_u64());
+        if (m >= snapshot.representatives.size()) {
+          throw DatasetIoError(
+              "snapshot: inconsistent modebook section — history names "
+              "mode " +
+              std::to_string(m) + " of " +
+              std::to_string(snapshot.representatives.size()));
+        }
+      }
+    }
+    if (r.off != r.size) {
+      throw DatasetIoError(
+          "snapshot: malformed section — " +
+          std::to_string(r.size - r.off) +
+          " undeclared bytes between the sections and the checksum");
+    }
+  } catch (const DatasetIoError&) {
+    snap_metrics().corrupt.inc();
+    throw;
+  }
+  if (snapshot.matrix.has_value() &&
+      snapshot.matrix->size() != snapshot.processed) {
+    snap_metrics().corrupt.inc();
+    throw DatasetIoError(
+        "snapshot: inconsistent header — the matrix holds " +
+        std::to_string(snapshot.matrix->size()) + " rows but " +
+        std::to_string(snapshot.processed) + " observations are recorded");
+  }
+  return snapshot;
+}
+
+void atomic_write_file(const std::filesystem::path& path,
+                       std::string_view bytes) {
+  const std::filesystem::path dir =
+      path.has_parent_path() ? path.parent_path() : ".";
+  const std::string tmp =
+      path.string() + ".tmp." + std::to_string(::getpid());
+  const auto fail = [&](const std::string& stage, int fd) -> DatasetIoError {
+    const int err = errno;
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return DatasetIoError("cannot " + stage + " " + tmp + ": " +
+                          std::strerror(err));
+  };
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw fail("create", -1);
+  chaos::maybe_kill_during_save(0);  // a 0-byte schedule kills before data
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const std::size_t chunk = std::min<std::size_t>(4096, bytes.size() - off);
+    const ssize_t wrote = ::write(fd, bytes.data() + off, chunk);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      throw fail("write", fd);
+    }
+    off += static_cast<std::size_t>(wrote);
+    chaos::maybe_kill_during_save(off);
+  }
+  if (::fsync(fd) != 0) throw fail("fsync", fd);
+  if (::close(fd) != 0) throw fail("close", -1);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw DatasetIoError("cannot rename " + tmp + " over " + path.string() +
+                         ": " + std::strerror(err));
+  }
+  // Make the rename durable: fsync the directory entry. Best-effort —
+  // some filesystems refuse O_RDONLY directory fds.
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+void save_snapshot_file(const std::filesystem::path& path,
+                        const Snapshot& snapshot) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::string bytes = encode_snapshot(snapshot);
+  atomic_write_file(path, bytes);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  SnapMetrics& m = snap_metrics();
+  m.save_total.inc();
+  m.save_bytes.inc(bytes.size());
+  m.save_seconds.set(seconds);
+  publish_snapshot_fragment("save", path, bytes.size(), seconds, snapshot);
+  FENRIR_LOG(Debug).field("path", path.string()).field("bytes", bytes.size())
+      << "snapshot saved";
+}
+
+Snapshot load_snapshot_file(const std::filesystem::path& path,
+                            unsigned threads) {
+  const auto start = std::chrono::steady_clock::now();
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw DatasetIoError("cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw DatasetIoError("cannot read " + path.string());
+  }
+  const std::string bytes = std::move(buffer).str();
+  Snapshot snapshot = decode_snapshot(bytes, threads);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  SnapMetrics& m = snap_metrics();
+  m.load_total.inc();
+  m.load_bytes.inc(bytes.size());
+  m.load_seconds.set(seconds);
+  publish_snapshot_fragment("load", path, bytes.size(), seconds, snapshot);
+  FENRIR_LOG(Debug).field("path", path.string()).field("bytes", bytes.size())
+      << "snapshot loaded";
+  return snapshot;
+}
+
+// --- watch state ---------------------------------------------------------
+
+namespace {
+
+constexpr const char* kWatchStateMagic = "#fenrir-watchstate";
+constexpr const char* kWatchStateVersion = "v1";
+
+core::TimePoint parse_time_or_throw(const std::string& text) {
+  const auto t = core::parse_time(text);
+  if (!t) {
+    throw DatasetIoError("watch state: cannot parse time '" + text + "'");
+  }
+  return *t;
+}
+
+/// The legacy CSV reader, verbatim semantics from the v1 fenrirctl:
+/// site names re-intern, so the state survives dataset growth without a
+/// hash. Returns a matrix-less Snapshot; the caller rebuilds the matrix
+/// and the next save writes v2.
+Snapshot load_watch_state_v1(core::Dataset& data, const std::string& text,
+                             const std::filesystem::path& path) {
+  const auto rows = parse_csv(text);
+  if (rows.size() < 3 || rows[0].size() < 2 ||
+      rows[0][0] != kWatchStateMagic) {
+    throw DatasetIoError("not a watch state file (bad magic): " +
+                         path.string());
+  }
+  if (rows[0][1] != kWatchStateVersion) {
+    throw DatasetIoError("unsupported watch state version " + rows[0][1]);
+  }
+  if (rows[1].size() != 2 || rows[1][0] != "processed") {
+    throw DatasetIoError("watch state: malformed processed row");
+  }
+  Snapshot snapshot;
+  snapshot.processed = std::stoul(rows[1][1]);
+  snapshot.has_modebook = true;
+  if (rows[2].empty() || rows[2][0] != "history") {
+    throw DatasetIoError("watch state: malformed history row");
+  }
+  for (std::size_t i = 1; i < rows[2].size(); ++i) {
+    snapshot.history.push_back(std::stoul(rows[2][i]));
+  }
+  for (std::size_t r = 3; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    if (row.size() < 2 || row[0] != "mode") {
+      throw DatasetIoError("watch state: malformed mode row");
+    }
+    if (row.size() - 2 != data.networks.size()) {
+      throw DatasetIoError(
+          "watch state disagrees with the dataset: representative has " +
+          std::to_string(row.size() - 2) + " networks, dataset has " +
+          std::to_string(data.networks.size()));
+    }
+    core::RoutingVector rep;
+    rep.time = parse_time_or_throw(row[1]);
+    rep.assignment.reserve(row.size() - 2);
+    for (std::size_t i = 2; i < row.size(); ++i) {
+      rep.assignment.push_back(data.sites.intern(row[i]));
+    }
+    snapshot.representatives.push_back(std::move(rep));
+  }
+  return snapshot;
+}
+
+}  // namespace
+
+Snapshot load_watch_state(core::Dataset& dataset,
+                          const std::filesystem::path& path,
+                          unsigned threads) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DatasetIoError("cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = std::move(buffer).str();
+  Snapshot snapshot;
+  if (bytes.size() >= sizeof(kSnapshotMagic) &&
+      std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) ==
+          0) {
+    const auto start = std::chrono::steady_clock::now();
+    snapshot = decode_snapshot(bytes, threads);
+    if (snapshot.processed > dataset.series.size()) {
+      throw DatasetIoError(
+          "watch state is ahead of the dataset (" +
+          std::to_string(snapshot.processed) + " processed, " +
+          std::to_string(dataset.series.size()) +
+          " observations on disk) — did the dataset shrink?");
+    }
+    const std::uint64_t expected =
+        dataset_prefix_hash(dataset, snapshot.processed);
+    if (expected != snapshot.prefix_hash) {
+      throw DatasetIoError(
+          "watch state disagrees with the dataset: the first " +
+          std::to_string(snapshot.processed) +
+          " observations are not the ones this state was saved from "
+          "(prefix hash mismatch) — delete the state file to start over");
+    }
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    SnapMetrics& m = snap_metrics();
+    m.load_total.inc();
+    m.load_bytes.inc(bytes.size());
+    m.load_seconds.set(seconds);
+    publish_snapshot_fragment("load", path, bytes.size(), seconds, snapshot);
+  } else {
+    snapshot = load_watch_state_v1(dataset, bytes, path);
+    if (snapshot.processed > dataset.series.size()) {
+      throw DatasetIoError(
+          "watch state is ahead of the dataset (" +
+          std::to_string(snapshot.processed) + " processed, " +
+          std::to_string(dataset.series.size()) +
+          " observations on disk) — did the dataset shrink?");
+    }
+  }
+  return snapshot;
+}
+
+void save_watch_state(const core::Dataset& dataset,
+                      const core::ModeBook& book, std::size_t processed,
+                      const core::SimilarityMatrix* matrix,
+                      const std::filesystem::path& path) {
+  Snapshot snapshot;
+  snapshot.processed = processed;
+  snapshot.prefix_hash = dataset_prefix_hash(dataset, processed);
+  snapshot.has_modebook = true;
+  snapshot.representatives.reserve(book.mode_count());
+  for (std::size_t m = 0; m < book.mode_count(); ++m) {
+    snapshot.representatives.push_back(book.representative(m));
+  }
+  snapshot.history = book.history();
+  if (matrix != nullptr) snapshot.matrix = *matrix;  // copy: caller keeps it
+  save_snapshot_file(path, snapshot);
+}
+
+void save_watch_state_v1(const core::Dataset& dataset,
+                         const core::ModeBook& book, std::size_t processed,
+                         const std::filesystem::path& path) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(kWatchStateMagic, kWatchStateVersion);
+  csv.row("processed", processed);
+  {
+    std::vector<std::string> row{"history"};
+    for (const std::size_t m : book.history()) {
+      row.push_back(std::to_string(m));
+    }
+    csv.write_row(row);
+  }
+  for (std::size_t m = 0; m < book.mode_count(); ++m) {
+    const core::RoutingVector& rep = book.representative(m);
+    std::vector<std::string> row{"mode", core::format_time(rep.time)};
+    row.reserve(rep.assignment.size() + 2);
+    for (const core::SiteId s : rep.assignment) {
+      row.push_back(dataset.sites.name(s));
+    }
+    csv.write_row(row);
+  }
+  atomic_write_file(path, out.str());
+}
+
+}  // namespace fenrir::io

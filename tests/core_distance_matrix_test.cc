@@ -48,6 +48,43 @@ Dataset churn_dataset(std::size_t obs, std::size_t nets, double churn,
   return d;
 }
 
+// Two routing modes alternating in blocks of `period` — the paper's
+// recurring structure. Each mode keeps its own slowly-churning vector
+// (only the active mode churns), so a return to a mode lands within a
+// few change-sets of that mode's previous occurrence while staying far
+// from the immediate predecessor. This is the shape anchors exist for.
+Dataset periodic_dataset(std::size_t obs, std::size_t nets,
+                         std::size_t period, double churn,
+                         std::uint64_t seed, double invalid_frac = 0.0,
+                         double unknown_frac = 0.1) {
+  Dataset d;
+  d.name = "periodic";
+  for (std::size_t n = 0; n < nets; ++n) d.networks.intern(n);
+  for (int s = 0; s < 6; ++s) d.sites.intern("s" + std::to_string(s));
+  rng::Rng r(seed);
+  const auto random_site = [&]() -> SiteId {
+    return r.bernoulli(unknown_frac)
+               ? kUnknownSite
+               : static_cast<SiteId>(kFirstRealSite + r.uniform(6));
+  };
+  RoutingVector modes[2];
+  for (auto& m : modes) {
+    m.assignment.resize(nets);
+    for (auto& s : m.assignment) s = random_site();
+  }
+  const auto flips = static_cast<std::size_t>(churn * nets);
+  for (std::size_t t = 0; t < obs; ++t) {
+    RoutingVector& m = modes[(t / period) % 2];
+    m.time = static_cast<TimePoint>(t) * kDay;
+    m.valid = !r.bernoulli(invalid_frac);
+    d.series.push_back(m);
+    for (std::size_t k = 0; k < flips; ++k) {
+      m.assignment[r.uniform(nets)] = random_site();
+    }
+  }
+  return d;
+}
+
 void expect_bit_identical(const SimilarityMatrix& got,
                           const SimilarityMatrix& want,
                           const std::string& label) {
@@ -147,6 +184,103 @@ TEST(SimilarityMatrixFast, DeltaPathEngagesOnLowChurn) {
   (void)SimilarityMatrix::compute(high, UnknownPolicy::kPessimistic, 1);
   EXPECT_EQ(delta_rows.value(), delta_mid);
   EXPECT_GE(kernel_rows.value() - kernel_before, 12u);
+}
+
+// Mode alternation exercises every anchor path — predecessor, recent,
+// probed representative, kernel fallback — and all of them must stay
+// bit-identical to the scalar reference.
+TEST(SimilarityMatrixAnchors, PeriodicBitIdenticalToReference) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const auto policy :
+         {UnknownPolicy::kPessimistic, UnknownPolicy::kKnownOnly}) {
+      const Dataset d = periodic_dataset(36, 400, 6, 0.01, seed,
+                                         seed == 3 ? 0.15 : 0.0);
+      const auto ref = SimilarityMatrix::compute_reference(d, policy);
+      for (const unsigned threads : {1u, 0u}) {
+        const auto fast = SimilarityMatrix::compute(d, policy, threads);
+        expect_bit_identical(fast, ref,
+                             "periodic seed=" + std::to_string(seed) +
+                                 " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+// On a long two-mode alternation the first row of each novel block pays
+// the kernels once and becomes a representative anchor; later returns
+// to the mode probe it and patch. The metrics prove which paths ran.
+TEST(SimilarityMatrixAnchors, RepresentativesEngageOnRecurrence) {
+  auto& representative =
+      obs::registry().counter("fenrir_phi_anchor_representative_total");
+  auto& chained = obs::registry().counter("fenrir_phi_anchor_chained_total");
+  auto& probes = obs::registry().counter("fenrir_phi_anchor_probes_total");
+  auto& pins = obs::registry().counter("fenrir_phi_anchor_pins_total");
+  const auto rep_before = representative.value();
+  const auto chained_before = chained.value();
+  const auto probes_before = probes.value();
+  const auto pins_before = pins.value();
+
+  // 0.5% intra-mode churn over 2000 networks, period 8: recurrences are
+  // ~8 change-sets from the mode's previous block — well under the 5%
+  // delta threshold, but far beyond the predecessor's reach.
+  const Dataset d = periodic_dataset(48, 2000, 8, 0.005, 77);
+  const auto ref = SimilarityMatrix::compute_reference(d);
+  const auto fast = SimilarityMatrix::compute(d, UnknownPolicy::kPessimistic, 1);
+  expect_bit_identical(fast, ref, "recurrence");
+
+  EXPECT_GT(pins.value(), pins_before);      // novel blocks were pinned
+  EXPECT_GT(probes.value(), probes_before);  // stale bounds were probed
+  EXPECT_GT(representative.value() + chained.value(),
+            rep_before + chained_before)
+      << "no recurrence ever patched from a non-predecessor anchor";
+}
+
+TEST(SimilarityMatrixAnchors, PinAnchorValidatesAndStaysIdentical) {
+  const Dataset d = churn_dataset(20, 300, 0.02, 5, 0.1);
+  std::size_t valid_row = 0;  // pin_anchor no-ops on invalid rows
+  while (!d.series[valid_row].valid) ++valid_row;
+  auto ref = SimilarityMatrix::compute_reference(d);
+  EXPECT_THROW(ref.pin_anchor(valid_row), std::logic_error);
+
+  SimilarityMatrix m(UnknownPolicy::kPessimistic, d.weights, 1);
+  EXPECT_THROW(m.pin_anchor(0), std::out_of_range);
+  for (std::size_t t = 0; t < 10; ++t) m.append(d.series[t]);
+  m.pin_anchor(valid_row);  // left the recent set: O(T·N) rebuild
+  m.pin_anchor(valid_row);  // already pinned: no-op
+  EXPECT_THROW(m.pin_anchor(99), std::out_of_range);
+  for (std::size_t t = 10; t < d.series.size(); ++t) m.append(d.series[t]);
+  expect_bit_identical(m, ref, "pinned");
+
+  // Weighted matrices run kernels only; pinning is a documented no-op.
+  SimilarityMatrix w(UnknownPolicy::kPessimistic, {1.0, 2.0, 3.0}, 1);
+  RoutingVector v;
+  v.assignment = {3, 4, 5};
+  v.valid = true;
+  w.append(v);
+  EXPECT_NO_THROW(w.pin_anchor(0));
+}
+
+// set_anchor_limits trades speed, never values: predecessor-only (the
+// old builds' delta path) and fully disabled both match the reference.
+TEST(SimilarityMatrixAnchors, AnchorLimitsAffectTimeOnly) {
+  const Dataset d = periodic_dataset(24, 300, 6, 0.01, 11, 0.1);
+  const auto ref = SimilarityMatrix::compute_reference(d);
+  for (const auto limits :
+       {std::pair<std::size_t, std::size_t>{1, 0}, {0, 0}, {2, 1}}) {
+    SimilarityMatrix m(UnknownPolicy::kPessimistic, d.weights, 1);
+    m.set_anchor_limits(limits.first, limits.second);
+    for (const RoutingVector& v : d.series) m.append(v);
+    expect_bit_identical(m, ref,
+                         "limits " + std::to_string(limits.first) + "," +
+                             std::to_string(limits.second));
+  }
+  // Shrinking the sets mid-series drops existing anchors but keeps the
+  // values exact.
+  SimilarityMatrix m(UnknownPolicy::kPessimistic, d.weights, 1);
+  for (std::size_t t = 0; t < 12; ++t) m.append(d.series[t]);
+  m.set_anchor_limits(1, 0);
+  for (std::size_t t = 12; t < d.series.size(); ++t) m.append(d.series[t]);
+  expect_bit_identical(m, ref, "limits shrunk mid-series");
 }
 
 // Regression: range_between/median_between used to visit each unordered

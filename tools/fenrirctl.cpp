@@ -27,14 +27,26 @@
 //   --heatmap-csv FILE    write the full phi matrix as CSV
 //   --stack FILE.csv      write the per-site stack series
 //   --ascii               print an ASCII heatmap
+//   --matrix-cache FILE   reuse FILE (an io/snapshot.h binary snapshot)
+//                         as the phi matrix when its dataset prefix hash
+//                         still matches; append only the new rows; write
+//                         the refreshed snapshot back. Stale caches are
+//                         recomputed with a warning; corrupt ones are
+//                         exit code 3. Output is byte-identical either
+//                         way — every matrix path is.
 //
 // watch options:
 //   --threshold X         mode match threshold (default 0.85)
 //   --pessimistic         pessimistic unknown policy (default known-only)
 //   --adapt               representatives follow the latest member
-//   --resume FILE         restore the mode book from FILE (if it exists),
+//   --resume FILE         restore the session from FILE (if it exists),
 //                         process only new observations, write the state
-//                         back — a long-lived watch across restarts
+//                         back — a long-lived watch across restarts.
+//                         States are v2 binary snapshots carrying the
+//                         mode book AND the phi matrix (loads in
+//                         O(bytes)); legacy v1 CSV states still load
+//                         (the matrix is rebuilt once) and upgrade to
+//                         v2 on the next save
 //
 // clean options:
 //   --limit N             interpolation distance (default 3)
@@ -73,6 +85,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -86,6 +99,7 @@
 #include "core/stackplot.h"
 #include "core/transition.h"
 #include "io/csv.h"
+#include "io/snapshot.h"
 #include "io/table.h"
 #include "measure/verfploeter.h"
 #include "netbase/hitlist.h"
@@ -140,9 +154,9 @@ Args parse_args(int argc, char** argv, int first) {
            flag == "--heatmap" || flag == "--heatmap-csv" ||
            flag == "--stack" || flag == "--limit" || flag == "--micro" ||
            flag == "--log-level" || flag == "--metrics" ||
-           flag == "--resume" || flag == "--trace-out" ||
-           flag == "--status-port" || flag == "--status-port-file" ||
-           flag == "--journal";
+           flag == "--resume" || flag == "--matrix-cache" ||
+           flag == "--trace-out" || flag == "--status-port" ||
+           flag == "--status-port-file" || flag == "--journal";
   };
   Args out;
   for (int i = first; i < argc; ++i) {
@@ -251,7 +265,45 @@ int cmd_analyze(const Args& args) {
   }
   cfg.detector.min_drop = std::stod(args.get("--min-drop", "0.02"));
 
-  const core::AnalysisResult result = core::analyze(data, cfg);
+  // --matrix-cache FILE: reuse a snapshot's Φ matrix when it is a prefix
+  // of this dataset built under the same flags; append the remainder and
+  // hand it to the pipeline. Every matrix path is bit-identical, so the
+  // report is byte-for-byte the same as a cold run — the cache only
+  // moves time around. A corrupt cache is an error (exit 3), a stale
+  // one is merely ignored.
+  const std::string cache_path = args.get("--matrix-cache", "");
+  std::optional<core::SimilarityMatrix> cached;
+  if (!cache_path.empty() && std::ifstream(cache_path).good()) {
+    io::Snapshot snap = io::load_snapshot_file(cache_path, /*threads=*/0);
+    const bool usable =
+        snap.matrix.has_value() && snap.processed <= data.series.size() &&
+        snap.matrix->policy() == cfg.policy &&
+        snap.prefix_hash == io::dataset_prefix_hash(data, snap.processed);
+    if (usable) {
+      cached = std::move(*snap.matrix);
+      for (std::size_t i = snap.processed; i < data.series.size(); ++i) {
+        cached->append(data.series[i]);
+      }
+      FENRIR_LOG(Info).field("cache", cache_path)
+              .field("cached_rows", snap.processed)
+              .field("appended", data.series.size() - snap.processed)
+          << "analyze: matrix cache hit";
+    } else {
+      FENRIR_LOG(Warn).field("cache", cache_path)
+          << "matrix cache is stale; recomputing";
+    }
+  }
+
+  const core::AnalysisResult result =
+      cached.has_value() ? core::analyze(data, cfg, std::move(*cached))
+                         : core::analyze(data, cfg);
+  if (!cache_path.empty()) {
+    io::Snapshot snap;
+    snap.processed = data.series.size();
+    snap.prefix_hash = io::dataset_prefix_hash(data, snap.processed);
+    snap.matrix = result.matrix;
+    io::save_snapshot_file(cache_path, snap);
+  }
   core::print_report(data, result, std::cout);
 
   if (args.has("--ascii")) {
@@ -315,96 +367,6 @@ int cmd_info(const Args& args) {
   return 0;
 }
 
-constexpr const char* kWatchStateMagic = "#fenrir-watchstate";
-constexpr const char* kWatchStateVersion = "v1";
-
-/// Persists a watch session: how many series entries were consumed, the
-/// mode history, and each mode's representative (site names, so the
-/// state survives as long as the dataset keeps the same networks).
-void save_watch_state(const core::Dataset& data, const core::ModeBook& book,
-                      std::size_t processed, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw core::DatasetIoError("cannot open " + path + " for writing");
-  }
-  io::CsvWriter csv(out);
-  csv.row(kWatchStateMagic, kWatchStateVersion);
-  csv.row("processed", processed);
-  {
-    std::vector<std::string> row{"history"};
-    for (const std::size_t m : book.history()) {
-      row.push_back(std::to_string(m));
-    }
-    csv.write_row(row);
-  }
-  for (std::size_t m = 0; m < book.mode_count(); ++m) {
-    const core::RoutingVector& rep = book.representative(m);
-    std::vector<std::string> row{"mode", core::format_time(rep.time)};
-    row.reserve(rep.assignment.size() + 2);
-    for (const core::SiteId s : rep.assignment) {
-      row.push_back(data.sites.name(s));
-    }
-    csv.write_row(row);
-  }
-  if (!out) throw core::DatasetIoError("write failed: " + path);
-}
-
-/// Restores a watch session into @p book; returns how many series
-/// entries the previous session already consumed. Site names re-intern
-/// into @p data's table. Throws DatasetIoError on malformed state or a
-/// network-count mismatch with the dataset.
-std::size_t load_watch_state(core::Dataset& data, core::ModeBook& book,
-                             const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw core::DatasetIoError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const auto rows = io::parse_csv(buffer.str());
-  if (rows.size() < 3 || rows[0].size() < 2 || rows[0][0] != kWatchStateMagic) {
-    throw core::DatasetIoError("not a watch state file (bad magic): " + path);
-  }
-  if (rows[0][1] != kWatchStateVersion) {
-    throw core::DatasetIoError("unsupported watch state version " + rows[0][1]);
-  }
-  if (rows[1].size() != 2 || rows[1][0] != "processed") {
-    throw core::DatasetIoError("watch state: malformed processed row");
-  }
-  const std::size_t processed = std::stoul(rows[1][1]);
-  if (rows[2].empty() || rows[2][0] != "history") {
-    throw core::DatasetIoError("watch state: malformed history row");
-  }
-  std::vector<std::size_t> history;
-  for (std::size_t i = 1; i < rows[2].size(); ++i) {
-    history.push_back(std::stoul(rows[2][i]));
-  }
-  std::vector<core::RoutingVector> representatives;
-  for (std::size_t r = 3; r < rows.size(); ++r) {
-    const auto& row = rows[r];
-    if (row.size() < 2 || row[0] != "mode") {
-      throw core::DatasetIoError("watch state: malformed mode row");
-    }
-    if (row.size() - 2 != data.networks.size()) {
-      throw core::DatasetIoError(
-          "watch state disagrees with the dataset: representative has " +
-          std::to_string(row.size() - 2) + " networks, dataset has " +
-          std::to_string(data.networks.size()));
-    }
-    core::RoutingVector rep;
-    rep.time = parse_time_or_throw(row[1]);
-    rep.assignment.reserve(row.size() - 2);
-    for (std::size_t i = 2; i < row.size(); ++i) {
-      rep.assignment.push_back(data.sites.intern(row[i]));
-    }
-    representatives.push_back(std::move(rep));
-  }
-  try {
-    book.restore(std::move(representatives), std::move(history));
-  } catch (const std::invalid_argument& e) {
-    throw core::DatasetIoError(std::string("watch state: ") + e.what());
-  }
-  return processed;
-}
-
 int cmd_watch(const Args& args) {
   if (args.positional.size() != 1) return usage();
   core::Dataset data = core::load_dataset_file(args.positional[0]);
@@ -416,17 +378,53 @@ int cmd_watch(const Args& args) {
   cfg.adapt_representative = args.has("--adapt");
   core::ModeBook book(cfg);
 
-  // --resume FILE: pick up where an earlier watch of the (possibly
-  // grown) dataset left off, and write the state back when done.
+  // A stateful watch (--resume) also maintains the Φ matrix so the
+  // state file carries it — resuming then costs O(bytes) instead of
+  // the O(T²·N) rebuild. A plain watch stays matrix-free; its output
+  // and cost are untouched by any of this.
   std::size_t start = 0;
   const std::string state_path = args.get("--resume", "");
+  std::optional<core::SimilarityMatrix> matrix;
+  if (!state_path.empty()) {
+    matrix.emplace(cfg.policy, data.weights, /*threads=*/0);
+  }
   if (!state_path.empty() && std::ifstream(state_path).good()) {
-    start = load_watch_state(data, book, state_path);
-    if (start > data.series.size()) {
-      throw core::DatasetIoError(
-          "watch state is ahead of the dataset (" + std::to_string(start) +
-          " processed, " + std::to_string(data.series.size()) +
-          " observations on disk) — did the dataset shrink?");
+    io::Snapshot state = io::load_watch_state(data, state_path, /*threads=*/0);
+    start = state.processed;
+    try {
+      book.restore(std::move(state.representatives),
+                   std::move(state.history));
+    } catch (const std::invalid_argument& e) {
+      throw core::DatasetIoError(std::string("watch state: ") + e.what());
+    }
+    const bool matrix_usable =
+        state.matrix.has_value() && state.matrix->size() == start &&
+        state.matrix->policy() == cfg.policy;
+    if (matrix_usable) {
+      matrix = std::move(*state.matrix);
+    } else {
+      // A v1 CSV state (or one saved under another policy) carries no
+      // usable matrix: rebuild it over the consumed prefix once. The
+      // save below writes v2, so this rebuild never happens twice.
+      if (state.matrix.has_value()) {
+        FENRIR_LOG(Warn).field("state", state_path)
+            << "watch state matrix unusable under current flags; "
+               "rebuilding";
+      }
+      for (std::size_t i = 0; i < start; ++i) matrix->append(data.series[i]);
+      // Re-pin each mode representative's first occurrence: history
+      // holds the mode of every *valid* observation in order.
+      std::vector<bool> seen(book.mode_count(), false);
+      std::size_t valid_seen = 0;
+      for (std::size_t i = 0; i < start; ++i) {
+        if (!data.series[i].valid) continue;
+        if (valid_seen >= book.history().size()) break;
+        const std::size_t mode = book.history()[valid_seen++];
+        if (mode < seen.size() && !seen[mode]) {
+          seen[mode] = true;
+          matrix->pin_anchor(i);
+        }
+      }
     }
     static obs::Counter& resumes = obs::registry().counter(
         "fenrir_watch_resumes_total", "watch sessions resumed from state");
@@ -445,7 +443,13 @@ int cmd_watch(const Args& args) {
 
   for (std::size_t i = start; i < data.series.size(); ++i) {
     const core::RoutingVector& v = data.series[i];
+    if (matrix.has_value()) matrix->append(v);
     const auto match = book.observe(v);
+    // A new mode's first occurrence becomes a representative anchor:
+    // when the series recurs to it, the matrix patches from this row
+    // instead of paying the packed kernels (the appended row is still
+    // a recent anchor, so pinning it here is O(1)-ish).
+    if (matrix.has_value() && match.is_new) matrix->pin_anchor(i);
     std::cout << core::format_time(v.time) << "  mode " << match.mode
               << "  phi " << io::fixed(match.phi, 3);
     if (!v.valid) {
@@ -475,7 +479,8 @@ int cmd_watch(const Args& args) {
   // /status has a modebook fragment under --serve.
   obs::status_board().publish("modebook", book.status_json());
   if (!state_path.empty()) {
-    save_watch_state(data, book, data.series.size(), state_path);
+    io::save_watch_state(data, book, data.series.size(),
+                         matrix.has_value() ? &*matrix : nullptr, state_path);
   }
   return 0;
 }
@@ -634,13 +639,24 @@ void register_metric_catalog() {
         "fenrir_campaign_quorum_disagreements_total",
         "fenrir_campaign_resumes_total", "fenrir_watch_resumes_total",
         "fenrir_status_requests_total", "fenrir_journal_lines_total",
-        "fenrir_trace_events_dropped_total"}) {
+        "fenrir_trace_events_dropped_total", "fenrir_phi_appends_total",
+        "fenrir_phi_rows_delta_total", "fenrir_phi_rows_kernel_total",
+        "fenrir_phi_anchor_predecessor_total", "fenrir_phi_anchor_chained_total",
+        "fenrir_phi_anchor_representative_total", "fenrir_phi_anchor_packed_total",
+        "fenrir_phi_anchor_probes_total", "fenrir_phi_anchor_pins_total",
+        "fenrir_phi_anchor_refreshes_total",
+        "fenrir_snapshot_save_total", "fenrir_snapshot_save_bytes_total",
+        "fenrir_snapshot_load_total", "fenrir_snapshot_load_bytes_total",
+        "fenrir_snapshot_corrupt_total"}) {
     r.counter(name);
   }
   for (const char* name :
        {"fenrir_analyze_observations", "fenrir_analyze_clusters",
         "fenrir_analyze_modes", "fenrir_parallel_imbalance_ratio",
-        "fenrir_campaign_coverage", "fenrir_campaign_confidence"}) {
+        "fenrir_campaign_coverage", "fenrir_campaign_confidence",
+        "fenrir_phi_delta_density", "fenrir_phi_delta_speedup_ratio",
+        "fenrir_phi_anchor_est_delta", "fenrir_phi_anchor_realized_delta",
+        "fenrir_snapshot_save_seconds", "fenrir_snapshot_load_seconds"}) {
     r.gauge(name);
   }
 }
