@@ -1,9 +1,11 @@
 #include "core/distance_matrix.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 
 #include "core/parallel.h"
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace fenrir::core {
@@ -26,6 +28,7 @@ struct PhiMetrics {
   obs::Counter& anchor_refreshes;
   obs::Gauge& anchor_est_delta;
   obs::Gauge& anchor_realized_delta;
+  obs::Histogram& append_seconds;
 };
 
 PhiMetrics& phi_metrics() {
@@ -75,9 +78,27 @@ PhiMetrics& phi_metrics() {
       obs::registry().gauge(
           "fenrir_phi_anchor_realized_delta",
           "realized |delta| against the chosen anchor at the last "
-          "delta-path row")};
+          "delta-path row"),
+      obs::registry().histogram(
+          "fenrir_phi_append_seconds", obs::Histogram::duration_bounds(),
+          "wall time of one SimilarityMatrix::append row")};
   return m;
 }
+
+/// Times the whole append — every exit path — into the latency
+/// histogram the /metrics/history p99 series is built from. Two clock
+/// reads per row, noise next to the row's own O(i) work.
+struct AppendTimer {
+  obs::Histogram& histogram;
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  explicit AppendTimer(obs::Histogram& h) : histogram(h) {}
+  ~AppendTimer() {
+    histogram.observe(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+  }
+};
 
 constexpr std::size_t kEstSaturated = std::numeric_limits<std::size_t>::max();
 
@@ -223,6 +244,7 @@ void SimilarityMatrix::append(const RoutingVector& v) {
   append_clock_ += 1;
   PhiMetrics& metrics = phi_metrics();
   metrics.appends.inc();
+  AppendTimer timer(metrics.append_seconds);
   const bool weighted = !weights_.empty();
   if (!v.valid) {
     // The slot keeps its timeline position. Anchors stay alive — their
@@ -369,6 +391,14 @@ void SimilarityMatrix::append(const RoutingVector& v) {
     metrics.rows_kernel.inc();
     metrics.anchor_packed.inc();
     if (probe_cooldown_ > 0 && !probed) probe_cooldown_ -= 1;
+    // No anchor explained this row: O(T·N) kernel fallback. One is a new
+    // routing state; a storm means the anchor set stopped covering the
+    // workload. Debug severity — the bus's per-type dedup condenses a
+    // storm to its first burst plus a suppressed count.
+    obs::event_bus().emit(obs::Severity::kDebug, "anchor_fallback",
+                          "\"row\":" + std::to_string(i) +
+                              ",\"candidates\":" +
+                              std::to_string(candidates.size()));
   }
 
   std::vector<MatchCounts> row(i + 1);

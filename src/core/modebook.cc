@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/events.h"
 #include "obs/metrics.h"
 
 namespace fenrir::core {
@@ -17,6 +18,23 @@ obs::Histogram& scan_length_histogram() {
       "match was settled");
   return h;
 }
+
+obs::Counter& new_modes_counter() {
+  static obs::Counter& c = obs::registry().counter(
+      "fenrir_modebook_new_modes_total", "modes founded by observations");
+  return c;
+}
+
+obs::Counter& recurrences_counter() {
+  static obs::Counter& c = obs::registry().counter(
+      "fenrir_modebook_recurrences_total",
+      "observations that re-entered a mode other than the previous one");
+  return c;
+}
+
+/// The runner-up must be this close to the winner (and above the match
+/// threshold) before the match is flagged ambiguous.
+constexpr double kAmbiguityMargin = 0.02;
 
 }  // namespace
 
@@ -35,14 +53,21 @@ ModeBook::Match ModeBook::observe(const RoutingVector& v) {
 
   std::optional<std::size_t> best;
   double best_phi = -1.0;
+  double second_phi = -1.0;
+  std::size_t second = 0;
   std::size_t scanned = 0;
   for (std::size_t m = 0; m < representatives_.size(); ++m) {
     ++scanned;
     const double phi = phi_from_counts(packed_.counts(m, candidate),
                                        v.assignment.size(), config_.policy);
     if (phi > best_phi) {
+      second_phi = best_phi;
+      second = best.value_or(0);
       best_phi = phi;
       best = m;
+    } else if (phi > second_phi) {
+      second_phi = phi;
+      second = m;
     }
     // A perfect match cannot be beaten, only tied — and a later tie
     // loses to the earlier mode under the strict > above.
@@ -59,12 +84,47 @@ ModeBook::Match ModeBook::observe(const RoutingVector& v) {
       packed_.copy_row(*best, candidate);
     }
     packed_.pop_back();
+    if (out.is_recurrence) {
+      recurrences_counter().inc();
+      // Lazy fields: a long watch sees a recurrence per observation and
+      // dedup suppresses most of them — render_double only for the kept.
+      obs::event_bus().emit_with(
+          obs::Severity::kNotice, "recurrence", [&] {
+            std::string fields = "\"mode\":" + std::to_string(out.mode) +
+                                 ",\"phi\":" + obs::render_double(out.phi);
+            if (out.mode < last_seen_.size() && last_seen_[out.mode]) {
+              fields += ",\"gap_seconds\":" +
+                        std::to_string(v.time - *last_seen_[out.mode]);
+            }
+            return fields;
+          });
+    }
+    // A close runner-up means the mode identity was nearly a coin flip —
+    // worth an operator's eyes even though the earliest-mode tie rule
+    // kept the decision deterministic.
+    if (second_phi >= config_.match_threshold &&
+        best_phi - second_phi < kAmbiguityMargin && second != *best) {
+      obs::event_bus().emit(
+          obs::Severity::kWarn, "ambiguous_match",
+          "\"mode\":" + std::to_string(*best) +
+              ",\"phi\":" + obs::render_double(best_phi) +
+              ",\"runner_up\":" + std::to_string(second) +
+              ",\"runner_up_phi\":" + obs::render_double(second_phi));
+    }
   } else {
     out.mode = representatives_.size();
     out.phi = best_phi < 0 ? 0.0 : best_phi;
     out.is_new = true;
     representatives_.push_back(v);  // the candidate row stays in packed_
+    new_modes_counter().inc();
+    obs::event_bus().emit(obs::Severity::kNotice, "mode_created",
+                          "\"mode\":" + std::to_string(out.mode) +
+                              ",\"best_phi\":" + obs::render_double(out.phi) +
+                              ",\"modes\":" +
+                              std::to_string(representatives_.size()));
   }
+  if (out.mode >= last_seen_.size()) last_seen_.resize(out.mode + 1);
+  last_seen_[out.mode] = v.time;
   history_.push_back(out.mode);
   last_ = out;
   return out;
@@ -99,6 +159,9 @@ void ModeBook::restore(std::vector<RoutingVector> representatives,
   representatives_ = std::move(representatives);
   packed_ = std::move(packed);
   history_ = std::move(history);
+  // The snapshot carries no per-mode sighting times: gaps restart
+  // unknown, and the first post-restore recurrence omits its gap.
+  last_seen_.assign(representatives_.size(), std::nullopt);
 }
 
 }  // namespace fenrir::core

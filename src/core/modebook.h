@@ -15,6 +15,14 @@
 // at the first Φ = 1.0 representative (a perfect match cannot be beaten,
 // and ties resolve to the earliest mode either way). Scan lengths are
 // exported as the fenrir_modebook_scan_length histogram.
+//
+// Each decision is also published on the detection event plane
+// (obs/events.h): mode_created when a vector founds a mode, recurrence
+// (with Φ and the gap since that mode was last seen) when an old mode
+// returns, and ambiguous_match (warn) when the runner-up representative
+// also clears the threshold within a narrow margin — the classification
+// stands, but an operator should know it was close. Events observe the
+// decision after it is made; they never influence it.
 #pragma once
 
 #include <cstddef>
@@ -86,6 +94,11 @@ class ModeBook {
   /// representatives_[m].
   PackedSeries packed_;
   std::vector<std::size_t> history_;
+  /// Dataset time each mode was last observed — the recurrence event's
+  /// gap. nullopt after restore() (the snapshot does not carry it): the
+  /// first re-sighting then reports the recurrence without a gap rather
+  /// than inventing one.
+  std::vector<std::optional<TimePoint>> last_seen_;
   std::optional<Match> last_;
 };
 

@@ -4,8 +4,10 @@
 #include <sstream>
 
 #include "io/table.h"
+#include "obs/events.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/metrics_window.h"
 #include "obs/span.h"
 #include "obs/status_board.h"
 
@@ -20,6 +22,10 @@ void log_analyze_start(const Dataset& dataset) {
       "fenrir_analyze_observations", "observations in the last analyze()");
   runs.inc();
   observations.set(static_cast<double>(dataset.series.size()));
+  obs::event_bus().emit(
+      obs::Severity::kInfo, "analyze_started",
+      "\"dataset\":\"" + obs::json_escape(dataset.name) +
+          "\",\"observations\":" + std::to_string(dataset.series.size()));
   FENRIR_LOG(Info).field("dataset", dataset.name)
           .field("observations", dataset.series.size())
           .field("networks", dataset.networks.size())
@@ -62,6 +68,13 @@ AnalysisResult analyze_from_matrix(const Dataset& dataset,
        << ",\"threshold\":" << obs::render_double(clustering.threshold) << "}";
     obs::status_board().publish("analyze", os.str());
   }
+  obs::event_bus().emit(
+      obs::Severity::kInfo, "analyze_finished",
+      "\"dataset\":\"" + obs::json_escape(dataset.name) +
+          "\",\"clusters\":" + std::to_string(clustering.cluster_count) +
+          ",\"modes\":" + std::to_string(modes.size()) +
+          ",\"events\":" + std::to_string(events.size()));
+  obs::metrics_history().sample(true);
   FENRIR_LOG(Info).field("threshold", clustering.threshold)
           .field("clusters", clustering.cluster_count)
           .field("modes", modes.size())

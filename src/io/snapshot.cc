@@ -15,6 +15,7 @@
 #include "chaos/killpoint.h"
 #include "core/time.h"
 #include "io/csv.h"
+#include "obs/events.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/status_board.h"
@@ -67,6 +68,12 @@ void publish_snapshot_fragment(const char* op,
      << (snapshot.matrix.has_value() ? "true" : "false")
      << ",\"modes\":" << snapshot.representatives.size() << "}";
   obs::status_board().publish("snapshot", os.str());
+  obs::event_bus().emit(
+      obs::Severity::kDebug,
+      std::string_view(op) == "save" ? "snapshot_saved" : "snapshot_loaded",
+      "\"path\":\"" + obs::json_escape(path.string()) +
+          "\",\"bytes\":" + std::to_string(bytes) +
+          ",\"processed\":" + std::to_string(snapshot.processed));
 }
 
 // Trailer checksum: four independent multiply–rotate lanes over 64-bit
@@ -419,6 +426,10 @@ std::string encode_snapshot(const Snapshot& snapshot) {
 Snapshot decode_snapshot(std::string_view bytes, unsigned threads) {
   const auto corrupt = [](const std::string& what) -> DatasetIoError {
     snap_metrics().corrupt.inc();
+    // Alert severity: a corrupt resume artifact means hours of watch
+    // state are gone — the one event an operator must not miss.
+    obs::event_bus().emit(obs::Severity::kAlert, "snapshot_corrupt",
+                          "\"error\":\"" + obs::json_escape(what) + "\"");
     return DatasetIoError(what);
   };
   if (bytes.size() < sizeof(kSnapshotMagic) ||
@@ -522,13 +533,18 @@ Snapshot decode_snapshot(std::string_view bytes, unsigned threads) {
           std::to_string(r.size - r.off) +
           " undeclared bytes between the sections and the checksum");
     }
-  } catch (const DatasetIoError&) {
+  } catch (const DatasetIoError& e) {
     snap_metrics().corrupt.inc();
+    obs::event_bus().emit(obs::Severity::kAlert, "snapshot_corrupt",
+                          "\"error\":\"" + obs::json_escape(e.what()) + "\"");
     throw;
   }
   if (snapshot.matrix.has_value() &&
       snapshot.matrix->size() != snapshot.processed) {
     snap_metrics().corrupt.inc();
+    obs::event_bus().emit(
+        obs::Severity::kAlert, "snapshot_corrupt",
+        "\"error\":\"inconsistent header: matrix rows vs processed\"");
     throw DatasetIoError(
         "snapshot: inconsistent header — the matrix holds " +
         std::to_string(snapshot.matrix->size()) + " rows but " +

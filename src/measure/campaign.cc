@@ -8,9 +8,11 @@
 #include <sstream>
 
 #include "io/csv.h"
+#include "obs/events.h"
 #include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/metrics_window.h"
 #include "obs/span.h"
 #include "obs/status_board.h"
 
@@ -365,7 +367,14 @@ void Campaign::finish_sweep() {
     v.assignment = assignment_;
     v.valid = !tally_.low_coverage;
   }
-  if (tally_.low_coverage) metrics().low_coverage.inc();
+  if (tally_.low_coverage) {
+    metrics().low_coverage.inc();
+    obs::event_bus().emit(
+        obs::Severity::kWarn, "coverage_floor_breach",
+        "\"sweep\":" + std::to_string(tally_.sweep) +
+            ",\"coverage\":" + obs::render_double(tally_.coverage()) +
+            ",\"floor\":" + obs::render_double(config_.coverage_floor));
+  }
 
   update_health();
 
@@ -384,8 +393,20 @@ void Campaign::finish_sweep() {
 
   // Journal order within a sweep: breaker transitions (written by
   // update_health above) first, then the sweep summary — deterministic,
-  // so the chaos prefix property holds line-for-line.
+  // so the chaos prefix property holds line-for-line. The event stream
+  // follows the same order (breaker events above, sweep events here),
+  // so an event JSONL has its own prefix property by type sequence.
   if (journal_ != nullptr) journal_->append(journal_entry(tally_, v.valid));
+
+  if (!v.valid) {
+    // The sweep still produced a timeline slot — salvaged, not lost; the
+    // analysis skips it but the record stays whole.
+    obs::event_bus().emit(
+        obs::Severity::kNotice, "sweep_salvaged",
+        "\"sweep\":" + std::to_string(tally_.sweep) + ",\"reason\":\"" +
+            (tally_.collector_gap ? "collector_gap" : "low_coverage") +
+            "\"");
+  }
 
   std::size_t breakers_open = 0;
   for (const TargetHealth& h : health_) {
@@ -401,6 +422,10 @@ void Campaign::finish_sweep() {
        << ",\"retries\":" << tally_.retries << "}";
     obs::status_board().publish("campaign", os.str());
   }
+  // One windowed-metrics snapshot per sweep — the campaign's natural
+  // cadence (rate-limited inside, so rapid simulated sweeps cannot
+  // flood the history ring).
+  obs::metrics_history().sample(false);
 
   series_.push_back(std::move(v));
   reports_.push_back(tally_);
@@ -431,6 +456,9 @@ void Campaign::update_health() {
                              std::to_string(sweep_) + ",\"target\":" +
                              std::to_string(i) + ",\"state\":\"closed\"}");
           }
+          obs::event_bus().emit(obs::Severity::kNotice, "breaker_close",
+                                "\"sweep\":" + std::to_string(sweep_) +
+                                    ",\"target\":" + std::to_string(i));
         }
         break;
       case Outcome::kRetriedOut: {
@@ -453,6 +481,11 @@ void Campaign::update_health() {
                 ",\"target\":" + std::to_string(i) +
                 ",\"state\":\"open\",\"reason\":\"persistently_dark\"}");
           }
+          obs::event_bus().emit(
+              obs::Severity::kWarn, "breaker_open",
+              "\"sweep\":" + std::to_string(sweep_) +
+                  ",\"target\":" + std::to_string(i) +
+                  ",\"reason\":\"persistently_dark\"");
         }
         break;
       }
@@ -659,6 +692,11 @@ void Campaign::load_checkpoint(std::istream& in) {
                                                    ? config_.start
                                                    : reports_.back().end));
   metrics().resumes.inc();
+  obs::event_bus().emit(obs::Severity::kNotice, "campaign_resumed",
+                        "\"sweep\":" + std::to_string(sweep_) +
+                            ",\"index\":" + std::to_string(next_index_) +
+                            ",\"completed\":" +
+                            std::to_string(series_.size()));
   FENRIR_LOG(Info)
           .field("sweep", sweep_)
           .field("index", next_index_)

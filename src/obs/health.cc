@@ -1,0 +1,72 @@
+#include "obs/health.h"
+
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace fenrir::obs {
+
+namespace {
+
+struct HealthState {
+  std::mutex mu;
+  bool degraded = false;
+  std::uint64_t reports = 0;
+  std::string reason;
+};
+
+HealthState& health_state() {
+  static HealthState* s = new HealthState();  // never destroyed, like registry()
+  return *s;
+}
+
+Counter& degraded_counter() {
+  static Counter& c = registry().counter(
+      "fenrir_health_degraded_reports_total",
+      "component degradation reports (journal/event-sink write errors)");
+  return c;
+}
+
+}  // namespace
+
+void report_degraded(std::string_view component, std::string_view reason) {
+  HealthState& s = health_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ++s.reports;
+  degraded_counter().inc();
+  if (!s.degraded) {
+    s.degraded = true;
+    s.reason.assign(component);
+    s.reason += ": ";
+    s.reason += reason;
+  }
+}
+
+bool is_degraded() {
+  HealthState& s = health_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.degraded;
+}
+
+std::string degraded_reason() {
+  HealthState& s = health_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.reason;
+}
+
+std::uint64_t degraded_count() {
+  HealthState& s = health_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.reports;
+}
+
+void reset_health() {
+  HealthState& s = health_state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.degraded = false;
+  s.reports = 0;
+  s.reason.clear();
+}
+
+}  // namespace fenrir::obs

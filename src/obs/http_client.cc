@@ -1,0 +1,114 @@
+#include "obs/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace fenrir::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
+
+}  // namespace
+
+std::optional<HttpResponse> http_get(std::uint16_t port,
+                                     const std::string& target,
+                                     int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  // Non-blocking connect so the deadline also covers a listener that
+  // accepted the SYN but never answers.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    struct pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, remaining_ms(deadline)) <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+  }
+
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) {
+      struct pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, remaining_ms(deadline)) <= 0) break;
+      continue;
+    }
+    break;
+  }
+  if (sent < request.size()) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  // Read to EOF; the server closes after one response.
+  std::string raw;
+  while (Clock::now() < deadline) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (ready <= 0) break;
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\nbody"
+  if (raw.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) return std::nullopt;
+  const int status = std::atoi(raw.c_str() + sp + 1);
+  if (status < 100 || status > 599) return std::nullopt;
+  const std::size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+  HttpResponse response;
+  response.status = status;
+  response.body = raw.substr(head_end + 4);
+  return response;
+}
+
+}  // namespace fenrir::obs

@@ -1,0 +1,29 @@
+// fenrir::obs — a minimal localhost HTTP GET, the client half of the
+// status server. Exists only so `fenrirctl events` can tail a live
+// server's /events endpoint without the repo growing an HTTP library:
+// one blocking GET to 127.0.0.1, request written, response read to EOF
+// (the server always answers Connection: close), status line parsed,
+// body returned. Nothing else — no TLS, no redirects, no keep-alive.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace fenrir::obs {
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// GET @p target (path plus optional query, e.g. "/events?since=0")
+/// from 127.0.0.1:@p port. @p timeout_ms bounds the whole exchange —
+/// connect, send, and read — so a long-poll caller controls its own
+/// patience. Returns nullopt when the server cannot be reached or the
+/// response is not parseable HTTP.
+std::optional<HttpResponse> http_get(std::uint16_t port,
+                                     const std::string& target,
+                                     int timeout_ms = 5000);
+
+}  // namespace fenrir::obs

@@ -6,14 +6,19 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <string_view>
 
+#include "obs/events.h"
+#include "obs/health.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/metrics_window.h"
 #include "obs/span.h"
 #include "obs/status_board.h"
 #include "obs/trace_export.h"
@@ -42,8 +47,107 @@ std::string status_line(int code) {
     case 400: return "HTTP/1.1 400 Bad Request";
     case 404: return "HTTP/1.1 404 Not Found";
     case 405: return "HTTP/1.1 405 Method Not Allowed";
+    case 503: return "HTTP/1.1 503 Service Unavailable";
     default:  return "HTTP/1.1 500 Internal Server Error";
   }
+}
+
+/// Value of @p key in a "k=v&k2=v2" query string (no percent-decoding —
+/// the diagnostic plane's parameters are seqs, type names, severities).
+std::optional<std::string> query_param(const std::string& query,
+                                       std::string_view key) {
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string_view pair =
+        std::string_view(query).substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
+/// Strict base-10 u64; nullopt on anything else (→ a 400, not a silent 0).
+std::optional<std::uint64_t> parse_u64(const std::string& text) {
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// The /events endpoint: filterable catch-up read with optional
+/// long-poll. Bad parameters answer 400 with a JSON error.
+void render_events(const std::string& query, std::string& body,
+                   int& http_status, const std::atomic<bool>* cancel) {
+  std::uint64_t since = 0;
+  std::string type;
+  Severity min_severity = Severity::kDebug;
+  std::uint64_t wait_ms = 0;
+  std::uint64_t max_events = 1000;
+
+  if (const auto raw = query_param(query, "since")) {
+    const auto parsed = parse_u64(*raw);
+    if (!parsed) {
+      body = "{\"error\":\"since must be a non-negative integer\"}\n";
+      http_status = 400;
+      return;
+    }
+    since = *parsed;
+  }
+  if (const auto raw = query_param(query, "type")) type = *raw;
+  if (const auto raw = query_param(query, "severity")) {
+    const auto parsed = parse_severity(*raw);
+    if (!parsed) {
+      body = "{\"error\":\"severity must be one of "
+             "debug|info|notice|warn|alert\"}\n";
+      http_status = 400;
+      return;
+    }
+    min_severity = *parsed;
+  }
+  if (const auto raw = query_param(query, "wait_ms")) {
+    const auto parsed = parse_u64(*raw);
+    if (!parsed) {
+      body = "{\"error\":\"wait_ms must be a non-negative integer\"}\n";
+      http_status = 400;
+      return;
+    }
+    wait_ms = std::min<std::uint64_t>(*parsed, 30000);  // patience cap
+  }
+  if (const auto raw = query_param(query, "max")) {
+    const auto parsed = parse_u64(*raw);
+    if (!parsed || *parsed == 0) {
+      body = "{\"error\":\"max must be a positive integer\"}\n";
+      http_status = 400;
+      return;
+    }
+    max_events = *parsed;
+  }
+
+  EventBus& bus = event_bus();
+  if (wait_ms > 0 && bus.last_seq() <= since) {
+    bus.wait_for(since, std::chrono::milliseconds(wait_ms), cancel);
+  }
+  const std::vector<Event> events =
+      bus.since(since, type, min_severity, max_events);
+
+  std::ostringstream os;
+  os << "{\"last_seq\":" << bus.last_seq()
+     << ",\"oldest_seq\":" << bus.oldest_seq() << ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i) os << ',';
+    os << event_json(events[i]);
+  }
+  os << "]}\n";
+  body = os.str();
+  http_status = 200;
 }
 
 std::string make_response(int code, const std::string& content_type,
@@ -80,8 +184,10 @@ void send_all(int fd, const std::string& data, const std::atomic<bool>& stop) {
 
 }  // namespace
 
-bool render_endpoint(const std::string& path, std::string& body,
-                     std::string& content_type) {
+bool render_endpoint(const std::string& path, const std::string& query,
+                     std::string& body, std::string& content_type,
+                     int& http_status, const std::atomic<bool>* cancel) {
+  http_status = 200;
   if (path == "/metrics") {
     std::ostringstream os;
     registry().write_prometheus(os);
@@ -93,17 +199,30 @@ bool render_endpoint(const std::string& path, std::string& body,
     const double uptime = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - server_epoch())
                               .count();
+    // A degraded process is still alive, but its record is no longer
+    // complete — 503 tells probes the difference honestly. The event
+    // bus's own sinks count too: a dead --events-out file degrades.
+    const bool degraded = is_degraded() || !event_bus().sinks_healthy();
     std::ostringstream os;
-    os << "{\"status\":\"ok\",\"uptime_seconds\":" << render_double(uptime)
+    os << "{\"status\":\"" << (degraded ? "degraded" : "ok") << '"';
+    if (degraded) {
+      const std::string reason = is_degraded()
+                                     ? degraded_reason()
+                                     : "event sink unhealthy";
+      os << ",\"reason\":\"" << json_escape(reason) << '"';
+    }
+    os << ",\"uptime_seconds\":" << render_double(uptime)
        << ",\"last_publish_age_seconds\":"
        << render_double(status_board().last_publish_age_seconds()) << "}\n";
     body = os.str();
     content_type = "application/json";
+    http_status = degraded ? 503 : 200;
     return true;
   }
   if (path == "/status") {
     std::ostringstream os;
-    status_board().write_json(os);
+    status_board().write_json_with(os, "events_recent",
+                                   event_bus().recent_json(16));
     os << '\n';
     body = os.str();
     content_type = "application/json";
@@ -117,7 +236,27 @@ bool render_endpoint(const std::string& path, std::string& body,
     content_type = "application/json";
     return true;
   }
+  if (path == "/events") {
+    render_events(query, body, http_status, cancel);
+    content_type = "application/json";
+    return true;
+  }
+  if (path == "/metrics/history") {
+    std::ostringstream os;
+    metrics_history().write_json(os);
+    os << '\n';
+    body = os.str();
+    content_type = "application/json";
+    return true;
+  }
   return false;
+}
+
+bool render_endpoint(const std::string& path, std::string& body,
+                     std::string& content_type) {
+  int http_status = 0;
+  return render_endpoint(path, std::string(), body, content_type,
+                         http_status);
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -250,19 +389,25 @@ void HttpServer::handle_connection(int client_fd) {
              stop_);
     return;
   }
-  const std::size_t query = target.find('?');
-  if (query != std::string_view::npos) target = target.substr(0, query);
+  std::string_view query;
+  const std::size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) {
+    query = target.substr(qmark + 1);
+    target = target.substr(0, qmark);
+  }
 
   std::string body, content_type;
-  if (!render_endpoint(std::string(target), body, content_type)) {
+  int http_status = 0;
+  if (!render_endpoint(std::string(target), std::string(query), body,
+                       content_type, http_status, &stop_)) {
     send_all(client_fd,
-             make_response(
-                 404, "text/plain",
-                 "not found; try /metrics /healthz /status /profile\n"),
+             make_response(404, "text/plain",
+                           "not found; try /metrics /metrics/history "
+                           "/healthz /status /profile /events\n"),
              stop_);
     return;
   }
-  send_all(client_fd, make_response(200, content_type, body), stop_);
+  send_all(client_fd, make_response(http_status, content_type, body), stop_);
 }
 
 }  // namespace fenrir::obs

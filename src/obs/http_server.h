@@ -8,14 +8,25 @@
 //
 //   GET /metrics  — the process metrics registry in Prometheus
 //                   exposition format (metrics.h::write_prometheus)
-//   GET /healthz  — liveness JSON: {"status":"ok","uptime_seconds":...,
-//                   "last_publish_age_seconds":...} where the age comes
-//                   from the StatusBoard (-1 until something publishes)
+//   GET /healthz  — health JSON: {"status":"ok",...} with uptime and
+//                   the StatusBoard publish age; answers HTTP 503 with
+//                   {"status":"degraded","reason":...} once a journal
+//                   or event sink has hit write errors (health.h) —
+//                   liveness stays, trust in the artifacts does not
 //   GET /status   — the StatusBoard fragments as one JSON object
-//                   (status_board.h) — what each pipeline stage most
-//                   recently said about itself
+//                   (status_board.h) plus an "events_recent" panel of
+//                   the newest detection events
 //   GET /profile  — the aggregated span tree as JSON
 //                   (span.h::write_profile_json)
+//   GET /events   — the detection event stream (events.h) as
+//                   {"last_seq":...,"oldest_seq":...,"events":[...]}.
+//                   Query: since=<seq> (events after that seq; default
+//                   0 = everything still ringed), type=<t> and
+//                   severity=<min> filter, wait_ms=<n> long-polls up to
+//                   n ms (capped) for a fresh event before answering,
+//                   max=<n> caps the batch. Malformed values answer 400.
+//   GET /metrics/history — the windowed-aggregate snapshot ring
+//                   (metrics_window.h) — rate/quantile trends as JSON
 //
 // Anything else answers 404; non-GET answers 405; a request line that
 // does not parse answers 400. Responses carry Content-Length and
@@ -83,10 +94,21 @@ class HttpServer {
   int listen_fd_ = -1;
 };
 
-/// Builds the response body for @p path exactly as the server would
-/// ("/metrics", "/healthz", "/status", "/profile"). Returns false for an
-/// unknown path. Split out so tests can exercise endpoint content
-/// without sockets, and so the body is rendered identically everywhere.
+/// Builds the response for @p path exactly as the server would. Returns
+/// false for an unknown path (the caller's 404); for known paths sets
+/// @p http_status (200, 400 on bad query parameters, 503 for a degraded
+/// /healthz). @p query is the raw query string without the '?' (may be
+/// empty); @p cancel (optional) aborts a long-polling /events wait
+/// early, e.g. on server shutdown. Split out so tests can exercise
+/// endpoint content without sockets, and so the body is rendered
+/// identically everywhere.
+bool render_endpoint(const std::string& path, const std::string& query,
+                     std::string& body, std::string& content_type,
+                     int& http_status,
+                     const std::atomic<bool>* cancel = nullptr);
+
+/// Query-less convenience overload (status discarded); the form most
+/// tests and fenrirctl's --metrics-out path use.
 bool render_endpoint(const std::string& path, std::string& body,
                      std::string& content_type);
 

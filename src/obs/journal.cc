@@ -1,5 +1,6 @@
 #include "obs/journal.h"
 
+#include "obs/health.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -10,6 +11,13 @@ namespace {
 Counter& lines_counter() {
   static Counter& c = registry().counter("fenrir_journal_lines_total",
                                          "journal lines appended");
+  return c;
+}
+
+Counter& write_errors_counter() {
+  static Counter& c = registry().counter(
+      "fenrir_journal_write_errors_total",
+      "journal appends that failed to reach the stream");
   return c;
 }
 
@@ -35,6 +43,7 @@ bool Journal::open(const std::string& path, bool truncate) {
   }
   path_ = path;
   lines_ = 0;
+  write_failed_ = false;
   return true;
 }
 
@@ -42,6 +51,21 @@ void Journal::append(std::string_view json_object) {
   if (!out_.is_open()) return;
   out_ << json_object << '\n';
   out_.flush();  // a kill after this point never loses the entry
+  if (!out_) {
+    // Disk full, file yanked, fd revoked: the record is now incomplete.
+    // Keep running (observability never stops the work) but degrade
+    // /healthz so operators stop trusting the artifact. Report once —
+    // a dead stream fails every subsequent append too.
+    write_errors_counter().inc();
+    if (!write_failed_) {
+      write_failed_ = true;
+      report_degraded("journal", "write error on " + path_);
+      FENRIR_LOG(Warn).field("path", path_)
+          << "journal write failed; /healthz now reports degraded";
+    }
+    out_.clear();  // keep the stream pollable; later appends may recover bytes
+    return;
+  }
   ++lines_;
   lines_counter().inc();
 }

@@ -66,10 +66,17 @@ class Journal {
   const std::string& path() const { return path_; }
   std::size_t lines_written() const { return lines_; }
 
+  /// True once any append failed to reach the stream (disk full, file
+  /// yanked). The first failure reports the process degraded
+  /// (health.h) so /healthz answers 503 — the run continues, but its
+  /// record is no longer complete and the operator should know.
+  bool write_failed() const { return write_failed_; }
+
  private:
   std::ofstream out_;
   std::string path_;
   std::size_t lines_ = 0;
+  bool write_failed_ = false;
 };
 
 /// Reads a journal back as one string per line, in file order. Drops a

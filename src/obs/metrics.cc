@@ -21,7 +21,28 @@ std::string render_double(double x) {
     trial << x;
     double back = 0.0;
     std::istringstream(trial.str()) >> back;
-    if (back == x) return trial.str();
+    if (back == x) {
+      s = trial.str();
+      break;
+    }
+  }
+  // Default-format can pick scientific for round values ("1e+01" for
+  // 10), which leaks into window="10s"-style labels and JSON meant for
+  // humans. Prefer plain fixed notation whenever it round-trips at no
+  // greater length.
+  if (s.find('e') != std::string::npos) {
+    for (int p = 0; p < 17; ++p) {
+      std::ostringstream trial;
+      trial << std::fixed;
+      trial.precision(p);
+      trial << x;
+      double back = 0.0;
+      std::istringstream(trial.str()) >> back;
+      if (back == x) {
+        if (trial.str().size() <= s.size()) s = trial.str();
+        break;
+      }
+    }
   }
   return s;
 }

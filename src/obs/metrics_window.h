@@ -1,0 +1,137 @@
+// fenrir::obs — time-windowed metric aggregates and their history.
+//
+// Counters and histograms answer "how much, ever"; operators watching a
+// live run ask "how fast, lately" and "how slow, at the tail". The
+// MetricsHistory closes that gap without external scrape infrastructure:
+//
+//   * tracked counters gain per-window EWMA rates, exported as gauges
+//     `<family minus _total>_rate{...,window="10s"}` — one series per
+//     configured window, smoothing constant alpha = 1 - exp(-Δt/window)
+//     so irregular sampling intervals weigh correctly;
+//   * tracked histograms export p50/p90/p99 estimate gauges
+//     `<name>_quantile{q="0.5"|"0.9"|"0.99"}` via Histogram::quantile()
+//     (bucket-upper-bound estimates, same as Prometheus), plus a
+//     count-rate series like the counters;
+//   * every sample() pushes one snapshot row into a fixed-capacity ring;
+//     /metrics/history serves the ring as JSON, so sweep-over-sweep
+//     trends (Φ append latency p99, recurrence rate, event rates by
+//     severity) are visible from curl alone.
+//
+// There is deliberately NO background thread: sampling piggybacks on the
+// pipeline's own cadence (one watch poll, one campaign sweep), rate-
+// limited by min_interval_seconds so a tight loop cannot flood the ring.
+// The exported gauges live in the ordinary registry, so /metrics and the
+// exposition grammar tests see them like any other metric. Observation
+// only: nothing here may steer analysis.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace fenrir::obs {
+
+class MetricsHistory {
+ public:
+  struct Config {
+    /// Snapshot ring slots served by /metrics/history.
+    std::size_t capacity = 64;
+    /// sample(force=false) calls closer together than this are dropped.
+    double min_interval_seconds = 0.5;
+    /// EWMA windows in seconds, each its own window="Ns" gauge series.
+    std::vector<double> ewma_windows = {10.0, 60.0};
+  };
+
+  MetricsHistory() : MetricsHistory(Config{}) {}
+  explicit MetricsHistory(const Config& config);
+
+  MetricsHistory(const MetricsHistory&) = delete;
+  MetricsHistory& operator=(const MetricsHistory&) = delete;
+
+  /// Starts tracking registry counter (@p name, @p labels); its rate
+  /// gauges appear after the second sample(). Tracking the same series
+  /// twice is a no-op. The counter is created if absent — tracking must
+  /// not depend on instrumentation order at startup.
+  void track_counter(std::string_view name, const Labels& labels = {});
+
+  /// Starts tracking registry histogram @p name (created with
+  /// @p upper_bounds if absent): quantile gauges plus a count rate.
+  void track_histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  /// Takes one snapshot: refreshes every rate/quantile gauge and pushes
+  /// a row into the ring. Rate-limited unless @p force; returns whether
+  /// a snapshot was actually taken. Call from the pipeline's natural
+  /// cadence (watch poll, sweep end) — there is no sampler thread.
+  bool sample(bool force = false);
+
+  /// {"capacity":N,"windows_seconds":[...],"snapshots":[{"ts":...,
+  /// "values":{"fenrir_phi_append_seconds_p99":...,...}},...]} oldest
+  /// first — the /metrics/history body.
+  void write_json(std::ostream& out) const;
+
+  std::size_t snapshot_count() const;
+
+  /// Drops snapshots, tracked series, and rate state (tests).
+  void reset();
+
+ private:
+  struct WindowState {
+    Gauge* gauge = nullptr;
+    double seconds = 0.0;
+    double ewma = 0.0;
+    bool seeded = false;
+  };
+  struct TrackedCounter {
+    const Counter* counter = nullptr;
+    std::string name;       // family as registered
+    Labels labels;
+    std::string key;        // rate family (snapshot key prefix)
+    std::uint64_t prev = 0;
+    bool primed = false;
+    std::vector<WindowState> windows;
+  };
+  struct TrackedHistogram {
+    const Histogram* histogram = nullptr;
+    std::string name;
+    Gauge* p50 = nullptr;
+    Gauge* p90 = nullptr;
+    Gauge* p99 = nullptr;
+    std::uint64_t prev_count = 0;
+    bool primed = false;
+    std::vector<WindowState> windows;  // count rate
+  };
+  struct Snapshot {
+    double unix_time = 0.0;
+    std::vector<std::pair<std::string, double>> values;
+  };
+
+  std::vector<WindowState> make_windows(const std::string& rate_family,
+                                        const Labels& labels) const;
+  void fold_rate(std::vector<WindowState>& windows, double rate,
+                 double dt) const;
+
+  mutable std::mutex mu_;
+  Config config_;
+  std::vector<TrackedCounter> counters_;
+  std::vector<TrackedHistogram> histograms_;
+  std::deque<Snapshot> ring_;
+  bool sampled_once_ = false;
+  std::chrono::steady_clock::time_point last_sample_{};
+};
+
+/// The process-wide history behind /metrics/history. Which series it
+/// tracks is the caller's choice (fenrirctl wires the default set) —
+/// obs does not hardcode other layers' metric names.
+MetricsHistory& metrics_history();
+
+}  // namespace fenrir::obs

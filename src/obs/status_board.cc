@@ -36,6 +36,11 @@ double StatusBoard::last_publish_age_seconds() const {
 }
 
 void StatusBoard::write_json(std::ostream& out) const {
+  write_json_with(out, {}, {});
+}
+
+void StatusBoard::write_json_with(std::ostream& out, std::string_view extra_key,
+                                  std::string_view extra_json) const {
   // Copy the fragment pointers under the lock, render outside it: a slow
   // ostream (an HTTP client) must not block publishers.
   std::map<std::string, std::shared_ptr<const std::string>, std::less<>>
@@ -50,6 +55,10 @@ void StatusBoard::write_json(std::ostream& out) const {
     if (!first) out << ',';
     first = false;
     out << '"' << json_escape(key) << "\":" << *fragment;
+  }
+  if (!extra_key.empty()) {
+    if (!first) out << ',';
+    out << '"' << json_escape(extra_key) << "\":" << extra_json;
   }
   out << '}';
 }

@@ -44,6 +44,13 @@ class StatusBoard {
   /// {"key1":<fragment1>,"key2":<fragment2>,...} in sorted key order.
   void write_json(std::ostream& out) const;
 
+  /// write_json() with one extra pair appended: @p extra_json (a
+  /// complete JSON value, embedded verbatim) under @p extra_key. Lets
+  /// /status attach server-side panels (the recent-events tail) without
+  /// them becoming publishable fragments anyone could overwrite.
+  void write_json_with(std::ostream& out, std::string_view extra_key,
+                       std::string_view extra_json) const;
+
   /// Drops every fragment and the last-publish stamp (tests).
   void reset();
 

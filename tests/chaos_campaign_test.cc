@@ -13,6 +13,7 @@
 
 #include "chaos/fault_plan.h"
 #include "core/pipeline.h"
+#include "obs/events.h"
 #include "obs/journal.h"
 #include "rng/rng.h"
 
@@ -507,6 +508,121 @@ TEST(Campaign, JournalOfKilledCampaignIsPrefixOfUninterruptedJournal) {
   ASSERT_EQ(completed.size(), full.size());
   for (std::size_t i = 0; i < completed.size(); ++i) {
     EXPECT_EQ(completed[i], full[i]) << "journal line " << i;
+  }
+  std::remove(full_path.c_str());
+  std::remove(killed_path.c_str());
+}
+
+namespace {
+
+/// Event lines carry a wall-clock "ts" that legitimately differs
+/// between two runs of the same deterministic campaign; strip it so the
+/// rest of the line can be compared verbatim.
+std::string without_ts(const std::string& line) {
+  const auto at = line.find("\"ts\":");
+  if (at == std::string::npos) return line;
+  const auto comma = line.find(',', at);
+  if (comma == std::string::npos) return line;
+  return line.substr(0, at) + line.substr(comma + 1);
+}
+
+std::string event_type(const std::string& line) {
+  const auto at = line.find("\"type\":\"");
+  if (at == std::string::npos) return "";
+  const auto end = line.find('"', at + 8);
+  return end == std::string::npos ? "" : line.substr(at + 8, end - at - 8);
+}
+
+}  // namespace
+
+TEST(Campaign, EventLogOfKilledCampaignIsPrefixOfUninterruptedLog) {
+  // The detection event stream (obs/events.h) rides the same per-sweep
+  // deterministic order as the journal, so a chaos-killed campaign's
+  // --events-out file must be a valid JSONL prefix of the uninterrupted
+  // run's — modulo the wall-clock "ts" stamps, which carry no analysis
+  // meaning. Target 0 is persistently dark so breaker events fire
+  // before and after the kill point.
+  const auto k = keys(4);
+  const FnProber p(k, [](std::size_t i, core::TimePoint) {
+    return i == 0 ? ProbeReply{core::kUnknownSite, ProbeStatus::kNoReply}
+                  : ProbeReply{kSiteA, ProbeStatus::kAnswered};
+  });
+  CampaignConfig cfg = fast_config();
+  cfg.breaker.open_after = 2;
+  cfg.breaker.cooldown_sweeps = 1;
+  chaos::FaultPlan killing_plan;
+  killing_plan.add_kill(2, 0.5);
+
+  const std::string full_path =
+      ::testing::TempDir() + "fenrir_events_full.jsonl";
+  const std::string killed_path =
+      ::testing::TempDir() + "fenrir_events_killed.jsonl";
+  std::remove(full_path.c_str());
+  std::remove(killed_path.c_str());
+
+  {
+    obs::event_bus().reset();
+    obs::JsonlEventSink sink;
+    ASSERT_TRUE(sink.open(full_path, /*truncate=*/true));
+    obs::event_bus().add_sink(&sink);
+    Campaign baseline({&p}, cfg);
+    baseline.run(5);
+    obs::event_bus().remove_sink(&sink);
+  }
+  std::ostringstream checkpoint;
+  {
+    obs::event_bus().reset();
+    obs::JsonlEventSink sink;
+    ASSERT_TRUE(sink.open(killed_path, /*truncate=*/true));
+    obs::event_bus().add_sink(&sink);
+    Campaign doomed({&p}, cfg);
+    doomed.set_fault_plan(&killing_plan);
+    const CampaignResult partial = doomed.run(5);
+    ASSERT_TRUE(partial.interrupted);
+    doomed.save_checkpoint(checkpoint);
+    obs::event_bus().remove_sink(&sink);
+  }
+
+  // Both files read back cleanly (torn-tail-tolerant framing), and the
+  // killed log is a strict, in-order prefix with gap-free seqs.
+  const std::vector<std::string> full = obs::read_journal(full_path);
+  const std::vector<std::string> killed = obs::read_journal(killed_path);
+  ASSERT_FALSE(full.empty());
+  ASSERT_LT(killed.size(), full.size());
+  for (std::size_t i = 0; i < killed.size(); ++i) {
+    EXPECT_EQ(without_ts(killed[i]), without_ts(full[i]))
+        << "event line " << i;
+    EXPECT_NE(killed[i].find("\"seq\":" + std::to_string(i + 1)),
+              std::string::npos)
+        << "seq gap at line " << i;
+  }
+
+  // Resume appending to the killed log: the record completes with a
+  // campaign_resumed marker spliced in, then the same remaining events.
+  {
+    obs::event_bus().reset();
+    obs::JsonlEventSink sink;
+    ASSERT_TRUE(sink.open(killed_path, /*truncate=*/false));
+    obs::event_bus().add_sink(&sink);
+    Campaign resumed({&p}, cfg);
+    resumed.set_fault_plan(&killing_plan);
+    std::istringstream in(checkpoint.str());
+    resumed.load_checkpoint(in);
+    resumed.run(5);
+    obs::event_bus().remove_sink(&sink);
+  }
+  const std::vector<std::string> completed = obs::read_journal(killed_path);
+  std::vector<std::string> expected_types;
+  for (const std::string& line : full) {
+    expected_types.push_back(event_type(line));
+    if (expected_types.size() == killed.size()) {
+      expected_types.push_back("campaign_resumed");
+    }
+  }
+  ASSERT_EQ(completed.size(), expected_types.size());
+  for (std::size_t i = 0; i < completed.size(); ++i) {
+    EXPECT_EQ(event_type(completed[i]), expected_types[i])
+        << "event line " << i;
   }
   std::remove(full_path.c_str());
   std::remove(killed_path.c_str());

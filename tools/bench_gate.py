@@ -88,6 +88,26 @@ def main():
               file=sys.stderr)
         sys.exit(2)
 
+    # A gated bench present in the baseline but absent from the current
+    # run would silently drop out of the comparison — the gate would
+    # "pass" while no longer gating anything. Renamed or crashed benches
+    # must be loud.
+    missing = [name for name in sorted(set(base) - set(cur))
+               if name.startswith(GATED_PREFIXES)]
+    if missing:
+        print("bench_gate: gated benchmark(s) missing from "
+              f"{args.current}:", file=sys.stderr)
+        for name in missing:
+            print(f"  {short_name(name)}", file=sys.stderr)
+        print("bench_gate: benches available in the current run:",
+              file=sys.stderr)
+        for name in sorted(cur):
+            print(f"  {short_name(name)}", file=sys.stderr)
+        print("  (renamed bench? update GATED_PREFIXES and regenerate the "
+              "baseline; crashed bench? rerun build/bench/micro_core)",
+              file=sys.stderr)
+        sys.exit(2)
+
     ratios = {name: cur[name] / base[name] for name in shared}
     speed = median(ratios.values())  # machine-speed calibration factor
 
@@ -115,16 +135,22 @@ def main():
               f"  raw x{raw:.3f}  norm x{norm:.3f}  {verdict}")
 
     if args.summary:
-        with open(args.summary, "w") as f:
-            f.write("### Bench gate\n\n")
-            f.write(f"{header}\n\n")
-            f.write("| bench | baseline ns | current ns | raw ratio "
-                    "| normalized | verdict |\n")
-            f.write("|---|---:|---:|---:|---:|---|\n")
-            for name, b, c, raw, norm, verdict in rows:
-                mark = "**REGRESSION**" if verdict == "REGRESSION" else verdict
-                f.write(f"| {name} | {b:.0f} | {c:.0f} | {raw:.3f} "
-                        f"| {norm:.3f} | {mark} |\n")
+        try:
+            with open(args.summary, "w") as f:
+                f.write("### Bench gate\n\n")
+                f.write(f"{header}\n\n")
+                f.write("| bench | baseline ns | current ns | raw ratio "
+                        "| normalized | verdict |\n")
+                f.write("|---|---:|---:|---:|---:|---|\n")
+                for name, b, c, raw, norm, verdict in rows:
+                    mark = ("**REGRESSION**" if verdict == "REGRESSION"
+                            else verdict)
+                    f.write(f"| {name} | {b:.0f} | {c:.0f} | {raw:.3f} "
+                            f"| {norm:.3f} | {mark} |\n")
+        except OSError as e:
+            print(f"bench_gate: cannot write summary {args.summary}: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
 
     if failures:
         print("bench_gate: FAIL — kernel wall-time regression "

@@ -16,6 +16,11 @@
 //   fenrirctl journal file.jsonl          replay a sweep journal (see
 //                                         src/obs/journal.h); summarizes
 //                                         sweeps and breaker transitions
+//   fenrirctl events file.jsonl           replay an event log written by
+//                                         --events-out: summary table by
+//                                         type and severity
+//   fenrirctl events --port N [opts]      tail a live server's /events
+//                                         endpoint (see below)
 //   fenrirctl --version                   build identity (version, git
 //                                         sha, build type, sanitizers)
 //
@@ -53,6 +58,15 @@
 //   --fill-edges          replicate nearest observation into edge gaps
 //   --micro X             fold sites whose peak share is below X
 //
+// events options (tail mode):
+//   --port N              status server port to tail (required)
+//   --since S             start after sequence number S (default 0)
+//   --type T              only events of type T
+//   --severity S          only events of severity >= S
+//                         (debug|info|notice|warn|alert)
+//   --follow              keep long-polling until SIGINT or the server
+//                         goes away (default: one fetch and exit)
+//
 // exit codes: 0 success; 2 usage errors; 3 I/O errors (unreadable,
 // unwritable, or malformed dataset/state files); 1 analysis errors and
 // everything else.
@@ -78,6 +92,10 @@
 //                         after the command until SIGINT/SIGTERM
 //   --journal FILE        watch only: append one JSONL entry per
 //                         observation (replay with `fenrirctl journal`)
+//   --events-out FILE     append every detection event (obs/events.h)
+//                         to FILE as JSONL — same torn-tail-tolerant
+//                         framing as the journal; replay with
+//                         `fenrirctl events FILE`
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -85,6 +103,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -104,10 +123,13 @@
 #include "measure/verfploeter.h"
 #include "netbase/hitlist.h"
 #include "obs/build_info.h"
+#include "obs/events.h"
+#include "obs/http_client.h"
 #include "obs/http_server.h"
 #include "obs/journal.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/metrics_window.h"
 #include "obs/span.h"
 #include "obs/status_board.h"
 #include "obs/trace_export.h"
@@ -119,7 +141,8 @@ namespace {
 
 int usage() {
   std::cerr << "usage: fenrirctl "
-               "<demo|info|analyze|watch|clean|compare|transitions|journal> "
+               "<demo|info|analyze|watch|clean|compare|transitions|journal"
+               "|events> "
                "...\n(see the header of tools/fenrirctl.cpp for options)\n";
   return 2;
 }
@@ -156,7 +179,9 @@ Args parse_args(int argc, char** argv, int first) {
            flag == "--log-level" || flag == "--metrics" ||
            flag == "--resume" || flag == "--matrix-cache" ||
            flag == "--trace-out" || flag == "--status-port" ||
-           flag == "--status-port-file" || flag == "--journal";
+           flag == "--status-port-file" || flag == "--journal" ||
+           flag == "--events-out" || flag == "--port" ||
+           flag == "--since" || flag == "--type" || flag == "--severity";
   };
   Args out;
   for (int i = first; i < argc; ++i) {
@@ -377,6 +402,10 @@ int cmd_watch(const Args& args) {
   }
   cfg.adapt_representative = args.has("--adapt");
   core::ModeBook book(cfg);
+  obs::event_bus().emit(
+      obs::Severity::kInfo, "watch_started",
+      "\"dataset\":\"" + obs::json_escape(data.name) +
+          "\",\"observations\":" + std::to_string(data.series.size()));
 
   // A stateful watch (--resume) also maintains the Φ matrix so the
   // state file carries it — resuming then costs O(bytes) instead of
@@ -429,6 +458,10 @@ int cmd_watch(const Args& args) {
     static obs::Counter& resumes = obs::registry().counter(
         "fenrir_watch_resumes_total", "watch sessions resumed from state");
     resumes.inc();
+    obs::event_bus().emit(
+        obs::Severity::kNotice, "watch_resumed",
+        "\"processed\":" + std::to_string(start) +
+            ",\"modes\":" + std::to_string(book.mode_count()));
     std::cout << "resumed: " << start << " observations already processed, "
               << book.mode_count() << " known modes\n";
   }
@@ -472,12 +505,22 @@ int cmd_watch(const Args& args) {
       journal.append(os.str());
     }
     obs::status_board().publish("modebook", book.status_json());
+    // One windowed-metrics snapshot per observation, rate-limited
+    // inside — the watch loop is /metrics/history's sampling cadence.
+    obs::metrics_history().sample(false);
   }
   std::cout << book.mode_count() << " modes over " << book.history().size()
             << " observations\n";
   // Publish once even when every observation was already processed, so
   // /status has a modebook fragment under --serve.
   obs::status_board().publish("modebook", book.status_json());
+  obs::event_bus().emit(
+      obs::Severity::kInfo, "watch_finished",
+      "\"modes\":" + std::to_string(book.mode_count()) +
+          ",\"observations\":" + std::to_string(book.history().size()));
+  // Force a final snapshot so even a short run leaves /metrics/history
+  // non-empty under --serve.
+  obs::metrics_history().sample(true);
   if (!state_path.empty()) {
     io::save_watch_state(data, book, data.series.size(),
                          matrix.has_value() ? &*matrix : nullptr, state_path);
@@ -541,6 +584,187 @@ int cmd_journal(const Args& args) {
   if (other > 0) std::cout << ", " << other << " other";
   std::cout << "\n";
   return 0;
+}
+
+/// Splits the "events":[...] array of an /events response into its
+/// top-level JSON objects. Tracks string/escape state so braces inside
+/// field values (dataset names, error strings) cannot derail it.
+std::vector<std::string> extract_event_objects(const std::string& body) {
+  std::vector<std::string> out;
+  const auto at = body.find("\"events\":[");
+  if (at == std::string::npos) return out;
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  std::size_t start = 0;
+  for (std::size_t i = at + 10; i < body.size(); ++i) {
+    const char c = body[i];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth++ == 0) start = i;
+    } else if (c == '}') {
+      if (--depth == 0) out.push_back(body.substr(start, i - start + 1));
+    } else if (c == ']' && depth == 0) {
+      break;
+    }
+  }
+  return out;
+}
+
+/// One tail line per event: seq, wall time, severity, type, then the
+/// event's own fields verbatim (everything after the envelope keys).
+void print_event_line(const std::string& object) {
+  const std::string ts = json_field(object, "ts");
+  std::string when = "-";
+  try {
+    when = core::format_time(
+        static_cast<core::TimePoint>(std::stod(ts)));
+  } catch (const std::exception&) {
+  }
+  std::string severity = json_field(object, "severity");
+  severity.resize(6, ' ');  // "notice" is the widest level
+  std::ostringstream os;
+  os << json_field(object, "seq") << "  " << when << "  " << severity << "  "
+     << json_field(object, "type");
+  // The fields fragment starts after the closing quote of "type":"...".
+  const auto type_at = object.find("\"type\":\"");
+  if (type_at != std::string::npos) {
+    const auto end = object.find('"', type_at + 8);
+    if (end != std::string::npos && end + 1 < object.size() &&
+        object[end + 1] == ',') {
+      os << "  "
+         << object.substr(end + 2, object.size() - end - 3);  // strip final }
+    }
+  }
+  std::cout << os.str() << "\n";
+}
+
+/// Replay mode: summarize an --events-out JSONL file. Corrupt interior
+/// lines are exit code 3, same taxonomy as `fenrirctl journal`.
+int events_replay(const std::string& path) {
+  std::vector<std::string> lines;
+  try {
+    lines = obs::read_journal(path);
+  } catch (const obs::JournalError& e) {
+    throw core::DatasetIoError(e.what());
+  }
+  // Count per (type, severity); map keeps the table deterministic.
+  std::map<std::pair<std::string, std::string>,
+           std::pair<std::size_t, std::size_t>>
+      by_kind;  // -> {events, suppressed}
+  std::size_t suppressed_total = 0;
+  for (const std::string& line : lines) {
+    auto& slot = by_kind[{json_field(line, "type"),
+                          json_field(line, "severity")}];
+    ++slot.first;
+    if (const std::string s = json_field(line, "suppressed"); !s.empty()) {
+      const auto n = std::stoul(s);
+      slot.second += n;
+      suppressed_total += n;
+    }
+  }
+  if (!by_kind.empty()) {
+    io::TextTable table;
+    table.header({"type", "severity", "events", "suppressed"});
+    for (const auto& [kind, counts] : by_kind) {
+      table.row(kind.first, kind.second, counts.first, counts.second);
+    }
+    table.print(std::cout);
+  }
+  std::cout << lines.size() << " events";
+  if (suppressed_total > 0) {
+    std::cout << " (+" << suppressed_total << " suppressed by dedup)";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+/// Tail mode: GET /events from a live status server, optionally
+/// long-polling with --follow until SIGINT or the server goes away.
+int events_tail(const Args& args) {
+  long port = -1;
+  try {
+    port = std::stol(args.get("--port", ""));
+  } catch (const std::exception&) {
+  }
+  if (port < 0 || port > 65535) {
+    std::cerr << "fenrirctl: events tail needs --port N\n";
+    return 2;
+  }
+  std::uint64_t since = 0;
+  if (const auto s = args.get("--since", ""); !s.empty()) {
+    since = std::stoull(s);
+  }
+  const std::string type = args.get("--type", "");
+  const std::string severity = args.get("--severity", "");
+  if (!severity.empty() && !obs::parse_severity(severity)) {
+    std::cerr << "fenrirctl: bad --severity '" << severity
+              << "' (want debug|info|notice|warn|alert)\n";
+    return 2;
+  }
+  const bool follow = args.has("--follow");
+  if (follow) {
+    std::signal(SIGINT, handle_shutdown_signal);
+    std::signal(SIGTERM, handle_shutdown_signal);
+  }
+
+  bool connected = false;
+  while (!g_shutdown.load()) {
+    std::string target = "/events?since=" + std::to_string(since);
+    if (!type.empty()) target += "&type=" + type;
+    if (!severity.empty()) target += "&severity=" + severity;
+    // Long-poll only once we are caught up; the first fetch drains the
+    // backlog immediately.
+    if (follow && connected) target += "&wait_ms=20000";
+    const auto response =
+        obs::http_get(static_cast<std::uint16_t>(port), target, 25000);
+    if (!response) {
+      if (connected) {
+        std::cout << "server on port " << port << " went away\n";
+        return 0;
+      }
+      std::cerr << "fenrirctl: no status server on 127.0.0.1:" << port
+                << "\n";
+      return 1;
+    }
+    if (response->status != 200) {
+      std::cerr << "fenrirctl: /events answered HTTP " << response->status
+                << ": " << response->body;
+      return 1;
+    }
+    connected = true;
+    for (const std::string& object : extract_event_objects(response->body)) {
+      print_event_line(object);
+      try {
+        since = std::max(
+            since,
+            static_cast<std::uint64_t>(std::stoull(json_field(object, "seq"))));
+      } catch (const std::exception&) {
+      }
+    }
+    if (const std::string last = json_field(response->body, "last_seq");
+        !last.empty()) {
+      since = std::max(since, static_cast<std::uint64_t>(std::stoull(last)));
+    }
+    if (!follow) break;
+  }
+  return 0;
+}
+
+int cmd_events(const Args& args) {
+  if (args.positional.size() == 1) return events_replay(args.positional[0]);
+  if (args.positional.empty() && args.has("--port")) return events_tail(args);
+  return usage();
 }
 
 int cmd_clean(const Args& args) {
@@ -610,6 +834,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "compare") return cmd_compare(args);
   if (cmd == "transitions") return cmd_transitions(args);
   if (cmd == "journal") return cmd_journal(args);
+  if (cmd == "events") return cmd_events(args);
   return usage();
 }
 
@@ -639,6 +864,10 @@ void register_metric_catalog() {
         "fenrir_campaign_quorum_disagreements_total",
         "fenrir_campaign_resumes_total", "fenrir_watch_resumes_total",
         "fenrir_status_requests_total", "fenrir_journal_lines_total",
+        "fenrir_journal_write_errors_total",
+        "fenrir_events_suppressed_total", "fenrir_events_overwritten_total",
+        "fenrir_health_degraded_reports_total",
+        "fenrir_modebook_new_modes_total", "fenrir_modebook_recurrences_total",
         "fenrir_trace_events_dropped_total", "fenrir_phi_appends_total",
         "fenrir_phi_rows_delta_total", "fenrir_phi_rows_kernel_total",
         "fenrir_phi_anchor_predecessor_total", "fenrir_phi_anchor_chained_total",
@@ -658,6 +887,29 @@ void register_metric_catalog() {
         "fenrir_phi_anchor_est_delta", "fenrir_phi_anchor_realized_delta",
         "fenrir_snapshot_save_seconds", "fenrir_snapshot_load_seconds"}) {
     r.gauge(name);
+  }
+}
+
+/// Wires the default windowed-metrics set (obs/metrics_window.h): which
+/// series get EWMA rates and tail-latency quantiles is a tools-layer
+/// decision, so the obs library never hardcodes other layers' metric
+/// names. Sampling itself rides the pipeline cadence (watch loop,
+/// campaign sweeps, analyze end).
+void track_default_metric_windows() {
+  auto& history = obs::metrics_history();
+  history.track_histogram("fenrir_phi_append_seconds",
+                          obs::Histogram::duration_bounds());
+  history.track_histogram("fenrir_modebook_scan_length",
+                          {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+  history.track_counter("fenrir_phi_appends_total");
+  history.track_counter("fenrir_campaign_sweeps_total");
+  history.track_counter("fenrir_journal_lines_total");
+  history.track_counter("fenrir_status_requests_total");
+  history.track_counter("fenrir_modebook_new_modes_total");
+  history.track_counter("fenrir_modebook_recurrences_total");
+  for (const char* severity : {"debug", "info", "notice", "warn", "alert"}) {
+    history.track_counter("fenrir_events_emitted_total",
+                          {{"severity", severity}});
   }
 }
 
@@ -701,6 +953,29 @@ int main(int argc, char** argv) {
     if (args.has("--trace-out")) obs::set_tracing(true);
     if (args.has("--metrics")) register_metric_catalog();
     obs::register_build_info_metric();
+    track_default_metric_windows();
+
+    // --events-out FILE: every detection event also lands in FILE as
+    // JSONL (append mode, so a resumed run continues its record — the
+    // same convention as a resumed watch's --journal). The sink stays
+    // attached through --serve so events emitted while serving land
+    // too; the guard detaches it on every exit path before the sink is
+    // destroyed (the bus outlives this frame).
+    struct EventSinkGuard {
+      obs::JsonlEventSink sink;
+      bool attached = false;
+      ~EventSinkGuard() {
+        if (attached) obs::event_bus().remove_sink(&sink);
+      }
+    } event_sink;
+    if (const auto path = args.get("--events-out", ""); !path.empty()) {
+      if (!event_sink.sink.open(path, /*truncate=*/false)) {
+        std::cerr << "fenrirctl: cannot write events file " << path << "\n";
+        return 3;
+      }
+      obs::event_bus().add_sink(&event_sink.sink);
+      event_sink.attached = true;
+    }
     {
       const obs::BuildInfo& info = obs::build_info();
       FENRIR_LOG(Info)
