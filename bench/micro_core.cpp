@@ -21,6 +21,7 @@
 #include "core/modebook.h"
 #include "core/transition.h"
 #include "io/snapshot.h"
+#include "measure/federation.h"
 #include "obs/metrics.h"
 #include "rng/rng.h"
 
@@ -389,6 +390,48 @@ void BM_DetectChanges(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_DetectChanges)->Arg(10'000)->Arg(100'000);
+
+// What measure::Federation pays per epoch: three member campaigns (one
+// sweep each, with skewed clocks and ~10% ambient loss driving some
+// retries) plus the merge fold (freshness tables, weighted votes,
+// provenance). Items are target-epochs: epochs x global targets.
+void BM_FederatedSweep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kEpochs = 8;
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) keys[i] = 1000 + i;
+  const measure::FnProber prober(
+      std::move(keys), [](std::size_t g, core::TimePoint when) {
+        measure::ProbeReply r;
+        if (rng::mix(17, g, static_cast<std::uint64_t>(when)) % 10 == 0) {
+          return r;  // ~10% ambient loss; retries pick most of it up
+        }
+        r.status = measure::ProbeStatus::kAnswered;
+        r.site = static_cast<core::SiteId>(core::kFirstRealSite + g % 3);
+        return r;
+      });
+  measure::FederationConfig fc;
+  fc.global_targets = n;
+  fc.epoch_length = core::kHour;
+  const chaos::ClockModel clocks[3] = {{0, 0}, {127, 180}, {-61, -90}};
+  std::vector<measure::MemberConfig> members(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    members[i].name = "m" + std::to_string(i);
+    const std::size_t lo = i * n / 3, hi = (i + 1) * n / 3;
+    const std::size_t from = lo > 8 ? lo - 8 : 0;
+    const std::size_t to = hi + 8 < n ? hi + 8 : n;
+    for (std::size_t g = from; g < to; ++g) members[i].targets.push_back(g);
+    members[i].clock = clocks[i];
+    members[i].start_offset = static_cast<core::TimePoint>(i * 600);
+  }
+  for (auto _ : state) {
+    measure::Federation fed(prober, fc, members);
+    benchmark::DoNotOptimize(fed.run(kEpochs).reports.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEpochs * n));
+}
+BENCHMARK(BM_FederatedSweep)->Arg(20'000);
 
 void BM_TopologyGeneration(benchmark::State& state) {
   bgp::TopologyParams p;

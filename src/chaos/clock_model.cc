@@ -1,0 +1,33 @@
+#include "chaos/clock_model.h"
+
+namespace fenrir::chaos {
+
+namespace {
+
+/// Floor division (rounds toward -inf), so negative drifts and negative
+/// instants skew the same way on every platform.
+std::int64_t floor_div(std::int64_t a, std::int64_t b) noexcept {
+  const std::int64_t q = a / b;
+  const std::int64_t r = a % b;
+  return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q;
+}
+
+}  // namespace
+
+core::TimePoint ClockModel::to_local(core::TimePoint t) const noexcept {
+  return t + offset_seconds + floor_div(t * drift_ppm, 1'000'000);
+}
+
+core::TimePoint ClockModel::to_true(core::TimePoint local) const noexcept {
+  // Initial guess by inverting the affine map in one go, then nudge: the
+  // floor in to_local() can put the guess off by a second either way.
+  const std::int64_t rate = 1'000'000 + drift_ppm;
+  core::TimePoint t =
+      rate > 0 ? floor_div((local - offset_seconds) * 1'000'000, rate)
+               : local - offset_seconds;
+  while (to_local(t) > local) --t;
+  while (to_local(t + 1) <= local) ++t;
+  return t;
+}
+
+}  // namespace fenrir::chaos

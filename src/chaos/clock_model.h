@@ -1,0 +1,52 @@
+// fenrir::chaos — per-prober clock skew.
+//
+// A federated campaign's members stamp their observations with their own
+// clocks, and real prober clocks are never the reference clock: they sit
+// a fixed offset away and drift a few parts per million on top. The
+// merge side cannot see true time at all — it sees local timestamps and
+// a clock *model* per member, and must align observations to federation
+// epochs through that model. ClockModel is the affine skew both sides
+// share:
+//
+//   local(t) = t + offset_seconds + floor(t * drift_ppm / 1e6)
+//
+// Everything is integer arithmetic (floor division, not truncation), so
+// skewing and unskewing are bit-deterministic across platforms — the
+// property tests in tests/measure_federation_test.cc pin alignment to
+// the exact second for boundary instants, negative offsets, and drifts
+// large enough to reorder two probers' sweeps. For drift_ppm >= 0 the
+// map is strictly increasing and to_true() inverts it exactly; a
+// negative drift can merge adjacent seconds, in which case to_true()
+// deterministically returns the latest true second mapping at or below
+// the local stamp (the information really is gone — determinism, not
+// bijectivity, is the guarantee).
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.h"
+
+namespace fenrir::chaos {
+
+struct ClockModel {
+  /// Fixed offset of the member's clock ahead (+) or behind (-) true
+  /// time, in seconds.
+  std::int64_t offset_seconds = 0;
+  /// Linear drift in parts per million of elapsed true time. Must stay
+  /// > -1'000'000 (a clock that runs backwards is not a clock).
+  std::int64_t drift_ppm = 0;
+
+  bool identity() const noexcept {
+    return offset_seconds == 0 && drift_ppm == 0;
+  }
+
+  /// The member-local stamp for true instant @p t.
+  core::TimePoint to_local(core::TimePoint t) const noexcept;
+
+  /// The latest true instant whose to_local() is <= @p local — the
+  /// exact inverse when drift_ppm >= 0 (to_local is then strictly
+  /// increasing), and the deterministic floor-inverse otherwise.
+  core::TimePoint to_true(core::TimePoint local) const noexcept;
+};
+
+}  // namespace fenrir::chaos

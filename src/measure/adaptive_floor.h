@@ -1,0 +1,97 @@
+// fenrir::measure — an online coverage floor.
+//
+// PR 2's static coverage_floor fraction asks the operator to guess, per
+// campaign, what "too little coverage" means — and a guess low enough to
+// survive a flaky campaign (0.10) will never flag a healthy one that
+// quietly sinks from 0.9 to 0.5. AdaptiveFloor derives the floor from
+// the campaign's own history instead: an EWMA of accepted sweep
+// coverage and an EWMA variance around it give
+//
+//   floor = clamp(mean - k*sigma - slack, min_floor, max_floor)
+//
+// so "degraded" means "outside this campaign's own recent band", with
+// zero per-campaign hand tuning. Two disciplines keep it honest:
+//
+//   * the floor used to judge sweep s is computed from sweeps < s (the
+//     observation never moves its own goalposts);
+//   * sweeps that fall below the floor are NOT fed back into the EWMA —
+//     an outage must not teach the floor that darkness is normal, and
+//     recovery is judged against the pre-outage band (this is what lets
+//     a federation member "rejoin" meaningfully).
+//
+// During warmup (fewer than `warmup` accepted samples) the static
+// `initial` fraction applies, so the first sweeps of a campaign behave
+// exactly like the PR 2 floor. State round-trips exactly through
+// checkpoints via restore() (the campaign serializes mean/var as C99
+// hexfloats, so resume is bit-identical).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace fenrir::measure {
+
+class AdaptiveFloor {
+ public:
+  struct Config {
+    /// EWMA smoothing for both the mean and the variance.
+    double alpha = 0.25;
+    /// Sigmas of slack below the mean before a sweep is flagged.
+    double k = 4.0;
+    /// Absolute slack on top of k*sigma — keeps a perfectly steady
+    /// history (sigma ~ 0) from flagging an infinitesimal dip.
+    double slack = 0.02;
+    /// Accepted samples before the floor goes adaptive.
+    std::size_t warmup = 3;
+    /// Static floor used during warmup (a campaign's coverage_floor).
+    double initial = 0.10;
+    double min_floor = 0.01;
+    double max_floor = 0.95;
+  };
+
+  AdaptiveFloor() : AdaptiveFloor(Config{}) {}
+  explicit AdaptiveFloor(const Config& config) : config_(config) {}
+
+  /// The floor a sweep observed *now* should be judged against.
+  double floor() const noexcept {
+    if (samples_ < config_.warmup) return config_.initial;
+    const double f =
+        mean_ - config_.k * std::sqrt(std::max(var_, 0.0)) - config_.slack;
+    return std::clamp(f, config_.min_floor, config_.max_floor);
+  }
+
+  /// Feeds one accepted coverage sample. Callers skip sweeps that fell
+  /// below floor() — see the header comment.
+  void observe(double coverage) noexcept {
+    if (samples_ == 0) {
+      mean_ = coverage;
+      var_ = 0.0;
+    } else {
+      const double d = coverage - mean_;
+      mean_ += config_.alpha * d;
+      var_ = (1.0 - config_.alpha) * (var_ + config_.alpha * d * d);
+    }
+    ++samples_;
+  }
+
+  const Config& config() const noexcept { return config_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept { return var_; }
+  std::size_t samples() const noexcept { return samples_; }
+
+  /// Exact state restore (checkpoint resume).
+  void restore(double mean, double variance, std::size_t samples) noexcept {
+    mean_ = mean;
+    var_ = variance;
+    samples_ = samples;
+  }
+
+ private:
+  Config config_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace fenrir::measure

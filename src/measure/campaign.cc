@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -20,8 +23,10 @@ namespace fenrir::measure {
 
 namespace {
 
+// v2: report rows carry the floor each sweep was judged against, and an
+// optional "floor" row serializes the adaptive EWMA state.
 constexpr const char* kMagic = "#fenrir-campaign-checkpoint";
-constexpr const char* kVersion = "v1";
+constexpr const char* kVersion = "v2";
 
 struct Metrics {
   obs::Counter& sweeps;
@@ -85,6 +90,23 @@ std::int64_t parse_i64_field(const std::string& text, const char* what) {
   return out;
 }
 
+// Doubles in checkpoints use C99 hexfloats: exact round-trip, so a
+// resumed campaign's floor state is bit-identical to the saved one.
+std::string render_hexdouble(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", value);
+  return buf;
+}
+
+double parse_hexdouble(const std::string& text, const char* what) {
+  char* end = nullptr;
+  const double out = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || text.empty()) {
+    throw CampaignError(std::string("checkpoint: bad ") + what + ": " + text);
+  }
+  return out;
+}
+
 }  // namespace
 
 QuorumMerge merge_quorum(std::span<const core::RoutingVector> views) {
@@ -117,8 +139,11 @@ QuorumMerge merge_quorum(std::span<const core::RoutingVector> views) {
     out.vector.assignment[i] = best->first;
     if (votes.size() > 1) ++out.disagreements;
   }
+  // No network carried any known vote: agreement over an empty set is
+  // undefined, and 1.0 would let a silent lone prober masquerade as
+  // consensus. Report NaN explicitly (pinned in chaos_campaign_test).
   out.confidence =
-      with_votes == 0 ? 1.0
+      with_votes == 0 ? std::numeric_limits<double>::quiet_NaN()
                       : 1.0 - static_cast<double>(out.disagreements) /
                                   static_cast<double>(with_votes);
   return out;
@@ -158,6 +183,28 @@ Campaign::Campaign(std::vector<const TargetProber*> probers,
   health_.assign(targets_, TargetHealth{});
   outcome_.assign(targets_, Outcome::kPending);
   assignment_.assign(targets_, core::kUnknownSite);
+  AdaptiveFloor::Config floor_config = config_.adaptive.config;
+  floor_config.initial = config_.coverage_floor;
+  floor_ = AdaptiveFloor(floor_config);
+}
+
+double Campaign::current_floor() const noexcept {
+  return config_.adaptive.enabled ? floor_.floor() : config_.coverage_floor;
+}
+
+int Campaign::effective_open_after() const noexcept {
+  const int base = config_.breaker.open_after;
+  if (!config_.adaptive.enabled ||
+      floor_.samples() < config_.adaptive.config.warmup) {
+    return base;
+  }
+  // At ambient EWMA coverage c a healthy target still misses ~(1-c) of
+  // its sweeps, so the dark-sweep budget scales as 1/c: a campaign at
+  // half coverage needs twice the consecutive misses before one target
+  // is singled out as persistently dark.
+  const double c = std::clamp(floor_.mean(), 0.05, 1.0);
+  const int scaled = static_cast<int>(std::ceil(static_cast<double>(base) / c));
+  return std::max(base, scaled);
 }
 
 ProbeReply Campaign::probe_slot(std::size_t index, core::TimePoint when) {
@@ -344,6 +391,7 @@ std::string Campaign::journal_entry(const SweepReport& r, bool valid) {
      << ",\"retries\":" << r.retries
      << ",\"disagreements\":" << r.disagreements
      << ",\"coverage\":" << obs::render_double(r.coverage())
+     << ",\"floor\":" << obs::render_double(r.floor)
      << ",\"confidence\":" << obs::render_double(r.confidence())
      << ",\"valid\":" << (valid ? "true" : "false")
      << ",\"low_coverage\":" << (r.low_coverage ? "true" : "false")
@@ -352,7 +400,12 @@ std::string Campaign::journal_entry(const SweepReport& r, bool valid) {
 }
 
 void Campaign::finish_sweep() {
-  tally_.low_coverage = tally_.coverage() < config_.coverage_floor;
+  // The floor judging this sweep comes from the sweeps BEFORE it — the
+  // adaptive EWMA is only fed afterwards (and never from a flagged
+  // sweep), so an observation cannot move its own goalposts and an
+  // outage cannot teach the floor that darkness is normal.
+  tally_.floor = current_floor();
+  tally_.low_coverage = tally_.coverage() < tally_.floor;
   tally_.collector_gap =
       plan_ != nullptr && plan_->collector_down(tally_.start);
 
@@ -373,10 +426,13 @@ void Campaign::finish_sweep() {
         obs::Severity::kWarn, "coverage_floor_breach",
         "\"sweep\":" + std::to_string(tally_.sweep) +
             ",\"coverage\":" + obs::render_double(tally_.coverage()) +
-            ",\"floor\":" + obs::render_double(config_.coverage_floor));
+            ",\"floor\":" + obs::render_double(tally_.floor));
   }
 
   update_health();
+  if (config_.adaptive.enabled && !tally_.low_coverage) {
+    floor_.observe(tally_.coverage());
+  }
 
   metrics().sweeps.inc();
   metrics().coverage.set(tally_.coverage());
@@ -468,7 +524,7 @@ void Campaign::update_health() {
         if (failed_trial ||
             (h.state == BreakerState::kClosed &&
              h.consecutive_misses >=
-                 static_cast<std::uint32_t>(config_.breaker.open_after))) {
+                 static_cast<std::uint32_t>(effective_open_after()))) {
           h.state = BreakerState::kOpen;
           h.reason = BreakReason::kPersistentlyDark;
           h.reopen_sweep = static_cast<std::uint32_t>(
@@ -497,22 +553,20 @@ void Campaign::update_health() {
   }
 }
 
-CampaignResult Campaign::run(std::size_t sweep_count) {
+bool Campaign::advance(std::size_t sweep_count) {
   obs::Span span("campaign/run");
   while (sweep_ < sweep_count || in_sweep_) {
     if (!in_sweep_) begin_sweep();
-    if (!run_current_sweep()) {
-      CampaignResult out;
-      out.series = series_;
-      out.reports = reports_;
-      out.interrupted = true;
-      return out;
-    }
+    if (!run_current_sweep()) return false;
   }
+  return true;
+}
+
+CampaignResult Campaign::run(std::size_t sweep_count) {
   CampaignResult out;
+  out.interrupted = !advance(sweep_count);
   out.series = series_;
   out.reports = reports_;
-  out.interrupted = false;
   return out;
 }
 
@@ -521,6 +575,10 @@ void Campaign::save_checkpoint(std::ostream& out) const {
   csv.row(kMagic, kVersion);
   csv.row("targets", targets_, "probers", probers_.size());
   csv.row("position", sweep_, next_index_, in_sweep_ ? 1 : 0, kills_fired_);
+  if (config_.adaptive.enabled) {
+    csv.row("floor", render_hexdouble(floor_.mean()),
+            render_hexdouble(floor_.variance()), floor_.samples());
+  }
   if (in_sweep_) {
     csv.row("tallies", tally_.start, tally_.answered, tally_.retried_out,
             tally_.broken, tally_.unrouted, tally_.retries,
@@ -559,7 +617,8 @@ void Campaign::save_checkpoint(std::ostream& out) const {
     const SweepReport& r = reports_[k];
     csv.row("report", r.sweep, r.start, r.end, r.targets, r.answered,
             r.retried_out, r.broken, r.unrouted, r.retries, r.disagreements,
-            r.low_coverage ? 1 : 0, r.collector_gap ? 1 : 0);
+            render_hexdouble(r.floor), r.low_coverage ? 1 : 0,
+            r.collector_gap ? 1 : 0);
   }
 }
 
@@ -593,6 +652,7 @@ void Campaign::load_checkpoint(std::istream& in) {
   outcome_.assign(targets_, Outcome::kPending);
   assignment_.assign(targets_, core::kUnknownSite);
   tally_ = SweepReport{};
+  floor_.restore(0.0, 0.0, 0);
   series_.clear();
   reports_.clear();
 
@@ -634,6 +694,13 @@ void Campaign::load_checkpoint(std::istream& in) {
         assignment_[i] = static_cast<core::SiteId>(
             parse_u64_field(row[i + 1], "site id"));
       }
+    } else if (kind == "floor") {
+      if (row.size() != 4) {
+        throw CampaignError("checkpoint: malformed floor row");
+      }
+      floor_.restore(parse_hexdouble(row[1], "floor mean"),
+                     parse_hexdouble(row[2], "floor variance"),
+                     parse_u64_field(row[3], "floor samples"));
     } else if (kind == "health") {
       if (row.size() != 7) {
         throw CampaignError("checkpoint: malformed health row");
@@ -662,7 +729,7 @@ void Campaign::load_checkpoint(std::istream& in) {
       }
       series_.push_back(std::move(v));
     } else if (kind == "report") {
-      if (row.size() != 13) {
+      if (row.size() != 14) {
         throw CampaignError("checkpoint: malformed report row");
       }
       SweepReport rep;
@@ -676,8 +743,9 @@ void Campaign::load_checkpoint(std::istream& in) {
       rep.unrouted = parse_u64_field(row[8], "report unrouted");
       rep.retries = parse_u64_field(row[9], "report retries");
       rep.disagreements = parse_u64_field(row[10], "report disagreements");
-      rep.low_coverage = row[11] == "1";
-      rep.collector_gap = row[12] == "1";
+      rep.floor = parse_hexdouble(row[11], "report floor");
+      rep.low_coverage = row[12] == "1";
+      rep.collector_gap = row[13] == "1";
       reports_.push_back(rep);
     } else {
       throw CampaignError("checkpoint: unknown row kind: " + kind);

@@ -44,6 +44,7 @@
 #include "chaos/fault_plan.h"
 #include "core/time.h"
 #include "core/vector.h"
+#include "measure/adaptive_floor.h"
 #include "measure/schedule.h"
 
 namespace fenrir::obs {
@@ -117,6 +118,20 @@ struct BreakerPolicy {
   std::size_t cooldown_sweeps = 2;
 };
 
+/// Opt-in adaptive coverage floor (adaptive_floor.h). When enabled, the
+/// static coverage_floor only seeds the warmup; after that the floor
+/// tracks the campaign's own accepted-sweep history (EWMA - k*sigma),
+/// and the breaker's open_after threshold scales with the same signal:
+/// at ambient EWMA coverage c, a target must miss ceil(open_after / c)
+/// consecutive sweeps before its breaker trips — ambient loss is not
+/// evidence against one target.
+struct AdaptiveFloorPolicy {
+  bool enabled = false;
+  /// Tuning for the EWMA band; `initial` is overridden by the
+  /// campaign's coverage_floor so the warmup matches the static path.
+  AdaptiveFloor::Config config;
+};
+
 struct CampaignConfig {
   /// SweepSchedule discipline (the paper's 550 pps USC scan by default).
   double packets_per_second = 550.0;
@@ -124,8 +139,11 @@ struct CampaignConfig {
   core::TimePoint idle_gap = 0;
   RetryPolicy retry;
   BreakerPolicy breaker;
-  /// Sweeps with answered/targets below this are emitted valid = false.
+  /// Sweeps with answered/targets below the floor are emitted
+  /// valid = false. With adaptive.enabled this fraction only seeds the
+  /// warmup; the floor then follows sweep history.
   double coverage_floor = 0.10;
+  AdaptiveFloorPolicy adaptive;
 };
 
 /// Why a target's circuit breaker is open.
@@ -162,6 +180,9 @@ struct SweepReport {
   std::size_t retries = 0;  // probes beyond the first attempt
   /// Targets where probers returned conflicting known labels.
   std::size_t disagreements = 0;
+  /// The coverage floor this sweep was judged against (the static
+  /// fraction, or the adaptive floor derived from earlier sweeps).
+  double floor = 0.0;
   bool low_coverage = false;
   bool collector_gap = false;
 
@@ -199,7 +220,10 @@ struct CampaignResult {
 struct QuorumMerge {
   core::RoutingVector vector;
   std::size_t disagreements = 0;
-  /// 1 - disagreements / networks-with-known-votes.
+  /// 1 - disagreements / networks-with-known-votes. When NO network had
+  /// any known vote (a lone prober that answered nothing), agreement is
+  /// undefined and this is NaN — deliberately not 1.0, so silence can
+  /// never be mistaken for consensus. Check with std::isnan.
   double confidence = 1.0;
 };
 QuorumMerge merge_quorum(std::span<const core::RoutingVector> views);
@@ -235,6 +259,12 @@ class Campaign {
   /// uninterrupted one would. Never throws on injected faults.
   CampaignResult run(std::size_t sweep_count);
 
+  /// Like run() but without materializing a result copy — the driver
+  /// reads series()/reports() in place (measure::Federation advances
+  /// members one epoch at a time this way). Returns false when a fault
+  /// plan kill interrupted the run; state is left resumable.
+  bool advance(std::size_t sweep_count);
+
   /// Serializes the complete campaign state (position, partial sweep,
   /// health table, finished series/reports) as dataset_io-style CSV.
   /// SiteIds are stored numerically: resume with the same site table.
@@ -254,6 +284,18 @@ class Campaign {
     return health_.at(index);
   }
   const SweepSchedule& schedule() const noexcept { return schedule_; }
+  /// Finished sweeps so far, in place (what run() copies out).
+  const std::vector<core::RoutingVector>& series() const noexcept {
+    return series_;
+  }
+  const std::vector<SweepReport>& reports() const noexcept {
+    return reports_;
+  }
+  /// The floor the NEXT sweep will be judged against.
+  double current_floor() const noexcept;
+  /// The breaker threshold in effect (scaled by ambient coverage when
+  /// the adaptive floor is enabled).
+  int effective_open_after() const noexcept;
 
  private:
   /// Per-target outcome within the current sweep.
@@ -296,6 +338,7 @@ class Campaign {
 
   // Cross-sweep state.
   std::vector<TargetHealth> health_;
+  AdaptiveFloor floor_;
   std::vector<core::RoutingVector> series_;
   std::vector<SweepReport> reports_;
 };

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <string>
@@ -348,6 +349,24 @@ TEST(QuorumMerge, TiesBreakToSmallestSiteId) {
   EXPECT_EQ(m.vector.assignment[0], kSiteA);
 }
 
+TEST(QuorumMerge, NoKnownVotesYieldsNaNConfidence) {
+  // Agreement over zero votes is undefined: 1.0 would let a silent lone
+  // prober masquerade as consensus, 0.0 would page on nothing. The
+  // contract (campaign.h) is an explicit NaN — pinned here so nobody
+  // "fixes" it to either pole without noticing.
+  core::RoutingVector a{0, {core::kUnknownSite, core::kUnknownSite}, true};
+  core::RoutingVector b{0, {core::kUnknownSite, core::kUnknownSite}, true};
+  const QuorumMerge m = merge_quorum(std::vector{a, b});
+  EXPECT_TRUE(std::isnan(m.confidence));
+  EXPECT_EQ(m.disagreements, 0u);
+  for (const core::SiteId s : m.vector.assignment) {
+    EXPECT_EQ(s, core::kUnknownSite);
+  }
+  // One known vote anywhere restores a defined (and perfect) agreement.
+  core::RoutingVector c{0, {kSiteA, core::kUnknownSite}, true};
+  EXPECT_DOUBLE_EQ(merge_quorum(std::vector{a, c}).confidence, 1.0);
+}
+
 TEST(Campaign, MultiProberQuorumCountsDisagreements) {
   const auto k = keys(8);
   const FnProber agree1(k, [](std::size_t, core::TimePoint) {
@@ -654,7 +673,7 @@ TEST(Campaign, CheckpointRejectsGarbage) {
   expect_reject("#fenrir-campaign-checkpoint,v99\ntargets,5,probers,1\n"
                 "position,0,0,0,0\n");
   // Wrong target count: the checkpoint belongs to another campaign.
-  expect_reject("#fenrir-campaign-checkpoint,v1\ntargets,9,probers,1\n"
+  expect_reject("#fenrir-campaign-checkpoint,v2\ntargets,9,probers,1\n"
                 "position,0,0,0,0\n");
   EXPECT_THROW(c.load_checkpoint_file("/nonexistent/ckpt.csv"),
                CampaignError);

@@ -1,0 +1,591 @@
+// Property tests for chaos::ClockModel + measure::Federation +
+// measure::AdaptiveFloor: skewed member clocks must align to epochs
+// exactly, a federation must degrade gracefully (stale -> aged-out ->
+// rejoined) under member failure, a killed-and-resumed federation must
+// be bit-identical to an uninterrupted one, and the adaptive floor must
+// flag a degrading campaign with zero hand-tuned thresholds.
+#include "measure/federation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chaos/clock_model.h"
+#include "chaos/fault_plan.h"
+#include "measure/adaptive_floor.h"
+#include "obs/events.h"
+#include "obs/journal.h"
+#include "rng/rng.h"
+
+namespace fenrir::measure {
+namespace {
+
+constexpr core::SiteId kSiteA = core::kFirstRealSite;
+constexpr core::SiteId kSiteB = core::kFirstRealSite + 1;
+constexpr core::SiteId kSiteC = core::kFirstRealSite + 2;
+
+std::vector<std::uint64_t> keys(std::size_t n) {
+  std::vector<std::uint64_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = 1000 + i;
+  return out;
+}
+
+/// The shared ground truth: target g lives at site kSiteA + (g % 3).
+FnProber striped_world(std::size_t n) {
+  return FnProber(keys(n), [](std::size_t g, core::TimePoint) {
+    return ProbeReply{static_cast<core::SiteId>(kSiteA + g % 3),
+                      ProbeStatus::kAnswered};
+  });
+}
+
+std::vector<std::size_t> range(std::size_t from, std::size_t to) {
+  std::vector<std::size_t> out;
+  for (std::size_t g = from; g < to; ++g) out.push_back(g);
+  return out;
+}
+
+CampaignConfig member_campaign() {
+  CampaignConfig cfg;
+  cfg.packets_per_second = 10.0;
+  cfg.retry.max_attempts = 2;
+  cfg.retry.backoff = 5;
+  return cfg;
+}
+
+/// Three members over 12 targets: 0-5, 4-9 (overlapping), 8-11.
+FederationConfig fed_config() {
+  FederationConfig cfg;
+  cfg.global_targets = 12;
+  cfg.epoch_length = 60;
+  cfg.staleness_bound = 2;
+  cfg.dead_after = 2;
+  return cfg;
+}
+
+std::vector<MemberConfig> three_members() {
+  std::vector<MemberConfig> members(3);
+  members[0].name = "alpha";
+  members[0].targets = range(0, 6);
+  members[1].name = "beta";
+  members[1].targets = range(4, 10);
+  members[2].name = "gamma";
+  members[2].targets = range(8, 12);
+  for (MemberConfig& m : members) m.campaign = member_campaign();
+  return members;
+}
+
+void expect_equal_federations(const FederationResult& a,
+                              const FederationResult& b) {
+  ASSERT_EQ(a.series.size(), b.series.size());
+  ASSERT_EQ(a.reports.size(), b.reports.size());
+  ASSERT_EQ(a.provenance.size(), b.provenance.size());
+  for (std::size_t e = 0; e < a.series.size(); ++e) {
+    EXPECT_EQ(a.series[e].time, b.series[e].time) << "epoch " << e;
+    EXPECT_EQ(a.series[e].valid, b.series[e].valid) << "epoch " << e;
+    EXPECT_EQ(a.series[e].assignment, b.series[e].assignment) << "epoch " << e;
+    const EpochReport& r = a.reports[e];
+    const EpochReport& s = b.reports[e];
+    EXPECT_EQ(r.fresh, s.fresh) << "epoch " << e;
+    EXPECT_EQ(r.stale, s.stale) << "epoch " << e;
+    EXPECT_EQ(r.aged_out, s.aged_out) << "epoch " << e;
+    EXPECT_EQ(r.unserved, s.unserved) << "epoch " << e;
+    EXPECT_EQ(r.disagreements, s.disagreements) << "epoch " << e;
+    EXPECT_EQ(r.members_healthy, s.members_healthy) << "epoch " << e;
+    EXPECT_EQ(r.members_lagging, s.members_lagging) << "epoch " << e;
+    EXPECT_EQ(r.members_dead, s.members_dead) << "epoch " << e;
+    EXPECT_EQ(r.low_coverage, s.low_coverage) << "epoch " << e;
+    // Bit-identical, not approximately equal: the adaptive floor state
+    // must survive the checkpoint exactly.
+    EXPECT_EQ(r.floor, s.floor) << "epoch " << e;
+    for (std::size_t g = 0; g < a.provenance[e].size(); ++g) {
+      EXPECT_EQ(a.provenance[e][g].member, b.provenance[e][g].member)
+          << "epoch " << e << " target " << g;
+      EXPECT_EQ(a.provenance[e][g].staleness, b.provenance[e][g].staleness)
+          << "epoch " << e << " target " << g;
+      EXPECT_EQ(a.provenance[e][g].disagreed, b.provenance[e][g].disagreed)
+          << "epoch " << e << " target " << g;
+    }
+  }
+}
+
+// --- clock models: skew must align exactly ---
+
+TEST(ClockModel, IdentityIsIdentity) {
+  const chaos::ClockModel m;
+  EXPECT_TRUE(m.identity());
+  for (core::TimePoint t = -500; t <= 500; t += 37) {
+    EXPECT_EQ(m.to_local(t), t);
+    EXPECT_EQ(m.to_true(t), t);
+  }
+}
+
+TEST(ClockModel, OffsetsRoundTripAtEpochBoundaries) {
+  for (const std::int64_t offset : {-3600, -61, -1, 1, 7, 3600}) {
+    chaos::ClockModel m;
+    m.offset_seconds = offset;
+    // Epoch boundaries and their neighbours are the instants a sweep
+    // start is most likely to land on — off-by-one here silently files
+    // every observation one epoch early or late.
+    for (core::TimePoint epoch = -5; epoch <= 5; ++epoch) {
+      for (const core::TimePoint d : {-1, 0, 1}) {
+        const core::TimePoint t = epoch * 60 + d;
+        EXPECT_EQ(m.to_local(t), t + offset);
+        EXPECT_EQ(m.to_true(m.to_local(t)), t) << "offset " << offset;
+      }
+    }
+  }
+}
+
+TEST(ClockModel, PositiveDriftInvertsExactly) {
+  for (const std::int64_t ppm : {1, 250, 500'000, 2'000'000}) {
+    chaos::ClockModel m;
+    m.offset_seconds = -11;
+    m.drift_ppm = ppm;
+    core::TimePoint prev_local = m.to_local(-4000);
+    for (core::TimePoint t = -3999; t <= 4000; t += 13) {
+      const core::TimePoint local = m.to_local(t);
+      EXPECT_GT(local, prev_local) << "ppm " << ppm;  // strictly increasing
+      EXPECT_EQ(m.to_true(local), t) << "ppm " << ppm << " t " << t;
+      prev_local = local;
+    }
+  }
+}
+
+TEST(ClockModel, NegativeDriftIsDeterministicFloorInverse) {
+  for (const std::int64_t ppm : {-1, -250, -500'000, -999'999}) {
+    chaos::ClockModel m;
+    m.offset_seconds = 5;
+    m.drift_ppm = ppm;
+    core::TimePoint prev = m.to_true(-3000);
+    for (core::TimePoint local = -2999; local <= 3000; local += 7) {
+      const core::TimePoint t = m.to_true(local);
+      // Defining property of the floor-inverse: t is the LATEST true
+      // second mapping at or below the local stamp.
+      EXPECT_LE(m.to_local(t), local) << "ppm " << ppm;
+      EXPECT_GT(m.to_local(t + 1), local) << "ppm " << ppm;
+      EXPECT_GE(t, prev) << "ppm " << ppm;  // monotone
+      prev = t;
+    }
+  }
+}
+
+TEST(ClockModel, RoundTripPropertyAcrossSeededGrids) {
+  // Property sweep over a deterministic pseudo-random grid of models and
+  // instants: to_local is monotone non-decreasing and to_true is its
+  // exact floor-inverse, for every seed.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    chaos::ClockModel m;
+    m.offset_seconds =
+        static_cast<std::int64_t>(rng::mix(seed, 1) % 20000) - 10000;
+    m.drift_ppm = static_cast<std::int64_t>(rng::mix(seed, 2) % 1'999'998) -
+                  999'999;  // (-1e6, 1e6)
+    core::TimePoint prev_t = -5000;
+    core::TimePoint prev_local = m.to_local(prev_t);
+    for (int step = 0; step < 400; ++step) {
+      const core::TimePoint t =
+          prev_t + 1 + static_cast<core::TimePoint>(rng::mix(seed, 3, step) % 40);
+      const core::TimePoint local = m.to_local(t);
+      EXPECT_GE(local, prev_local) << "seed " << seed;
+      EXPECT_LE(m.to_local(m.to_true(local)), local) << "seed " << seed;
+      EXPECT_GT(m.to_local(m.to_true(local) + 1), local) << "seed " << seed;
+      prev_t = t;
+      prev_local = local;
+    }
+  }
+}
+
+// --- federation: construction and the happy path ---
+
+TEST(Federation, ValidatesConfiguration) {
+  const FnProber world = striped_world(12);
+  EXPECT_THROW(Federation(world, fed_config(), {}), FederationError);
+
+  auto members = three_members();
+  members[1].targets.clear();
+  EXPECT_THROW(Federation(world, fed_config(), members), FederationError);
+
+  members = three_members();
+  members[2].targets.push_back(12);  // out of the 12-target universe
+  EXPECT_THROW(Federation(world, fed_config(), members), FederationError);
+
+  members = three_members();
+  members[0].start_offset = 60;  // == epoch_length
+  EXPECT_THROW(Federation(world, fed_config(), members), FederationError);
+
+  members = three_members();
+  members[0].clock.drift_ppm = -1'000'000;  // clock runs backwards
+  EXPECT_THROW(Federation(world, fed_config(), members), FederationError);
+
+  members = three_members();
+  FederationConfig tiny = fed_config();
+  tiny.epoch_length = 0;
+  EXPECT_THROW(Federation(world, tiny, members), FederationError);
+
+  // A member whose sweep cannot fit in one epoch is rejected up front.
+  members = three_members();
+  members[0].campaign.packets_per_second = 0.01;
+  EXPECT_THROW(Federation(world, fed_config(), members), FederationError);
+}
+
+TEST(Federation, MergesMemberViewsWithProvenance) {
+  const FnProber world = striped_world(12);
+  auto members = three_members();
+  // Skewed but benign clocks: aligned through the model, the sweeps
+  // still land in their own epochs.
+  members[1].clock.offset_seconds = 3600;
+  members[2].clock.offset_seconds = -90;
+  members[1].start_offset = 10;
+  members[2].start_offset = 20;
+  Federation fed(world, fed_config(), members);
+  const FederationResult r = fed.run(3);
+
+  EXPECT_FALSE(r.interrupted);
+  ASSERT_EQ(r.series.size(), 3u);
+  for (std::size_t e = 0; e < 3; ++e) {
+    const EpochReport& rep = r.reports[e];
+    EXPECT_EQ(rep.fresh, 12u) << "epoch " << e;
+    EXPECT_EQ(rep.stale, 0u);
+    EXPECT_EQ(rep.unserved, 0u);
+    EXPECT_EQ(rep.disagreements, 0u);
+    EXPECT_EQ(rep.members_healthy, 3u);
+    EXPECT_TRUE(r.series[e].valid);
+    EXPECT_DOUBLE_EQ(rep.coverage(), 1.0);
+    for (std::size_t g = 0; g < 12; ++g) {
+      EXPECT_EQ(r.series[e].assignment[g],
+                static_cast<core::SiteId>(kSiteA + g % 3))
+          << "epoch " << e << " target " << g;
+      EXPECT_EQ(r.provenance[e][g].staleness, 0u);
+      EXPECT_FALSE(r.provenance[e][g].disagreed);
+    }
+    // Overlap (targets 4,5 covered by alpha+beta; 8,9 by beta+gamma):
+    // provenance credits the smallest member index among fresh winners.
+    EXPECT_EQ(r.provenance[e][4].member, 0u);
+    EXPECT_EQ(r.provenance[e][5].member, 0u);
+    EXPECT_EQ(r.provenance[e][8].member, 1u);
+    EXPECT_EQ(r.provenance[e][9].member, 1u);
+    EXPECT_EQ(r.provenance[e][11].member, 2u);
+  }
+}
+
+TEST(Federation, ConflictingFreshVotesFlagDisagreement) {
+  // The world flips target 4's site at t=15: member alpha (offset 0)
+  // sees kSiteA in epoch 0, member beta (start_offset 30) sees kSiteB.
+  const FnProber world(keys(12), [](std::size_t g, core::TimePoint t) {
+    if (g == 4) {
+      return ProbeReply{t < 15 ? kSiteA : kSiteB, ProbeStatus::kAnswered};
+    }
+    return ProbeReply{static_cast<core::SiteId>(kSiteA + g % 3),
+                      ProbeStatus::kAnswered};
+  });
+  auto members = three_members();
+  members[1].start_offset = 30;
+  Federation fed(world, fed_config(), members);
+  const FederationResult r = fed.run(1);
+  ASSERT_EQ(r.reports.size(), 1u);
+  EXPECT_EQ(r.reports[0].disagreements, 1u);
+  EXPECT_TRUE(r.provenance[0][4].disagreed);
+  // Both voters carry warmup weight 1.0; the tie breaks to the
+  // smallest SiteId, same rule as merge_quorum.
+  EXPECT_EQ(r.series[0].assignment[4], kSiteA);
+  EXPECT_FALSE(r.provenance[0][5].disagreed);
+}
+
+// --- graceful degradation: stale, aged out, dead, rejoined ---
+
+TEST(Federation, DeadMemberAgesOutAndRejoins) {
+  const FnProber world = striped_world(12);
+  auto members = three_members();
+  // gamma goes completely dark for epochs 2..5 (local time 120..360)
+  // and comes back for epoch 6.
+  chaos::FaultPlan dark(1);
+  dark.add_loss_burst(120, 360, 1.0);
+  members[2].faults = &dark;
+
+  const std::string events_path =
+      ::testing::TempDir() + "fenrir_fed_degrade_events.jsonl";
+  std::remove(events_path.c_str());
+  obs::event_bus().reset();
+  obs::JsonlEventSink sink;
+  ASSERT_TRUE(sink.open(events_path, /*truncate=*/true));
+  obs::event_bus().add_sink(&sink);
+
+  Federation fed(world, fed_config(), members);
+  const FederationResult r = fed.run(8);
+  obs::event_bus().remove_sink(&sink);
+
+  EXPECT_FALSE(r.interrupted);
+  ASSERT_EQ(r.reports.size(), 8u);
+
+  // Epochs 0-1: everyone fresh.
+  EXPECT_EQ(r.reports[1].fresh, 12u);
+  EXPECT_EQ(r.reports[1].members_healthy, 3u);
+
+  // Epoch 2: gamma missed one epoch — lagging, its targets served from
+  // its epoch-1 answers at staleness 1.
+  EXPECT_EQ(r.reports[2].members_lagging, 1u);
+  EXPECT_EQ(r.reports[2].stale, 2u);  // targets 10,11 (8,9 covered by beta)
+  EXPECT_EQ(r.provenance[2][10].member, 2u);
+  EXPECT_EQ(r.provenance[2][10].staleness, 1u);
+
+  // Epoch 3: two lagging epochs -> dead; answers at staleness 2, still
+  // inside the bound.
+  EXPECT_EQ(r.reports[3].members_dead, 1u);
+  EXPECT_EQ(r.provenance[3][11].staleness, 2u);
+  EXPECT_TRUE(r.series[3].valid);  // degraded, not discarded
+
+  // Epoch 4: staleness 3 > bound 2 — the dead member's answers age out
+  // and its exclusive targets go unserved.
+  EXPECT_EQ(r.reports[4].aged_out, 2u);
+  EXPECT_EQ(r.reports[4].unserved, 2u);
+  EXPECT_EQ(r.provenance[4][10].member, kNoMember);
+  EXPECT_EQ(r.series[4].assignment[10], core::kUnknownSite);
+  // Targets 8,9 are beta's too — still fresh despite gamma's death.
+  EXPECT_EQ(r.series[4].assignment[8],
+            static_cast<core::SiteId>(kSiteA + 8 % 3));
+
+  // Epoch 6: gamma answers again — rejoined, fresh everywhere.
+  EXPECT_EQ(r.reports[6].fresh, 12u);
+  EXPECT_EQ(fed.member_health(2), MemberHealth::kHealthy);  // after epoch 7
+  EXPECT_EQ(r.reports[6].members_healthy, 3u);  // rejoined counts healthy
+
+  // The event stream told the story: dead, rejoined, stale provenance.
+  const std::vector<std::string> lines = obs::read_journal(events_path);
+  bool saw_dead = false, saw_rejoin = false, saw_stale = false;
+  for (const std::string& line : lines) {
+    if (line.find("\"type\":\"prober_dead\"") != std::string::npos) {
+      saw_dead = true;
+      EXPECT_NE(line.find("\"member\":2"), std::string::npos);
+    }
+    if (line.find("\"type\":\"prober_rejoined\"") != std::string::npos) {
+      saw_rejoin = true;
+    }
+    if (line.find("\"type\":\"provenance_stale\"") != std::string::npos) {
+      saw_stale = true;
+    }
+  }
+  EXPECT_TRUE(saw_dead);
+  EXPECT_TRUE(saw_rejoin);
+  EXPECT_TRUE(saw_stale);
+  std::remove(events_path.c_str());
+}
+
+TEST(Federation, LimpingMemberLosesVotingWeight) {
+  const FnProber world = striped_world(12);
+  auto members = three_members();
+  // beta limps: ~60% of its probes are lost, every sweep, but it stays
+  // above its own floor so its sweeps remain valid.
+  chaos::FaultPlan limp(3);
+  limp.add_loss_burst(0, 100000, 0.6);
+  members[1].faults = &limp;
+  Federation fed(world, fed_config(), members);
+  fed.run(6);
+  EXPECT_DOUBLE_EQ(fed.member_weight(0), 1.0);
+  EXPECT_LT(fed.member_weight(1), 0.85);
+  EXPECT_GT(fed.member_weight(1), 0.05);
+}
+
+// --- kill / resume ---
+
+TEST(Federation, KillRestartIsBitIdentical) {
+  const FnProber world = striped_world(12);
+  const std::string dir = ::testing::TempDir() + "fenrir_fed_ckpt";
+
+  auto members = three_members();
+  chaos::FaultPlan dark(1);
+  dark.add_loss_burst(120, 300, 1.0);  // gamma dark epochs 2..4
+  members[2].faults = &dark;
+
+  Federation baseline(world, fed_config(), members);
+  const FederationResult expected = baseline.run(7);
+  EXPECT_FALSE(expected.interrupted);
+
+  // Same federation, but beta is chaos-killed mid-sweep in epoch 3.
+  chaos::FaultPlan killing(2);
+  killing.add_kill(3, 0.5);
+  auto doomed_members = members;
+  doomed_members[1].faults = &killing;
+  Federation doomed(world, fed_config(), doomed_members);
+  const FederationResult partial = doomed.run(7);
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_LT(partial.reports.size(), 7u);
+  doomed.save_checkpoint_dir(dir);
+
+  // A fresh process: same config, state from the checkpoint directory.
+  Federation resumed(world, fed_config(), doomed_members);
+  resumed.load_checkpoint_dir(dir);
+  EXPECT_EQ(resumed.epochs_done(), partial.reports.size());
+  const FederationResult completed = resumed.run(7);
+  EXPECT_FALSE(completed.interrupted);  // the kill already fired
+
+  expect_equal_federations(completed, expected);
+}
+
+TEST(Federation, EventLogOfKilledRunIsPrefixOfUninterruptedLog) {
+  const FnProber world = striped_world(12);
+  auto members = three_members();
+  chaos::FaultPlan dark(1);
+  dark.add_loss_burst(120, 300, 1.0);
+  members[2].faults = &dark;
+  chaos::FaultPlan killing(2);
+  killing.add_kill(4, 0.5);
+  auto doomed_members = members;
+  doomed_members[0].faults = &killing;
+
+  const std::string full_path =
+      ::testing::TempDir() + "fenrir_fed_events_full.jsonl";
+  const std::string killed_path =
+      ::testing::TempDir() + "fenrir_fed_events_killed.jsonl";
+  std::remove(full_path.c_str());
+  std::remove(killed_path.c_str());
+
+  const auto without_ts = [](const std::string& line) {
+    const auto at = line.find("\"ts\":");
+    if (at == std::string::npos) return line;
+    const auto comma = line.find(',', at);
+    if (comma == std::string::npos) return line;
+    return line.substr(0, at) + line.substr(comma + 1);
+  };
+
+  {
+    obs::event_bus().reset();
+    obs::JsonlEventSink sink;
+    ASSERT_TRUE(sink.open(full_path, /*truncate=*/true));
+    obs::event_bus().add_sink(&sink);
+    Federation baseline(world, fed_config(), members);
+    baseline.run(6);
+    obs::event_bus().remove_sink(&sink);
+  }
+  {
+    obs::event_bus().reset();
+    obs::JsonlEventSink sink;
+    ASSERT_TRUE(sink.open(killed_path, /*truncate=*/true));
+    obs::event_bus().add_sink(&sink);
+    Federation doomed(world, fed_config(), doomed_members);
+    const FederationResult partial = doomed.run(6);
+    ASSERT_TRUE(partial.interrupted);
+    obs::event_bus().remove_sink(&sink);
+  }
+
+  const std::vector<std::string> full = obs::read_journal(full_path);
+  const std::vector<std::string> killed = obs::read_journal(killed_path);
+  ASSERT_FALSE(full.empty());
+  ASSERT_LT(killed.size(), full.size());
+  for (std::size_t i = 0; i < killed.size(); ++i) {
+    EXPECT_EQ(without_ts(killed[i]), without_ts(full[i]))
+        << "event line " << i;
+  }
+  std::remove(full_path.c_str());
+  std::remove(killed_path.c_str());
+}
+
+TEST(Federation, CheckpointRejectsMismatchedShape) {
+  const FnProber world = striped_world(12);
+  const std::string dir = ::testing::TempDir() + "fenrir_fed_ckpt_shape";
+  Federation a(world, fed_config(), three_members());
+  a.run(2);
+  a.save_checkpoint_dir(dir);
+
+  // Two members instead of three: the manifest rejects the load.
+  auto fewer = three_members();
+  fewer.pop_back();
+  Federation b(world, fed_config(), fewer);
+  EXPECT_THROW(b.load_checkpoint_dir(dir), FederationError);
+  EXPECT_THROW(b.load_checkpoint_dir("/nonexistent/fed"), FederationError);
+}
+
+// --- the adaptive floor ---
+
+TEST(AdaptiveFloor, FlagsSyntheticDegradationWithDefaults) {
+  // A campaign humming at ~90% coverage quietly sinks to 55%. The
+  // static floor (10%) never notices; the adaptive band does — with
+  // nothing but default tuning.
+  AdaptiveFloor floor;  // all defaults
+  const double healthy[] = {0.91, 0.89, 0.90, 0.92, 0.88, 0.90, 0.91, 0.89};
+  for (const double c : healthy) {
+    EXPECT_LT(floor.floor(), c);  // a healthy sweep is never flagged
+    floor.observe(c);
+  }
+  EXPECT_GT(floor.floor(), 0.55);  // the degraded sweep IS flagged
+  EXPECT_GT(0.55, AdaptiveFloor::Config{}.initial);  // static would miss it
+}
+
+TEST(AdaptiveFloor, WarmupUsesInitialAndRestoreRoundTrips) {
+  AdaptiveFloor::Config cfg;
+  cfg.warmup = 3;
+  cfg.initial = 0.25;
+  AdaptiveFloor floor(cfg);
+  EXPECT_DOUBLE_EQ(floor.floor(), 0.25);
+  floor.observe(0.9);
+  floor.observe(0.9);
+  EXPECT_DOUBLE_EQ(floor.floor(), 0.25);  // still warming up
+  floor.observe(0.9);
+  EXPECT_GT(floor.floor(), 0.25);
+
+  AdaptiveFloor copy(cfg);
+  copy.restore(floor.mean(), floor.variance(), floor.samples());
+  EXPECT_EQ(copy.floor(), floor.floor());
+}
+
+TEST(Campaign, AdaptiveFloorFlagsDegradingCampaignWithoutTuning) {
+  // Coverage ~1.0 for the first sweeps, then the world half-dies. At
+  // 50% coverage the static floor (10%) stays silent; the adaptive
+  // floor flags every degraded sweep.
+  const FnProber p(keys(40), [](std::size_t i, core::TimePoint t) {
+    if (t < 250) return ProbeReply{kSiteA, ProbeStatus::kAnswered};
+    const std::uint64_t draw = rng::mix(11, i, static_cast<std::uint64_t>(t));
+    return (draw >> 11) % 2 == 0
+               ? ProbeReply{kSiteA, ProbeStatus::kAnswered}
+               : ProbeReply{core::kUnknownSite, ProbeStatus::kNoReply};
+  });
+  CampaignConfig cfg;
+  cfg.packets_per_second = 10.0;
+  cfg.retry.max_attempts = 1;  // no retries: degraded coverage stays ~0.5
+  cfg.idle_gap = 50;           // sweeps start at 0, 55, 110, ...
+  cfg.adaptive.enabled = true;
+  Campaign c({&p}, cfg);
+  const CampaignResult r = c.run(8);
+
+  std::size_t flagged = 0;
+  for (const SweepReport& rep : r.reports) {
+    if (rep.start < 250) {
+      EXPECT_FALSE(rep.low_coverage) << "sweep " << rep.sweep;
+    } else if (rep.low_coverage) {
+      ++flagged;
+      EXPECT_GT(rep.floor, 0.5) << "sweep " << rep.sweep;
+    }
+  }
+  EXPECT_GE(flagged, 3u);
+
+  // The same campaign with the static floor never notices.
+  CampaignConfig static_cfg = cfg;
+  static_cfg.adaptive.enabled = false;
+  Campaign s({&p}, static_cfg);
+  for (const SweepReport& rep : s.run(8).reports) {
+    EXPECT_FALSE(rep.low_coverage) << "sweep " << rep.sweep;
+  }
+}
+
+TEST(Campaign, AdaptiveFloorScalesBreakerThreshold) {
+  // At ~50% ambient coverage a single target's misses are weak evidence:
+  // the effective breaker threshold must scale up from the base.
+  const FnProber p = FnProber(keys(30), [](std::size_t i, core::TimePoint t) {
+    const std::uint64_t draw = rng::mix(7, i, static_cast<std::uint64_t>(t));
+    return (draw >> 11) % 2 == 0
+               ? ProbeReply{kSiteA, ProbeStatus::kAnswered}
+               : ProbeReply{core::kUnknownSite, ProbeStatus::kNoReply};
+  });
+  CampaignConfig cfg;
+  cfg.packets_per_second = 10.0;
+  cfg.retry.max_attempts = 1;
+  cfg.adaptive.enabled = true;
+  Campaign c({&p}, cfg);
+  EXPECT_EQ(c.effective_open_after(), cfg.breaker.open_after);  // warmup
+  c.run(6);
+  EXPECT_GT(c.effective_open_after(), cfg.breaker.open_after);
+}
+
+}  // namespace
+}  // namespace fenrir::measure

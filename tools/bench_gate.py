@@ -17,10 +17,11 @@ ratio the same way and cancels; a single regressing kernel stands out
 against the fleet.
 
 Only the recurrence hot path is gated (BM_Gower*, BM_SimilarityMatrix*
-including the Periodic anchored-vs-predecessor pair, BM_ModeBook*, and
-the BM_Snapshot* load/recompute pair): they are the paper-relevant fast
-path and run long enough to be stable at --benchmark_min_time=0.01s.
-The other benches are reported in the table but never fail the gate.
+including the Periodic anchored-vs-predecessor pair, BM_ModeBook*, the
+BM_Snapshot* load/recompute pair, and BM_FederatedSweep — the federated
+merge fold): they are the paper-relevant fast path and run long enough
+to be stable at --benchmark_min_time=0.01s. The other benches are
+reported in the table but never fail the gate.
 
 Exit codes: 0 pass, 1 regression, 2 usage/unreadable input.
 """
@@ -29,10 +30,12 @@ import argparse
 import json
 import sys
 
-# Gated benches: the Φ kernel hot path, the ModeBook classifier, and the
-# snapshot resume pair. Everything else is informational.
+# Gated benches: the Φ kernel hot path, the ModeBook classifier, the
+# snapshot resume pair, and the federated merge fold. Everything else is
+# informational.
 GATED_PREFIXES = ("bench_core_BM_Gower", "bench_core_BM_SimilarityMatrix",
-                  "bench_core_BM_ModeBook", "bench_core_BM_Snapshot")
+                  "bench_core_BM_ModeBook", "bench_core_BM_Snapshot",
+                  "bench_core_BM_FederatedSweep")
 SUFFIX = "_real_ns"
 
 

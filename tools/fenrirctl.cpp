@@ -21,6 +21,14 @@
 //                                         type and severity
 //   fenrirctl events --port N [opts]      tail a live server's /events
 //                                         endpoint (see below)
+//   fenrirctl federate out.csv [opts]     run a synthetic federated
+//                                         multi-prober campaign
+//                                         (measure::Federation): N
+//                                         member probers with skewed
+//                                         clocks and overlapping target
+//                                         slices merge into one dataset;
+//                                         one member goes dark mid-run
+//                                         and rejoins
 //   fenrirctl --version                   build identity (version, git
 //                                         sha, build type, sanitizers)
 //
@@ -66,6 +74,26 @@
 //                         (debug|info|notice|warn|alert)
 //   --follow              keep long-polling until SIGINT or the server
 //                         goes away (default: one fetch and exit)
+//   --retries N           consecutive failed fetches tolerated before
+//                         giving up (default 5). Attempts back off
+//                         exponentially (250ms doubling, capped at 4s)
+//                         and the counter resets on any success; the
+//                         final diagnostic names the attempt count
+//
+// federate options:
+//   --members N           member probers (default 3, min 2)
+//   --epochs N            federation epochs to run (default 8)
+//   --overlap N           extra targets each member's slice extends
+//                         into its neighbors' (default 2)
+//   --kill-member I       with --kill-epoch: member I's fault plan
+//   --kill-epoch E        kills the process mid-sweep in epoch E
+//                         (exit 1; resumable via --checkpoint)
+//   --checkpoint DIR      resume from DIR if it holds a federation
+//                         checkpoint; save state there on a kill (and
+//                         on success). A killed run rerun with the same
+//                         arguments produces a byte-identical dataset.
+//   --provenance FILE     write per-epoch per-target provenance CSV
+//                         (serving member, staleness, disagreement)
 //
 // exit codes: 0 success; 2 usage errors; 3 I/O errors (unreadable,
 // unwritable, or malformed dataset/state files); 1 analysis errors and
@@ -96,6 +124,7 @@
 //                         to FILE as JSONL — same torn-tail-tolerant
 //                         framing as the journal; replay with
 //                         `fenrirctl events FILE`
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -120,6 +149,7 @@
 #include "io/csv.h"
 #include "io/snapshot.h"
 #include "io/table.h"
+#include "measure/federation.h"
 #include "measure/verfploeter.h"
 #include "netbase/hitlist.h"
 #include "obs/build_info.h"
@@ -142,7 +172,7 @@ namespace {
 int usage() {
   std::cerr << "usage: fenrirctl "
                "<demo|info|analyze|watch|clean|compare|transitions|journal"
-               "|events> "
+               "|events|federate> "
                "...\n(see the header of tools/fenrirctl.cpp for options)\n";
   return 2;
 }
@@ -181,7 +211,11 @@ Args parse_args(int argc, char** argv, int first) {
            flag == "--trace-out" || flag == "--status-port" ||
            flag == "--status-port-file" || flag == "--journal" ||
            flag == "--events-out" || flag == "--port" ||
-           flag == "--since" || flag == "--type" || flag == "--severity";
+           flag == "--since" || flag == "--type" || flag == "--severity" ||
+           flag == "--retries" || flag == "--members" || flag == "--epochs" ||
+           flag == "--overlap" || flag == "--kill-member" ||
+           flag == "--kill-epoch" || flag == "--checkpoint" ||
+           flag == "--provenance";
   };
   Args out;
   for (int i = first; i < argc; ++i) {
@@ -712,6 +746,23 @@ int events_tail(const Args& args) {
               << "' (want debug|info|notice|warn|alert)\n";
     return 2;
   }
+  // --retries N: consecutive failed fetches tolerated before giving up.
+  // A status server restarting mid-tail (or not yet listening) should
+  // cost a few backed-off retries, not an instant exit — but the retry
+  // must be bounded and the final diagnostic must say what was tried.
+  long retries = 5;
+  if (const auto r = args.get("--retries", ""); !r.empty()) {
+    try {
+      retries = std::stol(r);
+    } catch (const std::exception&) {
+      retries = 0;
+    }
+    if (retries < 1) {
+      std::cerr << "fenrirctl: bad --retries '" << r
+                << "' (want a positive attempt count)\n";
+      return 2;
+    }
+  }
   const bool follow = args.has("--follow");
   if (follow) {
     std::signal(SIGINT, handle_shutdown_signal);
@@ -719,6 +770,7 @@ int events_tail(const Args& args) {
   }
 
   bool connected = false;
+  long failures = 0;
   while (!g_shutdown.load()) {
     std::string target = "/events?since=" + std::to_string(since);
     if (!type.empty()) target += "&type=" + type;
@@ -729,13 +781,28 @@ int events_tail(const Args& args) {
     const auto response =
         obs::http_get(static_cast<std::uint16_t>(port), target, 25000);
     if (!response) {
-      if (connected) {
-        std::cout << "server on port " << port << " went away\n";
-        return 0;
+      ++failures;
+      if (failures >= retries) {
+        if (connected) {
+          std::cout << "server on port " << port << " went away (gave up after "
+                    << failures << (failures == 1 ? " attempt" : " attempts")
+                    << ")\n";
+          return 0;
+        }
+        std::cerr << "fenrirctl: no status server on 127.0.0.1:" << port
+                  << " after " << failures
+                  << (failures == 1 ? " attempt" : " attempts")
+                  << "; is the producer running with --status-port " << port
+                  << "? (--retries raises the limit)\n";
+        return 1;
       }
-      std::cerr << "fenrirctl: no status server on 127.0.0.1:" << port
-                << "\n";
-      return 1;
+      // Exponential backoff between attempts: 250ms doubling, capped at
+      // 4s — a restarting server gets a window, a dead one costs ~8s at
+      // the default 5 attempts.
+      const long shift = failures - 1 < 10 ? failures - 1 : 10;
+      const long delay_ms = std::min(4000L, 250L << shift);
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      continue;
     }
     if (response->status != 200) {
       std::cerr << "fenrirctl: /events answered HTTP " << response->status
@@ -743,6 +810,7 @@ int events_tail(const Args& args) {
       return 1;
     }
     connected = true;
+    failures = 0;
     for (const std::string& object : extract_event_objects(response->body)) {
       print_event_line(object);
       try {
@@ -765,6 +833,225 @@ int cmd_events(const Args& args) {
   if (args.positional.size() == 1) return events_replay(args.positional[0]);
   if (args.positional.empty() && args.has("--port")) return events_tail(args);
   return usage();
+}
+
+std::size_t parse_count(const Args& args, const std::string& flag,
+                        std::size_t fallback, std::size_t lo, std::size_t hi) {
+  const std::string text = args.get(flag, "");
+  if (text.empty()) return fallback;
+  std::size_t value = 0;
+  try {
+    value = std::stoul(text);
+  } catch (const std::exception&) {
+    throw std::runtime_error("bad " + flag + " '" + text + "' (want a count)");
+  }
+  if (value < lo || value > hi) {
+    throw std::runtime_error(flag + " must be in [" + std::to_string(lo) +
+                             ", " + std::to_string(hi) + "]");
+  }
+  return value;
+}
+
+/// A synthetic federated campaign over the demo world: N member probers
+/// with skewed clocks and overlapping slices of the hitlist merge into
+/// one dataset through measure::Federation. The timeline carries a
+/// drain (epochs 3-4, like the demo's day 15-21) and the last member
+/// goes fully dark for epochs 2-4 — long enough to be declared dead and
+/// for its answers to age out — then rejoins. --kill-member/--kill-epoch
+/// add a one-shot process kill, and --checkpoint makes that kill
+/// resumable to a byte-identical dataset.
+int cmd_federate(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const std::size_t member_count = parse_count(args, "--members", 3, 2, 64);
+  const std::size_t epochs = parse_count(args, "--epochs", 8, 1, 512);
+  const std::size_t overlap = parse_count(args, "--overlap", 2, 0, 1024);
+  const bool has_kill = args.has("--kill-member") || args.has("--kill-epoch");
+  std::size_t kill_member = 0, kill_epoch = 0;
+  if (has_kill) {
+    if (!args.has("--kill-member") || !args.has("--kill-epoch")) {
+      throw std::runtime_error(
+          "--kill-member and --kill-epoch must be given together");
+    }
+    kill_member =
+        parse_count(args, "--kill-member", 0, 0, member_count - 1);
+    kill_epoch = parse_count(args, "--kill-epoch", 0, 0, 1 << 20);
+  }
+
+  // The demo world, with the drain expressed as a second routing table
+  // the prober switches to inside the drain window.
+  scenarios::WorldConfig wc;
+  wc.topo.stub_count = 400;
+  wc.topo.seed = 77;
+  scenarios::World world = scenarios::make_world(wc);
+  bgp::AnycastService service(*netbase::Prefix::parse("192.0.2.0/24"));
+  service.add_site(0, world.topo.stubs[5]);
+  service.add_site(1, world.topo.stubs[200]);
+  service.add_site(2, world.topo.stubs[395]);
+  netbase::Hitlist hitlist(world.topo.blocks, 3);
+  measure::VerfploeterConfig vc;
+  vc.seed = 3;
+  const measure::VerfploeterProbe probe(&hitlist, vc);
+
+  core::Dataset data;
+  data.name = "fenrirctl federate";
+  for (std::size_t i = 0; i < hitlist.size(); ++i) {
+    data.networks.intern(hitlist.block(i));
+  }
+  const auto site_map =
+      scenarios::make_site_mapping(data.sites, {"alpha", "beta", "gamma"});
+  const bgp::RoutingTable routing_base =
+      world.cache.get(world.topo.graph, service.active_origins());
+  service.set_drained(1, true);
+  const bgp::RoutingTable routing_drained =
+      world.cache.get(world.topo.graph, service.active_origins());
+  service.set_drained(1, false);
+
+  const core::TimePoint t0 = core::from_date(2025, 1, 1);
+  const core::TimePoint epoch_len = core::kHour;
+  const core::TimePoint drain_from = t0 + 3 * epoch_len;
+  const core::TimePoint drain_to = t0 + 5 * epoch_len;
+
+  const std::size_t global = hitlist.size();
+  std::vector<std::uint64_t> keys(global);
+  for (std::size_t i = 0; i < global; ++i) keys[i] = hitlist.block(i);
+  const measure::FnProber world_prober(
+      std::move(keys),
+      [&](std::size_t index, core::TimePoint when) {
+        const bgp::RoutingTable& routing =
+            (when >= drain_from && when < drain_to) ? routing_drained
+                                                    : routing_base;
+        const auto reply = probe.measure_one(index, when, world.topo.graph,
+                                             routing, site_map);
+        measure::ProbeReply out;
+        out.site = reply.site;
+        switch (reply.outcome) {
+          case measure::VerfploeterOutcome::kAnswered:
+            out.status = measure::ProbeStatus::kAnswered;
+            break;
+          case measure::VerfploeterOutcome::kUnrouted:
+            out.status = measure::ProbeStatus::kUnrouted;
+            break;
+          default:
+            out.status = measure::ProbeStatus::kNoReply;
+        }
+        return out;
+      });
+
+  // Members: contiguous slices of the hitlist, each widened by --overlap
+  // on both sides, each with its own clock skew and in-epoch phase. The
+  // last member carries the built-in dark window (epochs 2-4 in true
+  // time, converted to its local clock — fault plans run on local time).
+  static constexpr std::int64_t kOffsets[] = {0, 127, -61, 45, -203, 350};
+  static constexpr std::int64_t kDrifts[] = {0, 180, -90, 40, 250, -130};
+  std::vector<chaos::FaultPlan> plans;
+  plans.reserve(member_count);
+  std::vector<measure::MemberConfig> members(member_count);
+  for (std::size_t i = 0; i < member_count; ++i) {
+    measure::MemberConfig& m = members[i];
+    m.name = "probe-" + std::to_string(i);
+    const std::size_t lo = i * global / member_count;
+    const std::size_t hi = (i + 1) * global / member_count;
+    const std::size_t from = lo > overlap ? lo - overlap : 0;
+    const std::size_t to = std::min(global, hi + overlap);
+    for (std::size_t g = from; g < to; ++g) m.targets.push_back(g);
+    m.clock.offset_seconds = kOffsets[i % 6];
+    m.clock.drift_ppm = kDrifts[i % 6];
+    m.start_offset =
+        static_cast<core::TimePoint>(i * epoch_len / (2 * member_count));
+    plans.emplace_back(chaos::FaultPlan(1000 + i));
+    if (i == member_count - 1) {
+      plans.back().add_loss_burst(m.clock.to_local(t0 + 2 * epoch_len),
+                                  m.clock.to_local(t0 + 5 * epoch_len), 1.0);
+    }
+    if (has_kill && i == kill_member) {
+      plans.back().add_kill(kill_epoch, 0.5);
+    }
+  }
+  for (std::size_t i = 0; i < member_count; ++i) {
+    members[i].faults = &plans[i];
+  }
+
+  measure::FederationConfig fc;
+  fc.global_targets = global;
+  fc.start = t0;
+  fc.epoch_length = epoch_len;
+  fc.staleness_bound = 2;
+  fc.dead_after = 2;
+  fc.coverage_floor = 0.10;
+  measure::Federation fed(world_prober, fc, std::move(members));
+
+  const std::string ckpt = args.get("--checkpoint", "");
+  if (!ckpt.empty() && std::ifstream(ckpt + "/federation.csv").good()) {
+    fed.load_checkpoint_dir(ckpt);
+    std::cout << "resumed: " << fed.epochs_done()
+              << " epochs already folded\n";
+  }
+  const measure::FederationResult result = fed.run(epochs);
+  if (result.interrupted) {
+    if (ckpt.empty()) {
+      std::cerr << "fenrirctl: federation killed mid-sweep during epoch "
+                << fed.epochs_done()
+                << "; no --checkpoint, progress is lost\n";
+    } else {
+      fed.save_checkpoint_dir(ckpt);
+      std::cerr << "fenrirctl: federation killed mid-sweep during epoch "
+                << fed.epochs_done() << "; checkpoint saved to " << ckpt
+                << " -- rerun the same command to resume\n";
+    }
+    return 1;
+  }
+  if (!ckpt.empty()) fed.save_checkpoint_dir(ckpt);
+
+  io::TextTable table;
+  table.header({"epoch", "fresh", "stale", "aged", "unserved", "disagree",
+                "coverage", "floor", "valid"});
+  for (const auto& r : result.reports) {
+    table.row(std::to_string(r.epoch), std::to_string(r.fresh),
+              std::to_string(r.stale), std::to_string(r.aged_out),
+              std::to_string(r.unserved), std::to_string(r.disagreements),
+              io::fixed(r.coverage(), 3), io::fixed(r.floor, 3),
+              r.low_coverage ? "LOW" : "ok");
+  }
+  table.print(std::cout);
+  for (std::size_t i = 0; i < fed.member_count(); ++i) {
+    std::cout << "member " << i << " (probe-" << i << "): "
+              << fed.member(i).target_count() << " targets, health "
+              << measure::to_string(fed.member_health(i)) << ", weight "
+              << io::fixed(fed.member_weight(i), 2) << "\n";
+  }
+
+  if (const auto path = args.get("--provenance", ""); !path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      throw core::DatasetIoError("cannot write provenance file " + path);
+    }
+    out << "epoch,target,member,staleness,disagreed\n";
+    for (std::size_t e = 0; e < result.provenance.size(); ++e) {
+      for (std::size_t g = 0; g < result.provenance[e].size(); ++g) {
+        const measure::TargetProvenance& p = result.provenance[e][g];
+        out << e << ',' << g << ',';
+        if (p.member == measure::kNoMember) {
+          out << '-';
+        } else {
+          out << p.member;
+        }
+        out << ',' << p.staleness << ',' << (p.disagreed ? 1 : 0) << '\n';
+      }
+    }
+    if (!out) {
+      throw core::DatasetIoError("cannot write provenance file " + path);
+    }
+    std::cout << "wrote " << path << "\n";
+  }
+
+  data.series = result.series;
+  core::save_dataset_file(data, args.positional[0]);
+  std::cout << "wrote " << args.positional[0] << ": " << data.series.size()
+            << " epochs x " << data.networks.size() << " networks ("
+            << fed.member_count()
+            << " members; drain epochs 3-4, member "
+            << fed.member_count() - 1 << " dark epochs 2-4)\n";
+  return 0;
 }
 
 int cmd_clean(const Args& args) {
@@ -835,6 +1122,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "transitions") return cmd_transitions(args);
   if (cmd == "journal") return cmd_journal(args);
   if (cmd == "events") return cmd_events(args);
+  if (cmd == "federate") return cmd_federate(args);
   return usage();
 }
 
@@ -862,7 +1150,15 @@ void register_metric_catalog() {
         "fenrir_campaign_breaker_skips_total",
         "fenrir_campaign_low_coverage_sweeps_total",
         "fenrir_campaign_quorum_disagreements_total",
-        "fenrir_campaign_resumes_total", "fenrir_watch_resumes_total",
+        "fenrir_campaign_resumes_total",
+        "fenrir_federation_epochs_total",
+        "fenrir_federation_member_sweeps_total",
+        "fenrir_federation_stale_served_total",
+        "fenrir_federation_aged_out_total", "fenrir_federation_deaths_total",
+        "fenrir_federation_rejoins_total",
+        "fenrir_federation_disagreements_total",
+        "fenrir_federation_low_coverage_epochs_total",
+        "fenrir_federation_resumes_total", "fenrir_watch_resumes_total",
         "fenrir_status_requests_total", "fenrir_journal_lines_total",
         "fenrir_journal_write_errors_total",
         "fenrir_events_suppressed_total", "fenrir_events_overwritten_total",
@@ -883,6 +1179,8 @@ void register_metric_catalog() {
        {"fenrir_analyze_observations", "fenrir_analyze_clusters",
         "fenrir_analyze_modes", "fenrir_parallel_imbalance_ratio",
         "fenrir_campaign_coverage", "fenrir_campaign_confidence",
+        "fenrir_federation_coverage", "fenrir_federation_adaptive_floor",
+        "fenrir_federation_members_healthy", "fenrir_federation_members_dead",
         "fenrir_phi_delta_density", "fenrir_phi_delta_speedup_ratio",
         "fenrir_phi_anchor_est_delta", "fenrir_phi_anchor_realized_delta",
         "fenrir_snapshot_save_seconds", "fenrir_snapshot_load_seconds"}) {
