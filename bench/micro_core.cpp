@@ -7,16 +7,20 @@
 // successive PRs accumulate a diffable perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "bgp/routing.h"
 #include "bgp/topology_gen.h"
 #include "core/cluster.h"
 #include "core/compare.h"
 #include "core/compare_kernels.h"
+#include "core/simd_dispatch.h"
 #include "core/events.h"
 #include "core/modebook.h"
 #include "core/transition.h"
@@ -133,6 +137,39 @@ void BM_GowerPacked(benchmark::State& state) {
 }
 BENCHMARK(BM_GowerPacked)->Arg(100'000)->Arg(1'000'000);
 
+// The dispatch tiers head-to-head on the u8 counts kernel (the width
+// BM_GowerPacked's 8-site vectors pack to), same site distribution as
+// BM_GowerPacked so the items/s ratio is the pure lane win. Tiers the
+// build or the host CPU lacks are skipped, not faked.
+void BM_GowerSimd(benchmark::State& state, core::simd::Tier tier) {
+  const core::simd::KernelTable* k = core::simd::table_for(tier);
+  if (k == nullptr) {
+    state.SkipWithError("tier unavailable on this build/host");
+    return;
+  }
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto av = random_vector(n, 8, 1, 0.5);
+  const auto bv = random_vector(n, 8, 2, 0.5);
+  std::vector<std::uint8_t> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::uint8_t>(av.assignment[i]);
+    b[i] = static_cast<std::uint8_t>(bv.assignment[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::phi_from_counts(
+        k->count_u8(a.data(), b.data(), n), n,
+        core::UnknownPolicy::kPessimistic));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK_CAPTURE(BM_GowerSimd, scalar, core::simd::Tier::kScalar)
+    ->Arg(100'000)->Arg(1'000'000);
+BENCHMARK_CAPTURE(BM_GowerSimd, avx2, core::simd::Tier::kAvx2)
+    ->Arg(100'000)->Arg(1'000'000);
+BENCHMARK_CAPTURE(BM_GowerSimd, avx512, core::simd::Tier::kAvx512)
+    ->Arg(100'000)->Arg(1'000'000);
+
 // The delta patch for one pair at 1% churn. Items are counted in
 // networks covered (the N the patch replaces), so items/s is directly
 // comparable with BM_GowerPessimistic / BM_GowerPacked.
@@ -161,15 +198,23 @@ void BM_SimilarityMatrix(benchmark::State& state) {
 BENCHMARK(BM_SimilarityMatrix)->Args({64, 5'000})->Args({128, 5'000})
     ->Args({256, 2'000});
 
+// The serial/parallel crossover of the per-row column fill. At 500
+// networks each row's work sits below parallel_for's grain cutoff, so
+// every thread count times the same serial loop (dispatch overhead no
+// longer shows); at 4000 networks rows are wide enough to feed the pool
+// and the thread counts separate.
 void BM_SimilarityMatrixThreads(benchmark::State& state) {
-  const auto d = random_dataset(192, 4'000);
   const auto threads = static_cast<unsigned>(state.range(0));
+  const auto d =
+      random_dataset(192, static_cast<std::size_t>(state.range(1)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::SimilarityMatrix::compute(
         d, core::UnknownPolicy::kPessimistic, threads));
   }
 }
-BENCHMARK(BM_SimilarityMatrixThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_SimilarityMatrixThreads)
+    ->Args({1, 500})->Args({8, 500})
+    ->Args({1, 4'000})->Args({2, 4'000})->Args({4, 4'000})->Args({8, 4'000});
 
 // The acceptance pair: the full low-churn matrix on the scalar reference
 // versus the layered fast path (packed kernels + delta rows), both
@@ -227,7 +272,8 @@ BENCHMARK(BM_SimilarityMatrixAppend)->Args({64, 10'000})->Args({256, 10'000});
 // predecessor-only delta path pays a packed-kernel row at every block
 // boundary; anchored chains patch the return from the old mode's
 // representative row.
-core::Dataset periodic_dataset(std::size_t obs, std::size_t nets) {
+core::Dataset periodic_dataset(std::size_t obs, std::size_t nets,
+                               std::size_t period = 8) {
   core::Dataset d;
   d.name = "bench-periodic";
   for (std::size_t i = 0; i < nets; ++i) d.networks.intern(i);
@@ -237,7 +283,7 @@ core::Dataset periodic_dataset(std::size_t obs, std::size_t nets) {
                                   random_vector(nets, 8, 45, 0.1)};
   const std::size_t flips = nets / 1000;  // 0.1% per step, ~1% per block
   for (std::size_t t = 0; t < obs; ++t) {
-    core::RoutingVector& m = modes[(t / 8) % 2];
+    core::RoutingVector& m = modes[(t / period) % 2];
     m.time = static_cast<core::TimePoint>(t) * core::kDay;
     d.series.push_back(m);
     for (std::size_t k = 0; k < flips; ++k) {
@@ -278,6 +324,77 @@ void BM_SimilarityMatrixPeriodicPredecessor(benchmark::State& state) {
                           static_cast<std::int64_t>(t * (t + 1) / 2 * n));
 }
 BENCHMARK(BM_SimilarityMatrixPeriodicPredecessor)->Args({512, 10'000});
+
+// Short-period alternation (A A B B A A ...) with representatives
+// disabled: every return to a mode must be caught by the chained Σ|Δ|
+// bound over the recent-anchor window — the stage the block-of-8
+// periodic bench never exercises (representatives win there). Keeps
+// fenrir_phi_anchor_chained_total nonzero in BENCH_core.json, which the
+// bench gate's selftest asserts.
+void BM_SimilarityMatrixAlternating(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto d = periodic_dataset(t, n, /*period=*/2);
+  for (auto _ : state) {
+    core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+    m.set_anchor_limits(core::SimilarityMatrix::kRecentAnchors, 0);
+    for (const core::RoutingVector& v : d.series) m.append(v);
+    benchmark::DoNotOptimize(m.phi(t - 1, 0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(t * (t + 1) / 2 * n));
+}
+BENCHMARK(BM_SimilarityMatrixAlternating)->Args({256, 10'000});
+
+// The batched ingest shape: k observations folded onto a standing T-row
+// matrix in one append_batch() (what --matrix-cache warm appends, watch
+// resume rebuilds, and measure::fold_phi pay), against the same k rows
+// appended one at a time. Items are the scalar-equivalent comparisons
+// of the appended rows, Σ (T+i+1)·N — the ratio of the pair is the
+// batching win.
+void BM_SimilarityMatrixBatchAppend(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  const auto d = periodic_dataset(t + k, n);
+  const std::span<const core::RoutingVector> all(d.series);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+    m.append_batch(all.first(t));
+    m.reserve(t + k);  // both variants: storage growth is not the contest
+    state.ResumeTiming();
+    m.append_batch(all.subspan(t));
+    benchmark::DoNotOptimize(m.phi(t + k - 1, 0));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(k * (t + (k + 1) / 2 + 1) * n));
+}
+// MinTime pins enough iterations for a stable batch-vs-loop ratio on a
+// noisy box; it overrides the CLI --benchmark_min_time smoke default.
+BENCHMARK(BM_SimilarityMatrixBatchAppend)->Args({512, 10'000, 64})->MinTime(2.0);
+
+void BM_SimilarityMatrixBatchAppendLoop(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const auto k = static_cast<std::size_t>(state.range(2));
+  const auto d = periodic_dataset(t + k, n);
+  const std::span<const core::RoutingVector> all(d.series);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+    m.append_batch(all.first(t));
+    m.reserve(t + k);  // both variants: storage growth is not the contest
+    state.ResumeTiming();
+    for (std::size_t i = t; i < t + k; ++i) m.append(d.series[i]);
+    benchmark::DoNotOptimize(m.phi(t + k - 1, 0));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(k * (t + (k + 1) / 2 + 1) * n));
+}
+BENCHMARK(BM_SimilarityMatrixBatchAppendLoop)->Args({512, 10'000, 64})->MinTime(2.0);
 
 void BM_SimilarityMatrixPeriodicScalar(benchmark::State& state) {
   const auto t = static_cast<std::size_t>(state.range(0));
@@ -504,6 +621,19 @@ int main(int argc, char** argv) {
   RegistryReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+
+  // Snapshot provenance: which SIMD tier the host offers and which one
+  // the kernels actually dispatched to (0 scalar, 1 avx2, 2 avx512).
+  // bench_gate.py warns when two snapshots disagree — their kernel wall
+  // times are not comparable.
+  fenrir::obs::registry()
+      .gauge("bench_core_meta_simd_tier_detected",
+             "SIMD tier this host+build supports (0/1/2)")
+      .set(static_cast<double>(fenrir::core::simd::detected_tier()));
+  fenrir::obs::registry()
+      .gauge("bench_core_meta_simd_tier_active",
+             "SIMD tier the kernels dispatched to (0/1/2)")
+      .set(static_cast<double>(fenrir::core::simd::active_tier()));
 
   const char* env = std::getenv("FENRIR_BENCH_OUT");
   const std::string path = env != nullptr ? env : "BENCH_core.json";

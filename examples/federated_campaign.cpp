@@ -22,6 +22,7 @@
 #include "bgp/service.h"
 #include "chaos/fault_plan.h"
 #include "io/table.h"
+#include "measure/campaign.h"
 #include "measure/federation.h"
 #include "measure/verfploeter.h"
 #include "netbase/hitlist.h"
@@ -181,6 +182,14 @@ int main() {
 
   // --- 5. The merge reports and the federation metrics. ---
   print_reports(result.reports);
+
+  // The merged epochs fold straight into the all-pairs Φ matrix through
+  // the batched append path — the shape a fenrird shard would use:
+  // buffer an epoch slice, fold it in one append_batch().
+  const core::SimilarityMatrix phi = measure::fold_phi(result.series);
+  std::cout << "\nphi over " << phi.size() << " merged epochs: "
+            << "first vs last "
+            << io::fixed(phi.phi(0, phi.size() - 1), 3) << "\n";
   std::cout << "\nmember state after the run:\n";
   for (std::size_t i = 0; i < resumed.member_count(); ++i) {
     std::cout << "  probe-" << i << ": health "

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/simd_dispatch.h"
+
 namespace fenrir::core {
 
 double in_order_sum(std::span<const double> w) {
@@ -79,22 +81,11 @@ std::size_t width_for(SiteId max_id) {
   return 4;
 }
 
-// Typed change-set scan. Mismatches are rare on the workloads that reach
-// this path (that is why the delta layer exists), so the hot loop is a
-// well-predicted equality test per element, not a per-element width
-// dispatch.
-template <typename T>
-void delta_scan(const T* a, const T* b, std::size_t n,
-                std::vector<DeltaEntry>& out) {
-  for (std::size_t i = 0; i < n; ++i) {
-    if (a[i] != b[i]) {
-      out.push_back({static_cast<std::uint32_t>(i),
-                     static_cast<SiteId>(a[i]), static_cast<SiteId>(b[i])});
-    }
-  }
-}
-
-// Bounded variant: bails at the (cap+1)-th mismatch. Anchor probes call
+// Typed change-set scan, bounded: bails at the (cap+1)-th mismatch.
+// Mismatches are rare on the workloads that reach this path (that is why
+// the delta layer exists), so the hot loop is a well-predicted equality
+// test per element. The unbounded scan is this with cap = kNoCap — the
+// bail branch never fires. Anchor probes call
 // this against rows that are usually either near-identical (the probe
 // wins) or near-total rewrites (bail after ~cap mismatches), so the
 // abort is what keeps a failed probe cheap.
@@ -116,11 +107,83 @@ bool delta_scan_bounded(const T* a, const T* b, std::size_t n,
 
 }  // namespace
 
+// Scalar tier of the dispatch table (simd_dispatch.h): thin typed
+// wrappers over the oracle templates above. The unbounded delta scan is
+// expressed as the bounded one with simd::kNoCap — out.size() can never
+// reach SIZE_MAX, so the bail branch is dead and the loop body matches
+// delta_scan exactly.
+namespace simd {
+
+MatchCounts count_u8_scalar(const std::uint8_t* a, const std::uint8_t* b,
+                            std::size_t n) {
+  return count_matches_impl(a, b, n);
+}
+MatchCounts count_u16_scalar(const std::uint16_t* a, const std::uint16_t* b,
+                             std::size_t n) {
+  return count_matches_impl(a, b, n);
+}
+MatchCounts count_u32_scalar(const std::uint32_t* a, const std::uint32_t* b,
+                             std::size_t n) {
+  return count_matches_impl(a, b, n);
+}
+bool delta_u8_scalar(const std::uint8_t* a, const std::uint8_t* b,
+                     std::size_t n, std::size_t cap,
+                     std::vector<DeltaEntry>& out) {
+  return delta_scan_bounded(a, b, n, cap, out);
+}
+bool delta_u16_scalar(const std::uint16_t* a, const std::uint16_t* b,
+                      std::size_t n, std::size_t cap,
+                      std::vector<DeltaEntry>& out) {
+  return delta_scan_bounded(a, b, n, cap, out);
+}
+bool delta_u32_scalar(const std::uint32_t* a, const std::uint32_t* b,
+                      std::size_t n, std::size_t cap,
+                      std::vector<DeltaEntry>& out) {
+  return delta_scan_bounded(a, b, n, cap, out);
+}
+SiteId max_site_scalar(const SiteId* src, std::size_t n) {
+  SiteId max_id = 0;
+  for (std::size_t i = 0; i < n; ++i) max_id = std::max(max_id, src[i]);
+  return max_id;
+}
+void pack_u8_scalar(const SiteId* src, std::uint8_t* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint8_t>(src[i]);
+  }
+}
+void pack_u16_scalar(const SiteId* src, std::uint16_t* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<std::uint16_t>(src[i]);
+  }
+}
+
+std::int64_t swap_patch_u8_scalar(const std::uint8_t* row,
+                                  const std::uint32_t* idx,
+                                  const SiteId* before, const SiteId* after,
+                                  std::size_t n, std::size_t /*row_len*/) {
+  std::int64_t d_matches = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    const SiteId b = row[idx[t]];
+    d_matches += (after[t] == b);
+    d_matches -= (before[t] == b);
+  }
+  return d_matches;
+}
+
+}  // namespace simd
+
+SwapPatchU8Fn active_swap_patch_u8() noexcept {
+  return simd::active().swap_u8;
+}
+
 PackedSeries PackedSeries::pack(const Dataset& dataset) {
   PackedSeries s;
+  const simd::KernelTable& k = simd::active();
   SiteId max_id = 0;
   for (const RoutingVector& v : dataset.series) {
-    for (const SiteId id : v.assignment) max_id = std::max(max_id, id);
+    if (v.assignment.empty()) continue;
+    max_id = std::max(max_id, k.max_site(v.assignment.data(),
+                                         v.assignment.size()));
   }
   s.width_ = width_for(max_id);
   for (const RoutingVector& v : dataset.series) s.append(v);
@@ -133,17 +196,28 @@ void PackedSeries::append(const RoutingVector& v) {
   } else if (v.assignment.size() != networks_) {
     throw std::invalid_argument("PackedSeries: vector size mismatch");
   }
-  SiteId max_id = 0;
-  for (const SiteId id : v.assignment) max_id = std::max(max_id, id);
+  const simd::KernelTable& k = simd::active();
+  const SiteId max_id =
+      v.assignment.empty() ? 0
+                           : k.max_site(v.assignment.data(),
+                                        v.assignment.size());
   if (const std::size_t need = width_for(max_id); need > width_) {
     widen_to(need);
   }
   data_.resize((rows_ + 1) * networks_ * width_);
   std::byte* dst = row_ptr(rows_);
   switch (width_) {
-    case 1: pack_row<std::uint8_t>(dst, v); break;
-    case 2: pack_row<std::uint16_t>(dst, v); break;
-    default: pack_row<std::uint32_t>(dst, v); break;
+    case 1:
+      k.pack_u8(v.assignment.data(), reinterpret_cast<std::uint8_t*>(dst),
+                networks_);
+      break;
+    case 2:
+      k.pack_u16(v.assignment.data(), reinterpret_cast<std::uint16_t*>(dst),
+                 networks_);
+      break;
+    default:
+      pack_row<std::uint32_t>(dst, v);
+      break;
   }
   ++rows_;
 }
@@ -192,19 +266,17 @@ MatchCounts PackedSeries::counts(std::size_t i, std::size_t j) const {
   if (i >= rows_ || j >= rows_) throw std::out_of_range("PackedSeries::counts");
   const std::byte* a = row_ptr(i);
   const std::byte* b = row_ptr(j);
+  const simd::KernelTable& k = simd::active();
   switch (width_) {
     case 1:
-      return count_matches_impl(reinterpret_cast<const std::uint8_t*>(a),
-                                reinterpret_cast<const std::uint8_t*>(b),
-                                networks_);
+      return k.count_u8(reinterpret_cast<const std::uint8_t*>(a),
+                        reinterpret_cast<const std::uint8_t*>(b), networks_);
     case 2:
-      return count_matches_impl(reinterpret_cast<const std::uint16_t*>(a),
-                                reinterpret_cast<const std::uint16_t*>(b),
-                                networks_);
+      return k.count_u16(reinterpret_cast<const std::uint16_t*>(a),
+                         reinterpret_cast<const std::uint16_t*>(b), networks_);
     default:
-      return count_matches_impl(reinterpret_cast<const std::uint32_t*>(a),
-                                reinterpret_cast<const std::uint32_t*>(b),
-                                networks_);
+      return k.count_u32(reinterpret_cast<const std::uint32_t*>(a),
+                         reinterpret_cast<const std::uint32_t*>(b), networks_);
   }
 }
 
@@ -263,22 +335,7 @@ std::vector<DeltaEntry> PackedSeries::delta_between(std::size_t from,
     throw std::out_of_range("PackedSeries::delta_between");
   }
   std::vector<DeltaEntry> delta;
-  const std::byte* a = row_ptr(from);
-  const std::byte* b = row_ptr(to);
-  switch (width_) {
-    case 1:
-      delta_scan(reinterpret_cast<const std::uint8_t*>(a),
-                 reinterpret_cast<const std::uint8_t*>(b), networks_, delta);
-      break;
-    case 2:
-      delta_scan(reinterpret_cast<const std::uint16_t*>(a),
-                 reinterpret_cast<const std::uint16_t*>(b), networks_, delta);
-      break;
-    default:
-      delta_scan(reinterpret_cast<const std::uint32_t*>(a),
-                 reinterpret_cast<const std::uint32_t*>(b), networks_, delta);
-      break;
-  }
+  delta_between_bounded(from, to, simd::kNoCap, delta);
   return delta;
 }
 
@@ -291,19 +348,20 @@ bool PackedSeries::delta_between_bounded(std::size_t from, std::size_t to,
   out.clear();
   const std::byte* a = row_ptr(from);
   const std::byte* b = row_ptr(to);
+  const simd::KernelTable& k = simd::active();
   switch (width_) {
     case 1:
-      return delta_scan_bounded(reinterpret_cast<const std::uint8_t*>(a),
-                                reinterpret_cast<const std::uint8_t*>(b),
-                                networks_, cap, out);
+      return k.delta_u8(reinterpret_cast<const std::uint8_t*>(a),
+                        reinterpret_cast<const std::uint8_t*>(b), networks_,
+                        cap, out);
     case 2:
-      return delta_scan_bounded(reinterpret_cast<const std::uint16_t*>(a),
-                                reinterpret_cast<const std::uint16_t*>(b),
-                                networks_, cap, out);
+      return k.delta_u16(reinterpret_cast<const std::uint16_t*>(a),
+                         reinterpret_cast<const std::uint16_t*>(b), networks_,
+                         cap, out);
     default:
-      return delta_scan_bounded(reinterpret_cast<const std::uint32_t*>(a),
-                                reinterpret_cast<const std::uint32_t*>(b),
-                                networks_, cap, out);
+      return k.delta_u32(reinterpret_cast<const std::uint32_t*>(a),
+                         reinterpret_cast<const std::uint32_t*>(b), networks_,
+                         cap, out);
   }
 }
 
@@ -351,6 +409,31 @@ MatchCounts apply_delta(MatchCounts base, std::span<const DeltaEntry> delta,
   base.mutual_known = static_cast<std::uint64_t>(
       static_cast<std::int64_t>(base.mutual_known) + d_known);
   return base;
+}
+
+PreparedDelta prepare_delta(std::span<const DeltaEntry> delta) {
+  PreparedDelta p;
+  for (const DeltaEntry& d : delta) {
+    const bool before_known = d.before != kUnknownSite;
+    const bool after_known = d.after != kUnknownSite;
+    if (before_known && after_known) {
+      p.idx_swap.push_back(d.index);
+      p.before_swap.push_back(d.before);
+      p.after_swap.push_back(d.after);
+    } else if (after_known) {
+      p.idx_gain.push_back(d.index);
+      p.after_gain.push_back(d.after);
+    } else if (before_known) {
+      p.idx_lose.push_back(d.index);
+      p.before_lose.push_back(d.before);
+    }
+  }
+  return p;
+}
+
+MatchCounts apply_prepared(MatchCounts base, const PreparedDelta& delta,
+                           const PackedSeries& series, std::size_t row_b) {
+  return ColumnPatcher(series, row_b).apply(base, delta);
 }
 
 }  // namespace fenrir::core

@@ -85,6 +85,8 @@ struct DeltaEntry {
   SiteId after = kUnknownSite;
 };
 
+struct PreparedDelta;
+
 /// A time-series of routing vectors packed to the narrowest element type
 /// that holds every SiteId appended so far. Appending a vector with a
 /// larger id transparently re-packs the store one width up (ids only grow
@@ -100,6 +102,14 @@ class PackedSeries {
   std::size_t networks() const noexcept { return networks_; }
   /// Bytes per element: 1, 2, or 4.
   std::size_t width() const noexcept { return width_; }
+
+  /// Pre-sizes the store for @p rows total rows (no-op before the first
+  /// append fixes networks(), or when already that large). Batch
+  /// ingesters call this so the packed store grows once per batch
+  /// instead of reallocating mid-append-loop.
+  void reserve(std::size_t rows) {
+    if (networks_ > 0) data_.reserve(rows * networks_ * width_);
+  }
 
   /// Appends one packed row. The first row fixes networks(); later rows
   /// must match it (std::invalid_argument otherwise).
@@ -138,6 +148,22 @@ class PackedSeries {
   bool delta_between_bounded(std::size_t from, std::size_t to, std::size_t cap,
                              std::vector<DeltaEntry>& out) const;
 
+  /// Hint-prefetches every line of row @p row. The batch fill walks
+  /// columns sequentially but reads each column's row in random
+  /// (delta-index) order, which the hardware prefetcher cannot learn —
+  /// streaming the next column's row while the current one is patched
+  /// overlaps those misses instead.
+  void prefetch_row(std::size_t row) const {
+    if (row >= rows_) return;
+#if defined(__GNUC__) || defined(__clang__)
+    const std::byte* b = row_ptr(row);
+    const std::size_t bytes = networks_ * width_;
+    for (std::size_t off = 0; off < bytes; off += 64) {
+      __builtin_prefetch(b + off, 0, 1);
+    }
+#endif
+  }
+
   /// Hint-prefetches the lines apply_delta will read in row @p row_b.
   /// The matrix's fill loop issues this a couple of pairs ahead so the
   /// patch's random reads overlap in the memory system instead of
@@ -158,6 +184,9 @@ class PackedSeries {
  private:
   friend MatchCounts apply_delta(MatchCounts, std::span<const DeltaEntry>,
                                  const PackedSeries&, std::size_t);
+  friend MatchCounts apply_prepared(MatchCounts, const PreparedDelta&,
+                                    const PackedSeries&, std::size_t);
+  friend class ColumnPatcher;
   friend class fenrir::io::SnapshotCodec;
   void widen_to(std::size_t width);
   const std::byte* row_ptr(std::size_t i) const {
@@ -178,5 +207,141 @@ class PackedSeries {
 /// @p row_b per entry. Exact integer arithmetic — bit-identical Φ.
 MatchCounts apply_delta(MatchCounts base, std::span<const DeltaEntry> delta,
                         const PackedSeries& series, std::size_t row_b);
+
+/// A change-set pre-classified by endpoint known-ness. Whether `before`
+/// or `after` equals kUnknownSite does not depend on the column being
+/// patched, yet apply_delta re-tests both per entry per column. The
+/// batch append classifies each planned row once and replays the
+/// prepared form across every column:
+///  - both endpoints known: mutual_known provably cancels (-known +known)
+///    and only match membership can move — two compares per entry;
+///  - before unknown → after known: the pair can only gain, one compare
+///    plus the column's own known test;
+///  - before known → after unknown: the mirror image.
+/// (An entry with both endpoints unknown cannot appear in a change-set.)
+/// Struct-of-arrays so the replay loop streams each class densely.
+struct PreparedDelta {
+  std::vector<std::uint32_t> idx_swap;
+  std::vector<SiteId> before_swap;
+  std::vector<SiteId> after_swap;
+  std::vector<std::uint32_t> idx_gain;
+  std::vector<SiteId> after_gain;
+  std::vector<std::uint32_t> idx_lose;
+  std::vector<SiteId> before_lose;
+};
+
+/// Classifies @p delta into its PreparedDelta form — O(|Δ|), done once
+/// per planned batch row and amortized over every column it patches.
+PreparedDelta prepare_delta(std::span<const DeltaEntry> delta);
+
+/// Kernel signature for the swap-class patch against a u8 row: returns
+/// the net match delta Σ (after[t] == row[idx[t]]) − (before[t] ==
+/// row[idx[t]]). @p row_len is the row's element count — idx entries
+/// are sorted ascending, so a vectorized tier can split off the suffix
+/// whose gathers would read past the row and handle it scalar.
+using SwapPatchU8Fn = std::int64_t (*)(const std::uint8_t* row,
+                                       const std::uint32_t* idx,
+                                       const SiteId* before,
+                                       const SiteId* after, std::size_t n,
+                                       std::size_t row_len);
+
+/// The active dispatch tier's swap-patch kernel (compare_kernels.cc
+/// resolves it; the header cannot include simd_dispatch.h, which
+/// includes this header).
+SwapPatchU8Fn active_swap_patch_u8() noexcept;
+
+/// Applies prepared change-sets against one fixed column row, with the
+/// row pointer, width, and swap-kernel dispatch resolved at
+/// construction and the patch loops inlined. The batch fill patches
+/// every planned batch row against the same column before moving on, so
+/// the per-call dispatch and call overhead of apply_prepared would
+/// otherwise be paid k times per column.
+class ColumnPatcher {
+ public:
+  ColumnPatcher(const PackedSeries& series, std::size_t row_b)
+      : row_(series.row_ptr(row_b)),
+        width_(series.width()),
+        networks_(series.networks()),
+        swap_u8_(active_swap_patch_u8()) {}
+
+  MatchCounts apply(MatchCounts base, const PreparedDelta& p) const {
+    std::int64_t d_matches = 0;
+    std::int64_t d_known = 0;
+    switch (width_) {
+      case 1: {
+        // The swap class dominates (both endpoints known), and u8 is
+        // the common packed width — route it through the dispatched
+        // kernel; the gain/lose classes stay inline.
+        const auto* row = reinterpret_cast<const std::uint8_t*>(row_);
+        d_matches +=
+            swap_u8_(row, p.idx_swap.data(), p.before_swap.data(),
+                     p.after_swap.data(), p.idx_swap.size(), networks_);
+        patch_rest(row, p, d_matches, d_known);
+        break;
+      }
+      case 2: {
+        const auto* row = reinterpret_cast<const std::uint16_t*>(row_);
+        patch_swap(row, p, d_matches);
+        patch_rest(row, p, d_matches, d_known);
+        break;
+      }
+      default: {
+        const auto* row = reinterpret_cast<const std::uint32_t*>(row_);
+        patch_swap(row, p, d_matches);
+        patch_rest(row, p, d_matches, d_known);
+        break;
+      }
+    }
+    base.matches = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(base.matches) + d_matches);
+    base.mutual_known = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(base.mutual_known) + d_known);
+    return base;
+  }
+
+ private:
+  // Same exact integer arithmetic as apply_delta, with the
+  // column-invariant kUnknownSite tests hoisted into prepare_delta: a
+  // known endpoint that equals the column's value implies the column's
+  // value is known, so only the gain/lose classes test it.
+  template <typename T>
+  static void patch_swap(const T* row_b, const PreparedDelta& p,
+                         std::int64_t& d_matches) {
+    const std::size_t n_swap = p.idx_swap.size();
+    for (std::size_t t = 0; t < n_swap; ++t) {
+      const SiteId b = row_b[p.idx_swap[t]];
+      d_matches += (p.after_swap[t] == b);
+      d_matches -= (p.before_swap[t] == b);
+    }
+  }
+
+  template <typename T>
+  static void patch_rest(const T* row_b, const PreparedDelta& p,
+                         std::int64_t& d_matches, std::int64_t& d_known) {
+    const std::size_t n_gain = p.idx_gain.size();
+    for (std::size_t t = 0; t < n_gain; ++t) {
+      const SiteId b = row_b[p.idx_gain[t]];
+      d_matches += (p.after_gain[t] == b);
+      d_known += (b != kUnknownSite);
+    }
+    const std::size_t n_lose = p.idx_lose.size();
+    for (std::size_t t = 0; t < n_lose; ++t) {
+      const SiteId b = row_b[p.idx_lose[t]];
+      d_matches -= (p.before_lose[t] == b);
+      d_known -= (b != kUnknownSite);
+    }
+  }
+
+  const std::byte* row_;
+  std::size_t width_;
+  std::size_t networks_;
+  SwapPatchU8Fn swap_u8_;
+};
+
+/// apply_delta over the prepared form — bit-identical to apply_delta on
+/// the originating change-set (same exact integer arithmetic, with the
+/// column-invariant kUnknownSite tests hoisted into prepare_delta).
+MatchCounts apply_prepared(MatchCounts base, const PreparedDelta& delta,
+                           const PackedSeries& series, std::size_t row_b);
 
 }  // namespace fenrir::core

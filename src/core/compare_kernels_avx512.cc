@@ -1,0 +1,302 @@
+// AVX-512 tier of the Φ kernels (see simd_dispatch.h). Compiled with
+// -mavx512f -mavx512bw in its own TU; dispatch lands here only after
+// the runtime check for avx512f+bw passed.
+//
+// Unlike the AVX2 tier's byte-mask accumulators, AVX-512 compares
+// straight into mask registers: one cmp per predicate, two popcounts
+// per 512-bit chunk, no drain bookkeeping. Tails use maskz loads, so
+// every element — including the last partial vector — rides the same
+// lanes and there is no scalar remainder loop. Masked-off lanes load as
+// zero and are killed by the a!=0 predicate, exactly like the scalar
+// oracle's unknown handling. All counts are exact integers — Φ is
+// bit-identical by construction.
+#include "core/simd_dispatch.h"
+
+#if defined(FENRIR_BUILD_AVX512) && defined(__AVX512F__) && \
+    defined(__AVX512BW__)
+
+#include <immintrin.h>
+
+namespace fenrir::core::simd {
+
+MatchCounts count_u8_avx512(const std::uint8_t* a, const std::uint8_t* b,
+                            std::size_t n) {
+  MatchCounts out;
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    const __mmask64 eq = _mm512_cmpeq_epu8_mask(va, vb);
+    const __mmask64 an = _mm512_test_epi8_mask(va, va);  // a != 0
+    const __mmask64 bn = _mm512_test_epi8_mask(vb, vb);
+    out.matches += static_cast<std::uint64_t>(__builtin_popcountll(eq & an));
+    out.mutual_known +=
+        static_cast<std::uint64_t>(__builtin_popcountll(an & bn));
+  }
+  if (const std::size_t rem = n - i; rem != 0) {
+    const __mmask64 m = (~std::uint64_t{0}) >> (64 - rem);
+    const __m512i va = _mm512_maskz_loadu_epi8(m, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi8(m, b + i);
+    const __mmask64 eq = _mm512_cmpeq_epu8_mask(va, vb);
+    const __mmask64 an = _mm512_test_epi8_mask(va, va);
+    const __mmask64 bn = _mm512_test_epi8_mask(vb, vb);
+    out.matches += static_cast<std::uint64_t>(__builtin_popcountll(eq & an));
+    out.mutual_known +=
+        static_cast<std::uint64_t>(__builtin_popcountll(an & bn));
+  }
+  return out;
+}
+
+MatchCounts count_u16_avx512(const std::uint16_t* a, const std::uint16_t* b,
+                             std::size_t n) {
+  MatchCounts out;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    const __mmask32 eq = _mm512_cmpeq_epu16_mask(va, vb);
+    const __mmask32 an = _mm512_test_epi16_mask(va, va);
+    const __mmask32 bn = _mm512_test_epi16_mask(vb, vb);
+    out.matches += static_cast<std::uint64_t>(__builtin_popcount(eq & an));
+    out.mutual_known +=
+        static_cast<std::uint64_t>(__builtin_popcount(an & bn));
+  }
+  if (const std::size_t rem = n - i; rem != 0) {
+    const __mmask32 m = (~std::uint32_t{0}) >> (32 - rem);
+    const __m512i va = _mm512_maskz_loadu_epi16(m, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi16(m, b + i);
+    const __mmask32 eq = _mm512_cmpeq_epu16_mask(va, vb);
+    const __mmask32 an = _mm512_test_epi16_mask(va, va);
+    const __mmask32 bn = _mm512_test_epi16_mask(vb, vb);
+    out.matches += static_cast<std::uint64_t>(__builtin_popcount(eq & an));
+    out.mutual_known +=
+        static_cast<std::uint64_t>(__builtin_popcount(an & bn));
+  }
+  return out;
+}
+
+MatchCounts count_u32_avx512(const std::uint32_t* a, const std::uint32_t* b,
+                             std::size_t n) {
+  MatchCounts out;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    const __mmask16 eq = _mm512_cmpeq_epu32_mask(va, vb);
+    const __mmask16 an = _mm512_test_epi32_mask(va, va);
+    const __mmask16 bn = _mm512_test_epi32_mask(vb, vb);
+    out.matches += static_cast<std::uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(eq & an)));
+    out.mutual_known += static_cast<std::uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(an & bn)));
+  }
+  if (const std::size_t rem = n - i; rem != 0) {
+    const __mmask16 m =
+        static_cast<__mmask16>((1u << rem) - 1u);
+    const __m512i va = _mm512_maskz_loadu_epi32(m, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi32(m, b + i);
+    const __mmask16 eq = _mm512_cmpeq_epu32_mask(va, vb);
+    const __mmask16 an = _mm512_test_epi32_mask(va, va);
+    const __mmask16 bn = _mm512_test_epi32_mask(vb, vb);
+    out.matches += static_cast<std::uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(eq & an)));
+    out.mutual_known += static_cast<std::uint64_t>(
+        __builtin_popcount(static_cast<unsigned>(an & bn)));
+  }
+  return out;
+}
+
+namespace {
+
+template <typename T>
+inline bool push_entry(std::vector<DeltaEntry>& out, std::size_t cap,
+                       std::size_t index, T before, T after) {
+  if (out.size() == cap) {
+    out.clear();
+    return false;
+  }
+  out.push_back({static_cast<std::uint32_t>(index),
+                 static_cast<SiteId>(before), static_cast<SiteId>(after)});
+  return true;
+}
+
+}  // namespace
+
+bool delta_u8_avx512(const std::uint8_t* a, const std::uint8_t* b,
+                     std::size_t n, std::size_t cap,
+                     std::vector<DeltaEntry>& out) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    std::uint64_t neq = _mm512_cmpneq_epu8_mask(va, vb);
+    while (neq != 0) {
+      const unsigned j = static_cast<unsigned>(__builtin_ctzll(neq));
+      neq &= neq - 1;
+      if (!push_entry(out, cap, i + j, a[i + j], b[i + j])) return false;
+    }
+  }
+  if (const std::size_t rem = n - i; rem != 0) {
+    const __mmask64 m = (~std::uint64_t{0}) >> (64 - rem);
+    const __m512i va = _mm512_maskz_loadu_epi8(m, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi8(m, b + i);
+    std::uint64_t neq = _mm512_mask_cmpneq_epu8_mask(m, va, vb);
+    while (neq != 0) {
+      const unsigned j = static_cast<unsigned>(__builtin_ctzll(neq));
+      neq &= neq - 1;
+      if (!push_entry(out, cap, i + j, a[i + j], b[i + j])) return false;
+    }
+  }
+  return true;
+}
+
+bool delta_u16_avx512(const std::uint16_t* a, const std::uint16_t* b,
+                      std::size_t n, std::size_t cap,
+                      std::vector<DeltaEntry>& out) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    std::uint32_t neq = _mm512_cmpneq_epu16_mask(va, vb);
+    while (neq != 0) {
+      const unsigned j = static_cast<unsigned>(__builtin_ctz(neq));
+      neq &= neq - 1;
+      if (!push_entry(out, cap, i + j, a[i + j], b[i + j])) return false;
+    }
+  }
+  if (const std::size_t rem = n - i; rem != 0) {
+    const __mmask32 m = (~std::uint32_t{0}) >> (32 - rem);
+    const __m512i va = _mm512_maskz_loadu_epi16(m, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi16(m, b + i);
+    std::uint32_t neq = _mm512_mask_cmpneq_epu16_mask(m, va, vb);
+    while (neq != 0) {
+      const unsigned j = static_cast<unsigned>(__builtin_ctz(neq));
+      neq &= neq - 1;
+      if (!push_entry(out, cap, i + j, a[i + j], b[i + j])) return false;
+    }
+  }
+  return true;
+}
+
+bool delta_u32_avx512(const std::uint32_t* a, const std::uint32_t* b,
+                      std::size_t n, std::size_t cap,
+                      std::vector<DeltaEntry>& out) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    std::uint32_t neq = _mm512_cmpneq_epu32_mask(va, vb);
+    while (neq != 0) {
+      const unsigned j = static_cast<unsigned>(__builtin_ctz(neq));
+      neq &= neq - 1;
+      if (!push_entry(out, cap, i + j, a[i + j], b[i + j])) return false;
+    }
+  }
+  if (const std::size_t rem = n - i; rem != 0) {
+    const __mmask16 m = static_cast<__mmask16>((1u << rem) - 1u);
+    const __m512i va = _mm512_maskz_loadu_epi32(m, a + i);
+    const __m512i vb = _mm512_maskz_loadu_epi32(m, b + i);
+    std::uint32_t neq = _mm512_mask_cmpneq_epu32_mask(m, va, vb);
+    while (neq != 0) {
+      const unsigned j = static_cast<unsigned>(__builtin_ctz(neq));
+      neq &= neq - 1;
+      if (!push_entry(out, cap, i + j, a[i + j], b[i + j])) return false;
+    }
+  }
+  return true;
+}
+
+SiteId max_site_avx512(const SiteId* src, std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm512_max_epu32(acc, _mm512_loadu_si512(src + i));
+  }
+  if (const std::size_t rem = n - i; rem != 0) {
+    const __mmask16 m = static_cast<__mmask16>((1u << rem) - 1u);
+    // maskz lanes are zero, the identity of unsigned max.
+    acc = _mm512_max_epu32(acc, _mm512_maskz_loadu_epi32(m, src + i));
+  }
+  return static_cast<SiteId>(_mm512_reduce_max_epu32(acc));
+}
+
+// vpmovdb/vpmovdw truncate, so these are exact for any input; the
+// masked narrowing stores cover the tail with no scalar remainder.
+void pack_u8_avx512(const SiteId* src, std::uint8_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm512_cvtepi32_epi8(_mm512_loadu_si512(src + i)));
+  }
+  if (const std::size_t rem = n - i; rem != 0) {
+    const __mmask16 m = static_cast<__mmask16>((1u << rem) - 1u);
+    _mm512_mask_cvtepi32_storeu_epi8(dst + i, m,
+                                     _mm512_maskz_loadu_epi32(m, src + i));
+  }
+}
+
+void pack_u16_avx512(const SiteId* src, std::uint16_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm512_cvtepi32_epi16(_mm512_loadu_si512(src + i)));
+  }
+  if (const std::size_t rem = n - i; rem != 0) {
+    const __mmask16 m = static_cast<__mmask16>((1u << rem) - 1u);
+    _mm512_mask_cvtepi32_storeu_epi16(dst + i, m,
+                                      _mm512_maskz_loadu_epi32(m, src + i));
+  }
+}
+
+std::int64_t swap_patch_u8_avx512(const std::uint8_t* row,
+                                  const std::uint32_t* idx,
+                                  const SiteId* before, const SiteId* after,
+                                  std::size_t n, std::size_t row_len) {
+  // Each gather lane loads the 4 bytes at row + idx[t] and keeps the low
+  // byte (little-endian), so a lane whose index lands in the row's last 3
+  // elements would read past the row. idx is sorted ascending — peel that
+  // suffix off into the scalar tail instead of bounds-masking every lane.
+  std::size_t n_gather = n;
+  while (n_gather > 0 && idx[n_gather - 1] + 4 > row_len) --n_gather;
+
+  std::int64_t d_matches = 0;
+  const __m512i low_byte = _mm512_set1_epi32(0xFF);
+  std::size_t t = 0;
+  for (; t + 16 <= n_gather; t += 16) {
+    const __m512i vidx = _mm512_loadu_si512(idx + t);
+    const __m512i gathered = _mm512_i32gather_epi32(vidx, row, 1);
+    const __m512i b = _mm512_and_si512(gathered, low_byte);
+    const __mmask16 eq_after =
+        _mm512_cmpeq_epi32_mask(b, _mm512_loadu_si512(after + t));
+    const __mmask16 eq_before =
+        _mm512_cmpeq_epi32_mask(b, _mm512_loadu_si512(before + t));
+    d_matches += __builtin_popcount(static_cast<unsigned>(eq_after));
+    d_matches -= __builtin_popcount(static_cast<unsigned>(eq_before));
+  }
+  if (t < n_gather) {
+    const __mmask16 m =
+        static_cast<__mmask16>((1u << (n_gather - t)) - 1u);
+    const __m512i vidx = _mm512_maskz_loadu_epi32(m, idx + t);
+    // Masked gather touches memory only on active lanes.
+    const __m512i gathered = _mm512_mask_i32gather_epi32(
+        _mm512_setzero_si512(), m, vidx, row, 1);
+    const __m512i b = _mm512_and_si512(gathered, low_byte);
+    const __mmask16 eq_after = _mm512_mask_cmpeq_epi32_mask(
+        m, b, _mm512_maskz_loadu_epi32(m, after + t));
+    const __mmask16 eq_before = _mm512_mask_cmpeq_epi32_mask(
+        m, b, _mm512_maskz_loadu_epi32(m, before + t));
+    d_matches += __builtin_popcount(static_cast<unsigned>(eq_after));
+    d_matches -= __builtin_popcount(static_cast<unsigned>(eq_before));
+    t = n_gather;
+  }
+  for (; t < n; ++t) {
+    const SiteId b = row[idx[t]];
+    d_matches += (after[t] == b);
+    d_matches -= (before[t] == b);
+  }
+  return d_matches;
+}
+
+}  // namespace fenrir::core::simd
+
+#endif  // FENRIR_BUILD_AVX512 && __AVX512F__ && __AVX512BW__

@@ -123,7 +123,7 @@ SimilarityMatrix SimilarityMatrix::compute(const Dataset& dataset,
     throw std::invalid_argument("SimilarityMatrix: weight size mismatch");
   }
   SimilarityMatrix m(policy, dataset.weights, threads);
-  for (const RoutingVector& v : dataset.series) m.append(v);
+  m.append_batch(dataset.series);
   return m;
 }
 
@@ -227,50 +227,16 @@ void SimilarityMatrix::set_anchor_limits(std::size_t recent,
   }
 }
 
-void SimilarityMatrix::append(const RoutingVector& v) {
-  if (packed_.rows() != n_) {
-    throw std::logic_error(
-        "SimilarityMatrix::append: matrix was not built incrementally "
-        "(compute_reference matrices are read-only)");
-  }
-  if (!weights_.empty() && v.assignment.size() != weights_.size()) {
-    throw std::invalid_argument("SimilarityMatrix: weight size mismatch");
-  }
-  const std::size_t i = n_;
-  packed_.append(v);  // also rejects size mismatches against earlier rows
-  n_ += 1;
-  values_.resize(values_.size() + i + 1, 0.0);
-  valid_.push_back(v.valid ? 1 : 0);
-  append_clock_ += 1;
+SimilarityMatrix::AnchorRow* SimilarityMatrix::select_anchor(
+    std::size_t i, std::vector<DeltaEntry>& delta, bool& chose_rep) {
   PhiMetrics& metrics = phi_metrics();
-  metrics.appends.inc();
-  AppendTimer timer(metrics.append_seconds);
-  const bool weighted = !weights_.empty();
-  if (!v.valid) {
-    // The slot keeps its timeline position. Anchors stay alive — their
-    // chained bounds extend through the slot below — but their counts
-    // rows need a placeholder so column indices keep lining up.
-    for (AnchorRow& a : recent_) a.counts.emplace_back();
-    for (AnchorRow& a : representatives_) a.counts.emplace_back();
-    if (i > 0 && !weighted && (!recent_.empty() || !representatives_.empty())) {
-      const std::size_t step = packed_.delta_between(i - 1, i).size();
-      for (AnchorRow& a : recent_) a.est_delta = sat_add(a.est_delta, step);
-      for (AnchorRow& a : representatives_) {
-        a.est_delta = sat_add(a.est_delta, step);
-      }
-    }
-    return;
-  }
-
   const std::size_t nets = packed_.networks();
-  const std::size_t row_base = i * (i + 1) / 2;
 
   // Extend every anchor's chained bound by this row's step change set
   // (the triangle inequality holds through any intermediate row, valid
   // or not), then pick the cheapest anchor.
   std::vector<DeltaEntry> step;
-  const bool anchors_on =
-      !weighted && (!recent_.empty() || !representatives_.empty());
+  const bool anchors_on = !recent_.empty() || !representatives_.empty();
   if (anchors_on && i > 0) {
     step = packed_.delta_between(i - 1, i);
     for (AnchorRow& a : recent_) {
@@ -302,7 +268,7 @@ void SimilarityMatrix::append(const RoutingVector& v) {
   const auto max_delta = static_cast<std::size_t>(
       kDeltaDensityThreshold * static_cast<double>(nets));
   AnchorRow* chosen = nullptr;
-  std::vector<DeltaEntry> delta;
+  delta.clear();
   std::size_t chosen_bound = kEstSaturated;
   bool probed = false;
 
@@ -363,7 +329,7 @@ void SimilarityMatrix::append(const RoutingVector& v) {
   }
 
   const bool use_delta = chosen != nullptr;
-  const bool chose_rep =
+  chose_rep =
       use_delta && std::any_of(representatives_.begin(),
                                representatives_.end(),
                                [&](const AnchorRow& a) { return &a == chosen; });
@@ -387,7 +353,7 @@ void SimilarityMatrix::append(const RoutingVector& v) {
     } else {
       metrics.anchor_chained.inc();
     }
-  } else if (!weighted) {
+  } else {
     metrics.rows_kernel.inc();
     metrics.anchor_packed.inc();
     if (probe_cooldown_ > 0 && !probed) probe_cooldown_ -= 1;
@@ -400,6 +366,52 @@ void SimilarityMatrix::append(const RoutingVector& v) {
                               ",\"candidates\":" +
                               std::to_string(candidates.size()));
   }
+  return chosen;
+}
+
+void SimilarityMatrix::append(const RoutingVector& v) {
+  if (packed_.rows() != n_) {
+    throw std::logic_error(
+        "SimilarityMatrix::append: matrix was not built incrementally "
+        "(compute_reference matrices are read-only)");
+  }
+  if (!weights_.empty() && v.assignment.size() != weights_.size()) {
+    throw std::invalid_argument("SimilarityMatrix: weight size mismatch");
+  }
+  const std::size_t i = n_;
+  packed_.append(v);  // also rejects size mismatches against earlier rows
+  n_ += 1;
+  values_.resize(values_.size() + i + 1, 0.0);
+  valid_.push_back(v.valid ? 1 : 0);
+  append_clock_ += 1;
+  PhiMetrics& metrics = phi_metrics();
+  metrics.appends.inc();
+  AppendTimer timer(metrics.append_seconds);
+  const bool weighted = !weights_.empty();
+  if (!v.valid) {
+    // The slot keeps its timeline position. Anchors stay alive — their
+    // chained bounds extend through the slot below — but their counts
+    // rows need a placeholder so column indices keep lining up.
+    for (AnchorRow& a : recent_) a.counts.emplace_back();
+    for (AnchorRow& a : representatives_) a.counts.emplace_back();
+    if (i > 0 && !weighted && (!recent_.empty() || !representatives_.empty())) {
+      const std::size_t step = packed_.delta_between(i - 1, i).size();
+      for (AnchorRow& a : recent_) a.est_delta = sat_add(a.est_delta, step);
+      for (AnchorRow& a : representatives_) {
+        a.est_delta = sat_add(a.est_delta, step);
+      }
+    }
+    return;
+  }
+
+  const std::size_t nets = packed_.networks();
+  const std::size_t row_base = i * (i + 1) / 2;
+
+  std::vector<DeltaEntry> delta;
+  bool chose_rep = false;
+  AnchorRow* chosen =
+      weighted ? nullptr : select_anchor(i, delta, chose_rep);
+  const bool use_delta = chosen != nullptr;
 
   std::vector<MatchCounts> row(i + 1);
   const AnchorRow* anchor = chosen;  // stable across the parallel fill
@@ -423,16 +435,13 @@ void SimilarityMatrix::append(const RoutingVector& v) {
     values_[row_base + j] = phi_from_counts(c, nets, policy_);
   };
 
-  // Parallelize over columns only when the row carries enough work to
-  // beat the pool dispatch; the cutoff affects time only, never values.
+  // The grain makes small rows skip pool dispatch entirely (a delta row
+  // over a short matrix is microseconds of work — a pool wakeup costs
+  // more than it saves); the cutoff affects time only, never values.
   const std::size_t per_pair = use_delta ? delta.size() + 1 : nets;
-  const bool parallel =
-      threads_ != 1 && (i + 1) * std::max<std::size_t>(per_pair, 1) >= 65536;
-  if (parallel) {
-    parallel_for(i + 1, fill_column, threads_);
-  } else {
-    for (std::size_t j = 0; j <= i; ++j) fill_column(j);
-  }
+  parallel_for(i + 1, fill_column, threads_,
+               std::max<std::size_t>(
+                   1, 65536 / std::max<std::size_t>(per_pair, 1)));
 
   if (weighted) return;
 
@@ -470,6 +479,208 @@ void SimilarityMatrix::append(const RoutingVector& v) {
     recent_.push_back(std::move(fresh));
     while (recent_.size() > recent_limit_) recent_.pop_front();
   }
+}
+
+void SimilarityMatrix::append_batch(std::span<const RoutingVector> batch) {
+  // Weighted matrices carry no cached counts to batch over — and the
+  // one-row batch has nothing to amortize.
+  if (!weights_.empty() || batch.size() == 1) {
+    for (const RoutingVector& v : batch) append(v);
+    return;
+  }
+  // Chunking bounds the transient per-row counts at ~kChunk·T entries
+  // while keeping enough rows in flight for the column-outer fill to
+  // reuse each old row from cache.
+  constexpr std::size_t kChunk = 64;
+  for (std::size_t off = 0; off < batch.size(); off += kChunk) {
+    append_chunk(batch.subspan(off, std::min(kChunk, batch.size() - off)));
+  }
+}
+
+void SimilarityMatrix::append_chunk(std::span<const RoutingVector> batch) {
+  if (packed_.rows() != n_) {
+    throw std::logic_error(
+        "SimilarityMatrix::append: matrix was not built incrementally "
+        "(compute_reference matrices are read-only)");
+  }
+  const std::size_t n0 = n_;
+  const std::size_t k = batch.size();
+  if (k == 0) return;
+  PhiMetrics& metrics = phi_metrics();
+  AppendTimer timer(metrics.append_seconds);  // one sample per chunk
+
+  // Pass 0: pack every row and grow the value/validity stores, so the
+  // planning pass can probe any batch row. One reservation up front —
+  // a mid-loop reallocation would copy the whole packed store.
+  reserve(n0 + k);
+  for (const RoutingVector& v : batch) {
+    packed_.append(v);
+    valid_.push_back(v.valid ? 1 : 0);
+  }
+  n_ = n0 + k;
+  values_.resize(n_ * (n_ + 1) / 2, 0.0);
+
+  // Pass A: sequential anchor planning — the exact selection sequence an
+  // append() loop would run (selection never reads anchor counts, only
+  // the chained bounds and packed rows, so the fills can be deferred).
+  // Counts-carrying bookkeeping is deferred to pass C; an anchor
+  // created or refreshed during the batch is recognizable there by its
+  // in-batch row id.
+  struct RowPlan {
+    enum class Path { kInvalid, kKernel, kDelta } path = Path::kInvalid;
+    std::size_t base = 0;  // global row id of the chosen anchor
+    std::vector<DeltaEntry> delta;
+    // The change-set classified by endpoint known-ness, once per row —
+    // the fills replay it against every column without re-testing the
+    // column-invariant kUnknownSite conditions apply_delta carries.
+    PreparedDelta prep;
+    // Pre-batch anchors can be evicted or refreshed later in the plan,
+    // so their old-column counts are snapshotted here at selection time.
+    std::vector<MatchCounts> base_counts;
+  };
+  std::vector<RowPlan> plan(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    const std::size_t i = n0 + r;
+    metrics.appends.inc();
+    append_clock_ += 1;
+    if (!batch[r].valid) {
+      if (i > 0 && (!recent_.empty() || !representatives_.empty())) {
+        const std::size_t step = packed_.delta_between(i - 1, i).size();
+        for (AnchorRow& a : recent_) a.est_delta = sat_add(a.est_delta, step);
+        for (AnchorRow& a : representatives_) {
+          a.est_delta = sat_add(a.est_delta, step);
+        }
+      }
+      continue;
+    }
+    bool chose_rep = false;
+    std::vector<DeltaEntry> delta;
+    AnchorRow* chosen = select_anchor(i, delta, chose_rep);
+    if (chosen != nullptr) {
+      plan[r].path = RowPlan::Path::kDelta;
+      plan[r].base = chosen->row;
+      if (chosen->row < n0) {
+        plan[r].base_counts.assign(chosen->counts.begin(),
+                                   chosen->counts.begin() +
+                                       static_cast<std::ptrdiff_t>(n0));
+      }
+      plan[r].delta = std::move(delta);
+      plan[r].prep = prepare_delta(plan[r].delta);
+      if (chose_rep && !plan[r].delta.empty()) {
+        // Representative refresh, counts deferred: the new row id is
+        // what pass C rebuilds the counts from.
+        chosen->row = i;
+        chosen->est_delta = 0;
+        metrics.anchor_refreshes.inc();
+      }
+    } else {
+      plan[r].path = RowPlan::Path::kKernel;
+      if (representative_limit_ > 0) {
+        AnchorRow rep;
+        rep.row = i;
+        rep.est_delta = 0;
+        rep.last_used = append_clock_;
+        pin_representative(std::move(rep));
+      }
+    }
+    if (recent_limit_ > 0) {
+      AnchorRow fresh;
+      fresh.row = i;
+      fresh.est_delta = 0;
+      fresh.last_used = append_clock_;
+      recent_.push_back(std::move(fresh));
+      while (recent_.size() > recent_limit_) recent_.pop_front();
+    }
+  }
+
+  const std::size_t nets = packed_.networks();
+  std::vector<std::vector<MatchCounts>> row_counts(k);
+  std::size_t per_col = 1;
+  for (std::size_t r = 0; r < k; ++r) {
+    if (plan[r].path == RowPlan::Path::kInvalid) continue;
+    row_counts[r].resize(n0 + r + 1);
+    per_col +=
+        plan[r].path == RowPlan::Path::kDelta ? plan[r].delta.size() + 1 : nets;
+  }
+
+  // Pass B1: columns against the pre-batch rows, column-outer — row j's
+  // packed bytes are loaded once and stay cache-hot across every batch
+  // row's patch, instead of being re-fetched k times as the append()
+  // loop would. In-batch bases (predecessor chains) resolve within the
+  // same column: base row r' < r was patched earlier in the inner loop.
+  auto fill_old = [&](std::size_t j) {
+    if (!valid_[j]) return;
+    packed_.prefetch_row(j + 1 < n0 ? j + 1 : j);
+    const ColumnPatcher patcher(packed_, j);
+    for (std::size_t r = 0; r < k; ++r) {
+      const RowPlan& p = plan[r];
+      if (p.path == RowPlan::Path::kInvalid) continue;
+      const std::size_t i = n0 + r;
+      MatchCounts c;
+      if (p.path == RowPlan::Path::kDelta) {
+        const MatchCounts base =
+            p.base < n0 ? p.base_counts[j] : row_counts[p.base - n0][j];
+        c = patcher.apply(base, p.prep);
+      } else {
+        c = packed_.counts(i, j);
+      }
+      row_counts[r][j] = c;
+      values_[i * (i + 1) / 2 + j] = phi_from_counts(c, nets, policy_);
+    }
+  };
+  parallel_for(n0, fill_old, threads_,
+               std::max<std::size_t>(1, 65536 / per_col));
+
+  // Pass B2: the k×k corner, row-major. Every base a delta row needs is
+  // a pair among earlier batch rows (or a pre-batch anchor against an
+  // earlier batch column), already in row_counts by symmetry:
+  // counts(a, b) for a > b lives at row_counts[a - n0][b].
+  for (std::size_t r = 0; r < k; ++r) {
+    const RowPlan& p = plan[r];
+    if (p.path == RowPlan::Path::kInvalid) continue;
+    const std::size_t i = n0 + r;
+    const std::size_t row_base = i * (i + 1) / 2;
+    for (std::size_t s = 0; s <= r; ++s) {
+      const std::size_t j = n0 + s;
+      if (!valid_[j]) continue;
+      MatchCounts c;
+      if (s == r) {
+        c = packed_.counts(i, i);  // diagonal, exactly as append()
+      } else if (p.path == RowPlan::Path::kDelta) {
+        const std::size_t b = p.base;
+        const MatchCounts base = (b >= n0 && b - n0 > s)
+                                     ? row_counts[b - n0][j]
+                                     : row_counts[s][b];
+        c = apply_prepared(base, p.prep, packed_, j);
+      } else {
+        c = packed_.counts(i, j);
+      }
+      row_counts[r][j] = c;
+      values_[row_base + j] = phi_from_counts(c, nets, policy_);
+    }
+  }
+
+  // Pass C: anchor counts catch up with the batch. An anchor whose row
+  // id is in-batch was created or refreshed there — its counts are that
+  // row's computed counts, extended by the later rows; a pre-batch
+  // anchor extends its existing counts by one entry per batch row
+  // (counts(a, i_r) = counts(i_r, a), just computed — invalid rows get
+  // the usual never-read placeholder).
+  const auto rebuild = [&](AnchorRow& a) {
+    std::size_t from = 0;
+    if (a.row >= n0) {
+      const std::size_t r0 = a.row - n0;
+      a.counts = row_counts[r0];
+      from = r0 + 1;
+    }
+    a.counts.reserve(n0 + k);
+    for (std::size_t r = from; r < k; ++r) {
+      a.counts.push_back(batch[r].valid ? row_counts[r][a.row]
+                                        : MatchCounts{});
+    }
+  };
+  for (AnchorRow& a : recent_) rebuild(a);
+  for (AnchorRow& a : representatives_) rebuild(a);
 }
 
 std::size_t SimilarityMatrix::valid_count() const {

@@ -42,6 +42,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -104,6 +105,34 @@ class SimilarityMatrix {
   /// to compute() over the same series — this is what keeps
   /// `fenrirctl watch` at O(T·Δ) per tick instead of O(T²·N).
   void append(const RoutingVector& v);
+
+  /// Appends @p batch observations at once. Produces exactly the same
+  /// matrix as an append() loop over the same vectors (bit-identical —
+  /// every route to a row's counts is exact integer arithmetic, so path
+  /// choice affects time only), but restructures the work for locality:
+  /// anchor selection runs first for the whole batch, then the columns
+  /// against the existing rows fill column-outer — each old packed row
+  /// is loaded once and patched against every batch row while it is
+  /// cache-hot, instead of being re-fetched once per appended row — and
+  /// the batch×batch corner fills row-major off the already-computed
+  /// counts. Ingest paths that buffer observations (`fenrirctl analyze
+  /// --matrix-cache` warm appends, watch resume rebuilds, Campaign epoch
+  /// folds) and compute() route through this. Weighted matrices fall
+  /// back to the plain append loop (no cached counts to batch).
+  void append_batch(std::span<const RoutingVector> batch);
+
+  /// Pre-sizes the packed store, value triangle, and validity bits for
+  /// @p rows total observations (no-op when already that large). Ingest
+  /// paths that know how much history they are about to replay — a
+  /// matrix-cache warm append, a watch-resume rebuild, an epoch fold —
+  /// call this so the appends grow storage once instead of reallocating
+  /// (and copying the whole triangle) mid-stream.
+  void reserve(std::size_t rows) {
+    if (rows <= n_) return;
+    packed_.reserve(rows);
+    values_.reserve(rows * (rows + 1) / 2);
+    valid_.reserve(rows);
+  }
 
   /// Pins @p row (a valid, already-appended observation) as a
   /// representative anchor, so later rows that recur to its routing
@@ -189,6 +218,23 @@ class SimilarityMatrix {
 
   AnchorRow* find_anchor(std::size_t row);
   void pin_representative(AnchorRow anchor);
+
+  /// Shared head of append()/append_batch() for unweighted matrices:
+  /// extends every anchor's chained bound by row @p i's step change set,
+  /// picks the cheapest anchor (chained bound → bounded probes →
+  /// nullptr = kernel fallback), and records the per-row path metrics.
+  /// On success @p delta holds the realized change set against the
+  /// returned anchor and @p chose_rep says whether it is a
+  /// representative (the caller owns the refresh-to-latest step, whose
+  /// counts come from the fill).
+  AnchorRow* select_anchor(std::size_t i, std::vector<DeltaEntry>& delta,
+                           bool& chose_rep);
+
+  /// One append_batch() chunk (bounded so the transient per-row counts
+  /// stay a few MB): plan anchors sequentially, fill old columns
+  /// column-outer, fill the corner row-major, then rebuild/extend the
+  /// anchor counts from the computed rows.
+  void append_chunk(std::span<const RoutingVector> batch);
 
   std::size_t n_ = 0;
   std::vector<double> values_;  // lower triangle incl. diagonal

@@ -108,12 +108,25 @@ class WorkerPool {
 /// Stride busy time feeds the fenrir_parallel_* metrics (jobs run, and
 /// the max/mean busy-time imbalance ratio of the last job) — observation
 /// only, never a scheduling input.
+///
+/// @p grain is the minimum number of indices a stride must amortize a
+/// pool wakeup over: the worker count is capped at count / grain, and a
+/// job that cannot feed even two workers runs serially inline, skipping
+/// pool dispatch entirely. Callers set grain ≈ (dispatch cost) / (cost
+/// per index); the default of 1 preserves the historical behavior of
+/// parallelizing any count ≥ 2. Affects time only, never values — the
+/// stride schedule is deterministic for every (count, threads, grain).
 template <typename Fn>
-void parallel_for(std::size_t count, Fn&& fn, unsigned threads = 0) {
+void parallel_for(std::size_t count, Fn&& fn, unsigned threads = 0,
+                  std::size_t grain = 1) {
   if (count == 0) return;
   unsigned n = threads != 0 ? threads : std::thread::hardware_concurrency();
   if (n == 0) n = 1;
   if (n > count) n = static_cast<unsigned>(count);
+  if (grain > 1 && count / grain < static_cast<std::size_t>(n)) {
+    n = static_cast<unsigned>(count / grain);
+    if (n == 0) n = 1;
+  }
   if (n == 1 || detail::in_parallel_region()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;

@@ -1,0 +1,156 @@
+// fenrir::core::simd — runtime CPU-feature dispatch for the Φ kernels.
+//
+// The packed MatchCounts kernels and the bounded change-set scans are
+// the two loops every Φ in the system funnels through. compare_kernels.cc
+// keeps the scalar implementations — the oracle every other tier must
+// reproduce bit-for-bit — and this header names the faster tiers built
+// from explicit intrinsics:
+//
+//   kScalar  — the untouched blocked branchless loops (always present).
+//   kAvx2    — 256-bit lanes: pcmpeq + byte-mask accumulation drained
+//              through psadbw (u8), madd (u16), or lane adds (u32).
+//   kAvx512  — 512-bit lanes: compares straight into mask registers,
+//              counted with scalar popcount; tails use masked loads, so
+//              there is no scalar remainder loop at all.
+//
+// A tier is *available* when the compiler could build its TU (CMake
+// probes -mavx2 / -mavx512f -mavx512bw) AND the running CPU reports the
+// feature. Dispatch picks the best available tier once, at first use;
+// FENRIR_SIMD=scalar|avx2|avx512 overrides downward for testing (a
+// request above what the host supports clamps down with a warning, so
+// the override is always safe to set in CI). Because every tier produces
+// the same integer MatchCounts and the same change-set entries, Φ stays
+// bit-identical to the scalar reference whichever tier runs — the
+// property suite in tests/core_compare_kernels_test.cc pins every
+// available tier against the oracle across widths, policies, tails, and
+// unknown fractions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/compare_kernels.h"
+
+namespace fenrir::core::simd {
+
+enum class Tier : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// Human-readable tier name ("scalar", "avx2", "avx512").
+const char* tier_name(Tier t) noexcept;
+
+/// Best tier the host CPU *and* this build support (env ignored).
+Tier detected_tier() noexcept;
+
+/// The tier dispatch actually uses: detected_tier() clamped down by a
+/// FENRIR_SIMD override. Resolved once at first use.
+Tier active_tier() noexcept;
+
+/// One tier's kernel entry points. count_* produce the integer core of
+/// unweighted Φ; delta_* fill @p out with the sorted change-set between
+/// two rows, bailing (clear + false) past @p cap mismatches — pass
+/// kNoCap for an unbounded scan that cannot fail.
+struct KernelTable {
+  MatchCounts (*count_u8)(const std::uint8_t* a, const std::uint8_t* b,
+                          std::size_t n);
+  MatchCounts (*count_u16)(const std::uint16_t* a, const std::uint16_t* b,
+                           std::size_t n);
+  MatchCounts (*count_u32)(const std::uint32_t* a, const std::uint32_t* b,
+                           std::size_t n);
+  bool (*delta_u8)(const std::uint8_t* a, const std::uint8_t* b,
+                   std::size_t n, std::size_t cap, std::vector<DeltaEntry>& out);
+  bool (*delta_u16)(const std::uint16_t* a, const std::uint16_t* b,
+                    std::size_t n, std::size_t cap,
+                    std::vector<DeltaEntry>& out);
+  bool (*delta_u32)(const std::uint32_t* a, const std::uint32_t* b,
+                    std::size_t n, std::size_t cap,
+                    std::vector<DeltaEntry>& out);
+  // Row-ingest kernels. max_site scans a row for its largest id (the
+  // width decision PackedSeries::append makes before packing);
+  // pack_u8/pack_u16 narrow a SiteId row into the packed store. Exact
+  // by construction: append widens the store first, so every value fits
+  // the destination and the narrowing never saturates.
+  SiteId (*max_site)(const SiteId* src, std::size_t n);
+  void (*pack_u8)(const SiteId* src, std::uint8_t* dst, std::size_t n);
+  void (*pack_u16)(const SiteId* src, std::uint16_t* dst, std::size_t n);
+  // Swap-class patch against a u8 row (ColumnPatcher's hot loop):
+  // Σ (after[t] == row[idx[t]]) − (before[t] == row[idx[t]]). The AVX-512
+  // tier gathers 16 row bytes per step; idx is sorted ascending, so the
+  // suffix whose 4-byte gathers would cross the row end runs scalar. The
+  // AVX2 tier has no profitable gather and reuses the scalar kernel.
+  SwapPatchU8Fn swap_u8;
+};
+
+inline constexpr std::size_t kNoCap = static_cast<std::size_t>(-1);
+
+/// The table for active_tier() — what PackedSeries dispatches through.
+const KernelTable& active();
+
+/// The table for a specific tier, or nullptr when this build/host does
+/// not support it. Lets the property tests pin every available tier
+/// against the scalar oracle regardless of FENRIR_SIMD.
+const KernelTable* table_for(Tier t) noexcept;
+
+// Per-tier entry points. The scalar set is defined in
+// compare_kernels.cc; the AVX sets live in their own TUs compiled with
+// the matching -m flags (present only when CMake found the flags, and
+// called only after the runtime CPU check passed).
+MatchCounts count_u8_scalar(const std::uint8_t*, const std::uint8_t*,
+                            std::size_t);
+MatchCounts count_u16_scalar(const std::uint16_t*, const std::uint16_t*,
+                             std::size_t);
+MatchCounts count_u32_scalar(const std::uint32_t*, const std::uint32_t*,
+                             std::size_t);
+bool delta_u8_scalar(const std::uint8_t*, const std::uint8_t*, std::size_t,
+                     std::size_t, std::vector<DeltaEntry>&);
+bool delta_u16_scalar(const std::uint16_t*, const std::uint16_t*, std::size_t,
+                      std::size_t, std::vector<DeltaEntry>&);
+bool delta_u32_scalar(const std::uint32_t*, const std::uint32_t*, std::size_t,
+                      std::size_t, std::vector<DeltaEntry>&);
+SiteId max_site_scalar(const SiteId*, std::size_t);
+void pack_u8_scalar(const SiteId*, std::uint8_t*, std::size_t);
+void pack_u16_scalar(const SiteId*, std::uint16_t*, std::size_t);
+std::int64_t swap_patch_u8_scalar(const std::uint8_t*, const std::uint32_t*,
+                                  const SiteId*, const SiteId*, std::size_t,
+                                  std::size_t);
+
+#if defined(FENRIR_BUILD_AVX2)
+MatchCounts count_u8_avx2(const std::uint8_t*, const std::uint8_t*,
+                          std::size_t);
+MatchCounts count_u16_avx2(const std::uint16_t*, const std::uint16_t*,
+                           std::size_t);
+MatchCounts count_u32_avx2(const std::uint32_t*, const std::uint32_t*,
+                           std::size_t);
+bool delta_u8_avx2(const std::uint8_t*, const std::uint8_t*, std::size_t,
+                   std::size_t, std::vector<DeltaEntry>&);
+bool delta_u16_avx2(const std::uint16_t*, const std::uint16_t*, std::size_t,
+                    std::size_t, std::vector<DeltaEntry>&);
+bool delta_u32_avx2(const std::uint32_t*, const std::uint32_t*, std::size_t,
+                    std::size_t, std::vector<DeltaEntry>&);
+SiteId max_site_avx2(const SiteId*, std::size_t);
+void pack_u8_avx2(const SiteId*, std::uint8_t*, std::size_t);
+void pack_u16_avx2(const SiteId*, std::uint16_t*, std::size_t);
+#endif
+
+#if defined(FENRIR_BUILD_AVX512)
+MatchCounts count_u8_avx512(const std::uint8_t*, const std::uint8_t*,
+                            std::size_t);
+MatchCounts count_u16_avx512(const std::uint16_t*, const std::uint16_t*,
+                             std::size_t);
+MatchCounts count_u32_avx512(const std::uint32_t*, const std::uint32_t*,
+                             std::size_t);
+bool delta_u8_avx512(const std::uint8_t*, const std::uint8_t*, std::size_t,
+                     std::size_t, std::vector<DeltaEntry>&);
+bool delta_u16_avx512(const std::uint16_t*, const std::uint16_t*, std::size_t,
+                      std::size_t, std::vector<DeltaEntry>&);
+bool delta_u32_avx512(const std::uint32_t*, const std::uint32_t*, std::size_t,
+                      std::size_t, std::vector<DeltaEntry>&);
+SiteId max_site_avx512(const SiteId*, std::size_t);
+void pack_u8_avx512(const SiteId*, std::uint8_t*, std::size_t);
+void pack_u16_avx512(const SiteId*, std::uint16_t*, std::size_t);
+std::int64_t swap_patch_u8_avx512(const std::uint8_t*, const std::uint32_t*,
+                                  const SiteId*, const SiteId*, std::size_t,
+                                  std::size_t);
+#endif
+
+}  // namespace fenrir::core::simd

@@ -327,6 +327,35 @@ TEST(Campaign, UnroutedTargetsAreNotRetried) {
   EXPECT_EQ(c.health(0).consecutive_misses, 0u);
 }
 
+TEST(Campaign, FoldPhiMatchesAppendLoopOverTheSweepSeries) {
+  // The epoch-fold helper routes a campaign's sweep series through
+  // SimilarityMatrix::append_batch(); it must reproduce the append-loop
+  // matrix bit for bit. The prober mixes sites and no-replies per
+  // (target, time) so the series has real churn structure.
+  const FnProber prober(keys(60), [](std::size_t i, core::TimePoint t) {
+    const std::uint64_t draw =
+        rng::mix(21, i, static_cast<std::uint64_t>(t));
+    if (draw % 8 == 0) {
+      return ProbeReply{core::kUnknownSite, ProbeStatus::kNoReply};
+    }
+    return ProbeReply{draw % 3 == 0 ? kSiteB : kSiteA,
+                      ProbeStatus::kAnswered};
+  });
+  Campaign c({&prober}, fast_config());
+  const CampaignResult r = c.run(6);
+  ASSERT_EQ(r.series.size(), 6u);
+
+  core::SimilarityMatrix loop(core::UnknownPolicy::kPessimistic, {}, 1);
+  for (const auto& v : r.series) loop.append(v);
+  const core::SimilarityMatrix folded = fold_phi(r.series);
+  ASSERT_EQ(folded.size(), loop.size());
+  for (std::size_t i = 0; i < loop.size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      EXPECT_EQ(folded.phi(i, j), loop.phi(i, j)) << i << "," << j;
+    }
+  }
+}
+
 // --- quorum ---
 
 TEST(QuorumMerge, MajorityWinsAndDisagreementDowngrades) {

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string_view>
 #include <vector>
 
 #include "core/compare.h"
+#include "core/simd_dispatch.h"
 #include "rng/rng.h"
 
 namespace fenrir::core {
@@ -168,6 +171,228 @@ TEST(DeltaKernels, PatchedCountsEqualDirectCounts) {
     const MatchCounts direct = s.counts(1, 2);
     EXPECT_EQ(patched.matches, direct.matches) << "seed=" << seed;
     EXPECT_EQ(patched.mutual_known, direct.mutual_known) << "seed=" << seed;
+  }
+}
+
+// ---------------------------------------------------------------------
+// SIMD dispatch property suite: every tier this build/host can run must
+// reproduce the scalar oracle's integer counts and change-sets exactly,
+// across widths × tail lengths (non-multiples of every lane count) ×
+// unknown fractions × bound caps. Counts equality implies bit-identical
+// Φ for both UnknownPolicy variants (phi_from_counts is a pure function
+// of the two integers), asserted explicitly below anyway.
+
+std::vector<simd::Tier> available_tiers() {
+  std::vector<simd::Tier> tiers;
+  for (const simd::Tier t :
+       {simd::Tier::kScalar, simd::Tier::kAvx2, simd::Tier::kAvx512}) {
+    if (simd::table_for(t) != nullptr) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+template <typename T>
+std::vector<T> random_sites(rng::Rng& r, std::size_t n, SiteId max_site,
+                            double unknown_frac) {
+  std::vector<T> v(n);
+  for (auto& s : v) {
+    s = r.bernoulli(unknown_frac)
+            ? T{0}
+            : static_cast<T>(kFirstRealSite + r.uniform(max_site));
+  }
+  return v;
+}
+
+// Tail lengths straddle every lane boundary in play (8/16/32 lanes for
+// AVX2, 16/32/64 for AVX-512) plus the AVX2 u8 drain boundary at
+// 255 iterations × 32 lanes = 8160.
+constexpr std::size_t kSimdSizes[] = {0,  1,  3,    31,   32,   33,
+                                      63, 64, 65,   129,  1000, 4097,
+                                      8159, 8160, 8161, 10'007};
+
+TEST(SimdKernels, CountsBitIdenticalToScalarOracleAllTiers) {
+  const simd::KernelTable& oracle = *simd::table_for(simd::Tier::kScalar);
+  const double unknown_fracs[] = {0.0, 0.3, 0.9};
+  for (const simd::Tier tier : available_tiers()) {
+    rng::Rng r(99);
+    const simd::KernelTable& t = *simd::table_for(tier);
+    for (const std::size_t n : kSimdSizes) {
+      for (const double uf : unknown_fracs) {
+        const auto check = [&](const MatchCounts& got, const MatchCounts& want) {
+          EXPECT_EQ(got.matches, want.matches)
+              << simd::tier_name(tier) << " n=" << n << " uf=" << uf;
+          EXPECT_EQ(got.mutual_known, want.mutual_known)
+              << simd::tier_name(tier) << " n=" << n << " uf=" << uf;
+          for (const auto policy :
+               {UnknownPolicy::kPessimistic, UnknownPolicy::kKnownOnly}) {
+            EXPECT_EQ(phi_from_counts(got, n, policy),
+                      phi_from_counts(want, n, policy));
+          }
+        };
+        {
+          const auto a = random_sites<std::uint8_t>(r, n, 200, uf);
+          const auto b = random_sites<std::uint8_t>(r, n, 200, uf);
+          check(t.count_u8(a.data(), b.data(), n),
+                oracle.count_u8(a.data(), b.data(), n));
+        }
+        {
+          const auto a = random_sites<std::uint16_t>(r, n, 60'000, uf);
+          const auto b = random_sites<std::uint16_t>(r, n, 60'000, uf);
+          check(t.count_u16(a.data(), b.data(), n),
+                oracle.count_u16(a.data(), b.data(), n));
+        }
+        {
+          const auto a = random_sites<std::uint32_t>(r, n, 1'000'000, uf);
+          const auto b = random_sites<std::uint32_t>(r, n, 1'000'000, uf);
+          check(t.count_u32(a.data(), b.data(), n),
+                oracle.count_u32(a.data(), b.data(), n));
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void expect_delta_identical(
+    bool (*kernel)(const T*, const T*, std::size_t, std::size_t,
+                   std::vector<DeltaEntry>&),
+    bool (*ref)(const T*, const T*, std::size_t, std::size_t,
+                std::vector<DeltaEntry>&),
+    const std::vector<T>& a, const std::vector<T>& b, std::size_t cap,
+    const char* tier) {
+  std::vector<DeltaEntry> got, want;
+  const bool got_ok = kernel(a.data(), b.data(), a.size(), cap, got);
+  const bool want_ok = ref(a.data(), b.data(), a.size(), cap, want);
+  ASSERT_EQ(got_ok, want_ok) << tier << " n=" << a.size() << " cap=" << cap;
+  ASSERT_EQ(got.size(), want.size()) << tier << " n=" << a.size();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].index, want[i].index) << tier;
+    EXPECT_EQ(got[i].before, want[i].before) << tier;
+    EXPECT_EQ(got[i].after, want[i].after) << tier;
+  }
+}
+
+template <typename T>
+void run_delta_suite(
+    bool (*kernel)(const T*, const T*, std::size_t, std::size_t,
+                   std::vector<DeltaEntry>&),
+    bool (*ref)(const T*, const T*, std::size_t, std::size_t,
+                std::vector<DeltaEntry>&),
+    rng::Rng& r, SiteId max_site, const char* tier) {
+  for (const std::size_t n : kSimdSizes) {
+    auto a = random_sites<T>(r, n, max_site, 0.2);
+    auto b = a;
+    const std::size_t flips = n == 0 ? 0 : r.uniform(n / 8 + 1);
+    for (std::size_t k = 0; k < flips; ++k) {
+      b[r.uniform(n)] =
+          r.bernoulli(0.3)
+              ? T{0}
+              : static_cast<T>(kFirstRealSite + r.uniform(max_site));
+    }
+    std::vector<DeltaEntry> full;
+    ref(a.data(), b.data(), n, simd::kNoCap, full);
+    const std::size_t caps[] = {0, 1, 2, full.size(),
+                                full.empty() ? 0 : full.size() - 1,
+                                simd::kNoCap};
+    for (const std::size_t cap : caps) {
+      expect_delta_identical(kernel, ref, a, b, cap, tier);
+    }
+  }
+}
+
+TEST(SimdKernels, DeltaScansBitIdenticalToScalarOracleAllTiers) {
+  const simd::KernelTable& oracle = *simd::table_for(simd::Tier::kScalar);
+  for (const simd::Tier tier : available_tiers()) {
+    rng::Rng r(1234);
+    const simd::KernelTable& t = *simd::table_for(tier);
+    const char* name = simd::tier_name(tier);
+    run_delta_suite<std::uint8_t>(t.delta_u8, oracle.delta_u8, r, 200, name);
+    run_delta_suite<std::uint16_t>(t.delta_u16, oracle.delta_u16, r, 60'000,
+                                   name);
+    run_delta_suite<std::uint32_t>(t.delta_u32, oracle.delta_u32, r,
+                                   1'000'000, name);
+  }
+}
+
+// The row-ingest kernels (max_site, pack_u8/u16) and the swap-class
+// patch kernel must match the scalar oracle exactly for every tier —
+// they feed PackedSeries::append and ColumnPatcher, so a divergence
+// would silently corrupt the packed store or the batched Φ fill.
+TEST(SimdKernels, IngestAndSwapPatchBitIdenticalToScalarOracleAllTiers) {
+  const simd::KernelTable& oracle = *simd::table_for(simd::Tier::kScalar);
+  for (const simd::Tier tier : available_tiers()) {
+    rng::Rng r(4321);
+    const simd::KernelTable& t = *simd::table_for(tier);
+    const char* name = simd::tier_name(tier);
+    for (const std::size_t n : kSimdSizes) {
+      {
+        const auto src = random_sites<SiteId>(r, n, 1'000'000, 0.1);
+        EXPECT_EQ(t.max_site(src.data(), n), oracle.max_site(src.data(), n))
+            << name << " n=" << n;
+      }
+      {
+        // Pack kernels run only after append widened the store, so every
+        // value fits the destination width by contract.
+        const auto src = random_sites<SiteId>(r, n, 200, 0.1);
+        std::vector<std::uint8_t> got(n, 0xAB), want(n, 0xAB);
+        t.pack_u8(src.data(), got.data(), n);
+        oracle.pack_u8(src.data(), want.data(), n);
+        EXPECT_EQ(got, want) << name << " n=" << n;
+      }
+      {
+        const auto src = random_sites<SiteId>(r, n, 60'000, 0.1);
+        std::vector<std::uint16_t> got(n, 0xABCD), want(n, 0xABCD);
+        t.pack_u16(src.data(), got.data(), n);
+        oracle.pack_u16(src.data(), want.data(), n);
+        EXPECT_EQ(got, want) << name << " n=" << n;
+      }
+      if (n > 0) {
+        // Swap patch: ascending indices with the row's last elements
+        // always included, so the gather tier's peeled scalar suffix is
+        // exercised at every size. Mix in before/after values that can
+        // never fit a u8 row — the lane compare must still agree with
+        // the scalar SiteId compare.
+        const auto row = random_sites<std::uint8_t>(r, n, 200, 0.2);
+        std::vector<std::uint32_t> idx;
+        std::vector<SiteId> before, after;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (!r.bernoulli(0.25) && i + 4 <= n) continue;
+          idx.push_back(i);
+          const SiteId b = row[i];
+          before.push_back(r.bernoulli(0.4)
+                               ? b
+                               : kFirstRealSite + r.uniform(300));
+          after.push_back(r.bernoulli(0.4) ? b
+                                           : kFirstRealSite + r.uniform(300));
+        }
+        EXPECT_EQ(t.swap_u8(row.data(), idx.data(), before.data(),
+                            after.data(), idx.size(), n),
+                  oracle.swap_u8(row.data(), idx.data(), before.data(),
+                                 after.data(), idx.size(), n))
+            << name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, ScalarTierAlwaysAvailable) {
+  ASSERT_NE(simd::table_for(simd::Tier::kScalar), nullptr);
+  EXPECT_LE(static_cast<int>(simd::active_tier()),
+            static_cast<int>(simd::detected_tier()));
+  // The active tier must be one the dispatcher can actually serve.
+  EXPECT_NE(simd::table_for(simd::active_tier()), nullptr);
+}
+
+// With FENRIR_SIMD set (the override smoke ctest runs this suite under
+// FENRIR_SIMD=scalar), the active tier must obey the override; without
+// it this only pins the tier names.
+TEST(SimdDispatch, EnvOverrideClampsActiveTier) {
+  EXPECT_STREQ(simd::tier_name(simd::Tier::kScalar), "scalar");
+  EXPECT_STREQ(simd::tier_name(simd::Tier::kAvx2), "avx2");
+  EXPECT_STREQ(simd::tier_name(simd::Tier::kAvx512), "avx512");
+  const char* env = std::getenv("FENRIR_SIMD");
+  if (env != nullptr && std::string_view(env) == "scalar") {
+    EXPECT_EQ(simd::active_tier(), simd::Tier::kScalar);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -281,6 +282,85 @@ TEST(SimilarityMatrixAnchors, AnchorLimitsAffectTimeOnly) {
   m.set_anchor_limits(1, 0);
   for (std::size_t t = 12; t < d.series.size(); ++t) m.append(d.series[t]);
   expect_bit_identical(m, ref, "limits shrunk mid-series");
+}
+
+// append_batch must produce exactly the matrix an append() loop does —
+// across churn shapes, outage slots, policies, warm starts, and batch
+// sizes that cross the internal chunk boundary. Anchor bookkeeping
+// after the batch must also be equivalent: appends *after* a batch stay
+// identical too.
+TEST(SimilarityMatrixBatch, BatchBitIdenticalToAppendLoop) {
+  struct Case {
+    Dataset d;
+    std::string label;
+  };
+  const Case cases[] = {
+      {churn_dataset(40, 300, 0.02, 5, 0.15), "churn"},
+      {periodic_dataset(40, 300, 6, 0.01, 7, 0.1), "periodic"},
+      {churn_dataset(70, 120, 0.5, 9), "high churn (kernel rows)"},
+      {churn_dataset(90, 60, 0.02, 13, 0.1), "crosses the 64-row chunk"},
+  };
+  for (const Case& c : cases) {
+    for (const auto policy :
+         {UnknownPolicy::kPessimistic, UnknownPolicy::kKnownOnly}) {
+      SimilarityMatrix loop(policy, c.d.weights, 1);
+      for (const RoutingVector& v : c.d.series) loop.append(v);
+      SimilarityMatrix batch(policy, c.d.weights, 1);
+      batch.append_batch(c.d.series);
+      expect_bit_identical(batch, loop, c.label + " one batch");
+    }
+  }
+}
+
+TEST(SimilarityMatrixBatch, WarmBatchAndPostBatchAppendsStayIdentical) {
+  const Dataset d = periodic_dataset(48, 400, 8, 0.01, 17, 0.1);
+  SimilarityMatrix loop(UnknownPolicy::kPessimistic, d.weights, 1);
+  for (const RoutingVector& v : d.series) loop.append(v);
+
+  // Warm start: 20 rows one at a time, a 16-row batch, then the tail
+  // appended row-at-a-time again — the post-batch appends only agree if
+  // the batch left the anchor set in the equivalent state.
+  SimilarityMatrix mixed(UnknownPolicy::kPessimistic, d.weights, 1);
+  for (std::size_t t = 0; t < 20; ++t) mixed.append(d.series[t]);
+  mixed.append_batch(
+      std::span(d.series).subspan(20, 16));
+  for (std::size_t t = 36; t < d.series.size(); ++t) mixed.append(d.series[t]);
+  expect_bit_identical(mixed, loop, "warm batch");
+
+  // Degenerate batches.
+  SimilarityMatrix tiny(UnknownPolicy::kPessimistic, d.weights, 1);
+  tiny.append_batch(std::span(d.series).subspan(0, 0));
+  EXPECT_EQ(tiny.size(), 0u);
+  tiny.append_batch(std::span(d.series).subspan(0, 1));
+  EXPECT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny.phi(0, 0), loop.phi(0, 0));
+}
+
+TEST(SimilarityMatrixBatch, WeightedBatchFallsBackBitIdentical) {
+  const Dataset d = churn_dataset(16, 200, 0.05, 23, 0.1, 0.1, true);
+  SimilarityMatrix loop(UnknownPolicy::kKnownOnly, d.weights, 1);
+  for (const RoutingVector& v : d.series) loop.append(v);
+  SimilarityMatrix batch(UnknownPolicy::kKnownOnly, d.weights, 1);
+  batch.append_batch(d.series);
+  expect_bit_identical(batch, loop, "weighted batch");
+}
+
+// Satellite regression: the chained/probed recent-anchor stage used to
+// be dead in every bench (fenrir_phi_anchor_chained_total == 0). A
+// period-2 alternation with representatives disabled forces it: the
+// predecessor is always the *other* mode (chained bounds saturate), so
+// the probe stage must rediscover the same-mode recent anchor at i-2.
+TEST(SimilarityMatrixAnchors, ChainedStageEngagesOnAlternation) {
+  auto& chained = obs::registry().counter("fenrir_phi_anchor_chained_total");
+  const auto before = chained.value();
+  const Dataset d = periodic_dataset(64, 2000, 2, 0.005, 41);
+  const auto ref = SimilarityMatrix::compute_reference(d);
+  SimilarityMatrix m(UnknownPolicy::kPessimistic, d.weights, 1);
+  m.set_anchor_limits(SimilarityMatrix::kRecentAnchors, 0);
+  for (const RoutingVector& v : d.series) m.append(v);
+  expect_bit_identical(m, ref, "alternation");
+  EXPECT_GT(chained.value(), before)
+      << "period-2 alternation never took the chained/probed recent path";
 }
 
 // Regression: range_between/median_between used to visit each unordered

@@ -38,6 +38,20 @@ GATED_PREFIXES = ("bench_core_BM_Gower", "bench_core_BM_SimilarityMatrix",
                   "bench_core_BM_FederatedSweep")
 SUFFIX = "_real_ns"
 
+# Snapshot provenance written by bench/micro_core: which SIMD tier the
+# host supported / dispatched to (0 scalar, 1 avx2, 2 avx512). Snapshots
+# from different tiers are not wall-time comparable; per-tier BM_GowerSimd
+# legs legitimately disappear on a lesser host.
+TIER_GAUGES = ("bench_core_meta_simd_tier_detected",
+               "bench_core_meta_simd_tier_active")
+TIER_NAMES = {0: "scalar", 1: "avx2", 2: "avx512"}
+
+
+def tier_name(value):
+    if value is None:
+        return "unrecorded"
+    return TIER_NAMES.get(int(value), f"tier{int(value)}")
+
 
 def load_real_ns(path):
     try:
@@ -55,7 +69,8 @@ def load_real_ns(path):
     if not out:
         print(f"bench_gate: no {SUFFIX} gauges in {path}", file=sys.stderr)
         sys.exit(2)
-    return out
+    tiers = {g: gauges.get(g) for g in TIER_GAUGES}
+    return out, tiers
 
 
 def median(values):
@@ -83,20 +98,42 @@ def main():
                              "(for CI job summaries)")
     args = parser.parse_args()
 
-    base = load_real_ns(args.baseline)
-    cur = load_real_ns(args.current)
+    base, base_tiers = load_real_ns(args.baseline)
+    cur, cur_tiers = load_real_ns(args.current)
     shared = sorted(set(base) & set(cur))
     if not shared:
         print("bench_gate: baseline and current share no benches",
               file=sys.stderr)
         sys.exit(2)
 
+    # Snapshots from different SIMD tiers (or a FENRIR_SIMD-overridden
+    # run) time different kernels: warn, and excuse the per-tier
+    # BM_GowerSimd legs a lesser host cannot run. The calibration below
+    # still applies — it cancels uniform machine speed, not a tier jump —
+    # so the verdicts are advisory under a mismatch.
+    tier_mismatch = base_tiers != cur_tiers
+    if tier_mismatch:
+        print("bench_gate: WARNING — comparing snapshots across SIMD "
+              "tiers (baseline detected/active "
+              f"{tier_name(base_tiers[TIER_GAUGES[0]])}/"
+              f"{tier_name(base_tiers[TIER_GAUGES[1]])}, current "
+              f"{tier_name(cur_tiers[TIER_GAUGES[0]])}/"
+              f"{tier_name(cur_tiers[TIER_GAUGES[1]])}); kernel wall "
+              "times are not comparable", file=sys.stderr)
+
     # A gated bench present in the baseline but absent from the current
     # run would silently drop out of the comparison — the gate would
     # "pass" while no longer gating anything. Renamed or crashed benches
-    # must be loud.
+    # must be loud. Exception: under a tier mismatch, per-tier SIMD legs
+    # the current host cannot run are expected to be absent.
     missing = [name for name in sorted(set(base) - set(cur))
                if name.startswith(GATED_PREFIXES)]
+    if tier_mismatch:
+        skipped = [n for n in missing if "BM_GowerSimd" in n]
+        for name in skipped:
+            print(f"bench_gate: skipping {short_name(name)} "
+                  "(tier unavailable on this host)", file=sys.stderr)
+        missing = [n for n in missing if "BM_GowerSimd" not in n]
     if missing:
         print("bench_gate: gated benchmark(s) missing from "
               f"{args.current}:", file=sys.stderr)

@@ -134,6 +134,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -340,9 +341,8 @@ int cmd_analyze(const Args& args) {
         snap.prefix_hash == io::dataset_prefix_hash(data, snap.processed);
     if (usable) {
       cached = std::move(*snap.matrix);
-      for (std::size_t i = snap.processed; i < data.series.size(); ++i) {
-        cached->append(data.series[i]);
-      }
+      cached->append_batch(
+          std::span(data.series).subspan(snap.processed));
       FENRIR_LOG(Info).field("cache", cache_path)
               .field("cached_rows", snap.processed)
               .field("appended", data.series.size() - snap.processed)
@@ -474,7 +474,7 @@ int cmd_watch(const Args& args) {
             << "watch state matrix unusable under current flags; "
                "rebuilding";
       }
-      for (std::size_t i = 0; i < start; ++i) matrix->append(data.series[i]);
+      matrix->append_batch(std::span(data.series).first(start));
       // Re-pin each mode representative's first occurrence: history
       // holds the mode of every *valid* observation in order.
       std::vector<bool> seen(book.mode_count(), false);
