@@ -369,6 +369,21 @@ SimilarityMatrix::AnchorRow* SimilarityMatrix::select_anchor(
   return chosen;
 }
 
+std::vector<std::size_t> SimilarityMatrix::anchor_chain(
+    std::size_t row, std::size_t max_depth) const {
+  std::vector<std::size_t> out;
+  std::size_t at = row;
+  while (out.size() < max_depth && at < anchor_of_.size()) {
+    const std::size_t base = anchor_of_[at];
+    // Bases are always earlier rows, so the strict decrease also guards
+    // against any malformed chain looping.
+    if (base == kNoAnchorRow || base >= at) break;
+    out.push_back(base);
+    at = base;
+  }
+  return out;
+}
+
 void SimilarityMatrix::append(const RoutingVector& v) {
   if (packed_.rows() != n_) {
     throw std::logic_error(
@@ -383,6 +398,7 @@ void SimilarityMatrix::append(const RoutingVector& v) {
   n_ += 1;
   values_.resize(values_.size() + i + 1, 0.0);
   valid_.push_back(v.valid ? 1 : 0);
+  anchor_of_.resize(n_, kNoAnchorRow);
   append_clock_ += 1;
   PhiMetrics& metrics = phi_metrics();
   metrics.appends.inc();
@@ -412,6 +428,9 @@ void SimilarityMatrix::append(const RoutingVector& v) {
   AnchorRow* chosen =
       weighted ? nullptr : select_anchor(i, delta, chose_rep);
   const bool use_delta = chosen != nullptr;
+  // Chain lineage before the representative refresh below reassigns
+  // chosen->row to i.
+  if (use_delta) anchor_of_[i] = chosen->row;
 
   std::vector<MatchCounts> row(i + 1);
   const AnchorRow* anchor = chosen;  // stable across the parallel fill
@@ -519,6 +538,7 @@ void SimilarityMatrix::append_chunk(std::span<const RoutingVector> batch) {
   }
   n_ = n0 + k;
   values_.resize(n_ * (n_ + 1) / 2, 0.0);
+  anchor_of_.resize(n_, kNoAnchorRow);
 
   // Pass A: sequential anchor planning — the exact selection sequence an
   // append() loop would run (selection never reads anchor counts, only
@@ -559,6 +579,7 @@ void SimilarityMatrix::append_chunk(std::span<const RoutingVector> batch) {
     if (chosen != nullptr) {
       plan[r].path = RowPlan::Path::kDelta;
       plan[r].base = chosen->row;
+      anchor_of_[i] = chosen->row;
       if (chosen->row < n0) {
         plan[r].base_counts.assign(chosen->counts.begin(),
                                    chosen->counts.begin() +

@@ -153,6 +153,21 @@ class SimilarityMatrix {
 
   std::size_t size() const noexcept { return n_; }
 
+  /// Row @p row's anchor-chain base is absent: the row paid the packed
+  /// kernels (a novel routing state), was invalid or weighted, or came
+  /// from a snapshot that predates chain tracking.
+  static constexpr std::size_t kNoAnchorRow =
+      static_cast<std::size_t>(-1);
+
+  /// The anchor chain append()/append_batch() walked ingesting @p row:
+  /// the row it delta-patched from first, then that row's own base, and
+  /// so on, up to @p max_depth entries. Empty for kernel-fallback rows
+  /// and rows loaded from a snapshot (chains are observation-only
+  /// lineage, not persisted state — they feed DecisionRecords and never
+  /// steer a value).
+  std::vector<std::size_t> anchor_chain(std::size_t row,
+                                        std::size_t max_depth = 8) const;
+
   UnknownPolicy policy() const noexcept { return policy_; }
   const std::vector<double>& weights() const noexcept { return weights_; }
 
@@ -251,6 +266,10 @@ class SimilarityMatrix {
   std::size_t recent_limit_ = kRecentAnchors;
   std::size_t representative_limit_ = kMaxRepresentativeAnchors;
   std::uint64_t append_clock_ = 0;
+  /// anchor_of_[i] = row that i delta-patched from (kNoAnchorRow for
+  /// kernel/invalid/weighted rows). May be shorter than n_ after a
+  /// snapshot load — anchor_chain() treats missing entries as absent.
+  std::vector<std::size_t> anchor_of_;
   /// Kernel-fallback rows left to skip before probing again after a
   /// round of probes found nothing (exponential backoff, capped).
   std::size_t probe_cooldown_ = 0;

@@ -1,9 +1,12 @@
 #include "core/modebook.h"
 
+#include <algorithm>
+#include <array>
 #include <stdexcept>
 #include <string>
 
 #include "obs/events.h"
+#include "obs/lineage.h"
 #include "obs/metrics.h"
 
 namespace fenrir::core {
@@ -56,18 +59,35 @@ ModeBook::Match ModeBook::observe(const RoutingVector& v) {
   double second_phi = -1.0;
   std::size_t second = 0;
   std::size_t scanned = 0;
+  MatchCounts best_counts;
+  // Top-k candidates for the decision record, best first. Insertion
+  // into a 4-slot array costs one compare per representative in the
+  // common miss case — cheap next to the packed counts() pass.
+  std::array<obs::DecisionCandidate, obs::kLineageTopK> top{};
+  std::size_t top_count = 0;
   for (std::size_t m = 0; m < representatives_.size(); ++m) {
     ++scanned;
-    const double phi = phi_from_counts(packed_.counts(m, candidate),
-                                       v.assignment.size(), config_.policy);
+    const MatchCounts counts = packed_.counts(m, candidate);
+    const double phi =
+        phi_from_counts(counts, v.assignment.size(), config_.policy);
     if (phi > best_phi) {
       second_phi = best_phi;
       second = best.value_or(0);
       best_phi = phi;
       best = m;
+      best_counts = counts;
     } else if (phi > second_phi) {
       second_phi = phi;
       second = m;
+    }
+    if (top_count < top.size() || phi > top[top_count - 1].phi) {
+      std::size_t at = std::min(top_count, top.size() - 1);
+      while (at > 0 && phi > top[at - 1].phi) {
+        top[at] = top[at - 1];
+        --at;
+      }
+      top[at] = {m, phi};
+      if (top_count < top.size()) ++top_count;
     }
     // A perfect match cannot be beaten, only tied — and a later tie
     // loses to the earlier mode under the strict > above.
@@ -122,6 +142,33 @@ ModeBook::Match ModeBook::observe(const RoutingVector& v) {
                               ",\"best_phi\":" + obs::render_double(out.phi) +
                               ",\"modes\":" +
                               std::to_string(representatives_.size()));
+  }
+  // Every verdict leaves a decision record (see CONTRIBUTING): the
+  // struct is flat and the store renders JSON lazily, so the recording
+  // cost is bench-gated within 5% of a recording-free observe.
+  if (obs::LineageStore& lin = obs::lineage(); lin.enabled()) {
+    obs::DecisionRecord rec;
+    rec.obs_time = static_cast<std::int64_t>(v.time);
+    rec.verdict = out.is_new          ? obs::Verdict::kNewMode
+                  : out.is_recurrence ? obs::Verdict::kRecurrence
+                                      : obs::Verdict::kRepeat;
+    rec.mode = out.mode;
+    rec.phi = out.phi;
+    if (!out.is_new && out.mode < last_seen_.size() &&
+        last_seen_[out.mode]) {
+      rec.gap_seconds =
+          static_cast<std::int64_t>(v.time - *last_seen_[out.mode]);
+    }
+    rec.networks = v.assignment.size();
+    if (scanned > 0) {
+      rec.matches = best_counts.matches;
+      rec.mismatches = best_counts.mutual_known - best_counts.matches;
+      rec.unknown = rec.networks - best_counts.mutual_known;
+    }
+    rec.scanned = scanned;
+    rec.top = top;
+    rec.top_count = static_cast<std::uint32_t>(top_count);
+    lin.record(rec);
   }
   if (out.mode >= last_seen_.size()) last_seen_.resize(out.mode + 1);
   last_seen_[out.mode] = v.time;

@@ -10,6 +10,7 @@
 #include "io/csv.h"
 #include "obs/events.h"
 #include "obs/journal.h"
+#include "obs/lineage.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/metrics_window.h"
@@ -631,6 +632,55 @@ void Federation::load_checkpoint_dir(const std::string& dir) {
           .field("epochs", epochs)
           .field("members", members_.size())
       << "federation resumed from checkpoint";
+}
+
+ProvenanceSummary summarize_provenance(
+    std::span<const TargetProvenance> epoch) {
+  ProvenanceSummary out;
+  std::map<std::size_t, std::size_t> served;  // member -> targets served
+  for (const TargetProvenance& p : epoch) {
+    if (p.disagreed) ++out.disagreements;
+    if (p.member == kNoMember) continue;
+    ++served[p.member];
+    out.max_staleness = std::max(out.max_staleness, p.staleness);
+  }
+  std::size_t best = 0;
+  for (const auto& [member, count] : served) {
+    if (count > best) {  // strict: ties stay with the smaller index
+      best = count;
+      out.member = member;
+    }
+  }
+  return out;
+}
+
+core::SimilarityMatrix fold_phi(std::span<const core::RoutingVector> series,
+                                core::ModeBook& book,
+                                std::span<const ProvenanceSummary> provenance,
+                                core::UnknownPolicy policy,
+                                std::vector<double> weights,
+                                unsigned threads) {
+  core::SimilarityMatrix m(policy, std::move(weights), threads);
+  m.append_batch(series);
+  obs::LineageStore& lin = obs::lineage();
+  for (std::size_t r = 0; r < series.size(); ++r) {
+    if (lin.enabled()) {
+      const std::vector<std::size_t> chain = m.anchor_chain(r);
+      lin.set_anchor_context(chain);
+      if (r < provenance.size()) {
+        const ProvenanceSummary& p = provenance[r];
+        lin.set_provenance_context(p.member == kNoMember
+                                       ? obs::kLineageNoMember
+                                       : static_cast<std::uint64_t>(p.member),
+                                   p.max_staleness, p.disagreements);
+      }
+    }
+    book.observe(series[r]);
+    // An invalid epoch never reaches record(); drop its context rather
+    // than letting it ride on the next epoch's record.
+    lin.clear_context();
+  }
+  return m;
 }
 
 }  // namespace fenrir::measure

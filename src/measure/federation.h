@@ -42,10 +42,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "chaos/clock_model.h"
+#include "core/modebook.h"
 #include "measure/adaptive_floor.h"
 #include "measure/campaign.h"
 
@@ -116,6 +118,35 @@ struct TargetProvenance {
   /// Fresh votes from distinct members named distinct sites.
   bool disagreed = false;
 };
+
+/// One epoch's provenance, rolled up for the decision lineage plane:
+/// who mostly served the merged vector, how stale its worst answer
+/// was, and how many targets had split votes.
+struct ProvenanceSummary {
+  std::size_t member = kNoMember;  // dominant serving member
+  std::size_t max_staleness = 0;
+  std::size_t disagreements = 0;
+};
+
+/// Rolls up one epoch's FederationResult::provenance row. Dominant
+/// member = the one serving the most targets (ties to the smaller
+/// index, the federation's usual tie-break).
+ProvenanceSummary summarize_provenance(
+    std::span<const TargetProvenance> epoch);
+
+/// fold_phi over a federated series that ALSO classifies every epoch
+/// through @p book, recording full decision lineage: each observation's
+/// DecisionRecord carries the anchor chain the fold's matrix used for
+/// that row plus the epoch's provenance summary (when provided —
+/// provenance[r] explains series[r]; shorter spans leave later epochs
+/// without provenance rather than erroring). Returns the same matrix
+/// the campaign.h fold_phi would; verdicts are identical to calling
+/// book.observe() per epoch — lineage observes, never steers.
+core::SimilarityMatrix fold_phi(
+    std::span<const core::RoutingVector> series, core::ModeBook& book,
+    std::span<const ProvenanceSummary> provenance,
+    core::UnknownPolicy policy = core::UnknownPolicy::kPessimistic,
+    std::vector<double> weights = {}, unsigned threads = 0);
 
 /// Per-epoch accounting. served + unserved == targets, and
 /// fresh + stale == served; aged_out counts unserved targets that DID

@@ -1,0 +1,308 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+
+namespace fenrir::obs {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'E', 'N', 'R', 'B', 'B', 'X', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 4096;
+constexpr std::size_t kSlotHeaderBytes = 24;
+constexpr std::size_t kReasonBytes = 64;
+
+// Header field offsets (see the layout comment in the header file).
+constexpr std::size_t kOffMagic = 0;
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffSlotBytes = 12;
+constexpr std::size_t kOffSlotCount = 16;
+constexpr std::size_t kOffNextSeq = 24;
+constexpr std::size_t kOffSealed = 32;
+constexpr std::size_t kOffReason = 36;
+constexpr std::size_t kOffCrc = 100;
+/// The crc covers only the immutable geometry fields [0, kOffNextSeq):
+/// seal_from_signal() and the per-record counter can then store without
+/// re-checksumming — no window in which a kill leaves the header crc
+/// mismatched.
+constexpr std::size_t kCrcCoverage = kOffNextSeq;
+
+constexpr auto kCrcTable = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+
+std::uint32_t crc32(const unsigned char* data, std::size_t size) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void store_u32(unsigned char* at, std::uint32_t v) {
+  std::memcpy(at, &v, sizeof(v));
+}
+void store_u64(unsigned char* at, std::uint64_t v) {
+  std::memcpy(at, &v, sizeof(v));
+}
+std::uint32_t load_u32(const unsigned char* at) {
+  std::uint32_t v;
+  std::memcpy(&v, at, sizeof(v));
+  return v;
+}
+std::uint64_t load_u64(const unsigned char* at) {
+  std::uint64_t v;
+  std::memcpy(&v, at, sizeof(v));
+  return v;
+}
+
+/// The recorder fatal-signal handlers seal (at most one per process;
+/// the handler itself must stay allocation- and lock-free).
+std::atomic<FlightRecorder*> g_signal_recorder{nullptr};
+
+void fatal_signal_handler(int signal_number) {
+  if (FlightRecorder* recorder =
+          g_signal_recorder.load(std::memory_order_acquire)) {
+    recorder->seal_from_signal(signal_number);
+  }
+  std::signal(signal_number, SIG_DFL);
+  std::raise(signal_number);
+}
+
+}  // namespace
+
+FlightRecorder::~FlightRecorder() { close("closed"); }
+
+bool FlightRecorder::open(const std::string& path, Config config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_ != nullptr) return false;  // already open
+  if (config.slots == 0 || config.slot_bytes <= kSlotHeaderBytes) {
+    return false;
+  }
+  const std::size_t size =
+      kHeaderBytes + config.slots * config.slot_bytes;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd, 0);
+  if (map == MAP_FAILED) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  map_ = static_cast<unsigned char*>(map);
+  map_size_ = size;
+  config_ = config;
+  path_ = path;
+
+  std::memcpy(map_ + kOffMagic, kMagic, sizeof(kMagic));
+  store_u32(map_ + kOffVersion, kVersion);
+  store_u32(map_ + kOffSlotBytes,
+            static_cast<std::uint32_t>(config.slot_bytes));
+  store_u64(map_ + kOffSlotCount, config.slots);
+  store_u64(map_ + kOffNextSeq, 0);
+  store_u32(map_ + kOffSealed, 0);
+  std::memset(map_ + kOffReason, 0, kReasonBytes);
+  store_u32(map_ + kOffCrc, crc32(map_, kCrcCoverage));
+  return true;
+}
+
+void FlightRecorder::close(std::string_view reason) {
+  seal(reason);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_ == nullptr) return;
+  if (g_signal_recorder.load(std::memory_order_acquire) == this) {
+    g_signal_recorder.store(nullptr, std::memory_order_release);
+  }
+  ::munmap(map_, map_size_);
+  ::close(fd_);
+  map_ = nullptr;
+  map_size_ = 0;
+  fd_ = -1;
+}
+
+bool FlightRecorder::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_ != nullptr;
+}
+
+void FlightRecorder::write_slot(Kind kind, std::string_view json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_ == nullptr) return;
+  const std::uint64_t seq = load_u64(map_ + kOffNextSeq) + 1;
+  unsigned char* slot = map_ + kHeaderBytes +
+                        ((seq - 1) % config_.slots) * config_.slot_bytes;
+  const std::size_t cap = config_.slot_bytes - kSlotHeaderBytes;
+  const std::size_t length = std::min(json.size(), cap);
+  // seq is zeroed first and stored last, so a kill mid-write leaves a
+  // slot that reads as empty (or crc-torn), never as a fake record.
+  store_u64(slot, 0);
+  std::memcpy(slot + kSlotHeaderBytes, json.data(), length);
+  store_u32(slot + 8, static_cast<std::uint32_t>(kind));
+  store_u32(slot + 12, static_cast<std::uint32_t>(length));
+  store_u32(slot + 16, crc32(slot + kSlotHeaderBytes, length));
+  store_u64(slot, seq);
+  store_u64(map_ + kOffNextSeq, seq);
+}
+
+void FlightRecorder::consume(const DecisionRecord&, std::string_view json) {
+  write_slot(Kind::kDecision, json);
+}
+
+void FlightRecorder::consume(const Event& event) {
+  write_slot(Kind::kEvent, event_json(event));
+}
+
+void FlightRecorder::note_metrics(std::string_view json) {
+  write_slot(Kind::kMetrics, json);
+}
+
+void FlightRecorder::seal(std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_ == nullptr || load_u32(map_ + kOffSealed) != 0) return;
+  const std::size_t length =
+      std::min(reason.size(), kReasonBytes - 1);
+  std::memcpy(map_ + kOffReason, reason.data(), length);
+  map_[kOffReason + length] = 0;
+  store_u32(map_ + kOffSealed, 1);
+  ::msync(map_, kHeaderBytes, MS_ASYNC);
+}
+
+bool FlightRecorder::sealed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_ != nullptr && load_u32(map_ + kOffSealed) != 0;
+}
+
+void FlightRecorder::seal_from_signal(int signal_number) noexcept {
+  // Async-signal-safe: plain stores into the mapping, no locks, no
+  // allocation. Racing a concurrent seal() is harmless (same flag).
+  unsigned char* map = map_;
+  if (map == nullptr || load_u32(map + kOffSealed) != 0) return;
+  char reason[kReasonBytes] = "signal ";
+  std::size_t at = 7;
+  char digits[12];
+  std::size_t n = 0;
+  int value = signal_number;
+  if (value <= 0) {
+    digits[n++] = '0';
+  } else {
+    while (value > 0 && n < sizeof(digits)) {
+      digits[n++] = static_cast<char>('0' + value % 10);
+      value /= 10;
+    }
+  }
+  while (n > 0) reason[at++] = digits[--n];
+  reason[at] = 0;
+  std::memcpy(map + kOffReason, reason, at + 1);
+  store_u32(map + kOffSealed, 1);
+}
+
+void FlightRecorder::install_signal_handlers(FlightRecorder* recorder) {
+  g_signal_recorder.store(recorder, std::memory_order_release);
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    std::signal(sig, fatal_signal_handler);
+  }
+}
+
+FlightRecorder::DumpReport FlightRecorder::dump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw FlightRecorderError("flight recorder: cannot read " + path);
+  }
+  std::vector<unsigned char> data(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (data.size() < kHeaderBytes) {
+    throw FlightRecorderError("flight recorder: " + path +
+                              " is too small to hold a ring header");
+  }
+  if (std::memcmp(data.data() + kOffMagic, kMagic, sizeof(kMagic)) != 0) {
+    throw FlightRecorderError("flight recorder: " + path +
+                              " has no FENRBBX1 magic (not a ring, or "
+                              "its header was corrupted)");
+  }
+  if (load_u32(data.data() + kOffVersion) != kVersion) {
+    throw FlightRecorderError(
+        "flight recorder: " + path + " has unsupported version " +
+        std::to_string(load_u32(data.data() + kOffVersion)));
+  }
+  const std::size_t slot_bytes = load_u32(data.data() + kOffSlotBytes);
+  const std::uint64_t slot_count = load_u64(data.data() + kOffSlotCount);
+  if (load_u32(data.data() + kOffCrc) !=
+      crc32(data.data(), kCrcCoverage)) {
+    throw FlightRecorderError("flight recorder: " + path +
+                              " header checksum mismatch");
+  }
+  if (slot_bytes <= kSlotHeaderBytes || slot_count == 0 ||
+      data.size() < kHeaderBytes + slot_count * slot_bytes) {
+    throw FlightRecorderError("flight recorder: " + path +
+                              " geometry is inconsistent with its size");
+  }
+
+  DumpReport report;
+  report.sealed = load_u32(data.data() + kOffSealed) != 0;
+  if (report.sealed) {
+    const char* reason =
+        reinterpret_cast<const char*>(data.data() + kOffReason);
+    report.seal_reason.assign(
+        reason, strnlen(reason, kReasonBytes - 1));
+  }
+  report.written_total = load_u64(data.data() + kOffNextSeq);
+
+  for (std::uint64_t s = 0; s < slot_count; ++s) {
+    const unsigned char* slot =
+        data.data() + kHeaderBytes + s * slot_bytes;
+    const std::uint64_t seq = load_u64(slot);
+    if (seq == 0) continue;  // never written (or zeroed mid-write)
+    const std::uint32_t kind = load_u32(slot + 8);
+    const std::uint32_t length = load_u32(slot + 12);
+    if (length > slot_bytes - kSlotHeaderBytes ||
+        load_u32(slot + 16) != crc32(slot + kSlotHeaderBytes, length) ||
+        kind < static_cast<std::uint32_t>(Kind::kDecision) ||
+        kind > static_cast<std::uint32_t>(Kind::kMetrics)) {
+      report.torn_slots += 1;  // the kill landed mid-append here
+      continue;
+    }
+    DumpEntry entry;
+    entry.seq = seq;
+    entry.kind = static_cast<Kind>(kind);
+    entry.payload.assign(
+        reinterpret_cast<const char*>(slot + kSlotHeaderBytes), length);
+    report.entries.push_back(std::move(entry));
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const DumpEntry& a, const DumpEntry& b) {
+              return a.seq < b.seq;
+            });
+  if (report.written_total < (report.entries.empty()
+                                  ? 0
+                                  : report.entries.back().seq)) {
+    // The kill landed between a slot write and the counter update; the
+    // slots are the truth.
+    report.written_total = report.entries.back().seq;
+  }
+  return report;
+}
+
+}  // namespace fenrir::obs

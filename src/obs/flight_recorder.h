@@ -1,0 +1,146 @@
+// fenrir::obs — the post-mortem flight recorder (black box).
+//
+// A crashed or chaos-killed process leaves its journals as truthful
+// prefixes, but journals grow without bound and live on the operator's
+// chosen paths; the flight recorder is the complement: one small,
+// preallocated, mmap'd on-disk ring holding the LAST N decision
+// records, events, and a metrics snapshot — always the same file size,
+// always recoverable, dumped by `fenrirctl blackbox dump` after the
+// process is gone.
+//
+// Layout (little-endian, one 4096-byte header page + slot_count fixed
+// slots):
+//
+//   header: magic "FENRBBX1" | u32 version | u32 slot_bytes
+//           | u64 slot_count | u64 next_seq | u32 sealed
+//           | char seal_reason[64] | u32 crc (of the fields above)
+//   slot:   u64 seq | u32 kind | u32 length | u32 crc(payload)
+//           | payload[slot_bytes - 24]  (a JSON line, truncated to fit)
+//
+// Crash-safety model: every write lands in the shared mmap, so process
+// death — SIGKILL included — loses nothing the store instructions
+// completed (the page cache survives the process; only power loss can
+// eat it). A kill mid-append leaves exactly one slot whose crc fails;
+// dump() skips it and reports it as torn, the ring analogue of the
+// journal's dropped torn tail. Flushing is O(new records): one slot
+// write + a header counter per record, never a rewrite of history.
+//
+// Sealing: seal() stamps the header with a reason ("clean shutdown",
+// "signal 11", ...) — install_signal_handlers() arranges fatal signals
+// (SEGV/BUS/FPE/ILL/ABRT) to seal before re-raising, using only
+// async-signal-safe stores into the mapping. An unsealed file is what
+// a SIGKILL (which no handler can see) leaves behind; dump() reads it
+// fine and says so. A file failing the magic/geometry/header-crc
+// checks throws FlightRecorderError (exit 3 at the CLI — the same
+// taxonomy slot as corrupt snapshots and journals).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/events.h"
+#include "obs/lineage.h"
+
+namespace fenrir::obs {
+
+/// Interior corruption in a flight-recorder file (torn individual
+/// slots are not errors; they are skipped and counted).
+class FlightRecorderError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Ring geometry (namespace-scope so it can default-initialize in
+/// FlightRecorder::open's default argument).
+struct FlightRecorderConfig {
+  std::size_t slots = 256;
+  /// Whole-slot size including the 24-byte slot header; payloads are
+  /// truncated to fit. Must be > 24.
+  std::size_t slot_bytes = 512;
+};
+
+class FlightRecorder : public EventSink, public DecisionSink {
+ public:
+  /// Slot payload kinds, recorded per entry and echoed by dump().
+  enum class Kind : std::uint32_t {
+    kDecision = 1,
+    kEvent = 2,
+    kMetrics = 3,
+  };
+
+  using Config = FlightRecorderConfig;
+
+  FlightRecorder() = default;
+  ~FlightRecorder() override;  // seals "closed" if still open
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Creates (truncating any previous ring) and maps @p path at its
+  /// full preallocated size. Returns false when the file cannot be
+  /// created or mapped; the recorder is then inert.
+  bool open(const std::string& path, Config config = Config());
+  /// Seals with @p reason (first seal wins) and unmaps.
+  void close(std::string_view reason = "closed");
+  bool is_open() const;
+  const std::string& path() const { return path_; }
+
+  /// DecisionSink: every lineage record lands as one kDecision slot.
+  void consume(const DecisionRecord& record, std::string_view json) override;
+  /// EventSink: every kept event lands as one kEvent slot.
+  void consume(const Event& event) override;
+  /// One metrics-snapshot slot (callers pass a compact JSON summary;
+  /// oversized payloads are truncated like any other).
+  void note_metrics(std::string_view json);
+
+  /// Stamps the header sealed with @p reason; idempotent (the first
+  /// reason is kept — a crash seal must not be overwritten by the
+  /// destructor's "closed").
+  void seal(std::string_view reason);
+  bool sealed() const;
+
+  /// Routes fatal signals (SEGV/BUS/FPE/ILL/ABRT) through a handler
+  /// that seals @p recorder ("signal <n>") and re-raises with the
+  /// default action. Pass nullptr to detach (handlers stay installed
+  /// but become pass-through). Only one recorder can be registered.
+  static void install_signal_handlers(FlightRecorder* recorder);
+
+  /// Async-signal-safe core of the handler: stores the seal into the
+  /// mapping without locks or allocation. Public for tests.
+  void seal_from_signal(int signal_number) noexcept;
+
+  struct DumpEntry {
+    std::uint64_t seq = 0;
+    Kind kind = Kind::kDecision;
+    std::string payload;  // the JSON line (possibly truncated)
+  };
+  struct DumpReport {
+    bool sealed = false;
+    std::string seal_reason;
+    std::uint64_t written_total = 0;  // entries ever written
+    std::size_t torn_slots = 0;       // crc-failing slots skipped
+    std::vector<DumpEntry> entries;   // oldest first
+  };
+
+  /// Reads a ring file back without mapping it writable. Throws
+  /// FlightRecorderError on bad magic, bad geometry, or a header crc
+  /// mismatch; torn slots are skipped and counted.
+  static DumpReport dump(const std::string& path);
+
+ private:
+  void write_slot(Kind kind, std::string_view json);
+
+  mutable std::mutex mu_;
+  std::string path_;
+  Config config_;
+  int fd_ = -1;
+  unsigned char* map_ = nullptr;
+  std::size_t map_size_ = 0;
+};
+
+}  // namespace fenrir::obs

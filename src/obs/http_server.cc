@@ -16,8 +16,10 @@
 
 #include "obs/events.h"
 #include "obs/health.h"
+#include "obs/lineage.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/query.h"
 #include "obs/metrics_window.h"
 #include "obs/span.h"
 #include "obs/status_board.h"
@@ -52,38 +54,9 @@ std::string status_line(int code) {
   }
 }
 
-/// Value of @p key in a "k=v&k2=v2" query string (no percent-decoding —
-/// the diagnostic plane's parameters are seqs, type names, severities).
-std::optional<std::string> query_param(const std::string& query,
-                                       std::string_view key) {
-  std::size_t pos = 0;
-  while (pos <= query.size()) {
-    std::size_t amp = query.find('&', pos);
-    if (amp == std::string::npos) amp = query.size();
-    const std::string_view pair =
-        std::string_view(query).substr(pos, amp - pos);
-    const std::size_t eq = pair.find('=');
-    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
-      return std::string(pair.substr(eq + 1));
-    }
-    pos = amp + 1;
-  }
-  return std::nullopt;
-}
-
-/// Strict base-10 u64; nullopt on anything else (→ a 400, not a silent 0).
-std::optional<std::uint64_t> parse_u64(const std::string& text) {
-  if (text.empty() || text.size() > 19) return std::nullopt;
-  std::uint64_t value = 0;
-  for (const char c : text) {
-    if (c < '0' || c > '9') return std::nullopt;
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return value;
-}
-
 /// The /events endpoint: filterable catch-up read with optional
-/// long-poll. Bad parameters answer 400 with a JSON error.
+/// long-poll. Bad parameters answer 400 with the shared obs/query.h
+/// JSON error bodies (byte-identical with /lineage — pinned by test).
 void render_events(const std::string& query, std::string& body,
                    int& http_status, const std::atomic<bool>* cancel) {
   std::uint64_t since = 0;
@@ -92,44 +65,14 @@ void render_events(const std::string& query, std::string& body,
   std::uint64_t wait_ms = 0;
   std::uint64_t max_events = 1000;
 
-  if (const auto raw = query_param(query, "since")) {
-    const auto parsed = parse_u64(*raw);
-    if (!parsed) {
-      body = "{\"error\":\"since must be a non-negative integer\"}\n";
-      http_status = 400;
-      return;
-    }
-    since = *parsed;
-  }
-  if (const auto raw = query_param(query, "type")) type = *raw;
-  if (const auto raw = query_param(query, "severity")) {
-    const auto parsed = parse_severity(*raw);
-    if (!parsed) {
-      body = "{\"error\":\"severity must be one of "
-             "debug|info|notice|warn|alert\"}\n";
-      http_status = 400;
-      return;
-    }
-    min_severity = *parsed;
-  }
-  if (const auto raw = query_param(query, "wait_ms")) {
-    const auto parsed = parse_u64(*raw);
-    if (!parsed) {
-      body = "{\"error\":\"wait_ms must be a non-negative integer\"}\n";
-      http_status = 400;
-      return;
-    }
-    wait_ms = std::min<std::uint64_t>(*parsed, 30000);  // patience cap
-  }
-  if (const auto raw = query_param(query, "max")) {
-    const auto parsed = parse_u64(*raw);
-    if (!parsed || *parsed == 0) {
-      body = "{\"error\":\"max must be a positive integer\"}\n";
-      http_status = 400;
-      return;
-    }
-    max_events = *parsed;
-  }
+  const QueryParams params(query);
+  http_status = 400;
+  if (!params.get_u64("since", since, body)) return;
+  if (const auto raw = params.raw("type")) type = *raw;
+  if (!params.get_severity("severity", min_severity, body)) return;
+  if (!params.get_u64("wait_ms", wait_ms, body)) return;
+  wait_ms = std::min<std::uint64_t>(wait_ms, 30000);  // patience cap
+  if (!params.get_positive_u64("max", max_events, body)) return;
 
   EventBus& bus = event_bus();
   if (wait_ms > 0 && bus.last_seq() <= since) {
@@ -144,6 +87,107 @@ void render_events(const std::string& query, std::string& body,
   for (std::size_t i = 0; i < events.size(); ++i) {
     if (i) os << ',';
     os << event_json(events[i]);
+  }
+  os << "]}\n";
+  body = os.str();
+  http_status = 200;
+}
+
+constexpr std::string_view kVerdictNames[] = {"new_mode", "recurrence",
+                                              "repeat"};
+
+/// The /lineage endpoint: the decision-record analogue of /events —
+/// cursor + filters over the in-memory ring, same 400 taxonomy.
+void render_lineage(const std::string& query, std::string& body,
+                    int& http_status) {
+  std::uint64_t since = 0;
+  std::uint64_t max_records = 1000;
+  std::optional<std::uint64_t> mode;
+  std::optional<Verdict> verdict;
+
+  const QueryParams params(query);
+  http_status = 400;
+  if (!params.get_u64("since", since, body)) return;
+  if (params.raw("mode")) {
+    std::uint64_t value = 0;
+    if (!params.get_u64("mode", value, body)) return;
+    mode = value;
+  }
+  std::string verdict_text;
+  if (!params.get_one_of("verdict", kVerdictNames, verdict_text, body)) {
+    return;
+  }
+  if (!verdict_text.empty()) verdict = parse_verdict(verdict_text);
+  if (!params.get_positive_u64("max", max_records, body)) return;
+
+  LineageStore& store = lineage();
+  const std::vector<DecisionRecord> records =
+      store.since(since, mode, verdict, max_records);
+
+  std::ostringstream os;
+  os << "{\"last_id\":" << store.last_id()
+     << ",\"oldest_id\":" << store.oldest_id()
+     << ",\"evicted_total\":" << store.evicted_total() << ",\"records\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i) os << ',';
+    os << record_json(records[i]);
+  }
+  os << "]}\n";
+  body = os.str();
+  http_status = 200;
+}
+
+/// The /explain/<mode> endpoint: "why does the book keep calling
+/// observations recurrences of this mode" — per-mode aggregates plus
+/// the mode's recent records.
+void render_explain(const std::string& mode_text, std::string& body,
+                    int& http_status) {
+  const auto mode = parse_u64(mode_text);
+  if (!mode) {
+    body = query_error_body("mode", "a non-negative integer");
+    http_status = 400;
+    return;
+  }
+  LineageStore& store = lineage();
+  const auto agg = store.mode_lineage(*mode);
+  if (!agg) {
+    body = "{\"error\":\"mode " + std::to_string(*mode) +
+           " has no lineage\"}\n";
+    http_status = 404;
+    return;
+  }
+
+  std::ostringstream os;
+  os << "{\"mode\":" << *mode << ",\"visits\":" << agg->visits
+     << ",\"recurrences\":" << agg->recurrences
+     << ",\"runner_up\":" << agg->runner_up
+     << ",\"last_phi\":" << render_double(agg->last_phi)
+     << ",\"first_seen\":" << agg->first_seen
+     << ",\"last_seen\":" << agg->last_seen << ",\"gap_histogram\":[";
+  for (std::size_t i = 0; i < agg->gap_buckets.size(); ++i) {
+    if (i) os << ',';
+    os << "{\"le\":";
+    if (i < kLineageGapBounds.size()) {
+      os << kLineageGapBounds[i];
+    } else {
+      os << "\"+inf\"";
+    }
+    os << ",\"count\":" << agg->gap_buckets[i] << '}';
+  }
+  os << "],\"closest_confused\":";
+  if (agg->closest_confused == kLineageNoMember) {
+    os << "null";
+  } else {
+    os << "{\"mode\":" << agg->closest_confused
+       << ",\"count\":" << agg->closest_confused_count << '}';
+  }
+  os << ",\"records\":[";
+  const std::vector<DecisionRecord> records =
+      store.since(0, *mode, std::nullopt, 0);
+  const std::size_t keep = std::min<std::size_t>(records.size(), 16);
+  for (std::size_t i = records.size() - keep; i < records.size(); ++i) {
+    if (i != records.size() - keep) os << ',';
+    os << record_json(records[i]);
   }
   os << "]}\n";
   body = os.str();
@@ -238,6 +282,16 @@ bool render_endpoint(const std::string& path, const std::string& query,
   }
   if (path == "/events") {
     render_events(query, body, http_status, cancel);
+    content_type = "application/json";
+    return true;
+  }
+  if (path == "/lineage") {
+    render_lineage(query, body, http_status);
+    content_type = "application/json";
+    return true;
+  }
+  if (path.rfind("/explain/", 0) == 0) {
+    render_explain(path.substr(std::strlen("/explain/")), body, http_status);
     content_type = "application/json";
     return true;
   }
@@ -403,7 +457,8 @@ void HttpServer::handle_connection(int client_fd) {
     send_all(client_fd,
              make_response(404, "text/plain",
                            "not found; try /metrics /metrics/history "
-                           "/healthz /status /profile /events\n"),
+                           "/healthz /status /profile /events /lineage "
+                           "/explain/<mode>\n"),
              stop_);
     return;
   }

@@ -1,0 +1,108 @@
+#include "obs/query.h"
+
+namespace fenrir::obs {
+
+std::optional<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty() || text.size() > 19) return std::nullopt;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::string query_error_body(std::string_view param,
+                             std::string_view requirement) {
+  std::string out = "{\"error\":\"";
+  out += param;
+  out += " must be ";
+  out += requirement;
+  out += "\"}\n";
+  return out;
+}
+
+QueryParams::QueryParams(std::string_view query) {
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos) {
+      params_.emplace_back(std::string(pair.substr(0, eq)),
+                           std::string(pair.substr(eq + 1)));
+    }
+    pos = amp + 1;
+  }
+}
+
+std::optional<std::string> QueryParams::raw(std::string_view key) const {
+  for (const auto& [k, v] : params_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+bool QueryParams::get_u64(std::string_view key, std::uint64_t& out,
+                          std::string& error_body) const {
+  const auto value = raw(key);
+  if (!value) return true;
+  const auto parsed = parse_u64(*value);
+  if (!parsed) {
+    error_body = query_error_body(key, "a non-negative integer");
+    return false;
+  }
+  out = *parsed;
+  return true;
+}
+
+bool QueryParams::get_positive_u64(std::string_view key, std::uint64_t& out,
+                                   std::string& error_body) const {
+  const auto value = raw(key);
+  if (!value) return true;
+  const auto parsed = parse_u64(*value);
+  if (!parsed || *parsed == 0) {
+    error_body = query_error_body(key, "a positive integer");
+    return false;
+  }
+  out = *parsed;
+  return true;
+}
+
+bool QueryParams::get_severity(std::string_view key, Severity& out,
+                               std::string& error_body) const {
+  const auto value = raw(key);
+  if (!value) return true;
+  const auto parsed = parse_severity(*value);
+  if (!parsed) {
+    error_body =
+        query_error_body(key, "one of debug|info|notice|warn|alert");
+    return false;
+  }
+  out = *parsed;
+  return true;
+}
+
+bool QueryParams::get_one_of(std::string_view key,
+                             std::span<const std::string_view> allowed,
+                             std::string& out,
+                             std::string& error_body) const {
+  const auto value = raw(key);
+  if (!value) return true;
+  for (const std::string_view candidate : allowed) {
+    if (*value == candidate) {
+      out = *value;
+      return true;
+    }
+  }
+  std::string requirement = "one of ";
+  for (std::size_t i = 0; i < allowed.size(); ++i) {
+    if (i) requirement += '|';
+    requirement += allowed[i];
+  }
+  error_body = query_error_body(key, requirement);
+  return false;
+}
+
+}  // namespace fenrir::obs

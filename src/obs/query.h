@@ -1,0 +1,67 @@
+// fenrir::obs — strict query-string parsing for the status server.
+//
+// Every filterable endpoint (/events, /lineage, /explain/<mode>) takes
+// the same kinds of parameters — sequence cursors, counts, enum names —
+// and must answer malformed input with the same 400 taxonomy: a JSON
+// body naming the parameter and what it must be. Before this header the
+// parsing and the error bodies lived per-endpoint and drifted apart;
+// QueryParams is the single parser both endpoints (and any future one)
+// share, so the 400 bodies stay pinned byte-identical across the plane
+// (obs_http_test pins them).
+//
+// No percent-decoding: the diagnostic plane's parameters are sequence
+// numbers, type names, and severities — never free text.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/events.h"
+
+namespace fenrir::obs {
+
+/// Strict base-10 u64; nullopt on empty, non-digit, or >19 chars (→ a
+/// 400 at the endpoint, never a silent 0).
+std::optional<std::uint64_t> parse_u64(std::string_view text);
+
+/// The shared 400 body: {"error":"<param> must be <requirement>"}\n —
+/// exposed so tests can pin endpoint bodies against the one formatter.
+std::string query_error_body(std::string_view param,
+                             std::string_view requirement);
+
+class QueryParams {
+ public:
+  /// Splits a "k=v&k2=v2" query string. Keys without '=' are ignored;
+  /// the first occurrence of a repeated key wins (the behavior of the
+  /// per-endpoint parsers this class replaced).
+  explicit QueryParams(std::string_view query);
+
+  /// Raw value of @p key, or nullopt when absent.
+  std::optional<std::string> raw(std::string_view key) const;
+
+  /// Each getter returns false and fills @p error_body with the pinned
+  /// 400 JSON when the parameter is present but malformed; an absent
+  /// parameter leaves @p out untouched and returns true.
+  bool get_u64(std::string_view key, std::uint64_t& out,
+               std::string& error_body) const;
+  /// Like get_u64 but 0 is also malformed ("must be a positive integer").
+  bool get_positive_u64(std::string_view key, std::uint64_t& out,
+                        std::string& error_body) const;
+  bool get_severity(std::string_view key, Severity& out,
+                    std::string& error_body) const;
+  /// Value must be one of @p allowed (rendered into the 400 body as
+  /// "one of a|b|c").
+  bool get_one_of(std::string_view key,
+                  std::span<const std::string_view> allowed, std::string& out,
+                  std::string& error_body) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> params_;
+};
+
+}  // namespace fenrir::obs

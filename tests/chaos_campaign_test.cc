@@ -13,9 +13,12 @@
 #include <vector>
 
 #include "chaos/fault_plan.h"
+#include "core/modebook.h"
 #include "core/pipeline.h"
 #include "obs/events.h"
+#include "obs/flight_recorder.h"
 #include "obs/journal.h"
+#include "obs/lineage.h"
 #include "rng/rng.h"
 
 namespace fenrir::measure {
@@ -674,6 +677,168 @@ TEST(Campaign, EventLogOfKilledCampaignIsPrefixOfUninterruptedLog) {
   }
   std::remove(full_path.c_str());
   std::remove(killed_path.c_str());
+}
+
+namespace {
+
+/// A prober whose sweep-level routing flips between two states, so a
+/// classified series has real mode structure: new modes, repeats, and
+/// recurrences (the drain state returning).
+FnProber mode_churn_prober(std::size_t n) {
+  return FnProber(keys(n), [](std::size_t i, core::TimePoint t) {
+    // Under fast_config 40 targets at 10 pps give a 5-second sweep
+    // period; the bucket tracks the sweep, draining every third one.
+    const std::uint64_t sweep_bucket = static_cast<std::uint64_t>(t) / 5;
+    const bool drained = (sweep_bucket % 3) == 1;
+    if (rng::mix(55, i, sweep_bucket) % 16 == 0) {
+      return ProbeReply{core::kUnknownSite, ProbeStatus::kNoReply};
+    }
+    return ProbeReply{drained ? kSiteB : kSiteA, ProbeStatus::kAnswered};
+  });
+}
+
+/// Classifies @p series through a fresh ModeBook, recording into the
+/// global lineage store. @p record_from disables recording for the
+/// leading rows — the resume path replays the already-logged prefix to
+/// re-derive book state without re-recording it.
+void classify_into_lineage(const std::vector<core::RoutingVector>& series,
+                           std::size_t record_from = 0) {
+  core::ModeBook book;
+  obs::lineage().set_capacity(0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (i == record_from) obs::lineage().set_capacity(512);
+    book.observe(series[i]);
+  }
+}
+
+}  // namespace
+
+TEST(Campaign, LineageLogOfKilledRunIsPrefixAndResumeCompletesIt) {
+  // The tentpole's chaos contract: a run killed mid-campaign leaves a
+  // lineage log whose ts-stripped lines are a strict prefix of the
+  // uninterrupted run's, and a resumed run appending to that file
+  // completes the decision sequence bit-identically (ids stay
+  // gap-free across the splice).
+  const FnProber p = mode_churn_prober(40);
+  chaos::FaultPlan killing_plan;
+  killing_plan.add_kill(3, 0.5);
+
+  Campaign baseline({&p}, fast_config());
+  const CampaignResult expected = baseline.run(6);
+  ASSERT_FALSE(expected.interrupted);
+  Campaign doomed({&p}, fast_config());
+  doomed.set_fault_plan(&killing_plan);
+  const CampaignResult partial = doomed.run(6);
+  ASSERT_TRUE(partial.interrupted);
+  const std::size_t k = partial.series.size();
+  ASSERT_LT(k, expected.series.size());
+  ASSERT_GT(k, 0u);
+
+  const std::string full_path =
+      ::testing::TempDir() + "fenrir_lineage_full.jsonl";
+  const std::string killed_path =
+      ::testing::TempDir() + "fenrir_lineage_killed.jsonl";
+  std::remove(full_path.c_str());
+  std::remove(killed_path.c_str());
+
+  obs::lineage().reset();
+  ASSERT_TRUE(obs::lineage().open_log(full_path, /*truncate=*/true));
+  classify_into_lineage(expected.series);
+  obs::lineage().close_log();
+
+  obs::lineage().reset();
+  ASSERT_TRUE(obs::lineage().open_log(killed_path, /*truncate=*/true));
+  classify_into_lineage(partial.series);
+  obs::lineage().close_log();
+
+  const std::vector<std::string> full = obs::read_journal(full_path);
+  const std::vector<std::string> killed = obs::read_journal(killed_path);
+  ASSERT_EQ(full.size(), expected.series.size());  // every sweep decided
+  ASSERT_EQ(killed.size(), k);
+  for (std::size_t i = 0; i < killed.size(); ++i) {
+    EXPECT_EQ(without_ts(killed[i]), without_ts(full[i]))
+        << "lineage line " << i;
+  }
+  // The full run saw the churn pattern recur: at least one line says so.
+  bool any_recurrence = false;
+  for (const std::string& line : full) {
+    any_recurrence |=
+        line.find("\"verdict\":\"recurrence\"") != std::string::npos;
+  }
+  EXPECT_TRUE(any_recurrence);
+
+  // Resume in a "fresh process": re-derive the book deterministically by
+  // replaying the already-logged prefix with recording off, then append
+  // the remaining decisions to the killed log. open_log(truncate=false)
+  // continues the id sequence from the file.
+  obs::lineage().reset();
+  ASSERT_TRUE(obs::lineage().open_log(killed_path, /*truncate=*/false));
+  classify_into_lineage(expected.series, /*record_from=*/k);
+  obs::lineage().close_log();
+
+  const std::vector<std::string> completed = obs::read_journal(killed_path);
+  ASSERT_EQ(completed.size(), full.size());
+  for (std::size_t i = 0; i < completed.size(); ++i) {
+    EXPECT_EQ(without_ts(completed[i]), without_ts(full[i]))
+        << "lineage line " << i;
+    // Gap-free ids across the kill/resume splice.
+    const auto rec = obs::parse_record_json(completed[i]);
+    ASSERT_TRUE(rec.has_value()) << "lineage line " << i;
+    EXPECT_EQ(rec->id, i + 1) << "lineage line " << i;
+  }
+  obs::lineage().reset();
+  obs::lineage().set_capacity(512);
+  std::remove(full_path.c_str());
+  std::remove(killed_path.c_str());
+}
+
+TEST(Campaign, BlackboxDumpReconstructsPreKillDecisions) {
+  // The flight recorder's post-mortem contract: after a mid-campaign
+  // kill, `blackbox dump` on the on-disk ring — never sealed, exactly
+  // what a SIGKILL leaves — reconstructs the final pre-kill decision
+  // records verbatim.
+  const FnProber p = mode_churn_prober(40);
+  chaos::FaultPlan killing_plan;
+  killing_plan.add_kill(3, 0.5);
+  Campaign doomed({&p}, fast_config());
+  doomed.set_fault_plan(&killing_plan);
+  const CampaignResult partial = doomed.run(6);
+  ASSERT_TRUE(partial.interrupted);
+  ASSERT_GT(partial.series.size(), 1u);
+
+  const std::string ring_path = ::testing::TempDir() + "fenrir_kill.ring";
+  std::remove(ring_path.c_str());
+  obs::FlightRecorder recorder;
+  obs::FlightRecorder::Config cfg;
+  cfg.slots = 8;  // smaller than some histories: the LAST decisions win
+  ASSERT_TRUE(recorder.open(ring_path, cfg));
+  obs::lineage().reset();
+  obs::lineage().set_capacity(512);
+  obs::lineage().add_sink(&recorder);
+  classify_into_lineage(partial.series);
+  obs::lineage().remove_sink(&recorder);
+
+  // Dump the file as `fenrirctl blackbox dump` would after the process
+  // died: the mapping is live, the header never sealed.
+  const auto report = obs::FlightRecorder::dump(ring_path);
+  EXPECT_FALSE(report.sealed);
+  EXPECT_EQ(report.torn_slots, 0u);
+  EXPECT_EQ(report.written_total, partial.series.size());
+  const std::size_t kept = std::min<std::size_t>(8, partial.series.size());
+  ASSERT_EQ(report.entries.size(), kept);
+  const auto records = obs::lineage().since(0);
+  ASSERT_EQ(records.size(), partial.series.size());
+  for (std::size_t i = 0; i < kept; ++i) {
+    const obs::DecisionRecord& want =
+        records[records.size() - kept + i];
+    EXPECT_EQ(report.entries[i].kind, obs::FlightRecorder::Kind::kDecision);
+    EXPECT_EQ(report.entries[i].payload, obs::record_json(want))
+        << "ring entry " << i;
+  }
+  recorder.close("clean shutdown");
+  obs::lineage().reset();
+  obs::lineage().set_capacity(512);
+  std::remove(ring_path.c_str());
 }
 
 TEST(Campaign, CheckpointRoundTripsBetweenSweeps) {

@@ -1,0 +1,281 @@
+// Tests for the crash-safe flight recorder (obs/flight_recorder.h):
+// slot round trips through dump(), ring wraparound with a truthful
+// written_total, payload truncation, first-seal-wins semantics, the
+// async-signal-safe seal path, unsealed files reading back fine (the
+// SIGKILL shape), interior corruption throwing FlightRecorderError,
+// and torn slots being skipped and counted rather than fabricated.
+#include "obs/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "obs/events.h"
+#include "obs/lineage.h"
+
+namespace fenrir::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "fenrir_bbx_" + name;
+}
+
+struct FileCleaner {
+  explicit FileCleaner(std::string p) : path(std::move(p)) {
+    std::remove(path.c_str());
+  }
+  ~FileCleaner() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+DecisionRecord decision(std::uint64_t mode) {
+  DecisionRecord r;
+  r.id = mode + 1;
+  r.verdict = Verdict::kNewMode;
+  r.mode = mode;
+  return r;
+}
+
+void write_decision(FlightRecorder& recorder, std::uint64_t mode) {
+  const DecisionRecord r = decision(mode);
+  recorder.consume(r, record_json(r));
+}
+
+// Overwrites @p count bytes at @p offset in a closed ring file.
+void clobber(const std::string& path, std::size_t offset,
+             const std::string& bytes) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(FlightRecorder, RoundTripsAllThreeKindsThroughDump) {
+  FileCleaner f(temp_path("roundtrip.ring"));
+  FlightRecorder recorder;
+  ASSERT_TRUE(recorder.open(f.path));
+  EXPECT_TRUE(recorder.is_open());
+  write_decision(recorder, 0);
+  Event e;
+  e.seq = 1;
+  e.severity = Severity::kNotice;
+  e.type = "mode_created";
+  recorder.consume(e);
+  recorder.note_metrics("{\"decisions_total\":1}");
+  recorder.close("clean shutdown");
+  EXPECT_FALSE(recorder.is_open());
+
+  const auto report = FlightRecorder::dump(f.path);
+  EXPECT_TRUE(report.sealed);
+  EXPECT_EQ(report.seal_reason, "clean shutdown");
+  EXPECT_EQ(report.written_total, 3u);
+  EXPECT_EQ(report.torn_slots, 0u);
+  ASSERT_EQ(report.entries.size(), 3u);
+  EXPECT_EQ(report.entries[0].seq, 1u);
+  EXPECT_EQ(report.entries[0].kind, FlightRecorder::Kind::kDecision);
+  EXPECT_EQ(report.entries[0].payload, record_json(decision(0)));
+  EXPECT_EQ(report.entries[1].kind, FlightRecorder::Kind::kEvent);
+  EXPECT_NE(report.entries[1].payload.find("mode_created"),
+            std::string::npos);
+  EXPECT_EQ(report.entries[2].kind, FlightRecorder::Kind::kMetrics);
+  EXPECT_EQ(report.entries[2].payload, "{\"decisions_total\":1}");
+}
+
+TEST(FlightRecorder, RingKeepsLastNAndCountsEverything) {
+  FileCleaner f(temp_path("wrap.ring"));
+  FlightRecorder recorder;
+  FlightRecorder::Config cfg;
+  cfg.slots = 4;
+  ASSERT_TRUE(recorder.open(f.path, cfg));
+  for (std::uint64_t i = 0; i < 10; ++i) write_decision(recorder, i);
+  recorder.close("clean shutdown");
+
+  const auto report = FlightRecorder::dump(f.path);
+  EXPECT_EQ(report.written_total, 10u);
+  ASSERT_EQ(report.entries.size(), 4u);
+  // Oldest first: seqs 7..10 survive, 1..6 were overwritten in place.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(report.entries[i].seq, 7 + i);
+    EXPECT_EQ(report.entries[i].payload, record_json(decision(6 + i)));
+  }
+}
+
+TEST(FlightRecorder, OversizedPayloadsAreTruncatedToFit) {
+  FileCleaner f(temp_path("trunc.ring"));
+  FlightRecorder recorder;
+  FlightRecorder::Config cfg;
+  cfg.slots = 2;
+  cfg.slot_bytes = 64;  // 40 payload bytes
+  ASSERT_TRUE(recorder.open(f.path, cfg));
+  recorder.note_metrics(std::string(500, 'x'));
+  recorder.close("clean shutdown");
+  const auto report = FlightRecorder::dump(f.path);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].payload, std::string(40, 'x'));
+  EXPECT_EQ(report.torn_slots, 0u);  // truncated, not torn
+}
+
+TEST(FlightRecorder, FirstSealWinsAndSurvivesClose) {
+  FileCleaner f(temp_path("seal.ring"));
+  {
+    FlightRecorder recorder;
+    ASSERT_TRUE(recorder.open(f.path));
+    write_decision(recorder, 0);
+    recorder.seal("operator requested");
+    EXPECT_TRUE(recorder.sealed());
+    recorder.seal("second reason");     // must not overwrite
+    recorder.close("clean shutdown");   // nor must close
+  }  // nor the destructor
+  const auto report = FlightRecorder::dump(f.path);
+  EXPECT_TRUE(report.sealed);
+  EXPECT_EQ(report.seal_reason, "operator requested");
+  ASSERT_EQ(report.entries.size(), 1u);  // sealing loses no slots
+}
+
+TEST(FlightRecorder, SealFromSignalStampsTheSignalNumber) {
+  FileCleaner f(temp_path("signal.ring"));
+  FlightRecorder recorder;
+  ASSERT_TRUE(recorder.open(f.path));
+  write_decision(recorder, 3);
+  // The handler's async-signal-safe core, called directly (a real
+  // SIGSEGV would kill the test runner).
+  recorder.seal_from_signal(SIGSEGV);
+  EXPECT_TRUE(recorder.sealed());
+  recorder.close("clean shutdown");  // first seal wins
+
+  const auto report = FlightRecorder::dump(f.path);
+  EXPECT_TRUE(report.sealed);
+  EXPECT_EQ(report.seal_reason, "signal " + std::to_string(SIGSEGV));
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].payload, record_json(decision(3)));
+}
+
+// What a SIGKILL leaves behind: every completed store is in the file,
+// the header is simply never sealed. dump() must read it fine and say
+// so — reconstruction of the final pre-kill decisions is the whole
+// point of the black box.
+TEST(FlightRecorder, UnsealedFileReadsBackFine) {
+  FileCleaner f(temp_path("unsealed.ring"));
+  FlightRecorder recorder;
+  ASSERT_TRUE(recorder.open(f.path));
+  write_decision(recorder, 0);
+  write_decision(recorder, 1);
+  // Dump the live mapping from a second process's point of view: the
+  // file on disk, mid-run, no seal yet.
+  const auto report = FlightRecorder::dump(f.path);
+  EXPECT_FALSE(report.sealed);
+  EXPECT_EQ(report.seal_reason, "");
+  EXPECT_EQ(report.written_total, 2u);
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.entries[1].payload, record_json(decision(1)));
+  recorder.close("clean shutdown");
+}
+
+TEST(FlightRecorder, EventBusSinkCapturesKeptEvents) {
+  FileCleaner f(temp_path("events.ring"));
+  FlightRecorder recorder;
+  ASSERT_TRUE(recorder.open(f.path));
+  EventBus bus;
+  bus.add_sink(&recorder);
+  bus.emit(Severity::kNotice, "recurrence", "\"mode\":2,\"phi\":0.97");
+  bus.remove_sink(&recorder);
+  bus.emit(Severity::kInfo, "after_detach");  // must not land
+  recorder.close("clean shutdown");
+
+  const auto report = FlightRecorder::dump(f.path);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].kind, FlightRecorder::Kind::kEvent);
+  EXPECT_NE(report.entries[0].payload.find("\"type\":\"recurrence\""),
+            std::string::npos);
+  EXPECT_NE(report.entries[0].payload.find("\"phi\":0.97"),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, LineageSinkCapturesDecisions) {
+  FileCleaner f(temp_path("lineage.ring"));
+  FlightRecorder recorder;
+  ASSERT_TRUE(recorder.open(f.path));
+  LineageStore store(LineageStore::Config{8});
+  store.add_sink(&recorder);
+  DecisionRecord r;
+  r.verdict = Verdict::kRecurrence;
+  r.mode = 5;
+  r.phi = 0.91;
+  store.record(r);
+  store.remove_sink(&recorder);
+  store.record(r);  // must not land
+  recorder.close("clean shutdown");
+
+  const auto report = FlightRecorder::dump(f.path);
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].kind, FlightRecorder::Kind::kDecision);
+  EXPECT_NE(report.entries[0].payload.find("\"verdict\":\"recurrence\""),
+            std::string::npos);
+  EXPECT_NE(report.entries[0].payload.find("\"mode\":5"), std::string::npos);
+}
+
+TEST(FlightRecorder, CorruptHeaderThrows) {
+  FileCleaner f(temp_path("corrupt.ring"));
+  {
+    FlightRecorder recorder;
+    ASSERT_TRUE(recorder.open(f.path));
+    write_decision(recorder, 0);
+    recorder.close("clean shutdown");
+  }
+  // Bad magic.
+  clobber(f.path, 0, "NOTABOX1");
+  EXPECT_THROW(FlightRecorder::dump(f.path), FlightRecorderError);
+  // Restore the magic but torch the geometry: the header crc catches
+  // it (slot_bytes lives at offset 12, inside crc coverage).
+  clobber(f.path, 0, "FENRBBX1");
+  clobber(f.path, 12, std::string("\xff\xff\xff\x00", 4));
+  EXPECT_THROW(FlightRecorder::dump(f.path), FlightRecorderError);
+  // A file too small to hold the header is corruption, not a ring.
+  FileCleaner tiny(temp_path("tiny.ring"));
+  std::ofstream(tiny.path, std::ios::binary) << "FENRBBX1 short";
+  EXPECT_THROW(FlightRecorder::dump(tiny.path), FlightRecorderError);
+  EXPECT_THROW(FlightRecorder::dump(temp_path("no_such.ring")),
+               FlightRecorderError);
+}
+
+TEST(FlightRecorder, TornSlotIsSkippedAndCountedNotFabricated) {
+  FileCleaner f(temp_path("torn.ring"));
+  FlightRecorder::Config cfg;
+  cfg.slots = 4;
+  cfg.slot_bytes = 256;
+  {
+    FlightRecorder recorder;
+    ASSERT_TRUE(recorder.open(f.path, cfg));
+    for (std::uint64_t i = 0; i < 3; ++i) write_decision(recorder, i);
+    recorder.close("clean shutdown");
+  }
+  // Flip a payload byte in the second slot: its crc now fails — the
+  // on-disk shape of a kill mid-append.
+  const std::size_t slot1_payload = 4096 + 1 * cfg.slot_bytes + 24;
+  clobber(f.path, slot1_payload, "X");
+  const auto report = FlightRecorder::dump(f.path);
+  EXPECT_TRUE(report.sealed);
+  EXPECT_EQ(report.torn_slots, 1u);
+  ASSERT_EQ(report.entries.size(), 2u);
+  EXPECT_EQ(report.entries[0].seq, 1u);
+  EXPECT_EQ(report.entries[1].seq, 3u);  // slot 2's record is gone, not faked
+  EXPECT_EQ(report.written_total, 3u);   // but the count stays truthful
+}
+
+TEST(FlightRecorder, OpenFailureLeavesRecorderInert) {
+  FlightRecorder recorder;
+  EXPECT_FALSE(recorder.open(temp_path("no_such_dir/x.ring")));
+  EXPECT_FALSE(recorder.is_open());
+  // Writes and seals on an inert recorder are harmless no-ops.
+  write_decision(recorder, 0);
+  recorder.seal("nothing to seal");
+  EXPECT_FALSE(recorder.sealed());
+  recorder.close();
+}
+
+}  // namespace
+}  // namespace fenrir::obs

@@ -18,8 +18,10 @@
 #include <thread>
 #include <vector>
 
+#include "obs/lineage.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/query.h"
 #include "obs/status_board.h"
 
 namespace fenrir::obs {
@@ -235,6 +237,174 @@ TEST(HttpServer, ShutsDownCleanlyWithASilentClientAttached) {
   server.stop();  // must return; the ctest timeout is the failure mode
   EXPECT_FALSE(server.running());
   ::close(fd);
+}
+
+// --- the lineage query surface (/lineage, /explain/<mode>) ---
+
+DecisionRecord http_record(Verdict verdict, std::uint64_t mode, double phi) {
+  DecisionRecord r;
+  r.obs_time = 1000 + static_cast<std::int64_t>(mode);
+  r.verdict = verdict;
+  r.mode = mode;
+  r.phi = phi;
+  r.networks = 10;
+  r.top[0] = {mode, phi};
+  r.top_count = 1;
+  return r;
+}
+
+TEST(HttpLineage, LineageEndpointFiltersAndFrames) {
+  lineage().reset();
+  lineage().record(http_record(Verdict::kNewMode, 0, 0.0));
+  lineage().record(http_record(Verdict::kRepeat, 0, 0.98));
+  lineage().record(http_record(Verdict::kNewMode, 1, 0.3));
+  lineage().record(http_record(Verdict::kRecurrence, 0, 0.95));
+
+  std::string body, type;
+  int status = 0;
+  ASSERT_TRUE(render_endpoint("/lineage", "", body, type, status));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(type, "application/json");
+  EXPECT_NE(body.find("\"last_id\":4"), std::string::npos);
+  EXPECT_NE(body.find("\"oldest_id\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"evicted_total\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"records\":["), std::string::npos);
+  EXPECT_NE(body.find("\"verdict\":\"recurrence\""), std::string::npos);
+
+  ASSERT_TRUE(render_endpoint("/lineage", "since=3", body, type, status));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body.find("\"id\":3"), std::string::npos);
+  EXPECT_NE(body.find("\"id\":4"), std::string::npos);
+
+  ASSERT_TRUE(render_endpoint("/lineage", "mode=1", body, type, status));
+  EXPECT_NE(body.find("\"id\":3"), std::string::npos);
+  EXPECT_EQ(body.find("\"id\":4"), std::string::npos);
+
+  ASSERT_TRUE(
+      render_endpoint("/lineage", "verdict=new_mode", body, type, status));
+  EXPECT_NE(body.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"id\":3"), std::string::npos);
+  EXPECT_EQ(body.find("\"id\":4"), std::string::npos);
+
+  ASSERT_TRUE(render_endpoint("/lineage", "max=1", body, type, status));
+  EXPECT_NE(body.find("\"id\":1"), std::string::npos);
+  EXPECT_EQ(body.find("\"id\":2"), std::string::npos);
+  lineage().reset();
+}
+
+TEST(HttpLineage, ExplainEndpointAggregatesAMode) {
+  lineage().reset();
+  lineage().record(http_record(Verdict::kNewMode, 2, 0.0));
+  DecisionRecord rec = http_record(Verdict::kRecurrence, 2, 0.93);
+  rec.gap_seconds = 7200;
+  lineage().record(rec);
+
+  std::string body, type;
+  int status = 0;
+  ASSERT_TRUE(render_endpoint("/explain/2", "", body, type, status));
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(type, "application/json");
+  EXPECT_NE(body.find("\"mode\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"visits\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"recurrences\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"last_phi\":0.93"), std::string::npos);
+  EXPECT_NE(body.find("\"gap_histogram\":["), std::string::npos);
+  EXPECT_NE(body.find("\"le\":\"+inf\""), std::string::npos);
+  EXPECT_NE(body.find("\"records\":["), std::string::npos);
+
+  // Unknown mode: a 404 naming the mode, not an empty 200.
+  ASSERT_TRUE(render_endpoint("/explain/77", "", body, type, status));
+  EXPECT_EQ(status, 404);
+  EXPECT_EQ(body, "{\"error\":\"mode 77 has no lineage\"}\n");
+  lineage().reset();
+}
+
+// The shared-parser satellite: /events and /lineage answer the same
+// malformed parameter with byte-identical 400 bodies — both endpoints
+// route through QueryParams, and these pins keep them from drifting
+// apart again.
+TEST(HttpLineage, EventsAndLineageShareExact400Bodies) {
+  struct Case {
+    const char* query;
+    std::string body;
+  };
+  const Case cases[] = {
+      {"since=banana", query_error_body("since", "a non-negative integer")},
+      {"since=-3", query_error_body("since", "a non-negative integer")},
+      {"max=0", query_error_body("max", "a positive integer")},
+      {"max=-1", query_error_body("max", "a positive integer")},
+  };
+  for (const auto& c : cases) {
+    for (const char* path : {"/events", "/lineage"}) {
+      std::string body, type;
+      int status = 0;
+      ASSERT_TRUE(render_endpoint(path, c.query, body, type, status))
+          << path << "?" << c.query;
+      EXPECT_EQ(status, 400) << path << "?" << c.query;
+      EXPECT_EQ(body, c.body) << path << "?" << c.query;
+    }
+  }
+  // Endpoint-specific enums keep the same formatter.
+  std::string body, type;
+  int status = 0;
+  ASSERT_TRUE(
+      render_endpoint("/events", "severity=fatal", body, type, status));
+  EXPECT_EQ(status, 400);
+  EXPECT_EQ(body,
+            query_error_body("severity", "one of debug|info|notice|warn|alert"));
+  ASSERT_TRUE(
+      render_endpoint("/lineage", "verdict=novel", body, type, status));
+  EXPECT_EQ(status, 400);
+  EXPECT_EQ(body,
+            query_error_body("verdict", "one of new_mode|recurrence|repeat"));
+  ASSERT_TRUE(render_endpoint("/explain/abc", "", body, type, status));
+  EXPECT_EQ(status, 400);
+  EXPECT_EQ(body, query_error_body("mode", "a non-negative integer"));
+}
+
+TEST(QueryParamsParser, FirstKeyWinsAndGettersAreStrict) {
+  const QueryParams params("a=1&b=2&a=9&junk&c=");
+  ASSERT_TRUE(params.raw("a").has_value());
+  EXPECT_EQ(*params.raw("a"), "1");
+  EXPECT_EQ(*params.raw("c"), "");
+  EXPECT_FALSE(params.raw("junk").has_value());
+  EXPECT_FALSE(params.raw("missing").has_value());
+
+  std::uint64_t out = 7;
+  std::string error;
+  EXPECT_TRUE(params.get_u64("missing", out, error));
+  EXPECT_EQ(out, 7u);  // absent leaves the default untouched
+  EXPECT_TRUE(params.get_u64("b", out, error));
+  EXPECT_EQ(out, 2u);
+  EXPECT_FALSE(params.get_u64("c", out, error));  // empty is malformed
+  EXPECT_EQ(error, query_error_body("c", "a non-negative integer"));
+  // parse_u64 is strict base-10: no sign, no hex, no overflow-length.
+  EXPECT_FALSE(parse_u64("").has_value());
+  EXPECT_FALSE(parse_u64("+1").has_value());
+  EXPECT_FALSE(parse_u64("0x10").has_value());
+  EXPECT_FALSE(parse_u64("12345678901234567890").has_value());
+  ASSERT_TRUE(parse_u64("42").has_value());
+  EXPECT_EQ(*parse_u64("42"), 42u);
+}
+
+TEST(HttpServer, ServesLineageAndExplainOverSockets) {
+  LogSilencer quiet;
+  lineage().reset();
+  lineage().record(http_record(Verdict::kNewMode, 0, 0.0));
+  HttpServer server;
+  ASSERT_TRUE(server.start(0));
+  const std::string listing = get(server.port(), "/lineage");
+  EXPECT_NE(listing.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(listing.find("\"last_id\":1"), std::string::npos);
+  const std::string explain = get(server.port(), "/explain/0");
+  EXPECT_NE(explain.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(explain.find("\"visits\":1"), std::string::npos);
+  EXPECT_NE(get(server.port(), "/explain/9").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(get(server.port(), "/lineage?since=x").find("HTTP/1.1 400"),
+            std::string::npos);
+  server.stop();
+  lineage().reset();
 }
 
 }  // namespace

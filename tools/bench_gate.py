@@ -23,6 +23,12 @@ merge fold): they are the paper-relevant fast path and run long enough
 to be stable at --benchmark_min_time=0.01s. The other benches are
 reported in the table but never fail the gate.
 
+One extra budget rides on the current snapshot alone: the
+BM_ModeBookLineageOverhead _overhead_ratio gauge (recording-on over
+recording-off classification time, interleaved inside one benchmark)
+must stay at or below 1.05. No calibration applies — it is a same-run
+quotient.
+
 Exit codes: 0 pass, 1 regression, 2 usage/unreadable input.
 """
 
@@ -37,6 +43,18 @@ GATED_PREFIXES = ("bench_core_BM_Gower", "bench_core_BM_SimilarityMatrix",
                   "bench_core_BM_ModeBook", "bench_core_BM_Snapshot",
                   "bench_core_BM_FederatedSweep")
 SUFFIX = "_real_ns"
+
+# The decision-lineage overhead budget: recording every verdict into the
+# LineageStore may cost at most 5% over the recording-free classifier.
+# BM_ModeBookLineageOverhead times both configurations interleaved inside
+# one benchmark (alternating order each iteration) and exports their
+# quotient as an _overhead_ratio gauge — two standalone benches run
+# seconds apart drift ±10% on a busy machine, which would drown a 5%
+# budget in noise. The gate reads the ratio from the CURRENT snapshot
+# only; no machine-speed calibration applies to a same-run quotient.
+LINEAGE_PREFIX = "bench_core_BM_ModeBookLineageOverhead"
+LINEAGE_SUFFIX = "_overhead_ratio"
+LINEAGE_THRESHOLD = 1.05
 
 # Snapshot provenance written by bench/micro_core: which SIMD tier the
 # host supported / dispatched to (0 scalar, 1 avx2, 2 avx512). Snapshots
@@ -70,7 +88,7 @@ def load_real_ns(path):
         print(f"bench_gate: no {SUFFIX} gauges in {path}", file=sys.stderr)
         sys.exit(2)
     tiers = {g: gauges.get(g) for g in TIER_GAUGES}
-    return out, tiers
+    return out, tiers, gauges
 
 
 def median(values):
@@ -98,8 +116,8 @@ def main():
                              "(for CI job summaries)")
     args = parser.parse_args()
 
-    base, base_tiers = load_real_ns(args.baseline)
-    cur, cur_tiers = load_real_ns(args.current)
+    base, base_tiers, _ = load_real_ns(args.baseline)
+    cur, cur_tiers, cur_gauges = load_real_ns(args.current)
     shared = sorted(set(base) & set(cur))
     if not shared:
         print("bench_gate: baseline and current share no benches",
@@ -148,6 +166,34 @@ def main():
               file=sys.stderr)
         sys.exit(2)
 
+    # The lineage-overhead check reads the interleaved-measurement ratio
+    # gauge from the current snapshot alone. A missing gauge means the
+    # overhead bench was renamed or crashed — the budget would silently
+    # stop being enforced, so that is loud, not a pass.
+    lineage_rows = []
+    lineage_failures = []
+    for name in sorted(cur_gauges):
+        if not (name.startswith(LINEAGE_PREFIX)
+                and name.endswith(LINEAGE_SUFFIX)):
+            continue
+        ratio = cur_gauges[name]
+        if not isinstance(ratio, (int, float)) or ratio <= 0:
+            print(f"bench_gate: {name} in {args.current} is not a "
+                  f"positive number ({ratio!r})", file=sys.stderr)
+            sys.exit(2)
+        verdict = "ok"
+        if ratio > LINEAGE_THRESHOLD:
+            verdict = "REGRESSION"
+            lineage_failures.append((name, ratio))
+        bench = name[len("bench_core_"):-len(LINEAGE_SUFFIX)]
+        lineage_rows.append((bench, ratio, verdict))
+    if not lineage_rows:
+        print(f"bench_gate: no {LINEAGE_PREFIX}*{LINEAGE_SUFFIX} gauge in "
+              f"{args.current}; the lineage-overhead budget cannot be "
+              "judged (renamed bench? update LINEAGE_PREFIX; crashed "
+              "bench? rerun build/bench/micro_core)", file=sys.stderr)
+        sys.exit(2)
+
     ratios = {name: cur[name] / base[name] for name in shared}
     speed = median(ratios.values())  # machine-speed calibration factor
 
@@ -173,6 +219,11 @@ def main():
     for name, b, c, raw, norm, verdict in rows:
         print(f"  {name:<44} {b:>14.0f} -> {c:>14.0f} ns"
               f"  raw x{raw:.3f}  norm x{norm:.3f}  {verdict}")
+    print(f"lineage overhead (interleaved, current run, budget "
+          f"x{LINEAGE_THRESHOLD:.2f}):")
+    for bench, ratio, verdict in lineage_rows:
+        print(f"  {bench:<44} recording-on / recording-off"
+              f"  x{ratio:.3f}  {verdict}")
 
     if args.summary:
         try:
@@ -187,11 +238,29 @@ def main():
                             else verdict)
                     f.write(f"| {name} | {b:.0f} | {c:.0f} | {raw:.3f} "
                             f"| {norm:.3f} | {mark} |\n")
+                f.write(f"\nLineage overhead (interleaved, current run, "
+                        f"budget x{LINEAGE_THRESHOLD:.2f}):\n\n")
+                f.write("| bench | on/off ratio | verdict |\n")
+                f.write("|---|---:|---|\n")
+                for bench, ratio, verdict in lineage_rows:
+                    mark = ("**REGRESSION**" if verdict == "REGRESSION"
+                            else verdict)
+                    f.write(f"| {bench} | {ratio:.3f} | {mark} |\n")
         except OSError as e:
             print(f"bench_gate: cannot write summary {args.summary}: {e}",
                   file=sys.stderr)
             sys.exit(2)
 
+    if lineage_failures:
+        print("bench_gate: FAIL — decision lineage recording costs more "
+              f"than its {(LINEAGE_THRESHOLD - 1) * 100:.0f}% budget over "
+              "the recording-free classifier:", file=sys.stderr)
+        for name, ratio in lineage_failures:
+            print(f"  {name}: x{ratio:.3f}", file=sys.stderr)
+        print("  (the ring insert in LineageStore::record is the "
+              "budgeted cost; rerun build/bench/micro_core to confirm)",
+              file=sys.stderr)
+        sys.exit(1)
     if failures:
         print("bench_gate: FAIL — kernel wall-time regression "
               f"(>{(args.threshold - 1) * 100:.0f}% after machine-speed "

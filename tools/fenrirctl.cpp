@@ -29,6 +29,21 @@
 //                                         slices merge into one dataset;
 //                                         one member goes dark mid-run
 //                                         and rejoins
+//   fenrirctl explain M [opts]            why does the book keep calling
+//                                         observations recurrences of
+//                                         mode M: visits, gaps, top-k
+//                                         phi, per-category counts,
+//                                         anchor chains, federation
+//                                         provenance. Offline over a
+//                                         --lineage FILE.jsonl log, or
+//                                         live against --port N
+//   fenrirctl lineage replay FILE.jsonl   summarize a decision lineage
+//                                         log written by --lineage:
+//                                         verdict and per-mode tables
+//   fenrirctl blackbox dump FILE          read back a --blackbox flight
+//                                         recorder ring — works on the
+//                                         wreckage after any kill or
+//                                         crash; corrupt rings exit 3
 //   fenrirctl --version                   build identity (version, git
 //                                         sha, build type, sanitizers)
 //
@@ -124,6 +139,15 @@
 //                         to FILE as JSONL — same torn-tail-tolerant
 //                         framing as the journal; replay with
 //                         `fenrirctl events FILE`
+//   --lineage FILE        append one DecisionRecord (obs/lineage.h) per
+//                         ModeBook verdict to FILE as JSONL — the why
+//                         behind every new-mode/recurrence call; read
+//                         back with `fenrirctl explain M --lineage
+//                         FILE` or `fenrirctl lineage replay FILE`
+//   --blackbox FILE       keep a crash-safe mmap'd ring of the last
+//                         decisions and events in FILE; sealed on exit
+//                         and on fatal signals, readable after ANY
+//                         crash with `fenrirctl blackbox dump FILE`
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -157,9 +181,12 @@
 #include "obs/events.h"
 #include "obs/http_client.h"
 #include "obs/http_server.h"
+#include "obs/flight_recorder.h"
 #include "obs/journal.h"
+#include "obs/lineage.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/query.h"
 #include "obs/metrics_window.h"
 #include "obs/span.h"
 #include "obs/status_board.h"
@@ -173,7 +200,7 @@ namespace {
 int usage() {
   std::cerr << "usage: fenrirctl "
                "<demo|info|analyze|watch|clean|compare|transitions|journal"
-               "|events|federate> "
+               "|events|federate|explain|lineage|blackbox> "
                "...\n(see the header of tools/fenrirctl.cpp for options)\n";
   return 2;
 }
@@ -216,7 +243,8 @@ Args parse_args(int argc, char** argv, int first) {
            flag == "--retries" || flag == "--members" || flag == "--epochs" ||
            flag == "--overlap" || flag == "--kill-member" ||
            flag == "--kill-epoch" || flag == "--checkpoint" ||
-           flag == "--provenance";
+           flag == "--provenance" || flag == "--lineage" ||
+           flag == "--blackbox";
   };
   Args out;
   for (int i = first; i < argc; ++i) {
@@ -511,7 +539,15 @@ int cmd_watch(const Args& args) {
   for (std::size_t i = start; i < data.series.size(); ++i) {
     const core::RoutingVector& v = data.series[i];
     if (matrix.has_value()) matrix->append(v);
+    // A stateful watch's lineage records carry the anchor chain the
+    // matrix just used for this row (how the Φ plane ingested the same
+    // observation the book is about to judge).
+    if (matrix.has_value() && obs::lineage().enabled()) {
+      const std::vector<std::size_t> chain = matrix->anchor_chain(i);
+      obs::lineage().set_anchor_context(chain);
+    }
     const auto match = book.observe(v);
+    obs::lineage().clear_context();  // outage rows never consume it
     // A new mode's first occurrence becomes a representative anchor:
     // when the series recurs to it, the matrix patches from this row
     // instead of paying the packed kernels (the appended row is still
@@ -1020,6 +1056,24 @@ int cmd_federate(const Args& args) {
               << io::fixed(fed.member_weight(i), 2) << "\n";
   }
 
+  // Classify the merged series through a ModeBook with full decision
+  // lineage: every epoch's record carries the fold's anchor chain plus
+  // this epoch's provenance rollup (who served it, how stale, whether
+  // members disagreed) — the federated path into the lineage plane.
+  // Pure fold over the accumulated result, so a resumed run prints
+  // exactly what the uninterrupted one would.
+  {
+    std::vector<measure::ProvenanceSummary> summaries;
+    summaries.reserve(result.provenance.size());
+    for (const auto& epoch : result.provenance) {
+      summaries.push_back(measure::summarize_provenance(epoch));
+    }
+    core::ModeBook book;
+    measure::fold_phi(result.series, book, summaries);
+    std::cout << "classified: " << book.mode_count() << " modes over "
+              << book.history().size() << " valid epochs\n";
+  }
+
   if (const auto path = args.get("--provenance", ""); !path.empty()) {
     std::ofstream out(path);
     if (!out) {
@@ -1110,6 +1164,250 @@ int cmd_transitions(const Args& args) {
   return 0;
 }
 
+/// One human-readable explanation block for a decision record: the
+/// verdict, the candidate Φ ranking, the per-category counts, the
+/// anchor chain, and (when federated) the provenance.
+void print_decision(const obs::DecisionRecord& r) {
+  std::cout << "  "
+            << core::format_time(static_cast<core::TimePoint>(r.obs_time))
+            << "  " << obs::verdict_name(r.verdict) << "  mode " << r.mode
+            << "  phi " << io::fixed(r.phi, 3);
+  if (r.gap_seconds >= 0) std::cout << "  gap " << r.gap_seconds << "s";
+  std::cout << "\n";
+  std::cout << "    counts: " << r.matches << " match / " << r.mismatches
+            << " mismatch / " << r.unknown << " unknown of " << r.networks
+            << " networks; scanned " << r.scanned << " representatives\n";
+  if (r.top_count > 0) {
+    std::cout << "    candidates:";
+    for (std::uint32_t k = 0; k < r.top_count; ++k) {
+      std::cout << (k ? ", " : " ") << "mode " << r.top[k].mode << " phi "
+                << io::fixed(r.top[k].phi, 3);
+    }
+    if (r.top_count >= 2) {
+      std::cout << " (margin " << io::fixed(r.top[0].phi - r.top[1].phi, 3)
+                << ")";
+    }
+    std::cout << "\n";
+  }
+  if (r.has_anchor_info) {
+    std::cout << "    anchors:";
+    if (r.anchor_count == 0) {
+      std::cout << " none (novel row; paid the packed kernels)";
+    } else {
+      for (std::uint32_t k = 0; k < r.anchor_count; ++k) {
+        std::cout << (k ? " <- row " : " row ") << r.anchor_chain[k];
+      }
+    }
+    std::cout << "\n";
+  }
+  if (r.federated) {
+    std::cout << "    served by ";
+    if (r.member == obs::kLineageNoMember) {
+      std::cout << "no member";
+    } else {
+      std::cout << "member " << r.member;
+    }
+    std::cout << ", staleness " << r.staleness << ", disagreements "
+              << r.disagreements << "\n";
+  }
+}
+
+/// The offline `explain` body: aggregates plus recent records for one
+/// mode out of a replayed store. Returns the process exit code.
+int print_explanation(const obs::LineageStore& store, std::uint64_t mode) {
+  const auto agg = store.mode_lineage(mode);
+  if (!agg) {
+    std::cout << "mode " << mode
+              << " has no lineage (never a verdict in this log)\n";
+    return 1;
+  }
+  std::cout << "mode " << mode << ": " << agg->visits << " visits, "
+            << agg->recurrences << " recurrences, first seen "
+            << core::format_time(static_cast<core::TimePoint>(agg->first_seen))
+            << ", last seen "
+            << core::format_time(static_cast<core::TimePoint>(agg->last_seen))
+            << " (phi " << io::fixed(agg->last_phi, 3) << ")\n";
+  std::cout << "runner-up in " << agg->runner_up << " other verdicts";
+  if (agg->closest_confused != obs::kLineageNoMember) {
+    std::cout << "; closest confused with mode " << agg->closest_confused
+              << " (chased " << agg->closest_confused_count
+              << (agg->closest_confused_count == 1 ? " time" : " times")
+              << ")";
+  }
+  std::cout << "\n";
+  bool any_gap = false;
+  for (const auto count : agg->gap_buckets) any_gap = any_gap || count > 0;
+  if (any_gap) {
+    static constexpr const char* kGapNames[] = {
+        "<=1h", "<=6h", "<=1d", "<=3d", "<=1w", "<=30d", "<=180d", ">180d"};
+    std::cout << "recurrence gaps:";
+    for (std::size_t b = 0; b < agg->gap_buckets.size(); ++b) {
+      if (agg->gap_buckets[b] > 0) {
+        std::cout << " " << kGapNames[b] << ":" << agg->gap_buckets[b];
+      }
+    }
+    std::cout << "\n";
+  }
+  const auto records = store.since(0, mode, std::nullopt, 0);
+  const std::size_t keep = std::min<std::size_t>(records.size(), 8);
+  std::cout << "recent decisions (" << keep << " of " << records.size()
+            << " retained):\n";
+  for (std::size_t i = records.size() - keep; i < records.size(); ++i) {
+    print_decision(records[i]);
+  }
+  return 0;
+}
+
+int cmd_explain(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const auto mode = obs::parse_u64(args.positional[0]);
+  if (!mode) {
+    std::cerr << "fenrirctl: explain wants a mode id, got '"
+              << args.positional[0] << "'\n";
+    return 2;
+  }
+  // Live path: ask a running server's /explain endpoint and print the
+  // JSON verbatim (scripts parse it; the offline path is the prose one).
+  if (args.has("--port")) {
+    long port = -1;
+    try {
+      port = std::stol(args.get("--port", ""));
+    } catch (const std::exception&) {
+    }
+    if (port < 0 || port > 65535) {
+      std::cerr << "fenrirctl: explain needs a valid --port N\n";
+      return 2;
+    }
+    const auto response =
+        obs::http_get(static_cast<std::uint16_t>(port),
+                      "/explain/" + std::to_string(*mode), 5000);
+    if (!response) {
+      std::cerr << "fenrirctl: no status server on 127.0.0.1:" << port
+                << "\n";
+      return 1;
+    }
+    if (response->status != 200) {
+      std::cerr << "fenrirctl: /explain answered HTTP " << response->status
+                << ": " << response->body;
+      return 1;
+    }
+    std::cout << response->body;
+    return 0;
+  }
+  const std::string path = args.get("--lineage", "");
+  if (path.empty()) {
+    std::cerr << "fenrirctl: explain needs --lineage FILE.jsonl or "
+                 "--port N\n";
+    return 2;
+  }
+  std::vector<std::string> lines;
+  try {
+    lines = obs::read_journal(path);
+  } catch (const obs::JournalError& e) {
+    throw core::DatasetIoError(e.what());
+  }
+  // Replay into a private store: the global one may have a log attached
+  // (main's --lineage wiring is skipped for read-only commands, but a
+  // private store also keeps ids aligned with the log's own).
+  obs::LineageStore store(obs::LineageStore::Config{65536});
+  std::size_t skipped = 0;
+  for (const std::string& line : lines) {
+    if (const auto record = obs::parse_record_json(line)) {
+      store.record(*record);
+    } else {
+      ++skipped;
+    }
+  }
+  if (skipped > 0) {
+    std::cerr << "fenrirctl: skipped " << skipped << " non-lineage "
+              << (skipped == 1 ? "line" : "lines") << " in " << path << "\n";
+  }
+  return print_explanation(store, *mode);
+}
+
+int cmd_lineage(const Args& args) {
+  if (args.positional.size() != 2 || args.positional[0] != "replay") {
+    return usage();
+  }
+  std::vector<std::string> lines;
+  try {
+    lines = obs::read_journal(args.positional[1]);
+  } catch (const obs::JournalError& e) {
+    throw core::DatasetIoError(e.what());
+  }
+  // verdict index -> count, plus per-mode rows; maps keep the table
+  // deterministic.
+  std::array<std::uint64_t, 3> verdicts{};
+  std::map<std::uint64_t, std::array<std::uint64_t, 3>> by_mode;
+  std::size_t federated = 0, skipped = 0;
+  for (const std::string& line : lines) {
+    const auto record = obs::parse_record_json(line);
+    if (!record) {
+      ++skipped;
+      continue;
+    }
+    const auto v = static_cast<std::size_t>(record->verdict);
+    ++verdicts[v];
+    ++by_mode[record->mode][v];
+    federated += record->federated ? 1 : 0;
+  }
+  if (!by_mode.empty()) {
+    io::TextTable table;
+    table.header({"mode", "new", "recurrences", "repeats", "total"});
+    for (const auto& [mode, counts] : by_mode) {
+      table.row(std::to_string(mode), std::to_string(counts[0]),
+                std::to_string(counts[1]), std::to_string(counts[2]),
+                std::to_string(counts[0] + counts[1] + counts[2]));
+    }
+    table.print(std::cout);
+  }
+  std::cout << (lines.size() - skipped) << " decisions: " << verdicts[0]
+            << " new modes, " << verdicts[1] << " recurrences, "
+            << verdicts[2] << " repeats";
+  if (federated > 0) std::cout << " (" << federated << " federated)";
+  if (skipped > 0) std::cout << "; " << skipped << " non-lineage lines";
+  std::cout << "\n";
+  return 0;
+}
+
+const char* blackbox_kind_name(obs::FlightRecorder::Kind kind) {
+  switch (kind) {
+    case obs::FlightRecorder::Kind::kDecision: return "decision";
+    case obs::FlightRecorder::Kind::kEvent: return "event";
+    case obs::FlightRecorder::Kind::kMetrics: return "metrics";
+  }
+  return "?";
+}
+
+int cmd_blackbox(const Args& args) {
+  if (args.positional.size() != 2 || args.positional[0] != "dump") {
+    return usage();
+  }
+  obs::FlightRecorder::DumpReport report;
+  try {
+    report = obs::FlightRecorder::dump(args.positional[1]);
+  } catch (const obs::FlightRecorderError& e) {
+    // Same taxonomy slot as corrupt snapshots and journals: exit 3.
+    throw core::DatasetIoError(e.what());
+  }
+  std::cout << "blackbox " << args.positional[1] << ": ";
+  if (report.sealed) {
+    std::cout << "sealed (" << report.seal_reason << ")";
+  } else {
+    std::cout << "UNSEALED (died without a handler -- SIGKILL or power "
+                 "loss)";
+  }
+  std::cout << ", " << report.written_total << " entries written, "
+            << report.entries.size() << " recovered";
+  if (report.torn_slots > 0) std::cout << ", " << report.torn_slots << " torn";
+  std::cout << "\n";
+  for (const auto& entry : report.entries) {
+    std::cout << "  seq " << entry.seq << "  " << blackbox_kind_name(entry.kind)
+              << "  " << entry.payload << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int dispatch(const std::string& cmd, const Args& args) {
@@ -1123,6 +1421,9 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "journal") return cmd_journal(args);
   if (cmd == "events") return cmd_events(args);
   if (cmd == "federate") return cmd_federate(args);
+  if (cmd == "explain") return cmd_explain(args);
+  if (cmd == "lineage") return cmd_lineage(args);
+  if (cmd == "blackbox") return cmd_blackbox(args);
   return usage();
 }
 
@@ -1162,6 +1463,8 @@ void register_metric_catalog() {
         "fenrir_status_requests_total", "fenrir_journal_lines_total",
         "fenrir_journal_write_errors_total",
         "fenrir_events_suppressed_total", "fenrir_events_overwritten_total",
+        "fenrir_decision_records_total", "fenrir_decision_evictions_total",
+        "fenrir_decision_flush_errors_total",
         "fenrir_health_degraded_reports_total",
         "fenrir_modebook_new_modes_total", "fenrir_modebook_recurrences_total",
         "fenrir_trace_events_dropped_total", "fenrir_phi_appends_total",
@@ -1273,6 +1576,58 @@ int main(int argc, char** argv) {
       }
       obs::event_bus().add_sink(&event_sink.sink);
       event_sink.attached = true;
+    }
+
+    // --lineage FILE: every ModeBook verdict appends one DecisionRecord
+    // line (journal framing, append mode — the --events-out convention).
+    // Read-only commands take --lineage as an INPUT path instead; they
+    // must not open it for appending.
+    const bool lineage_is_input =
+        cmd == "explain" || cmd == "lineage" || cmd == "blackbox";
+    struct LineageLogGuard {
+      bool attached = false;
+      ~LineageLogGuard() {
+        if (attached) obs::lineage().close_log();
+      }
+    } lineage_log;
+    if (const auto path = args.get("--lineage", "");
+        !path.empty() && !lineage_is_input) {
+      if (!obs::lineage().open_log(path, /*truncate=*/false)) {
+        std::cerr << "fenrirctl: cannot write lineage file " << path << "\n";
+        return 3;
+      }
+      lineage_log.attached = true;
+    }
+
+    // --blackbox FILE: the crash-safe flight recorder — last decisions
+    // and events land in a preallocated mmap'd ring, sealed on clean
+    // exit and on fatal signals, recoverable after ANY kill with
+    // `fenrirctl blackbox dump`.
+    struct BlackboxGuard {
+      obs::FlightRecorder recorder;
+      bool attached = false;
+      ~BlackboxGuard() {
+        if (!attached) return;
+        obs::FlightRecorder::install_signal_handlers(nullptr);
+        obs::lineage().remove_sink(&recorder);
+        obs::event_bus().remove_sink(&recorder);
+        recorder.note_metrics(
+            "{\"decisions_total\":" + std::to_string(obs::lineage().last_id()) +
+            ",\"events_total\":" + std::to_string(obs::event_bus().last_seq()) +
+            "}");
+        recorder.close("clean shutdown");
+      }
+    } blackbox;
+    if (const auto path = args.get("--blackbox", "");
+        !path.empty() && !lineage_is_input) {
+      if (!blackbox.recorder.open(path)) {
+        std::cerr << "fenrirctl: cannot create blackbox file " << path << "\n";
+        return 3;
+      }
+      obs::lineage().add_sink(&blackbox.recorder);
+      obs::event_bus().add_sink(&blackbox.recorder);
+      obs::FlightRecorder::install_signal_handlers(&blackbox.recorder);
+      blackbox.attached = true;
     }
     {
       const obs::BuildInfo& info = obs::build_info();
