@@ -7,12 +7,17 @@
 // successive PRs accumulate a diffable perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <chrono>
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -26,6 +31,7 @@
 #include "core/events.h"
 #include "core/modebook.h"
 #include "core/transition.h"
+#include "io/segment_store.h"
 #include "io/snapshot.h"
 #include "measure/federation.h"
 #include "obs/lineage.h"
@@ -531,6 +537,234 @@ void BM_SnapshotRecompute(benchmark::State& state) {
 }
 BENCHMARK(BM_SnapshotRecompute)->Args({2'000, 1'000});
 
+std::string bench_store_dir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("fenrir_bench_seg_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+// A sealed FENRSEG store of `rows` low-churn observations, built once
+// per process and deleted at exit. No dataset is attached: benches use
+// the raw identity mode, same as `segment ls`.
+struct SegmentFixture {
+  std::string dir;
+  core::Dataset d;
+  std::size_t rows;
+  SegmentFixture(const char* tag, std::size_t rows_in, std::size_t nets,
+                 std::size_t seal_rows)
+      : dir(bench_store_dir(tag)),
+        d(low_churn_dataset(rows_in, nets, 0.01)),
+        rows(rows_in) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    io::SegmentStoreConfig cfg;
+    cfg.seal_rows = seal_rows;
+    cfg.background_compaction = false;
+    io::SegmentStore store(dir, cfg);
+    core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+    for (const core::RoutingVector& v : d.series) {
+      m.append(v);
+      store.spill(v, m);
+      if (m.size() % 64 == 0) store.flush();
+    }
+    store.seal_active();
+  }
+  ~SegmentFixture() { std::filesystem::remove_all(dir); }
+};
+
+SegmentFixture& segment_fixture_short() {
+  static SegmentFixture f("resume_short", 128, 50'000, 32);
+  return f;
+}
+
+SegmentFixture& segment_fixture_long() {
+  static SegmentFixture f("resume_long", 1'024, 50'000, 32);
+  return f;
+}
+
+// What a segment-store watch pays per tick beyond the matrix append:
+// encode the new row into the pending buffer, pwrite it at the tail's
+// end, fsync, rewrite the manifest. O(new row), never O(history) — the
+// contrast is the legacy snapshot's whole-file rewrite (BM_SnapshotLoad
+// sizes that). The store is drained and recreated outside the timing.
+void BM_SegmentTailAppend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t t = 256;
+  const auto d = low_churn_dataset(t, n, 0.01);
+  core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+  for (const core::RoutingVector& v : d.series) m.append(v);
+  const std::string dir = bench_store_dir("tail");
+  io::SegmentStoreConfig cfg;
+  cfg.seal_rows = 1 << 20;  // never seals: this bench is the tail path
+  cfg.background_compaction = false;
+  std::optional<io::SegmentStore> store;
+  std::size_t next = t;
+  for (auto _ : state) {
+    if (next == t) {
+      state.PauseTiming();
+      store.reset();
+      std::filesystem::remove_all(dir);
+      std::filesystem::create_directories(dir);
+      store.emplace(dir, cfg);
+      next = 0;
+      state.ResumeTiming();
+    }
+    store->spill_row(d.series[next], m, next);
+    store->flush();
+    ++next;
+  }
+  store.reset();
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SegmentTailAppend)->Arg(20'000);
+
+// The resume acceptance pair for the segment store: open + load (mmap
+// the sealed segments, adopt the pages into the matrix) at two history
+// lengths. BM_SegmentResumeFlat below turns the pair into the gated
+// per-row flatness ratio.
+void BM_SegmentResumeShort(benchmark::State& state) {
+  SegmentFixture& f = segment_fixture_short();
+  io::SegmentStoreConfig cfg;
+  cfg.background_compaction = false;
+  for (auto _ : state) {
+    io::SegmentStore store(f.dir, cfg);
+    benchmark::DoNotOptimize(store.load(nullptr).matrix.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.rows));
+}
+BENCHMARK(BM_SegmentResumeShort);
+
+void BM_SegmentResumeLong(benchmark::State& state) {
+  SegmentFixture& f = segment_fixture_long();
+  io::SegmentStoreConfig cfg;
+  cfg.background_compaction = false;
+  for (auto _ : state) {
+    io::SegmentStore store(f.dir, cfg);
+    benchmark::DoNotOptimize(store.load(nullptr).matrix.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.rows));
+}
+BENCHMARK(BM_SegmentResumeLong);
+
+// One tail append + flush on a copy of @p f: the payload bytes the
+// flush wrote, read off fenrir_segment_tail_bytes_total.
+double segment_save_bytes(const SegmentFixture& f) {
+  const std::string dir = f.dir + "_savebytes";
+  std::filesystem::remove_all(dir);
+  std::filesystem::copy(f.dir, dir,
+                        std::filesystem::copy_options::recursive);
+  double bytes = 0.0;
+  {
+    io::SegmentStoreConfig cfg;
+    cfg.seal_rows = 1 << 20;
+    cfg.background_compaction = false;
+    io::SegmentStore store(dir, cfg);
+    const std::size_t n = store.weights().empty()
+                              ? f.d.networks.size()
+                              : store.weights().size();
+    const std::vector<std::byte> packed(n);
+    const std::vector<double> phi(
+        store.processed() - store.base_row() + 1, 0.5);
+    obs::Counter& written = obs::registry().counter(
+        "fenrir_segment_tail_bytes_total");
+    const std::uint64_t before = written.value();
+    store.append_raw(true, 0, io::kNoAnchor, 0, n, 1, packed, phi);
+    store.flush();
+    bytes = static_cast<double>(written.value() - before);
+  }
+  std::filesystem::remove_all(dir);
+  return bytes;
+}
+
+// The two gated flatness ratios, measured interleaved (same trick as
+// BM_ModeBookLineageOverhead) so CPU and disk drift cancel:
+//   flat_ratio       per-row resume cost, 8x history vs 1x. Flat page
+//                    adoption keeps it near 1; the pre-segment rebuild
+//                    was linear in T (ratio ~8).
+//   save_bytes_ratio payload bytes of one interval's flush, 8x vs 1x
+//                    history. O(new data) keeps it near 1; the legacy
+//                    snapshot rewrote the whole store (ratio ~8+).
+// tools/bench_gate.py fails the build when either exceeds 1.5 and
+// exits 2 when the gauges are absent.
+void BM_SegmentResumeFlat(benchmark::State& state) {
+  SegmentFixture& fs = segment_fixture_short();
+  SegmentFixture& fl = segment_fixture_long();
+  io::SegmentStoreConfig cfg;
+  cfg.background_compaction = false;
+  const auto timed = [&cfg](const std::string& dir) {
+    const auto start = std::chrono::steady_clock::now();
+    io::SegmentStore store(dir, cfg);
+    benchmark::DoNotOptimize(store.load(nullptr).matrix.size());
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  double short_seconds = 0.0;
+  double long_seconds = 0.0;
+  bool long_first = false;
+  for (auto _ : state) {
+    if (long_first) {
+      long_seconds += timed(fl.dir);
+      short_seconds += timed(fs.dir);
+    } else {
+      short_seconds += timed(fs.dir);
+      long_seconds += timed(fl.dir);
+    }
+    long_first = !long_first;
+  }
+  state.counters["flat_ratio"] =
+      short_seconds > 0.0
+          ? (long_seconds / static_cast<double>(fl.rows)) /
+                (short_seconds / static_cast<double>(fs.rows))
+          : 0.0;
+  const double short_bytes = segment_save_bytes(fs);
+  state.counters["save_bytes_ratio"] =
+      short_bytes > 0.0 ? segment_save_bytes(fl) / short_bytes : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fs.rows + fl.rows));
+}
+BENCHMARK(BM_SegmentResumeFlat)->MinTime(1.0);
+
+// One synchronous compaction pass: 16 undersized sealed segments (the
+// shape a long watch's periodic seals leave behind) merged into one.
+// The store is rebuilt outside the timing.
+void BM_Compaction(benchmark::State& state) {
+  const std::size_t rows = 256;
+  const std::size_t n = 5'000;
+  const std::size_t per_seal = 16;
+  const auto d = low_churn_dataset(rows, n, 0.01);
+  core::SimilarityMatrix m(core::UnknownPolicy::kPessimistic, {}, 1);
+  for (const core::RoutingVector& v : d.series) m.append(v);
+  const std::string dir = bench_store_dir("compact");
+  io::SegmentStoreConfig cfg;
+  cfg.seal_rows = 1 << 20;  // only the explicit seals below rotate
+  cfg.background_compaction = false;
+  cfg.compact_min_run = 4;
+  std::optional<io::SegmentStore> store;
+  for (auto _ : state) {
+    state.PauseTiming();
+    store.reset();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    store.emplace(dir, cfg);
+    for (std::size_t i = 0; i < rows; ++i) {
+      store->spill_row(d.series[i], m, i);
+      if ((i + 1) % per_seal == 0) store->seal_active();
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store->compact_now());
+  }
+  store.reset();
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * n));
+}
+BENCHMARK(BM_Compaction);
+
 void BM_SlinkDendrogram(benchmark::State& state) {
   const auto d = random_dataset(static_cast<std::size_t>(state.range(0)),
                                 1'000);
@@ -666,13 +900,14 @@ class RegistryReporter : public benchmark::ConsoleReporter {
           .set(run.real_accumulated_time / iters * 1e9);
       gauge(run.benchmark_name(), "cpu_ns")
           .set(run.cpu_accumulated_time / iters * 1e9);
-      const auto items = run.counters.find("items_per_second");
-      if (items != run.counters.end()) {
-        gauge(run.benchmark_name(), "items_per_s").set(items->second);
-      }
-      const auto overhead = run.counters.find("overhead_ratio");
-      if (overhead != run.counters.end()) {
-        gauge(run.benchmark_name(), "overhead_ratio").set(overhead->second);
+      // Every user counter rides along (overhead_ratio, flat_ratio,
+      // save_bytes_ratio, ...); the two rate counters keep their
+      // historical gauge suffixes.
+      for (const auto& [cname, cvalue] : run.counters) {
+        const char* what = cname == "items_per_second"   ? "items_per_s"
+                           : cname == "bytes_per_second" ? "bytes_per_s"
+                                                         : cname.c_str();
+        gauge(run.benchmark_name(), what).set(cvalue);
       }
     }
   }

@@ -24,4 +24,10 @@ void maybe_kill_during_save(std::size_t bytes_written) {
   }
 }
 
+void maybe_kill_at(std::string_view label) {
+  const char* env = std::getenv("FENRIR_CHAOS_KILL_POINT");
+  if (env == nullptr || *env == '\0') return;
+  if (label == env) _exit(137);
+}
+
 }  // namespace fenrir::chaos

@@ -14,12 +14,21 @@
 //   FENRIR_CHAOS_KILL_SAVE=<N>   _exit(137) once a save has written >= N
 //                                bytes (0 kills before the first byte)
 //
-// The variable is re-read on every save (never cached) — gtest death
-// tests set it between forks and expect the child to see it.
+// The segment store's lifecycle (io/segment_store.h) has more phases
+// than "bytes written": the kill that matters may be between the tail
+// fsync and the manifest update, or between a seal's rename and the
+// manifest swap. Those sites carry *labels*:
+//
+//   FENRIR_CHAOS_KILL_POINT=<label>   _exit(137) at the first
+//                                     maybe_kill_at(label) call
+//
+// Both variables are re-read on every call (never cached) — gtest death
+// tests set them between forks and expect the child to see them.
 #pragma once
 
 #include <cstddef>
 #include <optional>
+#include <string_view>
 
 namespace fenrir::chaos {
 
@@ -32,5 +41,11 @@ std::optional<std::size_t> kill_save_threshold();
 /// The exit is immediate (no atexit, no flush) — a real SIGKILL, minus
 /// the signal.
 void maybe_kill_during_save(std::size_t bytes_written);
+
+/// _exit(137)s iff FENRIR_CHAOS_KILL_POINT names exactly @p label.
+/// Lifecycle code drops one of these at every durability boundary
+/// (tail append, seal rename, manifest swap, compaction commit) so a
+/// death test can kill the process between any two of them.
+void maybe_kill_at(std::string_view label);
 
 }  // namespace fenrir::chaos

@@ -204,7 +204,7 @@ void PackedSeries::append(const RoutingVector& v) {
   if (const std::size_t need = width_for(max_id); need > width_) {
     widen_to(need);
   }
-  data_.resize((rows_ + 1) * networks_ * width_);
+  data_.resize((rows_ + 1 - mapped_.size()) * networks_ * width_);
   std::byte* dst = row_ptr(rows_);
   switch (width_) {
     case 1:
@@ -225,16 +225,21 @@ void PackedSeries::append(const RoutingVector& v) {
 void PackedSeries::pop_back() noexcept {
   if (rows_ == 0) return;
   --rows_;
-  data_.resize(rows_ * networks_ * width_);
+  if (rows_ >= mapped_.size()) {
+    data_.resize((rows_ - mapped_.size()) * networks_ * width_);
+  } else {
+    mapped_.pop_back();
+    if (mapped_.empty()) keepalive_.reset();
+  }
 }
 
 void PackedSeries::copy_row(std::size_t dst, std::size_t src) {
   if (dst >= rows_ || src >= rows_) {
     throw std::out_of_range("PackedSeries::copy_row");
   }
-  if (dst != src) {
-    std::memcpy(row_ptr(dst), row_ptr(src), networks_ * width_);
-  }
+  if (dst == src) return;
+  if (dst < mapped_.size()) materialize_mapped();
+  std::memcpy(row_ptr(dst), row_ptr(src), networks_ * width_);
 }
 
 void PackedSeries::clear() noexcept {
@@ -242,9 +247,28 @@ void PackedSeries::clear() noexcept {
   networks_ = 0;
   width_ = 1;
   data_.clear();
+  mapped_.clear();
+  keepalive_.reset();
+}
+
+void PackedSeries::materialize_mapped() {
+  if (mapped_.empty()) return;
+  const std::size_t stride = networks_ * width_;
+  std::vector<std::byte> owned(rows_ * stride);
+  for (std::size_t r = 0; r < mapped_.size(); ++r) {
+    std::memcpy(owned.data() + r * stride, mapped_[r], stride);
+  }
+  std::memcpy(owned.data() + mapped_.size() * stride, data_.data(),
+              data_.size());
+  data_ = std::move(owned);
+  mapped_.clear();
+  keepalive_.reset();
 }
 
 void PackedSeries::widen_to(std::size_t width) {
+  // value_at reads through row_ptr, so the rewrite below sees mapped
+  // rows too; afterwards everything is owned at the new width and the
+  // borrow can be dropped.
   std::vector<std::byte> wide(rows_ * networks_ * width);
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t n = 0; n < networks_; ++n) {
@@ -260,6 +284,61 @@ void PackedSeries::widen_to(std::size_t width) {
   }
   data_ = std::move(wide);
   width_ = width;
+  mapped_.clear();
+  keepalive_.reset();
+}
+
+void PackedSeries::adopt_rows(std::size_t networks, std::size_t width,
+                              std::span<const std::byte* const> rows,
+                              std::shared_ptr<const void> keepalive) {
+  if (rows_ != 0 || networks_ != 0) {
+    throw std::logic_error("PackedSeries::adopt_rows: series not empty");
+  }
+  if (width != 1 && width != 2 && width != 4) {
+    throw std::invalid_argument("PackedSeries::adopt_rows: bad width");
+  }
+  networks_ = networks;
+  width_ = width;
+  mapped_.assign(rows.begin(), rows.end());
+  rows_ = mapped_.size();
+  keepalive_ = std::move(keepalive);
+}
+
+void PackedSeries::append_packed(const std::byte* src, std::size_t src_width) {
+  if (networks_ == 0 && rows_ == 0) {
+    throw std::logic_error("PackedSeries::append_packed: networks unset");
+  }
+  if (src_width > width_) widen_to(src_width);
+  data_.resize((rows_ + 1 - mapped_.size()) * networks_ * width_);
+  std::byte* dst = row_ptr(rows_);
+  if (src_width == width_) {
+    std::memcpy(dst, src, networks_ * width_);
+  } else {
+    // Widening convert: the source row stayed narrow while the series
+    // has already widened (host order on both sides).
+    for (std::size_t n = 0; n < networks_; ++n) {
+      SiteId v = 0;
+      if (src_width == 1) {
+        std::uint8_t x;
+        std::memcpy(&x, src + n, sizeof x);
+        v = x;
+      } else if (src_width == 2) {
+        std::uint16_t x;
+        std::memcpy(&x, src + n * 2, sizeof x);
+        v = x;
+      } else {
+        std::memcpy(&v, src + n * 4, sizeof v);
+      }
+      std::byte* out = dst + n * width_;
+      if (width_ == 2) {
+        const auto x = static_cast<std::uint16_t>(v);
+        std::memcpy(out, &x, sizeof x);
+      } else {
+        std::memcpy(out, &v, sizeof v);
+      }
+    }
+  }
+  ++rows_;
 }
 
 MatchCounts PackedSeries::counts(std::size_t i, std::size_t j) const {

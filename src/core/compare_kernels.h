@@ -32,6 +32,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -40,6 +41,7 @@
 
 namespace fenrir::io {
 class SnapshotCodec;  // binary persistence (io/snapshot.h)
+class SegmentCodec;   // segment-store persistence (io/segment_store.h)
 }  // namespace fenrir::io
 
 namespace fenrir::core {
@@ -91,6 +93,15 @@ struct PreparedDelta;
 /// that holds every SiteId appended so far. Appending a vector with a
 /// larger id transparently re-packs the store one width up (ids only grow
 /// as a dataset interns new sites, so widening is rare and amortizes).
+///
+/// A series can start with a *mapped prefix*: rows adopted as borrowed
+/// pointers (typically into mmap'd segment pages — io/segment_store.h)
+/// instead of bytes copied into the owned store. All read paths resolve
+/// through row_ptr(), so the kernels never notice; mutation of a mapped
+/// row is impossible by construction (the mutable row_ptr only serves
+/// owned rows), and a widening append first materializes the prefix into
+/// owned storage. A keepalive shared_ptr pins the mapping for as long as
+/// any pointer could be dereferenced.
 class PackedSeries {
  public:
   PackedSeries() = default;
@@ -102,14 +113,34 @@ class PackedSeries {
   std::size_t networks() const noexcept { return networks_; }
   /// Bytes per element: 1, 2, or 4.
   std::size_t width() const noexcept { return width_; }
+  /// Rows borrowed from an adopted mapping (always a prefix of rows()).
+  std::size_t mapped_rows() const noexcept { return mapped_.size(); }
 
   /// Pre-sizes the store for @p rows total rows (no-op before the first
   /// append fixes networks(), or when already that large). Batch
   /// ingesters call this so the packed store grows once per batch
   /// instead of reallocating mid-append-loop.
   void reserve(std::size_t rows) {
-    if (networks_ > 0) data_.reserve(rows * networks_ * width_);
+    if (networks_ > 0 && rows > mapped_.size()) {
+      data_.reserve((rows - mapped_.size()) * networks_ * width_);
+    }
   }
+
+  /// Adopts @p rows as a borrowed prefix: row i reads through rows[i]
+  /// (networks × width bytes, any alignment ≥ the element width) for as
+  /// long as @p keepalive stays alive. Only legal on an empty series;
+  /// throws std::logic_error otherwise. Appends afterwards extend the
+  /// series normally; an append that needs a wider element first copies
+  /// the prefix into owned storage (widen_to materializes every row).
+  void adopt_rows(std::size_t networks, std::size_t width,
+                  std::span<const std::byte* const> rows,
+                  std::shared_ptr<const void> keepalive);
+
+  /// Appends one already-packed row of @p src_width-byte elements
+  /// (networks() of them), converting between element widths as needed.
+  /// The copy-fallback twin of adopt_rows for tail segments and
+  /// big-endian hosts.
+  void append_packed(const std::byte* src, std::size_t src_width);
 
   /// Appends one packed row. The first row fixes networks(); later rows
   /// must match it (std::invalid_argument otherwise).
@@ -188,18 +219,27 @@ class PackedSeries {
                                     const PackedSeries&, std::size_t);
   friend class ColumnPatcher;
   friend class fenrir::io::SnapshotCodec;
+  friend class fenrir::io::SegmentCodec;
   void widen_to(std::size_t width);
+  /// Copies the mapped prefix into owned storage and drops the borrow
+  /// (the keepalive included). Called before any operation that needs
+  /// uniform owned bytes (widening).
+  void materialize_mapped();
   const std::byte* row_ptr(std::size_t i) const {
-    return data_.data() + i * networks_ * width_;
+    if (i < mapped_.size()) return mapped_[i];
+    return data_.data() + (i - mapped_.size()) * networks_ * width_;
   }
+  /// Mutable access is owned-rows-only: mapped rows are immutable pages.
   std::byte* row_ptr(std::size_t i) {
-    return data_.data() + i * networks_ * width_;
+    return data_.data() + (i - mapped_.size()) * networks_ * width_;
   }
 
   std::size_t networks_ = 0;
   std::size_t rows_ = 0;
   std::size_t width_ = 1;
-  std::vector<std::byte> data_;
+  std::vector<std::byte> data_;  // owned rows mapped_.size()..rows_-1
+  std::vector<const std::byte*> mapped_;  // borrowed prefix, one per row
+  std::shared_ptr<const void> keepalive_;
 };
 
 /// Patches counts(prev, b) into counts(cur, b) given the change-set

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <limits>
 
 #include "core/parallel.h"
@@ -136,13 +137,14 @@ SimilarityMatrix SimilarityMatrix::compute_reference(const Dataset& dataset,
   SimilarityMatrix m(policy, dataset.weights, 1);
   const std::size_t n = dataset.series.size();
   m.n_ = n;
-  m.values_.assign(n * (n + 1) / 2, 0.0);
+  m.values_.assign_owned(n);
   m.valid_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     m.valid_[i] = dataset.series[i].valid ? 1 : 0;
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (!m.valid_[i]) continue;
+    double* vrow = m.values_.owned_row(i);
     for (std::size_t j = 0; j <= i; ++j) {
       if (!m.valid_[j]) continue;
       const double phi =
@@ -150,7 +152,7 @@ SimilarityMatrix SimilarityMatrix::compute_reference(const Dataset& dataset,
                                       dataset.weights, policy)
                    : gower_similarity(dataset.series[i], dataset.series[j],
                                       policy);
-      m.values_[m.tri_index(i, j)] = phi;
+      vrow[j] = phi;
     }
   }
   return m;
@@ -396,7 +398,7 @@ void SimilarityMatrix::append(const RoutingVector& v) {
   const std::size_t i = n_;
   packed_.append(v);  // also rejects size mismatches against earlier rows
   n_ += 1;
-  values_.resize(values_.size() + i + 1, 0.0);
+  values_.push_row();
   valid_.push_back(v.valid ? 1 : 0);
   anchor_of_.resize(n_, kNoAnchorRow);
   append_clock_ += 1;
@@ -421,7 +423,7 @@ void SimilarityMatrix::append(const RoutingVector& v) {
   }
 
   const std::size_t nets = packed_.networks();
-  const std::size_t row_base = i * (i + 1) / 2;
+  double* vrow = values_.owned_row(i);  // new rows are always owned
 
   std::vector<DeltaEntry> delta;
   bool chose_rep = false;
@@ -437,7 +439,7 @@ void SimilarityMatrix::append(const RoutingVector& v) {
   auto fill_column = [&](std::size_t j) {
     if (!valid_[j]) return;
     if (weighted) {
-      values_[row_base + j] = phi_from_weighted(
+      vrow[j] = phi_from_weighted(
           packed_.weighted_counts(i, j, weights_, policy_, total_weight_));
       return;
     }
@@ -451,7 +453,7 @@ void SimilarityMatrix::append(const RoutingVector& v) {
       c = packed_.counts(i, j);  // diagonal, or kernel-path row
     }
     row[j] = c;
-    values_[row_base + j] = phi_from_counts(c, nets, policy_);
+    vrow[j] = phi_from_counts(c, nets, policy_);
   };
 
   // The grain makes small rows skip pool dispatch entirely (a delta row
@@ -535,9 +537,9 @@ void SimilarityMatrix::append_chunk(std::span<const RoutingVector> batch) {
   for (const RoutingVector& v : batch) {
     packed_.append(v);
     valid_.push_back(v.valid ? 1 : 0);
+    values_.push_row();
   }
   n_ = n0 + k;
-  values_.resize(n_ * (n_ + 1) / 2, 0.0);
   anchor_of_.resize(n_, kNoAnchorRow);
 
   // Pass A: sequential anchor planning — the exact selection sequence an
@@ -646,7 +648,7 @@ void SimilarityMatrix::append_chunk(std::span<const RoutingVector> batch) {
         c = packed_.counts(i, j);
       }
       row_counts[r][j] = c;
-      values_[i * (i + 1) / 2 + j] = phi_from_counts(c, nets, policy_);
+      values_.owned_row(i)[j] = phi_from_counts(c, nets, policy_);
     }
   };
   parallel_for(n0, fill_old, threads_,
@@ -660,7 +662,7 @@ void SimilarityMatrix::append_chunk(std::span<const RoutingVector> batch) {
     const RowPlan& p = plan[r];
     if (p.path == RowPlan::Path::kInvalid) continue;
     const std::size_t i = n0 + r;
-    const std::size_t row_base = i * (i + 1) / 2;
+    double* vrow = values_.owned_row(i);
     for (std::size_t s = 0; s <= r; ++s) {
       const std::size_t j = n0 + s;
       if (!valid_[j]) continue;
@@ -677,7 +679,7 @@ void SimilarityMatrix::append_chunk(std::span<const RoutingVector> batch) {
         c = packed_.counts(i, j);
       }
       row_counts[r][j] = c;
-      values_[row_base + j] = phi_from_counts(c, nets, policy_);
+      vrow[j] = phi_from_counts(c, nets, policy_);
     }
   }
 
@@ -704,21 +706,72 @@ void SimilarityMatrix::append_chunk(std::span<const RoutingVector> batch) {
   for (AnchorRow& a : representatives_) rebuild(a);
 }
 
+void SimilarityMatrix::adopt_rows(std::size_t networks, std::size_t width,
+                                  std::span<const AdoptedRow> rows,
+                                  std::shared_ptr<const void> keepalive) {
+  if (n_ != 0 || packed_.rows() != 0) {
+    throw std::logic_error("SimilarityMatrix::adopt_rows: matrix not empty");
+  }
+  std::vector<const std::byte*> packed_rows;
+  packed_rows.reserve(rows.size());
+  for (const AdoptedRow& r : rows) packed_rows.push_back(r.packed);
+  packed_.adopt_rows(networks, width, packed_rows, keepalive);
+  valid_.reserve(rows.size());
+  anchor_of_.reserve(rows.size());
+  for (const AdoptedRow& r : rows) {
+    values_.adopt_row(r.phi);
+    valid_.push_back(r.valid ? 1 : 0);
+    anchor_of_.push_back(r.anchor_of);
+  }
+  // The Φ rows and packed rows live in the same mapping, but the packed
+  // store may drop its borrow independently (a widening append), so the
+  // triangle pins the mapping too.
+  values_.set_keepalive(std::move(keepalive));
+  n_ = rows.size();
+  append_clock_ = n_;
+}
+
+void SimilarityMatrix::append_precomputed(const AdoptedRow& row,
+                                          std::size_t src_width) {
+  const std::size_t i = n_;
+  packed_.append_packed(row.packed, src_width);
+  valid_.push_back(row.valid ? 1 : 0);
+  anchor_of_.push_back(row.anchor_of);
+  values_.push_row();
+  std::memcpy(values_.owned_row(i), row.phi, (i + 1) * sizeof(double));
+  n_ += 1;
+  append_clock_ += 1;
+  // Load paths run before any anchors exist; if a caller mixes this
+  // with live appends anyway, keep the anchor invariants exact: every
+  // anchor's counts column for the new row, at kernel cost.
+  for (AnchorRow& a : recent_) {
+    a.counts.push_back(row.valid && valid_[a.row] ? packed_.counts(a.row, i)
+                                                  : MatchCounts{});
+    a.est_delta = kEstSaturated;
+  }
+  for (AnchorRow& a : representatives_) {
+    a.counts.push_back(row.valid && valid_[a.row] ? packed_.counts(a.row, i)
+                                                  : MatchCounts{});
+    a.est_delta = kEstSaturated;
+  }
+}
+
 std::size_t SimilarityMatrix::valid_count() const {
   std::size_t c = 0;
   for (const char v : valid_) c += (v != 0);
   return c;
 }
 
-std::vector<std::size_t> SimilarityMatrix::pair_keys(
+std::vector<std::pair<std::size_t, std::size_t>> SimilarityMatrix::pair_keys(
     const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) const {
-  std::vector<std::size_t> keys;
+  std::vector<std::pair<std::size_t, std::size_t>> keys;
   keys.reserve(a.size() * b.size());
   for (const std::size_t i : a) {
     if (!valid(i)) continue;
     for (const std::size_t j : b) {
       if (!valid(j) || i == j) continue;
-      keys.push_back(tri_index(i, j));  // canonical for the unordered pair
+      // Canonical for the unordered pair: row-major, row >= col.
+      keys.emplace_back(std::max(i, j), std::min(i, j));
     }
   }
   std::sort(keys.begin(), keys.end());
@@ -729,8 +782,8 @@ std::vector<std::size_t> SimilarityMatrix::pair_keys(
 SimilarityMatrix::Range SimilarityMatrix::range_between(
     const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) const {
   Range out;
-  for (const std::size_t key : pair_keys(a, b)) {
-    const double p = values_[key];
+  for (const auto& [i, j] : pair_keys(a, b)) {
+    const double p = values_.get(i, j);
     if (!out.any) {
       out.min = out.max = p;
       out.any = true;
@@ -763,11 +816,11 @@ SimilarityMatrix::Range SimilarityMatrix::range_within(
 
 double SimilarityMatrix::median_between(
     const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) const {
-  const std::vector<std::size_t> keys = pair_keys(a, b);
+  const auto keys = pair_keys(a, b);
   if (keys.empty()) return 0.0;
   std::vector<double> values;
   values.reserve(keys.size());
-  for (const std::size_t key : keys) values.push_back(values_[key]);
+  for (const auto& [i, j] : keys) values.push_back(values_.get(i, j));
   const std::size_t mid = values.size() / 2;
   std::nth_element(values.begin(), values.begin() + mid, values.end());
   return values[mid];

@@ -42,6 +42,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -53,9 +54,96 @@
 
 namespace fenrir::io {
 class SnapshotCodec;  // binary persistence (io/snapshot.h)
+class SegmentCodec;   // segment-store persistence (io/segment_store.h)
 }  // namespace fenrir::io
 
 namespace fenrir::core {
+
+/// Lower-triangle Φ storage (row-major, diagonal included) whose row
+/// prefix may be *borrowed* from a read-only mapping instead of owned.
+/// A segment-store resume mmaps sealed segments and adopts their Φ rows
+/// in place — one pointer per row — so warm-start cost stays flat in
+/// history length; rows appended afterwards live in the owned vector.
+/// Borrowed rows always form a strict prefix (they are the oldest
+/// history), which keeps the owned offset arithmetic exact:
+/// owned_off(i) = i(i+1)/2 − m(m+1)/2 for m borrowed rows.
+class TriangleStore {
+ public:
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t mapped_rows() const noexcept { return mapped_.size(); }
+
+  /// Φ at (i, j); requires j <= i < rows() (callers canonicalize).
+  double get(std::size_t i, std::size_t j) const {
+    return i < mapped_.size() ? mapped_[i][j] : owned_[owned_off(i) + j];
+  }
+
+  /// Row @p i's columns 0..i inclusive.
+  const double* row(std::size_t i) const {
+    return i < mapped_.size() ? mapped_[i] : owned_.data() + owned_off(i);
+  }
+
+  /// Appends one zero-filled owned row of length rows()+1.
+  void push_row() {
+    owned_.resize(owned_.size() + rows_ + 1, 0.0);
+    ++rows_;
+  }
+
+  /// Mutable access to an owned row; @p i must be >= mapped_rows()
+  /// (borrowed pages are immutable).
+  double* owned_row(std::size_t i) { return owned_.data() + owned_off(i); }
+
+  /// Borrows @p row (columns 0..rows() inclusive) as the next row. Only
+  /// legal while no owned rows exist — borrowed rows are a prefix.
+  void adopt_row(const double* row) {
+    if (!owned_.empty()) {
+      throw std::logic_error("TriangleStore: adopt_row after owned rows");
+    }
+    mapped_.push_back(row);
+    ++rows_;
+  }
+
+  /// Pins whatever mapping the borrowed rows point into for the
+  /// store's lifetime.
+  void set_keepalive(std::shared_ptr<const void> k) {
+    keepalive_ = std::move(k);
+  }
+
+  void reserve_rows(std::size_t rows) {
+    if (rows <= rows_) return;
+    const std::size_t m = mapped_.size();
+    owned_.reserve(rows * (rows + 1) / 2 - m * (m + 1) / 2);
+  }
+
+  /// Owned-only bulk (re)initialization: @p n zeroed rows, borrow
+  /// dropped. The snapshot decoder fills owned_data() in one bulk read.
+  void assign_owned(std::size_t n) {
+    mapped_.clear();
+    keepalive_.reset();
+    owned_.assign(n * (n + 1) / 2, 0.0);
+    rows_ = n;
+  }
+  double* owned_data() noexcept { return owned_.data(); }
+  const double* owned_data() const noexcept { return owned_.data(); }
+  std::size_t owned_count() const noexcept { return owned_.size(); }
+
+  void clear() noexcept {
+    rows_ = 0;
+    mapped_.clear();
+    owned_.clear();
+    keepalive_.reset();
+  }
+
+ private:
+  std::size_t owned_off(std::size_t i) const {
+    const std::size_t m = mapped_.size();
+    return i * (i + 1) / 2 - m * (m + 1) / 2;
+  }
+
+  std::size_t rows_ = 0;
+  std::vector<const double*> mapped_;  // borrowed prefix, one ptr per row
+  std::vector<double> owned_;          // rows mapped_.size()..rows_-1
+  std::shared_ptr<const void> keepalive_;
+};
 
 class SimilarityMatrix {
  public:
@@ -130,7 +218,7 @@ class SimilarityMatrix {
   void reserve(std::size_t rows) {
     if (rows <= n_) return;
     packed_.reserve(rows);
-    values_.reserve(rows * (rows + 1) / 2);
+    values_.reserve_rows(rows);
     valid_.reserve(rows);
   }
 
@@ -168,6 +256,34 @@ class SimilarityMatrix {
   std::vector<std::size_t> anchor_chain(std::size_t row,
                                         std::size_t max_depth = 8) const;
 
+  /// One observation reconstructed from persistent storage: host-order
+  /// packed assignment bytes plus the precomputed Φ row (columns
+  /// 0..row inclusive). io::SegmentCodec builds these straight off
+  /// mapped segment pages (adopt_rows, zero-copy) or from decoded
+  /// records (append_precomputed, the copy fallback).
+  struct AdoptedRow {
+    const std::byte* packed = nullptr;
+    const double* phi = nullptr;
+    bool valid = false;
+    std::size_t anchor_of = kNoAnchorRow;
+  };
+
+  /// Adopts @p rows as the matrix's entire contents without copying or
+  /// recomputing Φ: packed bytes and Φ rows stay where they are (mapped
+  /// segment pages), pinned by @p keepalive. Requires an empty matrix;
+  /// @p width is the shared packed element width of every row. Anchors
+  /// start empty — they are time-only state the caller re-pins.
+  void adopt_rows(std::size_t networks, std::size_t width,
+                  std::span<const AdoptedRow> rows,
+                  std::shared_ptr<const void> keepalive);
+
+  /// Copy-path twin of adopt_rows for one row: appends a row whose
+  /// packed bytes (@p src_width wide, host order) and Φ values were
+  /// already computed — a tail record, a big-endian or mixed-width
+  /// segment — without re-running the kernels. The matrix must have its
+  /// network count set (adopt_rows with an empty span does that).
+  void append_precomputed(const AdoptedRow& row, std::size_t src_width);
+
   UnknownPolicy policy() const noexcept { return policy_; }
   const std::vector<double>& weights() const noexcept { return weights_; }
 
@@ -175,7 +291,9 @@ class SimilarityMatrix {
   /// any pair (under the pessimistic policy a vector with unknowns is not
   /// 100% similar to itself — the paper's Verfploeter ceiling).
   double phi(std::size_t i, std::size_t j) const {
-    return values_.at(tri_index(i, j));
+    if (i >= n_ || j >= n_) throw std::out_of_range("SimilarityMatrix index");
+    if (i < j) std::swap(i, j);
+    return values_.get(i, j);
   }
   double dist(std::size_t i, std::size_t j) const { return 1.0 - phi(i, j); }
 
@@ -201,6 +319,7 @@ class SimilarityMatrix {
 
  private:
   friend class io::SnapshotCodec;
+  friend class io::SegmentCodec;
 
   /// One anchor: a row whose exact counts(row, j) are cached for every
   /// column j, plus the chained upper bound on |Δ(row, latest)|.
@@ -220,16 +339,11 @@ class SimilarityMatrix {
     std::uint64_t last_used = 0;
   };
 
-  std::size_t tri_index(std::size_t i, std::size_t j) const {
-    if (i >= n_ || j >= n_) throw std::out_of_range("SimilarityMatrix index");
-    if (i < j) std::swap(i, j);
-    return i * (i + 1) / 2 + j;
-  }
-
-  /// Canonical tri_index keys of all distinct valid unordered pairs
-  /// drawn from a × b (sorted, deduplicated).
-  std::vector<std::size_t> pair_keys(const std::vector<std::size_t>& a,
-                                     const std::vector<std::size_t>& b) const;
+  /// Canonical (row >= col) index pairs of all distinct valid unordered
+  /// pairs drawn from a × b (sorted, deduplicated).
+  std::vector<std::pair<std::size_t, std::size_t>> pair_keys(
+      const std::vector<std::size_t>& a,
+      const std::vector<std::size_t>& b) const;
 
   AnchorRow* find_anchor(std::size_t row);
   void pin_representative(AnchorRow anchor);
@@ -252,7 +366,7 @@ class SimilarityMatrix {
   void append_chunk(std::span<const RoutingVector> batch);
 
   std::size_t n_ = 0;
-  std::vector<double> values_;  // lower triangle incl. diagonal
+  TriangleStore values_;  // lower triangle incl. diagonal
   std::vector<char> valid_;
 
   UnknownPolicy policy_ = UnknownPolicy::kPessimistic;

@@ -1,0 +1,1738 @@
+#include "io/segment_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "chaos/killpoint.h"
+#include "core/dataset_io.h"
+#include "core/parallel.h"
+#include "io/snapshot.h"
+#include "io/wire.h"
+#include "obs/events.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/status_board.h"
+
+namespace fenrir::io {
+
+namespace {
+
+using core::DatasetIoError;
+using wire::fnv_init;
+using wire::fnv_mix;
+using wire::fnv_mix_u64;
+using wire::patch_u64;
+using wire::payload_checksum;
+using wire::put_i64;
+using wire::put_u32;
+using wire::put_u64;
+using wire::put_u64_array;
+using wire::put_u8;
+using wire::Reader;
+
+constexpr std::uint8_t kIdentityNone = 0;
+constexpr std::uint8_t kIdentityRowHashes = 1;
+constexpr std::uint8_t kIdentityLegacyPrefix = 2;
+constexpr std::uint32_t kFlagSealed = 1u;
+
+struct SegMetrics {
+  obs::Counter& sealed;
+  obs::Counter& compacted;
+  obs::Counter& retired;
+  obs::Counter& mmap_bytes;
+  obs::Counter& tail_flush;
+  obs::Counter& tail_bytes;
+  obs::Counter& checksum_verified;
+};
+
+SegMetrics& seg_metrics() {
+  static SegMetrics m{
+      obs::registry().counter("fenrir_segment_sealed_total",
+                              "tail segments sealed and rotated"),
+      obs::registry().counter(
+          "fenrir_segment_compacted_total",
+          "sealed segments merged away by compaction"),
+      obs::registry().counter(
+          "fenrir_segment_retired_total",
+          "sealed segments retired by the retention policy"),
+      obs::registry().counter(
+          "fenrir_segment_mmap_bytes_total",
+          "sealed segment bytes mapped for page adoption at load"),
+      obs::registry().counter("fenrir_segment_tail_flush_total",
+                              "tail flushes (pwrite + fsync + manifest)"),
+      obs::registry().counter("fenrir_segment_tail_bytes_total",
+                              "record bytes appended to tail segments"),
+      obs::registry().counter(
+          "fenrir_segment_checksum_verified_total",
+          "segment payload checksums actually recomputed (once per "
+          "mapped or compacted segment, never per save)")};
+  return m;
+}
+
+DatasetIoError store_corrupt(const std::string& what) {
+  obs::event_bus().emit(obs::Severity::kAlert, "segment_store_corrupt",
+                        "\"error\":\"" + obs::json_escape(what) + "\"");
+  return DatasetIoError(what);
+}
+
+std::size_t pad8(std::size_t n) { return (n + 7) & ~std::size_t{7}; }
+
+/// Record byte size for global row @p g in a segment with @p tri_base.
+std::size_t record_bytes(std::uint64_t g, std::uint64_t tri_base,
+                         std::size_t networks, std::size_t width) {
+  return 32 + pad8(networks * width) +
+         8 * static_cast<std::size_t>(g - tri_base + 1);
+}
+
+std::uint64_t load_u64le(const std::byte* p) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+  } else {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(std::to_integer<unsigned>(p[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+}
+
+/// Little-endian append of one packed assignment row, converting from
+/// @p src_width (host order) to @p dst_width on the way when they
+/// differ (compaction merges runs to their widest member).
+void put_packed_le(std::string& out, const std::byte* src,
+                   std::size_t networks, std::size_t src_width,
+                   std::size_t dst_width) {
+  if (src_width == dst_width &&
+      std::endian::native == std::endian::little) {
+    out.append(reinterpret_cast<const char*>(src), networks * src_width);
+  } else {
+    for (std::size_t n = 0; n < networks; ++n) {
+      std::uint32_t v = 0;
+      if (src_width == 1) {
+        std::uint8_t x;
+        std::memcpy(&x, src + n, 1);
+        v = x;
+      } else if (src_width == 2) {
+        std::uint16_t x;
+        std::memcpy(&x, src + n * 2, 2);
+        v = x;
+      } else {
+        std::memcpy(&v, src + n * 4, 4);
+      }
+      for (std::size_t b = 0; b < dst_width; ++b) {
+        out.push_back(static_cast<char>((v >> (8 * b)) & 0xFFu));
+      }
+    }
+  }
+  out.append(pad8(networks * dst_width) - networks * dst_width, '\0');
+}
+
+std::string encode_segment_header(std::uint32_t flags, std::uint64_t id,
+                                  std::uint64_t base_row, std::uint64_t rows,
+                                  std::uint64_t networks, std::uint64_t width,
+                                  std::uint64_t tri_base,
+                                  std::uint64_t payload_bytes,
+                                  std::int64_t min_time,
+                                  std::int64_t max_time) {
+  std::string h;
+  h.append(kSegmentMagic, sizeof(kSegmentMagic));
+  put_u32(h, kSegmentVersion);
+  put_u32(h, flags);
+  put_u64(h, id);
+  put_u64(h, base_row);
+  put_u64(h, rows);
+  put_u64(h, networks);
+  put_u64(h, width);
+  put_u64(h, tri_base);
+  put_u64(h, payload_bytes);
+  put_i64(h, min_time);
+  put_i64(h, max_time);
+  h.resize(kSegmentHeaderBytes, '\0');
+  return h;
+}
+
+struct SegmentHeader {
+  std::uint32_t flags = 0;
+  std::uint64_t id = 0;
+  std::uint64_t base_row = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t networks = 0;
+  std::uint64_t width = 0;
+  std::uint64_t tri_base = 0;
+  std::uint64_t payload_bytes = 0;
+  std::int64_t min_time = 0;
+  std::int64_t max_time = 0;
+};
+
+SegmentHeader decode_segment_header(const std::byte* data, std::size_t size,
+                                    const std::string& name) {
+  if (size < kSegmentHeaderBytes ||
+      std::memcmp(data, kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    throw store_corrupt("segment " + name +
+                        ": bad magic — not a fenrir segment file (expected "
+                        "it to start with FENRSEG1)");
+  }
+  Reader r{reinterpret_cast<const unsigned char*>(data), kSegmentHeaderBytes,
+           sizeof(kSegmentMagic), "segment"};
+  SegmentHeader h;
+  const std::uint32_t version = r.get_u32();
+  if (version != kSegmentVersion) {
+    throw store_corrupt("segment " + name + ": version skew — file is v" +
+                        std::to_string(version) + ", this build reads v" +
+                        std::to_string(kSegmentVersion));
+  }
+  h.flags = r.get_u32();
+  h.id = r.get_u64();
+  h.base_row = r.get_u64();
+  h.rows = r.get_u64();
+  h.networks = r.get_u64();
+  h.width = r.get_u64();
+  h.tri_base = r.get_u64();
+  h.payload_bytes = r.get_u64();
+  h.min_time = r.get_i64();
+  h.max_time = r.get_i64();
+  if (h.width != 1 && h.width != 2 && h.width != 4) {
+    throw store_corrupt("segment " + name +
+                        ": inconsistent — packed width " +
+                        std::to_string(h.width) + " is not 1, 2, or 4");
+  }
+  if (h.tri_base > h.base_row) {
+    throw store_corrupt("segment " + name +
+                        ": inconsistent — tri_base past base_row");
+  }
+  return h;
+}
+
+// --- POSIX helpers (EINTR-safe, DatasetIoError on failure) --------------
+
+int open_or_throw(const std::filesystem::path& path, int flags, mode_t mode) {
+  const int fd = ::open(path.c_str(), flags, mode);
+  if (fd < 0) {
+    throw DatasetIoError("cannot open " + path.string() + ": " +
+                         std::strerror(errno));
+  }
+  return fd;
+}
+
+void pwrite_all(int fd, const void* data, std::size_t len, off_t off,
+                const std::filesystem::path& path) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pwrite(fd, p + done, len - done,
+                               off + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw DatasetIoError("cannot write " + path.string() + ": " +
+                           std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void pread_all(int fd, void* data, std::size_t len, off_t off,
+               const std::filesystem::path& path) {
+  char* p = static_cast<char*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        ::pread(fd, p + done, len - done, off + static_cast<off_t>(done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw DatasetIoError("cannot read " + path.string() + ": " +
+                           std::strerror(errno));
+    }
+    if (n == 0) {
+      throw store_corrupt("segment " + path.filename().string() +
+                          ": truncated — the file ends before its recorded "
+                          "payload");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsync_or_throw(int fd, const std::filesystem::path& path) {
+  if (::fsync(fd) != 0) {
+    throw DatasetIoError("cannot fsync " + path.string() + ": " +
+                         std::strerror(errno));
+  }
+}
+
+void fsync_dir(const std::filesystem::path& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::string read_whole_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw DatasetIoError("cannot open " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw DatasetIoError("cannot read " + path.string());
+  }
+  return std::move(buffer).str();
+}
+
+/// One read-only mapping of a sealed segment, alive as long as any
+/// matrix adopted pages from it.
+struct Mapping {
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+  Mapping() = default;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  Mapping(Mapping&& o) noexcept : data(o.data), size(o.size) {
+    o.data = nullptr;
+    o.size = 0;
+  }
+  ~Mapping() {
+    if (data != nullptr) {
+      ::munmap(const_cast<std::byte*>(data), size);
+    }
+  }
+};
+
+Mapping map_file(const std::filesystem::path& path, std::size_t need) {
+  const int fd = open_or_throw(path, O_RDONLY, 0);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw DatasetIoError("cannot stat " + path.string() + ": " +
+                         std::strerror(err));
+  }
+  if (static_cast<std::size_t>(st.st_size) < need) {
+    ::close(fd);
+    throw store_corrupt("segment " + path.filename().string() +
+                        ": truncated — the file ends before its recorded "
+                        "payload");
+  }
+  void* addr = ::mmap(nullptr, need, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    throw DatasetIoError("cannot mmap " + path.string() + ": " +
+                         std::strerror(err));
+  }
+  Mapping m;
+  m.data = static_cast<const std::byte*>(addr);
+  m.size = need;
+  return m;
+}
+
+/// What load() keeps alive behind the matrix: the sealed mappings, the
+/// tail's read-back bytes, and any host-order conversion buffers the
+/// copy fallback produced.
+struct LoadKeepalive {
+  std::vector<Mapping> maps;
+  std::string tail_bytes;
+  std::vector<std::vector<double>> phi_buffers;
+  std::vector<std::vector<std::byte>> packed_buffers;
+};
+
+struct RecordView {
+  bool valid = false;
+  std::int64_t time = 0;
+  std::uint64_t anchor_of = kNoAnchor;
+  std::uint64_t row_hash = 0;
+  const std::byte* packed = nullptr;
+  const std::byte* phi_bytes = nullptr;
+  std::size_t phi_count = 0;
+};
+
+RecordView parse_record(const std::byte* rec, std::uint64_t g,
+                        std::uint64_t tri_base, std::size_t networks,
+                        std::size_t width) {
+  RecordView v;
+  v.valid = (load_u64le(rec) & 1) != 0;
+  v.time = static_cast<std::int64_t>(load_u64le(rec + 8));
+  v.anchor_of = load_u64le(rec + 16);
+  v.row_hash = load_u64le(rec + 24);
+  v.packed = rec + 32;
+  v.phi_bytes = rec + 32 + pad8(networks * width);
+  v.phi_count = static_cast<std::size_t>(g - tri_base + 1);
+  return v;
+}
+
+std::uint64_t dataset_header_hash(const core::Dataset& dataset) {
+  std::uint64_t h = fnv_init();
+  fnv_mix_u64(h, dataset.networks.size());
+  for (core::NetId id = 0; id < dataset.networks.size(); ++id) {
+    fnv_mix_u64(h, dataset.networks.key(id));
+  }
+  fnv_mix_u64(h, dataset.weights.size());
+  for (const double w : dataset.weights) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &w, sizeof(bits));
+    fnv_mix_u64(h, bits);
+  }
+  return h;
+}
+
+std::uint64_t dataset_names_hash(const core::Dataset& dataset,
+                                 std::uint64_t max_site) {
+  std::uint64_t h = fnv_init();
+  fnv_mix_u64(h, max_site + 1);
+  for (core::SiteId s = 0; s <= max_site; ++s) {
+    const std::string& name = dataset.sites.name(s);
+    fnv_mix_u64(h, name.size());
+    fnv_mix(h, name.data(), name.size());
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t segment_row_hash(const core::RoutingVector& v) {
+  std::uint64_t h = fnv_init();
+  fnv_mix_u64(h, static_cast<std::uint64_t>(v.time));
+  fnv_mix_u64(h, v.valid ? 1 : 0);
+  fnv_mix_u64(h, v.assignment.size());
+  for (const core::SiteId s : v.assignment) fnv_mix_u64(h, s);
+  return h;
+}
+
+// SegmentCodec is the segment store's window into SimilarityMatrix and
+// PackedSeries private state — the read-side twin of SnapshotCodec.
+class SegmentCodec {
+ public:
+  static std::size_t networks(const core::SimilarityMatrix& m) {
+    return m.packed_.networks_;
+  }
+  static std::size_t packed_width(const core::SimilarityMatrix& m) {
+    return m.packed_.width_;
+  }
+  static const std::byte* packed_row(const core::SimilarityMatrix& m,
+                                     std::size_t row) {
+    return m.packed_.row_ptr(row);
+  }
+  static const double* phi_row(const core::SimilarityMatrix& m,
+                               std::size_t row) {
+    return m.values_.row(row);
+  }
+  static std::size_t anchor_of(const core::SimilarityMatrix& m,
+                               std::size_t row) {
+    return row < m.anchor_of_.size()
+               ? m.anchor_of_[row]
+               : core::SimilarityMatrix::kNoAnchorRow;
+  }
+};
+
+// --- construction / recovery --------------------------------------------
+
+SegmentStore::SegmentStore(std::filesystem::path dir, SegmentStoreConfig cfg)
+    : dir_(std::move(dir)), cfg_(std::move(cfg)) {
+  std::filesystem::create_directories(dir_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  bool dirty = false;
+  if (std::filesystem::exists(manifest_path())) {
+    const std::string bytes = read_whole_file(manifest_path());
+    decode_manifest(bytes);
+
+    // Roll an interrupted lifecycle step forward. The manifest is the
+    // source of truth; files only ever run *ahead* of it.
+    if (tail_.has_value()) {
+      const std::filesystem::path tp = tail_path(tail_->id);
+      const std::filesystem::path sp = segment_path(tail_->id);
+      const auto salvage = [&] {
+        obs::event_bus().emit(
+            obs::Severity::kWarn, "segment_tail_salvaged",
+            "\"id\":" + std::to_string(tail_->id) + ",\"dropped_rows\":" +
+                std::to_string(tail_->durable_rows));
+        FENRIR_LOG(Warn)
+                .field("id", tail_->id)
+                .field("dropped_rows", tail_->durable_rows)
+            << "torn tail dropped; sealed history retained";
+        processed_ = tail_->base_row;
+        std::error_code ec;
+        std::filesystem::remove(tp, ec);
+        tail_.reset();
+        dirty = true;
+      };
+      if (std::filesystem::exists(tp)) {
+        std::string head(kSegmentHeaderBytes, '\0');
+        const int fd = open_or_throw(tp, O_RDWR, 0);
+        struct stat st{};
+        ::fstat(fd, &st);
+        const std::size_t need =
+            kSegmentHeaderBytes + tail_->payload_bytes;
+        if (static_cast<std::size_t>(st.st_size) < need) {
+          ::close(fd);
+          salvage();  // the protocol was violated below us — drop the tail
+        } else {
+          pread_all(fd, head.data(), head.size(), 0, tp);
+          const SegmentHeader h = decode_segment_header(
+              reinterpret_cast<const std::byte*>(head.data()), head.size(),
+              tp.filename().string());
+          if ((h.flags & kFlagSealed) != 0) {
+            // Crashed between the seal's header patch and its rename:
+            // finish the rename and adopt the sealed segment below.
+            ::close(fd);
+            if (::rename(tp.c_str(), sp.c_str()) != 0) {
+              throw DatasetIoError("cannot rename " + tp.string() +
+                                   ": " + std::strerror(errno));
+            }
+            fsync_dir(dir_);
+          } else {
+            // Drop any appended-but-unmanifested suffix.
+            if (static_cast<std::size_t>(st.st_size) > need) {
+              if (::ftruncate(fd, static_cast<off_t>(need)) != 0) {
+                const int err = errno;
+                ::close(fd);
+                throw DatasetIoError("cannot truncate " + tp.string() +
+                                     ": " + std::strerror(err));
+              }
+            }
+            tail_->rows = tail_->durable_rows;
+            tail_->fd = fd;
+          }
+        }
+      } else if (!std::filesystem::exists(sp)) {
+        salvage();  // the tail vanished entirely
+      }
+      // A seal that crashed after its rename (with or without the
+      // roll-forward above): the sealed file exists under seg-<id> but
+      // the manifest still lists it as the tail.
+      if (tail_.has_value() && tail_->fd < 0 &&
+          std::filesystem::exists(sp)) {
+        const std::string bytes2 = read_whole_file(sp);
+        const SegmentHeader h = decode_segment_header(
+            reinterpret_cast<const std::byte*>(bytes2.data()), bytes2.size(),
+            sp.filename().string());
+        if (bytes2.size() <
+            kSegmentHeaderBytes + h.payload_bytes + kSegmentTrailerBytes) {
+          throw store_corrupt("segment " + sp.filename().string() +
+                              ": truncated — the file ends before its "
+                              "recorded payload");
+        }
+        SegmentInfo info;
+        info.id = h.id;
+        info.base_row = h.base_row;
+        info.rows = h.rows;
+        info.tri_base = h.tri_base;
+        info.width = h.width;
+        info.payload_bytes = h.payload_bytes;
+        info.checksum = static_cast<std::uint32_t>(load_u64le(
+            reinterpret_cast<const std::byte*>(bytes2.data()) +
+            kSegmentHeaderBytes + h.payload_bytes));
+        info.min_time = h.min_time;
+        info.max_time = h.max_time;
+        sealed_.push_back(info);
+        processed_ = std::max(processed_, info.base_row + info.rows);
+        tail_.reset();
+        dirty = true;
+      }
+    }
+  }
+
+  // Collect leftovers no committed state references: crashed atomic
+  // writes, compaction outputs that never committed, orphaned tails.
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name == "MANIFEST") continue;
+    bool referenced = false;
+    if (tail_.has_value() && entry.path() == tail_path(tail_->id)) {
+      referenced = true;
+    }
+    for (const SegmentInfo& s : sealed_) {
+      if (entry.path() == segment_path(s.id)) referenced = true;
+    }
+    if (!referenced) {
+      std::error_code ec;
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+  if (dirty) write_manifest_locked();
+  publish_status_locked();
+}
+
+SegmentStore::~SegmentStore() {
+  if (compactor_.joinable()) compactor_.join();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (tail_.has_value() && tail_->fd >= 0) ::close(tail_->fd);
+}
+
+bool SegmentStore::looks_like_store(const std::filesystem::path& path) {
+  return std::filesystem::is_directory(path) &&
+         std::filesystem::exists(path / "MANIFEST");
+}
+
+std::filesystem::path SegmentStore::manifest_path() const {
+  return dir_ / "MANIFEST";
+}
+
+std::filesystem::path SegmentStore::segment_path(std::uint64_t id) const {
+  return dir_ / ("seg-" + std::to_string(id) + ".fenrseg");
+}
+
+std::filesystem::path SegmentStore::tail_path(std::uint64_t id) const {
+  return dir_ / ("tail-" + std::to_string(id) + ".fenrseg");
+}
+
+// --- manifest -----------------------------------------------------------
+
+std::string SegmentStore::encode_manifest_locked() const {
+  std::string out;
+  out.append(kManifestMagic, sizeof(kManifestMagic));
+  put_u32(out, kManifestVersion);
+  const std::size_t length_at = out.size();
+  put_u64(out, 0);  // total length, patched below
+  put_u8(out, identity_mode_);
+  put_u8(out, policy_ == core::UnknownPolicy::kKnownOnly ? 1 : 0);
+  put_u8(out, has_modebook_ ? 1 : 0);
+  put_u8(out, configured_ ? 1 : 0);
+  put_u64(out, header_hash_);
+  put_u64(out, names_hash_);
+  put_u64(out, max_site_seen_);
+  put_u64(out, legacy_prefix_hash_);
+  put_u64(out, networks_);
+  put_u64(out, weights_.size());
+  put_u64_array(out, weights_.data(), weights_.size());
+  put_u64(out, base_row_);
+  put_u64(out, processed_);
+  put_u64(out, next_segment_id_);
+  put_i64(out, max_time_seen_);
+  put_u64(out, sealed_.size());
+  for (const SegmentInfo& s : sealed_) {
+    put_u64(out, s.id);
+    put_u64(out, s.base_row);
+    put_u64(out, s.rows);
+    put_u64(out, s.tri_base);
+    put_u64(out, s.width);
+    put_u64(out, s.payload_bytes);
+    put_u32(out, s.checksum);
+    put_i64(out, s.min_time);
+    put_i64(out, s.max_time);
+  }
+  put_u8(out, tail_.has_value() ? 1 : 0);
+  if (tail_.has_value()) {
+    put_u64(out, tail_->id);
+    put_u64(out, tail_->base_row);
+    put_u64(out, tail_->tri_base);
+    put_u64(out, tail_->width);
+    put_u64(out, tail_->durable_rows);
+    put_u64(out, tail_->payload_bytes);
+    put_i64(out, tail_->min_time);
+    put_i64(out, tail_->max_time);
+  }
+  if (has_modebook_) {
+    put_u64(out, representatives_.size());
+    for (const core::RoutingVector& rep : representatives_) {
+      put_i64(out, rep.time);
+      put_u8(out, rep.valid ? 1 : 0);
+      put_u64(out, rep.assignment.size());
+      for (const core::SiteId s : rep.assignment) put_u32(out, s);
+    }
+    put_u64(out, history_.size());
+    for (const std::size_t m : history_) put_u64(out, m);
+  }
+  patch_u64(out, length_at, out.size() + 4);  // the CRC trailer follows
+  put_u32(out, payload_checksum(out.data(), out.size()));
+  return out;
+}
+
+void SegmentStore::decode_manifest(const std::string& bytes) {
+  if (bytes.size() < sizeof(kManifestMagic) ||
+      std::memcmp(bytes.data(), kManifestMagic, sizeof(kManifestMagic)) !=
+          0) {
+    throw store_corrupt(
+        "segment manifest: bad magic — not a fenrir segment-store manifest "
+        "(expected it to start with FENRMANI)");
+  }
+  if (bytes.size() < 24) {
+    throw store_corrupt(
+        "segment manifest: truncated — the file ends inside the header");
+  }
+  Reader r{reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size(),
+           sizeof(kManifestMagic), "segment manifest"};
+  const std::uint32_t version = r.get_u32();
+  if (version != kManifestVersion) {
+    throw store_corrupt("segment manifest: version skew — file is v" +
+                        std::to_string(version) + ", this build reads v" +
+                        std::to_string(kManifestVersion));
+  }
+  const std::uint64_t total = r.get_u64();
+  if (total > bytes.size()) {
+    throw store_corrupt(
+        "segment manifest: truncated — the file is shorter than its "
+        "recorded length");
+  }
+  if (total < bytes.size()) {
+    throw store_corrupt(
+        "segment manifest: trailing bytes after the recorded length");
+  }
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  if constexpr (std::endian::native == std::endian::big) {
+    stored_crc = __builtin_bswap32(stored_crc);
+  }
+  if (stored_crc != payload_checksum(bytes.data(), bytes.size() - 4)) {
+    throw store_corrupt(
+        "segment manifest: checksum mismatch — the file is corrupt (bit "
+        "rot or a partial copy)");
+  }
+  r.size = bytes.size() - 4;
+
+  identity_mode_ = r.get_u8();
+  policy_ = r.get_u8() != 0 ? core::UnknownPolicy::kKnownOnly
+                            : core::UnknownPolicy::kPessimistic;
+  has_modebook_ = r.get_u8() != 0;
+  configured_ = r.get_u8() != 0;
+  header_hash_ = r.get_u64();
+  names_hash_ = r.get_u64();
+  max_site_seen_ = r.get_u64();
+  legacy_prefix_hash_ = r.get_u64();
+  networks_ = static_cast<std::size_t>(r.get_u64());
+  const std::size_t weight_count = r.get_count(8);
+  weights_.resize(weight_count);
+  r.get_u64_array(weights_.data(), weight_count);
+  base_row_ = r.get_u64();
+  processed_ = r.get_u64();
+  next_segment_id_ = r.get_u64();
+  max_time_seen_ = r.get_i64();
+  const std::size_t sealed_count = r.get_count(68);
+  std::uint64_t expect_base = base_row_;
+  sealed_.clear();
+  for (std::size_t k = 0; k < sealed_count; ++k) {
+    SegmentInfo s;
+    s.id = r.get_u64();
+    s.base_row = r.get_u64();
+    s.rows = r.get_u64();
+    s.tri_base = r.get_u64();
+    s.width = r.get_u64();
+    s.payload_bytes = r.get_u64();
+    s.checksum = r.get_u32();
+    s.min_time = r.get_i64();
+    s.max_time = r.get_i64();
+    if (s.base_row != expect_base || s.tri_base > s.base_row ||
+        (s.width != 1 && s.width != 2 && s.width != 4)) {
+      throw store_corrupt(
+          "segment manifest: inconsistent — sealed segments do not tile "
+          "the retained window");
+    }
+    expect_base = s.base_row + s.rows;
+    sealed_.push_back(s);
+  }
+  tail_.reset();
+  if (r.get_u8() != 0) {
+    TailState t;
+    t.id = r.get_u64();
+    t.base_row = r.get_u64();
+    t.tri_base = r.get_u64();
+    t.width = r.get_u64();
+    t.durable_rows = r.get_u64();
+    t.rows = t.durable_rows;
+    t.payload_bytes = r.get_u64();
+    t.min_time = r.get_i64();
+    t.max_time = r.get_i64();
+    if (t.base_row != expect_base || t.tri_base > t.base_row ||
+        (t.width != 1 && t.width != 2 && t.width != 4)) {
+      throw store_corrupt(
+          "segment manifest: inconsistent — the tail does not continue "
+          "the sealed window");
+    }
+    expect_base = t.base_row + t.durable_rows;
+    tail_ = t;
+  }
+  if (processed_ != expect_base) {
+    throw store_corrupt(
+        "segment manifest: inconsistent — processed count disagrees with "
+        "the segment rows");
+  }
+  representatives_.clear();
+  history_.clear();
+  if (has_modebook_) {
+    const std::size_t mode_count = r.get_count(17);
+    representatives_.reserve(mode_count);
+    for (std::size_t m = 0; m < mode_count; ++m) {
+      core::RoutingVector rep;
+      rep.time = r.get_i64();
+      rep.valid = r.get_u8() != 0;
+      const std::size_t size = r.get_count(4);
+      rep.assignment.resize(size);
+      for (std::size_t s = 0; s < size; ++s) {
+        rep.assignment[s] = r.get_u32();
+      }
+      representatives_.push_back(std::move(rep));
+    }
+    const std::size_t history_count = r.get_count(8);
+    history_.resize(history_count);
+    for (std::size_t m = 0; m < history_count; ++m) {
+      history_[m] = static_cast<std::size_t>(r.get_u64());
+    }
+  }
+}
+
+void SegmentStore::write_manifest_locked() {
+  atomic_write_file(manifest_path(), encode_manifest_locked());
+}
+
+// --- identity / configuration ------------------------------------------
+
+void SegmentStore::attach(const core::Dataset* dataset) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  dataset_ = dataset;
+  if (dataset != nullptr && identity_mode_ == kIdentityNone) {
+    identity_mode_ = kIdentityRowHashes;
+    header_hash_ = dataset_header_hash(*dataset);
+    names_hash_stale_ = true;
+  }
+}
+
+void SegmentStore::configure(core::UnknownPolicy policy,
+                             std::vector<double> weights) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (processed_ != 0) {
+    throw std::logic_error("SegmentStore::configure: store has rows");
+  }
+  policy_ = policy;
+  weights_ = std::move(weights);
+  configured_ = true;
+}
+
+void SegmentStore::set_legacy_identity(std::uint64_t prefix_hash) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  identity_mode_ = kIdentityLegacyPrefix;
+  legacy_prefix_hash_ = prefix_hash;
+}
+
+void SegmentStore::set_modebook_state(
+    bool has_modebook, std::vector<core::RoutingVector> representatives,
+    std::vector<std::size_t> history) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  has_modebook_ = has_modebook;
+  representatives_ = std::move(representatives);
+  history_ = std::move(history);
+}
+
+void SegmentStore::refresh_names_hash_locked() {
+  if (!names_hash_stale_ || dataset_ == nullptr) return;
+  names_hash_ = dataset_names_hash(*dataset_, max_site_seen_);
+  names_hash_stale_ = false;
+}
+
+// --- tail lifecycle -----------------------------------------------------
+
+void SegmentStore::open_tail_locked(std::uint64_t width) {
+  TailState t;
+  t.id = next_segment_id_++;
+  t.base_row = processed_;
+  t.tri_base = base_row_;
+  t.width = width;
+  const std::filesystem::path tp = tail_path(t.id);
+  t.fd = open_or_throw(tp, O_RDWR | O_CREAT | O_TRUNC, 0644);
+  const std::string header = encode_segment_header(
+      0, t.id, t.base_row, 0, networks_, t.width, t.tri_base, 0, 0, 0);
+  pwrite_all(t.fd, header.data(), header.size(), 0, tp);
+  fsync_or_throw(t.fd, tp);
+  tail_ = t;
+}
+
+void SegmentStore::ensure_tail_locked(std::size_t networks,
+                                      std::uint64_t width) {
+  if (networks_ == 0) networks_ = networks;
+  if (networks != networks_) {
+    throw std::invalid_argument("SegmentStore: network count mismatch");
+  }
+  if (tail_.has_value() && tail_->width != width) {
+    if (tail_->rows > 0 || !pending_.empty()) {
+      // The series widened mid-tail: records in one segment share one
+      // width, so seal what we have and start a fresh tail.
+      flush_locked(true);
+    } else {
+      ::close(tail_->fd);
+      std::error_code ec;
+      std::filesystem::remove(tail_path(tail_->id), ec);
+      tail_.reset();
+    }
+  }
+  if (tail_.has_value() && tail_->fd < 0) {
+    tail_->fd = open_or_throw(tail_path(tail_->id), O_RDWR, 0);
+  }
+  if (!tail_.has_value()) open_tail_locked(width);
+}
+
+void SegmentStore::append_record_locked(
+    bool valid, std::int64_t time, std::uint64_t anchor_of,
+    std::uint64_t row_hash, std::size_t networks, std::uint64_t width,
+    std::span<const std::byte> packed, std::span<const double> phi) {
+  ensure_tail_locked(networks, width);
+  const std::uint64_t g = processed_;
+  if (phi.size() != static_cast<std::size_t>(g - tail_->tri_base + 1)) {
+    throw std::invalid_argument(
+        "SegmentStore: phi span does not cover the retained window");
+  }
+  put_u64(pending_, valid ? 1 : 0);
+  put_i64(pending_, time);
+  put_u64(pending_, anchor_of);
+  put_u64(pending_, row_hash);
+  put_packed_le(pending_, packed.data(), networks,
+                packed.size() / std::max<std::size_t>(networks, 1),
+                static_cast<std::size_t>(width));
+  put_u64_array(pending_, phi.data(), phi.size());
+  if (tail_->rows == 0) {
+    tail_->min_time = time;
+    tail_->max_time = time;
+  } else {
+    tail_->min_time = std::min(tail_->min_time, time);
+    tail_->max_time = std::max(tail_->max_time, time);
+  }
+  tail_->rows += 1;
+  max_time_seen_ = std::max(max_time_seen_, time);
+  processed_ += 1;
+}
+
+void SegmentStore::spill(const core::RoutingVector& v,
+                         const core::SimilarityMatrix& matrix) {
+  if (matrix.size() == 0) {
+    throw std::logic_error("SegmentStore::spill: matrix is empty");
+  }
+  spill_row(v, matrix, matrix.size() - 1);
+}
+
+void SegmentStore::spill_row(const core::RoutingVector& v,
+                             const core::SimilarityMatrix& matrix,
+                             std::size_t row) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!configured_) {
+    policy_ = matrix.policy();
+    weights_ = matrix.weights();
+    configured_ = true;
+  }
+  if (row >= matrix.size()) {
+    throw std::logic_error("SegmentStore::spill_row: row out of range");
+  }
+  const std::size_t local = row;
+  const std::uint64_t g = processed_;
+  if (g < local) {
+    throw std::logic_error(
+        "SegmentStore::spill: matrix is longer than the store's history");
+  }
+  const std::uint64_t session_base = g - local;
+  const std::size_t networks = SegmentCodec::networks(matrix);
+  const std::uint64_t width = SegmentCodec::packed_width(matrix);
+  for (const core::SiteId s : v.assignment) {
+    if (s > max_site_seen_) {
+      max_site_seen_ = s;
+      names_hash_stale_ = true;
+    }
+  }
+  const std::size_t local_anchor = SegmentCodec::anchor_of(matrix, local);
+  const std::uint64_t anchor =
+      local_anchor == core::SimilarityMatrix::kNoAnchorRow
+          ? kNoAnchor
+          : static_cast<std::uint64_t>(local_anchor) + session_base;
+  ensure_tail_locked(networks, width);
+  // The tail stores Φ columns from its tri_base on; the matrix row holds
+  // columns from the session base on. tri_base >= session_base always
+  // (the base only advances), so the slice below is in range.
+  const double* phi = SegmentCodec::phi_row(matrix, local) +
+                      (tail_->tri_base - session_base);
+  const std::size_t phi_count =
+      static_cast<std::size_t>(g - tail_->tri_base + 1);
+  append_record_locked(v.valid, v.time, anchor, segment_row_hash(v),
+                       networks, width,
+                       {SegmentCodec::packed_row(matrix, local),
+                        networks * static_cast<std::size_t>(width)},
+                       {phi, phi_count});
+}
+
+void SegmentStore::append_raw(bool valid, std::int64_t time,
+                              std::uint64_t anchor_of,
+                              std::uint64_t row_hash, std::size_t networks,
+                              std::size_t width,
+                              std::span<const std::byte> packed,
+                              std::span<const double> phi) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  append_record_locked(valid, time, anchor_of, row_hash, networks, width,
+                       packed, phi);
+}
+
+void SegmentStore::flush(const core::ModeBook* book) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (book != nullptr) {
+    has_modebook_ = true;
+    representatives_.clear();
+    representatives_.reserve(book->mode_count());
+    for (std::size_t m = 0; m < book->mode_count(); ++m) {
+      representatives_.push_back(book->representative(m));
+    }
+    history_ = book->history();
+  }
+  flush_locked(false);
+}
+
+void SegmentStore::seal_active() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  flush_locked(true);
+}
+
+void SegmentStore::flush_locked(bool force_seal) {
+  refresh_names_hash_locked();
+  if (tail_.has_value() && !pending_.empty()) {
+    const std::filesystem::path tp = tail_path(tail_->id);
+    pwrite_all(tail_->fd, pending_.data(), pending_.size(),
+               static_cast<off_t>(kSegmentHeaderBytes +
+                                  tail_->payload_bytes),
+               tp);
+    fsync_or_throw(tail_->fd, tp);
+    SegMetrics& m = seg_metrics();
+    m.tail_flush.inc();
+    m.tail_bytes.inc(pending_.size());
+    tail_->payload_bytes += pending_.size();
+    tail_->durable_rows = tail_->rows;
+    pending_.clear();
+    chaos::maybe_kill_at("segment_tail_flush");
+  }
+  write_manifest_locked();
+  if (tail_.has_value() && tail_->durable_rows > 0 &&
+      (force_seal || tail_->durable_rows >= cfg_.seal_rows)) {
+    seal_tail_locked();
+    std::vector<std::filesystem::path> retired;
+    apply_retention_locked(retired);
+    write_manifest_locked();
+    for (const std::filesystem::path& p : retired) {
+      std::error_code ec;
+      std::filesystem::remove(p, ec);
+    }
+  }
+  maybe_start_compaction_locked();
+  publish_status_locked();
+}
+
+void SegmentStore::seal_tail_locked() {
+  TailState& t = *tail_;
+  const std::filesystem::path tp = tail_path(t.id);
+  std::string payload(t.payload_bytes, '\0');
+  pread_all(t.fd, payload.data(), payload.size(),
+            static_cast<off_t>(kSegmentHeaderBytes), tp);
+  const std::uint32_t crc =
+      payload_checksum(payload.data(), payload.size());
+  const std::string header = encode_segment_header(
+      kFlagSealed, t.id, t.base_row, t.durable_rows, networks_, t.width,
+      t.tri_base, t.payload_bytes, t.min_time, t.max_time);
+  pwrite_all(t.fd, header.data(), header.size(), 0, tp);
+  std::string trailer;
+  put_u32(trailer, crc);
+  put_u32(trailer, 0);
+  trailer.append(kSegmentTrailerMagic, sizeof(kSegmentTrailerMagic));
+  pwrite_all(t.fd, trailer.data(), trailer.size(),
+             static_cast<off_t>(kSegmentHeaderBytes + t.payload_bytes), tp);
+  fsync_or_throw(t.fd, tp);
+  ::close(t.fd);
+  const std::filesystem::path sp = segment_path(t.id);
+  if (::rename(tp.c_str(), sp.c_str()) != 0) {
+    throw DatasetIoError("cannot rename " + tp.string() + " over " +
+                         sp.string() + ": " + std::strerror(errno));
+  }
+  fsync_dir(dir_);
+  chaos::maybe_kill_at("segment_seal_rename");
+  SegmentInfo info;
+  info.id = t.id;
+  info.base_row = t.base_row;
+  info.rows = t.durable_rows;
+  info.tri_base = t.tri_base;
+  info.width = t.width;
+  info.payload_bytes = t.payload_bytes;
+  info.checksum = crc;
+  info.min_time = t.min_time;
+  info.max_time = t.max_time;
+  sealed_.push_back(info);
+  tail_.reset();
+  seg_metrics().sealed.inc();
+  obs::event_bus().emit(obs::Severity::kInfo, "segment_sealed",
+                        "\"id\":" + std::to_string(info.id) +
+                            ",\"rows\":" + std::to_string(info.rows) +
+                            ",\"bytes\":" +
+                            std::to_string(info.payload_bytes));
+}
+
+void SegmentStore::apply_retention_locked(
+    std::vector<std::filesystem::path>& retired) {
+  while (!sealed_.empty()) {
+    const SegmentInfo& front = sealed_.front();
+    bool retire = false;
+    if (cfg_.retain_obs > 0 && processed_ > cfg_.retain_obs &&
+        front.base_row + front.rows <= processed_ - cfg_.retain_obs) {
+      retire = true;
+    }
+    if (!retire && cfg_.retain_seconds > 0 &&
+        front.max_time < max_time_seen_ - cfg_.retain_seconds) {
+      retire = true;
+    }
+    if (!retire) break;
+    retired.push_back(segment_path(front.id));
+    seg_metrics().retired.inc();
+    sealed_.erase(sealed_.begin());
+  }
+  base_row_ = !sealed_.empty()
+                  ? sealed_.front().base_row
+                  : (tail_.has_value() ? tail_->base_row : processed_);
+}
+
+// --- accessors ----------------------------------------------------------
+
+std::uint64_t SegmentStore::processed() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return processed_;
+}
+
+std::uint64_t SegmentStore::base_row() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return base_row_;
+}
+
+std::uint64_t SegmentStore::tail_rows() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return tail_.has_value() ? tail_->rows : 0;
+}
+
+std::uint64_t SegmentStore::cold_bytes() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::uint64_t total = 0;
+  for (const SegmentInfo& s : sealed_) {
+    total += kSegmentHeaderBytes + s.payload_bytes + kSegmentTrailerBytes;
+  }
+  return total;
+}
+
+bool SegmentStore::empty() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return processed_ == base_row_ && sealed_.empty() &&
+         (!tail_.has_value() || tail_->rows == 0);
+}
+
+bool SegmentStore::legacy_identity() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return identity_mode_ == kIdentityLegacyPrefix;
+}
+
+core::UnknownPolicy SegmentStore::policy() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return policy_;
+}
+
+const std::vector<double>& SegmentStore::weights() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return weights_;
+}
+
+std::vector<SegmentInfo> SegmentStore::segments() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return sealed_;
+}
+
+void SegmentStore::publish_status_locked() const {
+  std::uint64_t cold = 0;
+  for (const SegmentInfo& s : sealed_) {
+    cold += kSegmentHeaderBytes + s.payload_bytes + kSegmentTrailerBytes;
+  }
+  std::ostringstream os;
+  os << "{\"segments\":" << sealed_.size()
+     << ",\"tail_rows\":" << (tail_.has_value() ? tail_->rows : 0)
+     << ",\"cold_bytes\":" << cold << ",\"base_row\":" << base_row_
+     << ",\"processed\":" << processed_ << "}";
+  obs::status_board().publish("storage", os.str());
+}
+
+// --- load ---------------------------------------------------------------
+
+SegmentStore::Loaded SegmentStore::load(const core::Dataset* dataset) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  SegMetrics& metrics = seg_metrics();
+  Loaded out{core::SimilarityMatrix(policy_, weights_, cfg_.threads),
+             base_row_, processed_, has_modebook_, representatives_,
+             history_};
+  const std::uint64_t S = base_row_;
+  const std::size_t retained = static_cast<std::size_t>(processed_ - S);
+  if (retained == 0) return out;
+
+  if (dataset != nullptr) {
+    if (processed_ > dataset->series.size()) {
+      throw DatasetIoError(
+          "segment store: state is ahead of the dataset — " +
+          std::to_string(processed_) + " observations recorded, " +
+          std::to_string(dataset->series.size()) +
+          " present; pass the full dataset or start fresh");
+    }
+    if (identity_mode_ == kIdentityLegacyPrefix) {
+      if (dataset_prefix_hash(*dataset, processed_) !=
+          legacy_prefix_hash_) {
+        throw DatasetIoError(
+            "segment store: prefix hash mismatch — this store was built "
+            "from a different dataset (or one that was edited in place)");
+      }
+    } else if (identity_mode_ == kIdentityRowHashes) {
+      bool names_ok = true;
+      try {
+        names_ok =
+            header_hash_ == dataset_header_hash(*dataset) &&
+            names_hash_ == dataset_names_hash(*dataset, max_site_seen_);
+      } catch (const std::out_of_range&) {
+        names_ok = false;  // the store references sites the dataset lacks
+      }
+      if (!names_ok) {
+        throw DatasetIoError(
+            "segment store: identity mismatch — the dataset's networks, "
+            "weights, or site names disagree with the ones this store "
+            "was built from");
+      }
+    }
+  }
+
+  auto keep = std::make_shared<LoadKeepalive>();
+  struct SegView {
+    const SegmentInfo* info;
+    const std::byte* records;  // first record, inside the mapping
+  };
+  std::vector<SegView> views;
+  views.reserve(sealed_.size());
+  bool uniform_width = true;
+  for (const SegmentInfo& s : sealed_) {
+    const std::size_t need = kSegmentHeaderBytes +
+                             static_cast<std::size_t>(s.payload_bytes) +
+                             kSegmentTrailerBytes;
+    Mapping m = map_file(segment_path(s.id), need);
+    const std::string name = segment_path(s.id).filename().string();
+    const SegmentHeader h = decode_segment_header(m.data, m.size, name);
+    if ((h.flags & kFlagSealed) == 0 || h.id != s.id ||
+        h.base_row != s.base_row || h.rows != s.rows ||
+        h.tri_base != s.tri_base || h.width != s.width ||
+        h.payload_bytes != s.payload_bytes || h.networks != networks_) {
+      throw store_corrupt("segment " + name +
+                          ": inconsistent — the header disagrees with the "
+                          "manifest");
+    }
+    // Lazy-once checksum: computed at seal, verified here per mapped
+    // segment — never recomputed on the save path the way the
+    // monolithic snapshot re-hashed its whole buffer every interval.
+    const std::uint32_t crc = payload_checksum(
+        m.data + kSegmentHeaderBytes, static_cast<std::size_t>(s.payload_bytes));
+    metrics.checksum_verified.inc();
+    const std::uint32_t stored = static_cast<std::uint32_t>(
+        load_u64le(m.data + kSegmentHeaderBytes + s.payload_bytes));
+    if (crc != s.checksum || stored != s.checksum) {
+      throw store_corrupt("segment " + name +
+                          ": checksum mismatch — the file is corrupt (bit "
+                          "rot or a partial copy)");
+    }
+    metrics.mmap_bytes.inc(need);
+    keep->maps.push_back(std::move(m));
+    views.push_back({&s, keep->maps.back().data + kSegmentHeaderBytes});
+    if (s.width != sealed_.front().width) uniform_width = false;
+  }
+  if (tail_.has_value() && tail_->durable_rows > 0) {
+    const std::filesystem::path tp = tail_path(tail_->id);
+    keep->tail_bytes.resize(static_cast<std::size_t>(tail_->payload_bytes));
+    const int fd = open_or_throw(tp, O_RDONLY, 0);
+    try {
+      pread_all(fd, keep->tail_bytes.data(), keep->tail_bytes.size(),
+                static_cast<off_t>(kSegmentHeaderBytes), tp);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    ::close(fd);
+  }
+
+  const bool zero_copy =
+      std::endian::native == std::endian::little && uniform_width;
+  core::SimilarityMatrix& matrix = out.matrix;
+  const std::uint64_t adopt_width =
+      !sealed_.empty() ? sealed_.front().width
+                       : (tail_.has_value() ? tail_->width : 1);
+
+  std::vector<core::SimilarityMatrix::AdoptedRow> adopted;
+  if (zero_copy) adopted.reserve(retained);
+  const auto rebase_anchor = [&](std::uint64_t a) {
+    return (a == kNoAnchor || a < S)
+               ? core::SimilarityMatrix::kNoAnchorRow
+               : static_cast<std::size_t>(a - S);
+  };
+  bool copy_initialized = false;
+  const auto ensure_copy_matrix = [&] {
+    if (copy_initialized) return;
+    matrix.adopt_rows(networks_, static_cast<std::size_t>(adopt_width), {},
+                      keep);
+    copy_initialized = true;
+  };
+  const auto take_record = [&](const std::byte* rec, std::uint64_t g,
+                               std::uint64_t tri_base, std::uint64_t width,
+                               const std::string& name, bool in_tail) {
+    const RecordView v = parse_record(rec, g, tri_base, networks_,
+                                      static_cast<std::size_t>(width));
+    if (dataset != nullptr && identity_mode_ == kIdentityRowHashes &&
+        v.row_hash !=
+            segment_row_hash(dataset->series[static_cast<std::size_t>(g)])) {
+      throw DatasetIoError(
+          "segment store: row hash mismatch at observation " +
+          std::to_string(g) +
+          " — the dataset is not the one this store was built from");
+    }
+    core::SimilarityMatrix::AdoptedRow row;
+    row.valid = v.valid;
+    row.anchor_of = rebase_anchor(v.anchor_of);
+    // The record's Φ span starts at the segment's tri_base; the matrix
+    // row starts at the store's base. tri_base <= S always.
+    const std::size_t skip = static_cast<std::size_t>(S - tri_base);
+    if constexpr (std::endian::native == std::endian::little) {
+      row.packed = v.packed;
+      row.phi = reinterpret_cast<const double*>(v.phi_bytes) + skip;
+    } else {
+      auto& phis = keep->phi_buffers.emplace_back();
+      phis.resize(v.phi_count - skip);
+      for (std::size_t k = 0; k < phis.size(); ++k) {
+        const std::uint64_t bits =
+            load_u64le(v.phi_bytes + 8 * (skip + k));
+        std::memcpy(&phis[k], &bits, sizeof(double));
+      }
+      auto& pack = keep->packed_buffers.emplace_back();
+      pack.resize(networks_ * static_cast<std::size_t>(width));
+      for (std::size_t n = 0; n < networks_; ++n) {
+        std::uint32_t val = 0;
+        for (std::size_t b = 0; b < width; ++b) {
+          val |= static_cast<std::uint32_t>(std::to_integer<unsigned>(
+                     v.packed[n * width + b]))
+                 << (8 * b);
+        }
+        std::memcpy(pack.data() + n * width, &val,
+                    static_cast<std::size_t>(width));
+      }
+      row.packed = pack.data();
+      row.phi = phis.data();
+    }
+    if (zero_copy && !in_tail) {
+      adopted.push_back(row);
+    } else {
+      if (!copy_initialized && adopted.size() > 0) {
+        // Seal the zero-copy prefix before switching to copies.
+        matrix.adopt_rows(networks_, static_cast<std::size_t>(adopt_width),
+                          adopted, keep);
+        copy_initialized = true;
+      }
+      ensure_copy_matrix();
+      matrix.append_precomputed(row, static_cast<std::size_t>(width));
+    }
+    (void)name;
+  };
+
+  for (const SegView& view : views) {
+    const SegmentInfo& s = *view.info;
+    const std::byte* rec = view.records;
+    const std::string name = "seg-" + std::to_string(s.id);
+    for (std::uint64_t r = 0; r < s.rows; ++r) {
+      const std::uint64_t g = s.base_row + r;
+      take_record(rec, g, s.tri_base, s.width, name, false);
+      rec += record_bytes(g, s.tri_base, networks_,
+                          static_cast<std::size_t>(s.width));
+    }
+    if (static_cast<std::uint64_t>(rec - view.records) != s.payload_bytes) {
+      throw store_corrupt("segment " + name +
+                          ": inconsistent — record sizes do not sum to the "
+                          "recorded payload");
+    }
+  }
+  if (zero_copy && !copy_initialized && !adopted.empty()) {
+    matrix.adopt_rows(networks_, static_cast<std::size_t>(adopt_width),
+                      adopted, keep);
+    copy_initialized = true;
+  }
+  if (tail_.has_value() && tail_->durable_rows > 0) {
+    const std::byte* rec =
+        reinterpret_cast<const std::byte*>(keep->tail_bytes.data());
+    const std::string name = "tail-" + std::to_string(tail_->id);
+    for (std::uint64_t r = 0; r < tail_->durable_rows; ++r) {
+      const std::uint64_t g = tail_->base_row + r;
+      take_record(rec, g, tail_->tri_base, tail_->width, name, true);
+      rec += record_bytes(g, tail_->tri_base, networks_,
+                          static_cast<std::size_t>(tail_->width));
+    }
+  }
+  if (matrix.size() != retained) {
+    throw store_corrupt(
+        "segment store: inconsistent — reconstructed " +
+        std::to_string(matrix.size()) + " rows, manifest promised " +
+        std::to_string(retained));
+  }
+  FENRIR_LOG(Debug)
+          .field("rows", retained)
+          .field("segments", sealed_.size())
+          .field("zero_copy", zero_copy ? 1 : 0)
+      << "segment store loaded";
+  return out;
+}
+
+// --- verify -------------------------------------------------------------
+
+bool SegmentStore::verify(std::string* error) const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  try {
+    std::uint64_t expect_base = base_row_;
+    for (const SegmentInfo& s : sealed_) {
+      const std::filesystem::path sp = segment_path(s.id);
+      const std::string bytes = read_whole_file(sp);
+      const std::string name = sp.filename().string();
+      const SegmentHeader h = decode_segment_header(
+          reinterpret_cast<const std::byte*>(bytes.data()), bytes.size(),
+          name);
+      if (bytes.size() != kSegmentHeaderBytes + h.payload_bytes +
+                              kSegmentTrailerBytes ||
+          (h.flags & kFlagSealed) == 0 || h.id != s.id ||
+          h.base_row != s.base_row || h.rows != s.rows ||
+          h.base_row != expect_base || h.payload_bytes != s.payload_bytes) {
+        return fail("segment " + name +
+                    ": header disagrees with the manifest");
+      }
+      const std::uint32_t crc = payload_checksum(
+          bytes.data() + kSegmentHeaderBytes,
+          static_cast<std::size_t>(h.payload_bytes));
+      seg_metrics().checksum_verified.inc();
+      if (crc != s.checksum) {
+        return fail("segment " + name + ": checksum mismatch");
+      }
+      std::size_t off = 0;
+      for (std::uint64_t r = 0; r < s.rows; ++r) {
+        off += record_bytes(s.base_row + r, s.tri_base, networks_,
+                            static_cast<std::size_t>(s.width));
+      }
+      if (off != h.payload_bytes) {
+        return fail("segment " + name +
+                    ": record sizes do not sum to the payload");
+      }
+      expect_base = s.base_row + s.rows;
+    }
+    if (tail_.has_value()) {
+      const std::filesystem::path tp = tail_path(tail_->id);
+      if (!std::filesystem::exists(tp)) {
+        return fail("tail-" + std::to_string(tail_->id) + ": missing");
+      }
+      if (std::filesystem::file_size(tp) <
+          kSegmentHeaderBytes + tail_->payload_bytes) {
+        return fail("tail-" + std::to_string(tail_->id) + ": truncated");
+      }
+      if (tail_->base_row != expect_base) {
+        return fail("tail-" + std::to_string(tail_->id) +
+                    ": does not continue the sealed window");
+      }
+    }
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  if (error != nullptr) error->clear();
+  return true;
+}
+
+// --- compaction ---------------------------------------------------------
+
+bool SegmentStore::find_compaction_run_locked(std::size_t& begin,
+                                              std::size_t& count) const {
+  std::size_t run_start = 0;
+  std::size_t run_len = 0;
+  for (std::size_t i = 0; i < sealed_.size(); ++i) {
+    if (sealed_[i].rows < cfg_.seal_rows) {
+      if (run_len == 0) run_start = i;
+      run_len += 1;
+      if (run_len >= cfg_.compact_min_run) {
+        // Extend to the end of the undersized run.
+        std::size_t end = i + 1;
+        while (end < sealed_.size() && sealed_[end].rows < cfg_.seal_rows) {
+          end += 1;
+        }
+        begin = run_start;
+        count = end - run_start;
+        return true;
+      }
+    } else {
+      run_len = 0;
+    }
+  }
+  return false;
+}
+
+std::size_t SegmentStore::compact_run_locked(std::size_t begin,
+                                             std::size_t count,
+                                             std::uint64_t plan_base) {
+  // Plan snapshot: sources are immutable sealed files, so the merge
+  // itself needs no lock — compact_now() holds it anyway (simplicity
+  // over concurrency for the synchronous path), the background thread
+  // re-takes it only to commit.
+  const std::vector<SegmentInfo> run(sealed_.begin() +
+                                         static_cast<std::ptrdiff_t>(begin),
+                                     sealed_.begin() +
+                                         static_cast<std::ptrdiff_t>(
+                                             begin + count));
+  const std::uint64_t new_id = next_segment_id_++;
+
+  std::uint64_t width = 1;
+  std::uint64_t rows = 0;
+  std::int64_t min_time = run.front().min_time;
+  std::int64_t max_time = run.front().max_time;
+  for (const SegmentInfo& s : run) {
+    width = std::max(width, s.width);
+    rows += s.rows;
+    min_time = std::min(min_time, s.min_time);
+    max_time = std::max(max_time, s.max_time);
+  }
+
+  // Read + checksum the sources on the shared pool (the sweep is pure
+  // reads; parallel_for serializes safely against any main-thread use).
+  std::vector<std::string> sources(run.size());
+  std::vector<std::string> bad(run.size());
+  core::parallel_for(
+      run.size(),
+      [&](std::size_t k) {
+        const std::filesystem::path sp = segment_path(run[k].id);
+        sources[k] = read_whole_file(sp);
+        if (sources[k].size() < kSegmentHeaderBytes +
+                                    run[k].payload_bytes +
+                                    kSegmentTrailerBytes ||
+            payload_checksum(sources[k].data() + kSegmentHeaderBytes,
+                             static_cast<std::size_t>(
+                                 run[k].payload_bytes)) != run[k].checksum) {
+          bad[k] = sp.filename().string();
+        }
+        seg_metrics().checksum_verified.inc();
+      },
+      cfg_.threads, 1);
+  for (const std::string& b : bad) {
+    if (!b.empty()) {
+      throw store_corrupt("segment " + b +
+                          ": checksum mismatch — refusing to compact a "
+                          "corrupt segment");
+    }
+  }
+
+  // Re-encode every record at the merged width with tri_base advanced
+  // to the store's current base — this is where retention's dead Φ
+  // prefix actually leaves the disk.
+  std::string payload;
+  for (std::size_t k = 0; k < run.size(); ++k) {
+    const SegmentInfo& s = run[k];
+    const std::byte* rec =
+        reinterpret_cast<const std::byte*>(sources[k].data()) +
+        kSegmentHeaderBytes;
+    for (std::uint64_t r = 0; r < s.rows; ++r) {
+      const std::uint64_t g = s.base_row + r;
+      const RecordView v =
+          parse_record(rec, g, s.tri_base, networks_,
+                       static_cast<std::size_t>(s.width));
+      put_u64(payload, v.valid ? 1 : 0);
+      put_i64(payload, v.time);
+      put_u64(payload, v.anchor_of);
+      put_u64(payload, v.row_hash);
+      // Source packed bytes are little-endian on disk; re-emit them at
+      // the merged width (byte-for-byte when widths already agree).
+      if (s.width == width) {
+        payload.append(reinterpret_cast<const char*>(v.packed),
+                       pad8(networks_ * static_cast<std::size_t>(width)));
+      } else {
+        for (std::size_t n = 0; n < networks_; ++n) {
+          std::uint32_t val = 0;
+          for (std::size_t b = 0; b < s.width; ++b) {
+            val |= static_cast<std::uint32_t>(std::to_integer<unsigned>(
+                       v.packed[n * s.width + b]))
+                   << (8 * b);
+          }
+          for (std::size_t b = 0; b < width; ++b) {
+            payload.push_back(
+                static_cast<char>((val >> (8 * b)) & 0xFFu));
+          }
+        }
+        payload.append(pad8(networks_ * static_cast<std::size_t>(width)) -
+                           networks_ * static_cast<std::size_t>(width),
+                       '\0');
+      }
+      const std::size_t skip =
+          static_cast<std::size_t>(plan_base - s.tri_base);
+      payload.append(
+          reinterpret_cast<const char*>(v.phi_bytes + 8 * skip),
+          8 * (v.phi_count - skip));
+      rec += record_bytes(g, s.tri_base, networks_,
+                          static_cast<std::size_t>(s.width));
+    }
+  }
+
+  const std::uint32_t crc = payload_checksum(payload.data(), payload.size());
+  const std::filesystem::path cp =
+      dir_ / ("cmp-" + std::to_string(new_id) + ".fenrseg");
+  const int fd = open_or_throw(cp, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  try {
+    const std::string header = encode_segment_header(
+        kFlagSealed, new_id, run.front().base_row, rows, networks_, width,
+        plan_base, payload.size(), min_time, max_time);
+    pwrite_all(fd, header.data(), header.size(), 0, cp);
+    pwrite_all(fd, payload.data(), payload.size(),
+               static_cast<off_t>(kSegmentHeaderBytes), cp);
+    std::string trailer;
+    put_u32(trailer, crc);
+    put_u32(trailer, 0);
+    trailer.append(kSegmentTrailerMagic, sizeof(kSegmentTrailerMagic));
+    pwrite_all(fd, trailer.data(), trailer.size(),
+               static_cast<off_t>(kSegmentHeaderBytes + payload.size()), cp);
+    fsync_or_throw(fd, cp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(cp.c_str());
+    throw;
+  }
+  ::close(fd);
+  const std::filesystem::path sp = segment_path(new_id);
+  if (::rename(cp.c_str(), sp.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(cp.c_str());
+    throw DatasetIoError("cannot rename " + cp.string() + " over " +
+                         sp.string() + ": " + std::strerror(err));
+  }
+  fsync_dir(dir_);
+  chaos::maybe_kill_at("segment_compact_rename");
+
+  // Commit: swap the run for the merged segment, manifest first, then
+  // unlink the sources.
+  SegmentInfo merged;
+  merged.id = new_id;
+  merged.base_row = run.front().base_row;
+  merged.rows = rows;
+  merged.tri_base = plan_base;
+  merged.width = width;
+  merged.payload_bytes = payload.size();
+  merged.checksum = crc;
+  merged.min_time = min_time;
+  merged.max_time = max_time;
+  sealed_.erase(sealed_.begin() + static_cast<std::ptrdiff_t>(begin),
+                sealed_.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  sealed_.insert(sealed_.begin() + static_cast<std::ptrdiff_t>(begin),
+                 merged);
+  write_manifest_locked();
+  for (const SegmentInfo& s : run) {
+    std::error_code ec;
+    std::filesystem::remove(segment_path(s.id), ec);
+  }
+  seg_metrics().compacted.inc(count);
+  obs::event_bus().emit(obs::Severity::kInfo, "compaction_done",
+                        "\"merged\":" + std::to_string(count) +
+                            ",\"id\":" + std::to_string(new_id) +
+                            ",\"rows\":" + std::to_string(rows));
+  publish_status_locked();
+  return count;
+}
+
+std::size_t SegmentStore::compact_now() {
+  if (compactor_.joinable()) compactor_.join();
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  if (!find_compaction_run_locked(begin, count)) return 0;
+  return compact_run_locked(begin, count, base_row_);
+}
+
+void SegmentStore::maybe_start_compaction_locked() {
+  if (!cfg_.background_compaction || compaction_running_) return;
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  if (!find_compaction_run_locked(begin, count)) return;
+  const std::vector<SegmentInfo> plan(
+      sealed_.begin() + static_cast<std::ptrdiff_t>(begin),
+      sealed_.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  const std::uint64_t plan_base = base_row_;
+  compaction_running_ = true;
+  if (compactor_.joinable()) compactor_.join();
+  compactor_ = std::thread([this, plan, plan_base] {
+    try {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      // Revalidate under the lock: retention or another pass may have
+      // moved the ground while this thread was being scheduled.
+      std::size_t begin2 = sealed_.size();
+      for (std::size_t i = 0; i < sealed_.size(); ++i) {
+        if (sealed_[i].id == plan.front().id) {
+          begin2 = i;
+          break;
+        }
+      }
+      bool ok = plan_base == base_row_ &&
+                begin2 + plan.size() <= sealed_.size();
+      for (std::size_t k = 0; ok && k < plan.size(); ++k) {
+        ok = sealed_[begin2 + k].id == plan[k].id;
+      }
+      if (ok) compact_run_locked(begin2, plan.size(), plan_base);
+    } catch (const std::exception& e) {
+      FENRIR_LOG(Warn).field("error", e.what())
+          << "background compaction failed";
+    }
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    compaction_running_ = false;
+  });
+}
+
+// --- import -------------------------------------------------------------
+
+void SegmentStore::import_snapshot(const Snapshot& snapshot,
+                                   const std::filesystem::path& dir,
+                                   const SegmentStoreConfig& cfg) {
+  if (!snapshot.matrix.has_value()) {
+    throw DatasetIoError(
+        "segment import: the snapshot carries no matrix — nothing to "
+        "convert");
+  }
+  if (looks_like_store(dir)) {
+    throw DatasetIoError("segment import: " + dir.string() +
+                         " already holds a segment store — refusing to "
+                         "import over it");
+  }
+  const core::SimilarityMatrix& m = *snapshot.matrix;
+  if (snapshot.processed != m.size()) {
+    throw DatasetIoError(
+        "segment import: the snapshot's processed count disagrees with "
+        "its matrix");
+  }
+  SegmentStoreConfig import_cfg = cfg;
+  import_cfg.background_compaction = false;
+  SegmentStore store(dir, import_cfg);
+  store.configure(m.policy(), m.weights());
+  store.set_legacy_identity(snapshot.prefix_hash);
+  store.set_modebook_state(snapshot.has_modebook, snapshot.representatives,
+                           snapshot.history);
+  const std::size_t networks = SegmentCodec::networks(m);
+  const std::size_t width = SegmentCodec::packed_width(m);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const std::uint64_t base = store.base_row_;  // no lock: single-threaded
+    const std::size_t local_anchor = SegmentCodec::anchor_of(m, i);
+    const std::uint64_t anchor =
+        local_anchor == core::SimilarityMatrix::kNoAnchorRow
+            ? kNoAnchor
+            : static_cast<std::uint64_t>(local_anchor);
+    store.append_raw(m.valid(i), 0, anchor, 0, networks, width,
+                     {SegmentCodec::packed_row(m, i), networks * width},
+                     {SegmentCodec::phi_row(m, i) + base,
+                      i + 1 - static_cast<std::size_t>(base)});
+    // Bound the pending buffer; flush also seals full tails, so an
+    // import rotates at cfg.seal_rows just like a live watch would.
+    if ((i + 1) % std::max<std::size_t>(1, std::min<std::size_t>(
+                                               1024, cfg.seal_rows)) ==
+        0) {
+      store.flush();
+    }
+  }
+  store.seal_active();
+}
+
+}  // namespace fenrir::io

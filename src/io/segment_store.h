@@ -1,0 +1,329 @@
+// fenrir::io — FENRSEG1: a segmented, spill-as-you-go history store.
+//
+// The FENRSNAP snapshot re-encodes and rewrites the entire Φ stack on
+// every save: O(history) bytes per interval, however little changed.
+// The segment store replaces that with an append-only directory of
+// immutable *sealed* segments plus one *active tail* segment:
+//
+//   <dir>/MANIFEST            crash-atomic index (tmp + rename)
+//   <dir>/seg-<id>.fenrseg    sealed, self-checksummed, mmap-adopted
+//   <dir>/tail-<id>.fenrseg   active tail, appended in place
+//
+// Each observation is spilled as one self-contained record — validity,
+// time, anchor lineage, identity hash, the packed assignment row, and
+// the row's Φ values — so a save interval writes O(new rows) bytes and
+// one manifest, never the history. When the tail reaches
+// `seal_rows` records it is sealed (checksum computed once, trailer
+// written, renamed seg-<id>) and a fresh tail starts.
+//
+// Resume mmaps the sealed segments and *adopts* their pages directly
+// into PackedSeries / TriangleStore storage (SimilarityMatrix::
+// adopt_rows) — warm-start cost is flat in history length. The
+// per-element copy fallback (append_precomputed) covers big-endian
+// hosts, mixed-width segment runs, and tail records.
+//
+// Segment file layout (all integers little-endian, doubles as IEEE-754
+// bit patterns; everything 8-aligned so doubles map directly):
+//
+//   header, 128 bytes:
+//     magic "FENRSEG1" (8), u32 version (1), u32 flags (bit0 sealed),
+//     u64 segment_id, u64 base_row (global row of record 0), u64 rows,
+//     u64 networks, u64 width (1|2|4), u64 tri_base (global row the Φ
+//     spans start at), u64 payload_bytes, i64 min_time, i64 max_time,
+//     40 bytes reserved
+//   per record, for global row g = base_row + r:
+//     u64 meta (bit0 valid), i64 time, u64 anchor_of (global row or
+//     ~0), u64 row_hash, networks·width packed bytes padded to a
+//     multiple of 8, (g − tri_base + 1) × f64 Φ columns for global
+//     rows tri_base..g
+//   sealed trailer, 16 bytes:
+//     u32 payload_checksum over [128, 128 + payload_bytes), u32 0,
+//     magic "FENRSEGE" (8)
+//
+// Record offsets are pure arithmetic in (base_row, tri_base, networks,
+// width) — no per-record index is stored or needed.
+//
+// tri_base is the retention lever: a tail created after retention
+// advanced the store's base omits the dead Φ prefix entirely, and
+// compaction rewrites cold segments the same way, so disk stays
+// O(retained²/2) rather than O(processed²/2).
+//
+// Durability protocol (what the chaos killpoints exercise):
+//   spill():  encode the record into a pending buffer (the Φ row is hot)
+//   flush():  pwrite pending → fsync(tail) → [segment_tail_flush] →
+//             atomic manifest write (tmp + rename, inherits the
+//             byte-offset killpoints of io/snapshot.h)
+//   seal:     after a flush, read the tail back, checksum, patch the
+//             header, write the trailer, fsync, rename tail→seg →
+//             [segment_seal_rename] → manifest; retention retires whole
+//             front segments, manifest first, unlink after
+//   compact:  merge a cold run into cmp-<id> → fsync →
+//             [segment_compact_rename] → rename → manifest → unlink
+// The manifest is the single source of truth: a tail longer than the
+// manifest says is truncated back on open; a torn tail is dropped
+// whole (sealed history survives — `segment_tail_salvaged` event); an
+// interrupted seal or compaction is rolled forward or its leftovers
+// collected.
+//
+// Identity: a store created by a live session records per-row FNV
+// hashes plus header/name hashes, so resume verifies only the retained
+// window (flat). A store imported from a FENRSNAP snapshot has no
+// routing vectors to hash and falls back to the snapshot's whole-prefix
+// hash (kLegacyPrefixHash), verified in O(processed) — acceptable for a
+// one-time migration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/distance_matrix.h"
+#include "core/modebook.h"
+#include "core/vector.h"
+
+namespace fenrir::io {
+
+struct Snapshot;  // io/snapshot.h
+
+inline constexpr char kSegmentMagic[8] = {'F', 'E', 'N', 'R',
+                                          'S', 'E', 'G', '1'};
+inline constexpr char kSegmentTrailerMagic[8] = {'F', 'E', 'N', 'R',
+                                                 'S', 'E', 'G', 'E'};
+inline constexpr char kManifestMagic[8] = {'F', 'E', 'N', 'R',
+                                           'M', 'A', 'N', 'I'};
+inline constexpr std::uint32_t kSegmentVersion = 1;
+inline constexpr std::uint32_t kManifestVersion = 1;
+inline constexpr std::size_t kSegmentHeaderBytes = 128;
+inline constexpr std::size_t kSegmentTrailerBytes = 16;
+inline constexpr std::uint64_t kNoAnchor = ~std::uint64_t{0};
+
+/// FNV-1a 64 over one observation's identity (time, validity, size,
+/// site ids) — the per-record twin of dataset_prefix_hash, verifiable
+/// per retained row instead of over the whole prefix.
+std::uint64_t segment_row_hash(const core::RoutingVector& v);
+
+struct SegmentStoreConfig {
+  /// Tail records before seal + rotate.
+  std::size_t seal_rows = 256;
+  /// Keep at least this many newest observations (0 = keep everything).
+  std::uint64_t retain_obs = 0;
+  /// Keep observations whose time is within this many seconds of the
+  /// newest observation time (0 = keep everything). Observation time,
+  /// not wall clock — retention stays deterministic.
+  std::int64_t retain_seconds = 0;
+  /// Threads for the restored matrix and compaction verify sweeps
+  /// (parallel_for semantics: 0 = hardware, 1 = serial).
+  unsigned threads = 1;
+  /// Merge cold small segments in a background thread. compact_now()
+  /// works either way.
+  bool background_compaction = true;
+  /// Minimum run of consecutive undersized sealed segments worth one
+  /// merged segment.
+  std::size_t compact_min_run = 4;
+};
+
+/// One sealed segment as the manifest records it (also the `segment ls`
+/// row).
+struct SegmentInfo {
+  std::uint64_t id = 0;
+  std::uint64_t base_row = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t tri_base = 0;
+  std::uint64_t width = 1;
+  std::uint64_t payload_bytes = 0;
+  std::uint32_t checksum = 0;
+  std::int64_t min_time = 0;
+  std::int64_t max_time = 0;
+};
+
+class SegmentStore {
+ public:
+  /// Opens (or creates) the store at @p dir, replaying the manifest and
+  /// rolling interrupted lifecycle steps forward: truncates an
+  /// over-long tail, salvages a torn one, completes a crashed seal
+  /// rename, and collects unreferenced seg-*/tail-*/cmp-*/*.tmp.* files.
+  /// Throws DatasetIoError on a corrupt manifest.
+  SegmentStore(std::filesystem::path dir, SegmentStoreConfig cfg);
+  ~SegmentStore();
+  SegmentStore(const SegmentStore&) = delete;
+  SegmentStore& operator=(const SegmentStore&) = delete;
+
+  /// True iff @p path is a directory holding a segment-store MANIFEST —
+  /// how `--resume` / `--matrix-cache` auto-detect the format.
+  static bool looks_like_store(const std::filesystem::path& path);
+
+  /// Converts a decoded FENRSNAP snapshot (which must carry a matrix)
+  /// into a fresh store at @p dir: every row becomes a record, all
+  /// segments are sealed, identity falls back to the snapshot's prefix
+  /// hash. Loading the result reproduces the matrix bit-identically.
+  static void import_snapshot(const Snapshot& snapshot,
+                              const std::filesystem::path& dir,
+                              const SegmentStoreConfig& cfg);
+
+  /// Live-session identity source: header/name hashes come from here,
+  /// and spill() hashes rows against it. Optional — a store driven by
+  /// append_raw() (benches) or import never attaches one.
+  void attach(const core::Dataset* dataset);
+
+  /// Spills the newest matrix row (matrix.size()-1, global row
+  /// processed()) into the pending buffer: packed bytes and Φ columns
+  /// are copied out while hot. O(row) — nothing else is re-encoded.
+  /// Rotates the tail first when the matrix's packed width changed.
+  void spill(const core::RoutingVector& v,
+             const core::SimilarityMatrix& matrix);
+
+  /// spill() for an arbitrary matrix row: records @p row (whose global
+  /// row must be processed(), i.e. rows are spilled in order) from a
+  /// matrix that may already hold later rows — how `analyze
+  /// --matrix-cache` persists the rows it appended in one batch.
+  void spill_row(const core::RoutingVector& v,
+                 const core::SimilarityMatrix& matrix, std::size_t row);
+
+  /// Raw spill for callers without a live matrix (benches, import):
+  /// @p packed is networks·width host-order bytes, @p phi the Φ columns
+  /// for global rows base..processed() where base is the store's
+  /// current base_row — exactly processed() − base_row() + 1 values.
+  void append_raw(bool valid, std::int64_t time, std::uint64_t anchor_of,
+                  std::uint64_t row_hash, std::size_t networks,
+                  std::size_t width, std::span<const std::byte> packed,
+                  std::span<const double> phi);
+
+  /// Makes everything spilled so far durable: tail pwrite + fsync, then
+  /// the manifest (with @p book's modebook state when given), then any
+  /// due seal/rotate/retention, then maybe a background compaction.
+  void flush(const core::ModeBook* book = nullptr);
+
+  /// Seals the current tail regardless of size (import's last partial
+  /// segment; tests). Includes a flush.
+  void seal_active();
+
+  /// Runs one compaction pass synchronously (waits for a background
+  /// pass first if one is in flight). Returns segments merged away.
+  std::size_t compact_now();
+
+  /// Everything a resumed session needs; matrix rows are the retained
+  /// window [base_row, processed).
+  struct Loaded {
+    core::SimilarityMatrix matrix;
+    std::uint64_t base_row = 0;
+    std::uint64_t processed = 0;
+    bool has_modebook = false;
+    std::vector<core::RoutingVector> representatives;
+    std::vector<std::size_t> history;
+  };
+
+  /// Maps the sealed segments, verifies each segment's checksum once
+  /// (fenrir_segment_checksum_verified_total counts the work), verifies
+  /// identity against @p dataset when given (null skips — `segment ls`
+  /// and round-trip tests), and builds the matrix by page adoption
+  /// (little-endian, uniform sealed width) or per-record copy.
+  /// Throws DatasetIoError on corruption or identity mismatch.
+  Loaded load(const core::Dataset* dataset) const;
+
+  /// Re-reads every sealed segment and the tail from disk and checks
+  /// structure + checksums. Returns false and fills @p error on the
+  /// first problem.
+  bool verify(std::string* error) const;
+
+  std::uint64_t processed() const;
+  std::uint64_t base_row() const;
+  std::uint64_t tail_rows() const;
+  std::uint64_t cold_bytes() const;
+  bool empty() const;
+  bool legacy_identity() const;
+  core::UnknownPolicy policy() const;
+  const std::vector<double>& weights() const;
+  std::vector<SegmentInfo> segments() const;
+
+  /// Sets policy/weights on a store that has no rows yet (import and
+  /// benches; spill() derives them from the matrix instead).
+  void configure(core::UnknownPolicy policy, std::vector<double> weights);
+  /// Switches identity to the legacy whole-prefix hash (import).
+  void set_legacy_identity(std::uint64_t prefix_hash);
+  /// Replaces the modebook state the next manifest will carry (import;
+  /// live sessions pass the book to flush() instead).
+  void set_modebook_state(bool has_modebook,
+                          std::vector<core::RoutingVector> representatives,
+                          std::vector<std::size_t> history);
+
+ private:
+  struct TailState {
+    std::uint64_t id = 0;
+    std::uint64_t base_row = 0;
+    std::uint64_t tri_base = 0;
+    std::uint64_t width = 1;
+    std::uint64_t rows = 0;           // durable + pending
+    std::uint64_t durable_rows = 0;   // covered by the manifest
+    std::uint64_t payload_bytes = 0;  // durable, covered by the manifest
+    std::int64_t min_time = 0;
+    std::int64_t max_time = 0;
+    int fd = -1;
+  };
+
+  std::filesystem::path manifest_path() const;
+  std::filesystem::path segment_path(std::uint64_t id) const;
+  std::filesystem::path tail_path(std::uint64_t id) const;
+
+  // All private helpers below assume state_mutex_ is held.
+  void write_manifest_locked();
+  std::string encode_manifest_locked() const;
+  void decode_manifest(const std::string& bytes);
+  void open_tail_locked(std::uint64_t width);
+  void ensure_tail_locked(std::size_t networks, std::uint64_t width);
+  void append_record_locked(bool valid, std::int64_t time,
+                            std::uint64_t anchor_of, std::uint64_t row_hash,
+                            std::size_t networks, std::uint64_t width,
+                            std::span<const std::byte> packed,
+                            std::span<const double> phi);
+  void flush_locked(bool force_seal);
+  void seal_tail_locked();
+  void apply_retention_locked(std::vector<std::filesystem::path>& retired);
+  void refresh_names_hash_locked();
+  void publish_status_locked() const;
+  void maybe_start_compaction_locked();
+  std::size_t compact_run_locked(std::size_t begin, std::size_t count,
+                                 std::uint64_t plan_base);
+  bool find_compaction_run_locked(std::size_t& begin,
+                                  std::size_t& count) const;
+
+  std::filesystem::path dir_;
+  SegmentStoreConfig cfg_;
+  const core::Dataset* dataset_ = nullptr;
+
+  mutable std::mutex state_mutex_;
+  core::UnknownPolicy policy_ = core::UnknownPolicy::kPessimistic;
+  std::vector<double> weights_;
+  bool configured_ = false;
+  // 0 = none (raw/bench stores), 1 = per-row hashes (live sessions),
+  // 2 = legacy whole-prefix hash (imports).
+  std::uint8_t identity_mode_ = 0;
+  std::uint64_t legacy_prefix_hash_ = 0;
+  std::uint64_t header_hash_ = 0;
+  std::uint64_t names_hash_ = 0;
+  std::uint64_t max_site_seen_ = 0;
+  bool names_hash_stale_ = false;
+  std::size_t networks_ = 0;
+  bool has_modebook_ = false;
+  std::vector<core::RoutingVector> representatives_;
+  std::vector<std::size_t> history_;
+
+  std::uint64_t base_row_ = 0;
+  std::uint64_t processed_ = 0;
+  std::uint64_t next_segment_id_ = 0;
+  std::int64_t max_time_seen_ = 0;
+  std::vector<SegmentInfo> sealed_;
+  std::optional<TailState> tail_;
+  std::string pending_;  // encoded records not yet written to the tail
+
+  std::thread compactor_;
+  bool compaction_running_ = false;
+};
+
+}  // namespace fenrir::io

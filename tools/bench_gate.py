@@ -18,16 +18,21 @@ against the fleet.
 
 Only the recurrence hot path is gated (BM_Gower*, BM_SimilarityMatrix*
 including the Periodic anchored-vs-predecessor pair, BM_ModeBook*, the
-BM_Snapshot* load/recompute pair, and BM_FederatedSweep — the federated
-merge fold): they are the paper-relevant fast path and run long enough
-to be stable at --benchmark_min_time=0.01s. The other benches are
-reported in the table but never fail the gate.
+BM_Snapshot* load/recompute pair, BM_FederatedSweep — the federated
+merge fold — and the segment-store BM_Segment*/BM_Compaction path):
+they are the paper-relevant fast path and run long enough to be stable
+at --benchmark_min_time=0.01s. The other benches are reported in the
+table but never fail the gate.
 
-One extra budget rides on the current snapshot alone: the
-BM_ModeBookLineageOverhead _overhead_ratio gauge (recording-on over
-recording-off classification time, interleaved inside one benchmark)
-must stay at or below 1.05. No calibration applies — it is a same-run
-quotient.
+Extra budgets ride on the current snapshot alone (same-run quotients,
+no calibration applies):
+  - the BM_ModeBookLineageOverhead _overhead_ratio gauge (recording-on
+    over recording-off classification time, interleaved inside one
+    benchmark) must stay at or below 1.05;
+  - the BM_SegmentResumeFlat _flat_ratio and _save_bytes_ratio gauges
+    (per-row resume cost and per-interval flush bytes at 8x history
+    over 1x) must stay at or below 1.50 — resume time and save bytes
+    flat in history length are the segment store's contract.
 
 Exit codes: 0 pass, 1 regression, 2 usage/unreadable input.
 """
@@ -41,7 +46,8 @@ import sys
 # informational.
 GATED_PREFIXES = ("bench_core_BM_Gower", "bench_core_BM_SimilarityMatrix",
                   "bench_core_BM_ModeBook", "bench_core_BM_Snapshot",
-                  "bench_core_BM_FederatedSweep")
+                  "bench_core_BM_FederatedSweep", "bench_core_BM_Segment",
+                  "bench_core_BM_Compaction")
 SUFFIX = "_real_ns"
 
 # The decision-lineage overhead budget: recording every verdict into the
@@ -55,6 +61,17 @@ SUFFIX = "_real_ns"
 LINEAGE_PREFIX = "bench_core_BM_ModeBookLineageOverhead"
 LINEAGE_SUFFIX = "_overhead_ratio"
 LINEAGE_THRESHOLD = 1.05
+
+# The segment store's flatness contract: resuming from an 8x-longer
+# history may cost at most 1.5x more per retained row (_flat_ratio —
+# mmap page adoption is flat; the pre-segment matrix rebuild was linear
+# in T), and one interval's flush may write at most 1.5x the payload
+# bytes (_save_bytes_ratio — O(new data); the legacy snapshot rewrote
+# the whole store). BM_SegmentResumeFlat measures both interleaved in
+# one benchmark, same as the lineage budget, so no calibration applies.
+SEGMENT_FLAT_PREFIX = "bench_core_BM_SegmentResumeFlat"
+SEGMENT_FLAT_SUFFIXES = ("_flat_ratio", "_save_bytes_ratio")
+SEGMENT_FLAT_THRESHOLD = 1.50
 
 # Snapshot provenance written by bench/micro_core: which SIMD tier the
 # host supported / dispatched to (0 scalar, 1 avx2, 2 avx512). Snapshots
@@ -194,6 +211,36 @@ def main():
               "bench? rerun build/bench/micro_core)", file=sys.stderr)
         sys.exit(2)
 
+    # The segment-store flatness budgets, also same-run quotients. A
+    # missing gauge means BM_SegmentResumeFlat was renamed or crashed —
+    # the flat-resume contract would silently stop being enforced.
+    segment_rows = []
+    segment_failures = []
+    for suffix in SEGMENT_FLAT_SUFFIXES:
+        found = False
+        for name in sorted(cur_gauges):
+            if not (name.startswith(SEGMENT_FLAT_PREFIX)
+                    and name.endswith(suffix)):
+                continue
+            found = True
+            ratio = cur_gauges[name]
+            if not isinstance(ratio, (int, float)) or ratio <= 0:
+                print(f"bench_gate: {name} in {args.current} is not a "
+                      f"positive number ({ratio!r})", file=sys.stderr)
+                sys.exit(2)
+            verdict = "ok"
+            if ratio > SEGMENT_FLAT_THRESHOLD:
+                verdict = "REGRESSION"
+                segment_failures.append((name, ratio))
+            segment_rows.append((name[len("bench_core_"):], ratio, verdict))
+        if not found:
+            print(f"bench_gate: no {SEGMENT_FLAT_PREFIX}*{suffix} gauge in "
+                  f"{args.current}; the segment-store flat-resume budget "
+                  "cannot be judged (renamed bench? update "
+                  "SEGMENT_FLAT_PREFIX; crashed bench? rerun "
+                  "build/bench/micro_core)", file=sys.stderr)
+            sys.exit(2)
+
     ratios = {name: cur[name] / base[name] for name in shared}
     speed = median(ratios.values())  # machine-speed calibration factor
 
@@ -224,6 +271,11 @@ def main():
     for bench, ratio, verdict in lineage_rows:
         print(f"  {bench:<44} recording-on / recording-off"
               f"  x{ratio:.3f}  {verdict}")
+    print(f"segment-store flatness (interleaved, current run, budget "
+          f"x{SEGMENT_FLAT_THRESHOLD:.2f}):")
+    for bench, ratio, verdict in segment_rows:
+        print(f"  {bench:<44} 8x history / 1x history"
+              f"  x{ratio:.3f}  {verdict}")
 
     if args.summary:
         try:
@@ -246,6 +298,14 @@ def main():
                     mark = ("**REGRESSION**" if verdict == "REGRESSION"
                             else verdict)
                     f.write(f"| {bench} | {ratio:.3f} | {mark} |\n")
+                f.write(f"\nSegment-store flatness (interleaved, current "
+                        f"run, budget x{SEGMENT_FLAT_THRESHOLD:.2f}):\n\n")
+                f.write("| gauge | 8x/1x ratio | verdict |\n")
+                f.write("|---|---:|---|\n")
+                for bench, ratio, verdict in segment_rows:
+                    mark = ("**REGRESSION**" if verdict == "REGRESSION"
+                            else verdict)
+                    f.write(f"| {bench} | {ratio:.3f} | {mark} |\n")
         except OSError as e:
             print(f"bench_gate: cannot write summary {args.summary}: {e}",
                   file=sys.stderr)
@@ -260,6 +320,17 @@ def main():
         print("  (the ring insert in LineageStore::record is the "
               "budgeted cost; rerun build/bench/micro_core to confirm)",
               file=sys.stderr)
+        sys.exit(1)
+    if segment_failures:
+        print("bench_gate: FAIL — segment-store cost grows with history "
+              f"(>{SEGMENT_FLAT_THRESHOLD:.2f}x at 8x history; resume "
+              "and per-interval save must be flat in history length):",
+              file=sys.stderr)
+        for name, ratio in segment_failures:
+            print(f"  {name}: x{ratio:.3f}", file=sys.stderr)
+        print("  (page adoption in SegmentStore::load and the O(new "
+              "rows) tail flush are the budgeted paths; rerun "
+              "build/bench/micro_core to confirm)", file=sys.stderr)
         sys.exit(1)
     if failures:
         print("bench_gate: FAIL — kernel wall-time regression "

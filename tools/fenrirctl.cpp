@@ -44,6 +44,17 @@
 //                                         recorder ring — works on the
 //                                         wreckage after any kill or
 //                                         crash; corrupt rings exit 3
+//   fenrirctl segment ls DIR              list a FENRSEG segment store:
+//                                         per-segment rows/bytes/times,
+//                                         tail size, retained window
+//   fenrirctl segment verify DIR          re-read every segment, check
+//                                         structure + checksums; corrupt
+//                                         stores exit 3
+//   fenrirctl segment import F.bin DIR    convert a FENRSNAP v2 snapshot
+//                                         into a sealed segment store at
+//                                         DIR (loads bit-identically;
+//                                         identity falls back to the
+//                                         snapshot's prefix hash)
 //   fenrirctl --version                   build identity (version, git
 //                                         sha, build type, sanitizers)
 //
@@ -55,26 +66,46 @@
 //   --heatmap-csv FILE    write the full phi matrix as CSV
 //   --stack FILE.csv      write the per-site stack series
 //   --ascii               print an ASCII heatmap
-//   --matrix-cache FILE   reuse FILE (an io/snapshot.h binary snapshot)
-//                         as the phi matrix when its dataset prefix hash
-//                         still matches; append only the new rows; write
-//                         the refreshed snapshot back. Stale caches are
-//                         recomputed with a warning; corrupt ones are
-//                         exit code 3. Output is byte-identical either
-//                         way — every matrix path is.
+//   --matrix-cache PATH   reuse PATH as the phi matrix cache: a file is
+//                         an io/snapshot.h binary snapshot (the legacy
+//                         format, rewritten whole every run); a
+//                         directory is a FENRSEG segment store
+//                         (io/segment_store.h) — mmap-loaded, appended
+//                         incrementally, O(new rows) written back.
+//                         Either way only the new rows are appended and
+//                         stale caches are recomputed with a warning;
+//                         corrupt ones are exit code 3. Output is
+//                         byte-identical either way — every matrix path
+//                         is.
 //
 // watch options:
 //   --threshold X         mode match threshold (default 0.85)
 //   --pessimistic         pessimistic unknown policy (default known-only)
 //   --adapt               representatives follow the latest member
-//   --resume FILE         restore the session from FILE (if it exists),
+//   --resume PATH         restore the session from PATH (if it exists),
 //                         process only new observations, write the state
 //                         back — a long-lived watch across restarts.
-//                         States are v2 binary snapshots carrying the
+//                         A file is a v2 binary snapshot carrying the
 //                         mode book AND the phi matrix (loads in
 //                         O(bytes)); legacy v1 CSV states still load
 //                         (the matrix is rebuilt once) and upgrade to
-//                         v2 on the next save
+//                         v2 on the next save. A directory is a FENRSEG
+//                         segment store (same as --store)
+//   --store DIR           spill-as-you-go segment store: each processed
+//                         observation is appended to DIR as one record
+//                         (O(new rows) per save interval, never the
+//                         history), sealed segments are mmap-adopted on
+//                         resume (flat warm-start), cold runs compact in
+//                         the background. The long-running form of
+//                         --resume
+//   --seal-rows N         records per tail segment before seal + rotate
+//                         (default 256)
+//   --retain-days X       retire sealed segments whose newest observation
+//                         is more than X days (fractional ok) older than
+//                         the newest seen — observation time, not wall
+//                         clock
+//   --retain-obs N        keep at least the newest N observations; whole
+//                         cold segments beyond them are retired
 //
 // clean options:
 //   --limit N             interpolation distance (default 3)
@@ -154,6 +185,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -172,6 +204,7 @@
 #include "core/stackplot.h"
 #include "core/transition.h"
 #include "io/csv.h"
+#include "io/segment_store.h"
 #include "io/snapshot.h"
 #include "io/table.h"
 #include "measure/federation.h"
@@ -200,7 +233,7 @@ namespace {
 int usage() {
   std::cerr << "usage: fenrirctl "
                "<demo|info|analyze|watch|clean|compare|transitions|journal"
-               "|events|federate|explain|lineage|blackbox> "
+               "|events|federate|explain|lineage|blackbox|segment> "
                "...\n(see the header of tools/fenrirctl.cpp for options)\n";
   return 2;
 }
@@ -244,7 +277,9 @@ Args parse_args(int argc, char** argv, int first) {
            flag == "--overlap" || flag == "--kill-member" ||
            flag == "--kill-epoch" || flag == "--checkpoint" ||
            flag == "--provenance" || flag == "--lineage" ||
-           flag == "--blackbox";
+           flag == "--blackbox" || flag == "--store" ||
+           flag == "--seal-rows" || flag == "--retain-days" ||
+           flag == "--retain-obs";
   };
   Args out;
   for (int i = first; i < argc; ++i) {
@@ -261,6 +296,29 @@ Args parse_args(int argc, char** argv, int first) {
     }
   }
   return out;
+}
+
+/// Store tuning shared by watch --store, analyze --matrix-cache DIR, and
+/// the segment subcommands. --retain-days is observation time, so a
+/// fractional value is fine and retention stays deterministic.
+io::SegmentStoreConfig segment_config(const Args& args) {
+  io::SegmentStoreConfig cfg;
+  cfg.seal_rows =
+      static_cast<std::size_t>(std::stoul(args.get("--seal-rows", "256")));
+  cfg.retain_obs = std::stoull(args.get("--retain-obs", "0"));
+  cfg.retain_seconds = static_cast<std::int64_t>(
+      std::stod(args.get("--retain-days", "0")) *
+      static_cast<double>(core::kDay));
+  cfg.threads = 0;
+  return cfg;
+}
+
+/// A --resume/--matrix-cache PATH that is a directory means the FENRSEG
+/// segment store format (an existing store, or a directory to start one
+/// in); a file or nonexistent path means the legacy snapshot.
+bool path_is_store(const std::string& path) {
+  return io::SegmentStore::looks_like_store(path) ||
+         std::filesystem::is_directory(path);
 }
 
 core::TimePoint parse_time_or_throw(const std::string& text) {
@@ -360,8 +418,41 @@ int cmd_analyze(const Args& args) {
   // moves time around. A corrupt cache is an error (exit 3), a stale
   // one is merely ignored.
   const std::string cache_path = args.get("--matrix-cache", "");
+  const bool cache_is_store = !cache_path.empty() && path_is_store(cache_path);
+  std::optional<io::SegmentStore> seg_cache;
   std::optional<core::SimilarityMatrix> cached;
-  if (!cache_path.empty() && std::ifstream(cache_path).good()) {
+  if (cache_is_store) {
+    seg_cache.emplace(cache_path, segment_config(args));
+    seg_cache->attach(&data);
+    bool usable = !seg_cache->empty();
+    if (usable && seg_cache->base_row() > 0) {
+      // Retention already dropped rows analyze needs (it computes over
+      // the whole dataset). Recompute cold and leave the store alone —
+      // writing full-history rows into it would undo the retention.
+      FENRIR_LOG(Warn).field("cache", cache_path)
+              .field("base_row", seg_cache->base_row())
+          << "segment cache retains only a suffix; analyze needs the "
+             "full history — recomputing without the cache";
+      seg_cache.reset();
+      usable = false;
+    } else if (usable && seg_cache->policy() != cfg.policy) {
+      FENRIR_LOG(Warn).field("cache", cache_path)
+          << "segment cache was built under another unknown policy; "
+             "recomputing without the cache";
+      seg_cache.reset();
+      usable = false;
+    }
+    if (usable) {
+      io::SegmentStore::Loaded loaded = seg_cache->load(&data);
+      cached = std::move(loaded.matrix);
+      cached->append_batch(
+          std::span(data.series).subspan(loaded.processed));
+      FENRIR_LOG(Info).field("cache", cache_path)
+              .field("cached_rows", loaded.processed)
+              .field("appended", data.series.size() - loaded.processed)
+          << "analyze: segment cache hit";
+    }
+  } else if (!cache_path.empty() && std::ifstream(cache_path).good()) {
     io::Snapshot snap = io::load_snapshot_file(cache_path, /*threads=*/0);
     const bool usable =
         snap.matrix.has_value() && snap.processed <= data.series.size() &&
@@ -384,7 +475,15 @@ int cmd_analyze(const Args& args) {
   const core::AnalysisResult result =
       cached.has_value() ? core::analyze(data, cfg, std::move(*cached))
                          : core::analyze(data, cfg);
-  if (!cache_path.empty()) {
+  if (seg_cache.has_value()) {
+    // O(new rows): only the observations the store has not seen are
+    // spilled; the sealed history is never rewritten.
+    for (std::size_t t = static_cast<std::size_t>(seg_cache->processed());
+         t < data.series.size(); ++t) {
+      seg_cache->spill_row(data.series[t], result.matrix, t);
+    }
+    seg_cache->flush();
+  } else if (!cache_path.empty() && !cache_is_store) {
     io::Snapshot snap;
     snap.processed = data.series.size();
     snap.prefix_hash = io::dataset_prefix_hash(data, snap.processed);
@@ -474,8 +573,75 @@ int cmd_watch(const Args& args) {
   // the O(T²·N) rebuild. A plain watch stays matrix-free; its output
   // and cost are untouched by any of this.
   std::size_t start = 0;
-  const std::string state_path = args.get("--resume", "");
+  std::string state_path = args.get("--resume", "");
+  std::string store_dir = args.get("--store", "");
+  if (store_dir.empty() && !state_path.empty() && path_is_store(state_path)) {
+    store_dir = state_path;  // --resume DIR means the segment store form
+  }
+  if (!store_dir.empty()) state_path.clear();
+  // base maps between global observation indices (the loop's i) and
+  // local matrix rows: a segment store's retention may have retired the
+  // oldest rows, so the loaded matrix starts at global row `base`.
+  std::size_t base = 0;
+  std::optional<io::SegmentStore> store;
   std::optional<core::SimilarityMatrix> matrix;
+  if (!store_dir.empty()) {
+    store.emplace(store_dir, segment_config(args));
+    store->attach(&data);
+    if (store->processed() == 0) {
+      // A fresh store inherits the session's policy now so load() below
+      // (and every future resume check) sees the right one.
+      store->configure(cfg.policy, data.weights);
+    }
+    if (store->policy() != cfg.policy) {
+      throw core::DatasetIoError(
+          "segment store " + store_dir + " was built under the " +
+          (store->policy() == core::UnknownPolicy::kKnownOnly
+               ? "known-only"
+               : "pessimistic") +
+          " unknown policy; rerun with matching flags or point --store "
+          "at a fresh directory");
+    }
+    io::SegmentStore::Loaded loaded = store->load(&data);
+    base = static_cast<std::size_t>(loaded.base_row);
+    start = static_cast<std::size_t>(loaded.processed);
+    matrix = std::move(loaded.matrix);
+    if (loaded.has_modebook) {
+      try {
+        book.restore(std::move(loaded.representatives),
+                     std::move(loaded.history));
+      } catch (const std::invalid_argument& e) {
+        throw core::DatasetIoError(std::string("segment store: ") +
+                                   e.what());
+      }
+    }
+    if (start > 0) {
+      // Re-pin each mode representative's first occurrence that is
+      // still inside the retained window (anchors shape time, never
+      // values, so modes first seen before `base` simply stay unpinned).
+      std::vector<bool> seen(book.mode_count(), false);
+      std::size_t valid_seen = 0;
+      for (std::size_t i = 0; i < start; ++i) {
+        if (!data.series[i].valid) continue;
+        if (valid_seen >= book.history().size()) break;
+        const std::size_t mode = book.history()[valid_seen++];
+        if (mode < seen.size() && !seen[mode]) {
+          seen[mode] = true;
+          if (i >= base) matrix->pin_anchor(i - base);
+        }
+      }
+      static obs::Counter& seg_resumes = obs::registry().counter(
+          "fenrir_watch_resumes_total", "watch sessions resumed from state");
+      seg_resumes.inc();
+      obs::event_bus().emit(
+          obs::Severity::kNotice, "watch_resumed",
+          "\"processed\":" + std::to_string(start) +
+              ",\"modes\":" + std::to_string(book.mode_count()));
+      std::cout << "resumed: " << start
+                << " observations already processed, " << book.mode_count()
+                << " known modes\n";
+    }
+  }
   if (!state_path.empty()) {
     matrix.emplace(cfg.policy, data.weights, /*threads=*/0);
   }
@@ -543,7 +709,8 @@ int cmd_watch(const Args& args) {
     // matrix just used for this row (how the Φ plane ingested the same
     // observation the book is about to judge).
     if (matrix.has_value() && obs::lineage().enabled()) {
-      const std::vector<std::size_t> chain = matrix->anchor_chain(i);
+      std::vector<std::size_t> chain = matrix->anchor_chain(i - base);
+      for (std::size_t& c : chain) c += base;  // records stay global
       obs::lineage().set_anchor_context(chain);
     }
     const auto match = book.observe(v);
@@ -552,7 +719,13 @@ int cmd_watch(const Args& args) {
     // when the series recurs to it, the matrix patches from this row
     // instead of paying the packed kernels (the appended row is still
     // a recent anchor, so pinning it here is O(1)-ish).
-    if (matrix.has_value() && match.is_new) matrix->pin_anchor(i);
+    if (matrix.has_value() && match.is_new) matrix->pin_anchor(i - base);
+    // Spill-as-you-go: the row's record leaves the hot path now; the
+    // periodic flush is the save interval (O(rows since last flush)).
+    if (store.has_value()) {
+      store->spill(v, *matrix);
+      if ((i + 1 - start) % 64 == 0) store->flush();
+    }
     std::cout << core::format_time(v.time) << "  mode " << match.mode
               << "  phi " << io::fixed(match.phi, 3);
     if (!v.valid) {
@@ -591,7 +764,9 @@ int cmd_watch(const Args& args) {
   // Force a final snapshot so even a short run leaves /metrics/history
   // non-empty under --serve.
   obs::metrics_history().sample(true);
-  if (!state_path.empty()) {
+  if (store.has_value()) {
+    store->flush(&book);
+  } else if (!state_path.empty()) {
     io::save_watch_state(data, book, data.series.size(),
                          matrix.has_value() ? &*matrix : nullptr, state_path);
   }
@@ -1408,6 +1583,80 @@ int cmd_blackbox(const Args& args) {
   return 0;
 }
 
+int cmd_segment(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const std::string& sub = args.positional[0];
+  const io::SegmentStoreConfig cfg = segment_config(args);
+
+  if (sub == "ls") {
+    if (args.positional.size() != 2) return usage();
+    const std::string& dir = args.positional[1];
+    if (!io::SegmentStore::looks_like_store(dir)) {
+      throw core::DatasetIoError(dir +
+                                 " is not a segment store (no MANIFEST)");
+    }
+    const io::SegmentStore store(dir, cfg);
+    const std::vector<io::SegmentInfo> segments = store.segments();
+    std::cout << "window:    [" << store.base_row() << ", "
+              << store.processed() << ")  "
+              << (store.processed() - store.base_row())
+              << " observations retained\n";
+    std::cout << "segments:  " << segments.size() << " sealed ("
+              << store.cold_bytes() << " cold bytes), tail "
+              << store.tail_rows() << " rows\n";
+    std::cout << "identity:  "
+              << (store.legacy_identity()
+                      ? "legacy prefix hash (imported snapshot)"
+                      : "per-row hashes")
+              << "\n";
+    for (const io::SegmentInfo& s : segments) {
+      std::cout << "  seg-" << s.id << "  rows [" << s.base_row << ", "
+                << s.base_row + s.rows << ")  width " << s.width << "  "
+                << io::kSegmentHeaderBytes + s.payload_bytes +
+                       io::kSegmentTrailerBytes
+                << " bytes  " << core::format_time(s.min_time) << " .. "
+                << core::format_time(s.max_time) << "\n";
+    }
+    return 0;
+  }
+
+  if (sub == "verify") {
+    if (args.positional.size() != 2) return usage();
+    const std::string& dir = args.positional[1];
+    if (!io::SegmentStore::looks_like_store(dir)) {
+      throw core::DatasetIoError(dir +
+                                 " is not a segment store (no MANIFEST)");
+    }
+    const io::SegmentStore store(dir, cfg);
+    std::string error;
+    if (!store.verify(&error)) {
+      throw core::DatasetIoError("segment store " + dir + ": " + error);
+    }
+    // verify() checks structure and checksums; a full load additionally
+    // walks every record (throws DatasetIoError → exit 3 on corruption).
+    (void)store.load(nullptr);
+    std::cout << "ok: " << store.segments().size() << " sealed segments, "
+              << store.tail_rows() << " tail rows, "
+              << (store.processed() - store.base_row())
+              << " observations retained\n";
+    return 0;
+  }
+
+  if (sub == "import") {
+    if (args.positional.size() != 3) return usage();
+    const io::Snapshot snap =
+        io::load_snapshot_file(args.positional[1], /*threads=*/0);
+    io::SegmentStore::import_snapshot(snap, args.positional[2], cfg);
+    const io::SegmentStore store(args.positional[2], cfg);
+    std::cout << "imported " << store.processed() << " observations into "
+              << store.segments().size() << " sealed segments at "
+              << args.positional[2] << "\n";
+    return 0;
+  }
+
+  return usage();
+}
+
 }  // namespace
 
 int dispatch(const std::string& cmd, const Args& args) {
@@ -1424,6 +1673,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "explain") return cmd_explain(args);
   if (cmd == "lineage") return cmd_lineage(args);
   if (cmd == "blackbox") return cmd_blackbox(args);
+  if (cmd == "segment") return cmd_segment(args);
   return usage();
 }
 
@@ -1475,7 +1725,11 @@ void register_metric_catalog() {
         "fenrir_phi_anchor_refreshes_total",
         "fenrir_snapshot_save_total", "fenrir_snapshot_save_bytes_total",
         "fenrir_snapshot_load_total", "fenrir_snapshot_load_bytes_total",
-        "fenrir_snapshot_corrupt_total"}) {
+        "fenrir_snapshot_corrupt_total", "fenrir_segment_sealed_total",
+        "fenrir_segment_compacted_total", "fenrir_segment_retired_total",
+        "fenrir_segment_mmap_bytes_total", "fenrir_segment_tail_flush_total",
+        "fenrir_segment_tail_bytes_total",
+        "fenrir_segment_checksum_verified_total"}) {
     r.counter(name);
   }
   for (const char* name :
